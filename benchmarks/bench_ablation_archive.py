@@ -1,0 +1,76 @@
+"""Ablation: archive capacity and tabu tenure (DESIGN.md).
+
+The paper fixes archive capacity = tabu tenure = 20 without a
+sensitivity analysis.  This bench sweeps both and reports best
+feasible distance/vehicles and the 2-D hypervolume of the
+(distance, vehicles) front — quantifying how much the crowding-bounded
+archive and the tabu window actually matter at this scale.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.mo.hypervolume import hypervolume
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import run_sequential_tsmo
+from repro.vrptw.generator import generate_instance
+
+SEEDS = (1, 2, 3)
+ARCHIVE_CAPACITIES = (2, 5, 20, 60)
+TENURES = (1, 5, 20, 60)
+
+
+def _quality(runs):
+    fronts = [r.feasible_front() for r in runs]
+    ref = None
+    merged = np.vstack([f for f in fronts if f.size] or [np.zeros((0, 3))])
+    if merged.size == 0:
+        return float("nan"), float("nan"), 0.0
+    ref = merged[:, :2].max(axis=0) * 1.1 + 1.0
+    hv = np.mean([hypervolume(f[:, :2], ref) if f.size else 0.0 for f in fronts])
+    dist = np.mean([f[:, 0].min() for f in fronts if f.size])
+    veh = np.mean([f[:, 1].min() for f in fronts if f.size])
+    return dist, veh, hv
+
+
+def sweep(bench_config):
+    n = max(20, round(60 * bench_config.city_fraction / 0.15))
+    instance = generate_instance("R1", n, seed=29)
+
+    def params(archive, tenure):
+        return TSMOParams(
+            max_evaluations=bench_config.max_evaluations,
+            neighborhood_size=bench_config.neighborhood_size,
+            restart_after=bench_config.restart_after,
+            archive_capacity=archive,
+            tabu_tenure=tenure,
+        )
+
+    archive_rows = []
+    for cap in ARCHIVE_CAPACITIES:
+        runs = [run_sequential_tsmo(instance, params(cap, 20), seed=s) for s in SEEDS]
+        archive_rows.append((cap, *_quality(runs)))
+    tenure_rows = []
+    for tenure in TENURES:
+        runs = [run_sequential_tsmo(instance, params(20, tenure), seed=s) for s in SEEDS]
+        tenure_rows.append((tenure, *_quality(runs)))
+    return instance.name, archive_rows, tenure_rows
+
+
+def test_archive_and_tenure_ablation(benchmark, bench_config, output_dir):
+    name, archive_rows, tenure_rows = benchmark.pedantic(
+        sweep, args=(bench_config,), rounds=1, iterations=1
+    )
+    lines = [
+        f"Archive-capacity / tabu-tenure ablation on {name} "
+        f"(mean of {len(SEEDS)} sequential runs; paper setting: 20/20)",
+        f"{'archive cap':>11} {'distance':>10} {'vehicles':>9} {'hypervolume':>12}",
+    ]
+    for cap, dist, veh, hv in archive_rows:
+        lines.append(f"{cap:>11d} {dist:>10.1f} {veh:>9.2f} {hv:>12.1f}")
+    lines.append(f"{'tenure':>11} {'distance':>10} {'vehicles':>9} {'hypervolume':>12}")
+    for tenure, dist, veh, hv in tenure_rows:
+        lines.append(f"{tenure:>11d} {dist:>10.1f} {veh:>9.2f} {hv:>12.1f}")
+    emit(output_dir, "ablation_archive_tenure", "\n".join(lines))
+    assert len(archive_rows) == len(ARCHIVE_CAPACITIES)
+    assert len(tenure_rows) == len(TENURES)

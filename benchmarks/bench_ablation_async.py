@@ -1,0 +1,73 @@
+"""Ablation: the asynchronous decision function's knobs (DESIGN.md).
+
+Sweeps the streaming batch size, the waiting deadline (condition c3)
+and the master's generation share, reporting the speedup against the
+sequential baseline and the mean selection-pool size.  This quantifies
+the design choices §III.D leaves implicit, and shows where the
+asynchronous advantage comes from (small pools + no straggler waits).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.parallel.async_ts import AsyncParams, run_asynchronous_tsmo
+from repro.parallel.base import run_sequential_simulated
+from repro.parallel.costmodel import CostModel
+from repro.tabu.params import TSMOParams
+from repro.vrptw.generator import generate_instance
+
+SEEDS = (1, 2)
+VARIANTS = [
+    ("default", AsyncParams()),
+    ("batch=5", AsyncParams(batch_size=5)),
+    ("batch=50", AsyncParams(batch_size=50)),
+    ("no wait (c3=0)", AsyncParams(max_wait=0.0)),
+    ("long wait", AsyncParams(max_wait=1e9)),
+    ("master_share=0", AsyncParams(master_share=0.0)),
+    ("master_share=1", AsyncParams(master_share=1.0)),
+]
+
+
+def sweep(bench_config):
+    n = max(20, round(60 * bench_config.city_fraction / 0.15))
+    instance = generate_instance("R1", n, seed=23)
+    params = TSMOParams(
+        max_evaluations=bench_config.max_evaluations,
+        neighborhood_size=bench_config.neighborhood_size,
+        restart_after=bench_config.restart_after,
+    )
+    cost = CostModel().for_neighborhood(params.neighborhood_size)
+    ts = np.mean(
+        [
+            run_sequential_simulated(instance, params, seed=s, cost_model=cost).simulated_time
+            for s in SEEDS
+        ]
+    )
+    rows = []
+    for label, aparams in VARIANTS:
+        runs = [
+            run_asynchronous_tsmo(
+                instance, params, 6, seed=s, cost_model=cost, async_params=aparams
+            )
+            for s in SEEDS
+        ]
+        tp = np.mean([r.simulated_time for r in runs])
+        pool = np.mean([r.extra["mean_pool_size"] for r in runs])
+        carry = np.mean([r.extra["carryover_neighbors"] for r in runs])
+        rows.append((label, ts / tp, pool, carry))
+    return rows
+
+
+def test_async_decision_ablation(benchmark, bench_config, output_dir):
+    rows = benchmark.pedantic(sweep, args=(bench_config,), rounds=1, iterations=1)
+    lines = [
+        "Asynchronous decision-function ablation (6 processors)",
+        f"{'variant':<18} {'speedup':>8} {'mean pool':>10} {'carryover':>10}",
+    ]
+    for label, sp, pool, carry in rows:
+        lines.append(f"{label:<18} {sp:>8.2f} {pool:>10.1f} {carry:>10.0f}")
+    emit(output_dir, "ablation_async", "\n".join(lines))
+    by_label = {r[0]: r for r in rows}
+    # Waiting forever behaves like the synchronous barrier: it must not
+    # beat the default decision function.
+    assert by_label["long wait"][1] <= by_label["default"][1] * 1.1

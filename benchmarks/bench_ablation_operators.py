@@ -1,0 +1,82 @@
+"""Ablation: contribution of each neighborhood operator (DESIGN.md).
+
+The paper fixes the operator mix at all five with equal probability
+(§II.B/§III.B) without ablating it.  This bench quantifies what each
+operator contributes: it reruns the sequential TSMO with one operator
+removed at a time and reports best feasible distance/vehicles and the
+coverage of the ablated front by the full-mix front.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.operators import Exchange, OperatorRegistry, OrOpt, Relocate, TwoOpt, TwoOptStar
+from repro.core.operators.segment_exchange import SegmentExchange
+from repro.mo.coverage import set_coverage
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import run_sequential_tsmo
+from repro.vrptw.generator import generate_instance
+
+OPERATORS = {
+    "relocate": Relocate,
+    "exchange": Exchange,
+    "2opt": TwoOpt,
+    "2opt*": TwoOptStar,
+    "oropt": OrOpt,
+    # extension beyond the paper's set; included as an *additive* row
+    # rather than a removal (see below).
+    "segx": SegmentExchange,
+}
+PAPER_MIX = ("relocate", "exchange", "2opt", "2opt*", "oropt")
+SEEDS = (1, 2, 3)
+
+
+def _run_mix(instance, params, names, seed):
+    registry = OperatorRegistry([OPERATORS[n]() for n in names])
+    return run_sequential_tsmo(instance, params, seed=seed, registry=registry)
+
+
+def ablate(bench_config):
+    n = max(20, round(60 * bench_config.city_fraction / 0.15))
+    instance = generate_instance("R1", n, seed=17)
+    params = TSMOParams(
+        max_evaluations=bench_config.max_evaluations,
+        neighborhood_size=bench_config.neighborhood_size,
+        restart_after=bench_config.restart_after,
+    )
+    full_runs = [_run_mix(instance, params, list(PAPER_MIX), s) for s in SEEDS]
+    rows = []
+    variants = [(f"without {name}", [n_ for n_ in PAPER_MIX if n_ != name]) for name in PAPER_MIX]
+    variants.append(("plus segx (2,1)", list(PAPER_MIX) + ["segx"]))
+    for label, names in variants:
+        runs = [_run_mix(instance, params, names, s) for s in SEEDS]
+        dist = np.mean([r.best_feasible()[0] for r in runs if r.best_feasible()])
+        veh = np.mean([r.best_feasible()[1] for r in runs if r.best_feasible()])
+        cov = np.mean(
+            [
+                set_coverage(f.feasible_front(), a.feasible_front())
+                for f in full_runs
+                for a in runs
+            ]
+        )
+        rows.append((label, dist, veh, cov))
+    full_dist = np.mean([r.best_feasible()[0] for r in full_runs])
+    full_veh = np.mean([r.best_feasible()[1] for r in full_runs])
+    return instance.name, full_dist, full_veh, rows
+
+
+def test_operator_ablation(benchmark, bench_config, output_dir):
+    name, full_dist, full_veh, rows = benchmark.pedantic(
+        ablate, args=(bench_config,), rounds=1, iterations=1
+    )
+    lines = [
+        f"Operator ablation on {name} (sequential TSMO, mean of {len(SEEDS)} runs)",
+        f"{'mix':<16} {'distance':>10} {'vehicles':>9} {'covered by full mix':>21}",
+        f"{'all five':<16} {full_dist:>10.1f} {full_veh:>9.2f} {'-':>21}",
+    ]
+    for label, dist, veh, cov in rows:
+        lines.append(
+            f"{label:<16} {dist:>10.1f} {veh:>9.2f} {cov * 100:>20.1f}%"
+        )
+    emit(output_dir, "ablation_operators", "\n".join(lines))
+    assert len(rows) == 6  # five removals + the segx addition

@@ -1,0 +1,57 @@
+"""Unary-indicator report over the Table-I run matrix (extension).
+
+The paper compares fronts only with the binary set-coverage metric.
+This bench re-runs a reduced Table-I matrix and scores every variant's
+feasible fronts against the combined reference front with the
+extension indicators — hypervolume (distance x vehicles plane), IGD,
+additive epsilon and spread — giving EXPERIMENTS.md a second, metric-
+independent confirmation of the quality ordering (collaborative best).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.runner import run_table, table_front_reference
+from repro.mo.epsilon import additive_epsilon
+from repro.mo.hypervolume import hypervolume
+from repro.mo.metrics import inverted_generational_distance, spread
+
+
+def compute(bench_config):
+    config = bench_config.with_overrides(runs=max(2, bench_config.runs - 1))
+    data = run_table("table1", config)
+    reference = table_front_reference(data)
+    ref_2d = reference[:, :2]
+    ref_point = ref_2d.max(axis=0) * 1.1 + 1.0
+    rows = []
+    for key in data.configs():
+        fronts = [r.feasible_front() for r in data.runs_of(key)]
+        fronts = [f for f in fronts if f.size]
+        hv = np.mean([hypervolume(f[:, :2], ref_point) for f in fronts])
+        igd = np.mean([inverted_generational_distance(f, reference) for f in fronts])
+        eps = np.mean([additive_epsilon(f, reference) for f in fronts])
+        spr = np.mean([spread(f[:, :2], ref_2d) for f in fronts])
+        rows.append((key, hv, igd, eps, spr))
+    return rows, reference.shape[0]
+
+
+def test_indicator_report(benchmark, bench_config, output_dir):
+    rows, ref_size = benchmark.pedantic(
+        compute, args=(bench_config,), rounds=1, iterations=1
+    )
+    lines = [
+        f"Unary indicators vs the combined reference front ({ref_size} points), "
+        "Table-I matrix",
+        f"{'config':<18} {'hypervolume':>12} {'IGD':>9} {'eps+':>9} {'spread':>8}",
+    ]
+    for (algorithm, procs), hv, igd, eps, spr in rows:
+        label = f"{algorithm}@{procs}"
+        lines.append(
+            f"{label:<18} {hv:>12.1f} {igd:>9.2f} {eps:>9.2f} {spr:>8.3f}"
+        )
+    emit(output_dir, "indicators", "\n".join(lines))
+    by = {f"{a}@{p}": (hv, igd) for (a, p), hv, igd, _, _ in rows}
+    # Metric-independent confirmation: collaborative@12 must beat the
+    # sequential baseline on hypervolume AND IGD.
+    assert by["collaborative@12"][0] >= by["sequential@1"][0]
+    assert by["collaborative@12"][1] <= by["sequential@1"][1]

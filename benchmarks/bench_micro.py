@@ -1,0 +1,126 @@
+"""Microbenchmarks of the library's hot paths.
+
+Not a paper table — these exist to keep the performance engineering
+honest: route-schedule scans, incremental move evaluation, operator
+drawing, archive updates, non-dominated filtering and DES throughput.
+Regressions here inflate every macro benchmark above.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import i1_construct
+from repro.core.evaluation import Evaluator, evaluate
+from repro.core.operators.registry import default_registry
+from repro.core.objectives import ObjectiveVector
+from repro.core.routes import route_stats
+from repro.core.solution import Solution
+from repro.mo.archive import ParetoArchive
+from repro.mo.dominance import non_dominated_mask
+from repro.parallel.des import Environment, Mailbox
+from repro.tabu.neighborhood import sample_neighborhood
+from repro.vrptw.generator import generate_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance("R1", 100, seed=1)
+
+
+@pytest.fixture(scope="module")
+def solution(instance):
+    return i1_construct(instance, rng=np.random.default_rng(0))
+
+
+def test_route_stats_scan(benchmark, instance, solution):
+    route = max(solution.routes, key=len)
+    benchmark(route_stats, instance, route)
+
+
+def test_full_solution_evaluation(benchmark, instance, solution):
+    benchmark(lambda: evaluate(instance, Solution(instance, solution.routes)))
+
+
+def test_incremental_move_evaluation(benchmark, instance, solution):
+    registry = default_registry()
+    rng = np.random.default_rng(2)
+    moves = []
+    while len(moves) < 64:
+        move = registry.draw_move(solution, rng)
+        if move is not None:
+            moves.append(move)
+    counter = {"i": 0}
+
+    def apply_one():
+        move = moves[counter["i"] % len(moves)]
+        counter["i"] += 1
+        return move.apply(solution).objectives
+
+    benchmark(apply_one)
+
+
+def test_operator_draw(benchmark, solution):
+    registry = default_registry()
+    rng = np.random.default_rng(3)
+    benchmark(registry.draw_move, solution, rng)
+
+
+def test_neighborhood_sampling_50(benchmark, instance, solution):
+    registry = default_registry()
+    rng = np.random.default_rng(4)
+    evaluator = Evaluator(instance)
+    benchmark(sample_neighborhood, solution, 50, registry, rng, evaluator)
+
+
+def test_nondominated_mask_200(benchmark):
+    rng = np.random.default_rng(5)
+    points = rng.random((200, 3))
+    benchmark(non_dominated_mask, points)
+
+
+def test_archive_try_add(benchmark):
+    rng = np.random.default_rng(6)
+    archive = ParetoArchive(capacity=20)
+    for k in range(20):
+        archive.try_add(k, ObjectiveVector(100 - k, k, 0.0))
+    offers = [
+        ObjectiveVector(float(rng.uniform(50, 150)), int(rng.integers(1, 20)), 0.0)
+        for _ in range(256)
+    ]
+    counter = {"i": 0}
+
+    def offer_one():
+        archive.try_add("x", offers[counter["i"] % 256])
+        counter["i"] += 1
+
+    benchmark(offer_one)
+
+
+def test_des_event_throughput(benchmark):
+    """Ping-pong between two processes: events per second."""
+
+    def run_sim():
+        env = Environment()
+        a, b = Mailbox(env), Mailbox(env)
+
+        def ping():
+            for _ in range(500):
+                a.put(1)
+                yield b.get()
+
+        def pong():
+            for _ in range(500):
+                yield a.get()
+                b.put(1)
+
+        env.process(ping())
+        env.process(pong())
+        env.run()
+        return env.now
+
+    benchmark(run_sim)
+
+
+def test_i1_construction_100(benchmark, instance):
+    rng = np.random.default_rng(7)
+    benchmark(lambda: i1_construct(instance, rng=rng))

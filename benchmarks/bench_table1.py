@@ -1,0 +1,32 @@
+"""Regenerate Table I of the paper: 400-city classes C1/R1 (small time windows).
+
+Protocol (paper): sequential TSMO plus synchronous / asynchronous /
+collaborative variants at 3, 6 and 12 processors; columns are mean±std
+distance and vehicles over the feasible fronts, runtime, the pairwise
+set-coverage percentages, and the speedup percent, with pairwise
+t-tests against the sequential rows.  Scaled per BenchConfig (set
+REPRO_BENCH_SCALE=paper for the full protocol).
+"""
+
+from conftest import emit
+
+from repro.bench.report import render_table
+from repro.bench.runner import run_table
+
+
+def test_table1(benchmark, bench_config, output_dir):
+    data = benchmark.pedantic(
+        run_table, args=("table1", bench_config), rounds=1, iterations=1
+    )
+    text = render_table(
+        data,
+        title=(
+            "Table I - 400-city classes C1/R1 (small time windows)\n"
+            f"(scale: {bench_config.city_fraction:.2f} cities, "
+            f"{bench_config.max_evaluations} evaluations, "
+            f"{bench_config.runs} runs)"
+        ),
+    )
+    emit(output_dir, "table1", text)
+    # Sanity: every configuration produced rows.
+    assert len(data.configs()) == 1 + 3 * len(bench_config.processors)

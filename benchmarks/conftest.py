@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_tableN.py`` regenerates one of the paper's tables at the
+configured scale (``REPRO_BENCH_SCALE`` scales it up to the full
+protocol), times the regeneration under pytest-benchmark, prints the
+paper-style table, and writes it to ``benchmarks/output/`` so the
+artifact survives the pytest capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.config import BenchConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    """The experiment scale for this benchmark session."""
+    return BenchConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def emit(output_dir: Path, name: str, text: str) -> None:
+    """Print an artifact and persist it under benchmarks/output/."""
+    print(f"\n{text}")
+    (output_dir / f"{name}.txt").write_text(text, encoding="utf-8")

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The multiobjective story of §II.C: presenting a fleet/distance choice.
+
+The paper motivates the multiobjective formulation with a dispatcher
+who must weigh driving distance against the number of vehicles (and
+how strictly time windows are honored): "instead of handing him one
+solution with a given tour and a number of vehicles, we may have found
+solutions with different travel distances and different numbers of
+vehicles.  The customer ... can then decide, based on concrete
+solutions, which of them is most suitable for his or her business."
+
+This example runs the search on a clustered C1-style instance, then
+prints a decision memo: for every vehicle count on the Pareto front,
+the best attainable distance, the marginal distance cost of removing
+one more vehicle, and a rough cost comparison under two price models.
+
+Run:  python examples/fleet_tradeoff.py
+"""
+
+from collections import defaultdict
+
+from repro import TSMOParams, generate_instance, run_sequential_tsmo
+
+
+def main() -> None:
+    instance = generate_instance("C1", 60, seed=11)
+    params = TSMOParams(
+        max_evaluations=10_000,
+        neighborhood_size=80,
+        restart_after=20,
+    )
+    result = run_sequential_tsmo(instance, params, seed=3)
+
+    # Best feasible distance per vehicle count.
+    by_fleet: dict[int, float] = defaultdict(lambda: float("inf"))
+    for entry in result.archive:
+        obj = entry.objectives
+        if obj.feasible:
+            by_fleet[obj.vehicles] = min(by_fleet[obj.vehicles], obj.distance)
+    if not by_fleet:
+        print("No feasible solutions found at this budget; increase evaluations.")
+        return
+
+    fleets = sorted(by_fleet)
+    print(f"Decision memo for {instance.name} ({instance.n_customers} customers)\n")
+    print(f"{'vehicles':>9} {'distance':>10} {'marginal km / vehicle saved':>29}")
+    previous: tuple[int, float] | None = None
+    for fleet in fleets:
+        distance = by_fleet[fleet]
+        marginal = ""
+        if previous is not None and previous[0] != fleet:
+            saved = previous[0] - fleet
+            marginal = f"+{(distance - previous[1]) / max(saved, 1):.1f}"
+        print(f"{fleet:>9d} {distance:>10.1f} {marginal:>29}")
+        previous = (fleet, distance)
+
+    # Two illustrative cost models: distance-dominated (fuel-heavy
+    # long-haul) vs vehicle-dominated (driver wages + leasing).
+    print("\nTotal cost under two price models (arbitrary units):")
+    print(f"{'vehicles':>9} {'fuel-heavy (1.0/km + 50/veh)':>30} {'fleet-heavy (0.2/km + 400/veh)':>32}")
+    for fleet in fleets:
+        distance = by_fleet[fleet]
+        fuel_heavy = distance * 1.0 + fleet * 50.0
+        fleet_heavy = distance * 0.2 + fleet * 400.0
+        print(f"{fleet:>9d} {fuel_heavy:>30.0f} {fleet_heavy:>32.0f}")
+    print(
+        "\nThe fuel-heavy operator should pick the largest fleet on the "
+        "front;\nthe fleet-heavy operator the smallest — one search, both "
+        "answers (that is §II.C's point)."
+    )
+
+
+if __name__ == "__main__":
+    main()

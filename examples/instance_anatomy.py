@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Why the six instance classes behave differently: structural anatomy.
+
+Prints the structural profile of one instance per class — window
+tightness, temporal-compatibility density (the acceptance rate of the
+paper's §II.B local feasibility criterion), geometric clustering, and
+vehicle lower bounds — and shows how those properties predict operator
+behavior: intra-route reordering (or-opt) is alive on wide-window
+classes and dormant on tight ones.
+
+Run:  python examples/instance_anatomy.py
+"""
+
+import numpy as np
+
+from repro.core.construction import i1_construct
+from repro.core.operators import OrOpt
+from repro.vrptw import generate_instance
+from repro.vrptw.analysis import compatibility_density, describe
+
+
+def oropt_rate(instance) -> float:
+    solution = i1_construct(instance, rng=np.random.default_rng(1))
+    rng = np.random.default_rng(2)
+    operator = OrOpt()
+    return sum(operator.propose(solution, rng) is not None for _ in range(300)) / 300
+
+
+def main() -> None:
+    print("Structural anatomy of the six Solomon/Homberger classes\n")
+    rows = []
+    for icls in ("C1", "C2", "R1", "R2", "RC1", "RC2"):
+        instance = generate_instance(icls, 50, seed=7)
+        print(describe(instance))
+        rows.append((icls, compatibility_density(instance), oropt_rate(instance)))
+        print()
+    print("Criterion acceptance vs intra-route operator viability:")
+    print(f"{'class':<6} {'compat density':>15} {'or-opt proposal rate':>21}")
+    for icls, density, rate in rows:
+        print(f"{icls:<6} {density * 100:>14.0f}% {rate * 100:>20.0f}%")
+    print(
+        "\nTight-window (type 1) classes admit few temporal adjacencies, so "
+        "the paper's\nlocal feasibility criterion effectively disables "
+        "intra-route reordering there;\nthe operator wheel's retry rule "
+        "(§III.B) silently routes that probability mass\nto the inter-route "
+        "operators.  See EXPERIMENTS.md for the quality consequences."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Compare the three parallel TSMO variants on the simulated cluster.
+
+Reproduces, on one instance, the qualitative content of the paper's
+Tables I–IV: the synchronous master–worker variant saves some runtime,
+the asynchronous one saves much more (peaking around 6 processors),
+and the collaborative multisearch pays a runtime penalty but finds
+better fronts with fewer vehicles.
+
+Run:  python examples/parallel_comparison.py
+"""
+
+from repro import (
+    TSMOParams,
+    generate_instance,
+    run_asynchronous_tsmo,
+    run_collaborative_tsmo,
+    run_sequential_simulated,
+    run_synchronous_tsmo,
+)
+from repro.parallel import CostModel
+from repro.parallel.collab_ts import CollabParams
+from repro.stats.speedup import format_speedup
+
+
+def main() -> None:
+    instance = generate_instance("R1", 60, seed=1)
+    params = TSMOParams(
+        max_evaluations=6_000, neighborhood_size=60, restart_after=12
+    )
+    cost = CostModel().for_neighborhood(params.neighborhood_size)
+    seed = 7
+
+    sequential = run_sequential_simulated(instance, params, seed, cost)
+    ts = sequential.simulated_time
+    print(f"{instance.name}: sequential baseline T = {ts:.0f} simulated units\n")
+    print(
+        f"{'variant':<16} {'procs':>5} {'runtime':>9} {'speedup':>9} "
+        f"{'best feasible (dist, veh)':>27}"
+    )
+
+    def show(result) -> None:
+        best = result.best_feasible()
+        best_txt = f"({best[0]:.0f}, {best[1]:.0f})" if best else "(none)"
+        print(
+            f"{result.algorithm:<16} {result.processors:>5} "
+            f"{result.simulated_time:>9.0f} "
+            f"{format_speedup(ts / result.simulated_time):>9} {best_txt:>27}"
+        )
+
+    show(sequential)
+    for p in (3, 6, 12):
+        show(run_synchronous_tsmo(instance, params, p, seed, cost))
+        show(run_asynchronous_tsmo(instance, params, p, seed, cost))
+        show(
+            run_collaborative_tsmo(
+                instance,
+                params,
+                p,
+                seed,
+                cost,
+                CollabParams(initial_phase_patience=4),
+            )
+        )
+    print(
+        "\nShapes to notice (cf. the paper): sync saturates early, async "
+        "peaks at 6\nand dips at 12 (message handling), collaborative is "
+        "slower but finds the\nbest fronts — its extra runtime is "
+        "communication, not wasted search."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Visualize what the search does: route maps and Pareto fronts as SVG.
+
+Solves one instance, then writes three SVG files next to this script:
+
+* ``routes_before.svg`` — the I1 construction;
+* ``routes_after.svg``  — the shortest feasible solution found;
+* ``front.svg``         — the Pareto fronts of TSMO vs NSGA-II.
+
+Files are written to the current working directory; open them in any
+browser.  Run:  python examples/plot_routes.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    NSGA2Params,
+    TSMOParams,
+    generate_instance,
+    i1_construct,
+    run_nsga2,
+    run_sequential_tsmo,
+)
+from repro.viz import front_svg, solution_svg, write_svg
+
+
+def main() -> None:
+    out_dir = Path.cwd()
+    instance = generate_instance("C1", 60, seed=13)
+    params = TSMOParams(max_evaluations=6000, neighborhood_size=60, restart_after=12)
+
+    seed_solution = i1_construct(instance, rng=np.random.default_rng(0))
+    write_svg(
+        solution_svg(seed_solution, title=f"I1 seed: {seed_solution.objectives}"),
+        out_dir / "routes_before.svg",
+    )
+
+    tsmo = run_sequential_tsmo(instance, params, seed=4, initial=seed_solution)
+    feasible = [e for e in tsmo.archive if e.objectives.feasible]
+    best = min(feasible, key=lambda e: e.objectives.distance).item
+    write_svg(solution_svg(best), out_dir / "routes_after.svg")
+
+    nsga = run_nsga2(instance, params, NSGA2Params(population_size=24), seed=4)
+    write_svg(
+        front_svg(
+            {"TSMO": tsmo.feasible_front(), "NSGA-II": nsga.feasible_front()},
+            x_label="total distance (f1)",
+            y_label="vehicles (f2)",
+        ),
+        out_dir / "front.svg",
+    )
+
+    print(f"I1 seed    : {seed_solution.objectives}")
+    print(f"TSMO best  : {best.objectives}")
+    print(
+        "Wrote routes_before.svg, routes_after.svg, front.svg to "
+        f"{out_dir} - open them in a browser."
+    )
+
+
+if __name__ == "__main__":
+    main()

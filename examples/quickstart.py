@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: solve one CVRPTW instance with the sequential TSMO.
+
+Generates a 60-customer Homberger-style R1 instance (random geometry,
+small time windows), seeds the search with Solomon's I1 heuristic, runs
+the multiobjective tabu search for a few thousand evaluations, and
+prints the resulting Pareto front: the trade-off between total travel
+distance, vehicles deployed and (soft) time-window violation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TSMOParams, generate_instance, run_sequential_tsmo
+
+
+def main() -> None:
+    instance = generate_instance("R1", 60, seed=42)
+    print(f"Instance: {instance}")
+    print(
+        f"  total demand {instance.total_demand:.0f}, capacity "
+        f"{instance.capacity:.0f} -> at least "
+        f"{instance.min_vehicles_by_capacity} vehicles required\n"
+    )
+
+    params = TSMOParams(
+        max_evaluations=8_000,
+        neighborhood_size=80,
+        tabu_tenure=20,
+        archive_capacity=20,
+        restart_after=20,
+    )
+    result = run_sequential_tsmo(instance, params, seed=7)
+
+    print(
+        f"Search finished: {result.iterations} iterations, "
+        f"{result.evaluations} evaluations, {result.restarts} restarts, "
+        f"{result.wall_time:.1f}s wall time.\n"
+    )
+    print("Pareto archive (feasible solutions marked *):")
+    print(f"{'':2} {'distance':>10} {'vehicles':>9} {'tardiness':>10}")
+    for entry in sorted(result.archive, key=lambda e: e.objectives.distance):
+        obj = entry.objectives
+        flag = "*" if obj.feasible else " "
+        print(f"{flag:2} {obj.distance:>10.1f} {obj.vehicles:>9d} {obj.tardiness:>10.1f}")
+
+    best = result.best_feasible()
+    if best is not None:
+        print(
+            f"\nBest feasible: distance {best[0]:.1f} / "
+            f"as few as {best[1]:.0f} vehicles."
+        )
+
+    # Inspect one solution's routes and schedule.
+    feasible = [e for e in result.archive if e.objectives.feasible]
+    if feasible:
+        solution = min(feasible, key=lambda e: e.objectives.distance).item
+        print(f"\nRoutes of the shortest feasible solution ({solution.n_routes} vehicles):")
+        for i, route in enumerate(solution.routes):
+            stats = solution.route_stats(i)
+            print(
+                f"  vehicle {i}: {len(route)} stops, load {stats.load:.0f}, "
+                f"distance {stats.distance:.1f}, back at t={stats.completion:.0f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The synchronous protocol on *real* OS processes.
+
+The benchmark tables run the parallel protocols on the deterministic
+simulated cluster (see DESIGN.md — this reproduction targets a
+single-core host, and CPython's GIL rules out shared-memory threading
+for this workload).  This example shows the same synchronous
+master–worker split on a real ``multiprocessing.Pool``: identical
+selection logic, chunks farmed out as picklable route tuples.
+
+On a single-core machine the wall-clock is *worse* than sequential —
+process spawn, pickling and scheduling all cost real time while the
+workers share one core.  That observation is itself part of the
+reproduction record (the "multiprocessing awkward" band); on a real
+multi-core box the same script shows genuine speedup.
+
+Run:  python examples/real_multiprocessing.py
+"""
+
+import os
+
+from repro import TSMOParams, generate_instance, run_sequential_tsmo
+from repro.parallel.mp_backend import pickle_roundtrip_sizes, run_multiprocessing_tsmo
+
+
+def main() -> None:
+    instance = generate_instance("R1", 40, seed=3)
+    params = TSMOParams(max_evaluations=1200, neighborhood_size=40, restart_after=10)
+
+    sizes = pickle_roundtrip_sizes(instance)
+    print(
+        f"Payload sizes: instance {sizes['instance_bytes'] / 1024:.0f} KiB "
+        f"(shipped once per worker), routes {sizes['routes_bytes']} bytes "
+        "(shipped every task)\n"
+    )
+
+    sequential = run_sequential_tsmo(instance, params, seed=9)
+    print(
+        f"sequential      : {sequential.wall_time:6.2f}s wall, "
+        f"best feasible {sequential.best_feasible()}"
+    )
+
+    parallel = run_multiprocessing_tsmo(instance, params, n_workers=2, seed=9)
+    print(
+        f"multiprocessing : {parallel.wall_time:6.2f}s wall "
+        f"({parallel.processors - 1} workers), "
+        f"best feasible {parallel.best_feasible()}"
+    )
+
+    cores = os.cpu_count() or 1
+    verdict = (
+        "speedup expected" if cores > 2 else "slowdown expected on this host"
+    )
+    print(f"\nThis machine has {cores} core(s): {verdict}.")
+
+
+if __name__ == "__main__":
+    main()

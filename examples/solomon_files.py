@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Working with Solomon/Homberger instance files and custom instances.
+
+Shows the round trip through the standard text format the published
+benchmark sets use: generate a Homberger-style instance, write it to
+disk, read it back, verify the round trip, and also build a small
+bespoke instance from explicit customer records (the path a downstream
+user with their own delivery data would take).
+
+Run:  python examples/solomon_files.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import TSMOParams, generate_instance, read_solomon, run_sequential_tsmo, write_solomon
+from repro.vrptw import Customer, Depot, Instance
+
+
+def roundtrip_demo() -> None:
+    instance = generate_instance("RC1", 50, seed=5)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{instance.name}.txt"
+        write_solomon(instance, path)
+        print(f"Wrote {path.name} ({path.stat().st_size} bytes)")
+        loaded = read_solomon(path)
+    assert loaded.n_customers == instance.n_customers
+    assert loaded.n_vehicles == instance.n_vehicles
+    # The writer prints 2 decimals; distances differ by at most ~2x the
+    # coordinate rounding error.
+    assert np.allclose(loaded.travel, instance.travel, atol=0.05)
+    print(
+        f"Round trip OK: {loaded.name}, {loaded.n_customers} customers, "
+        f"{loaded.n_vehicles} vehicles, capacity {loaded.capacity:.0f}\n"
+    )
+
+
+def custom_instance_demo() -> None:
+    # A bakery with five shops: morning delivery windows, one small van
+    # fleet.  Coordinates in km, times in minutes from 6:00.
+    depot = Depot(x=0.0, y=0.0, horizon=480.0)  # back by 14:00
+    shops = [
+        Customer(1, x=4.0, y=1.0, demand=60, ready_time=30, due_date=120, service_time=15),
+        Customer(2, x=5.0, y=-2.0, demand=45, ready_time=60, due_date=180, service_time=10),
+        Customer(3, x=-3.0, y=4.0, demand=80, ready_time=0, due_date=90, service_time=20),
+        Customer(4, x=-1.0, y=-5.0, demand=50, ready_time=120, due_date=240, service_time=10),
+        Customer(5, x=2.0, y=6.0, demand=70, ready_time=90, due_date=200, service_time=15),
+    ]
+    bakery = Instance.from_customers(
+        "bakery", depot, shops, capacity=150.0, n_vehicles=3
+    )
+    result = run_sequential_tsmo(
+        bakery,
+        TSMOParams(max_evaluations=800, neighborhood_size=20, restart_after=10),
+        seed=1,
+    )
+    print("Bakery delivery plans on the Pareto front:")
+    for entry in result.archive:
+        obj = entry.objectives
+        tag = "on time" if obj.feasible else f"{obj.tardiness:.0f} min late in total"
+        routes = " | ".join(
+            "->".join(str(c) for c in route) for route in entry.item.routes
+        )
+        print(
+            f"  {obj.vehicles} van(s), {obj.distance:.1f} km, {tag}:  {routes}"
+        )
+
+
+if __name__ == "__main__":
+    roundtrip_demo()
+    custom_instance_demo()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists only
+so that ``pip install -e . --no-use-pep517`` works on environments
+without the ``wheel`` package (e.g. offline machines), which need the
+legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

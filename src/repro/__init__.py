@@ -1,0 +1,122 @@
+"""repro — parallel multiobjective tabu search for the CVRPTW.
+
+A from-scratch reproduction of *"Parallel Tabu Search and the
+Multiobjective Vehicle Routing Problem with Time Windows"* (Andreas
+Beham, IPPS 2007): the CVRPTW problem substrate, the three-objective
+TSMO tabu search, its synchronous, asynchronous and collaborative
+parallelizations on a deterministic simulated cluster, and the
+benchmark harness that regenerates the paper's Tables I-IV and
+Figure 1.
+
+Quickstart::
+
+    from repro import generate_instance, run_sequential_tsmo, TSMOParams
+
+    instance = generate_instance("R1", 100, seed=42)
+    result = run_sequential_tsmo(
+        instance, TSMOParams(max_evaluations=5000, neighborhood_size=100), seed=1
+    )
+    for entry in result.archive:
+        print(entry.objectives)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    Evaluator,
+    I1Params,
+    ObjectiveVector,
+    Solution,
+    evaluate,
+    i1_construct,
+)
+from repro.errors import (
+    BenchmarkError,
+    InstanceError,
+    OperatorError,
+    ParseError,
+    ReproError,
+    SearchError,
+    SimulationError,
+    SolutionError,
+)
+from repro.mo import ParetoArchive, hypervolume, mutual_coverage, set_coverage
+from repro.moea import NSGA2Params, run_nsga2
+from repro.parallel import (
+    AdaptiveMemoryParams,
+    AsyncParams,
+    CollabParams,
+    CostModel,
+    HybridParams,
+    SimCluster,
+    run_adaptive_memory_tsmo,
+    run_asynchronous_tsmo,
+    run_collaborative_tsmo,
+    run_hybrid_tsmo,
+    run_multiprocessing_tsmo,
+    run_sequential_simulated,
+    run_synchronous_tsmo,
+)
+from repro.tabu import (
+    TSMOEngine,
+    TSMOParams,
+    TSMOResult,
+    TrajectoryRecorder,
+    run_sequential_tsmo,
+)
+from repro.vrptw import (
+    Instance,
+    generate_instance,
+    loads_solomon,
+    read_solomon,
+    write_solomon,
+)
+
+__all__ = [
+    "AdaptiveMemoryParams",
+    "AsyncParams",
+    "BenchmarkError",
+    "CollabParams",
+    "CostModel",
+    "Evaluator",
+    "HybridParams",
+    "I1Params",
+    "Instance",
+    "InstanceError",
+    "NSGA2Params",
+    "ObjectiveVector",
+    "OperatorError",
+    "ParetoArchive",
+    "ParseError",
+    "ReproError",
+    "SearchError",
+    "SimCluster",
+    "SimulationError",
+    "Solution",
+    "SolutionError",
+    "TSMOEngine",
+    "TSMOParams",
+    "TSMOResult",
+    "TrajectoryRecorder",
+    "__version__",
+    "evaluate",
+    "generate_instance",
+    "hypervolume",
+    "i1_construct",
+    "loads_solomon",
+    "mutual_coverage",
+    "read_solomon",
+    "run_adaptive_memory_tsmo",
+    "run_asynchronous_tsmo",
+    "run_collaborative_tsmo",
+    "run_hybrid_tsmo",
+    "run_multiprocessing_tsmo",
+    "run_nsga2",
+    "run_sequential_simulated",
+    "run_sequential_tsmo",
+    "run_synchronous_tsmo",
+    "set_coverage",
+    "write_solomon",
+]

@@ -1,0 +1,27 @@
+"""Experiment harness regenerating the paper's tables and figure.
+
+* :mod:`repro.bench.config` — scaling knobs (laptop-size defaults,
+  ``REPRO_BENCH_SCALE=paper`` for the full-size protocol);
+* :mod:`repro.bench.runner` — the run matrix (algorithm × processors ×
+  instance × seed) behind each table;
+* :mod:`repro.bench.tables` — row assembly: quality, runtime, set
+  coverage, speedup, t-tests;
+* :mod:`repro.bench.figures` — the Figure-1 trajectory data;
+* :mod:`repro.bench.report` — paper-style text rendering;
+* :mod:`repro.bench.cli` — ``repro-bench`` command-line entry point.
+"""
+
+from repro.bench.config import BenchConfig
+from repro.bench.report import render_table
+from repro.bench.runner import run_table
+from repro.bench.storage import load_table_data, save_table_data
+from repro.bench.tables import TableData
+
+__all__ = [
+    "BenchConfig",
+    "TableData",
+    "load_table_data",
+    "render_table",
+    "run_table",
+    "save_table_data",
+]

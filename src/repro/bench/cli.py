@@ -1,0 +1,112 @@
+"""Command-line entry point: ``repro-bench`` (or ``python -m repro.bench.cli``).
+
+Examples::
+
+    repro-bench table1                 # regenerate Table I at bench scale
+    repro-bench all --runs 5           # all four tables, 5 runs each
+    repro-bench fig1                   # Figure-1 trajectory (ASCII)
+    repro-bench table1 --save t1.json  # persist the run matrix
+    repro-bench render t1.json         # re-render without re-running
+    REPRO_BENCH_SCALE=paper repro-bench table1   # full-size protocol
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.config import BenchConfig
+from repro.bench.figures import fig1_trajectory, render_ascii
+from repro.bench.report import render_table
+from repro.bench.runner import run_table
+from repro.vrptw.catalog import TABLE_GROUPS
+
+__all__ = ["main"]
+
+_TABLE_TITLES = {
+    "table1": "Table I  - 400-city classes C1/R1 (small time windows)",
+    "table2": "Table II - 400-city classes C2/R2 (large time windows)",
+    "table3": "Table III - 600-city classes C1/R1 (small time windows)",
+    "table4": "Table IV - 600-city classes C2/R2 (large time windows)",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables and figure of Beham (IPPS 2007).",
+    )
+    parser.add_argument(
+        "target",
+        choices=[*sorted(TABLE_GROUPS), "all", "fig1", "render"],
+        help="which experiment to run ('render' re-renders a saved JSON matrix)",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="saved run-matrix JSON (for the 'render' target)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="FILE",
+        default=None,
+        help="also write the run matrix as JSON for later re-rendering",
+    )
+    parser.add_argument("--runs", type=int, default=None, help="runs per instance")
+    parser.add_argument("--seed", type=int, default=None, help="master seed")
+    parser.add_argument(
+        "--evaluations", type=int, default=None, help="evaluation budget per run"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    config = BenchConfig.from_env()
+    if args.runs is not None:
+        config = config.with_overrides(runs=args.runs)
+    if args.seed is not None:
+        config = config.with_overrides(seed=args.seed)
+    if args.evaluations is not None:
+        config = config.with_overrides(max_evaluations=args.evaluations)
+
+    if args.target == "fig1":
+        data = fig1_trajectory(config)
+        print(render_ascii(data))
+        return 0
+
+    if args.target == "render":
+        from repro.bench.storage import load_table_data
+
+        if not args.path:
+            print("render needs a saved JSON path", file=sys.stderr)
+            return 2
+        data = load_table_data(args.path)
+        print(render_table(data, title=_TABLE_TITLES.get(data.table, data.table)))
+        return 0
+
+    tables = sorted(TABLE_GROUPS) if args.target == "all" else [args.target]
+    progress = None if args.quiet else lambda msg: print(f"  ... {msg}", file=sys.stderr)
+    for table in tables:
+        start = time.perf_counter()
+        data = run_table(table, config, progress=progress)
+        elapsed = time.perf_counter() - start
+        print(render_table(data, title=_TABLE_TITLES[table]))
+        print(f"(regenerated in {elapsed:.1f}s wall time at bench scale)\n")
+        if args.save:
+            from repro.bench.storage import save_table_data
+
+            suffix = "" if len(tables) == 1 else f".{table}"
+            out = save_table_data(data, f"{args.save}{suffix}")
+            print(f"(run matrix saved to {out})\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

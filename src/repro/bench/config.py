@@ -1,0 +1,146 @@
+"""Benchmark scaling configuration.
+
+The paper's protocol — 400/600 customers, 100,000 evaluations,
+neighborhood 200, 30 runs per problem, ~10 problems per class — is far
+beyond a pure-Python laptop budget (it was a supercomputer experiment
+in compiled code).  :class:`BenchConfig` therefore defaults to a
+*scaled* protocol that preserves the quantities the comparisons react
+to — the iteration count (evaluations / neighborhood size), the
+restart cadence relative to run length, archive and tenure sizes, and
+the instance-class mix — while shrinking city counts and budgets.
+
+Environment overrides:
+
+* ``REPRO_BENCH_SCALE`` — ``paper`` selects the full-size protocol;
+  a float ``s`` multiplies both the evaluation budget and the city
+  fraction (``2`` → twice the default size, etc.);
+* ``REPRO_BENCH_RUNS`` — runs per instance;
+* ``REPRO_BENCH_SEED`` — master seed of the whole experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.errors import BenchmarkError
+from repro.tabu.params import TSMOParams
+
+__all__ = ["BenchConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class BenchConfig:
+    """Knobs of one table-regeneration experiment."""
+
+    #: fraction of the paper's city count (400/600) per instance.
+    city_fraction: float = 0.15
+    #: evaluation budget per run (paper: 100,000).
+    max_evaluations: int = 3000
+    #: neighborhood size (paper: 200).
+    neighborhood_size: int = 60
+    #: tabu tenure (paper: 20).
+    tabu_tenure: int = 20
+    #: archive capacity (paper: 20).
+    archive_capacity: int = 20
+    #: medium-term memory capacity.
+    nondom_capacity: int = 50
+    #: restart patience in iterations (paper: 100 of ~500 iterations;
+    #: the default keeps roughly the same fraction of the run).
+    restart_after: int = 12
+    #: runs per instance (paper: 30).
+    runs: int = 3
+    #: generated instances per class (the published sets have ~10).
+    replicates: int = 1
+    #: simulated processor counts, as in Tables I-IV.
+    processors: tuple[int, ...] = (3, 6, 12)
+    #: collaborative initial-phase patience (iterations without an
+    #: archive improvement); scaled down with the run length.
+    collab_patience: int = 4
+    #: master seed; every run seed derives from it deterministically.
+    seed: int = 2007
+
+    def __post_init__(self) -> None:
+        if not 0 < self.city_fraction <= 1:
+            raise BenchmarkError("city_fraction must be in (0, 1]")
+        for label in ("max_evaluations", "neighborhood_size", "runs", "replicates"):
+            if getattr(self, label) < 1:
+                raise BenchmarkError(f"{label} must be >= 1")
+        if any(p < 2 for p in self.processors):
+            raise BenchmarkError("parallel variants need >= 2 processors")
+
+    # ------------------------------------------------------------------
+    # Derived pieces
+    # ------------------------------------------------------------------
+    def tsmo_params(self) -> TSMOParams:
+        """The search parameters this configuration implies."""
+        return TSMOParams(
+            max_evaluations=self.max_evaluations,
+            neighborhood_size=self.neighborhood_size,
+            tabu_tenure=self.tabu_tenure,
+            archive_capacity=self.archive_capacity,
+            nondom_capacity=self.nondom_capacity,
+            restart_after=self.restart_after,
+        )
+
+    def with_overrides(self, **kwargs: object) -> "BenchConfig":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "BenchConfig":
+        """The full-size protocol of Tables I-IV (very slow in Python)."""
+        return cls(
+            city_fraction=1.0,
+            max_evaluations=100_000,
+            neighborhood_size=200,
+            restart_after=100,
+            runs=30,
+            replicates=10,
+            collab_patience=100,
+        )
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        """A minimal smoke-test configuration (used by the test suite)."""
+        return cls(
+            city_fraction=0.08,
+            max_evaluations=800,
+            neighborhood_size=40,
+            restart_after=6,
+            runs=2,
+            collab_patience=3,
+        )
+
+    @classmethod
+    def from_env(cls) -> "BenchConfig":
+        """Build from defaults plus ``REPRO_BENCH_*`` overrides."""
+        raw_scale = os.environ.get("REPRO_BENCH_SCALE", "").strip()
+        if raw_scale.lower() == "paper":
+            config = cls.paper()
+        elif raw_scale:
+            try:
+                s = float(raw_scale)
+            except ValueError:
+                raise BenchmarkError(
+                    f"REPRO_BENCH_SCALE must be a float or 'paper', got {raw_scale!r}"
+                ) from None
+            if s <= 0:
+                raise BenchmarkError("REPRO_BENCH_SCALE must be positive")
+            base = cls()
+            config = base.with_overrides(
+                city_fraction=min(base.city_fraction * s, 1.0),
+                max_evaluations=max(1, int(base.max_evaluations * s)),
+            )
+        else:
+            config = cls()
+        runs = os.environ.get("REPRO_BENCH_RUNS", "").strip()
+        if runs:
+            config = config.with_overrides(runs=max(1, int(runs)))
+        seed = os.environ.get("REPRO_BENCH_SEED", "").strip()
+        if seed:
+            config = config.with_overrides(seed=int(seed))
+        return config

@@ -1,0 +1,74 @@
+"""Paper-style text rendering of the regenerated tables.
+
+The output mirrors the layout of Tables I–IV: a sequential row, then
+one block per processor count with the synchronous, asynchronous and
+collaborative rows; columns are distance, vehicles, runtime, the
+coverage pair, and the speedup percent.  A significance footer prints
+the pairwise t-tests of §IV.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.bench.tables import ConfigKey, TableData
+from repro.stats.speedup import format_speedup
+
+__all__ = ["render_table", "render_row"]
+
+_DISPLAY = {
+    "sequential": "Sequential TSMO",
+    "synchronous": "TSMO sync.",
+    "asynchronous": "TSMO async.",
+    "collaborative": "TSMO coll.",
+}
+
+_HEADER = (
+    f"{'Algorithm':<18} {'distance':>22} {'vehicles':>16} "
+    f"{'runtime':>18} {'coverage':>20} {'speedup':>10}"
+)
+
+
+def render_row(data: TableData, key: ConfigKey) -> str:
+    """One table row for a configuration."""
+    summary = data.summary(key)
+    name = _DISPLAY.get(key[0], key[0])
+    distance = f"{summary.distance:.2f}"
+    vehicles = f"{summary.vehicles:.2f}"
+    runtime = f"{summary.runtime:.2f}"
+    if key[0] == "sequential":
+        coverage = ""
+        speed = ""
+    else:
+        out_cov, in_cov = data.coverage_pair(key)
+        coverage = f"{out_cov * 100:.2f}% <-> {in_cov * 100:.2f}%"
+        speed = format_speedup(data.speedup_of(key))
+    return (
+        f"{name:<18} {distance:>22} {vehicles:>16} {runtime:>18} "
+        f"{coverage:>20} {speed:>10}"
+    )
+
+
+def render_table(data: TableData, *, title: str | None = None) -> str:
+    """Render the full table in the paper's block layout."""
+    buf = io.StringIO()
+    if title:
+        buf.write(title + "\n")
+    buf.write(_HEADER + "\n")
+    buf.write("-" * len(_HEADER) + "\n")
+    seq_key = ("sequential", 1)
+    buf.write(render_row(data, seq_key) + "\n")
+    blocks: dict[int, list[ConfigKey]] = {}
+    for key in data.configs():
+        if key == seq_key:
+            continue
+        blocks.setdefault(key[1], []).append(key)
+    for processors in sorted(blocks):
+        buf.write(f"{processors} processors\n")
+        for key in blocks[processors]:
+            buf.write(render_row(data, key) + "\n")
+    buf.write("\nPairwise t-tests on best feasible distance (vs sequential):\n")
+    for ttest in data.significance_report():
+        verdict = "significant" if ttest.significant() else "not significant"
+        buf.write(f"  {ttest}  -> {verdict} at 5%\n")
+    return buf.getvalue()

@@ -1,0 +1,127 @@
+"""The run matrix behind each table: algorithm × processors × instance × seed.
+
+:func:`run_table` executes the full protocol of one of Tables I–IV at
+the configured scale: for every generated instance of the table's
+class mix and every run seed, it runs the sequential baseline plus the
+three parallel variants at every processor count, all on the same
+simulated-cluster cost model, and collects everything into a
+:class:`~repro.bench.tables.TableData`.
+
+Seeding: run ``k`` of instance ``i`` uses a seed derived from
+``(config.seed, table, i, k)``, shared across algorithm
+configurations, so algorithms are compared on identical
+instance/initialization draws wherever the protocol allows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.config import BenchConfig
+from repro.bench.tables import TableData
+from repro.errors import BenchmarkError
+from repro.parallel.async_ts import AsyncParams, run_asynchronous_tsmo
+from repro.parallel.base import run_sequential_simulated
+from repro.parallel.collab_ts import CollabParams, run_collaborative_tsmo
+from repro.parallel.costmodel import CostModel
+from repro.parallel.sync_ts import run_synchronous_tsmo
+from repro.tabu.search import TSMOResult
+from repro.vrptw.catalog import instances_for_table
+from repro.vrptw.instance import Instance
+
+__all__ = ["run_table", "run_configuration", "ALGORITHMS"]
+
+ALGORITHMS = ("sequential", "synchronous", "asynchronous", "collaborative")
+
+
+def _run_seed(config: BenchConfig, table: str, instance_idx: int, run_idx: int) -> int:
+    """Deterministic per-run seed shared by all algorithm configs."""
+    table_no = int(table.removeprefix("table"))
+    return (
+        config.seed * 1_000_003 + table_no * 10_007 + instance_idx * 101 + run_idx
+    ) % (2**31 - 1)
+
+
+def run_configuration(
+    algorithm: str,
+    instance: Instance,
+    config: BenchConfig,
+    n_processors: int,
+    seed: int,
+    cost_model: CostModel | None = None,
+) -> TSMOResult:
+    """Run one algorithm configuration on one instance."""
+    params = config.tsmo_params()
+    if algorithm == "sequential":
+        return run_sequential_simulated(instance, params, seed, cost_model)
+    if algorithm == "synchronous":
+        return run_synchronous_tsmo(instance, params, n_processors, seed, cost_model)
+    if algorithm == "asynchronous":
+        return run_asynchronous_tsmo(
+            instance, params, n_processors, seed, cost_model, AsyncParams()
+        )
+    if algorithm == "collaborative":
+        return run_collaborative_tsmo(
+            instance,
+            params,
+            n_processors,
+            seed,
+            cost_model,
+            CollabParams(initial_phase_patience=config.collab_patience),
+        )
+    raise BenchmarkError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+
+
+def run_table(
+    table: str,
+    config: BenchConfig | None = None,
+    cost_model: CostModel | None = None,
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> TableData:
+    """Execute the full run matrix of one of the paper's tables."""
+    config = config or BenchConfig.from_env()
+    if cost_model is None:
+        # Keep the simulation dimensionally self-similar at reduced
+        # neighborhood sizes (see CostModel.for_neighborhood).
+        cost_model = CostModel().for_neighborhood(config.neighborhood_size)
+    specs = instances_for_table(
+        table, scale=config.city_fraction, replicates=config.replicates
+    )
+    data = TableData(table=table)
+    for instance_idx, spec in enumerate(specs):
+        instance = spec.build()
+        for run_idx in range(config.runs):
+            seed = _run_seed(config, table, instance_idx, run_idx)
+            for algorithm in ALGORITHMS:
+                proc_list = (1,) if algorithm == "sequential" else config.processors
+                for p in proc_list:
+                    if progress is not None:
+                        progress(
+                            f"{table}: {instance.name} run {run_idx + 1}/"
+                            f"{config.runs} {algorithm}@{p}"
+                        )
+                    result = run_configuration(
+                        algorithm, instance, config, p, seed, cost_model
+                    )
+                    data.add(result)
+    return data
+
+
+def table_front_reference(data: TableData) -> np.ndarray:
+    """The combined non-dominated reference front of every run in a
+    table (useful for hypervolume reporting in EXPERIMENTS.md)."""
+    from repro.mo.dominance import non_dominated_mask
+
+    fronts = [
+        r.feasible_front()
+        for key in data.configs()
+        for r in data.runs_of(key)
+        if r.feasible_front().size
+    ]
+    if not fronts:
+        return np.zeros((0, 3))
+    merged = np.vstack(fronts)
+    return merged[non_dominated_mask(merged)]

@@ -1,0 +1,112 @@
+"""JSON persistence for table experiments.
+
+Paper-scale runs (``REPRO_BENCH_SCALE=paper``) take a long time; this
+module lets the harness run once and re-render/re-analyze forever:
+:func:`save_table_data` writes every run's objective front and
+runtime/accounting metadata to a human-readable JSON file, and
+:func:`load_table_data` reconstructs a :class:`~repro.bench.tables.
+TableData` whose derived columns (quality, coverage, speedup, t-tests)
+are identical to the live one.  Solutions themselves are *not* stored
+(use :meth:`repro.tabu.search.TSMOResult.save` for that); the table
+machinery only ever reads objective vectors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.tables import TableData
+from repro.core.objectives import ObjectiveVector
+from repro.errors import BenchmarkError
+from repro.mo.archive import ArchiveEntry
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOResult
+
+__all__ = ["save_table_data", "load_table_data"]
+
+#: bumped when the on-disk layout changes.
+FORMAT_VERSION = 1
+
+
+def _result_record(result: TSMOResult) -> dict:
+    return {
+        "instance": result.instance_name,
+        "algorithm": result.algorithm,
+        "processors": result.processors,
+        "iterations": result.iterations,
+        "evaluations": result.evaluations,
+        "restarts": result.restarts,
+        "wall_time": result.wall_time,
+        "simulated_time": result.simulated_time,
+        "front": [
+            [e.objectives.distance, e.objectives.vehicles, e.objectives.tardiness]
+            for e in result.archive
+        ],
+        "params": {
+            "max_evaluations": result.params.max_evaluations,
+            "neighborhood_size": result.params.neighborhood_size,
+            "tabu_tenure": result.params.tabu_tenure,
+            "archive_capacity": result.params.archive_capacity,
+            "nondom_capacity": result.params.nondom_capacity,
+            "restart_after": result.params.restart_after,
+            "hard_time_windows": result.params.hard_time_windows,
+            "aspiration": result.params.aspiration,
+        },
+    }
+
+
+def _record_result(record: dict) -> TSMOResult:
+    params = TSMOParams(**record["params"])
+    archive = [
+        ArchiveEntry(None, ObjectiveVector(float(d), int(v), float(t)))
+        for d, v, t in record["front"]
+    ]
+    return TSMOResult(
+        instance_name=record["instance"],
+        algorithm=record["algorithm"],
+        params=params,
+        archive=archive,
+        iterations=record["iterations"],
+        evaluations=record["evaluations"],
+        restarts=record["restarts"],
+        wall_time=record["wall_time"],
+        simulated_time=record["simulated_time"],
+        processors=record["processors"],
+    )
+
+
+def save_table_data(data: TableData, path: str | Path) -> Path:
+    """Write a table experiment to JSON; returns the path."""
+    records = [
+        _result_record(result)
+        for key in data.results
+        for runs in data.results[key].values()
+        for result in runs
+    ]
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "table": data.table,
+        "n_runs": len(records),
+        "runs": records,
+    }
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return out
+
+
+def load_table_data(path: str | Path) -> TableData:
+    """Reload a table experiment written by :func:`save_table_data`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchmarkError(f"cannot read table data from {path}: {exc}") from exc
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise BenchmarkError(
+            f"{path} has format version {version}, expected {FORMAT_VERSION}"
+        )
+    data = TableData(table=payload["table"])
+    for record in payload["runs"]:
+        data.add(_record_result(record))
+    return data

@@ -1,0 +1,142 @@
+"""Table-row assembly: quality, runtime, coverage, speedup, t-tests.
+
+:class:`TableData` holds the full run matrix of one table experiment
+and computes the derived columns exactly as the paper describes:
+
+* quality and runtime as ``mean ± std`` over runs (feasible solutions
+  only for the quality columns);
+* the set-coverage pair — "The metric is computed by comparing each
+  run of a problem with all runs of another algorithm for that same
+  problem and averaging the result.  The final score is the average of
+  all runs of all problems compared against all runs of all problems
+  of all other algorithms";
+* speedup as ``Ts / Tp`` over mean runtimes, printed as a percent
+  improvement;
+* Welch pairwise t-tests on the distance samples (collaborative vs
+  sequential, synchronous vs sequential), reproducing the significance
+  discussion of §IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.mo.coverage import set_coverage
+from repro.stats.speedup import speedup
+from repro.stats.summary import AlgorithmSummary, summarize_results
+from repro.stats.ttest import TTestResult, pairwise_ttest
+from repro.tabu.search import TSMOResult
+
+__all__ = ["TableData", "ConfigKey"]
+
+ConfigKey = tuple[str, int]  # (algorithm, processors)
+
+#: display order of the algorithm configurations, as in the tables.
+_ALGO_ORDER = {"sequential": 0, "synchronous": 1, "asynchronous": 2, "collaborative": 3}
+
+
+@dataclass
+class TableData:
+    """All runs of one table experiment, indexed for the derived columns."""
+
+    table: str
+    #: results[(algorithm, processors)][instance_name] -> list of runs.
+    results: dict[ConfigKey, dict[str, list[TSMOResult]]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add(self, result: TSMOResult) -> None:
+        """Record one run."""
+        key = (result.algorithm, result.processors)
+        self.results.setdefault(key, {}).setdefault(result.instance_name, []).append(
+            result
+        )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def configs(self) -> list[ConfigKey]:
+        """Configurations in table display order."""
+        return sorted(
+            self.results,
+            key=lambda k: (k[1] if k[0] != "sequential" else 0, _ALGO_ORDER[k[0]]),
+        )
+
+    def runs_of(self, key: ConfigKey) -> list[TSMOResult]:
+        """All runs of a configuration, across instances."""
+        if key not in self.results:
+            raise BenchmarkError(f"no runs recorded for {key}")
+        return [r for runs in self.results[key].values() for r in runs]
+
+    # ------------------------------------------------------------------
+    # Derived columns
+    # ------------------------------------------------------------------
+    def summary(self, key: ConfigKey) -> AlgorithmSummary:
+        """Quality/runtime aggregation of one configuration."""
+        return summarize_results(self.runs_of(key))
+
+    def coverage_pair(self, key: ConfigKey) -> tuple[float, float]:
+        """The paper's two coverage percentages for one configuration.
+
+        First value: how much of the *other* algorithms' fronts this
+        configuration covers; second value: how much of this
+        configuration's fronts the others cover.  Averaged over all
+        run pairs of the same problem against all other configurations.
+        """
+        out_scores: list[float] = []
+        in_scores: list[float] = []
+        for other in self.results:
+            if other == key:
+                continue
+            for instance_name, own_runs in self.results[key].items():
+                other_runs = self.results[other].get(instance_name, [])
+                for own in own_runs:
+                    own_front = own.feasible_front()
+                    for theirs in other_runs:
+                        their_front = theirs.feasible_front()
+                        out_scores.append(set_coverage(own_front, their_front))
+                        in_scores.append(set_coverage(their_front, own_front))
+        if not out_scores:
+            raise BenchmarkError(f"no comparison partners for {key}")
+        return float(np.mean(out_scores)), float(np.mean(in_scores))
+
+    def speedup_of(self, key: ConfigKey) -> float:
+        """``Ts / Tp`` of a parallel configuration vs the sequential rows."""
+        seq_key = ("sequential", 1)
+        seq_times = [
+            r.simulated_time
+            for r in self.runs_of(seq_key)
+            if r.simulated_time is not None
+        ]
+        par_times = [
+            r.simulated_time for r in self.runs_of(key) if r.simulated_time is not None
+        ]
+        if not seq_times or not par_times:
+            raise BenchmarkError("speedup needs simulated runtimes on both sides")
+        return speedup(seq_times, par_times)
+
+    def ttest(self, key_a: ConfigKey, key_b: ConfigKey) -> TTestResult:
+        """Welch t-test on best-feasible distances of two configurations."""
+        sample_a = self.summary(key_a).distance_samples
+        sample_b = self.summary(key_b).distance_samples
+        return pairwise_ttest(
+            sample_a,
+            sample_b,
+            label_a=f"{key_a[0]}@{key_a[1]}",
+            label_b=f"{key_b[0]}@{key_b[1]}",
+        )
+
+    def significance_report(self) -> list[TTestResult]:
+        """The paper's §IV comparisons: collaborative-vs-sequential and
+        synchronous-vs-sequential at every processor count."""
+        seq = ("sequential", 1)
+        out: list[TTestResult] = []
+        for key in self.configs():
+            if key == seq or key[0] == "asynchronous":
+                continue
+            out.append(self.ttest(key, seq))
+        return out

@@ -1,0 +1,36 @@
+"""Solutions, objectives, evaluation, construction and neighborhood operators.
+
+This subpackage implements section II of the paper: the permutation
+representation (§II.A), the three objectives ``f1`` (total travel
+distance), ``f2`` (deployed vehicles) and ``f3`` (total tardiness), the
+five neighborhood operators with their local feasibility criterion
+(§II.B), and the Solomon I1 route-construction heuristic used to seed
+the search (§III.B).
+"""
+
+from repro.core.construction import I1Params, i1_construct
+from repro.core.evaluation import Evaluator, evaluate
+from repro.core.fleet_reduction import FleetReductionResult, reduce_fleet
+from repro.core.local_search import LocalSearchResult, ScalarWeights, local_search
+from repro.core.objectives import FEASIBILITY_TOLERANCE, ObjectiveVector
+from repro.core.routes import RouteSchedule, RouteStats, route_schedule, route_stats
+from repro.core.solution import Solution
+
+__all__ = [
+    "Evaluator",
+    "FEASIBILITY_TOLERANCE",
+    "FleetReductionResult",
+    "I1Params",
+    "LocalSearchResult",
+    "ObjectiveVector",
+    "RouteSchedule",
+    "RouteStats",
+    "ScalarWeights",
+    "Solution",
+    "evaluate",
+    "i1_construct",
+    "local_search",
+    "reduce_fleet",
+    "route_schedule",
+    "route_stats",
+]

@@ -1,0 +1,274 @@
+"""Solomon's I1 route-construction heuristic (paper §III.B).
+
+"The algorithm starts by generating an initial solution, specifically
+to the CVRPTW the I1-heuristic with randomly chosen parameters was
+used. ... [It] starts with either the customer with the earliest
+deadline or the one farthest away, this parameter was controlled
+randomly.  It adds customers based on a savings value that computes
+the additional distance as well as time windows that the insertion of
+a customer will cost."
+
+This is the classic sequential insertion heuristic of Solomon (1987):
+
+* open a route with a *seed* customer (farthest from the depot or
+  earliest due date);
+* for every unrouted customer, find its cheapest *feasible* insertion
+  position by the cost
+
+  ``c1(i, u, j) = α1 · (t(i,u) + t(u,j) − μ · t(i,j)) + α2 · (b'_j − b_j)``
+
+  where ``b_j`` is the service-begin time at ``j`` before insertion and
+  ``b'_j`` after (the time-window cost);
+* insert the customer maximizing ``c2(u) = λ · t(0,u) − c1(u)`` — the
+  one that would be most expensive to serve on its own;
+* when no unrouted customer fits, close the route and seed a new one.
+
+Feasibility during construction is *hard*: an insertion is admitted
+only if no due date on the route (including the depot return) is
+violated, checked with the standard push-forward propagation.  Should
+the fleet run out before all customers are routed (possible at extreme
+parameter draws), the remainder is placed by cheapest capacity-feasible
+insertion with time windows relaxed — the search operates with soft
+windows anyway, and the tabu search quickly repairs such seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.rng import as_generator
+from repro.vrptw.instance import Instance
+
+__all__ = ["I1Params", "i1_construct"]
+
+
+@dataclass(frozen=True, slots=True)
+class I1Params:
+    """Parameters of the I1 insertion heuristic.
+
+    ``alpha1 + alpha2`` must equal 1 (they trade off detour distance
+    against time-window displacement inside ``c1``).
+    """
+
+    alpha1: float = 0.5
+    alpha2: float = 0.5
+    lam: float = 1.0
+    mu: float = 1.0
+    seed_rule: str = "farthest"  # or "earliest_deadline"
+
+    def __post_init__(self) -> None:
+        if not np.isclose(self.alpha1 + self.alpha2, 1.0):
+            raise SearchError(
+                f"alpha1 + alpha2 must be 1, got {self.alpha1} + {self.alpha2}"
+            )
+        if self.alpha1 < 0 or self.alpha2 < 0:
+            raise SearchError("alpha weights must be non-negative")
+        if self.seed_rule not in ("farthest", "earliest_deadline"):
+            raise SearchError(
+                f"seed_rule must be 'farthest' or 'earliest_deadline', "
+                f"got {self.seed_rule!r}"
+            )
+
+    @classmethod
+    def random(cls, rng: np.random.Generator) -> "I1Params":
+        """Draw randomized parameters, as the paper does per run."""
+        alpha1 = float(rng.random())
+        return cls(
+            alpha1=alpha1,
+            alpha2=1.0 - alpha1,
+            lam=float(rng.uniform(1.0, 2.0)),
+            mu=1.0,
+            seed_rule="farthest" if rng.random() < 0.5 else "earliest_deadline",
+        )
+
+
+def _begin_times(instance: Instance, route: list[int]) -> list[float]:
+    """Service-begin time at each customer of the route."""
+    begins: list[float] = []
+    time = 0.0
+    prev = 0
+    travel = instance._travel_rows
+    ready = instance._ready_l
+    service = instance._service_l
+    for site in route:
+        time += travel[prev][site]
+        if time < ready[site]:
+            time = ready[site]
+        begins.append(time)
+        time += service[site]
+        prev = site
+    return begins
+
+
+def _insertion_feasible_and_shift(
+    instance: Instance, route: list[int], begins: list[float], pos: int, u: int
+) -> tuple[bool, float]:
+    """Hard-TW feasibility of inserting ``u`` before position ``pos``.
+
+    Returns ``(feasible, begin_shift_at_j)`` where the shift is the
+    increase of the service-begin time at the old customer ``j``
+    following the insertion point (0 when inserting at the end) — the
+    time-window term of ``c1``.
+
+    Uses push-forward propagation: the insertion is feasible iff ``u``
+    meets its own due date and no downstream begin time (nor the depot
+    return) is pushed past its due date.
+    """
+    travel = instance._travel_rows
+    ready = instance._ready_l
+    due = instance._due_l
+    service = instance._service_l
+
+    prev = route[pos - 1] if pos > 0 else 0
+    depart_prev = (begins[pos - 1] + service[route[pos - 1]]) if pos > 0 else 0.0
+    arrival_u = depart_prev + travel[prev][u]
+    if arrival_u > due[u]:
+        return False, 0.0
+    begin_u = max(arrival_u, ready[u])
+    depart_u = begin_u + service[u]
+
+    if pos == len(route):
+        # u becomes the last stop; only the depot return is affected.
+        if depart_u + travel[u][0] > due[0]:
+            return False, 0.0
+        return True, 0.0
+
+    j = route[pos]
+    new_arrival_j = depart_u + travel[u][j]
+    if new_arrival_j > due[j]:
+        return False, 0.0
+    new_begin_j = max(new_arrival_j, ready[j])
+    shift = new_begin_j - begins[pos]
+    # Propagate the push-forward; waiting absorbs it, so it shrinks.
+    push = shift
+    k = pos
+    depart = new_begin_j + service[j]
+    while push > 1e-12:
+        k += 1
+        if k == len(route):
+            if depart + travel[route[k - 1]][0] > due[0]:
+                return False, 0.0
+            break
+        site = route[k]
+        arrival = depart + travel[route[k - 1]][site]
+        if arrival > due[site]:
+            return False, 0.0
+        new_begin = max(arrival, ready[site])
+        push = new_begin - begins[k]
+        depart = new_begin + service[site]
+    return True, shift
+
+
+def _select_seed(instance: Instance, unrouted: set[int], rule: str) -> int:
+    travel0 = instance._travel_rows[0]
+    if rule == "farthest":
+        return max(unrouted, key=lambda c: travel0[c])
+    return min(unrouted, key=lambda c: instance._due_l[c])
+
+
+def i1_construct(
+    instance: Instance,
+    params: I1Params | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> Solution:
+    """Build an initial solution with the I1 heuristic.
+
+    When ``params`` is ``None``, randomized parameters are drawn from
+    ``rng`` exactly as the paper prescribes.
+    """
+    generator = as_generator(rng)
+    if params is None:
+        params = I1Params.random(generator)
+
+    travel = instance._travel_rows
+    demand = instance._demand_l
+    capacity = instance.capacity
+    unrouted: set[int] = set(range(1, instance.n_customers + 1))
+    routes: list[list[int]] = []
+
+    while unrouted and len(routes) < instance.n_vehicles:
+        seed = _select_seed(instance, unrouted, params.seed_rule)
+        unrouted.discard(seed)
+        route = [seed]
+        load = demand[seed]
+        while True:
+            begins = _begin_times(instance, route)
+            best_u = -1
+            best_pos = -1
+            best_c1 = 0.0
+            best_c2 = -np.inf
+            for u in unrouted:
+                if load + demand[u] > capacity:
+                    continue
+                u_best_c1 = np.inf
+                u_best_pos = -1
+                for pos in range(len(route) + 1):
+                    feasible, shift = _insertion_feasible_and_shift(
+                        instance, route, begins, pos, u
+                    )
+                    if not feasible:
+                        continue
+                    i = route[pos - 1] if pos > 0 else 0
+                    j = route[pos] if pos < len(route) else 0
+                    detour = travel[i][u] + travel[u][j] - params.mu * travel[i][j]
+                    c1 = params.alpha1 * detour + params.alpha2 * shift
+                    if c1 < u_best_c1:
+                        u_best_c1 = c1
+                        u_best_pos = pos
+                if u_best_pos < 0:
+                    continue
+                c2 = params.lam * travel[0][u] - u_best_c1
+                if c2 > best_c2:
+                    best_c2 = c2
+                    best_u = u
+                    best_pos = u_best_pos
+                    best_c1 = u_best_c1
+            if best_u < 0:
+                break
+            route.insert(best_pos, best_u)
+            load += demand[best_u]
+            unrouted.discard(best_u)
+        routes.append(route)
+
+    if unrouted:
+        _fallback_insert(instance, routes, unrouted)
+
+    return Solution.from_routes(instance, routes)
+
+
+def _fallback_insert(
+    instance: Instance, routes: list[list[int]], unrouted: set[int]
+) -> None:
+    """Place leftover customers by cheapest capacity-feasible insertion.
+
+    Time windows are relaxed here (the search uses soft windows); the
+    resulting tardiness is simply part of ``f3`` for the seed solution.
+    """
+    travel = instance._travel_rows
+    demand = instance._demand_l
+    capacity = instance.capacity
+    loads = [sum(demand[c] for c in r) for r in routes]
+    for u in sorted(unrouted, key=lambda c: -demand[c]):
+        best: tuple[float, int, int] | None = None
+        for r, route in enumerate(routes):
+            if loads[r] + demand[u] > capacity:
+                continue
+            for pos in range(len(route) + 1):
+                i = route[pos - 1] if pos > 0 else 0
+                j = route[pos] if pos < len(route) else 0
+                delta = travel[i][u] + travel[u][j] - travel[i][j]
+                if best is None or delta < best[0]:
+                    best = (delta, r, pos)
+        if best is None:
+            raise SearchError(
+                f"cannot place customer {u}: every vehicle is at capacity "
+                f"(fleet R={instance.n_vehicles}, capacity={capacity})"
+            )
+        _, r, pos = best
+        routes[r].insert(pos, u)
+        loads[r] += demand[u]
+    unrouted.clear()

@@ -1,0 +1,144 @@
+"""Targeted fleet reduction: try to empty a route entirely.
+
+The paper's objective ``f2`` pushes the search toward fewer vehicles,
+but the TSMO only ever shrinks the fleet when a random relocate or
+2-opt* happens to empty a route.  This module provides the classic
+*directed* version (a standard VRPTW post-processing step): pick the
+route with the fewest customers, attempt to re-insert each of its
+customers into the other routes (cheapest feasible position first),
+and commit only if the whole route empties.  Repeat until no route can
+be eliminated.
+
+Feasibility during re-insertion is configurable:
+
+* ``"hard"`` — insertions must not create tardiness anywhere
+  (push-forward check, like I1);
+* ``"soft"`` — insertions only respect capacity and the paper's local
+  criterion; any tardiness created is reported so the caller (or a
+  subsequent TSMO run) can repair it.
+
+Used by ``examples/fleet_tradeoff.py``-style workflows and benchmarked
+as an ablation of where the f2 pressure should live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.construction import _begin_times, _insertion_feasible_and_shift
+from repro.core.operators.feasibility import insertion_admissible
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.vrptw.instance import Instance
+
+__all__ = ["FleetReductionResult", "reduce_fleet"]
+
+
+@dataclass
+class FleetReductionResult:
+    """Outcome of a fleet-reduction pass."""
+
+    solution: Solution
+    routes_removed: int
+    customers_moved: int
+    #: tardiness added by soft-mode insertions (0.0 in hard mode).
+    tardiness_added: float
+
+
+def _best_insertion(
+    instance: Instance,
+    routes: list[list[int]],
+    loads: list[float],
+    skip: int,
+    customer: int,
+    mode: str,
+) -> tuple[int, int] | None:
+    """Cheapest admissible insertion of ``customer`` outside route ``skip``."""
+    travel = instance._travel_rows
+    demand = instance._demand_l
+    best: tuple[float, int, int] | None = None
+    for ri, route in enumerate(routes):
+        if ri == skip:
+            continue
+        if loads[ri] + demand[customer] > instance.capacity:
+            continue
+        begins = _begin_times(instance, route) if mode == "hard" else None
+        for pos in range(len(route) + 1):
+            i = route[pos - 1] if pos > 0 else 0
+            j = route[pos] if pos < len(route) else 0
+            if mode == "hard":
+                feasible, _ = _insertion_feasible_and_shift(
+                    instance, route, begins, pos, customer
+                )
+                if not feasible:
+                    continue
+            else:
+                if not insertion_admissible(instance, i, customer, j):
+                    continue
+            delta = travel[i][customer] + travel[customer][j] - travel[i][j]
+            if best is None or delta < best[0]:
+                best = (delta, ri, pos)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def reduce_fleet(solution: Solution, *, mode: str = "hard") -> FleetReductionResult:
+    """Repeatedly try to eliminate the smallest route.
+
+    Returns the (possibly unchanged) solution; the original is never
+    mutated.  ``mode="hard"`` guarantees the result has no more
+    tardiness than the input.
+    """
+    if mode not in ("hard", "soft"):
+        raise SearchError(f"mode must be 'hard' or 'soft', got {mode!r}")
+    instance = solution.instance
+    demand = instance._demand_l
+    routes = [list(r) for r in solution.routes]
+    loads = [sum(demand[c] for c in r) for r in routes]
+    before_tardiness = solution.objectives.tardiness
+
+    removed = 0
+    moved = 0
+    progress = True
+    while progress and len(routes) > 1:
+        progress = False
+        order = sorted(range(len(routes)), key=lambda ri: len(routes[ri]))
+        for victim in order:
+            trial_routes = [list(r) for r in routes]
+            trial_loads = list(loads)
+            ok = True
+            placed = 0
+            # Hardest-to-place (largest demand) first.
+            for customer in sorted(trial_routes[victim], key=lambda c: -demand[c]):
+                slot = _best_insertion(
+                    instance, trial_routes, trial_loads, victim, customer, mode
+                )
+                if slot is None:
+                    ok = False
+                    break
+                ri, pos = slot
+                trial_routes[ri].insert(pos, customer)
+                trial_loads[ri] += demand[customer]
+                placed += 1
+            if ok:
+                del trial_routes[victim]
+                del trial_loads[victim]
+                routes, loads = trial_routes, trial_loads
+                removed += 1
+                moved += placed
+                progress = True
+                break
+
+    if removed == 0:
+        return FleetReductionResult(
+            solution=solution, routes_removed=0, customers_moved=0, tardiness_added=0.0
+        )
+    reduced = Solution.from_routes(instance, routes)
+    added = max(reduced.objectives.tardiness - before_tardiness, 0.0)
+    return FleetReductionResult(
+        solution=reduced,
+        routes_removed=removed,
+        customers_moved=moved,
+        tardiness_added=added,
+    )

@@ -1,0 +1,79 @@
+"""Objective vectors for the three-objective CVRPTW formulation.
+
+The paper optimizes (§II):
+
+* ``f1`` — total tour length over the giant permutation (sum of travel
+  costs along consecutive sites, depot legs included);
+* ``f2`` — number of vehicles actually deployed, i.e. the number of
+  positions where a depot marker is followed by a customer;
+* ``f3`` — total tardiness: sum over all sites of
+  ``max(arrival - due_date, 0)`` (the soft-time-window constraint
+  violation, including late return to the depot).
+
+All objectives are minimized.  A solution is *feasible* in the paper's
+reporting sense when it violates neither time windows nor capacities;
+with the operators used here capacity violations cannot occur, so
+feasibility reduces to ``f3 == 0`` (up to floating-point tolerance).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = ["FEASIBILITY_TOLERANCE", "ObjectiveVector"]
+
+#: Tardiness at or below this value counts as zero (pure float noise).
+FEASIBILITY_TOLERANCE = 1e-9
+
+
+class ObjectiveVector(NamedTuple):
+    """The objective triple ``(f1, f2, f3)`` of one solution.
+
+    Being a ``NamedTuple`` it compares lexicographically, unpacks, and
+    converts to a numpy row for the Pareto machinery via
+    :meth:`as_array`.  Dominance is intentionally *not* defined by
+    ``<`` — use :func:`repro.mo.dominance.dominates`.
+    """
+
+    distance: float
+    vehicles: int
+    tardiness: float
+
+    def as_array(self) -> np.ndarray:
+        """Return the vector as a float64 array ``[f1, f2, f3]``."""
+        return np.array([self.distance, float(self.vehicles), self.tardiness])
+
+    @property
+    def feasible(self) -> bool:
+        """True when the solution violates no time window (``f3 ~ 0``)."""
+        return self.tardiness <= FEASIBILITY_TOLERANCE
+
+    def dominates(self, other: "ObjectiveVector") -> bool:
+        """Pareto dominance: no worse in all objectives, better in one."""
+        if (
+            self.distance > other.distance
+            or self.vehicles > other.vehicles
+            or self.tardiness > other.tardiness
+        ):
+            return False
+        return (
+            self.distance < other.distance
+            or self.vehicles < other.vehicles
+            or self.tardiness < other.tardiness
+        )
+
+    def weakly_dominates(self, other: "ObjectiveVector") -> bool:
+        """Weak dominance: no worse in all objectives (equality allowed)."""
+        return (
+            self.distance <= other.distance
+            and self.vehicles <= other.vehicles
+            and self.tardiness <= other.tardiness
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ObjectiveVector(distance={self.distance:.2f}, "
+            f"vehicles={self.vehicles}, tardiness={self.tardiness:.2f})"
+        )

@@ -1,0 +1,48 @@
+"""The five neighborhood operators of the paper (§II.B).
+
+Each operator proposes random *moves* that transform one solution into
+a neighbor, subject to a *local feasibility criterion* that rejects
+manipulations which obviously violate time windows at the insertion
+point or would overload a vehicle.  The criterion is intentionally weak
+("weak enough that solutions with time window violations occur and
+strong enough that the algorithm could find back"): it checks only the
+newly created adjacencies using ready times, not full schedules.
+
+Operators:
+
+* :class:`~repro.core.operators.relocate.Relocate` — move one customer
+  to another route ((1,0) λ-interchange);
+* :class:`~repro.core.operators.exchange.Exchange` — swap two customers
+  of different routes ((1,1) λ-interchange);
+* :class:`~repro.core.operators.two_opt.TwoOpt` — reverse a tour
+  segment;
+* :class:`~repro.core.operators.two_opt_star.TwoOptStar` — cross the
+  tails of two tours;
+* :class:`~repro.core.operators.or_opt.OrOpt` — move two consecutive
+  customers elsewhere in the same tour.
+"""
+
+from repro.core.operators.base import Move, Operator
+from repro.core.operators.exchange import Exchange, ExchangeMove
+from repro.core.operators.or_opt import OrOpt, OrOptMove
+from repro.core.operators.registry import OperatorRegistry, default_registry
+from repro.core.operators.relocate import Relocate, RelocateMove
+from repro.core.operators.two_opt import TwoOpt, TwoOptMove
+from repro.core.operators.two_opt_star import TwoOptStar, TwoOptStarMove
+
+__all__ = [
+    "Exchange",
+    "ExchangeMove",
+    "Move",
+    "Operator",
+    "OperatorRegistry",
+    "OrOpt",
+    "OrOptMove",
+    "Relocate",
+    "RelocateMove",
+    "TwoOpt",
+    "TwoOptMove",
+    "TwoOptStar",
+    "TwoOptStarMove",
+    "default_registry",
+]

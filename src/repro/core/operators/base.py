@@ -1,0 +1,81 @@
+"""Operator and move protocol.
+
+A :class:`Move` is a small immutable record describing one neighborhood
+transformation of a specific parent solution.  It can
+
+* :meth:`~Move.apply` itself, producing the neighbor solution with
+  incremental route-statistics reuse, and
+* report its tabu :meth:`~Move.attribute` — the hashable key stored in
+  the tabu list when the move is made and checked when a candidate is
+  screened.  We use ``(operator name, frozenset of moved customers)``:
+  once a customer has been moved by an operator, moving it again with
+  the same operator is forbidden for *tenure* iterations, which
+  realizes the paper's "forbids to make moves towards a configuration
+  that it had already visited before" at move granularity.
+
+An :class:`Operator` draws random moves from a parent solution.  It may
+fail (return ``None``) when the random draw hits the local feasibility
+criterion; the registry then redraws, matching §III.B: "If the operator
+was unable to find a suitable move ... a new random number is drawn and
+possibly a different operator is selected."
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.solution import Solution
+
+__all__ = ["Move", "Operator"]
+
+
+class Move(abc.ABC):
+    """One candidate transformation of a specific parent solution."""
+
+    __slots__ = ()
+
+    #: short operator tag used in tabu attributes and traces.
+    name: str = "move"
+
+    @abc.abstractmethod
+    def apply(self, solution: Solution) -> Solution:
+        """Produce the neighbor solution.
+
+        ``solution`` must be the parent the move was proposed for; route
+        indices and positions inside the move refer to it.
+        """
+
+    @property
+    @abc.abstractmethod
+    def attribute(self) -> Hashable:
+        """The tabu attribute identifying this move's family."""
+
+    def is_tabu(self, tabu_attributes: "set[Hashable] | frozenset[Hashable]") -> bool:
+        """Check this move against a set of forbidden attributes."""
+        return self.attribute in tabu_attributes
+
+
+class Operator(abc.ABC):
+    """A random-move generator over solutions."""
+
+    #: unique operator identifier (also used in tabu attributes).
+    name: str = "operator"
+
+    #: how many random draws :meth:`propose` makes before giving up; the
+    #: registry treats ``None`` as "redraw the operator wheel".
+    max_attempts: int = 8
+
+    @abc.abstractmethod
+    def propose(self, solution: Solution, rng: np.random.Generator) -> Move | None:
+        """Draw one random move satisfying the local feasibility criterion.
+
+        Returns ``None`` when no suitable move was found within
+        :attr:`max_attempts` draws (e.g. the solution has a single route
+        and the operator needs two).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

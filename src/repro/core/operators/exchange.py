@@ -1,0 +1,93 @@
+"""Exchange — the (1,1) λ-interchange of Osman (paper §II.B).
+
+Swaps two customers that sit on *different* routes.  Both insertion
+points are screened with the local feasibility criterion and both
+receiving routes must stay within capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.operators.base import Move, Operator
+from repro.core.operators.feasibility import insertion_admissible
+from repro.core.solution import Solution
+from repro.errors import OperatorError
+
+__all__ = ["Exchange", "ExchangeMove"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExchangeMove(Move):
+    """Swap ``customer_a`` (route ``route_a``) with ``customer_b`` (route ``route_b``)."""
+
+    customer_a: int
+    route_a: int
+    pos_a: int
+    customer_b: int
+    route_b: int
+    pos_b: int
+
+    name = "exchange"
+
+    def apply(self, solution: Solution) -> Solution:
+        ra = solution.routes[self.route_a]
+        rb = solution.routes[self.route_b]
+        if ra[self.pos_a] != self.customer_a or rb[self.pos_b] != self.customer_b:
+            raise OperatorError("stale exchange move: customers moved since proposal")
+        new_a = ra[: self.pos_a] + (self.customer_b,) + ra[self.pos_a + 1 :]
+        new_b = rb[: self.pos_b] + (self.customer_a,) + rb[self.pos_b + 1 :]
+        return solution.derive({self.route_a: new_a, self.route_b: new_b})
+
+    @property
+    def attribute(self) -> Hashable:
+        return ("exchange", frozenset((self.customer_a, self.customer_b)))
+
+
+class Exchange(Operator):
+    """Random exchange proposals under the local feasibility criterion."""
+
+    name = "exchange"
+
+    def propose(
+        self, solution: Solution, rng: np.random.Generator
+    ) -> ExchangeMove | None:
+        instance = solution.instance
+        if solution.n_routes < 2:
+            return None
+        capacity = instance.capacity
+        demand = instance._demand_l
+        for _ in range(self.max_attempts):
+            a = int(rng.integers(1, instance.n_customers + 1))
+            b = int(rng.integers(1, instance.n_customers + 1))
+            route_a, pos_a = solution.locate(a)
+            route_b, pos_b = solution.locate(b)
+            if route_a == route_b:
+                continue
+            ra = solution.routes[route_a]
+            rb = solution.routes[route_b]
+            delta = demand[a] - demand[b]
+            if solution.route_stats(route_b).load + delta > capacity:
+                continue
+            if solution.route_stats(route_a).load - delta > capacity:
+                continue
+            # b must fit between a's neighbors, a between b's neighbors.
+            ia = ra[pos_a - 1] if pos_a > 0 else 0
+            ja = ra[pos_a + 1] if pos_a + 1 < len(ra) else 0
+            ib = rb[pos_b - 1] if pos_b > 0 else 0
+            jb = rb[pos_b + 1] if pos_b + 1 < len(rb) else 0
+            if insertion_admissible(instance, ia, b, ja) and insertion_admissible(
+                instance, ib, a, jb
+            ):
+                return ExchangeMove(
+                    customer_a=a,
+                    route_a=route_a,
+                    pos_a=pos_a,
+                    customer_b=b,
+                    route_b=route_b,
+                    pos_b=pos_b,
+                )
+        return None

@@ -1,0 +1,69 @@
+"""The local feasibility criterion (paper §II.B).
+
+The paper adds a cheap screen to every operator: "it was not allowed to
+insert a customer k between two other customers i and j, if either
+``a_i + c_i + t_{i,k} > b_k`` or ``a_k + c_k + t_{k,j} > b_j`` were
+satisfied or the demand of that route exceeds m."
+
+Note the check uses *ready times* ``a`` rather than actual arrival
+times — it is a local, schedule-free necessary-ish condition.  It is
+deliberately weak (solutions with time-window violations still occur,
+keeping the soft-TW search space open) yet strong enough to keep the
+trajectory near the feasible region.
+
+For operators that create new adjacencies without a literal insertion
+(2-opt, 2-opt*), the same formula is applied per created edge:
+an edge ``u -> v`` is locally admissible iff
+``a_u + c_u + t_{u,v} <= b_v``.  The depot participates with
+``a_0 = c_0 = 0`` and ``b_0 = horizon``.
+
+Capacity is always enforced on every route an operator rebuilds, which
+is why (paper §II) "because of the design of the operators, this
+violation could not occur".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.vrptw.instance import Instance
+
+__all__ = ["edge_admissible", "insertion_admissible", "segment_insertion_admissible"]
+
+
+def edge_admissible(instance: Instance, u: int, v: int) -> bool:
+    """Local admissibility of the directed edge ``u -> v``.
+
+    ``a_u + c_u + t_{u,v} <= b_v`` with the depot as site 0.
+    """
+    ready = instance._ready_l
+    service = instance._service_l
+    due = instance._due_l
+    return ready[u] + service[u] + instance._travel_rows[u][v] <= due[v]
+
+
+def insertion_admissible(instance: Instance, i: int, k: int, j: int) -> bool:
+    """Local admissibility of inserting customer ``k`` between ``i`` and ``j``.
+
+    This is the paper's criterion verbatim (both created edges must be
+    admissible); capacity is checked separately by the operator because
+    it depends on the whole receiving route.
+    """
+    return edge_admissible(instance, i, k) and edge_admissible(instance, k, j)
+
+
+def segment_insertion_admissible(
+    instance: Instance, i: int, segment: Sequence[int], j: int
+) -> bool:
+    """Local admissibility of inserting a customer segment between ``i`` and ``j``.
+
+    Generalizes the criterion to or-opt's two-customer segment: the
+    entering edge ``i -> segment[0]`` and the leaving edge
+    ``segment[-1] -> j`` must both be admissible (the segment's internal
+    edges already existed in the parent solution).
+    """
+    if not segment:
+        return True
+    return edge_admissible(instance, i, segment[0]) and edge_admissible(
+        instance, segment[-1], j
+    )

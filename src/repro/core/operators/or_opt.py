@@ -1,0 +1,90 @@
+"""Or-opt — move two consecutive customers within their tour (paper §II.B).
+
+"or-opt moves two consecutive customers to a different place in the
+same tour."  The pair keeps its internal order; only the entering and
+leaving edges are new, so only those are screened by the local
+feasibility criterion.  Capacity is untouched (same route).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.operators.base import Move, Operator
+from repro.core.operators.feasibility import segment_insertion_admissible
+from repro.core.solution import Solution
+from repro.errors import OperatorError
+
+__all__ = ["OrOpt", "OrOptMove"]
+
+#: The segment length Or-opt relocates (the paper fixes it at 2).
+SEGMENT_LENGTH = 2
+
+
+@dataclass(frozen=True, slots=True)
+class OrOptMove(Move):
+    """Move ``route[start : start+2]`` to position ``insert_at`` of the remainder.
+
+    ``insert_at`` indexes into the route *after* removing the segment.
+    """
+
+    route_index: int
+    start: int
+    insert_at: int
+    segment: tuple[int, ...]
+
+    name = "oropt"
+
+    def apply(self, solution: Solution) -> Solution:
+        route = solution.routes[self.route_index]
+        end = self.start + SEGMENT_LENGTH
+        if route[self.start : end] != self.segment:
+            raise OperatorError("stale or-opt move: segment no longer in place")
+        remainder = route[: self.start] + route[end:]
+        new_route = (
+            remainder[: self.insert_at] + self.segment + remainder[self.insert_at :]
+        )
+        return solution.derive({self.route_index: new_route})
+
+    @property
+    def attribute(self) -> Hashable:
+        return ("oropt", frozenset(self.segment))
+
+
+class OrOpt(Operator):
+    """Random intra-route pair-relocation proposals."""
+
+    name = "oropt"
+
+    def propose(self, solution: Solution, rng: np.random.Generator) -> OrOptMove | None:
+        instance = solution.instance
+        # Need at least 3 customers on the route: a pair plus at least
+        # one alternative insertion point.
+        eligible = [
+            i for i, r in enumerate(solution.routes) if len(r) >= SEGMENT_LENGTH + 1
+        ]
+        if not eligible:
+            return None
+        for _ in range(self.max_attempts):
+            route_index = eligible[int(rng.integers(len(eligible)))]
+            route = solution.routes[route_index]
+            n = len(route)
+            start = int(rng.integers(0, n - SEGMENT_LENGTH + 1))
+            segment = route[start : start + SEGMENT_LENGTH]
+            remainder = route[:start] + route[start + SEGMENT_LENGTH :]
+            insert_at = int(rng.integers(0, len(remainder) + 1))
+            if insert_at == start:
+                continue  # reproduces the parent route
+            i = remainder[insert_at - 1] if insert_at > 0 else 0
+            j = remainder[insert_at] if insert_at < len(remainder) else 0
+            if segment_insertion_admissible(instance, i, segment, j):
+                return OrOptMove(
+                    route_index=route_index,
+                    start=start,
+                    insert_at=insert_at,
+                    segment=segment,
+                )
+        return None

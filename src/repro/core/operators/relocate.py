@@ -1,0 +1,123 @@
+"""Relocate — the (1,0) λ-interchange of Osman (paper §II.B).
+
+Moves one customer from its route to a position in *another* route (or
+into a previously unused vehicle, which is how the search can re-open a
+route while repairing heavy tardiness).  Emptying a source route is how
+the vehicle count ``f2`` goes down, so this operator carries most of
+the fleet-minimization pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.operators.base import Move, Operator
+from repro.core.operators.feasibility import insertion_admissible
+from repro.core.solution import Solution
+from repro.errors import OperatorError
+
+__all__ = ["Relocate", "RelocateMove"]
+
+#: Destination index meaning "open a new route with an unused vehicle".
+NEW_ROUTE = -1
+
+
+@dataclass(frozen=True, slots=True)
+class RelocateMove(Move):
+    """Move ``customer`` from ``src_route`` to ``dst_route`` at ``dst_pos``.
+
+    ``dst_route == NEW_ROUTE`` opens a fresh single-customer route.
+    """
+
+    customer: int
+    src_route: int
+    src_pos: int
+    dst_route: int
+    dst_pos: int
+
+    name = "relocate"
+
+    def apply(self, solution: Solution) -> Solution:
+        src = solution.routes[self.src_route]
+        if src[self.src_pos] != self.customer:
+            raise OperatorError(
+                f"stale move: customer {self.customer} not at "
+                f"route {self.src_route} position {self.src_pos}"
+            )
+        new_src = src[: self.src_pos] + src[self.src_pos + 1 :]
+        if self.dst_route == NEW_ROUTE:
+            return solution.derive(
+                {self.src_route: new_src}, added=[(self.customer,)]
+            )
+        dst = solution.routes[self.dst_route]
+        new_dst = dst[: self.dst_pos] + (self.customer,) + dst[self.dst_pos :]
+        return solution.derive({self.src_route: new_src, self.dst_route: new_dst})
+
+    @property
+    def attribute(self) -> Hashable:
+        return ("relocate", self.customer)
+
+
+class Relocate(Operator):
+    """Random relocate proposals under the local feasibility criterion."""
+
+    name = "relocate"
+
+    def __init__(self, *, allow_new_route: bool = True) -> None:
+        #: when True (default) the destination wheel includes opening a
+        #: new route, provided unused vehicles remain.
+        self.allow_new_route = allow_new_route
+
+    def propose(
+        self, solution: Solution, rng: np.random.Generator
+    ) -> RelocateMove | None:
+        instance = solution.instance
+        n_routes = solution.n_routes
+        if n_routes == 0:
+            return None
+        new_route_ok = self.allow_new_route and solution.vehicle_slack > 0
+        if n_routes == 1 and not new_route_ok:
+            return None
+        capacity = instance.capacity
+        demand = instance._demand_l
+        for _ in range(self.max_attempts):
+            customer = int(rng.integers(1, instance.n_customers + 1))
+            src_route, src_pos = solution.locate(customer)
+            # Destination wheel: every other route, plus possibly "new".
+            n_options = n_routes - 1 + (1 if new_route_ok else 0)
+            if n_options == 0:
+                return None
+            pick = int(rng.integers(n_options))
+            if pick >= n_routes - 1:
+                # A single-customer source route relocated into a new
+                # route is a no-op (same structure, different vehicle).
+                if len(solution.routes[src_route]) == 1:
+                    continue
+                if insertion_admissible(instance, 0, customer, 0):
+                    return RelocateMove(
+                        customer=customer,
+                        src_route=src_route,
+                        src_pos=src_pos,
+                        dst_route=NEW_ROUTE,
+                        dst_pos=0,
+                    )
+                continue
+            dst_route = pick if pick < src_route else pick + 1
+            dst = solution.routes[dst_route]
+            if solution.route_stats(dst_route).load + demand[customer] > capacity:
+                continue
+            dst_pos = int(rng.integers(len(dst) + 1))
+            i = dst[dst_pos - 1] if dst_pos > 0 else 0
+            j = dst[dst_pos] if dst_pos < len(dst) else 0
+            if insertion_admissible(instance, i, customer, j):
+                return RelocateMove(
+                    customer=customer,
+                    src_route=src_route,
+                    src_pos=src_pos,
+                    dst_route=dst_route,
+                    dst_pos=dst_pos,
+                )
+        return None

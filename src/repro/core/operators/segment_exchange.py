@@ -1,0 +1,115 @@
+"""Segment exchange — the (2,1) λ-interchange (optional extension).
+
+The paper's Relocate and Exchange are the (1,0) and (1,1) instances of
+Osman's λ-interchange family (§II.B cites exactly those two).  This
+module adds the next member, the (2,1) exchange: a pair of consecutive
+customers on one route swaps with a single customer on another.  It is
+**not** part of the paper's operator set and is excluded from
+:func:`~repro.core.operators.registry.default_registry`; the operator
+ablation benchmark can add it via a custom registry to measure what a
+richer neighborhood would have bought.
+
+The local feasibility criterion applies to all four created
+adjacencies (segment enters route B, singleton enters route A), and
+both receiving routes must stay within capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.operators.base import Move, Operator
+from repro.core.operators.feasibility import (
+    insertion_admissible,
+    segment_insertion_admissible,
+)
+from repro.core.solution import Solution
+from repro.errors import OperatorError
+
+__all__ = ["SegmentExchange", "SegmentExchangeMove"]
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentExchangeMove(Move):
+    """Swap ``segment`` (2 consecutive customers of ``route_a`` at
+    ``pos_a``) with ``customer`` (``route_b`` at ``pos_b``)."""
+
+    route_a: int
+    pos_a: int
+    segment: tuple[int, int]
+    route_b: int
+    pos_b: int
+    customer: int
+
+    name = "segx"
+
+    def apply(self, solution: Solution) -> Solution:
+        ra = solution.routes[self.route_a]
+        rb = solution.routes[self.route_b]
+        if (
+            ra[self.pos_a : self.pos_a + 2] != self.segment
+            or rb[self.pos_b] != self.customer
+        ):
+            raise OperatorError("stale segment-exchange move")
+        new_a = ra[: self.pos_a] + (self.customer,) + ra[self.pos_a + 2 :]
+        new_b = rb[: self.pos_b] + self.segment + rb[self.pos_b + 1 :]
+        return solution.derive({self.route_a: new_a, self.route_b: new_b})
+
+    @property
+    def attribute(self) -> Hashable:
+        return ("segx", frozenset((*self.segment, self.customer)))
+
+
+class SegmentExchange(Operator):
+    """Random (2,1) λ-interchange proposals."""
+
+    name = "segx"
+
+    def propose(
+        self, solution: Solution, rng: np.random.Generator
+    ) -> SegmentExchangeMove | None:
+        instance = solution.instance
+        if solution.n_routes < 2:
+            return None
+        donors = [i for i, r in enumerate(solution.routes) if len(r) >= 2]
+        if not donors:
+            return None
+        capacity = instance.capacity
+        demand = instance._demand_l
+        for _ in range(self.max_attempts):
+            route_a = donors[int(rng.integers(len(donors)))]
+            ra = solution.routes[route_a]
+            pos_a = int(rng.integers(0, len(ra) - 1))
+            segment = ra[pos_a : pos_a + 2]
+            customer = int(rng.integers(1, instance.n_customers + 1))
+            route_b, pos_b = solution.locate(customer)
+            if route_b == route_a:
+                continue
+            rb = solution.routes[route_b]
+            seg_demand = demand[segment[0]] + demand[segment[1]]
+            delta = seg_demand - demand[customer]
+            if solution.route_stats(route_b).load + delta > capacity:
+                continue
+            if solution.route_stats(route_a).load - delta > capacity:
+                continue
+            # Adjacencies: customer replaces the segment in A, the
+            # segment replaces the customer in B.
+            ia = ra[pos_a - 1] if pos_a > 0 else 0
+            ja = ra[pos_a + 2] if pos_a + 2 < len(ra) else 0
+            ib = rb[pos_b - 1] if pos_b > 0 else 0
+            jb = rb[pos_b + 1] if pos_b + 1 < len(rb) else 0
+            if insertion_admissible(instance, ia, customer, ja) and (
+                segment_insertion_admissible(instance, ib, segment, jb)
+            ):
+                return SegmentExchangeMove(
+                    route_a=route_a,
+                    pos_a=pos_a,
+                    segment=(segment[0], segment[1]),
+                    route_b=route_b,
+                    pos_b=pos_b,
+                    customer=customer,
+                )
+        return None

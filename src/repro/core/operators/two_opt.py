@@ -1,0 +1,89 @@
+"""2-opt — intra-route segment reversal (paper §II.B).
+
+"2-opt reverses a tour or a part of it."  The move picks two positions
+on one route and reverses everything between them, replacing two edges
+with two new ones.  The local feasibility criterion is applied to both
+created edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.operators.base import Move, Operator
+from repro.core.operators.feasibility import edge_admissible
+from repro.core.solution import Solution
+from repro.errors import OperatorError
+
+__all__ = ["TwoOpt", "TwoOptMove"]
+
+
+@dataclass(frozen=True, slots=True)
+class TwoOptMove(Move):
+    """Reverse ``route[start : end + 1]`` of route ``route_index``.
+
+    ``segment_first``/``segment_last`` are the customers at the segment
+    boundaries; they identify the move in the tabu list because route
+    indices and positions go stale as other moves reshape the solution.
+    """
+
+    route_index: int
+    start: int
+    end: int
+    segment_first: int
+    segment_last: int
+
+    name = "2opt"
+
+    def apply(self, solution: Solution) -> Solution:
+        route = solution.routes[self.route_index]
+        if not 0 <= self.start < self.end < len(route):
+            raise OperatorError(
+                f"stale 2-opt move: segment [{self.start}, {self.end}] does not "
+                f"fit route of length {len(route)}"
+            )
+        reversed_segment = route[self.start : self.end + 1][::-1]
+        new_route = route[: self.start] + reversed_segment + route[self.end + 1 :]
+        return solution.derive({self.route_index: new_route})
+
+    @property
+    def attribute(self) -> Hashable:
+        # Identified by the segment-endpoint customers — the sites whose
+        # adjacencies the reversal rewires.
+        return ("2opt", frozenset((self.segment_first, self.segment_last)))
+
+
+class TwoOpt(Operator):
+    """Random intra-route reversal proposals."""
+
+    name = "2opt"
+
+    def propose(self, solution: Solution, rng: np.random.Generator) -> TwoOptMove | None:
+        instance = solution.instance
+        eligible = [i for i, r in enumerate(solution.routes) if len(r) >= 2]
+        if not eligible:
+            return None
+        for _ in range(self.max_attempts):
+            route_index = eligible[int(rng.integers(len(eligible)))]
+            route = solution.routes[route_index]
+            n = len(route)
+            start = int(rng.integers(0, n - 1))
+            end = int(rng.integers(start + 1, n))
+            # Created edges: predecessor -> old segment end, and old
+            # segment start -> successor (depot when at the boundary).
+            pred = route[start - 1] if start > 0 else 0
+            succ = route[end + 1] if end + 1 < n else 0
+            if edge_admissible(instance, pred, route[end]) and edge_admissible(
+                instance, route[start], succ
+            ):
+                return TwoOptMove(
+                    route_index=route_index,
+                    start=start,
+                    end=end,
+                    segment_first=route[start],
+                    segment_last=route[end],
+                )
+        return None

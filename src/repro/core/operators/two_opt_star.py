@@ -1,0 +1,114 @@
+"""2-opt* — inter-route tail crossover (paper §II.B).
+
+"2-opt* interchanges 2 tours by crossing the first half of one tour
+with the second half of another and vice versa."  Given cut points on
+two routes A and B, the move builds ``A[:i] + B[j:]`` and
+``B[:j] + A[i:]``.  Degenerate cuts that reproduce the parent solution
+are rejected; cuts at the very ends merge routes (one of the children
+becomes empty and its vehicle is released), which — like relocate —
+can reduce the vehicle count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.operators.base import Move, Operator
+from repro.core.operators.feasibility import edge_admissible
+from repro.core.solution import Solution
+from repro.errors import OperatorError
+
+__all__ = ["TwoOptStar", "TwoOptStarMove"]
+
+
+@dataclass(frozen=True, slots=True)
+class TwoOptStarMove(Move):
+    """Cross route ``route_a`` at ``cut_a`` with route ``route_b`` at ``cut_b``.
+
+    ``boundary`` holds the customers adjacent to the two new crossing
+    edges (up to four, depot excluded); it identifies the move in the
+    tabu list independently of route renumbering.
+    """
+
+    route_a: int
+    cut_a: int
+    route_b: int
+    cut_b: int
+    boundary: frozenset[int]
+
+    name = "2opt*"
+
+    def apply(self, solution: Solution) -> Solution:
+        ra = solution.routes[self.route_a]
+        rb = solution.routes[self.route_b]
+        if not (0 <= self.cut_a <= len(ra) and 0 <= self.cut_b <= len(rb)):
+            raise OperatorError("stale 2-opt* move: cut points out of range")
+        new_a = ra[: self.cut_a] + rb[self.cut_b :]
+        new_b = rb[: self.cut_b] + ra[self.cut_a :]
+        return solution.derive({self.route_a: new_a, self.route_b: new_b})
+
+    @property
+    def attribute(self) -> Hashable:
+        return ("2opt*", self.boundary)
+
+
+class TwoOptStar(Operator):
+    """Random tail-crossover proposals between two routes."""
+
+    name = "2opt*"
+
+    def propose(
+        self, solution: Solution, rng: np.random.Generator
+    ) -> TwoOptStarMove | None:
+        instance = solution.instance
+        if solution.n_routes < 2:
+            return None
+        capacity = instance.capacity
+        for _ in range(self.max_attempts):
+            route_a = int(rng.integers(solution.n_routes))
+            route_b = int(rng.integers(solution.n_routes))
+            if route_a == route_b:
+                continue
+            ra = solution.routes[route_a]
+            rb = solution.routes[route_b]
+            cut_a = int(rng.integers(0, len(ra) + 1))
+            cut_b = int(rng.integers(0, len(rb) + 1))
+            # Degenerate cuts: (0, 0) and (len, len) merely relabel the
+            # vehicles; skip them.
+            if cut_a == 0 and cut_b == 0:
+                continue
+            if cut_a == len(ra) and cut_b == len(rb):
+                continue
+            # Capacity of both children (loads are prefix/suffix sums;
+            # routes are short so direct summation is fine).
+            demand = instance._demand_l
+            load_a_head = sum(demand[c] for c in ra[:cut_a])
+            load_b_head = sum(demand[c] for c in rb[:cut_b])
+            load_a = solution.route_stats(route_a).load
+            load_b = solution.route_stats(route_b).load
+            if load_a_head + (load_b - load_b_head) > capacity:
+                continue
+            if load_b_head + (load_a - load_a_head) > capacity:
+                continue
+            # New crossing edges (depot at the boundaries).
+            tail_a = ra[cut_a - 1] if cut_a > 0 else 0
+            head_b = rb[cut_b] if cut_b < len(rb) else 0
+            tail_b = rb[cut_b - 1] if cut_b > 0 else 0
+            head_a = ra[cut_a] if cut_a < len(ra) else 0
+            if edge_admissible(instance, tail_a, head_b) and edge_admissible(
+                instance, tail_b, head_a
+            ):
+                boundary = frozenset(
+                    c for c in (tail_a, head_b, tail_b, head_a) if c != 0
+                )
+                return TwoOptStarMove(
+                    route_a=route_a,
+                    cut_a=cut_a,
+                    route_b=route_b,
+                    cut_b=cut_b,
+                    boundary=boundary,
+                )
+        return None

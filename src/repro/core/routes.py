@@ -1,0 +1,163 @@
+"""Route-level schedule and statistics computation.
+
+A *route* is a sequence of customer indices served by one vehicle; the
+depot legs at both ends are implicit.  Vehicles depart the depot at
+time 0, arrive at a customer after the travel time, wait if they are
+early (paper §II: "If a vehicle arrives before the ready time of a
+customer it has to wait"), incur the service time, and must finally
+return to the depot before the horizon; lateness anywhere — including
+the return — accumulates as tardiness (objective ``f3``).
+
+The arrival recursion ``arrive_{k+1} = max(arrive_k, ready_k) +
+service_k + travel(k, k+1)`` chains through ``max`` and therefore
+cannot be expressed as a numpy prefix operation; :func:`route_stats`
+is consequently a tight scalar loop over the instance's plain-Python
+array views (see :class:`repro.vrptw.instance.Instance`), which is the
+single hottest function in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SolutionError
+from repro.vrptw.instance import Instance
+
+__all__ = ["RouteStats", "RouteSchedule", "route_stats", "route_schedule", "route_load"]
+
+
+@dataclass(frozen=True, slots=True)
+class RouteStats:
+    """Aggregate statistics of one route.
+
+    ``distance`` includes both depot legs; ``tardiness`` sums lateness
+    over the route's customers and the final depot return; ``load`` is
+    the total demand carried; ``completion`` is the time the vehicle is
+    back at the depot.
+    """
+
+    distance: float
+    load: float
+    tardiness: float
+    completion: float
+
+    @property
+    def empty(self) -> bool:
+        """True for the statistics of an unused vehicle."""
+        return self.load == 0.0 and self.distance == 0.0
+
+
+#: Statistics of an unused vehicle (no customers, parked at the depot).
+EMPTY_ROUTE_STATS = RouteStats(distance=0.0, load=0.0, tardiness=0.0, completion=0.0)
+
+
+@dataclass(frozen=True, slots=True)
+class RouteSchedule:
+    """Per-stop timeline of one route (for inspection and examples).
+
+    All sequences have one entry per customer on the route, in visit
+    order; ``return_arrival`` is the arrival time back at the depot and
+    ``return_tardiness`` the lateness of that return.
+    """
+
+    customers: tuple[int, ...]
+    arrival: tuple[float, ...]
+    service_start: tuple[float, ...]
+    wait: tuple[float, ...]
+    tardiness: tuple[float, ...]
+    return_arrival: float
+    return_tardiness: float
+
+    @property
+    def total_wait(self) -> float:
+        """Total waiting time along the route."""
+        return sum(self.wait)
+
+    @property
+    def total_tardiness(self) -> float:
+        """Total tardiness including the depot return."""
+        return sum(self.tardiness) + self.return_tardiness
+
+
+def route_stats(instance: Instance, route: Sequence[int]) -> RouteStats:
+    """Compute :class:`RouteStats` for a route of customer indices.
+
+    This is the library's hot path: ``O(len(route))`` with pure-Python
+    scalar arithmetic over the instance's list views.
+    """
+    if not route:
+        return EMPTY_ROUTE_STATS
+    travel_rows = instance._travel_rows
+    ready = instance._ready_l
+    due = instance._due_l
+    service = instance._service_l
+    demand = instance._demand_l
+
+    distance = 0.0
+    load = 0.0
+    tardiness = 0.0
+    time = 0.0
+    prev = 0
+    for site in route:
+        leg = travel_rows[prev][site]
+        distance += leg
+        time += leg
+        late = time - due[site]
+        if late > 0.0:
+            tardiness += late
+        r = ready[site]
+        if time < r:
+            time = r
+        time += service[site]
+        load += demand[site]
+        prev = site
+    leg = travel_rows[prev][0]
+    distance += leg
+    time += leg
+    late = time - due[0]
+    if late > 0.0:
+        tardiness += late
+    return RouteStats(distance=distance, load=load, tardiness=tardiness, completion=time)
+
+
+def route_schedule(instance: Instance, route: Sequence[int]) -> RouteSchedule:
+    """Compute the full per-stop timeline of a route.
+
+    Unlike :func:`route_stats` this keeps every intermediate quantity;
+    it exists for reporting, examples and tests, not for the search
+    loop.
+    """
+    arrivals: list[float] = []
+    starts: list[float] = []
+    waits: list[float] = []
+    tardy: list[float] = []
+    time = 0.0
+    prev = 0
+    for site in route:
+        if not 1 <= site <= instance.n_customers:
+            raise SolutionError(f"route contains invalid site index {site}")
+        time += instance.distance(prev, site)
+        arrivals.append(time)
+        tardy.append(max(time - float(instance.due_date[site]), 0.0))
+        start = max(time, float(instance.ready_time[site]))
+        waits.append(start - time)
+        starts.append(start)
+        time = start + float(instance.service_time[site])
+        prev = site
+    time += instance.distance(prev, 0)
+    return RouteSchedule(
+        customers=tuple(int(c) for c in route),
+        arrival=tuple(arrivals),
+        service_start=tuple(starts),
+        wait=tuple(waits),
+        tardiness=tuple(tardy),
+        return_arrival=time,
+        return_tardiness=max(time - instance.horizon, 0.0),
+    )
+
+
+def route_load(instance: Instance, route: Sequence[int]) -> float:
+    """Total demand carried on a route."""
+    demand = instance._demand_l
+    return sum(demand[site] for site in route)

@@ -1,0 +1,317 @@
+"""The permutation-coded CVRPTW solution (paper §II.A).
+
+A solution is a *giant tour*: all vehicle routes concatenated into one
+string of site indices, separated by depot markers (``0``), with one
+trailing ``0`` appended per unused vehicle.  For ``N`` customers and a
+fleet of ``R`` vehicles the permutation has fixed length
+
+    ``L = N + R + 1``
+
+and contains exactly ``R + 1`` zeros.  The paper's example for
+``N = 4``, ``R = 5``::
+
+    P = (0, 4, 2, 0, 3, 0, 1, 0, 0, 0)
+
+i.e. routes ``(4, 2)``, ``(3,)``, ``(1,)`` and two unused vehicles.
+
+Internally :class:`Solution` stores the decomposed, *canonical* form —
+a tuple of non-empty routes — because the neighborhood operators
+manipulate routes, and caches per-route :class:`~repro.core.routes.RouteStats`
+so that a move touching two routes re-evaluates only those two
+(incremental evaluation; see DESIGN.md).  The permutation array view is
+materialized on demand and always in canonical form (empty vehicles
+trailing).
+
+Solutions are immutable value objects: operators return new instances,
+and equality/hashing follow the route structure, which lets archives
+de-duplicate structurally identical solutions cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.objectives import ObjectiveVector
+from repro.core.routes import RouteStats, route_stats
+from repro.errors import SolutionError
+from repro.vrptw.instance import Instance
+
+__all__ = ["Solution"]
+
+Routes = tuple[tuple[int, ...], ...]
+
+
+class Solution:
+    """An immutable CVRPTW solution over a fixed instance.
+
+    Do not call the constructor with unchecked data — use
+    :meth:`from_routes` (structure validation) or
+    :meth:`from_permutation` (full representation validation).  The raw
+    constructor exists for operators, which construct provably valid
+    routes and can hand over reused route statistics.
+    """
+
+    __slots__ = ("instance", "routes", "_stats", "_objectives", "_locations", "_hash")
+
+    def __init__(
+        self,
+        instance: Instance,
+        routes: Routes,
+        stats: tuple[RouteStats | None, ...] | None = None,
+    ) -> None:
+        self.instance = instance
+        self.routes = routes
+        self._stats: list[RouteStats | None]
+        if stats is None:
+            self._stats = [None] * len(routes)
+        else:
+            if len(stats) != len(routes):
+                raise SolutionError(
+                    f"stats length {len(stats)} does not match {len(routes)} routes"
+                )
+            self._stats = list(stats)
+        self._objectives: ObjectiveVector | None = None
+        self._locations: dict[int, tuple[int, int]] | None = None
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_routes(
+        cls,
+        instance: Instance,
+        routes: Iterable[Sequence[int]],
+        *,
+        validate: bool = True,
+    ) -> "Solution":
+        """Build a solution from an iterable of routes.
+
+        Empty routes are dropped (they are implicit unused vehicles).
+        With ``validate=True`` (the default) the customer partition and
+        fleet-size invariants are checked.
+        """
+        packed: Routes = tuple(
+            tuple(int(c) for c in route) for route in routes if len(route) > 0
+        )
+        if validate:
+            cls._validate_routes(instance, packed)
+        return cls(instance, packed)
+
+    @classmethod
+    def from_permutation(
+        cls, instance: Instance, permutation: Sequence[int] | np.ndarray
+    ) -> "Solution":
+        """Parse a giant-tour permutation (paper §II.A) into a solution.
+
+        The permutation must have length ``N + R + 1``, start at the
+        depot, contain exactly ``R + 1`` zeros and visit every customer
+        exactly once.
+        """
+        perm = np.asarray(permutation, dtype=np.int64)
+        if perm.ndim != 1:
+            raise SolutionError("permutation must be one-dimensional")
+        expected = instance.permutation_length
+        if perm.shape[0] != expected:
+            raise SolutionError(
+                f"permutation length {perm.shape[0]} != N + R + 1 = {expected}"
+            )
+        if perm[0] != 0:
+            raise SolutionError("permutation must start at the depot (index 0)")
+        n_zeros = int(np.count_nonzero(perm == 0))
+        if n_zeros != instance.n_vehicles + 1:
+            raise SolutionError(
+                f"permutation has {n_zeros} depot markers, expected "
+                f"R + 1 = {instance.n_vehicles + 1}"
+            )
+        routes: list[tuple[int, ...]] = []
+        current: list[int] = []
+        for site in perm.tolist()[1:]:
+            if site == 0:
+                if current:
+                    routes.append(tuple(current))
+                    current = []
+            else:
+                current.append(site)
+        if current:
+            # The giant tour ended on a customer: the final depot return
+            # marker is missing, which the zero-count check above already
+            # rules out; guard anyway for defense in depth.
+            raise SolutionError("permutation does not end at the depot")
+        packed = tuple(routes)
+        cls._validate_routes(instance, packed)
+        return cls(instance, packed)
+
+    @staticmethod
+    def _validate_routes(instance: Instance, routes: Routes) -> None:
+        if len(routes) > instance.n_vehicles:
+            raise SolutionError(
+                f"{len(routes)} routes exceed the fleet size R = {instance.n_vehicles}"
+            )
+        seen: set[int] = set()
+        count = 0
+        for route in routes:
+            if len(route) == 0:
+                raise SolutionError("internal route list contains an empty route")
+            for c in route:
+                if not 1 <= c <= instance.n_customers:
+                    raise SolutionError(
+                        f"site index {c} out of customer range 1..{instance.n_customers}"
+                    )
+                count += 1
+                seen.add(c)
+        if count != instance.n_customers or len(seen) != instance.n_customers:
+            missing = set(range(1, instance.n_customers + 1)) - seen
+            raise SolutionError(
+                f"routes must visit every customer exactly once "
+                f"(visited {count}, unique {len(seen)}, missing {sorted(missing)[:5]})"
+            )
+
+    # ------------------------------------------------------------------
+    # Representation views
+    # ------------------------------------------------------------------
+    @property
+    def permutation(self) -> np.ndarray:
+        """The canonical giant-tour permutation (paper §II.A).
+
+        Non-empty routes first in stored order, then one ``0`` per
+        unused vehicle; total length ``N + R + 1``.
+        """
+        parts: list[int] = [0]
+        for route in self.routes:
+            parts.extend(route)
+            parts.append(0)
+        parts.extend([0] * self.vehicle_slack)
+        return np.asarray(parts, dtype=np.int64)
+
+    @property
+    def n_routes(self) -> int:
+        """Number of vehicles actually deployed (objective ``f2``)."""
+        return len(self.routes)
+
+    @property
+    def vehicle_slack(self) -> int:
+        """Unused vehicles remaining at the depot, ``R - f2``."""
+        return self.instance.n_vehicles - len(self.routes)
+
+    def locate(self, customer: int) -> tuple[int, int]:
+        """Return ``(route_index, position)`` of a customer."""
+        if self._locations is None:
+            table: dict[int, tuple[int, int]] = {}
+            for r, route in enumerate(self.routes):
+                for p, c in enumerate(route):
+                    table[c] = (r, p)
+            self._locations = table
+        try:
+            return self._locations[customer]
+        except KeyError:
+            raise SolutionError(f"customer {customer} not present in solution") from None
+
+    def derive(
+        self,
+        replacements: dict[int, tuple[int, ...]],
+        added: Sequence[tuple[int, ...]] = (),
+    ) -> "Solution":
+        """Build a child solution by replacing a few routes.
+
+        This is the incremental-evaluation primitive used by all
+        neighborhood operators: route statistics of untouched routes are
+        carried over to the child, so evaluating the child only costs
+        the schedule scans of the replaced/added routes.
+
+        Parameters
+        ----------
+        replacements:
+            Map from route index (in this solution) to its new customer
+            tuple.  An empty tuple deletes the route (the vehicle
+            returns to the unused pool).
+        added:
+            Brand-new routes to append (e.g. relocate into a previously
+            unused vehicle).  Empty entries are ignored.
+
+        Notes
+        -----
+        No partition validation is performed — operators construct
+        provably valid routes.  Tests cross-check every operator against
+        :func:`repro.core.evaluation.evaluate_permutation`.
+        """
+        new_routes: list[tuple[int, ...]] = []
+        new_stats: list[RouteStats | None] = []
+        for i, route in enumerate(self.routes):
+            if i in replacements:
+                replacement = replacements[i]
+                if replacement:
+                    new_routes.append(replacement)
+                    new_stats.append(None)
+            else:
+                new_routes.append(route)
+                new_stats.append(self._stats[i])
+        for route in added:
+            if route:
+                new_routes.append(tuple(route))
+                new_stats.append(None)
+        if len(new_routes) > self.instance.n_vehicles:
+            raise SolutionError(
+                f"derive would use {len(new_routes)} routes, fleet has "
+                f"{self.instance.n_vehicles}"
+            )
+        return Solution(self.instance, tuple(new_routes), tuple(new_stats))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def route_stats(self, index: int) -> RouteStats:
+        """Statistics of route ``index`` (computed lazily, then cached)."""
+        cached = self._stats[index]
+        if cached is None:
+            cached = route_stats(self.instance, self.routes[index])
+            self._stats[index] = cached
+        return cached
+
+    def all_route_stats(self) -> tuple[RouteStats, ...]:
+        """Statistics of every route."""
+        return tuple(self.route_stats(i) for i in range(len(self.routes)))
+
+    @property
+    def objectives(self) -> ObjectiveVector:
+        """The objective triple ``(f1, f2, f3)`` (cached)."""
+        if self._objectives is None:
+            distance = 0.0
+            tardiness = 0.0
+            for i in range(len(self.routes)):
+                st = self.route_stats(i)
+                distance += st.distance
+                tardiness += st.tardiness
+            self._objectives = ObjectiveVector(
+                distance=distance, vehicles=len(self.routes), tardiness=tardiness
+            )
+        return self._objectives
+
+    @property
+    def feasible(self) -> bool:
+        """True when no time window is violated (capacity holds by design)."""
+        return self.objectives.feasible
+
+    def route_loads(self) -> tuple[float, ...]:
+        """Carried load per route (for capacity assertions in tests)."""
+        return tuple(self.route_stats(i).load for i in range(len(self.routes)))
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Solution):
+            return NotImplemented
+        return self.routes == other.routes and self.instance is other.instance
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self.routes)
+        return self._hash
+
+    def __repr__(self) -> str:
+        obj = self._objectives
+        desc = f", objectives={obj!r}" if obj is not None else ""
+        return f"Solution(routes={self.n_routes}, customers={self.instance.n_customers}{desc})"

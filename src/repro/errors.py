@@ -1,0 +1,65 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so that callers
+can catch everything from this package with a single ``except`` clause
+while still being able to discriminate between substrate failures
+(problem definition, parsing) and algorithmic misuse (bad parameters,
+invalid solutions).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InstanceError(ReproError):
+    """A VRPTW instance is malformed or internally inconsistent.
+
+    Raised for example when demands are negative, time windows are
+    inverted (``due_date < ready_time``), a customer demand exceeds the
+    vehicle capacity (making the instance trivially infeasible), or the
+    number of sites disagrees with the coordinate arrays.
+    """
+
+
+class ParseError(ReproError):
+    """A Solomon/Homberger instance file could not be parsed."""
+
+    def __init__(self, message: str, *, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class SolutionError(ReproError):
+    """A permutation string violates the representation invariants.
+
+    The representation of section II.A of the paper requires the giant
+    tour to start with the depot, contain every customer exactly once,
+    contain exactly ``R + 1`` depot markers and have total length
+    ``N + R + 1``.
+    """
+
+
+class OperatorError(ReproError):
+    """A neighborhood operator was applied outside its preconditions."""
+
+
+class SearchError(ReproError):
+    """Tabu search was configured or driven incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state.
+
+    Typical causes: a process tried to interact with the environment
+    after terminating, a message was addressed to an unknown processor,
+    or the event queue was exhausted while processes still waited.
+    """
+
+
+class BenchmarkError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,46 @@
+"""Multiobjective machinery: dominance, archives, quality indicators.
+
+The paper borrows "what has emerged in multiobjective EAs, mainly the
+pareto concept to store non-dominated solutions in a memory and the use
+of an archive to store the non-dominated front" (§III.A), with NSGA-II
+crowding comparison for bounded-archive replacement and Zitzler's set
+coverage metric for the result tables.  Hypervolume and epsilon
+indicators are provided as extensions for richer comparisons.
+"""
+
+from repro.mo.archive import ArchiveEntry, ParetoArchive
+from repro.mo.coverage import set_coverage, mutual_coverage
+from repro.mo.crowding import crowding_distances
+from repro.mo.dominance import (
+    dominates,
+    non_dominated_indices,
+    non_dominated_mask,
+    non_dominated_sort,
+    weakly_dominates,
+)
+from repro.mo.epsilon import additive_epsilon, multiplicative_epsilon
+from repro.mo.hypervolume import hypervolume
+from repro.mo.metrics import (
+    generational_distance,
+    inverted_generational_distance,
+    spread,
+)
+
+__all__ = [
+    "ArchiveEntry",
+    "ParetoArchive",
+    "additive_epsilon",
+    "crowding_distances",
+    "dominates",
+    "generational_distance",
+    "hypervolume",
+    "inverted_generational_distance",
+    "multiplicative_epsilon",
+    "mutual_coverage",
+    "non_dominated_indices",
+    "non_dominated_mask",
+    "non_dominated_sort",
+    "set_coverage",
+    "spread",
+    "weakly_dominates",
+]

@@ -1,0 +1,156 @@
+"""Bounded Pareto archive with crowding replacement (paper §III.B).
+
+"A chosen solution can be added to the archive when it is not
+dominated to the solutions in the archive and when the archive is not
+full.  If the archive is full, the solution is added based on the
+result of a crowding comparison. ... A solution that has a low
+distance value has similar fitness values compared to the rest of the
+solutions and will be deleted.  This ensures that the solutions will
+be spread over the pareto front more equally instead of clustering at
+a certain position."
+
+The same structure backs both the paper's ``M_archive`` (the current
+Pareto front, capacity 20 in the experiments) and ``M_nondom`` (the
+medium-term memory of non-dominated neighborhood solutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterator, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.objectives import ObjectiveVector
+from repro.errors import SearchError
+from repro.mo.crowding import crowding_distances
+
+__all__ = ["ArchiveEntry", "ParetoArchive"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class ArchiveEntry(Generic[T]):
+    """One archived item with its objective vector."""
+
+    item: T
+    objectives: ObjectiveVector
+
+
+class ParetoArchive(Generic[T]):
+    """A capacity-bounded set of mutually non-dominated items.
+
+    ``T`` is usually :class:`repro.core.solution.Solution` but the
+    archive is generic — the benchmark harness archives bare tuples.
+
+    The archive never holds two entries with identical objective
+    vectors: an entrant weakly dominated by a member (equality
+    included) is rejected, which is also what keeps re-sent solutions
+    from ping-ponging between collaborative searchers.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SearchError(f"archive capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: list[ArchiveEntry[T]] = []
+        #: monotone counter of successful mutations, used by the search
+        #: loop to detect stagnation ("isUnchanged" in Algorithm 1).
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def try_add(self, item: T, objectives: ObjectiveVector) -> bool:
+        """Offer an item; return True when the archive changed.
+
+        The entrant is rejected when weakly dominated by any member.
+        Otherwise members it dominates are evicted, the entrant joins,
+        and if the capacity is now exceeded the entry with the lowest
+        crowding distance (the most redundant one — possibly the
+        entrant itself, in which case the net effect may still be a
+        changed archive if it evicted members) is deleted.
+        """
+        obj = objectives.as_array()
+        survivors: list[ArchiveEntry[T]] = []
+        for entry in self._entries:
+            other = entry.objectives.as_array()
+            if bool(np.all(other <= obj)):
+                # Weakly dominated (or duplicate): no change at all.
+                return False
+            if not bool(np.all(obj <= other) and np.any(obj < other)):
+                survivors.append(entry)
+        evicted = len(survivors) != len(self._entries)
+        survivors.append(ArchiveEntry(item, objectives))
+        if self.capacity is not None and len(survivors) > self.capacity:
+            pts = np.vstack([e.objectives.as_array() for e in survivors])
+            dist = crowding_distances(pts)
+            drop = int(np.argmin(dist))
+            dropped_entrant = drop == len(survivors) - 1
+            del survivors[drop]
+            if dropped_entrant and not evicted:
+                return False
+        self._entries = survivors
+        self.version += 1
+        return True
+
+    def extend(self, entries: Sequence[ArchiveEntry[T]]) -> int:
+        """Offer many entries; return how many changed the archive."""
+        return sum(self.try_add(e.item, e.objectives) for e in entries)
+
+    def clear(self) -> None:
+        """Empty the archive (keeps the version counter monotone)."""
+        if self._entries:
+            self._entries = []
+            self.version += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ArchiveEntry[T]]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    @property
+    def entries(self) -> tuple[ArchiveEntry[T], ...]:
+        """The archived entries (insertion-ordered snapshot)."""
+        return tuple(self._entries)
+
+    def items(self) -> list[T]:
+        """The archived items only."""
+        return [e.item for e in self._entries]
+
+    def objectives_array(self) -> np.ndarray:
+        """All objective vectors as one ``(len, 3)`` array."""
+        if not self._entries:
+            return np.zeros((0, 3))
+        return np.vstack([e.objectives.as_array() for e in self._entries])
+
+    def feasible_entries(self) -> list[ArchiveEntry[T]]:
+        """Entries with no time-window violation (the paper's reporting
+        filter: "these solutions were excluded for the generation of
+        the results")."""
+        return [e for e in self._entries if e.objectives.feasible]
+
+    def sample(self, rng: np.random.Generator) -> ArchiveEntry[T]:
+        """Draw a uniformly random entry (used by restarts)."""
+        if not self._entries:
+            raise SearchError("cannot sample from an empty archive")
+        return self._entries[int(rng.integers(len(self._entries)))]
+
+    def would_accept(self, objectives: ObjectiveVector) -> bool:
+        """Non-mutating acceptance test (used by the collaborative TS
+        to decide whether a solution is worth broadcasting)."""
+        obj = objectives.as_array()
+        return not any(
+            bool(np.all(e.objectives.as_array() <= obj)) for e in self._entries
+        )
+
+    def __repr__(self) -> str:
+        return f"ParetoArchive(size={len(self._entries)}, capacity={self.capacity})"

@@ -1,0 +1,50 @@
+"""Zitzler's set coverage metric ``C(A, B)`` (paper §IV, column 4).
+
+"This metric measures the ratio between dominated and total solutions
+of one algorithm against the solutions found by another.  The first
+value shows the percentage of solutions found by one algorithm that
+dominate those found by the other algorithms, whereas the second value
+shows the percentage of domination of the other algorithms compared to
+the one we are looking at."
+
+Following Zitzler (1999), ``C(A, B)`` is the fraction of points in B
+that are *weakly* dominated by at least one point of A.  ``C(A, B) ==
+1`` means A covers B entirely; the metric is not symmetric, which is
+why the paper prints both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mo.dominance import as_points
+
+__all__ = ["set_coverage", "mutual_coverage"]
+
+
+def set_coverage(a: Sequence | np.ndarray, b: Sequence | np.ndarray) -> float:
+    """Fraction of points of ``b`` weakly dominated by some point of ``a``.
+
+    Edge conventions (needed when a run produced no feasible
+    solutions): ``C(A, ∅) = 1`` for any A (vacuous coverage) and
+    ``C(∅, B) = 0`` for non-empty B.
+    """
+    pa = as_points(a)
+    pb = as_points(b)
+    if pb.shape[0] == 0:
+        return 1.0
+    if pa.shape[0] == 0:
+        return 0.0
+    # covered[j] == True iff some row of A weakly dominates B[j].
+    le = np.all(pa[:, None, :] <= pb[None, :, :], axis=2)
+    covered = le.any(axis=0)
+    return float(covered.mean())
+
+
+def mutual_coverage(
+    a: Sequence | np.ndarray, b: Sequence | np.ndarray
+) -> tuple[float, float]:
+    """Both directions at once: ``(C(A, B), C(B, A))``."""
+    return set_coverage(a, b), set_coverage(b, a)

@@ -1,0 +1,53 @@
+"""NSGA-II crowding distance (Deb et al. 2000).
+
+The paper uses the crowding comparison for bounded-archive
+replacement (§III.B): "This comparison orders the solutions in the
+archive and the chosen solution by a distance value, which is computed
+by calculating the differences of the fitness values of a certain
+solution with respect to the other solutions.  A solution that has a
+low distance value has similar fitness values compared to the rest of
+the solutions and will be deleted."
+
+For each objective, points are sorted; boundary points get infinite
+distance, interior points get the normalized span of their two
+neighbors.  The final distance is the sum over objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mo.dominance import as_points
+
+__all__ = ["crowding_distances"]
+
+
+def crowding_distances(points: Sequence | np.ndarray) -> np.ndarray:
+    """Crowding distance of every point in a set.
+
+    Returns an array aligned with the input rows.  Boundary points per
+    objective receive ``inf``; an objective with zero spread
+    contributes nothing.  For fewer than three points every point is a
+    boundary point (``inf``).
+    """
+    pts = as_points(points)
+    n, d = pts.shape if pts.ndim == 2 else (0, 0)
+    if n == 0:
+        return np.zeros(0)
+    dist = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for k in range(d):
+        order = np.argsort(pts[:, k], kind="stable")
+        col = pts[order, k]
+        span = col[-1] - col[0]
+        dist[order[0]] = np.inf
+        dist[order[-1]] = np.inf
+        if span <= 0:
+            continue
+        contribution = (col[2:] - col[:-2]) / span
+        # Only finite entries accumulate; inf + x stays inf.
+        dist[order[1:-1]] += contribution
+    return dist

@@ -1,0 +1,58 @@
+"""Epsilon indicators (Zitzler et al. 2003) — extension metrics.
+
+``additive_epsilon(A, B)`` is the smallest ``eps`` such that every
+point of B is weakly dominated by some point of A after translating A
+by ``eps`` in every objective.  The multiplicative variant scales
+instead.  Like set coverage they are binary and asymmetric; unlike
+coverage they are continuous, which makes small quality gaps between
+the parallel variants visible where coverage saturates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mo.dominance import as_points
+
+__all__ = ["additive_epsilon", "multiplicative_epsilon"]
+
+
+def additive_epsilon(a: Sequence | np.ndarray, b: Sequence | np.ndarray) -> float:
+    """Smallest ``eps`` with: ∀ y ∈ B ∃ x ∈ A, x - eps ⪯ y (minimization).
+
+    ``eps <= 0`` means A already weakly covers B.
+    """
+    pa = as_points(a)
+    pb = as_points(b)
+    if pb.shape[0] == 0:
+        return 0.0
+    if pa.shape[0] == 0:
+        return float("inf")
+    # For each pair (x, y): the eps needed is max_k (x_k - y_k);
+    # for each y take the best x; overall take the worst y.
+    diff = pa[:, None, :] - pb[None, :, :]
+    per_pair = diff.max(axis=2)
+    per_b = per_pair.min(axis=0)
+    return float(per_b.max())
+
+
+def multiplicative_epsilon(a: Sequence | np.ndarray, b: Sequence | np.ndarray) -> float:
+    """Smallest ``eps`` with: ∀ y ∈ B ∃ x ∈ A, x / eps ⪯ y.
+
+    Requires strictly positive objective values; ``eps <= 1`` means A
+    weakly covers B.
+    """
+    pa = as_points(a)
+    pb = as_points(b)
+    if pb.shape[0] == 0:
+        return 1.0
+    if pa.shape[0] == 0:
+        return float("inf")
+    if np.any(pa <= 0) or np.any(pb <= 0):
+        raise ValueError("multiplicative epsilon requires positive objectives")
+    ratio = pa[:, None, :] / pb[None, :, :]
+    per_pair = ratio.max(axis=2)
+    per_b = per_pair.min(axis=0)
+    return float(per_b.max())

@@ -1,0 +1,83 @@
+"""Hypervolume indicator (extension beyond the paper's coverage metric).
+
+The hypervolume of a point set w.r.t. a reference point is the measure
+of the objective-space region dominated by the set and bounded by the
+reference.  It is the only unary indicator strictly monotone with
+Pareto dominance, which makes it a good cross-check for the coverage
+columns in EXPERIMENTS.md.
+
+Implementation: exact sweep for 2-D, exact recursive slicing for any
+higher dimension (adequate for the small fronts — archive capacity is
+20 in the paper's setup).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mo.dominance import as_points, non_dominated_mask
+
+__all__ = ["hypervolume"]
+
+
+def hypervolume(points: Sequence | np.ndarray, reference: Sequence | np.ndarray) -> float:
+    """Hypervolume of ``points`` dominated w.r.t. ``reference`` (minimization).
+
+    Points not strictly better than the reference in every objective
+    contribute nothing and are dropped.  Returns 0.0 for an empty set.
+    """
+    pts = as_points(points)
+    ref = np.asarray(reference, dtype=np.float64)
+    if pts.shape[0] == 0:
+        return 0.0
+    if pts.shape[1] != ref.shape[0]:
+        raise ValueError(
+            f"reference dimension {ref.shape[0]} != point dimension {pts.shape[1]}"
+        )
+    pts = pts[np.all(pts < ref, axis=1)]
+    if pts.shape[0] == 0:
+        return 0.0
+    pts = pts[non_dominated_mask(pts)]
+    if pts.shape[1] == 1:
+        return float(ref[0] - pts[:, 0].min())
+    if pts.shape[1] == 2:
+        return _hv_2d(pts, ref)
+    return _hv_recursive(pts, ref)
+
+
+def _hv_2d(pts: np.ndarray, ref: np.ndarray) -> float:
+    """Exact 2-D hypervolume by a single sweep over the sorted front."""
+    order = np.argsort(pts[:, 0], kind="stable")
+    sorted_pts = pts[order]
+    volume = 0.0
+    prev_y = ref[1]
+    for x, y in sorted_pts:
+        if y < prev_y:
+            volume += (ref[0] - x) * (prev_y - y)
+            prev_y = y
+    return float(volume)
+
+
+def _hv_recursive(pts: np.ndarray, ref: np.ndarray) -> float:
+    """Exact hypervolume by slicing on the last objective.
+
+    Sort by the last coordinate; each slab between consecutive distinct
+    values contributes (slab height) x (hypervolume of the points at or
+    below the slab, projected to the remaining objectives).
+    """
+    last = pts[:, -1]
+    order = np.argsort(last, kind="stable")
+    pts = pts[order]
+    last = pts[:, -1]
+    volume = 0.0
+    levels = np.unique(last)
+    uppers = np.append(levels[1:], ref[-1])
+    for level, upper in zip(levels, uppers):
+        height = upper - level
+        if height <= 0:
+            continue
+        active = pts[last <= level][:, :-1]
+        volume += height * hypervolume(active, ref[:-1])
+    return float(volume)

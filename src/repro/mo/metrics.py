@@ -1,0 +1,95 @@
+"""Distance-based front quality metrics (extensions).
+
+Beyond the paper's set coverage and the hypervolume/epsilon extensions,
+these are the standard reference-front metrics of the MOEA literature
+(used in EXPERIMENTS.md's richer comparisons):
+
+* :func:`generational_distance` — mean distance from an approximation
+  front to the reference front (convergence);
+* :func:`inverted_generational_distance` — mean distance from the
+  reference to the approximation (convergence *and* coverage);
+* :func:`spread` — Deb's Δ diversity metric over a 2-D front
+  (distribution uniformity plus extent).
+
+All metrics operate on raw objective arrays (minimization); callers
+normalize if objectives have incomparable scales.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mo.dominance import as_points
+
+__all__ = ["generational_distance", "inverted_generational_distance", "spread"]
+
+
+def _pairwise_min_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """For each row of ``a``: Euclidean distance to the nearest row of ``b``."""
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=2)).min(axis=1)
+
+
+def generational_distance(
+    front: Sequence | np.ndarray, reference: Sequence | np.ndarray, p: float = 2.0
+) -> float:
+    """GD: ``(mean_i d_i^p)^(1/p)`` of approximation-to-reference distances.
+
+    0 means every approximation point lies on the reference front.
+    Empty approximation fronts return ``inf`` (they approximate
+    nothing); an empty reference is a caller error.
+    """
+    f = as_points(front)
+    r = as_points(reference)
+    if r.shape[0] == 0:
+        raise ValueError("reference front must be non-empty")
+    if f.shape[0] == 0:
+        return float("inf")
+    d = _pairwise_min_distances(f, r)
+    return float((d**p).mean() ** (1.0 / p))
+
+
+def inverted_generational_distance(
+    front: Sequence | np.ndarray, reference: Sequence | np.ndarray, p: float = 2.0
+) -> float:
+    """IGD: GD with the roles swapped — also punishes missing regions."""
+    f = as_points(front)
+    r = as_points(reference)
+    if r.shape[0] == 0:
+        raise ValueError("reference front must be non-empty")
+    if f.shape[0] == 0:
+        return float("inf")
+    d = _pairwise_min_distances(r, f)
+    return float((d**p).mean() ** (1.0 / p))
+
+
+def spread(front: Sequence | np.ndarray, reference: Sequence | np.ndarray) -> float:
+    """Deb's Δ spread over a 2-D front (lower is better, 0 = ideal).
+
+    ``Δ = (d_f + d_l + Σ|d_i - d̄|) / (d_f + d_l + (n-1) d̄)`` where
+    ``d_i`` are consecutive gaps along the front sorted by the first
+    objective, and ``d_f``/``d_l`` are the distances from the front's
+    extremes to the reference extremes.
+    """
+    f = as_points(front)
+    r = as_points(reference)
+    if f.shape[1] != 2 or r.shape[1] != 2:
+        raise ValueError("spread is defined for 2-D fronts")
+    if f.shape[0] == 0 or r.shape[0] == 0:
+        return float("inf")
+    f = f[np.argsort(f[:, 0], kind="stable")]
+    r = r[np.argsort(r[:, 0], kind="stable")]
+    d_f = float(np.linalg.norm(f[0] - r[0]))
+    d_l = float(np.linalg.norm(f[-1] - r[-1]))
+    if f.shape[0] == 1:
+        denominator = d_f + d_l
+        return 1.0 if denominator == 0 else float((d_f + d_l) / denominator)
+    gaps = np.linalg.norm(np.diff(f, axis=0), axis=1)
+    mean_gap = float(gaps.mean())
+    numerator = d_f + d_l + float(np.abs(gaps - mean_gap).sum())
+    denominator = d_f + d_l + (f.shape[0] - 1) * mean_gap
+    if denominator == 0:
+        return 0.0
+    return float(numerator / denominator)

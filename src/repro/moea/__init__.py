@@ -1,0 +1,14 @@
+"""Multiobjective evolutionary algorithms (paper §V future work).
+
+"What remains for the future would be a comparison between the TSMO
+versions here and the well established multiobjective evolutionary
+algorithms in both runtime and solution quality" — this subpackage
+provides that comparator: an NSGA-II (Deb et al. 2000) specialized to
+the CVRPTW with route-based crossover and operator-based mutation, on
+the same solution representation, evaluator and budget accounting as
+the tabu searches, so fronts are directly comparable.
+"""
+
+from repro.moea.nsga2 import NSGA2Params, run_nsga2
+
+__all__ = ["NSGA2Params", "run_nsga2"]

@@ -1,0 +1,241 @@
+"""NSGA-II for the CVRPTW (the paper's §V comparison baseline).
+
+A faithful NSGA-II main loop — fast non-dominated sorting, crowding
+distance, binary tournament on (rank, crowding), elitist environmental
+selection — specialized to the permutation-coded CVRPTW:
+
+* **initialization**: randomized I1 constructions (random parameters
+  per individual, as the paper randomizes its seeds);
+* **crossover**: route-based crossover (RBX, Potvin & Bengio style):
+  the child keeps a random subset of parent A's routes, adopts parent
+  B's routes purged of duplicates, and first-fit-inserts any uncovered
+  customers at cheapest capacity-feasible positions;
+* **mutation**: a burst of random moves drawn from the same five-
+  operator registry the tabu search uses (so both algorithms explore
+  the identical neighborhood structure — the comparison measures the
+  *metaheuristic*, not the move set).
+
+Evaluations are counted by the shared :class:`~repro.core.evaluation.
+Evaluator`, so "equal budget" means the same thing it means for TSMO.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.construction import I1Params, i1_construct
+from repro.core.evaluation import Evaluator
+from repro.core.operators.registry import OperatorRegistry, default_registry
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.mo.archive import ParetoArchive
+from repro.mo.crowding import crowding_distances
+from repro.mo.dominance import non_dominated_sort
+from repro.rng import RngFactory
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOResult
+from repro.vrptw.instance import Instance
+
+__all__ = ["NSGA2Params", "run_nsga2"]
+
+
+@dataclass(frozen=True, slots=True)
+class NSGA2Params:
+    """Knobs of the NSGA-II comparator."""
+
+    population_size: int = 50
+    crossover_rate: float = 0.9
+    #: random operator moves applied per mutation.
+    mutation_moves: int = 2
+    #: probability an offspring is mutated at all.
+    mutation_rate: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4:
+            raise SearchError("population_size must be >= 4")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise SearchError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise SearchError("mutation_rate must be in [0, 1]")
+        if self.mutation_moves < 0:
+            raise SearchError("mutation_moves must be >= 0")
+
+
+def _route_based_crossover(
+    instance: Instance,
+    parent_a: Solution,
+    parent_b: Solution,
+    rng: np.random.Generator,
+) -> Solution:
+    """RBX: keep a random subset of A's routes, fill from B, repair."""
+    n_keep = int(rng.integers(1, len(parent_a.routes) + 1))
+    keep_idx = rng.choice(len(parent_a.routes), size=n_keep, replace=False)
+    kept = [parent_a.routes[i] for i in sorted(keep_idx)]
+    covered = {c for route in kept for c in route}
+
+    routes: list[list[int]] = [list(r) for r in kept]
+    for route in parent_b.routes:
+        if len(routes) >= instance.n_vehicles:
+            break
+        remainder = [c for c in route if c not in covered]
+        if remainder:
+            routes.append(remainder)
+            covered.update(remainder)
+
+    missing = [c for c in range(1, instance.n_customers + 1) if c not in covered]
+    if missing:
+        _cheapest_insert(instance, routes, missing)
+    # Capacity repair: B-routes purged of duplicates keep their load or
+    # shrink, and insertion is capacity-checked, but A∪B unions can
+    # still overflow a kept A-route only if insertion targeted it —
+    # which _cheapest_insert forbids; assert in debug builds via tests.
+    return Solution.from_routes(instance, routes)
+
+
+def _cheapest_insert(
+    instance: Instance, routes: list[list[int]], missing: list[int]
+) -> None:
+    """First-fit-decreasing cheapest insertion (capacity-feasible)."""
+    demand = instance._demand_l
+    travel = instance._travel_rows
+    loads = [sum(demand[c] for c in r) for r in routes]
+    for u in sorted(missing, key=lambda c: -demand[c]):
+        best: tuple[float, int, int] | None = None
+        for ri, route in enumerate(routes):
+            if loads[ri] + demand[u] > instance.capacity:
+                continue
+            for pos in range(len(route) + 1):
+                i = route[pos - 1] if pos > 0 else 0
+                j = route[pos] if pos < len(route) else 0
+                delta = travel[i][u] + travel[u][j] - travel[i][j]
+                if best is None or delta < best[0]:
+                    best = (delta, ri, pos)
+        if best is None:
+            if len(routes) >= instance.n_vehicles:
+                raise SearchError("crossover repair ran out of vehicles")
+            routes.append([u])
+            loads.append(demand[u])
+        else:
+            _, ri, pos = best
+            routes[ri].insert(pos, u)
+            loads[ri] += demand[u]
+
+
+def _mutate(
+    solution: Solution,
+    registry: OperatorRegistry,
+    n_moves: int,
+    rng: np.random.Generator,
+) -> Solution:
+    for _ in range(n_moves):
+        move = registry.draw_move(solution, rng)
+        if move is None:
+            break
+        solution = move.apply(solution)
+    return solution
+
+
+def _rank_and_crowding(
+    objectives: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-individual front rank and within-front crowding distance."""
+    n = objectives.shape[0]
+    ranks = np.empty(n, dtype=np.int64)
+    crowding = np.empty(n, dtype=np.float64)
+    for rank, front in enumerate(non_dominated_sort(objectives)):
+        ranks[front] = rank
+        crowding[front] = crowding_distances(objectives[front])
+    return ranks, crowding
+
+
+def _tournament(
+    ranks: np.ndarray, crowding: np.ndarray, rng: np.random.Generator
+) -> int:
+    a, b = rng.integers(0, ranks.shape[0], size=2)
+    if ranks[a] != ranks[b]:
+        return int(a if ranks[a] < ranks[b] else b)
+    return int(a if crowding[a] >= crowding[b] else b)
+
+
+def run_nsga2(
+    instance: Instance,
+    params: TSMOParams | None = None,
+    nsga_params: NSGA2Params | None = None,
+    seed: int | None = None,
+    *,
+    registry: OperatorRegistry | None = None,
+) -> TSMOResult:
+    """Run NSGA-II to the same evaluation budget as a TSMO run.
+
+    Returns a :class:`~repro.tabu.search.TSMOResult` whose archive is
+    the final non-dominated front bounded by ``params.archive_capacity``
+    (crowding-pruned), so coverage comparisons against TSMO variants
+    compare like against like.
+    """
+    params = params or TSMOParams()
+    nparams = nsga_params or NSGA2Params()
+    registry = registry or default_registry()
+    factory = RngFactory(seed)
+    rng = factory.generator()
+    evaluator = Evaluator(instance, params.max_evaluations)
+
+    start = time.perf_counter()
+    population: list[Solution] = []
+    for _ in range(nparams.population_size):
+        individual = i1_construct(instance, params=I1Params.random(rng), rng=rng)
+        individual = _mutate(individual, registry, nparams.mutation_moves, rng)
+        evaluator.evaluate(individual)
+        population.append(individual)
+
+    generations = 0
+    while not evaluator.exhausted:
+        objectives = np.vstack([s.objectives.as_array() for s in population])
+        ranks, crowding = _rank_and_crowding(objectives)
+        offspring: list[Solution] = []
+        while len(offspring) < nparams.population_size and not evaluator.exhausted:
+            pa = population[_tournament(ranks, crowding, rng)]
+            pb = population[_tournament(ranks, crowding, rng)]
+            if rng.random() < nparams.crossover_rate:
+                child = _route_based_crossover(instance, pa, pb, rng)
+            else:
+                child = Solution(instance, pa.routes)
+            if rng.random() < nparams.mutation_rate:
+                child = _mutate(child, registry, nparams.mutation_moves, rng)
+            evaluator.evaluate(child)
+            offspring.append(child)
+        # Elitist environmental selection over parents + offspring.
+        combined = population + offspring
+        combined_obj = np.vstack([s.objectives.as_array() for s in combined])
+        selected: list[int] = []
+        for front in non_dominated_sort(combined_obj):
+            if len(selected) + front.size <= nparams.population_size:
+                selected.extend(front.tolist())
+            else:
+                gap = nparams.population_size - len(selected)
+                front_crowding = crowding_distances(combined_obj[front])
+                order = np.argsort(-front_crowding, kind="stable")
+                selected.extend(front[order[:gap]].tolist())
+                break
+        population = [combined[i] for i in selected]
+        generations += 1
+    wall = time.perf_counter() - start
+
+    archive: ParetoArchive[Solution] = ParetoArchive(params.archive_capacity)
+    for solution in population:
+        archive.try_add(solution, solution.objectives)
+    return TSMOResult(
+        instance_name=instance.name,
+        algorithm="nsga2",
+        params=params,
+        archive=list(archive.entries),
+        iterations=generations,
+        evaluations=evaluator.count,
+        restarts=0,
+        wall_time=wall,
+        simulated_time=None,
+        processors=1,
+        extra={"population_size": nparams.population_size},
+    )

@@ -1,0 +1,56 @@
+"""Parallel TSMO variants and the simulated-cluster substrate.
+
+The paper ran on an SGI Origin 3800 with 128 processors; this
+environment has one core and a GIL, so (per DESIGN.md) the parallel
+*protocols* execute for real inside a deterministic discrete-event
+simulation while durations come from a calibrated cost model:
+
+* :mod:`repro.parallel.des` — the event kernel (processes as
+  generators, mailboxes, timeouts);
+* :mod:`repro.parallel.cluster` — virtual processors with speed
+  jitter, stochastic stalls and a message cost model;
+* :mod:`repro.parallel.sync_ts` — the synchronous master–worker TSMO
+  (§III.C);
+* :mod:`repro.parallel.async_ts` — the asynchronous master–worker TSMO
+  with the four-condition decision function (§III.D, Algorithm 2);
+* :mod:`repro.parallel.collab_ts` — the collaborative multisearch TSMO
+  with the rotating communication list (§III.E);
+* :mod:`repro.parallel.mp_backend` — a real ``multiprocessing``
+  evaluation backend, demonstrating the same master/worker split on
+  actual OS processes (not used by the benchmarks: one core here);
+* :mod:`repro.parallel.adaptive_memory` — Taillard-style adaptive
+  memory TS (the domain-decomposition strand of related work, §I),
+  included as an extension.
+"""
+
+from repro.parallel.adaptive_memory import (
+    AdaptiveMemoryParams,
+    run_adaptive_memory_tsmo,
+)
+from repro.parallel.async_ts import AsyncParams, run_asynchronous_tsmo
+from repro.parallel.base import run_sequential_simulated
+from repro.parallel.cluster import SimCluster
+from repro.parallel.collab_ts import CollabParams, run_collaborative_tsmo
+from repro.parallel.costmodel import CostModel
+from repro.parallel.des import Environment, Mailbox
+from repro.parallel.hybrid_ts import HybridParams, run_hybrid_tsmo
+from repro.parallel.mp_backend import run_multiprocessing_tsmo
+from repro.parallel.sync_ts import run_synchronous_tsmo
+
+__all__ = [
+    "AdaptiveMemoryParams",
+    "AsyncParams",
+    "CollabParams",
+    "CostModel",
+    "Environment",
+    "HybridParams",
+    "Mailbox",
+    "SimCluster",
+    "run_adaptive_memory_tsmo",
+    "run_asynchronous_tsmo",
+    "run_collaborative_tsmo",
+    "run_hybrid_tsmo",
+    "run_multiprocessing_tsmo",
+    "run_sequential_simulated",
+    "run_synchronous_tsmo",
+]

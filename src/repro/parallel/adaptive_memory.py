@@ -1,0 +1,208 @@
+"""Adaptive-memory tabu search (extension; paper §I related work).
+
+The paper's introduction discusses the *domain decomposition* strand
+of parallel tabu search: "Adaptive memory is represented as a pool of
+solution parts from which new solutions are created.  During the
+search good parts are identified and added to the memory", citing
+Taillard et al. (1997) and its hierarchical parallelization (Badeau et
+al. 1997).  The paper itself does not evaluate this strand; we include
+a faithful sequential implementation as an extension so the three
+strands of the taxonomy (functional decomposition, domain
+decomposition, multisearch) are all represented in the library, and an
+ablation benchmark compares it against the TSMO variants.
+
+Protocol (Taillard-style, adapted to the multiobjective setting):
+
+1. seed the memory with the routes of several I1 constructions;
+2. repeatedly *construct* a solution by drawing non-overlapping routes
+   from the memory (weighted toward routes harvested from good
+   solutions), first-fit-inserting any uncovered customers;
+3. *improve* it with a short TSMO burst;
+4. *harvest* the routes of the improved solution back into the memory
+   with the solution's quality as their score, and record the solution
+   in a global Pareto archive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.construction import i1_construct
+from repro.core.evaluation import Evaluator
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.mo.archive import ParetoArchive
+from repro.rng import RngFactory
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOEngine, TSMOResult
+from repro.vrptw.instance import Instance
+
+__all__ = ["AdaptiveMemory", "AdaptiveMemoryParams", "run_adaptive_memory_tsmo"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdaptiveMemoryParams:
+    """Knobs of the adaptive-memory driver."""
+
+    #: I1 seeds used to initialize the pool.
+    initial_seeds: int = 4
+    #: maximum routes kept in the memory.
+    pool_capacity: int = 200
+    #: evaluations per improvement burst (the inner TSMO).
+    burst_evaluations: int = 1000
+    #: neighborhood size of the inner TSMO.
+    burst_neighborhood: int = 50
+
+    def __post_init__(self) -> None:
+        for label in (
+            "initial_seeds",
+            "pool_capacity",
+            "burst_evaluations",
+            "burst_neighborhood",
+        ):
+            if getattr(self, label) < 1:
+                raise SearchError(f"{label} must be >= 1")
+
+
+@dataclass
+class _PooledRoute:
+    route: tuple[int, ...]
+    score: float  # lower is better (source solution's distance rank)
+
+
+@dataclass
+class AdaptiveMemory:
+    """The pool of harvested routes."""
+
+    capacity: int
+    routes: list[_PooledRoute] = field(default_factory=list)
+
+    def harvest(self, solution: Solution, score: float) -> None:
+        """Add a solution's routes with the given quality score."""
+        for route in solution.routes:
+            self.routes.append(_PooledRoute(route=route, score=score))
+        if len(self.routes) > self.capacity:
+            self.routes.sort(key=lambda r: r.score)
+            del self.routes[self.capacity :]
+
+    def construct(self, instance: Instance, rng: np.random.Generator) -> Solution:
+        """Draw non-overlapping routes, then first-fit the remainder."""
+        if not self.routes:
+            raise SearchError("adaptive memory is empty; harvest first")
+        # Weight good (low-score) routes higher.
+        scores = np.array([r.score for r in self.routes])
+        ranks = scores.argsort().argsort()  # 0 = best
+        weights = 1.0 / (1.0 + ranks)
+        weights /= weights.sum()
+        order = rng.choice(len(self.routes), size=len(self.routes), replace=False, p=weights)
+
+        covered: set[int] = set()
+        chosen: list[tuple[int, ...]] = []
+        for idx in order:
+            route = self.routes[int(idx)].route
+            if len(chosen) >= instance.n_vehicles:
+                break
+            if covered.isdisjoint(route):
+                chosen.append(route)
+                covered.update(route)
+        missing = [c for c in range(1, instance.n_customers + 1) if c not in covered]
+        routes = [list(r) for r in chosen]
+        _first_fit(instance, routes, missing)
+        return Solution.from_routes(instance, routes)
+
+
+def _first_fit(instance: Instance, routes: list[list[int]], missing: list[int]) -> None:
+    """Insert uncovered customers at cheapest capacity-feasible spots."""
+    demand = instance._demand_l
+    travel = instance._travel_rows
+    loads = [sum(demand[c] for c in r) for r in routes]
+    for u in missing:
+        best: tuple[float, int, int] | None = None
+        for ri, route in enumerate(routes):
+            if loads[ri] + demand[u] > instance.capacity:
+                continue
+            for pos in range(len(route) + 1):
+                i = route[pos - 1] if pos > 0 else 0
+                j = route[pos] if pos < len(route) else 0
+                delta = travel[i][u] + travel[u][j] - travel[i][j]
+                if best is None or delta < best[0]:
+                    best = (delta, ri, pos)
+        if best is None:
+            if len(routes) >= instance.n_vehicles:
+                raise SearchError(
+                    "adaptive-memory construction ran out of vehicles"
+                )
+            routes.append([u])
+            loads.append(demand[u])
+        else:
+            _, ri, pos = best
+            routes[ri].insert(pos, u)
+            loads[ri] += demand[u]
+
+
+def run_adaptive_memory_tsmo(
+    instance: Instance,
+    params: TSMOParams | None = None,
+    am_params: AdaptiveMemoryParams | None = None,
+    seed: int | None = None,
+) -> TSMOResult:
+    """Adaptive-memory TSMO: construct-from-pool, improve, harvest."""
+    params = params or TSMOParams()
+    am = am_params or AdaptiveMemoryParams()
+    factory = RngFactory(seed)
+    rng = factory.generator()
+    memory = AdaptiveMemory(capacity=am.pool_capacity)
+    archive: ParetoArchive[Solution] = ParetoArchive(params.archive_capacity)
+    total_evals = 0
+    iterations = 0
+    restarts = 0
+
+    start = time.perf_counter()
+    for _ in range(am.initial_seeds):
+        seed_solution = i1_construct(instance, rng=rng)
+        total_evals += 1
+        memory.harvest(seed_solution, seed_solution.objectives.distance)
+        archive.try_add(seed_solution, seed_solution.objectives)
+
+    burst_params = TSMOParams(
+        max_evaluations=am.burst_evaluations,
+        neighborhood_size=am.burst_neighborhood,
+        tabu_tenure=params.tabu_tenure,
+        archive_capacity=params.archive_capacity,
+        nondom_capacity=params.nondom_capacity,
+        restart_after=max(2, params.restart_after // 4),
+    )
+    while total_evals < params.max_evaluations:
+        constructed = memory.construct(instance, rng)
+        engine = TSMOEngine(
+            instance,
+            burst_params,
+            factory.generator(),
+            evaluator=Evaluator(instance, am.burst_evaluations),
+        )
+        engine.initialize(constructed)
+        while not engine.done and total_evals + engine.evaluator.count < params.max_evaluations:
+            engine.step()
+        total_evals += engine.evaluator.count
+        iterations += engine.iteration
+        restarts += engine.restarts
+        for entry in engine.memories.archive.entries:
+            archive.try_add(entry.item, entry.objectives)
+            memory.harvest(entry.item, entry.objectives.distance)
+    wall = time.perf_counter() - start
+
+    return TSMOResult(
+        instance_name=instance.name,
+        algorithm="adaptive_memory",
+        params=params,
+        archive=list(archive.entries),
+        iterations=iterations,
+        evaluations=total_evals,
+        restarts=restarts,
+        wall_time=wall,
+        simulated_time=None,
+        processors=1,
+    )

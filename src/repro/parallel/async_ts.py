@@ -1,0 +1,225 @@
+"""Asynchronous master–worker TSMO (paper §III.D).
+
+"The asynchronous TS still uses a master-worker philosophy and
+parallelizes the neighborhood generation and evaluation function, but
+the master does not wait in all cases for the workers to continue.
+... the master will use a decision function to decide if workers
+should be given more time or if it should continue by selecting the
+next current individual from the N that has been collected so far.
+Thus the master can consider only parts of a neighborhood per
+iteration and will take the other parts into account once they will be
+evaluated."
+
+Algorithm 2 — the decision function — returns "continue" when any of:
+
+* ``c1`` — some worker is idle (its final batch arrived);
+* ``c2`` — a collected neighbor dominates the current solution;
+* ``c3`` — the master has been waiting too long;
+* ``c4`` — the evaluation budget is exhausted.
+
+Workers stream results in small batches; batches that arrive after the
+master moved on simply join a later selection pool, so the search "can
+select solutions that were neighbors of a previous solution" — the
+carryover Figure 1 illustrates (visible in the trace as selections
+whose creation iteration precedes their selection iteration).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluation import Evaluator
+from repro.core.operators.registry import OperatorRegistry, default_registry
+from repro.errors import SimulationError
+from repro.mo.dominance import dominates
+from repro.parallel.base import simulation_context
+from repro.parallel.costmodel import CostModel
+from repro.parallel.des import GET_TIMED_OUT
+from repro.parallel.messages import ResultMessage, StopMessage, TaskMessage
+from repro.parallel.sync_ts import split_chunks, worker_process
+from repro.rng import RngFactory
+from repro.tabu.neighborhood import Neighbor
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOEngine, TSMOResult
+from repro.tabu.trace import TrajectoryRecorder
+from repro.vrptw.instance import Instance
+
+__all__ = ["AsyncParams", "run_asynchronous_tsmo"]
+
+
+@dataclass(frozen=True, slots=True)
+class AsyncParams:
+    """Knobs specific to the asynchronous variant."""
+
+    #: neighbors per worker result message (streaming granularity).
+    batch_size: int = 20
+    #: condition ``c3``: how long the master waits (in cost-model time
+    #: units) after finishing its own chunk before proceeding anyway.
+    #: ``None`` (default) adapts to the cluster: 1.25x the nominal
+    #: duration of one worker chunk, so the deadline only cuts off
+    #: genuine stragglers — whose late neighbors then carry over.
+    max_wait: float | None = None
+    #: fraction of an equal ``S / P`` chunk the master assigns to
+    #: itself.  The paper's master "distributes the work among himself
+    #: and the workers"; in our implementation the asynchronous master
+    #: interleaves collection and selection with its own generation, so
+    #: it takes a reduced share by default (the remainder is spread
+    #: over the workers).  This is one of the calibrated constants —
+    #: see EXPERIMENTS.md.
+    master_share: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise SimulationError("batch_size must be >= 1")
+        if self.max_wait is not None and self.max_wait < 0:
+            raise SimulationError("max_wait must be non-negative")
+        if not 0.0 <= self.master_share <= 1.0:
+            raise SimulationError("master_share must be in [0, 1]")
+
+
+def run_asynchronous_tsmo(
+    instance: Instance,
+    params: TSMOParams | None = None,
+    n_processors: int = 3,
+    seed: int | np.random.SeedSequence | None = None,
+    cost_model: CostModel | None = None,
+    async_params: AsyncParams | None = None,
+    *,
+    registry: OperatorRegistry | None = None,
+    trace: TrajectoryRecorder | None = None,
+) -> TSMOResult:
+    """Run the asynchronous master–worker TSMO on the simulated cluster."""
+    params = params or TSMOParams()
+    aparams = async_params or AsyncParams()
+    if n_processors < 2:
+        raise SimulationError("the master-worker variants need >= 2 processors")
+    registry = registry or default_registry()
+    factory = RngFactory(seed)
+    master_rng = factory.generator()
+    worker_rngs = factory.generators(n_processors - 1)
+    cluster_seed = factory.seed_sequence()
+    env, cluster, _ = simulation_context(n_processors, cost_model, cluster_seed, 0)
+    cost = cluster.cost
+
+    evaluator = Evaluator(instance, params.max_evaluations)
+    engine = TSMOEngine(
+        instance, params, master_rng, evaluator=evaluator, registry=registry, trace=trace
+    )
+    finish = {"time": None, "carryover": 0, "pool_sizes": []}
+
+    def master():
+        inbox = cluster.inbox(0)
+        yield cluster.compute(0, cost.init_cost(instance.n_customers))
+        engine.initialize()
+        idle = set(range(1, n_processors))
+        pool: list[Neighbor] = []
+        # The master takes a reduced share; workers split the rest.
+        equal = params.neighborhood_size / n_processors
+        master_chunk = int(round(aparams.master_share * equal))
+        worker_chunks = split_chunks(
+            params.neighborhood_size - master_chunk, n_processors - 1
+        )
+        chunks = [master_chunk] + worker_chunks
+        max_wait = (
+            aparams.max_wait
+            if aparams.max_wait is not None
+            else 1.25 * cost.eval_cost * max(worker_chunks)
+        )
+
+        def absorb(msg: ResultMessage):
+            # Streamed receive: pre-posted buffers overlap with compute,
+            # only per-message handling hits the critical path.
+            yield cluster.receive_overhead(0, len(msg.neighbors), streamed=True)
+            pool.extend(msg.neighbors)
+            if msg.final:
+                idle.add(msg.worker)
+
+        while not engine.done:
+            iteration = engine.iteration + 1
+            # (Re)assign work to every idle worker; busy workers keep
+            # grinding on neighborhoods of previous currents.
+            for rank in sorted(idle):
+                cluster.send(
+                    0,
+                    rank,
+                    TaskMessage(engine.current, chunks[rank], iteration),
+                    n_items=1,
+                )
+            idle.clear()
+            # The master's own share.
+            yield cluster.compute(0, cost.eval_cost * chunks[0])
+            pool.extend(engine.generate_neighborhood(chunks[0]))
+
+            # Collection loop governed by the decision function.
+            deadline = env.now + max_wait
+            while True:
+                while (msg := inbox.get_nowait()) is not None:
+                    yield from absorb(msg)
+                current_obj = engine.current.objectives.as_array()
+                c1 = bool(idle)
+                c2 = any(
+                    dominates(n.objectives.as_array(), current_obj) for n in pool
+                )
+                c3 = env.now >= deadline
+                c4 = evaluator.exhausted
+                if pool and (c1 or c2 or c3 or c4):
+                    break
+                if not pool and c4:
+                    break
+                # Give the workers more time: block until the next
+                # message or the waiting-too-long deadline.
+                timeout = None if c3 else max(deadline - env.now, 0.0)
+                msg = yield inbox.get(timeout=timeout)
+                if msg is GET_TIMED_OUT:
+                    continue
+                yield from absorb(msg)
+            if not pool:
+                break
+            finish["pool_sizes"].append(len(pool))
+            # Neighbors created in earlier iterations that are only now
+            # considered — the paper's carryover effect (Figure 1).
+            finish["carryover"] += sum(
+                1 for n in pool if n.iteration <= engine.iteration
+            )
+            yield cluster.compute(0, cost.selection_cost(len(pool)))
+            engine.select_and_update(pool)
+            pool.clear()
+
+        finish["time"] = env.now
+        for rank in range(1, n_processors):
+            cluster.send(0, rank, StopMessage(), n_items=1)
+
+    env.process(master(), name="master")
+    for rank in range(1, n_processors):
+        env.process(
+            worker_process(
+                cluster,
+                rank,
+                registry,
+                worker_rngs[rank - 1],
+                evaluator,
+                batch_size=aparams.batch_size,
+            ),
+            name=f"worker-{rank}",
+        )
+
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    result = engine.result(
+        "asynchronous",
+        wall_time=wall,
+        simulated_time=finish["time"] if finish["time"] is not None else env.now,
+        processors=n_processors,
+    )
+    result.extra["messages_sent"] = cluster.messages_sent
+    result.extra["items_sent"] = cluster.items_sent
+    pool_sizes = finish["pool_sizes"]
+    result.extra["mean_pool_size"] = (
+        float(np.mean(pool_sizes)) if pool_sizes else 0.0
+    )
+    result.extra["carryover_neighbors"] = finish["carryover"]
+    return result

@@ -1,0 +1,91 @@
+"""Shared scaffolding of the simulated parallel drivers.
+
+All four drivers (sequential baseline, synchronous, asynchronous,
+collaborative) follow the same recipe: build a deterministic RNG tree
+from one seed, put a :class:`~repro.parallel.cluster.SimCluster` on a
+fresh :class:`~repro.parallel.des.Environment`, run the protocol as
+simulated processes, and snapshot the engine(s) into a
+:class:`~repro.tabu.search.TSMOResult` whose ``simulated_time`` is the
+cluster time at which the algorithm delivered its result.
+
+The RNG spawning order is part of each driver's definition (seed →
+search stream(s) → cluster stream); re-running any driver with the
+same arguments replays the identical search *and* the identical
+message timeline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.operators.registry import OperatorRegistry
+from repro.parallel.cluster import SimCluster
+from repro.parallel.costmodel import CostModel
+from repro.parallel.des import Environment
+from repro.rng import RngFactory
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOEngine, TSMOResult
+from repro.tabu.trace import TrajectoryRecorder
+from repro.vrptw.instance import Instance
+
+__all__ = ["run_sequential_simulated", "simulation_context"]
+
+
+def simulation_context(
+    n_processors: int,
+    cost_model: CostModel | None,
+    seed: int | np.random.SeedSequence | None,
+    n_search_streams: int = 1,
+) -> tuple[Environment, SimCluster, list[np.random.Generator]]:
+    """Build the environment, cluster and search RNG streams for a driver."""
+    factory = RngFactory(seed)
+    search_streams = factory.generators(n_search_streams)
+    cluster_seed = factory.seed_sequence()
+    env = Environment()
+    cluster = SimCluster(env, n_processors, cost_model, seed=cluster_seed)
+    return env, cluster, search_streams
+
+
+def run_sequential_simulated(
+    instance: Instance,
+    params: TSMOParams | None = None,
+    seed: int | np.random.SeedSequence | None = None,
+    cost_model: CostModel | None = None,
+    *,
+    registry: OperatorRegistry | None = None,
+    trace: TrajectoryRecorder | None = None,
+) -> TSMOResult:
+    """The sequential TSMO with simulated timing — the ``T_s`` baseline.
+
+    Algorithmically identical to
+    :func:`repro.tabu.search.run_sequential_tsmo` (same seed → same
+    archive); additionally accumulates the cost-model time a single
+    reference processor would need, which is the numerator of every
+    speedup in Tables I–IV.
+    """
+    params = params or TSMOParams()
+    env, cluster, (search_rng,) = simulation_context(1, cost_model, seed)
+    cost = cluster.cost
+    engine = TSMOEngine(instance, params, search_rng, registry=registry, trace=trace)
+
+    def driver():
+        yield cluster.compute(0, cost.init_cost(instance.n_customers))
+        engine.initialize()
+        while not engine.done:
+            neighbors = engine.generate_neighborhood()
+            yield cluster.compute(0, cost.eval_cost * len(neighbors))
+            yield cluster.compute(0, cost.selection_cost(len(neighbors)))
+            engine.select_and_update(neighbors)
+
+    start = time.perf_counter()
+    env.process(driver(), name="sequential")
+    env.run()
+    wall = time.perf_counter() - start
+    return engine.result(
+        "sequential",
+        wall_time=wall,
+        simulated_time=env.now,
+        processors=1,
+    )

@@ -1,0 +1,127 @@
+"""The virtual cluster: processors, mailboxes and message passing.
+
+:class:`SimCluster` binds a :class:`~repro.parallel.des.Environment` to
+a :class:`~repro.parallel.costmodel.CostModel`: it assigns every
+simulated processor a persistent relative speed (lognormal around 1,
+mirroring the mildly heterogeneous load of a shared 128-CPU machine), a
+mailbox, and an RNG stream for its compute-noise draws, and it routes
+messages with the model's transit delays.
+
+Processor 0 is by convention the master (or searcher 0); the protocols
+in :mod:`repro.parallel.sync_ts` / ``async_ts`` / ``collab_ts`` are
+written against this class only, never against the cost model
+directly, so ablations can swap either independently.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.parallel.costmodel import CostModel
+from repro.parallel.des import Environment, Mailbox, Timeout
+from repro.rng import spawn_generators
+
+__all__ = ["SimCluster"]
+
+
+class SimCluster:
+    """A set of simulated processors connected by an interconnect."""
+
+    def __init__(
+        self,
+        env: Environment,
+        n_processors: int,
+        cost_model: CostModel | None = None,
+        seed: int | np.random.SeedSequence | None = 0,
+    ) -> None:
+        if n_processors < 1:
+            raise SimulationError(f"cluster needs >= 1 processor, got {n_processors}")
+        self.env = env
+        self.n_processors = n_processors
+        self.cost = cost_model or CostModel()
+        # One stream per processor for compute noise, plus one for the
+        # persistent speed assignment.
+        streams = spawn_generators(seed, n_processors + 1)
+        self._noise = streams[:n_processors]
+        speed_rng = streams[n_processors]
+        if self.cost.speed_sigma > 0:
+            self.speeds = speed_rng.lognormal(
+                mean=0.0, sigma=self.cost.speed_sigma, size=n_processors
+            )
+        else:
+            self.speeds = np.ones(n_processors)
+        self.mailboxes = [
+            Mailbox(env, name=f"cpu-{i}") for i in range(n_processors)
+        ]
+        #: total messages sent (diagnostics / overhead reporting).
+        self.messages_sent = 0
+        #: total items carried by all messages.
+        self.items_sent = 0
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def compute(self, processor: int, nominal: float) -> Timeout:
+        """A timeout request for ``nominal`` compute units on a processor.
+
+        Usage inside a process: ``yield cluster.compute(rank, work)``.
+        """
+        self._check(processor)
+        duration = self.cost.compute_duration(
+            nominal,
+            float(self.speeds[processor]),
+            self._noise[processor],
+            self.n_processors,
+        )
+        return self.env.timeout(duration)
+
+    def receive_overhead(
+        self, processor: int, n_items: int = 1, *, streamed: bool = False
+    ) -> Timeout:
+        """A timeout request for handling one received message.
+
+        ``streamed`` selects the overlapped per-item rate (pre-posted
+        asynchronous receives) over the bulk collective-gather rate;
+        see :meth:`CostModel.receive_cost`.
+        """
+        self._check(processor)
+        return self.env.timeout(
+            self.cost.receive_cost(self.n_processors, n_items, streamed=streamed)
+        )
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any, n_items: int = 1) -> None:
+        """Send ``payload`` from processor ``src`` to ``dst``.
+
+        The message appears in ``dst``'s mailbox after the transit
+        delay.  The *receiver* pays :meth:`receive_overhead` when it
+        processes the message; the sender's marshalling cost is folded
+        into the transit term.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            raise SimulationError(f"processor {src} tried to message itself")
+        delay = self.cost.transfer_delay(n_items, self.n_processors)
+        self.mailboxes[dst].put(payload, delay=delay)
+        self.messages_sent += 1
+        self.items_sent += n_items
+
+    def inbox(self, processor: int) -> Mailbox:
+        """The mailbox of a processor."""
+        self._check(processor)
+        return self.mailboxes[processor]
+
+    def _check(self, processor: int) -> None:
+        if not 0 <= processor < self.n_processors:
+            raise SimulationError(
+                f"unknown processor {processor} (cluster has {self.n_processors})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SimCluster(processors={self.n_processors}, t={self.env.now:.1f})"

@@ -1,0 +1,271 @@
+"""A minimal deterministic discrete-event simulation kernel.
+
+This is the substrate that stands in for the paper's SGI Origin 3800:
+simulated *processes* are Python generators that ``yield`` requests to
+the :class:`Environment` — sleep for a simulated duration
+(:meth:`Environment.timeout`), receive from a :class:`Mailbox`
+(optionally with a timeout), or join another process.  The kernel is a
+few hundred lines on purpose: the protocols built on top (master/worker
+tabu search, collaborative searchers) are the interesting part, and
+every scheduling decision must be reproducible from a seed, so the
+event queue is strictly ordered by ``(time, insertion sequence)`` with
+no wall-clock or hash-order dependence anywhere.
+
+Typical usage::
+
+    env = Environment()
+    inbox = Mailbox(env, "worker-0")
+
+    def worker(env, inbox):
+        while True:
+            msg = yield inbox.get()
+            if msg == "stop":
+                return "done"
+            yield env.timeout(3.5)          # simulate work
+
+    proc = env.process(worker(env, inbox))
+    inbox.put("job", delay=1.0)
+    inbox.put("stop", delay=2.0)
+    env.run()
+    assert env.now == 5.5 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator
+
+from repro.errors import SimulationError
+
+__all__ = ["Environment", "Mailbox", "Process", "Timeout", "GET_TIMED_OUT"]
+
+#: Sentinel returned by ``mailbox.get(timeout=...)`` when the timeout
+#: elapses before an item arrives.
+GET_TIMED_OUT = object()
+
+
+class Timeout:
+    """A request to sleep for ``delay`` simulated time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot wait a negative duration: {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Timeout({self.delay})"
+
+
+class _GetRequest:
+    """A request to receive one item from a mailbox."""
+
+    __slots__ = ("mailbox", "timeout")
+
+    def __init__(self, mailbox: "Mailbox", timeout: float | None) -> None:
+        self.mailbox = mailbox
+        self.timeout = timeout
+
+
+class Process:
+    """A running simulated process wrapping a generator.
+
+    Yield :class:`Timeout`, a mailbox get request, or another
+    :class:`Process` (to join it).  The generator's ``return`` value
+    becomes :attr:`value` once :attr:`finished`.
+    """
+
+    __slots__ = ("env", "name", "_gen", "finished", "value", "_joiners")
+
+    def __init__(self, env: "Environment", gen: Generator, name: str | None = None) -> None:
+        self.env = env
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self.finished = False
+        self.value: Any = None
+        self._joiners: list[Process] = []
+
+    def _step(self, value: Any) -> None:
+        if self.finished:
+            raise SimulationError(f"process {self.name!r} resumed after finishing")
+        try:
+            request = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.value = stop.value
+            for joiner in self._joiners:
+                self.env._schedule(0.0, joiner._step, self.value)
+            self._joiners.clear()
+            return
+        self._dispatch(request)
+
+    def _dispatch(self, request: Any) -> None:
+        if isinstance(request, Timeout):
+            self.env._schedule(request.delay, self._step, None)
+        elif isinstance(request, _GetRequest):
+            request.mailbox._register(self, request.timeout)
+        elif isinstance(request, Process):
+            if request.finished:
+                self.env._schedule(0.0, self._step, request.value)
+            else:
+                request._joiners.append(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported request {request!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable, Any]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def _schedule(self, delay: float, fn: Callable, value: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, value))
+
+    def timeout(self, delay: float) -> Timeout:
+        """Request to sleep for ``delay`` (yield this from a process)."""
+        return Timeout(delay)
+
+    def process(self, gen: Generator, name: str | None = None) -> Process:
+        """Start a simulated process; it begins at the current time."""
+        proc = Process(self, gen, name)
+        self._schedule(0.0, proc._step, None)
+        return proc
+
+    def call_at(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callback (used by mailboxes for delivery)."""
+        self._schedule(delay, lambda _: fn(), None)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Process events until the queue drains (or ``until`` passes).
+
+        Blocked processes (waiting on an empty mailbox with no timeout)
+        do not keep the simulation alive; when only such processes
+        remain the run ends — that is the normal shutdown of
+        server-style workers.  Returns the final simulated time.
+        """
+        while self._heap:
+            at, _, fn, value = self._heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = at
+            fn(value)
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued events (diagnostics)."""
+        return len(self._heap)
+
+
+class _Waiter:
+    """Bookkeeping for a process blocked on a mailbox get."""
+
+    __slots__ = ("process", "active")
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+        self.active = True
+
+
+class Mailbox:
+    """An unbounded FIFO channel between simulated processes.
+
+    ``put`` may carry a delivery ``delay`` (message transit time);
+    ``get`` optionally takes a ``timeout`` and then resumes with
+    :data:`GET_TIMED_OUT` if nothing arrived in time.  ``None`` items
+    are rejected so the timeout sentinel can never be confused with a
+    message.
+    """
+
+    def __init__(self, env: Environment, name: str | None = None) -> None:
+        self.env = env
+        self.name = name or "mailbox"
+        self._buffer: deque[Any] = deque()
+        self._waiters: deque[_Waiter] = deque()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def put(self, item: Any, delay: float = 0.0) -> None:
+        """Deliver ``item`` after ``delay`` time units."""
+        if item is None:
+            raise SimulationError("mailboxes cannot carry None items")
+        if delay > 0:
+            self.env.call_at(delay, lambda: self._deliver(item))
+        else:
+            self._deliver(item)
+
+    def _deliver(self, item: Any) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.active:
+                waiter.active = False
+                self.env._schedule(0.0, waiter.process._step, item)
+                return
+        self._buffer.append(item)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def get(self, timeout: float | None = None) -> _GetRequest:
+        """Request to receive one item (yield this from a process)."""
+        return _GetRequest(self, timeout)
+
+    def get_nowait(self) -> Any | None:
+        """Pop a buffered item immediately, or ``None`` when empty.
+
+        Only valid between yields (simulated processes are cooperative,
+        so there is no race).
+        """
+        if self._buffer:
+            return self._buffer.popleft()
+        return None
+
+    def _register(self, process: Process, timeout: float | None) -> None:
+        if self._buffer:
+            item = self._buffer.popleft()
+            self.env._schedule(0.0, process._step, item)
+            return
+        waiter = _Waiter(process)
+        self._waiters.append(waiter)
+        if timeout is not None:
+
+            def expire(_: Any) -> None:
+                if waiter.active:
+                    waiter.active = False
+                    process._step(GET_TIMED_OUT)
+
+            self.env._schedule(timeout, expire, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Mailbox({self.name!r}, buffered={len(self._buffer)})"

@@ -1,0 +1,283 @@
+"""Hybrid asynchronous + multisearch TSMO (paper §V future work).
+
+"What remains for the future would be ... combining the multisearch TS
+with the asynchronous TS to get the best of both worlds and probably
+an algorithm that delivers both good solutions and runtime
+performance."  And from §I: "A combination of multisearch and
+functional decomposition could combine the best of two worlds."
+
+This driver implements that combination on the simulated cluster:
+
+* the fleet of ``n_islands`` searchers is the *multisearch* layer —
+  each island runs its own TSMO with (optionally) perturbed parameters
+  and, after an initial phase, sends archive-improving solutions to
+  the next island on its rotating communication list (§III.E);
+* each island is internally an *asynchronous master–worker* group
+  (§III.D): the island master farms neighborhood generation out to
+  ``procs_per_island - 1`` workers and proceeds on the four-condition
+  decision function instead of waiting for stragglers.
+
+Expected profile (checked by the hybrid benchmark): per-island runtime
+close to the plain asynchronous variant at the same group size —
+i.e. positive speedup, unlike the collaborative variant — while the
+exchanged elites and parameter diversity buy collaborative-grade
+fronts and vehicle counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluation import Evaluator
+from repro.core.operators.registry import OperatorRegistry, default_registry
+from repro.errors import SimulationError
+from repro.mo.archive import ParetoArchive
+from repro.mo.dominance import dominates
+from repro.parallel.async_ts import AsyncParams
+from repro.parallel.base import simulation_context
+from repro.parallel.costmodel import CostModel
+from repro.parallel.des import GET_TIMED_OUT
+from repro.parallel.messages import (
+    ResultMessage,
+    SolutionMessage,
+    StopMessage,
+    TaskMessage,
+)
+from repro.parallel.sync_ts import split_chunks, worker_process
+from repro.rng import RngFactory
+from repro.tabu.neighborhood import Neighbor
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOEngine, TSMOResult
+from repro.vrptw.instance import Instance
+
+__all__ = ["HybridParams", "run_hybrid_tsmo"]
+
+
+@dataclass(frozen=True, slots=True)
+class HybridParams:
+    """Knobs of the hybrid driver."""
+
+    #: number of collaborating islands (multisearch layer).
+    n_islands: int = 3
+    #: processors per island (one master + workers; async layer).
+    procs_per_island: int = 4
+    #: perturb parameters of islands 1..n-1 (as §III.E does).
+    perturb: bool = True
+    #: initial-phase patience before exchanges start (iterations
+    #: without an archive improvement); ``None`` uses each island's
+    #: ``restart_after``.
+    initial_phase_patience: int | None = None
+    #: the asynchronous layer's knobs.
+    async_params: AsyncParams = AsyncParams()
+
+    def __post_init__(self) -> None:
+        if self.n_islands < 2:
+            raise SimulationError("the hybrid needs >= 2 islands")
+        if self.procs_per_island < 2:
+            raise SimulationError("each island needs a master and >= 1 worker")
+        if self.initial_phase_patience is not None and self.initial_phase_patience < 0:
+            raise SimulationError("initial_phase_patience must be >= 0")
+
+    @property
+    def total_processors(self) -> int:
+        return self.n_islands * self.procs_per_island
+
+
+def run_hybrid_tsmo(
+    instance: Instance,
+    params: TSMOParams | None = None,
+    hybrid_params: HybridParams | None = None,
+    seed: int | np.random.SeedSequence | None = None,
+    cost_model: CostModel | None = None,
+    *,
+    registry: OperatorRegistry | None = None,
+) -> TSMOResult:
+    """Run the hybrid asynchronous-multisearch TSMO."""
+    params = params or TSMOParams()
+    hparams = hybrid_params or HybridParams()
+    registry = registry or default_registry()
+    aparams = hparams.async_params
+    n_islands = hparams.n_islands
+    k = hparams.procs_per_island
+    total = hparams.total_processors
+
+    factory = RngFactory(seed)
+    island_rngs = factory.generators(n_islands)
+    worker_rngs = factory.generators(n_islands * (k - 1))
+    commlist_rng = factory.generator()
+    cluster_seed = factory.seed_sequence()
+    env, cluster, _ = simulation_context(total, cost_model, cluster_seed, 0)
+    cost = cluster.cost
+
+    engines: list[TSMOEngine] = []
+    for island in range(n_islands):
+        local = params
+        if hparams.perturb and island > 0:
+            local = params.perturbed(island_rngs[island])
+        engines.append(
+            TSMOEngine(
+                instance,
+                local,
+                island_rngs[island],
+                evaluator=Evaluator(instance, params.max_evaluations),
+                registry=registry,
+            )
+        )
+
+    masters = [island * k for island in range(n_islands)]
+    comm_lists = [
+        list(commlist_rng.permutation([m for m in masters if m != masters[i]]))
+        for i in range(n_islands)
+    ]
+    finish_times = [0.0] * n_islands
+    exchanges = [0] * n_islands
+    pool_sizes: list[int] = []
+
+    def island_master(island: int):
+        engine = engines[island]
+        rank = masters[island]
+        inbox = cluster.inbox(rank)
+        my_workers = list(range(rank + 1, rank + k))
+        comm = comm_lists[island]
+        patience = (
+            hparams.initial_phase_patience
+            if hparams.initial_phase_patience is not None
+            else engine.params.restart_after
+        )
+
+        yield cluster.compute(rank, cost.init_cost(instance.n_customers))
+        engine.initialize()
+        idle = set(my_workers)
+        pool: list[Neighbor] = []
+        equal = engine.params.neighborhood_size / k
+        master_chunk = int(round(aparams.master_share * equal))
+        worker_chunks = split_chunks(
+            engine.params.neighborhood_size - master_chunk, k - 1
+        )
+        chunk_of = {w: worker_chunks[j] for j, w in enumerate(my_workers)}
+        max_wait = (
+            aparams.max_wait
+            if aparams.max_wait is not None
+            else 1.25 * cost.eval_cost * max(worker_chunks)
+        )
+        initial_phase = True
+        last_improvement = 0
+
+        def absorb(msg):
+            """Handle either a worker result or a foreign elite."""
+            if isinstance(msg, SolutionMessage):
+                yield cluster.receive_overhead(rank, 1, streamed=False)
+                engine.memories.nondom.try_add(msg.solution, msg.objectives)
+                return
+            yield cluster.receive_overhead(rank, len(msg.neighbors), streamed=True)
+            pool.extend(msg.neighbors)
+            if msg.final:
+                idle.add(msg.worker)
+
+        while not engine.done:
+            iteration = engine.iteration + 1
+            for w in sorted(idle):
+                cluster.send(
+                    rank, w, TaskMessage(engine.current, chunk_of[w], iteration), n_items=1
+                )
+            idle.clear()
+            yield cluster.compute(rank, cost.eval_cost * master_chunk)
+            pool.extend(engine.generate_neighborhood(master_chunk))
+
+            deadline = env.now + max_wait
+            while True:
+                while (msg := inbox.get_nowait()) is not None:
+                    yield from absorb(msg)
+                current_obj = engine.current.objectives.as_array()
+                c1 = bool(idle)
+                c2 = any(dominates(n.objectives.as_array(), current_obj) for n in pool)
+                c3 = env.now >= deadline
+                c4 = engine.evaluator.exhausted
+                if pool and (c1 or c2 or c3 or c4):
+                    break
+                if not pool and c4:
+                    break
+                timeout = None if c3 else max(deadline - env.now, 0.0)
+                msg = yield inbox.get(timeout=timeout)
+                if msg is GET_TIMED_OUT:
+                    continue
+                yield from absorb(msg)
+            if not pool:
+                break
+            pool_sizes.append(len(pool))
+            version_before = engine.memories.archive.version
+            yield cluster.compute(rank, cost.selection_cost(len(pool)))
+            engine.select_and_update(pool)
+            pool.clear()
+
+            improved = engine.memories.archive.version != version_before
+            if improved:
+                last_improvement = engine.iteration
+            if initial_phase:
+                if engine.iteration - last_improvement >= patience:
+                    initial_phase = False
+            elif improved and comm:
+                dst = comm.pop(0)
+                comm.append(dst)
+                cluster.send(
+                    rank,
+                    dst,
+                    SolutionMessage(
+                        sender=rank,
+                        solution=engine.current,
+                        objectives=engine.current.objectives,
+                    ),
+                    n_items=1,
+                )
+                exchanges[island] += 1
+
+        finish_times[island] = env.now
+        for w in my_workers:
+            cluster.send(rank, w, StopMessage(), n_items=1)
+
+    for island in range(n_islands):
+        env.process(island_master(island), name=f"island-{island}-master")
+        for j, w in enumerate(range(masters[island] + 1, masters[island] + k)):
+            env.process(
+                worker_process(
+                    cluster,
+                    w,
+                    registry,
+                    worker_rngs[island * (k - 1) + j],
+                    engines[island].evaluator,
+                    batch_size=aparams.batch_size,
+                    master=masters[island],
+                ),
+                name=f"island-{island}-worker-{w}",
+            )
+
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+
+    merged: ParetoArchive = ParetoArchive(params.archive_capacity)
+    for engine in engines:
+        for entry in engine.memories.archive.entries:
+            merged.try_add(entry.item, entry.objectives)
+
+    result = TSMOResult(
+        instance_name=instance.name,
+        algorithm="hybrid",
+        params=params,
+        archive=list(merged.entries),
+        iterations=sum(e.iteration for e in engines),
+        evaluations=sum(e.evaluator.count for e in engines),
+        restarts=sum(e.restarts for e in engines),
+        wall_time=wall,
+        simulated_time=max(finish_times),
+        processors=total,
+    )
+    result.extra["messages_sent"] = cluster.messages_sent
+    result.extra["exchanges"] = sum(exchanges)
+    result.extra["per_island_evaluations"] = [e.evaluator.count for e in engines]
+    result.extra["per_island_finish"] = list(finish_times)
+    result.extra["mean_pool_size"] = float(np.mean(pool_sizes)) if pool_sizes else 0.0
+    return result

@@ -1,0 +1,51 @@
+"""Typed message payloads of the master/worker and multisearch protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.objectives import ObjectiveVector
+from repro.core.solution import Solution
+from repro.tabu.neighborhood import Neighbor
+
+__all__ = ["TaskMessage", "ResultMessage", "SolutionMessage", "StopMessage"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskMessage:
+    """Master → worker: generate and evaluate part of a neighborhood."""
+
+    solution: Solution
+    count: int
+    iteration: int
+
+
+@dataclass(frozen=True, slots=True)
+class ResultMessage:
+    """Worker → master: a batch of evaluated neighbors.
+
+    ``final`` marks the last batch of the worker's current task — on
+    receiving it the master knows the worker is idle again (condition
+    ``c1`` of the asynchronous decision function).
+    """
+
+    worker: int
+    neighbors: tuple[Neighbor, ...]
+    iteration: int
+    final: bool
+
+
+@dataclass(frozen=True, slots=True)
+class SolutionMessage:
+    """Searcher → searcher (collaborative): an archive-improving solution."""
+
+    sender: int
+    solution: Solution
+    objectives: ObjectiveVector
+
+
+@dataclass(frozen=True, slots=True)
+class StopMessage:
+    """Master → worker: shut down."""
+
+    reason: str = "budget exhausted"

@@ -1,0 +1,170 @@
+"""Real ``multiprocessing`` master–worker backend (demonstration).
+
+The benchmark tables use the simulated cluster (this host has one CPU
+core, and CPython's GIL rules out shared-memory threading for this
+workload — the reproduction band's "GIL hampers shared-memory parallel
+search; multiprocessing awkward").  This module shows that the very
+same synchronous master–worker protocol also runs on *real* OS
+processes: neighborhood chunks are farmed out to a
+:class:`multiprocessing.Pool`, results come back as plain route
+tuples, and the master runs the unchanged
+:meth:`~repro.tabu.search.TSMOEngine.select_and_update`.
+
+The awkwardnesses the band predicts are handled explicitly:
+
+* the instance is shipped **once** per worker via the pool
+  initializer, not with every task (it embeds an O(N²) travel matrix);
+* workers return ``(routes, objectives, tabu attribute)`` triples —
+  plain picklable data — rather than :class:`Move` objects, because
+  moves close over solution internals;
+* evaluation counting happens on the master from the returned chunk
+  sizes (a shared counter would serialize on a lock).
+
+On a single-core host this is strictly slower than the sequential
+algorithm; see ``examples/real_multiprocessing.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.evaluation import Evaluator
+from repro.core.objectives import ObjectiveVector
+from repro.core.operators.base import Move
+from repro.core.operators.registry import default_registry
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.rng import RngFactory
+from repro.tabu.neighborhood import Neighbor
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOEngine, TSMOResult
+from repro.vrptw.instance import Instance
+
+__all__ = ["RemoteMove", "run_multiprocessing_tsmo"]
+
+# Per-worker globals installed by the pool initializer.
+_WORKER_INSTANCE: Instance | None = None
+
+
+def _worker_init(instance: Instance) -> None:
+    global _WORKER_INSTANCE
+    _WORKER_INSTANCE = instance
+
+
+def _worker_chunk(
+    args: tuple[tuple[tuple[int, ...], ...], int, int],
+) -> list[tuple[tuple[tuple[int, ...], ...], tuple[float, int, float], Hashable]]:
+    """Generate/evaluate a neighborhood chunk inside a worker process."""
+    routes, count, seed = args
+    if _WORKER_INSTANCE is None:  # pragma: no cover - initializer contract
+        raise SearchError("worker pool not initialized with an instance")
+    instance = _WORKER_INSTANCE
+    solution = Solution(instance, routes)
+    registry = default_registry()
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        move = registry.draw_move(solution, rng)
+        if move is None:
+            break
+        child = move.apply(solution)
+        obj = child.objectives
+        out.append(
+            (child.routes, (obj.distance, obj.vehicles, obj.tardiness), move.attribute)
+        )
+    return out
+
+
+class RemoteMove(Move):
+    """A move reconstructed from a worker's result.
+
+    Only the tabu attribute survives the process boundary; the
+    resulting solution is shipped alongside, so :meth:`apply` is never
+    needed (and refuses to run).
+    """
+
+    __slots__ = ("_attribute",)
+    name = "remote"
+
+    def __init__(self, attribute: Hashable) -> None:
+        self._attribute = attribute
+
+    def apply(self, solution: Solution) -> Solution:
+        raise SearchError("remote moves are pre-applied on the worker")
+
+    @property
+    def attribute(self) -> Hashable:
+        return self._attribute
+
+
+def run_multiprocessing_tsmo(
+    instance: Instance,
+    params: TSMOParams | None = None,
+    n_workers: int = 2,
+    seed: int | None = None,
+    *,
+    chunks_per_worker: int = 1,
+) -> TSMOResult:
+    """Synchronous master–worker TSMO on real OS processes."""
+    params = params or TSMOParams()
+    if n_workers < 1:
+        raise SearchError("need at least one worker process")
+    factory = RngFactory(seed)
+    master_rng = factory.generator()
+    seed_rng = factory.generator()
+    evaluator = Evaluator(instance, params.max_evaluations)
+    engine = TSMOEngine(instance, params, master_rng, evaluator=evaluator)
+
+    n_tasks = n_workers * chunks_per_worker
+    base, extra = divmod(params.neighborhood_size, n_tasks)
+    chunk_sizes = [base + (1 if i < extra else 0) for i in range(n_tasks)]
+
+    start = time.perf_counter()
+    ctx = mp.get_context("spawn")
+    with ctx.Pool(n_workers, initializer=_worker_init, initargs=(instance,)) as pool:
+        engine.initialize()
+        while not engine.done:
+            tasks = [
+                (engine.current.routes, size, int(seed_rng.integers(2**63)))
+                for size in chunk_sizes
+                if size > 0
+            ]
+            neighbors: list[Neighbor] = []
+            iteration = engine.iteration + 1
+            for chunk in pool.map(_worker_chunk, tasks):
+                for routes, (dist, veh, tardy), attribute in chunk:
+                    child = Solution(instance, routes)
+                    objectives = ObjectiveVector(dist, int(veh), tardy)
+                    evaluator.count += 1  # counted on the master
+                    neighbors.append(
+                        Neighbor(
+                            move=RemoteMove(attribute),
+                            solution=child,
+                            objectives=objectives,
+                            iteration=iteration,
+                        )
+                    )
+            engine.select_and_update(neighbors)
+    wall = time.perf_counter() - start
+    return engine.result(
+        "multiprocessing", wall_time=wall, simulated_time=None, processors=n_workers + 1
+    )
+
+
+def pickle_roundtrip_sizes(instance: Instance) -> dict[str, int]:
+    """Serialized sizes of the protocol's payloads (diagnostics for the
+    'multiprocessing awkward' discussion in EXPERIMENTS.md)."""
+    import pickle
+
+    customers = list(range(1, instance.n_customers + 1))
+    routes: Sequence = tuple(
+        tuple(customers[i : i + 5]) for i in range(0, len(customers), 5)
+    )
+    return {
+        "instance_bytes": len(pickle.dumps(instance)),
+        "routes_bytes": len(pickle.dumps(routes)),
+    }

@@ -1,0 +1,188 @@
+"""Synchronous master–worker TSMO (paper §III.C).
+
+"The first parallel approach is a very simple parallelization of the
+GenerateNeighborhood() and Evaluate() functions using a master process
+that distributes the work among himself and several worker processes.
+... It is synchronized in that the master selects the current
+individual, distributes the work and waits to collect all the
+results."
+
+Every iteration the master splits the neighborhood into ``P`` chunks
+(one for itself), waits for *all* worker results, then runs the exact
+sequential selection/update.  Because the selection logic and memories
+are untouched, "the behavior remains unchanged" relative to the
+sequential algorithm — only the clock differs; the drawback is that
+the master idles until the slowest (straggling) worker reports.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.evaluation import Evaluator
+from repro.core.operators.registry import OperatorRegistry, default_registry
+from repro.errors import SimulationError
+from repro.parallel.base import simulation_context
+from repro.parallel.costmodel import CostModel
+from repro.parallel.messages import ResultMessage, StopMessage, TaskMessage
+from repro.rng import RngFactory
+from repro.tabu.neighborhood import Neighbor, sample_neighborhood
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOEngine, TSMOResult
+from repro.tabu.trace import TrajectoryRecorder
+from repro.vrptw.instance import Instance
+
+__all__ = ["run_synchronous_tsmo", "split_chunks", "worker_process"]
+
+
+def split_chunks(total: int, parts: int) -> list[int]:
+    """Balanced work split: sizes differ by at most one, sum == total."""
+    if parts < 1:
+        raise SimulationError(f"cannot split into {parts} parts")
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def worker_process(
+    cluster,
+    rank: int,
+    registry: OperatorRegistry,
+    rng: np.random.Generator,
+    evaluator: Evaluator,
+    *,
+    batch_size: int | None = None,
+    master: int = 0,
+):
+    """The worker loop shared by the synchronous and asynchronous variants.
+
+    Receives :class:`TaskMessage`, generates/evaluates its chunk, and
+    sends results back — as one final message (synchronous,
+    ``batch_size=None``) or as a stream of batches with a terminating
+    ``final`` flag (asynchronous).
+    """
+    cost = cluster.cost
+    inbox = cluster.inbox(rank)
+    while True:
+        msg = yield inbox.get()
+        if isinstance(msg, StopMessage):
+            return
+        if not isinstance(msg, TaskMessage):
+            raise SimulationError(f"worker {rank} received unexpected {msg!r}")
+        remaining = msg.count
+        produced: list[Neighbor] = []
+        while remaining > 0:
+            step = remaining if batch_size is None else min(batch_size, remaining)
+            # Pay the simulated duration first, then materialize the
+            # neighbors, so the evaluation counter reflects *completed*
+            # work at the simulated instant it completes.
+            yield cluster.compute(rank, cost.eval_cost * step)
+            batch = sample_neighborhood(
+                msg.solution, step, registry, rng, evaluator, iteration=msg.iteration
+            )
+            remaining -= step
+            if batch_size is None:
+                produced.extend(batch)
+            else:
+                cluster.send(
+                    rank,
+                    master,
+                    ResultMessage(
+                        worker=rank,
+                        neighbors=tuple(batch),
+                        iteration=msg.iteration,
+                        final=remaining <= 0,
+                    ),
+                    n_items=max(len(batch), 1),
+                )
+        if batch_size is None:
+            cluster.send(
+                rank,
+                master,
+                ResultMessage(
+                    worker=rank,
+                    neighbors=tuple(produced),
+                    iteration=msg.iteration,
+                    final=True,
+                ),
+                n_items=max(len(produced), 1),
+            )
+
+
+def run_synchronous_tsmo(
+    instance: Instance,
+    params: TSMOParams | None = None,
+    n_processors: int = 3,
+    seed: int | np.random.SeedSequence | None = None,
+    cost_model: CostModel | None = None,
+    *,
+    registry: OperatorRegistry | None = None,
+    trace: TrajectoryRecorder | None = None,
+) -> TSMOResult:
+    """Run the synchronous master–worker TSMO on the simulated cluster."""
+    params = params or TSMOParams()
+    if n_processors < 2:
+        raise SimulationError("the master-worker variants need >= 2 processors")
+    registry = registry or default_registry()
+    # RNG tree: master stream + one stream per worker + cluster stream.
+    factory = RngFactory(seed)
+    master_rng = factory.generator()
+    worker_rngs = factory.generators(n_processors - 1)
+    cluster_seed = factory.seed_sequence()
+    env, cluster, _ = simulation_context(n_processors, cost_model, cluster_seed, 0)
+    cost = cluster.cost
+
+    evaluator = Evaluator(instance, params.max_evaluations)
+    engine = TSMOEngine(
+        instance, params, master_rng, evaluator=evaluator, registry=registry, trace=trace
+    )
+    finish = {"time": None}
+
+    def master():
+        inbox = cluster.inbox(0)
+        yield cluster.compute(0, cost.init_cost(instance.n_customers))
+        engine.initialize()
+        while not engine.done:
+            iteration = engine.iteration + 1
+            chunks = split_chunks(params.neighborhood_size, n_processors)
+            for rank in range(1, n_processors):
+                cluster.send(
+                    0,
+                    rank,
+                    TaskMessage(engine.current, chunks[rank], iteration),
+                    n_items=1,
+                )
+            yield cluster.compute(0, cost.eval_cost * chunks[0])
+            neighbors = engine.generate_neighborhood(chunks[0])
+            # Wait for every worker — the synchronous barrier — then
+            # deserialize each bulk result on the critical path.
+            for _ in range(n_processors - 1):
+                msg = yield inbox.get()
+                yield cluster.receive_overhead(0, len(msg.neighbors), streamed=False)
+                neighbors.extend(msg.neighbors)
+            yield cluster.compute(0, cost.selection_cost(len(neighbors)))
+            engine.select_and_update(neighbors)
+        finish["time"] = env.now
+        for rank in range(1, n_processors):
+            cluster.send(0, rank, StopMessage(), n_items=1)
+
+    env.process(master(), name="master")
+    for rank in range(1, n_processors):
+        env.process(
+            worker_process(cluster, rank, registry, worker_rngs[rank - 1], evaluator),
+            name=f"worker-{rank}",
+        )
+
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    result = engine.result(
+        "synchronous",
+        wall_time=wall,
+        simulated_time=finish["time"] if finish["time"] is not None else env.now,
+        processors=n_processors,
+    )
+    result.extra["messages_sent"] = cluster.messages_sent
+    result.extra["items_sent"] = cluster.items_sent
+    return result

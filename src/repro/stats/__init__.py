@@ -1,0 +1,16 @@
+"""Statistics for the result tables: aggregation, speedup, t-tests."""
+
+from repro.stats.speedup import speedup, speedup_percent, format_speedup
+from repro.stats.summary import MeanStd, aggregate, summarize_results
+from repro.stats.ttest import pairwise_ttest, TTestResult
+
+__all__ = [
+    "MeanStd",
+    "TTestResult",
+    "aggregate",
+    "format_speedup",
+    "pairwise_ttest",
+    "speedup",
+    "speedup_percent",
+    "summarize_results",
+]

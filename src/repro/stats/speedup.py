@@ -1,0 +1,40 @@
+"""Speedup computation and the paper's percent formatting.
+
+"The formula to calculate the average speedup value is
+``speedup = Ts / Tp``, the mean execution time of the sequential
+algorithm divided by the mean execution time of the parallel
+algorithm."  The tables print it as a percent *improvement* — e.g. the
+asynchronous TS at 3 CPUs with ``Ts/Tp = 2.0134`` appears as
+``101.34%``, and the collaborative TS's slowdowns appear as negative
+percentages.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+
+__all__ = ["speedup", "speedup_percent", "format_speedup"]
+
+
+def speedup(sequential_times: Sequence[float], parallel_times: Sequence[float]) -> float:
+    """``Ts / Tp`` over mean execution times (paper §IV)."""
+    ts = float(np.mean(np.asarray(list(sequential_times), dtype=np.float64)))
+    tp = float(np.mean(np.asarray(list(parallel_times), dtype=np.float64)))
+    if tp <= 0 or ts <= 0:
+        raise BenchmarkError(f"non-positive mean runtime (Ts={ts}, Tp={tp})")
+    return ts / tp
+
+
+def speedup_percent(ratio: float) -> float:
+    """Percent improvement ``(Ts/Tp - 1) * 100`` as the tables print it."""
+    return (ratio - 1.0) * 100.0
+
+
+def format_speedup(ratio: float) -> str:
+    """Render a speedup ratio in the paper's column style, e.g.
+    ``101.34%`` or ``-15.24%``."""
+    return f"{speedup_percent(ratio):.2f}%"

@@ -1,0 +1,116 @@
+"""Mean ± standard-deviation aggregation for the result tables.
+
+The paper reports every quality and runtime column as ``mean ± std``
+over 30 runs per problem; :class:`MeanStd` is that pair with the
+paper's formatting, and :func:`summarize_results` turns a set of
+:class:`~repro.tabu.search.TSMOResult` runs into the per-algorithm
+records the table renderer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.tabu.search import TSMOResult
+
+__all__ = ["MeanStd", "aggregate", "summarize_results", "AlgorithmSummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class MeanStd:
+    """A ``mean ± std`` cell of the result tables."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".2f"
+        return f"{self.mean:{spec}}±{self.std:{spec}}"
+
+    def __str__(self) -> str:
+        return format(self, ".2f")
+
+
+def aggregate(values: Sequence[float]) -> MeanStd:
+    """Aggregate a sample into :class:`MeanStd` (ddof=1 like the paper's
+    spreadsheet-style std; falls back to 0 for singletons)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise BenchmarkError("cannot aggregate an empty sample")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return MeanStd(mean=float(arr.mean()), std=std, n=int(arr.size))
+
+
+@dataclass
+class AlgorithmSummary:
+    """Aggregated table row data for one algorithm configuration."""
+
+    algorithm: str
+    processors: int
+    distance: MeanStd
+    vehicles: MeanStd
+    runtime: MeanStd
+    #: per-run best-feasible values, kept for t-tests.
+    distance_samples: list[float] = field(default_factory=list)
+    vehicle_samples: list[float] = field(default_factory=list)
+    runtime_samples: list[float] = field(default_factory=list)
+    #: runs that produced no feasible solution (excluded per the paper).
+    infeasible_runs: int = 0
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Configuration identity: (algorithm, processors)."""
+        return (self.algorithm, self.processors)
+
+
+def summarize_results(results: Sequence[TSMOResult]) -> AlgorithmSummary:
+    """Aggregate runs of one algorithm configuration into a summary.
+
+    Implements the paper's reporting convention: infeasible archives
+    are excluded from the quality columns ("only those solutions were
+    considered that did not violate the time-window and capacity
+    constraints"); runtime aggregates over all runs.
+    """
+    if not results:
+        raise BenchmarkError("cannot summarize an empty result list")
+    algorithms = {r.algorithm for r in results}
+    processors = {r.processors for r in results}
+    if len(algorithms) != 1 or len(processors) != 1:
+        raise BenchmarkError(
+            f"mixed configurations in one summary: {algorithms} x {processors}"
+        )
+    distances: list[float] = []
+    vehicles: list[float] = []
+    runtimes: list[float] = []
+    infeasible = 0
+    for r in results:
+        best = r.best_feasible()
+        if best is None:
+            infeasible += 1
+        else:
+            distances.append(best[0])
+            vehicles.append(best[1])
+        runtimes.append(
+            r.simulated_time if r.simulated_time is not None else r.wall_time
+        )
+    if not distances:
+        raise BenchmarkError(
+            f"no feasible solutions in any of the {len(results)} runs of "
+            f"{results[0].algorithm}; cannot build a quality row"
+        )
+    return AlgorithmSummary(
+        algorithm=results[0].algorithm,
+        processors=results[0].processors,
+        distance=aggregate(distances),
+        vehicles=aggregate(vehicles),
+        runtime=aggregate(runtimes),
+        distance_samples=distances,
+        vehicle_samples=vehicles,
+        runtime_samples=runtimes,
+        infeasible_runs=infeasible,
+    )

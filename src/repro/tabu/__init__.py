@@ -1,0 +1,28 @@
+"""The multiobjective tabu search (TSMO) of the paper.
+
+:mod:`repro.tabu.search` implements Algorithm 1 — the sequential TSMO —
+on top of the three memories of §III.B (tabu list, medium-term
+non-dominated memory, Pareto archive).  The engine is deliberately
+factored so the parallel variants in :mod:`repro.parallel` reuse the
+identical selection/update logic and differ only in *where* and *when*
+neighborhoods are generated.
+"""
+
+from repro.tabu.memories import Memories
+from repro.tabu.neighborhood import Neighbor, sample_neighborhood
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOEngine, TSMOResult, run_sequential_tsmo
+from repro.tabu.tabulist import TabuList
+from repro.tabu.trace import TrajectoryRecorder
+
+__all__ = [
+    "Memories",
+    "Neighbor",
+    "TSMOEngine",
+    "TSMOParams",
+    "TSMOResult",
+    "TabuList",
+    "TrajectoryRecorder",
+    "run_sequential_tsmo",
+    "sample_neighborhood",
+]

@@ -1,0 +1,43 @@
+"""The three memories of the TSMO algorithm (paper §III.B).
+
+* ``M_tabulist`` — short-term: attributes of recently made moves;
+* ``M_nondom`` — medium-term: non-dominated solutions seen in past
+  neighborhoods, the pool restarts draw from;
+* ``M_archive`` — long-term: the non-dominated front found so far,
+  bounded with crowding replacement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.mo.archive import ParetoArchive
+from repro.tabu.params import TSMOParams
+from repro.tabu.tabulist import TabuList
+
+__all__ = ["Memories"]
+
+
+class Memories:
+    """Bundle of the tabu list, medium-term memory and Pareto archive."""
+
+    def __init__(self, params: TSMOParams) -> None:
+        self.tabulist = TabuList(params.tabu_tenure)
+        self.nondom: ParetoArchive[Solution] = ParetoArchive(params.nondom_capacity)
+        self.archive: ParetoArchive[Solution] = ParetoArchive(params.archive_capacity)
+
+    def restart_candidate(self, rng: np.random.Generator) -> Solution:
+        """Draw a solution from ``M_nondom ∪ M_archive`` (Algorithm 1,
+        line 10: ``SelectFrom(Mnondom ∪ Marchive)``)."""
+        pool = list(self.nondom.entries) + list(self.archive.entries)
+        if not pool:
+            raise SearchError("both memories are empty; nothing to restart from")
+        return pool[int(rng.integers(len(pool)))].item
+
+    def __repr__(self) -> str:
+        return (
+            f"Memories(tabu={len(self.tabulist)}, nondom={len(self.nondom)}, "
+            f"archive={len(self.archive)})"
+        )

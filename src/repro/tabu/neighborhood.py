@@ -1,0 +1,68 @@
+"""Neighborhood sampling (paper §III.B, "Neighborhood Generation").
+
+"The Neighborhood Generation draws a number of moves, specified in the
+neighborhood size parameter, from the five operators described in
+II.B.  For each move to create one of the operators is chosen at
+random, with equal probabilities for each."
+
+The same function runs on the sequential searcher, on the simulated
+master, and on simulated workers — it is the unit of work the paper
+parallelizes.  Each produced :class:`Neighbor` carries the move (for
+the tabu attribute), the neighbor solution and its objectives; every
+neighbor costs one unit of the evaluation budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluation import Evaluator
+from repro.core.objectives import ObjectiveVector
+from repro.core.operators.base import Move
+from repro.core.operators.registry import OperatorRegistry
+from repro.core.solution import Solution
+
+__all__ = ["Neighbor", "sample_neighborhood"]
+
+
+@dataclass(frozen=True, slots=True)
+class Neighbor:
+    """One evaluated neighbor of a current solution."""
+
+    move: Move
+    solution: Solution
+    objectives: ObjectiveVector
+    #: iteration at which the neighbor was generated (used by the
+    #: asynchronous variant, where stragglers' neighbors join later
+    #: selections, and by the Figure-1 trajectory trace).
+    iteration: int = 0
+
+
+def sample_neighborhood(
+    solution: Solution,
+    size: int,
+    registry: OperatorRegistry,
+    rng: np.random.Generator,
+    evaluator: Evaluator,
+    *,
+    iteration: int = 0,
+) -> list[Neighbor]:
+    """Generate and evaluate up to ``size`` neighbors of ``solution``.
+
+    The list can be shorter than ``size`` only when the registry's
+    retry cap is exhausted (a pathologically locked solution); callers
+    treat a short list exactly like a full one.
+    """
+    neighbors: list[Neighbor] = []
+    for _ in range(size):
+        move = registry.draw_move(solution, rng)
+        if move is None:
+            break
+        child = move.apply(solution)
+        objectives = evaluator.evaluate(child)
+        neighbors.append(
+            Neighbor(move=move, solution=child, objectives=objectives, iteration=iteration)
+        )
+    return neighbors

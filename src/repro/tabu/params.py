@@ -1,0 +1,98 @@
+"""TSMO parameter set and the multisearch perturbation rule.
+
+Defaults follow the experimental setup of Tables I–IV: "the maximum
+number of evaluations was set to 100,000, neighborhood size was set to
+200 and if no better solution was found after 100 iterations, a
+restart with an individual from the memory was attempted.  The size of
+the archive was set to 20 as was the value of the tabu tenure."
+
+The collaborative multisearch variant perturbs each searcher's
+parameters (except the first searcher's) "by a random variable derived
+from a normal distribution with mean 0 and a standard deviation that
+is the quarter of the parameter to be disturbed" (§III.E) —
+implemented by :meth:`TSMOParams.perturbed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import SearchError
+
+__all__ = ["TSMOParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class TSMOParams:
+    """Parameters of one TSMO search."""
+
+    #: evaluation budget (``MaximumEvaluations`` in Algorithm 1).
+    max_evaluations: int = 100_000
+    #: neighbors generated per iteration.
+    neighborhood_size: int = 200
+    #: tabu tenure — length of the move-attribute FIFO.
+    tabu_tenure: int = 20
+    #: capacity of the Pareto archive ``M_archive``.
+    archive_capacity: int = 20
+    #: capacity of the medium-term memory ``M_nondom``.
+    nondom_capacity: int = 50
+    #: iterations without archive improvement before a restart from
+    #: memory is attempted.
+    restart_after: int = 100
+    #: hard-time-window mode (§II: "a solution is feasible if and only
+    #: if each customer is reached before his due date").  The paper
+    #: uses the soft formulation (False); in hard mode the search never
+    #: accepts a tardy solution — selection filters them out and the
+    #: memories store only feasible ones.  The soft-vs-hard ablation
+    #: benchmark quantifies the paper's "more freedom" argument.
+    hard_time_windows: bool = False
+    #: aspiration criterion (classic TS extension; the paper's §III.B
+    #: algorithm has none).  When True, a tabu move is admitted anyway
+    #: if its solution would enter the Pareto archive — the canonical
+    #: "aspiration by objective" adapted to the multiobjective setting.
+    aspiration: bool = False
+
+    def __post_init__(self) -> None:
+        for label in (
+            "max_evaluations",
+            "neighborhood_size",
+            "tabu_tenure",
+            "archive_capacity",
+            "nondom_capacity",
+            "restart_after",
+        ):
+            value = getattr(self, label)
+            if value < 1:
+                raise SearchError(f"{label} must be >= 1, got {value}")
+
+    def perturbed(self, rng: np.random.Generator) -> "TSMOParams":
+        """Disturb the search-behavior parameters per §III.E.
+
+        Each parameter gets an additive ``N(0, parameter / 4)`` noise,
+        rounded and clamped to its minimum.  The evaluation budget is
+        *not* perturbed — it is the experiment's stopping criterion and
+        must stay comparable across searchers.
+        """
+
+        def disturb(value: int, minimum: int = 1) -> int:
+            noisy = value + rng.normal(0.0, value / 4.0)
+            return max(minimum, int(round(noisy)))
+
+        return replace(
+            self,
+            neighborhood_size=disturb(self.neighborhood_size, minimum=2),
+            tabu_tenure=disturb(self.tabu_tenure),
+            archive_capacity=disturb(self.archive_capacity, minimum=2),
+            nondom_capacity=disturb(self.nondom_capacity, minimum=2),
+            restart_after=disturb(self.restart_after, minimum=5),
+        )
+
+    def scaled(self, evaluation_fraction: float) -> "TSMOParams":
+        """Shrink the evaluation budget (bench scaling helper)."""
+        if evaluation_fraction <= 0:
+            raise SearchError("evaluation_fraction must be positive")
+        return replace(
+            self, max_evaluations=max(1, int(self.max_evaluations * evaluation_fraction))
+        )

@@ -1,0 +1,334 @@
+"""Algorithm 1 — the sequential TSMO — and its reusable engine.
+
+The engine splits one TSMO iteration into the two halves the paper
+parallelizes across:
+
+* :meth:`TSMOEngine.generate_neighborhood` — draw and evaluate
+  ``neighborhood_size`` moves (lines 6–7 of Algorithm 1); this is what
+  the synchronous/asynchronous masters farm out to workers;
+* :meth:`TSMOEngine.select_and_update` — select one non-dominated,
+  non-tabu neighbor as the new current solution, fall back to a restart
+  from memory when selection fails or the archive has stagnated, and
+  update the three memories (lines 8–16).
+
+The sequential algorithm is then literally ``while not done:
+select_and_update(generate_neighborhood())``, and every parallel
+variant reuses ``select_and_update`` unchanged, which is what makes the
+synchronous variant behaviorally equivalent to the sequential one (the
+paper's §III.C invariant).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.construction import i1_construct
+from repro.core.evaluation import Evaluator
+from repro.core.objectives import ObjectiveVector
+from repro.core.operators.registry import OperatorRegistry, default_registry
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.mo.archive import ArchiveEntry
+from repro.mo.dominance import non_dominated_mask
+from repro.rng import as_generator
+from repro.tabu.memories import Memories
+from repro.tabu.neighborhood import Neighbor, sample_neighborhood
+from repro.tabu.params import TSMOParams
+from repro.tabu.trace import TrajectoryRecorder
+from repro.vrptw.instance import Instance
+
+__all__ = ["TSMOEngine", "TSMOResult", "run_sequential_tsmo"]
+
+
+@dataclass
+class TSMOResult:
+    """Outcome of one TSMO run (any variant).
+
+    ``archive`` is the final Pareto archive content; the reporting
+    helpers implement the paper's filter — "only those solutions were
+    considered that did not violate the time-window and capacity
+    constraints".
+    """
+
+    instance_name: str
+    algorithm: str
+    params: TSMOParams
+    archive: list[ArchiveEntry[Solution]]
+    iterations: int
+    evaluations: int
+    restarts: int
+    wall_time: float
+    #: simulated cluster time in cost-model units (None for plain
+    #: sequential runs executed outside the simulated cluster).
+    simulated_time: float | None = None
+    #: number of (simulated) processors used.
+    processors: int = 1
+    trace: TrajectoryRecorder | None = None
+    extra: dict = field(default_factory=dict)
+
+    def front(self) -> np.ndarray:
+        """All archive objective vectors as an ``(n, 3)`` array."""
+        if not self.archive:
+            return np.zeros((0, 3))
+        return np.vstack([e.objectives.as_array() for e in self.archive])
+
+    def feasible_front(self) -> np.ndarray:
+        """Objective vectors of time-window-feasible archive members."""
+        rows = [e.objectives.as_array() for e in self.archive if e.objectives.feasible]
+        if not rows:
+            return np.zeros((0, 3))
+        return np.vstack(rows)
+
+    def best_feasible(self) -> tuple[float, float] | None:
+        """Per-objective minima over the feasible front:
+        ``(min distance, min vehicles)`` — the paper's first two table
+        columns.  ``None`` when no feasible solution was found."""
+        front = self.feasible_front()
+        if front.shape[0] == 0:
+            return None
+        return float(front[:, 0].min()), float(front[:, 1].min())
+
+    # ------------------------------------------------------------------
+    # Persistence (paper-scale runs take hours; keep their results)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Pickle this result (archive solutions included) to ``path``.
+
+        The trace can be large; it is kept — drop it beforehand
+        (``result.trace = None``) when only the front matters.
+        """
+        import pickle
+        from pathlib import Path
+
+        Path(path).write_bytes(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
+
+    @staticmethod
+    def load(path) -> "TSMOResult":
+        """Load a result previously stored with :meth:`save`.
+
+        Only unpickle files you created yourself — pickle executes
+        arbitrary code from untrusted data.
+        """
+        import pickle
+        from pathlib import Path
+
+        result = pickle.loads(Path(path).read_bytes())
+        if not isinstance(result, TSMOResult):
+            raise SearchError(f"{path} does not contain a TSMOResult")
+        return result
+
+
+class TSMOEngine:
+    """Shared iteration core of all TSMO variants."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        params: TSMOParams,
+        rng: int | np.random.Generator | None,
+        evaluator: Evaluator | None = None,
+        registry: OperatorRegistry | None = None,
+        trace: TrajectoryRecorder | None = None,
+    ) -> None:
+        self.instance = instance
+        self.params = params
+        self.rng = as_generator(rng)
+        self.evaluator = evaluator or Evaluator(instance, params.max_evaluations)
+        self.registry = registry or default_registry()
+        self.trace = trace
+        self.memories = Memories(params)
+        self.current: Solution | None = None
+        self.iteration = 0
+        self.restarts = 0
+        self._no_improvement = False
+        self._last_archive_version = 0
+        self._last_change_iteration = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self, initial: Solution | None = None) -> Solution:
+        """Construct (or adopt) the initial solution and seed the memories."""
+        if initial is None:
+            initial = i1_construct(self.instance, rng=self.rng)
+        objectives = self.evaluator.evaluate(initial)
+        if self.params.hard_time_windows and not objectives.feasible:
+            raise SearchError(
+                "hard-time-window mode needs a feasible initial solution "
+                f"(got tardiness {objectives.tardiness:.2f}); enlarge the "
+                "fleet or relax to soft windows"
+            )
+        self.current = initial
+        self.memories.archive.try_add(initial, objectives)
+        self.memories.nondom.try_add(initial, objectives)
+        self._last_archive_version = self.memories.archive.version
+        self._last_change_iteration = 0
+        if self.trace is not None:
+            self.trace.record_selection(0, 0, objectives, restarted=False)
+        return initial
+
+    @property
+    def done(self) -> bool:
+        """True once the evaluation budget is exhausted."""
+        return self.evaluator.exhausted
+
+    # ------------------------------------------------------------------
+    # The two halves of an iteration
+    # ------------------------------------------------------------------
+    def generate_neighborhood(self, size: int | None = None) -> list[Neighbor]:
+        """Sample and evaluate a neighborhood of the current solution."""
+        if self.current is None:
+            raise SearchError("engine not initialized; call initialize() first")
+        return sample_neighborhood(
+            self.current,
+            size if size is not None else self.params.neighborhood_size,
+            self.registry,
+            self.rng,
+            self.evaluator,
+            iteration=self.iteration + 1,
+        )
+
+    def select_and_update(self, neighbors: list[Neighbor]) -> Solution:
+        """Lines 8–16 of Algorithm 1 over an (arbitrary) neighbor batch.
+
+        The batch may be a full neighborhood (sequential/synchronous), a
+        partial one plus stragglers from earlier iterations
+        (asynchronous), or a normal neighborhood while foreign solutions
+        have meanwhile entered ``M_nondom`` (collaborative) — the logic
+        is identical.
+        """
+        if self.current is None:
+            raise SearchError("engine not initialized; call initialize() first")
+        self.iteration += 1
+        iteration = self.iteration
+        if self.trace is not None:
+            for n in neighbors:
+                self.trace.record_neighbor(n.iteration, n.objectives)
+
+        selected = self._select(neighbors)
+        restarted = False
+        if selected is None or self._no_improvement:
+            self._no_improvement = False
+            self.current = self.memories.restart_candidate(self.rng)
+            self.restarts += 1
+            restarted = True
+        else:
+            self.memories.tabulist.push(selected.move.attribute)
+            self.current = selected.solution
+
+        # UpdateMemories(s, N): chosen current into the archive, other
+        # non-dominated neighbors into the medium-term memory.
+        hard = self.params.hard_time_windows
+        self.memories.archive.try_add(self.current, self.current.objectives)
+        if neighbors:
+            mask = non_dominated_mask([n.objectives for n in neighbors])
+            for keep, n in zip(mask, neighbors):
+                if keep and (selected is None or n is not selected):
+                    if hard and not n.objectives.feasible:
+                        continue
+                    self.memories.nondom.try_add(n.solution, n.objectives)
+
+        # isUnchanged(M_archive): stagnation arms the restart flag for
+        # the *next* iteration, exactly as lines 14–16 order it.
+        if self.memories.archive.version != self._last_archive_version:
+            self._last_archive_version = self.memories.archive.version
+            self._last_change_iteration = iteration
+        elif iteration - self._last_change_iteration >= self.params.restart_after:
+            self._no_improvement = True
+            self._last_change_iteration = iteration
+
+        if self.trace is not None:
+            created = 0 if restarted else (selected.iteration if selected else 0)
+            self.trace.record_selection(
+                created, iteration, self.current.objectives, restarted=restarted
+            )
+            self.trace.record_archive_size(iteration, len(self.memories.archive))
+        return self.current
+
+    def _select(self, neighbors: list[Neighbor]) -> Neighbor | None:
+        """Pick one non-dominated, non-tabu neighbor uniformly at random.
+
+        In hard-time-window mode, tardy neighbors are screened out
+        before the dominance filter (they are infeasible by §II's hard
+        definition, not merely penalized).
+        """
+        if self.params.hard_time_windows:
+            neighbors = [n for n in neighbors if n.objectives.feasible]
+        if not neighbors:
+            return None
+        mask = non_dominated_mask([n.objectives for n in neighbors])
+        tabulist = self.memories.tabulist
+        aspiration = self.params.aspiration
+        candidates = []
+        for keep, n in zip(mask, neighbors):
+            if not keep:
+                continue
+            if n.move.attribute in tabulist:
+                # Aspiration by objective: a tabu move is admitted when
+                # its solution would still improve the Pareto archive.
+                if not (aspiration and self.memories.archive.would_accept(n.objectives)):
+                    continue
+            candidates.append(n)
+        if not candidates:
+            return None
+        return candidates[int(self.rng.integers(len(candidates)))]
+
+    # ------------------------------------------------------------------
+    # Sequential driver
+    # ------------------------------------------------------------------
+    def step(self) -> Solution:
+        """One full sequential iteration."""
+        return self.select_and_update(self.generate_neighborhood())
+
+    def result(
+        self,
+        algorithm: str = "sequential",
+        *,
+        wall_time: float = 0.0,
+        simulated_time: float | None = None,
+        processors: int = 1,
+    ) -> TSMOResult:
+        """Snapshot the engine state into a :class:`TSMOResult`."""
+        return TSMOResult(
+            instance_name=self.instance.name,
+            algorithm=algorithm,
+            params=self.params,
+            archive=list(self.memories.archive.entries),
+            iterations=self.iteration,
+            evaluations=self.evaluator.count,
+            restarts=self.restarts,
+            wall_time=wall_time,
+            simulated_time=simulated_time,
+            processors=processors,
+            trace=self.trace,
+        )
+
+
+def run_sequential_tsmo(
+    instance: Instance,
+    params: TSMOParams | None = None,
+    seed: int | np.random.Generator | None = None,
+    *,
+    registry: OperatorRegistry | None = None,
+    trace: TrajectoryRecorder | None = None,
+    initial: Solution | None = None,
+) -> TSMOResult:
+    """Run the sequential TSMO (Algorithm 1) to budget exhaustion."""
+    params = params or TSMOParams()
+    engine = TSMOEngine(
+        instance, params, seed, registry=registry, trace=trace
+    )
+    start = time.perf_counter()
+    engine.initialize(initial)
+    while not engine.done:
+        engine.step()
+    wall = time.perf_counter() - start
+    return engine.result("sequential", wall_time=wall)
+
+
+def _objectives_of(neighbors: list[Neighbor]) -> list[ObjectiveVector]:
+    """Convenience for tests."""
+    return [n.objectives for n in neighbors]

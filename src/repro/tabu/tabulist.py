@@ -1,0 +1,60 @@
+"""The tabu list (short-term memory).
+
+"The tabu list is organized as a queue and will hold information about
+the moves made.  When the tabu list is full it will forget about the
+oldest moves.  The length of the tabu list can be specified by the
+tabu tenure parameter and because every iteration there is only one
+move made this is also the number of iterations the solutions will
+stay in the tabu list." (§III.B)
+
+Membership checks are O(1) via a companion multiset (attributes can in
+principle repeat inside the window, e.g. the same relocate family
+re-made after a restart).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Hashable, Iterator
+
+from repro.errors import SearchError
+
+__all__ = ["TabuList"]
+
+
+class TabuList:
+    """FIFO tabu memory with O(1) membership."""
+
+    def __init__(self, tenure: int) -> None:
+        if tenure < 1:
+            raise SearchError(f"tabu tenure must be >= 1, got {tenure}")
+        self.tenure = tenure
+        self._queue: deque[Hashable] = deque()
+        self._counts: Counter[Hashable] = Counter()
+
+    def push(self, attribute: Hashable) -> None:
+        """Record a made move; the oldest entry expires when full."""
+        self._queue.append(attribute)
+        self._counts[attribute] += 1
+        if len(self._queue) > self.tenure:
+            expired = self._queue.popleft()
+            self._counts[expired] -= 1
+            if self._counts[expired] == 0:
+                del self._counts[expired]
+
+    def __contains__(self, attribute: Hashable) -> bool:
+        return attribute in self._counts
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._queue)
+
+    def clear(self) -> None:
+        """Forget everything (used when a searcher restarts cold)."""
+        self._queue.clear()
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        return f"TabuList(tenure={self.tenure}, size={len(self._queue)})"

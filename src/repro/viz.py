@@ -1,0 +1,174 @@
+"""Dependency-free SVG visualization of instances, solutions and fronts.
+
+No plotting stack is assumed (this is an offline, headless
+reproduction), so figures are written as plain SVG: customer maps with
+routes, and 2-D Pareto-front scatter plots.  Used by
+``examples/plot_routes.py`` and handy for eyeballing what the search
+actually does to a solution.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.solution import Solution
+from repro.vrptw.instance import Instance
+
+__all__ = ["front_svg", "solution_svg", "write_svg"]
+
+#: route stroke colors (cycled); chosen for contrast on white.
+_PALETTE = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#17becf",
+    "#8c564b",
+    "#e377c2",
+    "#7f7f7f",
+    "#bcbd22",
+)
+
+
+def _scaler(values_x: np.ndarray, values_y: np.ndarray, size: int, margin: int):
+    x_lo, x_hi = float(values_x.min()), float(values_x.max())
+    y_lo, y_hi = float(values_y.min()), float(values_y.max())
+    span_x = (x_hi - x_lo) or 1.0
+    span_y = (y_hi - y_lo) or 1.0
+
+    def to_px(x: float, y: float) -> tuple[float, float]:
+        px = margin + (x - x_lo) / span_x * (size - 2 * margin)
+        py = size - margin - (y - y_lo) / span_y * (size - 2 * margin)
+        return px, py
+
+    return to_px
+
+
+def solution_svg(solution: Solution, *, size: int = 640, title: str | None = None) -> str:
+    """Render a solution's routes as an SVG document string.
+
+    The depot is the black square, customers are dots sized by demand,
+    and each vehicle's tour is a colored polyline through its stops.
+    """
+    instance = solution.instance
+    margin = 30
+    to_px = _scaler(instance.x, instance.y, size, margin)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+    caption = title or (
+        f"{instance.name}: {solution.n_routes} routes, "
+        f"distance {solution.objectives.distance:.0f}, "
+        f"tardiness {solution.objectives.tardiness:.0f}"
+    )
+    parts.append(
+        f'<text x="{margin}" y="20" font-family="monospace" font-size="13">'
+        f"{html.escape(caption)}</text>"
+    )
+    for r, route in enumerate(solution.routes):
+        color = _PALETTE[r % len(_PALETTE)]
+        points = [to_px(float(instance.x[0]), float(instance.y[0]))]
+        points += [
+            to_px(float(instance.x[c]), float(instance.y[c])) for c in route
+        ]
+        points.append(points[0])
+        path = " ".join(f"{px:.1f},{py:.1f}" for px, py in points)
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5" opacity="0.85"/>'
+        )
+    demand_hi = float(instance.demand[1:].max()) or 1.0
+    for c in range(1, instance.n_customers + 1):
+        px, py = to_px(float(instance.x[c]), float(instance.y[c]))
+        radius = 2.0 + 3.0 * float(instance.demand[c]) / demand_hi
+        parts.append(
+            f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{radius:.1f}" '
+            f'fill="#333" opacity="0.7"><title>customer {c}: demand '
+            f"{instance.demand[c]:.0f}, window [{instance.ready_time[c]:.0f}, "
+            f"{instance.due_date[c]:.0f}]</title></circle>"
+        )
+    dx, dy = to_px(float(instance.x[0]), float(instance.y[0]))
+    parts.append(
+        f'<rect x="{dx - 6:.1f}" y="{dy - 6:.1f}" width="12" height="12" '
+        f'fill="black"><title>depot</title></rect>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def front_svg(
+    fronts: dict[str, Sequence | np.ndarray],
+    *,
+    size: int = 520,
+    x_label: str = "distance",
+    y_label: str = "vehicles",
+    x_index: int = 0,
+    y_index: int = 1,
+) -> str:
+    """Render one or more labelled 2-D fronts as an SVG scatter plot.
+
+    ``fronts`` maps a legend label to an ``(n, >=2)`` objective array;
+    ``x_index``/``y_index`` select the plotted columns.
+    """
+    needed = max(x_index, y_index) + 1
+    arrays: dict[str, np.ndarray] = {}
+    for label, points in fronts.items():
+        arr = np.asarray(points, dtype=np.float64)
+        if arr.size == 0:
+            arr = np.zeros((0, needed))
+        elif arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.shape[1] < needed:
+            raise ValueError(
+                f"front {label!r} has {arr.shape[1]} objectives, plot needs "
+                f"column {max(x_index, y_index)}"
+            )
+        arrays[label] = arr
+    stacked = [a for a in arrays.values() if a.shape[0]]
+    if not stacked:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}">'
+            "<text x='10' y='20'>(no points)</text></svg>"
+        )
+    merged = np.vstack(stacked)
+    margin = 45
+    to_px = _scaler(merged[:, x_index], merged[:, y_index], size, margin)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+        f'<text x="{size // 2}" y="{size - 8}" text-anchor="middle" '
+        f'font-family="monospace" font-size="12">{html.escape(x_label)}</text>',
+        f'<text x="14" y="{size // 2}" font-family="monospace" font-size="12" '
+        f'transform="rotate(-90 14 {size // 2})" text-anchor="middle">'
+        f"{html.escape(y_label)}</text>",
+    ]
+    for k, (label, points) in enumerate(arrays.items()):
+        color = _PALETTE[k % len(_PALETTE)]
+        for row in points:
+            px, py = to_px(float(row[x_index]), float(row[y_index]))
+            parts.append(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="4" fill="{color}" '
+                f'opacity="0.75"/>'
+            )
+        parts.append(
+            f'<text x="{size - margin}" y="{margin + 16 * k}" text-anchor="end" '
+            f'font-family="monospace" font-size="12" fill="{color}">'
+            f"{html.escape(label)}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(svg: str, path: str | Path) -> Path:
+    """Write an SVG document to disk and return the path."""
+    out = Path(path)
+    out.write_text(svg, encoding="utf-8")
+    return out

@@ -1,0 +1,42 @@
+"""The CVRPTW problem substrate.
+
+This subpackage defines the problem the paper optimizes (section II):
+customers with demands and time windows, a homogeneous capacitated
+fleet housed at a single depot, and Euclidean travel costs.  It also
+provides a reader/writer for the standard Solomon/Homberger text format
+and a generator of Gehring–Homberger-style extended Solomon instances,
+which substitutes for the (offline) instance files used in the paper's
+evaluation.
+"""
+
+from repro.vrptw.analysis import (
+    compatibility_density,
+    compatibility_graph,
+    describe,
+    fleet_lower_bounds,
+    window_stats,
+)
+from repro.vrptw.customer import Customer, Depot
+from repro.vrptw.distance import euclidean_matrix
+from repro.vrptw.generator import GeneratorConfig, InstanceClass, generate_instance
+from repro.vrptw.instance import Instance
+from repro.vrptw.parser import dumps_solomon, loads_solomon, read_solomon, write_solomon
+
+__all__ = [
+    "Customer",
+    "Depot",
+    "GeneratorConfig",
+    "Instance",
+    "InstanceClass",
+    "compatibility_density",
+    "compatibility_graph",
+    "describe",
+    "dumps_solomon",
+    "euclidean_matrix",
+    "fleet_lower_bounds",
+    "generate_instance",
+    "loads_solomon",
+    "read_solomon",
+    "window_stats",
+    "write_solomon",
+]

@@ -1,0 +1,95 @@
+"""Site records: customers and the depot.
+
+The paper (section II) indexes all *sites* as ``S = {0, .., N}`` with
+index 0 reserved for the depot and ``C = {1, .., N}`` for customers.
+Each customer carries a demand ``d_i``, a ready time ``a_i``, a due
+date ``b_i`` and a service time ``c_i``.  The depot is a degenerate
+site: zero demand, zero service time, and a time window spanning the
+whole planning horizon (its due date is the latest time a vehicle may
+return).
+
+These records are convenience views; the hot numerical paths work on
+the packed arrays held by :class:`repro.vrptw.instance.Instance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Customer", "Depot"]
+
+
+@dataclass(frozen=True, slots=True)
+class Customer:
+    """A single customer site.
+
+    Attributes
+    ----------
+    index:
+        Site index in ``1 .. N`` (0 is the depot).
+    x, y:
+        Euclidean plane coordinates; travel costs are distances in this
+        plane (paper section II: "This matrix is computed by calculating
+        the Euclidean distance").
+    demand:
+        Amount of goods to deliver, ``d_i >= 0``.
+    ready_time:
+        Lower bound ``a_i`` of the service time window; a vehicle
+        arriving earlier waits.
+    due_date:
+        Upper bound ``b_i``; arriving later is a (soft) constraint
+        violation contributing to objective ``f3``.
+    service_time:
+        Delay ``c_i`` incurred at the customer once service starts.
+    """
+
+    index: int
+    x: float
+    y: float
+    demand: float
+    ready_time: float
+    due_date: float
+    service_time: float
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError(f"customer index must be >= 1, got {self.index}")
+        if self.demand < 0:
+            raise ValueError(f"customer {self.index}: negative demand {self.demand}")
+        if self.service_time < 0:
+            raise ValueError(
+                f"customer {self.index}: negative service time {self.service_time}"
+            )
+        if self.due_date < self.ready_time:
+            raise ValueError(
+                f"customer {self.index}: inverted time window "
+                f"[{self.ready_time}, {self.due_date}]"
+            )
+
+    @property
+    def window_width(self) -> float:
+        """Width ``b_i - a_i`` of the service window."""
+        return self.due_date - self.ready_time
+
+
+@dataclass(frozen=True, slots=True)
+class Depot:
+    """The depot site (index 0).
+
+    ``horizon`` is the depot due date: the latest instant by which every
+    vehicle must be back (in the soft-time-window formulation, lateness
+    at the depot is tardiness like any other).
+    """
+
+    x: float
+    y: float
+    horizon: float
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError(f"depot horizon must be positive, got {self.horizon}")
+
+    @property
+    def index(self) -> int:
+        """The depot always has site index 0."""
+        return 0

@@ -1,0 +1,254 @@
+"""The packed CVRPTW instance.
+
+:class:`Instance` is the numerical heart of the substrate: it stores
+site data as contiguous ``numpy`` arrays (depot at index 0) plus the
+precomputed Euclidean travel-cost matrix, because evaluation — the hot
+path identified in DESIGN.md — is array gathers over these buffers.
+
+Invariants enforced at construction:
+
+* arrays all have length ``N + 1`` and the depot row is site 0;
+* demands are non-negative and the depot demand is 0;
+* time windows are not inverted and lie within the depot horizon;
+* no single customer demand exceeds the vehicle capacity (otherwise the
+  instance is trivially infeasible for any fleet);
+* the fleet has at least one vehicle.
+
+All arrays are made read-only so instances can be shared freely between
+the simulated processors without defensive copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import InstanceError
+from repro.vrptw.customer import Customer, Depot
+from repro.vrptw.distance import euclidean_matrix
+
+__all__ = ["Instance"]
+
+
+def _readonly(a: np.ndarray) -> np.ndarray:
+    a = np.ascontiguousarray(a)
+    a.setflags(write=False)
+    return a
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A capacitated VRP instance with (soft) time windows.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"R1_4_1"`` in the
+        Gehring–Homberger naming scheme.
+    x, y:
+        Site coordinates, depot first, length ``N + 1``.
+    demand:
+        Demands ``d_i`` (``d_0 == 0``).
+    ready_time, due_date:
+        Time windows ``[a_i, b_i]``; the depot window is
+        ``[0, horizon]``.
+    service_time:
+        Service delays ``c_i`` (``c_0 == 0``).
+    capacity:
+        Homogeneous vehicle capacity ``m``.
+    n_vehicles:
+        Fleet size ``R`` — the maximum number of vehicles available at
+        the depot (paper: 25 for the 100-city problems up to 100 for
+        the 400-city problems).
+    """
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    demand: np.ndarray
+    ready_time: np.ndarray
+    due_date: np.ndarray
+    service_time: np.ndarray
+    capacity: float
+    n_vehicles: int
+    travel: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        arrays = {
+            "x": np.asarray(self.x, dtype=np.float64),
+            "y": np.asarray(self.y, dtype=np.float64),
+            "demand": np.asarray(self.demand, dtype=np.float64),
+            "ready_time": np.asarray(self.ready_time, dtype=np.float64),
+            "due_date": np.asarray(self.due_date, dtype=np.float64),
+            "service_time": np.asarray(self.service_time, dtype=np.float64),
+        }
+        n_sites = arrays["x"].shape[0]
+        if n_sites < 2:
+            raise InstanceError("an instance needs a depot and at least one customer")
+        for label, arr in arrays.items():
+            if arr.ndim != 1:
+                raise InstanceError(f"{label} must be one-dimensional")
+            if arr.shape[0] != n_sites:
+                raise InstanceError(
+                    f"{label} has length {arr.shape[0]}, expected {n_sites}"
+                )
+            if not np.all(np.isfinite(arr)):
+                raise InstanceError(f"{label} contains non-finite values")
+        if self.n_vehicles < 1:
+            raise InstanceError(f"fleet size must be >= 1, got {self.n_vehicles}")
+        if self.capacity <= 0:
+            raise InstanceError(f"vehicle capacity must be positive, got {self.capacity}")
+        if arrays["demand"][0] != 0:
+            raise InstanceError("depot demand must be zero")
+        if arrays["service_time"][0] != 0:
+            raise InstanceError("depot service time must be zero")
+        if np.any(arrays["demand"] < 0):
+            raise InstanceError("demands must be non-negative")
+        if np.any(arrays["service_time"] < 0):
+            raise InstanceError("service times must be non-negative")
+        if np.any(arrays["due_date"] < arrays["ready_time"]):
+            bad = int(np.argmax(arrays["due_date"] < arrays["ready_time"]))
+            raise InstanceError(f"site {bad} has an inverted time window")
+        if np.any(arrays["demand"][1:] > self.capacity):
+            bad = 1 + int(np.argmax(arrays["demand"][1:] > self.capacity))
+            raise InstanceError(
+                f"customer {bad} demand {arrays['demand'][bad]} exceeds capacity "
+                f"{self.capacity}; instance is trivially infeasible"
+            )
+        for label, arr in arrays.items():
+            object.__setattr__(self, label, _readonly(arr))
+        travel = euclidean_matrix(arrays["x"], arrays["y"])
+        object.__setattr__(self, "travel", _readonly(travel))
+        # Fast plain-Python views for the schedule scan in
+        # repro.core.routes: route evaluation walks sites one at a time,
+        # where list indexing beats numpy scalar extraction by ~3x (see
+        # DESIGN.md "vectorized evaluation" note — the scan itself cannot
+        # be vectorized because arrival times chain through max()).
+        object.__setattr__(self, "_ready_l", arrays["ready_time"].tolist())
+        object.__setattr__(self, "_due_l", arrays["due_date"].tolist())
+        object.__setattr__(self, "_service_l", arrays["service_time"].tolist())
+        object.__setattr__(self, "_demand_l", arrays["demand"].tolist())
+        object.__setattr__(self, "_travel_rows", travel.tolist())
+
+    # ------------------------------------------------------------------
+    # Dimensions
+    # ------------------------------------------------------------------
+    @property
+    def n_customers(self) -> int:
+        """Number of customers ``N`` (sites excluding the depot)."""
+        return self.x.shape[0] - 1
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites ``N + 1`` (customers plus depot)."""
+        return self.x.shape[0]
+
+    @property
+    def horizon(self) -> float:
+        """The depot due date — the end of the planning horizon."""
+        return float(self.due_date[0])
+
+    @property
+    def permutation_length(self) -> int:
+        """Length ``L = N + R + 1`` of the giant-tour permutation (§II.A)."""
+        return self.n_customers + self.n_vehicles + 1
+
+    @property
+    def total_demand(self) -> float:
+        """Sum of all customer demands."""
+        return float(self.demand.sum())
+
+    @property
+    def min_vehicles_by_capacity(self) -> int:
+        """A lower bound on the number of vehicles: ceil(total demand / m)."""
+        return int(np.ceil(self.total_demand / self.capacity))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def depot(self) -> Depot:
+        """The depot as a record."""
+        return Depot(x=float(self.x[0]), y=float(self.y[0]), horizon=self.horizon)
+
+    def customer(self, index: int) -> Customer:
+        """Return customer ``index`` (1-based) as a record."""
+        if not 1 <= index <= self.n_customers:
+            raise InstanceError(
+                f"customer index {index} out of range 1..{self.n_customers}"
+            )
+        return Customer(
+            index=index,
+            x=float(self.x[index]),
+            y=float(self.y[index]),
+            demand=float(self.demand[index]),
+            ready_time=float(self.ready_time[index]),
+            due_date=float(self.due_date[index]),
+            service_time=float(self.service_time[index]),
+        )
+
+    def customers(self) -> Iterator[Customer]:
+        """Iterate over all customers in index order."""
+        for i in range(1, self.n_customers + 1):
+            yield self.customer(i)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def distance(self, i: int, j: int) -> float:
+        """Travel cost ``t_{i,j}`` between two sites."""
+        return float(self.travel[i, j])
+
+    @classmethod
+    def from_customers(
+        cls,
+        name: str,
+        depot: Depot,
+        customers: list[Customer],
+        capacity: float,
+        n_vehicles: int,
+    ) -> "Instance":
+        """Build an instance from site records (depot + customers).
+
+        Customer records may arrive in any order; they are placed at
+        their declared indices, which must form ``1..N`` exactly.
+        """
+        n = len(customers)
+        indices = sorted(c.index for c in customers)
+        if indices != list(range(1, n + 1)):
+            raise InstanceError(
+                f"customer indices must be exactly 1..{n}, got {indices[:5]}..."
+            )
+        x = np.empty(n + 1)
+        y = np.empty(n + 1)
+        demand = np.zeros(n + 1)
+        ready = np.zeros(n + 1)
+        due = np.empty(n + 1)
+        service = np.zeros(n + 1)
+        x[0], y[0], due[0] = depot.x, depot.y, depot.horizon
+        for c in customers:
+            x[c.index] = c.x
+            y[c.index] = c.y
+            demand[c.index] = c.demand
+            ready[c.index] = c.ready_time
+            due[c.index] = c.due_date
+            service[c.index] = c.service_time
+        return cls(
+            name=name,
+            x=x,
+            y=y,
+            demand=demand,
+            ready_time=ready,
+            due_date=due,
+            service_time=service,
+            capacity=capacity,
+            n_vehicles=n_vehicles,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Instance({self.name!r}, customers={self.n_customers}, "
+            f"vehicles={self.n_vehicles}, capacity={self.capacity})"
+        )

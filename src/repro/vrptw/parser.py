@@ -1,0 +1,163 @@
+"""Reader/writer for the Solomon / Gehring–Homberger text format.
+
+The paper evaluates on the "400 city extended Solomon problems"
+published by Joerg Homberger.  Those files use the classic Solomon
+layout::
+
+    R1_4_1
+
+    VEHICLE
+    NUMBER     CAPACITY
+      100        200
+
+    CUSTOMER
+    CUST NO.  XCOORD.  YCOORD.  DEMAND  READY TIME  DUE DATE  SERVICE TIME
+        0       250      250       0        0         1824        0
+        1       387      297      10      144          214       90
+        ...
+
+This module parses that layout robustly (tolerating varying whitespace,
+blank lines and header spellings) and can also write it back, so
+instances produced by :mod:`repro.vrptw.generator` round-trip through
+the on-disk format the original benchmark set uses.  If the authentic
+Homberger files are available they can be dropped in unchanged.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.errors import ParseError
+from repro.vrptw.instance import Instance
+
+__all__ = ["read_solomon", "loads_solomon", "write_solomon", "dumps_solomon"]
+
+
+def loads_solomon(text: str) -> Instance:
+    """Parse a Solomon-format instance from a string."""
+    lines = text.splitlines()
+    idx = 0
+
+    def next_nonblank() -> tuple[int, str]:
+        nonlocal idx
+        while idx < len(lines):
+            line = lines[idx].strip()
+            idx += 1
+            if line:
+                return idx, line
+        raise ParseError("unexpected end of file")
+
+    try:
+        _, name = next_nonblank()
+    except ParseError as exc:
+        raise ParseError("empty instance file") from exc
+
+    # --- VEHICLE section -------------------------------------------------
+    lineno, line = next_nonblank()
+    if line.upper() != "VEHICLE":
+        raise ParseError(f"expected 'VEHICLE' section, got {line!r}", line=lineno)
+    lineno, header = next_nonblank()
+    if "NUMBER" not in header.upper() or "CAPACITY" not in header.upper():
+        raise ParseError(
+            f"expected 'NUMBER CAPACITY' header, got {header!r}", line=lineno
+        )
+    lineno, line = next_nonblank()
+    fields = line.split()
+    if len(fields) != 2:
+        raise ParseError(
+            f"expected two vehicle fields (number, capacity), got {line!r}",
+            line=lineno,
+        )
+    try:
+        n_vehicles = int(fields[0])
+        capacity = float(fields[1])
+    except ValueError as exc:
+        raise ParseError(f"bad vehicle line {line!r}: {exc}", line=lineno) from exc
+
+    # --- CUSTOMER section -------------------------------------------------
+    lineno, line = next_nonblank()
+    if line.upper() != "CUSTOMER":
+        raise ParseError(f"expected 'CUSTOMER' section, got {line!r}", line=lineno)
+    lineno, header = next_nonblank()
+    if "CUST" not in header.upper():
+        raise ParseError(f"expected customer header, got {header!r}", line=lineno)
+
+    rows: list[tuple[float, ...]] = []
+    while idx < len(lines):
+        raw = lines[idx].strip()
+        idx += 1
+        if not raw:
+            continue
+        fields = raw.split()
+        if len(fields) != 7:
+            raise ParseError(
+                f"customer rows need 7 fields, got {len(fields)}: {raw!r}",
+                line=idx,
+            )
+        try:
+            rows.append(tuple(float(f) for f in fields))
+        except ValueError as exc:
+            raise ParseError(f"non-numeric customer row {raw!r}", line=idx) from exc
+
+    if not rows:
+        raise ParseError("no customer rows found")
+    indices = [int(r[0]) for r in rows]
+    if indices != list(range(len(rows))):
+        raise ParseError(
+            f"customer numbers must be consecutive from 0, got {indices[:5]}..."
+        )
+
+    data = np.asarray(rows, dtype=np.float64)
+    return Instance(
+        name=name,
+        x=data[:, 1],
+        y=data[:, 2],
+        demand=data[:, 3],
+        ready_time=data[:, 4],
+        due_date=data[:, 5],
+        service_time=data[:, 6],
+        capacity=capacity,
+        n_vehicles=n_vehicles,
+    )
+
+
+def read_solomon(path: str | Path | TextIO) -> Instance:
+    """Parse a Solomon-format instance from a file path or open handle."""
+    if isinstance(path, (str, Path)):
+        text = Path(path).read_text(encoding="utf-8")
+    else:
+        text = path.read()
+    return loads_solomon(text)
+
+
+def dumps_solomon(instance: Instance) -> str:
+    """Render an instance in Solomon format."""
+    buf = io.StringIO()
+    buf.write(f"{instance.name}\n\n")
+    buf.write("VEHICLE\nNUMBER     CAPACITY\n")
+    buf.write(f"{instance.n_vehicles:>6d}  {instance.capacity:>11.0f}\n\n")
+    buf.write("CUSTOMER\n")
+    buf.write(
+        "CUST NO.  XCOORD.   YCOORD.    DEMAND   READY TIME  DUE DATE"
+        "   SERVICE   TIME\n"
+    )
+    for i in range(instance.n_sites):
+        buf.write(
+            f"{i:>5d} {instance.x[i]:>10.2f} {instance.y[i]:>10.2f}"
+            f" {instance.demand[i]:>9.2f} {instance.ready_time[i]:>12.2f}"
+            f" {instance.due_date[i]:>10.2f} {instance.service_time[i]:>10.2f}\n"
+        )
+    return buf.getvalue()
+
+
+def write_solomon(instance: Instance, path: str | Path | TextIO) -> None:
+    """Write an instance to disk (or an open handle) in Solomon format."""
+    text = dumps_solomon(instance)
+    if isinstance(path, (str, Path)):
+        Path(path).write_text(text, encoding="utf-8")
+    else:
+        path.write(text)

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+The fixtures pin small instances and parameter sets so individual test
+modules stay fast; anything marked ``slow`` (the parallel shape tests)
+still runs in the default suite but is kept to a handful of runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.construction import i1_construct
+from repro.core.solution import Solution
+from repro.tabu.params import TSMOParams
+from repro.vrptw.generator import generate_instance
+from repro.vrptw.instance import Instance
+
+
+@pytest.fixture(scope="session")
+def small_instance() -> Instance:
+    """A 30-customer R1 instance shared (read-only) across tests."""
+    return generate_instance("R1", 30, seed=123)
+
+
+@pytest.fixture(scope="session")
+def clustered_instance() -> Instance:
+    """A 30-customer C2 instance (clustered, wide windows)."""
+    return generate_instance("C2", 30, seed=456)
+
+
+@pytest.fixture(scope="session")
+def tiny_instance() -> Instance:
+    """An 8-customer instance for exhaustive/propagation checks."""
+    return generate_instance("R1", 8, seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)
+
+
+@pytest.fixture(scope="session")
+def small_solution(small_instance: Instance) -> Solution:
+    """A deterministic I1 construction on the small instance."""
+    return i1_construct(small_instance, rng=np.random.default_rng(5))
+
+
+@pytest.fixture()
+def quick_params() -> TSMOParams:
+    """A very small search budget for driver tests."""
+    return TSMOParams(
+        max_evaluations=400,
+        neighborhood_size=25,
+        tabu_tenure=10,
+        archive_capacity=10,
+        nondom_capacity=20,
+        restart_after=6,
+    )

@@ -1,0 +1,158 @@
+"""Tests for the benchmark harness: config, runner, tables, report, figures."""
+
+import numpy as np
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.bench.figures import fig1_trajectory, render_ascii
+from repro.bench.report import render_table
+from repro.bench.runner import ALGORITHMS, run_configuration, run_table
+from repro.bench.tables import TableData
+from repro.errors import BenchmarkError
+from repro.vrptw.catalog import instances_for_table
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return BenchConfig.quick().with_overrides(runs=2, max_evaluations=500)
+
+
+@pytest.fixture(scope="module")
+def table_data(quick_config):
+    """One quick table-1 run shared by the assertions below."""
+    return run_table("table1", quick_config)
+
+
+class TestBenchConfig:
+    def test_defaults_valid(self):
+        cfg = BenchConfig()
+        assert cfg.tsmo_params().neighborhood_size == cfg.neighborhood_size
+
+    def test_paper_protocol(self):
+        cfg = BenchConfig.paper()
+        assert cfg.city_fraction == 1.0
+        assert cfg.max_evaluations == 100_000
+        assert cfg.neighborhood_size == 200
+        assert cfg.runs == 30
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.0")
+        cfg = BenchConfig.from_env()
+        assert cfg.max_evaluations == 2 * BenchConfig().max_evaluations
+
+    def test_env_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert BenchConfig.from_env().city_fraction == 1.0
+
+    def test_env_bad_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(BenchmarkError):
+            BenchConfig.from_env()
+
+    def test_env_runs_and_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RUNS", "7")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "99")
+        cfg = BenchConfig.from_env()
+        assert cfg.runs == 7 and cfg.seed == 99
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            BenchConfig(city_fraction=0.0)
+        with pytest.raises(BenchmarkError):
+            BenchConfig(processors=(1,))
+
+
+class TestRunner:
+    def test_unknown_algorithm(self, quick_config):
+        instance = instances_for_table("table1", scale=0.05)[0].build()
+        with pytest.raises(BenchmarkError, match="unknown algorithm"):
+            run_configuration("genetic", instance, quick_config, 3, 1)
+
+    def test_matrix_complete(self, table_data, quick_config):
+        configs = table_data.configs()
+        assert ("sequential", 1) in configs
+        expected = 1 + 3 * len(quick_config.processors)
+        assert len(configs) == expected
+
+    def test_runs_per_config(self, table_data, quick_config):
+        runs = table_data.runs_of(("sequential", 1))
+        # 2 instances (C1 + R1) x runs
+        assert len(runs) == 2 * quick_config.runs
+
+    def test_all_algorithms_present(self, table_data):
+        present = {key[0] for key in table_data.configs()}
+        assert present == set(ALGORITHMS)
+
+
+class TestTableData:
+    def test_summary_rows(self, table_data):
+        s = table_data.summary(("sequential", 1))
+        assert s.distance.mean > 0
+        assert s.runtime.mean > 0
+
+    def test_coverage_pair_bounds(self, table_data):
+        out_cov, in_cov = table_data.coverage_pair(("collaborative", 12))
+        assert 0.0 <= out_cov <= 1.0
+        assert 0.0 <= in_cov <= 1.0
+
+    def test_speedup_positive(self, table_data):
+        for p in (3, 6, 12):
+            assert table_data.speedup_of(("asynchronous", p)) > 0
+
+    def test_missing_config(self, table_data):
+        with pytest.raises(BenchmarkError):
+            table_data.runs_of(("genetic", 3))
+
+    def test_significance_report_covers_sync_and_coll(self, table_data):
+        report = table_data.significance_report()
+        labels = {t.label_a.split("@")[0] for t in report}
+        assert labels == {"synchronous", "collaborative"}
+        assert len(report) == 6  # 2 algorithms x 3 processor counts
+
+    def test_display_order(self, table_data):
+        configs = table_data.configs()
+        assert configs[0] == ("sequential", 1)
+        # Blocks ordered by processor count.
+        procs = [key[1] for key in configs[1:]]
+        assert procs == sorted(procs)
+
+
+class TestReport:
+    def test_render_contains_all_rows(self, table_data):
+        text = render_table(table_data, title="Quick Table I")
+        assert "Quick Table I" in text
+        assert "Sequential TSMO" in text
+        assert text.count("TSMO sync.") == 3
+        assert text.count("TSMO async.") == 3
+        assert text.count("TSMO coll.") == 3
+        assert "t-tests" in text
+
+    def test_render_row_formats(self, table_data):
+        text = render_table(table_data)
+        # coverage cells look like "12.34% <-> 56.78%".
+        assert "<->" in text
+        assert "%" in text
+
+
+class TestFigure1:
+    def test_trajectory_data(self):
+        cfg = BenchConfig.quick().with_overrides(max_evaluations=600)
+        data = fig1_trajectory(cfg, n_processors=3, seed=1)
+        assert data.neighbors.shape[1] == 5
+        assert data.selections.shape[0] > 0
+        assert data.iterations > 0
+
+    def test_ascii_render(self):
+        cfg = BenchConfig.quick().with_overrides(max_evaluations=600)
+        data = fig1_trajectory(cfg, n_processors=3, seed=1)
+        art = render_ascii(data)
+        assert "Figure 1" in art
+        assert "o" in art or "O" in art
+
+    def test_carryover_present_in_async_trajectory(self):
+        cfg = BenchConfig.quick().with_overrides(max_evaluations=1500)
+        totals = [
+            fig1_trajectory(cfg, n_processors=6, seed=s).carryover_neighbors
+            for s in (1, 2)
+        ]
+        assert sum(totals) > 0

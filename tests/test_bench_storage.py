@@ -1,0 +1,67 @@
+"""Tests for the table-experiment JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.bench.report import render_table
+from repro.bench.runner import run_table
+from repro.bench.storage import FORMAT_VERSION, load_table_data, save_table_data
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def table_data():
+    config = BenchConfig.quick().with_overrides(runs=2, max_evaluations=400)
+    return run_table("table1", config)
+
+
+class TestRoundTrip:
+    def test_derived_columns_identical(self, table_data, tmp_path):
+        path = save_table_data(table_data, tmp_path / "t1.json")
+        loaded = load_table_data(path)
+        assert loaded.table == table_data.table
+        assert loaded.configs() == table_data.configs()
+        for key in table_data.configs():
+            original = table_data.summary(key)
+            reloaded = loaded.summary(key)
+            assert reloaded.distance.mean == pytest.approx(original.distance.mean)
+            assert reloaded.runtime.mean == pytest.approx(original.runtime.mean)
+            if key != ("sequential", 1):
+                assert loaded.speedup_of(key) == pytest.approx(
+                    table_data.speedup_of(key)
+                )
+                assert loaded.coverage_pair(key) == pytest.approx(
+                    table_data.coverage_pair(key)
+                )
+
+    def test_rendered_tables_identical(self, table_data, tmp_path):
+        path = save_table_data(table_data, tmp_path / "t1.json")
+        loaded = load_table_data(path)
+        assert render_table(loaded) == render_table(table_data)
+
+    def test_file_is_human_readable_json(self, table_data, tmp_path):
+        path = save_table_data(table_data, tmp_path / "t1.json")
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["n_runs"] == len(payload["runs"])
+        assert payload["runs"][0]["front"]
+
+
+class TestErrorHandling:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchmarkError, match="cannot read"):
+            load_table_data(tmp_path / "nope.json")
+
+    def test_garbage_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BenchmarkError, match="cannot read"):
+            load_table_data(bad)
+
+    def test_version_mismatch(self, tmp_path):
+        bad = tmp_path / "old.json"
+        bad.write_text(json.dumps({"format_version": 0, "table": "table1", "runs": []}))
+        with pytest.raises(BenchmarkError, match="format version"):
+            load_table_data(bad)

@@ -1,0 +1,58 @@
+"""Direct (in-process) tests of the repro-bench CLI wiring."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    # Shrink everything so CLI paths run in seconds.
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+    monkeypatch.setenv("REPRO_BENCH_RUNS", "2")
+
+
+class TestCLI:
+    def test_fig1_prints_figure(self, capsys):
+        assert main(["fig1", "--evaluations", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_table_prints_rows_and_wall_time(self, capsys):
+        assert main(["table1", "--evaluations", "300", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Sequential TSMO" in out
+        assert "TSMO coll." in out
+        assert "regenerated in" in out
+
+    def test_seed_override_changes_nothing_structural(self, capsys):
+        assert main(["table1", "--evaluations", "300", "--seed", "99", "--quiet"]) == 0
+        assert "Sequential TSMO" in capsys.readouterr().out
+
+    def test_progress_lines_go_to_stderr(self, capsys):
+        assert main(["table1", "--evaluations", "300"]) == 0
+        captured = capsys.readouterr()
+        assert "..." in captured.err
+        assert "..." not in captured.out.split("Algorithm")[0]
+
+    def test_invalid_target_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_save_and_render_roundtrip(self, capsys, tmp_path):
+        saved = tmp_path / "t1.json"
+        assert (
+            main(["table1", "--evaluations", "300", "--quiet", "--save", str(saved)])
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert saved.exists()
+        assert main(["render", str(saved)]) == 0
+        rendered = capsys.readouterr().out
+        # The re-rendered rows match the live run's rows.
+        live_rows = [l for l in first.splitlines() if "TSMO" in l]
+        rerendered_rows = [l for l in rendered.splitlines() if "TSMO" in l]
+        assert live_rows == rerendered_rows
+
+    def test_render_without_path_fails(self, capsys):
+        assert main(["render"]) == 2

@@ -1,0 +1,101 @@
+"""Property tests for I1's push-forward insertion feasibility.
+
+``_insertion_feasible_and_shift`` decides hard-TW feasibility of an
+insertion by propagating the begin-time shift instead of re-simulating
+the whole route.  These tests verify it against the brute-force oracle
+(insert, then recompute the full schedule) on randomized routes — the
+classic place for off-by-one and waiting-absorption bugs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construction import _begin_times, _insertion_feasible_and_shift
+from repro.core.routes import route_schedule
+from repro.vrptw.generator import generate_instance
+
+
+def brute_force_feasible(instance, route, pos, u):
+    """Oracle: insert and recompute the full schedule."""
+    candidate = list(route[:pos]) + [u] + list(route[pos:])
+    sched = route_schedule(instance, candidate)
+    if sched.total_tardiness > 1e-9:
+        return False, None
+    old_begins = {c: b for c, b in zip(route, _begin_times(instance, list(route)))}
+    if pos < len(route):
+        j = route[pos]
+        new_begin_j = sched.service_start[candidate.index(j)]
+        return True, new_begin_j - old_begins[j]
+    return True, 0.0
+
+
+@st.composite
+def route_and_insertion(draw):
+    seed = draw(st.integers(0, 500))
+    instance = generate_instance(
+        draw(st.sampled_from(["R1", "R2", "C1", "C2"])), 14, seed=seed
+    )
+    n = instance.n_customers
+    size = draw(st.integers(min_value=1, max_value=8))
+    customers = draw(
+        st.lists(
+            st.integers(1, n), min_size=size + 1, max_size=size + 1, unique=True
+        )
+    )
+    route = customers[:-1]
+    u = customers[-1]
+    pos = draw(st.integers(0, len(route)))
+    return instance, route, pos, u
+
+
+class TestPushForwardAgainstOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(case=route_and_insertion())
+    def test_feasibility_matches_brute_force(self, case):
+        instance, route, pos, u = case
+        # Only meaningful when the base route is itself feasible (I1
+        # only ever inserts into feasible partial routes).
+        if route_schedule(instance, route).total_tardiness > 1e-9:
+            return
+        begins = _begin_times(instance, route)
+        fast_ok, fast_shift = _insertion_feasible_and_shift(
+            instance, route, begins, pos, u
+        )
+        oracle_ok, oracle_shift = brute_force_feasible(instance, route, pos, u)
+        assert fast_ok == oracle_ok, (route, pos, u)
+        if fast_ok and pos < len(route):
+            assert fast_shift == pytest.approx(oracle_shift, abs=1e-6)
+
+    def test_shift_zero_at_route_end(self):
+        instance = generate_instance("R2", 10, seed=1)
+        route = [1, 2]
+        begins = _begin_times(instance, route)
+        ok, shift = _insertion_feasible_and_shift(instance, route, begins, 2, 3)
+        if ok:
+            assert shift == 0.0
+
+    def test_waiting_absorbs_push(self):
+        """A downstream customer with a late ready time absorbs the
+        shift: inserting before it must not propagate past it."""
+        from repro.vrptw.instance import Instance
+
+        inst = Instance(
+            name="absorb",
+            x=[0.0, 1.0, 2.0, 3.0],
+            y=[0.0, 0.0, 0.0, 0.0],
+            demand=[0.0, 1.0, 1.0, 1.0],
+            ready_time=[0.0, 0.0, 100.0, 0.0],  # customer 2 waits long
+            due_date=[1000.0, 50.0, 150.0, 120.0],
+            service_time=[0.0, 1.0, 1.0, 1.0],
+            capacity=10,
+            n_vehicles=2,
+        )
+        route = [1, 2]
+        begins = _begin_times(inst, route)
+        # Inserting 3 between 1 and 2 delays arrival at 2 but its long
+        # wait absorbs the delay entirely.
+        ok, shift = _insertion_feasible_and_shift(inst, route, begins, 1, 3)
+        assert ok
+        assert shift == pytest.approx(0.0)

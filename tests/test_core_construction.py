@@ -1,0 +1,93 @@
+"""Tests for the Solomon I1 construction heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import I1Params, i1_construct
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.vrptw.generator import GeneratorConfig, generate_instance
+
+
+class TestI1Params:
+    def test_defaults_valid(self):
+        p = I1Params()
+        assert p.alpha1 + p.alpha2 == 1.0
+
+    def test_alpha_sum_enforced(self):
+        with pytest.raises(SearchError, match="alpha1"):
+            I1Params(alpha1=0.7, alpha2=0.7)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(SearchError, match="non-negative"):
+            I1Params(alpha1=-0.5, alpha2=1.5)
+
+    def test_seed_rule_validated(self):
+        with pytest.raises(SearchError, match="seed_rule"):
+            I1Params(seed_rule="nearest")
+
+    def test_random_params(self):
+        rng = np.random.default_rng(3)
+        seen_rules = set()
+        for _ in range(20):
+            p = I1Params.random(rng)
+            assert 0 <= p.alpha1 <= 1
+            assert np.isclose(p.alpha1 + p.alpha2, 1.0)
+            assert 1.0 <= p.lam <= 2.0
+            seen_rules.add(p.seed_rule)
+        assert seen_rules == {"farthest", "earliest_deadline"}
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("icls", ["R1", "C1", "R2", "C2", "RC1", "RC2"])
+    def test_produces_valid_solution(self, icls):
+        inst = generate_instance(icls, 40, seed=10)
+        sol = i1_construct(inst, rng=1)
+        assert isinstance(sol, Solution)
+        # Partition validity is enforced by from_routes; also check
+        # capacity (the operators rely on capacity-feasible seeds).
+        assert all(load <= inst.capacity for load in sol.route_loads())
+
+    def test_hard_feasible_when_vehicles_suffice(self):
+        # With the standard fleet, I1 should produce a zero-tardiness seed.
+        inst = generate_instance("R1", 50, seed=2)
+        sol = i1_construct(inst, params=I1Params(), rng=1)
+        assert sol.objectives.tardiness == pytest.approx(0.0)
+
+    def test_deterministic_given_params_and_rng(self):
+        inst = generate_instance("R1", 30, seed=3)
+        a = i1_construct(inst, rng=5)
+        b = i1_construct(inst, rng=5)
+        assert a.routes == b.routes
+
+    def test_seed_rules_differ(self):
+        inst = generate_instance("R2", 30, seed=3)
+        far = i1_construct(inst, params=I1Params(seed_rule="farthest"), rng=1)
+        early = i1_construct(inst, params=I1Params(seed_rule="earliest_deadline"), rng=1)
+        # Different seeding should (almost surely) give different routes.
+        assert far.routes != early.routes
+
+    def test_respects_fleet_limit(self):
+        inst = generate_instance("R1", 60, seed=4)
+        sol = i1_construct(inst, rng=2)
+        assert sol.n_routes <= inst.n_vehicles
+
+    def test_lambda_shifts_construction(self):
+        inst = generate_instance("R1", 40, seed=6)
+        a = i1_construct(inst, params=I1Params(lam=1.0), rng=1)
+        b = i1_construct(inst, params=I1Params(lam=2.0), rng=1)
+        assert a.routes != b.routes
+
+    def test_tight_fleet_falls_back_to_soft_insertion(self):
+        # Give the instance a barely sufficient fleet: I1 must still
+        # place everyone (possibly with tardiness), never fail.
+        cfg = GeneratorConfig(customers_per_vehicle=12.0)
+        inst = generate_instance("R1", 36, seed=8, config=cfg)
+        sol = i1_construct(inst, rng=3)
+        assert sol.n_routes <= inst.n_vehicles
+        assert all(load <= inst.capacity for load in sol.route_loads())
+
+    def test_single_customer(self):
+        inst = generate_instance("R1", 1, seed=1)
+        sol = i1_construct(inst, rng=1)
+        assert sol.routes == ((1,),)

@@ -1,0 +1,141 @@
+"""Tests for ObjectiveVector and route schedule computation."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import FEASIBILITY_TOLERANCE, ObjectiveVector
+from repro.core.routes import (
+    EMPTY_ROUTE_STATS,
+    route_load,
+    route_schedule,
+    route_stats,
+)
+from repro.errors import SolutionError
+from repro.vrptw.instance import Instance
+
+
+@pytest.fixture(scope="module")
+def line_instance() -> Instance:
+    """Four customers on a line at x = 10, 20, 30, 40; easy arithmetic.
+
+    Customer i has ready time 15*i, due date 15*i + 10, service 2.
+    """
+    n = 4
+    return Instance(
+        name="line",
+        x=[0.0, 10.0, 20.0, 30.0, 40.0],
+        y=[0.0] * (n + 1),
+        demand=[0.0, 5.0, 5.0, 5.0, 5.0],
+        ready_time=[0.0, 15.0, 30.0, 45.0, 60.0],
+        due_date=[500.0, 25.0, 40.0, 55.0, 70.0],
+        service_time=[0.0, 2.0, 2.0, 2.0, 2.0],
+        capacity=20.0,
+        n_vehicles=3,
+    )
+
+
+class TestObjectiveVector:
+    def test_feasibility(self):
+        assert ObjectiveVector(1.0, 1, 0.0).feasible
+        assert ObjectiveVector(1.0, 1, FEASIBILITY_TOLERANCE / 2).feasible
+        assert not ObjectiveVector(1.0, 1, 0.1).feasible
+
+    def test_dominates(self):
+        a = ObjectiveVector(10.0, 2, 0.0)
+        b = ObjectiveVector(12.0, 2, 0.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_weak_dominance_includes_equal(self):
+        a = ObjectiveVector(10.0, 2, 0.0)
+        assert a.weakly_dominates(a)
+
+    def test_incomparable(self):
+        a = ObjectiveVector(10.0, 3, 0.0)
+        b = ObjectiveVector(12.0, 2, 0.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_as_array(self):
+        arr = ObjectiveVector(1.5, 3, 0.25).as_array()
+        assert np.array_equal(arr, [1.5, 3.0, 0.25])
+
+    def test_tuple_behavior(self):
+        d, v, t = ObjectiveVector(1.0, 2, 3.0)
+        assert (d, v, t) == (1.0, 2, 3.0)
+
+
+class TestRouteStats:
+    def test_empty_route(self):
+        assert route_stats(None, []) is EMPTY_ROUTE_STATS  # type: ignore[arg-type]
+        assert EMPTY_ROUTE_STATS.empty
+
+    def test_distance_out_and_back(self, line_instance):
+        st = route_stats(line_instance, [1])
+        assert st.distance == pytest.approx(20.0)
+
+    def test_waiting_at_early_arrival(self, line_instance):
+        # Arrive at customer 1 at t=10, ready 15 -> wait 5, depart 17.
+        st = route_stats(line_instance, [1])
+        assert st.tardiness == 0.0
+        # Completion: depart 17, drive 10 back -> 27.
+        assert st.completion == pytest.approx(27.0)
+
+    def test_chained_arrivals(self, line_instance):
+        # 1: arrive 10, start 15, depart 17; 2: arrive 27, ready 30 ->
+        # depart 32; back at 32 + 20 = 52.
+        st = route_stats(line_instance, [1, 2])
+        assert st.completion == pytest.approx(52.0)
+        assert st.tardiness == 0.0
+
+    def test_tardiness_accumulates(self, line_instance):
+        # Reverse order: 4 first (arrive 40 ready 60 -> depart 62),
+        # then 3: arrive 62+10=72, due 55 -> 17 late; start 72, depart 74;
+        # 2: arrive 84, due 40 -> 44 late; 1: arrive 96, due 25 -> 71 late.
+        st = route_stats(line_instance, [4, 3, 2, 1])
+        assert st.tardiness == pytest.approx(17 + 44 + 71)
+
+    def test_late_depot_return_counts(self, line_instance):
+        # Shrink the horizon so the return is late.
+        tight = Instance(
+            name="tight",
+            x=[0.0, 10.0],
+            y=[0.0, 0.0],
+            demand=[0.0, 1.0],
+            ready_time=[0.0, 0.0],
+            due_date=[15.0, 12.0],
+            service_time=[0.0, 2.0],
+            capacity=10,
+            n_vehicles=1,
+        )
+        st = route_stats(tight, [1])
+        # Arrive 10, depart 12, back at 22, horizon 15 -> 7 late.
+        assert st.tardiness == pytest.approx(7.0)
+
+    def test_load(self, line_instance):
+        assert route_stats(line_instance, [1, 2, 3]).load == 15.0
+        assert route_load(line_instance, [1, 2, 3]) == 15.0
+
+
+class TestRouteSchedule:
+    def test_schedule_details(self, line_instance):
+        sched = route_schedule(line_instance, [1, 2])
+        assert sched.customers == (1, 2)
+        assert sched.arrival[0] == pytest.approx(10.0)
+        assert sched.wait[0] == pytest.approx(5.0)
+        assert sched.service_start[0] == pytest.approx(15.0)
+        assert sched.return_arrival == pytest.approx(52.0)
+        assert sched.total_wait == pytest.approx(5.0 + 3.0)
+        assert sched.total_tardiness == 0.0
+
+    def test_schedule_matches_stats(self, line_instance):
+        route = [2, 1, 4, 3]
+        sched = route_schedule(line_instance, route)
+        st = route_stats(line_instance, route)
+        assert sched.total_tardiness == pytest.approx(st.tardiness)
+        assert sched.return_arrival == pytest.approx(st.completion)
+
+    def test_invalid_site_rejected(self, line_instance):
+        with pytest.raises(SolutionError, match="invalid site"):
+            route_schedule(line_instance, [99])

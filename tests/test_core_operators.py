@@ -1,0 +1,325 @@
+"""Tests for the five neighborhood operators and the registry.
+
+Every operator must preserve the representation invariants (customer
+partition, fleet bound, capacity feasibility) and honor the local
+feasibility criterion on the adjacencies it creates.  A hypothesis
+walk cross-checks incremental evaluation against the paper-literal
+permutation oracle after long random move sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construction import i1_construct
+from repro.core.evaluation import evaluate_permutation
+from repro.core.operators import (
+    Exchange,
+    OperatorRegistry,
+    OrOpt,
+    Relocate,
+    TwoOpt,
+    TwoOptStar,
+    default_registry,
+)
+from repro.core.operators.feasibility import (
+    edge_admissible,
+    insertion_admissible,
+    segment_insertion_admissible,
+)
+from repro.core.solution import Solution
+from repro.errors import OperatorError
+from repro.vrptw.generator import generate_instance
+
+ALL_OPERATORS = [Relocate(), Exchange(), TwoOpt(), TwoOptStar(), OrOpt()]
+
+
+def assert_valid(solution: Solution) -> None:
+    """Representation + capacity invariants."""
+    inst = solution.instance
+    Solution._validate_routes(inst, solution.routes)
+    assert all(load <= inst.capacity + 1e-9 for load in solution.route_loads())
+
+
+def propose_until(operator, solution, rng, tries=3000):
+    """Bounded proposal loop: skip the test if the operator cannot act
+    on this solution (never spin forever)."""
+    for _ in range(tries):
+        move = operator.propose(solution, rng)
+        if move is not None:
+            return move
+    pytest.skip(f"{operator.name} proposes nothing on this fixture")
+
+
+@pytest.fixture(scope="module")
+def base():
+    # Wide-window clustered instance: every operator is viable here
+    # (tight type-1 windows structurally suppress intra-route
+    # reordering under the ready-time criterion — see
+    # TestOperatorDormancy below).
+    inst = generate_instance("C2", 30, seed=123)
+    return inst, i1_construct(inst, rng=np.random.default_rng(5))
+
+
+class TestLocalFeasibility:
+    def test_edge_formula(self, small_instance):
+        # a_u + c_u + t(u, v) <= b_v, literally.
+        inst = small_instance
+        u, v = 1, 2
+        lhs = inst.ready_time[u] + inst.service_time[u] + inst.travel[u, v]
+        assert edge_admissible(inst, u, v) == (lhs <= inst.due_date[v])
+
+    def test_depot_edges_always_reasonable(self, small_instance):
+        # depot -> k uses a_0 = c_0 = 0: admissible iff t(0,k) <= b_k,
+        # which the generator guarantees.
+        inst = small_instance
+        for k in range(1, inst.n_customers + 1):
+            assert edge_admissible(inst, 0, k)
+
+    def test_insertion_is_both_edges(self, small_instance):
+        inst = small_instance
+        i, k, j = 3, 4, 5
+        assert insertion_admissible(inst, i, k, j) == (
+            edge_admissible(inst, i, k) and edge_admissible(inst, k, j)
+        )
+
+    def test_segment_uses_boundary_edges(self, small_instance):
+        inst = small_instance
+        assert segment_insertion_admissible(inst, 0, [], 1)
+        assert segment_insertion_admissible(inst, 1, [2, 3], 4) == (
+            edge_admissible(inst, 1, 2) and edge_admissible(inst, 3, 4)
+        )
+
+
+class TestOperatorContracts:
+    @pytest.mark.parametrize("operator", ALL_OPERATORS, ids=lambda o: o.name)
+    def test_moves_preserve_invariants(self, base, operator):
+        inst, sol = base
+        rng = np.random.default_rng(7)
+        applied = 0
+        for _ in range(300):
+            move = operator.propose(sol, rng)
+            if move is None:
+                continue
+            child = move.apply(sol)
+            assert_valid(child)
+            applied += 1
+        assert applied > 30, f"{operator.name} almost never proposes moves"
+
+    @pytest.mark.parametrize("operator", ALL_OPERATORS, ids=lambda o: o.name)
+    def test_moves_change_the_solution(self, base, operator):
+        inst, sol = base
+        rng = np.random.default_rng(11)
+        for _ in range(100):
+            move = operator.propose(sol, rng)
+            if move is None:
+                continue
+            child = move.apply(sol)
+            assert child.routes != sol.routes, f"{operator.name} produced a no-op"
+
+    @pytest.mark.parametrize("operator", ALL_OPERATORS, ids=lambda o: o.name)
+    def test_attributes_hashable_and_stable(self, base, operator):
+        _, sol = base
+        rng = np.random.default_rng(13)
+        move = propose_until(operator, sol, rng)
+        assert hash(move.attribute) == hash(move.attribute)
+        assert move.attribute == move.attribute
+        assert move.is_tabu({move.attribute})
+        assert not move.is_tabu(frozenset())
+
+    def test_relocate_changes_customer_route(self, base):
+        _, sol = base
+        rng = np.random.default_rng(17)
+        move = propose_until(Relocate(), sol, rng)
+        child = move.apply(sol)
+        if move.dst_route >= 0:
+            r, _ = child.locate(move.customer)
+            assert move.customer in child.routes[r]
+        assert move.attribute == ("relocate", move.customer)
+
+    def test_exchange_swaps_between_routes(self, base):
+        _, sol = base
+        rng = np.random.default_rng(19)
+        move = propose_until(Exchange(), sol, rng)
+        ra_before, _ = sol.locate(move.customer_a)
+        rb_before, _ = sol.locate(move.customer_b)
+        child = move.apply(sol)
+        # a now sits where b was (same positions), b where a was.
+        assert child.routes[ra_before][move.pos_a] == move.customer_b
+        assert child.routes[rb_before][move.pos_b] == move.customer_a
+
+    def test_two_opt_reverses_segment(self, base):
+        _, sol = base
+        rng = np.random.default_rng(23)
+        move = propose_until(TwoOpt(), sol, rng)
+        route = sol.routes[move.route_index]
+        child = move.apply(sol)
+        new_route = child.routes[move.route_index]
+        assert new_route[move.start : move.end + 1] == tuple(
+            reversed(route[move.start : move.end + 1])
+        )
+        assert new_route[: move.start] == route[: move.start]
+        assert new_route[move.end + 1 :] == route[move.end + 1 :]
+
+    def test_two_opt_star_crosses_tails(self, base):
+        _, sol = base
+        rng = np.random.default_rng(29)
+        move = propose_until(TwoOptStar(), sol, rng)
+        ra = sol.routes[move.route_a]
+        rb = sol.routes[move.route_b]
+        expected_a = ra[: move.cut_a] + rb[move.cut_b :]
+        child = move.apply(sol)
+        if expected_a:
+            assert expected_a in child.routes
+
+    def test_or_opt_moves_pair_in_route(self, base):
+        _, sol = base
+        rng = np.random.default_rng(31)
+        move = propose_until(OrOpt(), sol, rng)
+        child = move.apply(sol)
+        # Same route membership: the route set sizes are unchanged.
+        assert child.n_routes == sol.n_routes
+        new_route = child.routes[move.route_index]
+        assert len(new_route) == len(sol.routes[move.route_index])
+        # The pair stays adjacent and in order.
+        a, b = move.segment
+        idx = new_route.index(a)
+        assert new_route[idx + 1] == b
+
+    def test_stale_move_detected(self, base):
+        _, sol = base
+        rng = np.random.default_rng(37)
+        move = propose_until(Relocate(), sol, rng)
+        for _ in range(3000):
+            if move.dst_route >= 0:
+                break
+            move = propose_until(Relocate(), sol, rng)
+        child = move.apply(sol)
+        with pytest.raises(OperatorError, match="stale"):
+            move.apply(child)  # positions no longer match
+
+    def test_single_route_operators_degrade_gracefully(self):
+        # One route, no slack: inter-route operators must return None.
+        inst = generate_instance("R2", 5, seed=1)
+        one_route = Solution.from_routes(inst, [[1, 2, 3, 4, 5]])
+        rng = np.random.default_rng(1)
+        assert Exchange().propose(one_route, rng) is None
+        assert TwoOptStar().propose(one_route, rng) is None
+        # Relocate can only open a new route (slack exists here).
+        move = Relocate(allow_new_route=False).propose(one_route, rng)
+        assert move is None
+
+
+class TestOperatorDormancy:
+    """Tight type-1 windows structurally suppress intra-route
+    reordering: within a time-sorted route, moving a pair later makes
+    the entering edge violate ``a_i + c_i + t > b_seg``, moving it
+    earlier violates the leaving edge.  The paper's answer is the
+    operator-wheel retry ("a new random number is drawn and possibly a
+    different operator is selected"), which must always deliver *some*
+    move."""
+
+    def test_oropt_dormant_on_tight_windows(self):
+        inst = generate_instance("R1", 30, seed=123)
+        sol = i1_construct(inst, rng=np.random.default_rng(5))
+        rng = np.random.default_rng(7)
+        proposals = sum(
+            OrOpt().propose(sol, rng) is not None for _ in range(300)
+        )
+        assert proposals < 30  # rarely (typically never) fires
+
+    def test_oropt_active_on_wide_windows(self):
+        inst = generate_instance("R2", 30, seed=123)
+        sol = i1_construct(inst, rng=np.random.default_rng(5))
+        rng = np.random.default_rng(7)
+        proposals = sum(
+            OrOpt().propose(sol, rng) is not None for _ in range(300)
+        )
+        assert proposals > 200
+
+    def test_registry_always_delivers_despite_dormancy(self):
+        inst = generate_instance("R1", 30, seed=123)
+        sol = i1_construct(inst, rng=np.random.default_rng(5))
+        rng = np.random.default_rng(9)
+        registry = default_registry()
+        for _ in range(200):
+            assert registry.draw_move(sol, rng) is not None
+
+
+class TestRegistry:
+    def test_default_has_five_operators(self):
+        reg = default_registry()
+        assert [op.name for op in reg.operators] == [
+            "relocate",
+            "exchange",
+            "2opt",
+            "2opt*",
+            "oropt",
+        ]
+        assert np.allclose(reg.weights, 0.2)
+
+    def test_draw_move_retries_until_success(self, base):
+        _, sol = base
+        reg = default_registry()
+        rng = np.random.default_rng(41)
+        moves = [reg.draw_move(sol, rng) for _ in range(50)]
+        assert all(m is not None for m in moves)
+
+    def test_uniform_operator_distribution(self, base):
+        _, sol = base
+        reg = default_registry()
+        rng = np.random.default_rng(43)
+        counts = {}
+        for _ in range(2000)            :
+            op = reg.draw_operator(rng)
+            counts[op.name] = counts.get(op.name, 0) + 1
+        for name, count in counts.items():
+            assert 300 < count < 500, f"{name} drawn {count}/2000 times"
+
+    def test_weighted_wheel(self):
+        reg = OperatorRegistry([Relocate(), TwoOpt()], weights=[3.0, 1.0])
+        rng = np.random.default_rng(47)
+        names = [reg.draw_operator(rng).name for _ in range(1000)]
+        relocates = names.count("relocate")
+        assert 650 < relocates < 850
+
+    def test_bad_weights(self):
+        with pytest.raises(OperatorError, match="weights"):
+            OperatorRegistry([Relocate()], weights=[1.0, 2.0])
+        with pytest.raises(OperatorError, match="weights"):
+            OperatorRegistry([Relocate()], weights=[-1.0])
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(OperatorError, match="at least one"):
+            OperatorRegistry([])
+
+    def test_locked_solution_returns_none(self):
+        # A single customer: no operator can do anything.
+        inst = generate_instance("R2", 1, seed=1)
+        sol = Solution.from_routes(inst, [[1]])
+        reg = default_registry()
+        assert reg.draw_move(sol, np.random.default_rng(1)) is None
+
+
+class TestRandomWalkProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        steps=st.integers(min_value=1, max_value=60),
+    )
+    def test_walk_preserves_everything(self, seed, steps):
+        """After any random move sequence: partition valid, capacity
+        held, incremental objectives equal the permutation oracle."""
+        inst = generate_instance("RC1", 16, seed=99)
+        sol = i1_construct(inst, rng=np.random.default_rng(0))
+        reg = default_registry()
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            move = reg.draw_move(sol, rng)
+            if move is None:
+                break
+            sol = move.apply(sol)
+        assert_valid(sol)
+        literal = evaluate_permutation(inst, sol.permutation)
+        assert np.allclose(sol.objectives.as_array(), literal.as_array())

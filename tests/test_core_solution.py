@@ -1,0 +1,226 @@
+"""Tests for the permutation-coded Solution (paper §II.A invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluation import evaluate, evaluate_permutation
+from repro.core.solution import Solution
+from repro.errors import SolutionError
+from repro.vrptw.generator import generate_instance
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return generate_instance("R1", 10, seed=42)
+
+
+def paper_example_instance():
+    """N=4 customers, R=5 vehicles — the paper's worked example."""
+    return generate_instance(
+        "R1", 4, seed=0
+    ).__class__(  # rebuild with an exact fleet of 5
+        name="paper",
+        x=[0.0, 1.0, 2.0, 3.0, 4.0],
+        y=[0.0] * 5,
+        demand=[0.0, 1.0, 1.0, 1.0, 1.0],
+        ready_time=[0.0] * 5,
+        due_date=[100.0] * 5,
+        service_time=[0.0, 1.0, 1.0, 1.0, 1.0],
+        capacity=10.0,
+        n_vehicles=5,
+    )
+
+
+class TestPaperExample:
+    """P = (0, 4, 2, 0, 3, 0, 1, 0, 0, 0) from §II.A."""
+
+    def test_parse(self):
+        inst = paper_example_instance()
+        sol = Solution.from_permutation(inst, [0, 4, 2, 0, 3, 0, 1, 0, 0, 0])
+        assert sol.routes == ((4, 2), (3,), (1,))
+        assert sol.n_routes == 3
+        assert sol.vehicle_slack == 2
+
+    def test_roundtrip(self):
+        inst = paper_example_instance()
+        perm = [0, 4, 2, 0, 3, 0, 1, 0, 0, 0]
+        sol = Solution.from_permutation(inst, perm)
+        assert sol.permutation.tolist() == perm
+
+    def test_length_formula(self):
+        inst = paper_example_instance()
+        sol = Solution.from_permutation(inst, [0, 4, 2, 0, 3, 0, 1, 0, 0, 0])
+        assert len(sol.permutation) == inst.permutation_length == 4 + 5 + 1
+
+    def test_f2_counts_zero_to_customer_transitions(self):
+        inst = paper_example_instance()
+        sol = Solution.from_permutation(inst, [0, 4, 2, 0, 3, 0, 1, 0, 0, 0])
+        assert sol.objectives.vehicles == 3
+
+
+class TestValidation:
+    def test_wrong_length(self, inst):
+        with pytest.raises(SolutionError, match="length"):
+            Solution.from_permutation(inst, [0, 1, 0])
+
+    def test_must_start_at_depot(self, inst):
+        perm = np.zeros(inst.permutation_length, dtype=int)
+        perm[0] = 1
+        with pytest.raises(SolutionError, match="start at the depot"):
+            Solution.from_permutation(inst, perm)
+
+    def test_zero_count_enforced(self, inst):
+        # All customers, then too few zeros.
+        perm = [0] + list(range(1, 11)) + [1] * (inst.permutation_length - 12)
+        with pytest.raises(SolutionError):
+            Solution.from_permutation(inst, [0] * inst.permutation_length)
+
+    def test_duplicate_customer_rejected(self, inst):
+        routes = [[1, 2, 3], [3, 4, 5], [6, 7, 8, 9, 10]]
+        with pytest.raises(SolutionError, match="exactly once"):
+            Solution.from_routes(inst, routes)
+
+    def test_missing_customer_rejected(self, inst):
+        routes = [[1, 2, 3], [4, 5, 6]]
+        with pytest.raises(SolutionError, match="exactly once"):
+            Solution.from_routes(inst, routes)
+
+    def test_out_of_range_customer(self, inst):
+        routes = [[1, 2, 3, 4, 5, 6, 7, 8, 9, 11]]
+        with pytest.raises(SolutionError, match="range"):
+            Solution.from_routes(inst, routes)
+
+    def test_too_many_routes(self, inst):
+        routes = [[c] for c in range(1, 11)]  # 10 routes > R
+        if inst.n_vehicles < 10:
+            with pytest.raises(SolutionError, match="exceed the fleet"):
+                Solution.from_routes(inst, routes)
+
+    def test_empty_routes_dropped(self, inst):
+        sol = Solution.from_routes(inst, [[1, 2, 3, 4, 5], [], [6, 7, 8, 9, 10]])
+        assert sol.n_routes == 2
+
+
+class TestViews:
+    def test_locate(self, inst):
+        sol = Solution.from_routes(inst, [[3, 1, 4], [2, 5, 6, 7, 8, 9, 10]])
+        assert sol.locate(1) == (0, 1)
+        assert sol.locate(10) == (1, 6)
+
+    def test_locate_missing(self, inst):
+        sol = Solution.from_routes(inst, [[3, 1, 4], [2, 5, 6, 7, 8, 9, 10]])
+        with pytest.raises(SolutionError, match="not present"):
+            sol.locate(99)
+
+    def test_equality_and_hash(self, inst):
+        a = Solution.from_routes(inst, [[1, 2, 3, 4, 5], [6, 7, 8, 9, 10]])
+        b = Solution.from_routes(inst, [[1, 2, 3, 4, 5], [6, 7, 8, 9, 10]])
+        c = Solution.from_routes(inst, [[5, 2, 3, 4, 1], [6, 7, 8, 9, 10]])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_objectives_cached_and_correct(self, inst):
+        sol = Solution.from_routes(inst, [[1, 2, 3, 4, 5], [6, 7, 8, 9, 10]])
+        assert sol.objectives is sol.objectives  # cached object
+        oracle = evaluate(inst, sol)
+        assert sol.objectives.distance == pytest.approx(oracle.distance)
+
+    def test_permutation_oracle_agreement(self, inst):
+        sol = Solution.from_routes(inst, [[2, 4], [1, 3, 5, 6], [7, 8, 9, 10]])
+        fast = sol.objectives
+        literal = evaluate_permutation(inst, sol.permutation)
+        assert fast.distance == pytest.approx(literal.distance)
+        assert fast.vehicles == literal.vehicles
+        assert fast.tardiness == pytest.approx(literal.tardiness)
+
+
+class TestDerive:
+    def test_replace_route(self, inst):
+        sol = Solution.from_routes(inst, [[1, 2, 3, 4, 5], [6, 7, 8, 9, 10]])
+        sol.objectives  # populate stats cache
+        child = sol.derive({0: (5, 4, 3, 2, 1)})
+        assert child.routes == ((5, 4, 3, 2, 1), (6, 7, 8, 9, 10))
+        # Untouched route keeps its cached stats object.
+        assert child._stats[1] is sol._stats[1]
+        assert child._stats[0] is None
+
+    def test_delete_route(self, inst):
+        sol = Solution.from_routes(inst, [[1, 2, 3, 4, 5], [6, 7, 8, 9, 10]])
+        child = sol.derive({0: ()}, added=[(1, 2, 3, 4, 5)])
+        assert child.n_routes == 2
+        assert child.routes[0] == (6, 7, 8, 9, 10)
+
+    def test_derive_fleet_limit(self, inst):
+        routes = [[c] for c in range(1, inst.n_vehicles + 1)]
+        rest = list(range(inst.n_vehicles + 1, 11))
+        routes[-1].extend(rest)
+        sol = Solution.from_routes(inst, routes)
+        assert sol.vehicle_slack == 0
+        with pytest.raises(SolutionError, match="derive"):
+            sol.derive({}, added=[(99,)])
+
+    def test_derived_objectives_match_fresh(self, inst):
+        sol = Solution.from_routes(inst, [[1, 2, 3, 4, 5], [6, 7, 8, 9, 10]])
+        sol.objectives
+        child = sol.derive({0: (1, 2, 3, 4), 1: (5, 6, 7, 8, 9, 10)})
+        fresh = Solution.from_routes(inst, [(1, 2, 3, 4), (5, 6, 7, 8, 9, 10)])
+        assert child.objectives == fresh.objectives
+
+
+@st.composite
+def random_partition(draw):
+    """A random partition of customers 1..n into <= r ordered routes."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    order = draw(st.permutations(list(range(1, n + 1))))
+    n_routes = draw(st.integers(min_value=1, max_value=n))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=max(n - 1, 1)),
+                max_size=n_routes - 1,
+                unique=True,
+            )
+        )
+    )
+    routes, prev = [], 0
+    for cut in cuts + [n]:
+        if cut > prev:
+            routes.append(tuple(order[prev:cut]))
+            prev = cut
+    return n, routes
+
+
+class TestRepresentationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_partition(), seed=st.integers(0, 1000))
+    def test_roundtrip_property(self, data, seed):
+        """routes -> permutation -> routes is the identity, and the
+        permutation always satisfies the §II.A structural invariants."""
+        n, routes = data
+        inst = generate_instance("R2", n, seed=seed)
+        if len(routes) > inst.n_vehicles:
+            return  # partition does not fit this fleet; skip silently
+        sol = Solution.from_routes(inst, routes)
+        perm = sol.permutation
+        assert perm[0] == 0
+        assert len(perm) == n + inst.n_vehicles + 1
+        assert int(np.count_nonzero(perm == 0)) == inst.n_vehicles + 1
+        assert sorted(perm[perm > 0].tolist()) == list(range(1, n + 1))
+        back = Solution.from_permutation(inst, perm)
+        assert back.routes == sol.routes
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=random_partition(), seed=st.integers(0, 1000))
+    def test_incremental_vs_literal_evaluation(self, data, seed):
+        """Cached route-stats evaluation equals the paper-literal
+        permutation evaluation for arbitrary solutions."""
+        n, routes = data
+        inst = generate_instance("C1", n, seed=seed)
+        if len(routes) > inst.n_vehicles:
+            return
+        sol = Solution.from_routes(inst, routes)
+        fast = sol.objectives.as_array()
+        literal = evaluate_permutation(inst, sol.permutation).as_array()
+        assert np.allclose(fast, literal)

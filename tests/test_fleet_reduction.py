@@ -1,0 +1,123 @@
+"""Tests for the fleet-reduction post-processor and aspiration flag."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import i1_construct
+from repro.core.fleet_reduction import reduce_fleet
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.vrptw.generator import generate_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    # Wide windows + generous capacity: routes are mergeable.
+    return generate_instance("C2", 40, seed=21)
+
+
+@pytest.fixture(scope="module")
+def seed_solution(instance):
+    return i1_construct(instance, rng=np.random.default_rng(4))
+
+
+class TestFleetReduction:
+    def test_never_increases_fleet(self, instance, seed_solution):
+        result = reduce_fleet(seed_solution)
+        assert result.solution.n_routes <= seed_solution.n_routes
+        assert result.routes_removed == (
+            seed_solution.n_routes - result.solution.n_routes
+        )
+
+    def test_hard_mode_adds_no_tardiness(self, instance, seed_solution):
+        result = reduce_fleet(seed_solution, mode="hard")
+        assert result.tardiness_added == 0.0
+        assert (
+            result.solution.objectives.tardiness
+            <= seed_solution.objectives.tardiness + 1e-9
+        )
+
+    def test_result_valid(self, instance, seed_solution):
+        result = reduce_fleet(seed_solution)
+        Solution._validate_routes(instance, result.solution.routes)
+        assert all(
+            load <= instance.capacity + 1e-9
+            for load in result.solution.route_loads()
+        )
+
+    def test_original_untouched(self, instance, seed_solution):
+        before = seed_solution.routes
+        reduce_fleet(seed_solution)
+        assert seed_solution.routes == before
+
+    def test_soft_mode_reports_tardiness(self, instance):
+        # Tight-window instance: soft merging typically creates lateness.
+        tight = generate_instance("R1", 40, seed=8)
+        seed = i1_construct(tight, rng=np.random.default_rng(1))
+        result = reduce_fleet(seed, mode="soft")
+        if result.routes_removed:
+            assert result.tardiness_added >= 0.0
+
+    def test_invalid_mode(self, seed_solution):
+        with pytest.raises(SearchError, match="mode"):
+            reduce_fleet(seed_solution, mode="greedy")
+
+    def test_single_route_noop(self):
+        inst = generate_instance("R2", 6, seed=2)
+        sol = Solution.from_routes(inst, [[1, 2, 3, 4, 5, 6]])
+        result = reduce_fleet(sol)
+        assert result.routes_removed == 0
+        assert result.solution is sol
+
+    def test_customers_moved_accounting(self, instance, seed_solution):
+        result = reduce_fleet(seed_solution)
+        if result.routes_removed:
+            assert result.customers_moved > 0
+            # Every customer still served exactly once.
+            served = sorted(c for r in result.solution.routes for c in r)
+            assert served == list(range(1, instance.n_customers + 1))
+
+
+class TestAspiration:
+    def test_aspiration_admits_archive_improving_tabu_move(self):
+        """With every candidate tabu, plain TS restarts; aspiration may
+        still move if something would improve the archive."""
+        from repro.tabu.params import TSMOParams
+        from repro.tabu.search import TSMOEngine
+
+        instance = generate_instance("R1", 25, seed=31)
+        base = dict(
+            max_evaluations=2000,
+            neighborhood_size=30,
+            tabu_tenure=100,
+            restart_after=50,
+        )
+        plain = TSMOEngine(instance, TSMOParams(**base), 7)
+        aspiring = TSMOEngine(instance, TSMOParams(**base, aspiration=True), 7)
+        for engine in (plain, aspiring):
+            engine.initialize()
+            neighbors = engine.generate_neighborhood()
+            for n in neighbors:
+                engine.memories.tabulist.push(n.move.attribute)
+            # Guarantee an archive-improving candidate exists.
+            engine.memories.archive.clear()
+            engine.select_and_update(neighbors)
+        assert plain.restarts == 1
+        assert aspiring.restarts == 0
+
+    def test_aspiration_run_completes(self):
+        from repro.tabu.params import TSMOParams
+        from repro.tabu.search import run_sequential_tsmo
+
+        instance = generate_instance("C2", 20, seed=3)
+        result = run_sequential_tsmo(
+            instance,
+            TSMOParams(
+                max_evaluations=600,
+                neighborhood_size=25,
+                restart_after=6,
+                aspiration=True,
+            ),
+            seed=2,
+        )
+        assert result.best_feasible() is not None

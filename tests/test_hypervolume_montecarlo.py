@@ -1,0 +1,65 @@
+"""Monte-Carlo validation of the exact hypervolume implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mo.hypervolume import hypervolume
+
+
+def mc_hypervolume(points, reference, n_samples=40_000, seed=0):
+    """Monte-Carlo estimate: fraction of the reference box dominated."""
+    points = np.asarray(points, dtype=np.float64)
+    ref = np.asarray(reference, dtype=np.float64)
+    lo = points.min(axis=0) if points.size else ref
+    rng = np.random.default_rng(seed)
+    samples = rng.uniform(lo, ref, size=(n_samples, ref.shape[0]))
+    dominated = np.zeros(n_samples, dtype=bool)
+    for p in points:
+        dominated |= np.all(p <= samples, axis=1)
+    box = np.prod(ref - lo)
+    return float(dominated.mean() * box)
+
+
+front3d = st.lists(
+    st.tuples(
+        st.floats(0.0, 9.0),
+        st.floats(0.0, 9.0),
+        st.floats(0.0, 9.0),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestAgainstMonteCarlo:
+    @settings(max_examples=25, deadline=None)
+    @given(front=front3d)
+    def test_3d_matches_estimate(self, front):
+        ref = [10.0, 10.0, 10.0]
+        exact = hypervolume(front, ref)
+        estimate = mc_hypervolume(front, ref)
+        scale = max(exact, estimate, 1.0)
+        assert abs(exact - estimate) / scale < 0.08
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        front=st.lists(
+            st.tuples(st.floats(0.0, 9.0), st.floats(0.0, 9.0)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_2d_matches_estimate(self, front):
+        ref = [10.0, 10.0]
+        exact = hypervolume(front, ref)
+        estimate = mc_hypervolume(front, ref)
+        scale = max(exact, estimate, 1.0)
+        assert abs(exact - estimate) / scale < 0.05
+
+    def test_4d_slicing(self):
+        # A single box in 4-D exercises the recursive path twice.
+        assert hypervolume([[1, 1, 1, 1]], [2, 3, 4, 5]) == pytest.approx(
+            1 * 2 * 3 * 4
+        )

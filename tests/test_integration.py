@@ -1,0 +1,133 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    TSMOParams,
+    generate_instance,
+    loads_solomon,
+    run_asynchronous_tsmo,
+    run_sequential_tsmo,
+)
+from repro.core.evaluation import evaluate_permutation
+from repro.mo.coverage import set_coverage
+from repro.parallel.costmodel import CostModel
+from repro.vrptw.parser import dumps_solomon
+
+
+class TestFileToFrontPipeline:
+    def test_generate_serialize_parse_solve(self, tmp_path):
+        """Instance generation -> Solomon text -> parse -> search -> front,
+        with the parsed instance giving the identical search result.
+
+        The writer prints two decimals, so we first snap the generated
+        instance to that grid; serialization is then lossless and the
+        (chaotic) search trajectory must replay exactly.
+        """
+        from repro.vrptw.instance import Instance
+
+        raw = generate_instance("C1", 20, seed=9)
+        original = Instance(
+            name=raw.name,
+            x=np.round(raw.x, 2),
+            y=np.round(raw.y, 2),
+            demand=np.round(raw.demand, 2),
+            ready_time=np.round(raw.ready_time, 2),
+            due_date=np.round(raw.due_date, 2),
+            service_time=np.round(raw.service_time, 2),
+            capacity=raw.capacity,
+            n_vehicles=raw.n_vehicles,
+        )
+        parsed = loads_solomon(dumps_solomon(original))
+        params = TSMOParams(max_evaluations=400, neighborhood_size=20, restart_after=6)
+        a = run_sequential_tsmo(original, params, seed=3)
+        b = run_sequential_tsmo(parsed, params, seed=3)
+        assert a.front().shape == b.front().shape
+        assert np.allclose(a.front(), b.front())
+
+
+class TestArchiveSolutionsAreReal:
+    def test_every_archived_solution_reevaluates_identically(self):
+        """Archived objective vectors must equal a from-scratch
+        re-evaluation of the archived solutions — no stale caching
+        anywhere in the pipeline."""
+        instance = generate_instance("RC1", 25, seed=4)
+        params = TSMOParams(max_evaluations=600, neighborhood_size=30, restart_after=6)
+        result = run_sequential_tsmo(instance, params, seed=8)
+        for entry in result.archive:
+            literal = evaluate_permutation(instance, entry.item.permutation)
+            assert np.allclose(
+                entry.objectives.as_array(), literal.as_array()
+            ), "archive holds stale objectives"
+
+    def test_async_archive_solutions_are_real(self):
+        instance = generate_instance("R1", 25, seed=4)
+        params = TSMOParams(max_evaluations=600, neighborhood_size=30, restart_after=6)
+        cost = CostModel().for_neighborhood(30)
+        result = run_asynchronous_tsmo(instance, params, 3, seed=8, cost_model=cost)
+        for entry in result.archive:
+            literal = evaluate_permutation(instance, entry.item.permutation)
+            assert np.allclose(entry.objectives.as_array(), literal.as_array())
+
+
+class TestSearchActuallySearches:
+    def test_more_budget_is_never_much_worse(self):
+        """Coverage of the small-budget front by the large-budget front
+        should beat the reverse (the search makes progress)."""
+        instance = generate_instance("R1", 30, seed=6)
+        small = run_sequential_tsmo(
+            instance,
+            TSMOParams(max_evaluations=300, neighborhood_size=30, restart_after=6),
+            seed=5,
+        )
+        large = run_sequential_tsmo(
+            instance,
+            TSMOParams(max_evaluations=3000, neighborhood_size=30, restart_after=6),
+            seed=5,
+        )
+        c_large_over_small = set_coverage(large.front(), small.front())
+        c_small_over_large = set_coverage(small.front(), large.front())
+        assert c_large_over_small >= c_small_over_large
+
+    def test_restarts_eventually_used(self):
+        """With a tight restart patience the memory-restart path runs."""
+        instance = generate_instance("C2", 20, seed=2)
+        params = TSMOParams(
+            max_evaluations=2500,
+            neighborhood_size=25,
+            restart_after=3,
+            tabu_tenure=5,
+        )
+        result = run_sequential_tsmo(instance, params, seed=2)
+        assert result.restarts > 0
+
+
+class TestCrossVariantConsistency:
+    def test_all_variants_solve_the_same_problem(self):
+        """Every variant's best feasible distance lands within a sane
+        factor of the others at equal budget (they share all problem
+        logic, so wildly different numbers indicate a wiring bug)."""
+        from repro.parallel.collab_ts import CollabParams, run_collaborative_tsmo
+        from repro.parallel.sync_ts import run_synchronous_tsmo
+
+        instance = generate_instance("R1", 25, seed=14)
+        params = TSMOParams(max_evaluations=800, neighborhood_size=40, restart_after=8)
+        cost = CostModel().for_neighborhood(40)
+        results = [
+            run_sequential_tsmo(instance, params, seed=3),
+            run_synchronous_tsmo(instance, params, 3, seed=3, cost_model=cost),
+            run_asynchronous_tsmo(instance, params, 3, seed=3, cost_model=cost),
+            run_collaborative_tsmo(
+                instance,
+                params,
+                3,
+                seed=3,
+                cost_model=cost,
+                collab_params=CollabParams(initial_phase_patience=3),
+            ),
+        ]
+        bests = [r.best_feasible() for r in results]
+        assert all(b is not None for b in bests)
+        distances = [b[0] for b in bests]
+        assert max(distances) / min(distances) < 1.4

@@ -1,0 +1,122 @@
+"""Tests for the deterministic best-improvement local search."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import i1_construct
+from repro.core.local_search import LocalSearchResult, ScalarWeights, local_search
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.vrptw.generator import generate_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance("C2", 30, seed=17)
+
+
+@pytest.fixture(scope="module")
+def seed_solution(instance):
+    return i1_construct(instance, rng=np.random.default_rng(2))
+
+
+class TestScalarWeights:
+    def test_value(self):
+        from repro.core.objectives import ObjectiveVector
+
+        w = ScalarWeights(distance=1.0, vehicles=10.0, tardiness=2.0)
+        assert w.value(ObjectiveVector(100.0, 3, 5.0)) == pytest.approx(
+            100 + 30 + 10
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(SearchError):
+            ScalarWeights(distance=-1.0)
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self, instance, seed_solution):
+        weights = ScalarWeights()
+        result = local_search(
+            seed_solution, weights=weights, sample_size=40, max_evaluations=2000, rng=1
+        )
+        assert isinstance(result, LocalSearchResult)
+        assert result.scalar_value <= weights.value(seed_solution.objectives) + 1e-9
+
+    def test_monotone_improvement(self, instance, seed_solution):
+        """Each accepted move strictly improves, so the final value is
+        strictly better whenever any round improved."""
+        result = local_search(
+            seed_solution, sample_size=40, max_evaluations=2000, rng=1
+        )
+        if result.rounds > 1:
+            assert result.scalar_value < ScalarWeights().value(
+                seed_solution.objectives
+            )
+
+    def test_budget_respected(self, instance, seed_solution):
+        result = local_search(
+            seed_solution, sample_size=30, max_evaluations=200, rng=1
+        )
+        assert result.evaluations <= 200
+
+    def test_convergence_flag(self, instance, seed_solution):
+        # A large budget on a small instance should reach a sampled
+        # local optimum.
+        result = local_search(
+            seed_solution, sample_size=60, max_evaluations=30_000, rng=1
+        )
+        assert result.converged
+
+    def test_deterministic(self, instance, seed_solution):
+        a = local_search(seed_solution, sample_size=30, max_evaluations=1000, rng=9)
+        b = local_search(seed_solution, sample_size=30, max_evaluations=1000, rng=9)
+        assert a.solution == b.solution
+        assert a.scalar_value == b.scalar_value
+
+    def test_solution_stays_valid(self, instance, seed_solution):
+        result = local_search(
+            seed_solution, sample_size=40, max_evaluations=2000, rng=3
+        )
+        Solution._validate_routes(instance, result.solution.routes)
+        assert all(
+            load <= instance.capacity for load in result.solution.route_loads()
+        )
+
+    def test_tardiness_weight_drives_feasibility(self, instance, seed_solution):
+        """With a huge tardiness weight the descent must end feasible
+        (the seed is feasible, so it can at worst stay put)."""
+        result = local_search(
+            seed_solution,
+            weights=ScalarWeights(tardiness=1e6),
+            sample_size=40,
+            max_evaluations=2000,
+            rng=4,
+        )
+        assert result.objectives.feasible
+
+    def test_invalid_sample_size(self, seed_solution):
+        with pytest.raises(SearchError):
+            local_search(seed_solution, sample_size=0)
+
+    def test_tsmo_not_worse_than_descent(self, instance, seed_solution):
+        """The memory machinery must pay for itself: at equal budget,
+        TSMO's best feasible distance is within noise of (usually below)
+        plain descent's."""
+        from repro.tabu.params import TSMOParams
+        from repro.tabu.search import run_sequential_tsmo
+
+        budget = 3000
+        descent = local_search(
+            seed_solution, sample_size=50, max_evaluations=budget, rng=5
+        )
+        tsmo = run_sequential_tsmo(
+            instance,
+            TSMOParams(max_evaluations=budget, neighborhood_size=50, restart_after=8),
+            seed=5,
+            initial=seed_solution,
+        )
+        best = tsmo.best_feasible()
+        assert best is not None
+        if descent.objectives.feasible:
+            assert best[0] <= descent.objectives.distance * 1.15

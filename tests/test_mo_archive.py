@@ -1,0 +1,190 @@
+"""Tests for the bounded Pareto archive with crowding replacement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objectives import ObjectiveVector
+from repro.errors import SearchError
+from repro.mo.archive import ArchiveEntry, ParetoArchive
+from repro.mo.dominance import dominates
+
+
+def ov(d, v=1, t=0.0):
+    return ObjectiveVector(float(d), int(v), float(t))
+
+
+class TestBasicBehavior:
+    def test_add_and_reject_dominated(self):
+        arc = ParetoArchive(capacity=10)
+        assert arc.try_add("a", ov(10, 2))
+        assert not arc.try_add("b", ov(11, 3))  # dominated
+        assert len(arc) == 1
+
+    def test_duplicate_rejected(self):
+        arc = ParetoArchive(capacity=10)
+        arc.try_add("a", ov(10, 2))
+        assert not arc.try_add("b", ov(10, 2))
+
+    def test_dominating_entry_evicts(self):
+        arc = ParetoArchive(capacity=10)
+        arc.try_add("a", ov(10, 2))
+        arc.try_add("b", ov(12, 1))
+        assert arc.try_add("c", ov(9, 1))  # dominates both
+        assert [e.item for e in arc] == ["c"]
+
+    def test_incomparable_coexist(self):
+        arc = ParetoArchive(capacity=10)
+        arc.try_add("a", ov(10, 3))
+        arc.try_add("b", ov(20, 2))
+        arc.try_add("c", ov(30, 1))
+        assert len(arc) == 3
+
+    def test_version_counter(self):
+        arc = ParetoArchive(capacity=10)
+        v0 = arc.version
+        arc.try_add("a", ov(10, 2))
+        assert arc.version == v0 + 1
+        arc.try_add("worse", ov(11, 3))
+        assert arc.version == v0 + 1  # rejection does not bump
+
+    def test_clear(self):
+        arc = ParetoArchive(capacity=4)
+        arc.try_add("a", ov(1))
+        v = arc.version
+        arc.clear()
+        assert len(arc) == 0 and arc.version == v + 1
+        arc.clear()
+        assert arc.version == v + 1  # idempotent on empty
+
+
+class TestCapacityAndCrowding:
+    def test_capacity_enforced(self):
+        arc = ParetoArchive(capacity=3)
+        for i in range(6):
+            arc.try_add(i, ov(10 - i, i))  # all mutually nondominated
+        assert len(arc) == 3
+
+    def test_crowded_entry_dropped(self):
+        arc = ParetoArchive(capacity=4)
+        # A spread front plus one redundant point near (5, 5).
+        arc.try_add("lo", ov(0, 10))
+        arc.try_add("mid", ov(5, 5))
+        arc.try_add("hi", ov(10, 0))
+        arc.try_add("near-mid", ov(5.1, 4.9))
+        assert len(arc) == 4
+        # Adding a far-away nondominated point must evict one of the
+        # crowded middle pair, not a boundary point.
+        arc.try_add("new", ov(2, 8))
+        items = [e.item for e in arc]
+        assert "lo" in items and "hi" in items
+        assert not ("mid" in items and "near-mid" in items)
+
+    def test_entrant_itself_may_be_dropped(self):
+        arc = ParetoArchive(capacity=3)
+        arc.try_add("lo", ov(0, 10))
+        arc.try_add("mid", ov(5, 5))
+        arc.try_add("hi", ov(10, 0))
+        # A redundant entrant right next to mid: the crowding pass
+        # should remove either it or mid; archive stays at capacity.
+        changed = arc.try_add("dup-ish", ov(5.01, 4.99))
+        assert len(arc) == 3
+        if not changed:
+            assert "dup-ish" not in [e.item for e in arc]
+
+    def test_capacity_one(self):
+        arc = ParetoArchive(capacity=1)
+        arc.try_add("a", ov(5, 5))
+        arc.try_add("b", ov(1, 9))
+        assert len(arc) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SearchError):
+            ParetoArchive(capacity=0)
+
+    def test_unbounded_archive(self):
+        arc = ParetoArchive(capacity=None)
+        for i in range(50):
+            arc.try_add(i, ov(50 - i, i))
+        assert len(arc) == 50
+
+
+class TestQueries:
+    def test_objectives_array(self):
+        arc = ParetoArchive(4)
+        arc.try_add("a", ov(1, 2, 3))
+        out = arc.objectives_array()
+        assert out.shape == (1, 3)
+        assert out[0].tolist() == [1.0, 2.0, 3.0]
+
+    def test_feasible_filter(self):
+        arc = ParetoArchive(4)
+        arc.try_add("feasible", ov(10, 2, 0.0))
+        arc.try_add("tardy", ov(5, 1, 7.0))
+        assert [e.item for e in arc.feasible_entries()] == ["feasible"]
+
+    def test_sample(self):
+        arc = ParetoArchive(4)
+        with pytest.raises(SearchError):
+            arc.sample(np.random.default_rng(0))
+        arc.try_add("a", ov(1))
+        assert arc.sample(np.random.default_rng(0)).item == "a"
+
+    def test_would_accept(self):
+        arc = ParetoArchive(4)
+        arc.try_add("a", ov(10, 2))
+        assert arc.would_accept(ov(9, 3))
+        assert not arc.would_accept(ov(11, 3))
+        assert not arc.would_accept(ov(10, 2))
+
+    def test_extend(self):
+        arc = ParetoArchive(10)
+        added = arc.extend(
+            [ArchiveEntry("a", ov(10, 2)), ArchiveEntry("b", ov(11, 3))]
+        )
+        assert added == 1
+
+
+class TestArchiveInvariantsProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        offers=st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.integers(1, 20),
+                st.floats(0, 50, allow_nan=False),
+            ),
+            max_size=60,
+        ),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    def test_always_mutually_nondominated_and_bounded(self, offers, capacity):
+        arc: ParetoArchive = ParetoArchive(capacity)
+        for i, (d, v, t) in enumerate(offers):
+            arc.try_add(i, ObjectiveVector(d, v, t))
+            assert len(arc) <= capacity
+        pts = arc.objectives_array()
+        for i in range(pts.shape[0]):
+            for j in range(pts.shape[0]):
+                if i != j:
+                    assert not dominates(pts[i], pts[j])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        offers=st.lists(
+            st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)),
+            max_size=40,
+        )
+    )
+    def test_rejection_means_weakly_dominated(self, offers):
+        """If try_add returns False the offer is weakly dominated by a
+        member, or was displaced by crowding at full capacity."""
+        arc: ParetoArchive = ParetoArchive(capacity=None)  # no crowding path
+        for i, (a, b) in enumerate(offers):
+            obj = ObjectiveVector(a, 1, b)
+            accepted = arc.try_add(i, obj)
+            if not accepted:
+                assert any(
+                    e.objectives.weakly_dominates(obj) for e in arc.entries
+                )

@@ -1,0 +1,147 @@
+"""Tests for Pareto dominance primitives and crowding distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objectives import ObjectiveVector
+from repro.mo.crowding import crowding_distances
+from repro.mo.dominance import (
+    as_points,
+    dominates,
+    non_dominated_indices,
+    non_dominated_mask,
+    non_dominated_sort,
+    weakly_dominates,
+)
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 100, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestDominates:
+    def test_strict(self):
+        assert dominates([1, 2, 3], [2, 2, 3])
+        assert not dominates([1, 2, 3], [1, 2, 3])
+        assert not dominates([2, 2, 3], [1, 2, 3])
+
+    def test_incomparable(self):
+        assert not dominates([1, 5], [5, 1])
+        assert not dominates([5, 1], [1, 5])
+
+    def test_weak(self):
+        assert weakly_dominates([1, 2], [1, 2])
+        assert weakly_dominates([1, 1], [1, 2])
+        assert not weakly_dominates([2, 1], [1, 2])
+
+    def test_asymmetry_property(self):
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            a, b = rng.random(3), rng.random(3)
+            assert not (dominates(a, b) and dominates(b, a))
+
+
+class TestNonDominatedMask:
+    def test_simple_front(self):
+        pts = np.array([[1, 5], [5, 1], [3, 3], [4, 4]])
+        mask = non_dominated_mask(pts)
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_duplicates_all_kept(self):
+        pts = np.array([[1, 1], [1, 1], [2, 2]])
+        mask = non_dominated_mask(pts)
+        assert mask.tolist() == [True, True, False]
+
+    def test_empty(self):
+        assert non_dominated_mask(np.zeros((0, 3))).size == 0
+
+    def test_single_point(self):
+        assert non_dominated_mask(np.array([[1.0, 2.0]])).tolist() == [True]
+
+    def test_objective_vectors_accepted(self):
+        pts = [ObjectiveVector(1, 1, 0.0), ObjectiveVector(2, 2, 0.0)]
+        assert non_dominated_mask(pts).tolist() == [True, False]
+
+    def test_indices(self):
+        pts = np.array([[2, 2], [1, 1], [3, 0]])
+        assert non_dominated_indices(pts).tolist() == [1, 2]
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=points_strategy)
+    def test_mask_definition_property(self, points):
+        """mask[i] iff no j strictly dominates i (brute force check)."""
+        pts = as_points(points)
+        mask = non_dominated_mask(pts)
+        for i in range(pts.shape[0]):
+            dominated = any(
+                dominates(pts[j], pts[i]) for j in range(pts.shape[0]) if j != i
+            )
+            assert mask[i] == (not dominated)
+
+    @settings(max_examples=30, deadline=None)
+    @given(points=points_strategy)
+    def test_front_members_mutually_nondominated(self, points):
+        pts = as_points(points)
+        front = pts[non_dominated_mask(pts)]
+        for i in range(front.shape[0]):
+            for j in range(front.shape[0]):
+                if i != j:
+                    assert not dominates(front[i], front[j])
+
+
+class TestNonDominatedSort:
+    def test_layers(self):
+        pts = np.array([[1, 1], [2, 2], [3, 3], [0, 4]])
+        fronts = non_dominated_sort(pts)
+        assert [sorted(f.tolist()) for f in fronts] == [[0, 3], [1], [2]]
+
+    def test_partition_property(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((30, 3))
+        fronts = non_dominated_sort(pts)
+        flat = sorted(i for f in fronts for i in f.tolist())
+        assert flat == list(range(30))
+
+    def test_empty(self):
+        assert non_dominated_sort(np.zeros((0, 2))) == []
+
+
+class TestCrowding:
+    def test_boundaries_infinite(self):
+        pts = np.array([[0.0, 4.0], [1.0, 3.0], [2.0, 2.0], [4.0, 0.0]])
+        dist = crowding_distances(pts)
+        assert np.isinf(dist[0]) and np.isinf(dist[3])
+        assert np.isfinite(dist[1]) and np.isfinite(dist[2])
+
+    def test_two_points_both_infinite(self):
+        assert np.all(np.isinf(crowding_distances(np.array([[0, 1], [1, 0]]))))
+
+    def test_empty(self):
+        assert crowding_distances(np.zeros((0, 2))).size == 0
+
+    def test_interior_values(self):
+        # Evenly spaced on a line: interior crowding = 2 * spacing/span
+        # per objective = 0.5 + 0.5 over two objectives here.
+        pts = np.array([[0.0, 4.0], [1.0, 3.0], [2.0, 2.0], [3.0, 1.0], [4.0, 0.0]])
+        dist = crowding_distances(pts)
+        assert dist[1] == pytest.approx(0.5 + 0.5)
+        assert dist[2] == pytest.approx(1.0)
+
+    def test_clustered_point_has_lowest_distance(self):
+        pts = np.array([[0.0, 10.0], [5.0, 5.0], [5.2, 4.9], [5.4, 4.8], [10.0, 0.0]])
+        dist = crowding_distances(pts)
+        finite = np.where(np.isfinite(dist))[0]
+        assert dist[finite].argmin() == list(finite).index(2)
+
+    def test_degenerate_objective_ignored(self):
+        pts = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        dist = crowding_distances(pts)
+        assert np.isfinite(dist[1])

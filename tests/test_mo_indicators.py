@@ -1,0 +1,164 @@
+"""Tests for set coverage, hypervolume and epsilon indicators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mo.coverage import mutual_coverage, set_coverage
+from repro.mo.epsilon import additive_epsilon, multiplicative_epsilon
+from repro.mo.hypervolume import hypervolume
+
+front_strategy = st.lists(
+    st.tuples(st.floats(0.1, 9.9), st.floats(0.1, 9.9)),
+    min_size=0,
+    max_size=15,
+)
+
+
+class TestSetCoverage:
+    def test_full_coverage(self):
+        a = [[1, 1]]
+        b = [[2, 2], [3, 1]]
+        assert set_coverage(a, b) == 1.0
+
+    def test_no_coverage(self):
+        a = [[5, 5]]
+        b = [[1, 1]]
+        assert set_coverage(a, b) == 0.0
+
+    def test_partial(self):
+        a = [[1, 3]]
+        b = [[2, 4], [0, 1]]
+        assert set_coverage(a, b) == 0.5
+
+    def test_weak_dominance_counts_equal_points(self):
+        assert set_coverage([[1, 1]], [[1, 1]]) == 1.0
+
+    def test_asymmetric(self):
+        a = [[1, 4], [4, 1]]
+        b = [[2, 2]]
+        assert set_coverage(a, b) == 0.0
+        assert set_coverage(b, a) == 0.0
+
+    def test_empty_conventions(self):
+        assert set_coverage([[1, 1]], []) == 1.0
+        assert set_coverage([], [[1, 1]]) == 0.0
+        assert set_coverage([], []) == 1.0
+
+    def test_mutual(self):
+        a = [[1, 1]]
+        b = [[2, 2]]
+        assert mutual_coverage(a, b) == (1.0, 0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=front_strategy, b=front_strategy)
+    def test_bounds_property(self, a, b):
+        c = set_coverage(a, b)
+        assert 0.0 <= c <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=front_strategy)
+    def test_self_coverage_is_total(self, a):
+        assert set_coverage(a, a) == 1.0
+
+
+class TestHypervolume:
+    def test_single_point_2d(self):
+        assert hypervolume([[1.0, 1.0]], [3.0, 3.0]) == pytest.approx(4.0)
+
+    def test_two_points_2d(self):
+        # (1,2) and (2,1) vs ref (3,3): union = 4 + 4 - overlap 1... by
+        # sweep: sorted by x: (1,2): (3-1)*(3-2)=2; (2,1): (3-2)*(2-1)=1
+        # -> 3.
+        assert hypervolume([[1, 2], [2, 1]], [3, 3]) == pytest.approx(3.0)
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume([[1, 1]], [4, 4])
+        assert hypervolume([[1, 1], [2, 2]], [4, 4]) == pytest.approx(base)
+
+    def test_point_outside_reference_ignored(self):
+        assert hypervolume([[5, 5]], [4, 4]) == 0.0
+        assert hypervolume([[1, 5]], [4, 4]) == 0.0  # must beat ref everywhere
+
+    def test_empty(self):
+        assert hypervolume(np.zeros((0, 2)), [1, 1]) == 0.0
+
+    def test_1d(self):
+        assert hypervolume([[2.0], [1.0]], [5.0]) == pytest.approx(4.0)
+
+    def test_3d_box(self):
+        assert hypervolume([[1, 1, 1]], [2, 3, 4]) == pytest.approx(1 * 2 * 3)
+
+    def test_3d_union(self):
+        # Two boxes from (1,1,1) and (0,2,2) vs ref (3,3,3):
+        # vol A = 2*2*2 = 8; vol B = 3*1*1 = 3; intersection: max coords
+        # (1,2,2) -> (3-1)*(3-2)*(3-2) = 2 -> union = 9.
+        hv = hypervolume([[1, 1, 1], [0, 2, 2]], [3, 3, 3])
+        assert hv == pytest.approx(9.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            hypervolume([[1, 1]], [1, 1, 1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(front=front_strategy)
+    def test_monotone_under_addition(self, front):
+        """Adding a point never decreases hypervolume."""
+        ref = [10.0, 10.0]
+        hv = 0.0
+        acc = []
+        for p in front:
+            acc.append(p)
+            new_hv = hypervolume(acc, ref)
+            assert new_hv >= hv - 1e-9
+            hv = new_hv
+
+    @settings(max_examples=20, deadline=None)
+    @given(front=front_strategy)
+    def test_3d_padding_consistency(self, front):
+        """Padding a 2-D front with a constant third objective scales
+        the hypervolume by the third-axis margin."""
+        if not front:
+            return
+        ref2 = [10.0, 10.0]
+        hv2 = hypervolume(front, ref2)
+        padded = [[a, b, 1.0] for a, b in front]
+        hv3 = hypervolume(padded, [10.0, 10.0, 2.0])
+        assert hv3 == pytest.approx(hv2 * 1.0, rel=1e-9)
+
+
+class TestEpsilon:
+    def test_identical_sets(self):
+        a = [[1, 2], [2, 1]]
+        assert additive_epsilon(a, a) == pytest.approx(0.0)
+        assert multiplicative_epsilon(a, a) == pytest.approx(1.0)
+
+    def test_uniform_shift(self):
+        a = [[1, 1]]
+        b = [[0.5, 0.5]]
+        assert additive_epsilon(a, b) == pytest.approx(0.5)
+
+    def test_negative_epsilon_when_strictly_better(self):
+        assert additive_epsilon([[0, 0]], [[2, 2]]) == pytest.approx(-2.0)
+
+    def test_multiplicative_ratio(self):
+        assert multiplicative_epsilon([[2, 2]], [[1, 1]]) == pytest.approx(2.0)
+
+    def test_empty_conventions(self):
+        assert additive_epsilon([[1, 1]], []) == 0.0
+        assert additive_epsilon([], [[1, 1]]) == float("inf")
+        assert multiplicative_epsilon([[1, 1]], []) == 1.0
+
+    def test_multiplicative_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            multiplicative_epsilon([[0, 1]], [[1, 1]])
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=front_strategy, b=front_strategy)
+    def test_coverage_epsilon_consistency(self, a, b):
+        """eps(A,B) <= 0 implies A weakly covers all of B."""
+        if not a or not b:
+            return
+        if additive_epsilon(a, b) <= 0:
+            assert set_coverage(a, b) == 1.0

@@ -1,0 +1,95 @@
+"""Tests for the distance-based front metrics (GD, IGD, spread)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mo.metrics import (
+    generational_distance,
+    inverted_generational_distance,
+    spread,
+)
+
+front2d = st.lists(
+    st.tuples(st.floats(0, 10, allow_nan=False), st.floats(0, 10, allow_nan=False)),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestGenerationalDistance:
+    def test_identical_fronts_zero(self):
+        f = [[1, 2], [2, 1]]
+        assert generational_distance(f, f) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # One point at distance 5 from the nearest reference point.
+        assert generational_distance([[3, 4]], [[0, 0]]) == pytest.approx(5.0)
+
+    def test_mean_over_points(self):
+        gd = generational_distance([[1, 0], [0, 2]], [[0, 0]], p=1.0)
+        assert gd == pytest.approx((1 + 2) / 2)
+
+    def test_empty_front_is_inf(self):
+        assert generational_distance(np.zeros((0, 2)), [[0, 0]]) == float("inf")
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            generational_distance([[1, 1]], np.zeros((0, 2)))
+
+    def test_subset_of_reference_is_zero(self):
+        ref = [[0, 3], [1, 2], [2, 1], [3, 0]]
+        assert generational_distance([[1, 2], [3, 0]], ref) == pytest.approx(0.0)
+
+
+class TestIGD:
+    def test_igd_penalizes_missing_regions(self):
+        ref = [[0, 3], [1, 2], [2, 1], [3, 0]]
+        full = ref
+        partial = [[0, 3]]  # covers one corner only
+        assert inverted_generational_distance(full, ref) == pytest.approx(0.0)
+        assert inverted_generational_distance(partial, ref) > 1.0
+
+    def test_gd_does_not(self):
+        # The same partial front has perfect GD (it sits on the ref).
+        ref = [[0, 3], [1, 2], [2, 1], [3, 0]]
+        assert generational_distance([[0, 3]], ref) == pytest.approx(0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(front=front2d, ref=front2d)
+    def test_non_negative(self, front, ref):
+        assert generational_distance(front, ref) >= 0
+        assert inverted_generational_distance(front, ref) >= 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(front=front2d)
+    def test_self_metrics_zero(self, front):
+        assert generational_distance(front, front) == pytest.approx(0.0, abs=1e-9)
+        assert inverted_generational_distance(front, front) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+
+class TestSpread:
+    def test_uniform_front_low_spread(self):
+        ref = [[0.0, 4.0], [4.0, 0.0]]
+        uniform = [[0.0, 4.0], [1.0, 3.0], [2.0, 2.0], [3.0, 1.0], [4.0, 0.0]]
+        clumped = [[0.0, 4.0], [1.9, 2.1], [2.0, 2.0], [2.1, 1.9], [4.0, 0.0]]
+        assert spread(uniform, ref) < spread(clumped, ref)
+
+    def test_perfectly_uniform_touching_extremes(self):
+        ref = [[0.0, 4.0], [4.0, 0.0]]
+        uniform = [[0.0, 4.0], [2.0, 2.0], [4.0, 0.0]]
+        assert spread(uniform, ref) == pytest.approx(0.0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            spread([[1, 2, 3]], [[1, 2, 3]])
+
+    def test_single_point(self):
+        value = spread([[1.0, 1.0]], [[0.0, 2.0], [2.0, 0.0]])
+        assert np.isfinite(value)
+
+    def test_empty_is_inf(self):
+        assert spread(np.zeros((0, 2)), [[0, 1]]) == float("inf")

@@ -1,0 +1,187 @@
+"""Tests for the cost model and the virtual cluster."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel.cluster import SimCluster
+from repro.parallel.costmodel import CostModel
+from repro.parallel.des import Environment
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        CostModel()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CostModel(eval_cost=0)
+        with pytest.raises(SimulationError):
+            CostModel(iter_cost=-1)
+
+    def test_selection_cost_shape(self):
+        cost = CostModel(iter_cost=10, proc_linear=0.5, proc_quadratic=0.01)
+        assert cost.selection_cost(0) == 10
+        assert cost.selection_cost(10) == 10 + 5 + 1
+
+    def test_contention_factor(self):
+        cost = CostModel(contention=0.1)
+        assert cost.contention_factor(1) == 1.0
+        assert cost.contention_factor(11) == pytest.approx(2.0)
+
+    def test_transfer_delay_scales(self):
+        cost = CostModel(msg_latency=2.0, per_item=0.1, contention=0.0)
+        assert cost.transfer_delay(10, 1) == pytest.approx(3.0)
+
+    def test_receive_cost_bulk_vs_stream(self):
+        cost = CostModel(
+            recv_cost=1.0,
+            recv_per_item_bulk=0.5,
+            recv_per_item_stream=0.01,
+            contention=0.0,
+        )
+        bulk = cost.receive_cost(4, 100, streamed=False)
+        stream = cost.receive_cost(4, 100, streamed=True)
+        assert bulk == pytest.approx(1.0 + 50.0)
+        assert stream == pytest.approx(1.0 + 1.0)
+        assert bulk > stream
+
+    def test_bulk_items_not_inflated_by_contention(self):
+        cost = CostModel(
+            recv_cost=1.0, recv_per_item_bulk=0.5, contention=1.0
+        )
+        # per-message part inflates, per-item bulk part does not.
+        assert cost.receive_cost(2, 10, streamed=False) == pytest.approx(
+            1.0 * 2.0 + 5.0
+        )
+
+    def test_compute_duration_scaling(self):
+        cost = CostModel(stall_rate=0.0, speed_sigma=0.0, compute_contention=0.0)
+        rng = np.random.default_rng(0)
+        d = cost.compute_duration(100.0, speed=2.0, rng=rng)
+        assert d == pytest.approx(50.0, rel=0.15)  # jitter ~3%
+
+    def test_compute_contention_slows_wide_jobs(self):
+        cost = CostModel(stall_rate=0.0, compute_contention=0.1)
+        rng = np.random.default_rng(0)
+        narrow = cost.compute_duration(100.0, 1.0, np.random.default_rng(1), 1)
+        wide = cost.compute_duration(100.0, 1.0, np.random.default_rng(1), 11)
+        assert wide == pytest.approx(2.0 * narrow, rel=0.01)
+
+    def test_zero_nominal_is_free(self):
+        cost = CostModel()
+        assert cost.compute_duration(0.0, 1.0, np.random.default_rng(0)) == 0.0
+
+    def test_stalls_fair_in_expectation(self):
+        """Expected inflation per unit of work is length-independent."""
+        cost = CostModel(stall_rate=0.05, stall_mean=10.0, speed_sigma=0.0)
+        rng = np.random.default_rng(42)
+        short = np.mean([cost.compute_duration(10.0, 1.0, rng) for _ in range(4000)])
+        long = np.mean([cost.compute_duration(100.0, 1.0, rng) for _ in range(400)])
+        assert short / 10.0 == pytest.approx(long / 100.0, rel=0.15)
+
+    def test_stall_variance_higher_for_short_chunks(self):
+        """Per-unit variance shrinks with length — the straggler
+        asymmetry that penalizes barriers."""
+        cost = CostModel(stall_rate=0.02, stall_mean=20.0, speed_sigma=0.0)
+        rng = np.random.default_rng(7)
+        short = np.array([cost.compute_duration(10.0, 1.0, rng) / 10 for _ in range(3000)])
+        long = np.array([cost.compute_duration(200.0, 1.0, rng) / 200 for _ in range(300)])
+        assert short.std() > 2 * long.std()
+
+    def test_for_neighborhood_scaling(self):
+        base = CostModel()
+        scaled = base.for_neighborhood(50)
+        factor = 50 / CostModel.REFERENCE_NEIGHBORHOOD
+        assert scaled.iter_cost == pytest.approx(base.iter_cost * factor)
+        assert scaled.stall_rate == pytest.approx(base.stall_rate / factor)
+        assert scaled.proc_quadratic == pytest.approx(base.proc_quadratic / factor)
+        assert scaled.eval_cost == base.eval_cost
+
+    def test_for_neighborhood_identity_at_reference(self):
+        base = CostModel()
+        assert base.for_neighborhood(CostModel.REFERENCE_NEIGHBORHOOD) is base
+
+    def test_for_neighborhood_selection_per_eval_invariant(self):
+        """Full-pool selection cost per neighbor is scale-invariant."""
+        base = CostModel()
+        scaled = base.for_neighborhood(50)
+        per_eval_base = base.selection_cost(200) / 200
+        per_eval_scaled = scaled.selection_cost(50) / 50
+        assert per_eval_scaled == pytest.approx(per_eval_base)
+
+    def test_overrides(self):
+        cost = CostModel().with_overrides(eval_cost=2.0)
+        assert cost.eval_cost == 2.0
+
+
+class TestSimCluster:
+    def test_construction(self):
+        env = Environment()
+        cluster = SimCluster(env, 4, seed=0)
+        assert cluster.n_processors == 4
+        assert len(cluster.mailboxes) == 4
+        assert cluster.speeds.shape == (4,)
+
+    def test_needs_a_processor(self):
+        with pytest.raises(SimulationError):
+            SimCluster(Environment(), 0)
+
+    def test_speeds_deterministic(self):
+        a = SimCluster(Environment(), 5, seed=3).speeds
+        b = SimCluster(Environment(), 5, seed=3).speeds
+        assert np.array_equal(a, b)
+
+    def test_send_delivers_with_delay(self):
+        env = Environment()
+        cluster = SimCluster(env, 2, CostModel(speed_sigma=0.0), seed=0)
+        log = []
+
+        def receiver():
+            msg = yield cluster.inbox(1).get()
+            log.append((env.now, msg))
+
+        cluster.send(0, 1, "payload", n_items=4)
+        env.process(receiver())
+        env.run()
+        expected = cluster.cost.transfer_delay(4, 2)
+        assert log[0][0] == pytest.approx(expected)
+        assert log[0][1] == "payload"
+        assert cluster.messages_sent == 1
+        assert cluster.items_sent == 4
+
+    def test_self_send_rejected(self):
+        cluster = SimCluster(Environment(), 2, seed=0)
+        with pytest.raises(SimulationError, match="itself"):
+            cluster.send(1, 1, "x")
+
+    def test_unknown_processor(self):
+        cluster = SimCluster(Environment(), 2, seed=0)
+        with pytest.raises(SimulationError, match="unknown processor"):
+            cluster.inbox(5)
+        with pytest.raises(SimulationError, match="unknown processor"):
+            cluster.compute(2, 1.0)
+
+    def test_compute_advances_clock(self):
+        env = Environment()
+        cluster = SimCluster(env, 1, CostModel(stall_rate=0.0, speed_sigma=0.0), seed=0)
+
+        def proc():
+            yield cluster.compute(0, 10.0)
+
+        env.process(proc())
+        env.run()
+        assert env.now == pytest.approx(10.0, rel=0.1)
+
+    def test_receive_overhead_is_timeout(self):
+        env = Environment()
+        cluster = SimCluster(env, 3, seed=0)
+
+        def proc():
+            yield cluster.receive_overhead(0, 10, streamed=True)
+
+        env.process(proc())
+        env.run()
+        assert env.now == pytest.approx(
+            cluster.cost.receive_cost(3, 10, streamed=True)
+        )

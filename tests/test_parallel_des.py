@@ -1,0 +1,365 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.parallel.des import GET_TIMED_OUT, Environment, Mailbox
+
+
+class TestTimeouts:
+    def test_single_timeout(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(5.0)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [5.0]
+        assert env.now == 5.0
+
+    def test_sequential_timeouts(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(1.0)
+            log.append(env.now)
+            yield env.timeout(2.0)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [1.0, 3.0]
+
+    def test_interleaving_is_time_ordered(self):
+        env = Environment()
+        log = []
+
+        def make(name, delay):
+            def proc():
+                for _ in range(3):
+                    yield env.timeout(delay)
+                    log.append((name, env.now))
+
+            return proc
+
+        env.process(make("a", 2.0)())
+        env.process(make("b", 3.0)())
+        env.run()
+        # At t=6 both fire; b's event was enqueued at t=3, a's at t=4,
+        # so b resumes first (insertion order breaks ties).
+        assert log == [
+            ("a", 2.0),
+            ("b", 3.0),
+            ("a", 4.0),
+            ("b", 6.0),
+            ("a", 6.0),
+            ("b", 9.0),
+        ]
+
+    def test_fifo_at_equal_times(self):
+        env = Environment()
+        log = []
+
+        def proc(name):
+            yield env.timeout(1.0)
+            log.append(name)
+
+        env.process(proc("first"))
+        env.process(proc("second"))
+        env.run()
+        assert log == ["first", "second"]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_zero_timeout_ok(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.timeout(0.0)
+            done.append(True)
+
+        env.process(proc())
+        env.run()
+        assert done == [True]
+
+    def test_run_until(self):
+        env = Environment()
+
+        def proc():
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run(until=4.5)
+        assert env.now == 4.5
+
+    def test_run_until_past_all_events(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        assert env.run(until=100.0) == 100.0
+
+
+class TestProcesses:
+    def test_return_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            return "done"
+
+        p = env.process(proc())
+        env.run()
+        assert p.finished and p.value == "done"
+
+    def test_join(self):
+        env = Environment()
+        log = []
+
+        def child():
+            yield env.timeout(3.0)
+            return 42
+
+        def parent():
+            result = yield env.process(child())
+            log.append((env.now, result))
+
+        env.process(parent())
+        env.run()
+        assert log == [(3.0, 42)]
+
+    def test_join_finished_process(self):
+        env = Environment()
+        log = []
+
+        def child():
+            yield env.timeout(1.0)
+            return "early"
+
+        c = env.process(child())
+
+        def parent():
+            yield env.timeout(5.0)
+            value = yield c
+            log.append((env.now, value))
+
+        env.process(parent())
+        env.run()
+        assert log == [(5.0, "early")]
+
+    def test_bad_yield_raises(self):
+        env = Environment()
+
+        def proc():
+            yield "nonsense"
+
+        env.process(proc())
+        with pytest.raises(SimulationError, match="unsupported request"):
+            env.run()
+
+
+class TestMailbox:
+    def test_put_then_get(self):
+        env = Environment()
+        box = Mailbox(env)
+        log = []
+
+        def receiver():
+            item = yield box.get()
+            log.append((env.now, item))
+
+        box.put("hello")
+        env.process(receiver())
+        env.run()
+        assert log == [(0.0, "hello")]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        box = Mailbox(env)
+        log = []
+
+        def receiver():
+            item = yield box.get()
+            log.append((env.now, item))
+
+        def sender():
+            yield env.timeout(7.0)
+            box.put("late")
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        assert log == [(7.0, "late")]
+
+    def test_delayed_delivery(self):
+        env = Environment()
+        box = Mailbox(env)
+        log = []
+
+        def receiver():
+            item = yield box.get()
+            log.append((env.now, item))
+
+        box.put("transit", delay=2.5)
+        env.process(receiver())
+        env.run()
+        assert log == [(2.5, "transit")]
+
+    def test_fifo_order(self):
+        env = Environment()
+        box = Mailbox(env)
+        log = []
+
+        def receiver():
+            for _ in range(3):
+                log.append((yield box.get()))
+
+        for x in (1, 2, 3):
+            box.put(x)
+        env.process(receiver())
+        env.run()
+        assert log == [1, 2, 3]
+
+    def test_multiple_waiters_fifo(self):
+        env = Environment()
+        box = Mailbox(env)
+        log = []
+
+        def receiver(name):
+            item = yield box.get()
+            log.append((name, item))
+
+        env.process(receiver("a"))
+        env.process(receiver("b"))
+
+        def sender():
+            yield env.timeout(1.0)
+            box.put("x")
+            box.put("y")
+
+        env.process(sender())
+        env.run()
+        assert log == [("a", "x"), ("b", "y")]
+
+    def test_get_timeout_expires(self):
+        env = Environment()
+        box = Mailbox(env)
+        log = []
+
+        def receiver():
+            item = yield box.get(timeout=4.0)
+            log.append((env.now, item is GET_TIMED_OUT))
+
+        env.process(receiver())
+        env.run()
+        assert log == [(4.0, True)]
+
+    def test_get_timeout_beaten_by_message(self):
+        env = Environment()
+        box = Mailbox(env)
+        log = []
+
+        def receiver():
+            item = yield box.get(timeout=10.0)
+            log.append((env.now, item))
+
+        box.put("fast", delay=1.0)
+        env.process(receiver())
+        env.run()
+        assert log == [(1.0, "fast")]
+        assert env.now >= 1.0  # stale timeout event may still fire harmlessly
+
+    def test_cancelled_get_does_not_consume(self):
+        """After a timeout fires, a later message stays in the buffer."""
+        env = Environment()
+        box = Mailbox(env)
+        log = []
+
+        def receiver():
+            item = yield box.get(timeout=1.0)
+            assert item is GET_TIMED_OUT
+            yield env.timeout(5.0)
+            log.append(box.get_nowait())
+
+        def sender():
+            yield env.timeout(2.0)
+            box.put("kept")
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        assert log == ["kept"]
+
+    def test_get_nowait(self):
+        env = Environment()
+        box = Mailbox(env)
+        assert box.get_nowait() is None
+        box.put(5)
+        assert len(box) == 1
+        assert box.get_nowait() == 5
+        assert box.get_nowait() is None
+
+    def test_none_items_rejected(self):
+        env = Environment()
+        box = Mailbox(env)
+        with pytest.raises(SimulationError):
+            box.put(None)
+
+    def test_blocked_process_does_not_hang_run(self):
+        env = Environment()
+        box = Mailbox(env)
+
+        def forever():
+            yield box.get()
+
+        p = env.process(forever())
+        env.run()
+        assert not p.finished  # still blocked, but run() returned
+
+
+class TestDeterminismProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_replay_identical(self, delays):
+        """The same process program yields an identical event log."""
+
+        def run_once():
+            env = Environment()
+            box = Mailbox(env)
+            log = []
+
+            def producer():
+                for i, d in enumerate(delays):
+                    yield env.timeout(d)
+                    box.put(i)
+
+            def consumer():
+                for _ in delays:
+                    item = yield box.get(timeout=5.0)
+                    log.append((round(env.now, 9), item if item is not GET_TIMED_OUT else "T"))
+
+            env.process(producer())
+            env.process(consumer())
+            env.run()
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,156 @@
+"""Shape tests: the qualitative findings of Tables I–IV must hold.
+
+These are the reproduction's acceptance tests.  They run the full
+drivers at a reduced budget (the cost model is rescaled for the
+smaller neighborhood, which DESIGN.md argues — and
+test_parallel_cluster verifies — preserves the speedup shapes in
+expectation) and assert the paper's four qualitative results:
+
+1. the synchronous variant achieves a modest speedup that saturates
+   with processors (nowhere near linear);
+2. the asynchronous variant is clearly faster than the synchronous one
+   at every processor count and *degrades* from 6 to 12 processors;
+3. the collaborative variant is slower than sequential, increasingly
+   so with more searchers;
+4. the collaborative variant wins on quality: better set coverage and
+   no more vehicles than the sequential algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mo.coverage import set_coverage
+from repro.parallel.async_ts import run_asynchronous_tsmo
+from repro.parallel.base import run_sequential_simulated
+from repro.parallel.collab_ts import CollabParams, run_collaborative_tsmo
+from repro.parallel.costmodel import CostModel
+from repro.parallel.sync_ts import run_synchronous_tsmo
+from repro.tabu.params import TSMOParams
+from repro.vrptw.generator import generate_instance
+
+SEEDS = (11, 12, 13)
+PROCS = (3, 6, 12)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    instance = generate_instance("R1", 40, seed=21)
+    params = TSMOParams(
+        max_evaluations=4000,
+        neighborhood_size=100,
+        tabu_tenure=20,
+        archive_capacity=15,
+        nondom_capacity=30,
+        restart_after=10,
+    )
+    cost = CostModel().for_neighborhood(params.neighborhood_size)
+    return instance, params, cost
+
+
+@pytest.fixture(scope="module")
+def runs(setting):
+    """Run the full matrix once per test session (it is the slow part)."""
+    instance, params, cost = setting
+    sequential = [
+        run_sequential_simulated(instance, params, seed=s, cost_model=cost)
+        for s in SEEDS
+    ]
+    ts = float(np.mean([r.simulated_time for r in sequential]))
+    matrix: dict[tuple[str, int], list] = {}
+    for p in PROCS:
+        matrix[("sync", p)] = [
+            run_synchronous_tsmo(instance, params, p, seed=s, cost_model=cost)
+            for s in SEEDS
+        ]
+        matrix[("async", p)] = [
+            run_asynchronous_tsmo(instance, params, p, seed=s, cost_model=cost)
+            for s in SEEDS
+        ]
+        matrix[("coll", p)] = [
+            run_collaborative_tsmo(
+                instance,
+                params,
+                p,
+                seed=s,
+                cost_model=cost,
+                collab_params=CollabParams(initial_phase_patience=3),
+            )
+            for s in SEEDS
+        ]
+    speedups = {
+        key: ts / float(np.mean([r.simulated_time for r in results]))
+        for key, results in matrix.items()
+    }
+    return sequential, matrix, speedups
+
+
+class TestSpeedupShapes:
+    def test_sync_modest_and_saturating(self, runs):
+        _, _, speedups = runs
+        for p in PROCS:
+            assert 1.0 < speedups[("sync", p)] < 1.6, (p, speedups[("sync", p)])
+        # Saturation: quadrupling the processors (3 -> 12) buys almost
+        # nothing (strictly sub-linear scaling).
+        assert speedups[("sync", 12)] < speedups[("sync", 3)] * 1.35
+
+    def test_async_beats_sync_everywhere(self, runs):
+        _, _, speedups = runs
+        for p in PROCS:
+            assert speedups[("async", p)] > speedups[("sync", p)] * 1.1, (
+                p,
+                speedups[("async", p)],
+                speedups[("sync", p)],
+            )
+
+    def test_async_degrades_at_twelve(self, runs):
+        """'the communication overhead becomes noticeable at 12
+        processors when the speedup is decreasing from the value it
+        obtained at 6 processors'"""
+        _, _, speedups = runs
+        assert speedups[("async", 12)] < speedups[("async", 6)] * 0.95
+        # And the peak (6) is no worse than 3 up to noise.
+        assert speedups[("async", 6)] > speedups[("async", 3)] * 0.9
+
+    def test_collaborative_negative_and_worsening(self, runs):
+        _, _, speedups = runs
+        for p in PROCS:
+            assert speedups[("coll", p)] < 1.0, (p, speedups[("coll", p)])
+        assert speedups[("coll", 12)] < speedups[("coll", 3)]
+
+
+class TestQualityShapes:
+    def test_sync_quality_matches_sequential(self, runs):
+        sequential, matrix, _ = runs
+        seq = np.mean([r.best_feasible()[0] for r in sequential])
+        for p in PROCS:
+            sync = np.mean([r.best_feasible()[0] for r in matrix[("sync", p)]])
+            assert abs(sync - seq) / seq < 0.15, (p, sync, seq)
+
+    def test_collaborative_uses_no_more_vehicles(self, runs):
+        sequential, matrix, _ = runs
+        seq_vehicles = np.mean([r.best_feasible()[1] for r in sequential])
+        coll_vehicles = np.mean(
+            [r.best_feasible()[1] for r in matrix[("coll", 12)]]
+        )
+        assert coll_vehicles <= seq_vehicles + 1e-9
+
+    def test_collaborative_wins_coverage(self, runs):
+        """C(coll, seq) must clearly exceed C(seq, coll), averaged over
+        run pairs — the paper's strongest quality signal."""
+        sequential, matrix, _ = runs
+        out_scores, in_scores = [], []
+        for coll in matrix[("coll", 12)]:
+            for seq in sequential:
+                out_scores.append(
+                    set_coverage(coll.feasible_front(), seq.feasible_front())
+                )
+                in_scores.append(
+                    set_coverage(seq.feasible_front(), coll.feasible_front())
+                )
+        assert np.mean(out_scores) > np.mean(in_scores)
+
+    def test_collaborative_best_distance(self, runs):
+        sequential, matrix, _ = runs
+        seq = np.mean([r.best_feasible()[0] for r in sequential])
+        coll = np.mean([r.best_feasible()[0] for r in matrix[("coll", 12)]])
+        assert coll <= seq * 1.02  # at least on par, typically better

@@ -1,0 +1,49 @@
+"""Tests for result persistence (save/load of TSMOResult)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOResult, run_sequential_tsmo
+from repro.vrptw.generator import generate_instance
+
+
+@pytest.fixture(scope="module")
+def result():
+    instance = generate_instance("R1", 15, seed=3)
+    params = TSMOParams(max_evaluations=200, neighborhood_size=20, restart_after=5)
+    return run_sequential_tsmo(instance, params, seed=1)
+
+
+class TestPersistence:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "run.pkl"
+        result.save(path)
+        loaded = TSMOResult.load(path)
+        assert loaded.algorithm == result.algorithm
+        assert loaded.evaluations == result.evaluations
+        assert np.array_equal(loaded.front(), result.front())
+
+    def test_solutions_survive(self, result, tmp_path):
+        path = tmp_path / "run.pkl"
+        result.save(path)
+        loaded = TSMOResult.load(path)
+        # The archived solutions are fully usable after the round trip.
+        for entry in loaded.archive:
+            assert entry.item.objectives == entry.objectives
+
+    def test_load_rejects_foreign_pickles(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(pickle.dumps({"not": "a result"}))
+        with pytest.raises(SearchError, match="TSMOResult"):
+            TSMOResult.load(path)
+
+    def test_trace_droppable(self, result, tmp_path):
+        result_copy = TSMOResult(**{**result.__dict__})
+        result_copy.trace = None
+        path = tmp_path / "lean.pkl"
+        result_copy.save(path)
+        assert TSMOResult.load(path).trace is None

@@ -1,0 +1,105 @@
+"""Tests for the public API surface and the CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing name {name}"
+
+    def test_all_sorted(self):
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_quickstart_docstring_flow(self):
+        """The module docstring's quickstart must actually work."""
+        instance = repro.generate_instance("R1", 15, seed=42)
+        result = repro.run_sequential_tsmo(
+            instance,
+            repro.TSMOParams(max_evaluations=200, neighborhood_size=20),
+            seed=1,
+        )
+        assert len(result.archive) >= 1
+
+    def test_error_hierarchy(self):
+        for err in (
+            repro.InstanceError,
+            repro.ParseError,
+            repro.SolutionError,
+            repro.OperatorError,
+            repro.SearchError,
+            repro.SimulationError,
+            repro.BenchmarkError,
+        ):
+            assert issubclass(err, repro.ReproError)
+        assert issubclass(repro.ReproError, Exception)
+
+    def test_subpackage_alls_resolve(self):
+        import repro.bench
+        import repro.core
+        import repro.mo
+        import repro.parallel
+        import repro.stats
+        import repro.tabu
+        import repro.vrptw
+
+        for module in (
+            repro.bench,
+            repro.core,
+            repro.mo,
+            repro.parallel,
+            repro.stats,
+            repro.tabu,
+            repro.vrptw,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+@pytest.mark.slow
+class TestCLI:
+    def run_cli(self, *args, env=None):
+        import os
+
+        full_env = dict(os.environ)
+        if env:
+            full_env.update(env)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.bench.cli", *args],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            env=full_env,
+        )
+
+    def test_fig1(self):
+        proc = self.run_cli("fig1", env={"REPRO_BENCH_SCALE": "0.3"})
+        assert proc.returncode == 0
+        assert "Figure 1" in proc.stdout
+
+    def test_table_quick(self):
+        proc = self.run_cli(
+            "table1",
+            "--runs",
+            "2",
+            "--evaluations",
+            "400",
+            "--quiet",
+            env={"REPRO_BENCH_SCALE": "0.35"},
+        )
+        assert proc.returncode == 0
+        assert "Sequential TSMO" in proc.stdout
+        assert "TSMO coll." in proc.stdout
+        assert "t-tests" in proc.stdout
+
+    def test_bad_target(self):
+        proc = self.run_cli("table9")
+        assert proc.returncode != 0

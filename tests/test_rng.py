@@ -1,0 +1,86 @@
+"""Tests for repro.rng — deterministic generator spawning."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngFactory, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42)
+        b = as_generator(42)
+        assert a.random() == b.random()
+
+    def test_existing_generator_passes_through(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss)
+        b = as_generator(np.random.SeedSequence(7))
+        assert a.random() == b.random()
+
+    def test_none_gives_entropy(self):
+        # Two unseeded generators should (overwhelmingly) differ.
+        assert as_generator(None).random() != as_generator(None).random()
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(3, 5)
+        assert len(gens) == 5
+
+    def test_streams_are_independent(self):
+        a, b = spawn_generators(0, 2)
+        assert a.random() != b.random()
+
+    def test_deterministic_tree(self):
+        first = [g.random() for g in spawn_generators(11, 4)]
+        second = [g.random() for g in spawn_generators(11, 4)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestRngFactory:
+    def test_replay(self):
+        f1, f2 = RngFactory(5), RngFactory(5)
+        assert f1.generator().random() == f2.generator().random()
+
+    def test_sequential_children_differ(self):
+        f = RngFactory(5)
+        assert f.generator().random() != f.generator().random()
+
+    def test_spawn_count_tracking(self):
+        f = RngFactory(5)
+        f.generator()
+        f.generators(3)
+        f.seed_sequence()
+        assert f.spawn_count == 5
+
+    def test_batch_matches_sequential_draws_order(self):
+        # generators(n) and n generator() calls must spawn the same tree.
+        a = [g.random() for g in RngFactory(9).generators(3)]
+        f = RngFactory(9)
+        b = [f.generator().random() for _ in range(3)]
+        assert a == b
+
+    def test_stream_iterator(self):
+        f = RngFactory(2)
+        stream = f.stream()
+        g1, g2 = next(stream), next(stream)
+        assert g1.random() != g2.random()
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(0).generators(-2)
+
+    def test_root_entropy_exposed(self):
+        assert RngFactory(1234).root_entropy == 1234

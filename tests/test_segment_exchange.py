@@ -1,0 +1,112 @@
+"""Tests for the optional (2,1) λ-interchange extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import i1_construct
+from repro.core.evaluation import evaluate_permutation
+from repro.core.operators import OperatorRegistry, default_registry
+from repro.core.operators.segment_exchange import SegmentExchange
+from repro.core.solution import Solution
+from repro.errors import OperatorError
+from repro.vrptw.generator import generate_instance
+
+
+@pytest.fixture(scope="module")
+def base():
+    inst = generate_instance("C2", 30, seed=123)
+    return inst, i1_construct(inst, rng=np.random.default_rng(5))
+
+
+def propose_until(solution, rng, tries=3000):
+    op = SegmentExchange()
+    for _ in range(tries):
+        move = op.propose(solution, rng)
+        if move is not None:
+            return move
+    pytest.skip("segment exchange proposes nothing on this fixture")
+
+
+class TestSegmentExchange:
+    def test_not_in_default_registry(self):
+        assert "segx" not in {op.name for op in default_registry().operators}
+
+    def test_preserves_invariants(self, base):
+        inst, sol = base
+        rng = np.random.default_rng(3)
+        op = SegmentExchange()
+        applied = 0
+        for _ in range(300):
+            move = op.propose(sol, rng)
+            if move is None:
+                continue
+            child = move.apply(sol)
+            Solution._validate_routes(inst, child.routes)
+            assert all(load <= inst.capacity + 1e-9 for load in child.route_loads())
+            assert np.allclose(
+                child.objectives.as_array(),
+                evaluate_permutation(inst, child.permutation).as_array(),
+            )
+            applied += 1
+        assert applied > 20
+
+    def test_semantics(self, base):
+        inst, sol = base
+        move = propose_until(sol, np.random.default_rng(7))
+        child = move.apply(sol)
+        new_a = child.routes[move.route_a]
+        new_b = child.routes[move.route_b]
+        assert new_a[move.pos_a] == move.customer
+        assert new_b[move.pos_b : move.pos_b + 2] == move.segment
+        # Route lengths shift by one in each direction.
+        assert len(new_a) == len(sol.routes[move.route_a]) - 1
+        assert len(new_b) == len(sol.routes[move.route_b]) + 1
+
+    def test_stale_detection(self, base):
+        _, sol = base
+        move = propose_until(sol, np.random.default_rng(9))
+        child = move.apply(sol)
+        with pytest.raises(OperatorError, match="stale"):
+            move.apply(child)
+
+    def test_attribute(self, base):
+        _, sol = base
+        move = propose_until(sol, np.random.default_rng(11))
+        tag, members = move.attribute
+        assert tag == "segx"
+        assert members == frozenset((*move.segment, move.customer))
+
+    def test_single_route_degrades(self):
+        inst = generate_instance("R2", 5, seed=1)
+        sol = Solution.from_routes(inst, [[1, 2, 3, 4, 5]])
+        assert SegmentExchange().propose(sol, np.random.default_rng(1)) is None
+
+    def test_usable_in_registry(self, base):
+        inst, sol = base
+        from repro.core.operators import Exchange, Relocate
+
+        registry = OperatorRegistry([Relocate(), Exchange(), SegmentExchange()])
+        rng = np.random.default_rng(13)
+        names = set()
+        for _ in range(300):
+            move = registry.draw_move(sol, rng)
+            assert move is not None
+            names.add(move.name)
+        assert "segx" in names
+
+    def test_search_runs_with_extended_registry(self, base):
+        inst, _ = base
+        from repro.core.operators import Exchange, OrOpt, Relocate, TwoOpt, TwoOptStar
+        from repro.tabu.params import TSMOParams
+        from repro.tabu.search import run_sequential_tsmo
+
+        registry = OperatorRegistry(
+            [Relocate(), Exchange(), TwoOpt(), TwoOptStar(), OrOpt(), SegmentExchange()]
+        )
+        result = run_sequential_tsmo(
+            inst,
+            TSMOParams(max_evaluations=400, neighborhood_size=25, restart_after=6),
+            seed=2,
+            registry=registry,
+        )
+        assert result.best_feasible() is not None

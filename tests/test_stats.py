@@ -1,0 +1,147 @@
+"""Tests for the statistics layer: aggregation, speedup, t-tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.stats.speedup import format_speedup, speedup, speedup_percent
+from repro.stats.summary import MeanStd, aggregate, summarize_results
+from repro.stats.ttest import pairwise_ttest
+from repro.core.objectives import ObjectiveVector
+from repro.mo.archive import ArchiveEntry
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOResult
+
+
+def fake_result(
+    distance=100.0,
+    vehicles=5,
+    tardiness=0.0,
+    runtime=10.0,
+    algorithm="sequential",
+    processors=1,
+    instance="I",
+):
+    entry = ArchiveEntry("sol", ObjectiveVector(distance, vehicles, tardiness))
+    return TSMOResult(
+        instance_name=instance,
+        algorithm=algorithm,
+        params=TSMOParams(max_evaluations=10),
+        archive=[entry],
+        iterations=1,
+        evaluations=10,
+        restarts=0,
+        wall_time=1.0,
+        simulated_time=runtime,
+        processors=processors,
+    )
+
+
+class TestMeanStd:
+    def test_aggregate(self):
+        ms = aggregate([1.0, 2.0, 3.0])
+        assert ms.mean == pytest.approx(2.0)
+        assert ms.std == pytest.approx(1.0)
+        assert ms.n == 3
+
+    def test_singleton(self):
+        ms = aggregate([5.0])
+        assert ms.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            aggregate([])
+
+    def test_formatting(self):
+        ms = MeanStd(mean=226897.72, std=4999.31, n=30)
+        assert f"{ms:.2f}" == "226897.72±4999.31"
+        assert str(ms) == "226897.72±4999.31"
+
+
+class TestSummarize:
+    def test_basic(self):
+        results = [fake_result(distance=d) for d in (90.0, 100.0, 110.0)]
+        s = summarize_results(results)
+        assert s.distance.mean == pytest.approx(100.0)
+        assert s.vehicles.mean == pytest.approx(5.0)
+        assert s.runtime.mean == pytest.approx(10.0)
+        assert s.infeasible_runs == 0
+
+    def test_best_feasible_per_objective(self):
+        # An archive with a distance/vehicle tradeoff: the row records
+        # min distance AND min vehicles independently.
+        result = fake_result()
+        result.archive = [
+            ArchiveEntry("a", ObjectiveVector(100.0, 7, 0.0)),
+            ArchiveEntry("b", ObjectiveVector(140.0, 5, 0.0)),
+            ArchiveEntry("c", ObjectiveVector(90.0, 9, 3.0)),  # infeasible
+        ]
+        s = summarize_results([result])
+        assert s.distance.mean == pytest.approx(100.0)
+        assert s.vehicles.mean == pytest.approx(5.0)
+
+    def test_infeasible_runs_excluded(self):
+        ok = fake_result(distance=100.0)
+        bad = fake_result(tardiness=9.0)
+        s = summarize_results([ok, bad])
+        assert s.infeasible_runs == 1
+        assert s.distance.n == 1
+
+    def test_all_infeasible_rejected(self):
+        with pytest.raises(BenchmarkError, match="no feasible"):
+            summarize_results([fake_result(tardiness=5.0)])
+
+    def test_mixed_configs_rejected(self):
+        with pytest.raises(BenchmarkError, match="mixed"):
+            summarize_results([fake_result(), fake_result(algorithm="synchronous")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            summarize_results([])
+
+
+class TestSpeedup:
+    def test_ratio_of_means(self):
+        assert speedup([100, 200], [50, 100]) == pytest.approx(2.0)
+
+    def test_paper_percent_format(self):
+        # async@3 in Table I: ratio 2.0134 -> "101.34%".
+        assert format_speedup(2.0134) == "101.34%"
+        assert format_speedup(0.8476) == "-15.24%"
+
+    def test_percent(self):
+        assert speedup_percent(1.0) == 0.0
+        assert speedup_percent(1.5) == pytest.approx(50.0)
+
+    def test_invalid(self):
+        with pytest.raises(BenchmarkError):
+            speedup([0.0], [1.0])
+
+
+class TestTTest:
+    def test_identical_samples_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(100, 5, size=30)
+        t = pairwise_ttest(a, a + rng.normal(0, 0.01, 30))
+        assert not t.significant()
+
+    def test_separated_samples_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(100, 5, size=30)
+        b = rng.normal(80, 5, size=30)
+        t = pairwise_ttest(a, b, "coll", "seq")
+        assert t.significant()
+        assert t.p_value < 0.001
+        assert "coll vs seq" in str(t)
+
+    def test_needs_two_per_side(self):
+        with pytest.raises(BenchmarkError):
+            pairwise_ttest([1.0], [2.0, 3.0])
+
+    def test_symmetry_of_p(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(10, 1, 20)
+        b = rng.normal(11, 1, 20)
+        assert pairwise_ttest(a, b).p_value == pytest.approx(
+            pairwise_ttest(b, a).p_value
+        )

@@ -1,0 +1,152 @@
+"""Tests for the tabu list, parameter set and memory bundle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.tabu.memories import Memories
+from repro.tabu.params import TSMOParams
+from repro.tabu.tabulist import TabuList
+
+
+class TestTabuList:
+    def test_fifo_expiry(self):
+        tl = TabuList(tenure=2)
+        tl.push("a")
+        tl.push("b")
+        tl.push("c")
+        assert "a" not in tl
+        assert "b" in tl and "c" in tl
+        assert len(tl) == 2
+
+    def test_membership(self):
+        tl = TabuList(tenure=3)
+        assert "x" not in tl
+        tl.push("x")
+        assert "x" in tl
+
+    def test_repeated_attribute_counted(self):
+        tl = TabuList(tenure=3)
+        tl.push("a")
+        tl.push("a")
+        tl.push("b")
+        tl.push("c")  # expires first "a", second remains
+        assert "a" in tl
+
+    def test_tenure_one(self):
+        tl = TabuList(tenure=1)
+        tl.push("a")
+        tl.push("b")
+        assert "a" not in tl and "b" in tl
+
+    def test_clear(self):
+        tl = TabuList(tenure=5)
+        tl.push("a")
+        tl.clear()
+        assert "a" not in tl and len(tl) == 0
+
+    def test_iteration_order(self):
+        tl = TabuList(tenure=5)
+        for x in ("a", "b", "c"):
+            tl.push(x)
+        assert list(tl) == ["a", "b", "c"]
+
+    def test_invalid_tenure(self):
+        with pytest.raises(SearchError):
+            TabuList(tenure=0)
+
+    def test_tuple_attributes(self):
+        tl = TabuList(tenure=4)
+        attr = ("relocate", 7)
+        tl.push(attr)
+        assert ("relocate", 7) in tl
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pushes=st.lists(st.integers(0, 10), max_size=60),
+        tenure=st.integers(min_value=1, max_value=8),
+    )
+    def test_window_semantics_property(self, pushes, tenure):
+        """Membership always equals 'within the last `tenure` pushes'."""
+        tl = TabuList(tenure=tenure)
+        for i, value in enumerate(pushes):
+            tl.push(value)
+            window = pushes[max(0, i + 1 - tenure) : i + 1]
+            for candidate in range(11):
+                assert (candidate in tl) == (candidate in window)
+
+
+class TestTSMOParams:
+    def test_defaults_match_paper(self):
+        p = TSMOParams()
+        assert p.max_evaluations == 100_000
+        assert p.neighborhood_size == 200
+        assert p.tabu_tenure == 20
+        assert p.archive_capacity == 20
+        assert p.restart_after == 100
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            TSMOParams(neighborhood_size=0)
+        with pytest.raises(SearchError):
+            TSMOParams(tabu_tenure=-1)
+
+    def test_perturbed_keeps_budget(self):
+        rng = np.random.default_rng(0)
+        p = TSMOParams()
+        q = p.perturbed(rng)
+        assert q.max_evaluations == p.max_evaluations
+
+    def test_perturbed_changes_something(self):
+        rng = np.random.default_rng(0)
+        p = TSMOParams()
+        perturbed = [p.perturbed(rng) for _ in range(10)]
+        assert any(q != p for q in perturbed)
+
+    def test_perturbation_distribution(self):
+        """sigma = parameter / 4, mean = parameter (paper §III.E)."""
+        rng = np.random.default_rng(1)
+        p = TSMOParams(neighborhood_size=200)
+        draws = np.array(
+            [p.perturbed(rng).neighborhood_size for _ in range(400)], dtype=float
+        )
+        assert abs(draws.mean() - 200) < 10
+        assert 35 < draws.std() < 65
+
+    def test_perturbed_respects_minimums(self):
+        rng = np.random.default_rng(2)
+        p = TSMOParams(tabu_tenure=1, neighborhood_size=2, restart_after=5)
+        for _ in range(50):
+            q = p.perturbed(rng)
+            assert q.tabu_tenure >= 1
+            assert q.neighborhood_size >= 2
+            assert q.restart_after >= 5
+
+    def test_scaled(self):
+        p = TSMOParams(max_evaluations=100_000)
+        assert p.scaled(0.01).max_evaluations == 1000
+        with pytest.raises(SearchError):
+            p.scaled(0)
+
+
+class TestMemories:
+    def test_construction(self):
+        m = Memories(TSMOParams(tabu_tenure=7, archive_capacity=5, nondom_capacity=9))
+        assert m.tabulist.tenure == 7
+        assert m.archive.capacity == 5
+        assert m.nondom.capacity == 9
+
+    def test_restart_candidate_from_union(self, small_instance, small_solution):
+        m = Memories(TSMOParams())
+        rng = np.random.default_rng(0)
+        with pytest.raises(SearchError, match="empty"):
+            m.restart_candidate(rng)
+        m.archive.try_add(small_solution, small_solution.objectives)
+        assert m.restart_candidate(rng) is small_solution
+        other = Solution(small_instance, small_solution.routes)
+        m.nondom.try_add(other, other.objectives)
+        picks = {id(m.restart_candidate(rng)) for _ in range(40)}
+        assert len(picks) >= 1  # draws from the union without crashing

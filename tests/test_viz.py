@@ -1,0 +1,66 @@
+"""Tests for the SVG visualization helpers."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.construction import i1_construct
+from repro.viz import front_svg, solution_svg, write_svg
+from repro.vrptw.generator import generate_instance
+
+
+@pytest.fixture(scope="module")
+def solution():
+    instance = generate_instance("C1", 25, seed=5)
+    return i1_construct(instance, rng=np.random.default_rng(1))
+
+
+class TestSolutionSVG:
+    def test_valid_xml(self, solution):
+        ET.fromstring(solution_svg(solution))
+
+    def test_one_polyline_per_route(self, solution):
+        svg = solution_svg(solution)
+        assert svg.count("<polyline") == solution.n_routes
+
+    def test_one_circle_per_customer(self, solution):
+        svg = solution_svg(solution)
+        assert svg.count("<circle") == solution.instance.n_customers
+
+    def test_depot_marker(self, solution):
+        assert "<rect" in solution_svg(solution)
+
+    def test_custom_title_escaped(self, solution):
+        svg = solution_svg(solution, title="a <b> & c")
+        assert "a &lt;b&gt; &amp; c" in svg
+        ET.fromstring(svg)
+
+
+class TestFrontSVG:
+    def test_valid_xml_and_labels(self):
+        svg = front_svg(
+            {"A": np.array([[1.0, 2.0], [2.0, 1.0]]), "B": np.array([[3.0, 3.0]])}
+        )
+        root = ET.fromstring(svg)
+        assert root is not None
+        assert svg.count("<circle") == 3
+        assert ">A<" in svg and ">B<" in svg
+
+    def test_empty_fronts(self):
+        svg = front_svg({"empty": np.zeros((0, 2))})
+        assert "no points" in svg
+
+    def test_three_objective_columns(self):
+        svg = front_svg(
+            {"A": np.array([[10.0, 2.0, 0.5]])}, x_index=0, y_index=2, y_label="f3"
+        )
+        ET.fromstring(svg)
+        assert "f3" in svg
+
+
+class TestWriteSVG:
+    def test_roundtrip(self, tmp_path, solution):
+        path = write_svg(solution_svg(solution), tmp_path / "out.svg")
+        assert path.exists()
+        ET.fromstring(path.read_text())

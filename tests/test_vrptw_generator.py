@@ -1,0 +1,183 @@
+"""Tests for the Homberger-style instance generator and the catalog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BenchmarkError, InstanceError
+from repro.vrptw.catalog import TABLE_GROUPS, instances_for_table, make_instances
+from repro.vrptw.generator import GeneratorConfig, InstanceClass, generate_instance
+
+ALL_CLASSES = list(InstanceClass)
+
+
+class TestInstanceClass:
+    def test_parse_string(self):
+        assert InstanceClass.parse("r1") is InstanceClass.R1
+        assert InstanceClass.parse("RC2") is InstanceClass.RC2
+
+    def test_parse_passthrough(self):
+        assert InstanceClass.parse(InstanceClass.C1) is InstanceClass.C1
+
+    def test_parse_unknown(self):
+        with pytest.raises(InstanceError, match="unknown instance class"):
+            InstanceClass.parse("X9")
+
+    def test_geometry_tags(self):
+        assert InstanceClass.R1.geometry == "random"
+        assert InstanceClass.C2.geometry == "clustered"
+        assert InstanceClass.RC1.geometry == "mixed"
+
+    def test_horizon_types(self):
+        assert InstanceClass.C1.horizon_type == 1
+        assert InstanceClass.R2.horizon_type == 2
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("icls", ALL_CLASSES)
+    def test_all_classes_valid(self, icls):
+        inst = generate_instance(icls, 40, seed=1)
+        assert inst.n_customers == 40
+        assert inst.n_vehicles >= inst.min_vehicles_by_capacity
+
+    def test_deterministic(self):
+        a = generate_instance("R1", 30, seed=5)
+        b = generate_instance("R1", 30, seed=5)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.due_date, b.due_date)
+
+    def test_different_seeds_differ(self):
+        a = generate_instance("R1", 30, seed=5)
+        b = generate_instance("R1", 30, seed=6)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_type2_has_wider_windows_and_longer_horizon(self):
+        t1 = generate_instance("R1", 60, seed=3)
+        t2 = generate_instance("R2", 60, seed=3)
+        width1 = (t1.due_date[1:] - t1.ready_time[1:]).mean()
+        width2 = (t2.due_date[1:] - t2.ready_time[1:]).mean()
+        assert width2 > 2 * width1
+        assert t2.horizon > 2 * t1.horizon
+        assert t2.capacity > t1.capacity
+
+    def test_clustered_geometry_is_clustered(self):
+        # Mean nearest-neighbor distance should be clearly smaller for C
+        # than for R at the same size/seed.
+        def mean_nn(inst):
+            t = inst.travel[1:, 1:].copy()
+            np.fill_diagonal(t, np.inf)
+            return t.min(axis=1).mean()
+
+        c = generate_instance("C1", 80, seed=4)
+        r = generate_instance("R1", 80, seed=4)
+        assert mean_nn(c) < 0.5 * mean_nn(r)
+
+    def test_windows_are_reachable(self):
+        for icls in ALL_CLASSES:
+            inst = generate_instance(icls, 50, seed=2)
+            drive = inst.travel[0, 1:]
+            # The window must open no earlier than the direct drive and
+            # close early enough to return before the horizon.
+            assert np.all(inst.ready_time[1:] >= drive - 1e-9)
+            assert np.all(
+                inst.due_date[1:] + inst.service_time[1:] + drive
+                <= inst.horizon + 1e-9
+            )
+
+    def test_fleet_rule_matches_paper(self):
+        # "25 for the 100 city problems up to 100 for the 400 city
+        # problems" -> R = N / 4.
+        inst = generate_instance("R1", 100, seed=1)
+        assert inst.n_vehicles == 25
+        inst = generate_instance("R1", 400, seed=1)
+        assert inst.n_vehicles == 100
+
+    def test_naming_scheme(self):
+        assert generate_instance("C1", 400, seed=1, replicate=3).name == "C1_4_3"
+        assert generate_instance("R2", 100, seed=1).name == "R2_1_1"
+
+    def test_service_time_by_geometry(self):
+        c = generate_instance("C1", 20, seed=1)
+        r = generate_instance("R1", 20, seed=1)
+        assert c.service_time[1] == 90.0
+        assert r.service_time[1] == 10.0
+
+    def test_tw_density(self):
+        cfg = GeneratorConfig(tw_density=0.5)
+        inst = generate_instance("R1", 200, seed=8, config=cfg)
+        widths = inst.due_date[1:] - inst.ready_time[1:]
+        # About half the customers should have (much) wider windows.
+        wide = (widths > 2 * 2 * 20.0).sum()  # > twice the max small width
+        assert 50 <= wide <= 150
+
+    def test_invalid_density(self):
+        with pytest.raises(InstanceError, match="tw_density"):
+            generate_instance("R1", 10, seed=1, config=GeneratorConfig(tw_density=1.5))
+
+    def test_invalid_size(self):
+        with pytest.raises(InstanceError, match="n_customers"):
+            generate_instance("R1", 0, seed=1)
+
+    def test_config_overrides(self):
+        cfg = GeneratorConfig().with_overrides(demand_max=5)
+        inst = generate_instance("R1", 50, seed=1, config=cfg)
+        assert inst.demand[1:].max() <= 5
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=120),
+        seed=st.integers(min_value=0, max_value=2**31),
+        icls=st.sampled_from(ALL_CLASSES),
+    )
+    def test_property_always_valid(self, n, seed, icls):
+        """Any (class, size, seed) yields a valid, feasible-fleet instance."""
+        inst = generate_instance(icls, n, seed=seed)
+        assert inst.n_customers == n
+        assert inst.demand[1:].max() <= inst.capacity
+        assert np.all(inst.due_date >= inst.ready_time)
+        assert inst.n_vehicles * inst.capacity >= inst.total_demand
+
+
+class TestCatalog:
+    def test_groups_cover_all_tables(self):
+        assert set(TABLE_GROUPS) == {"table1", "table2", "table3", "table4"}
+
+    def test_table_mix(self):
+        specs = instances_for_table("table1", scale=0.1)
+        classes = {s.instance_class for s in specs}
+        assert classes == {InstanceClass.C1, InstanceClass.R1}
+        assert all(s.n_customers == 40 for s in specs)
+
+    def test_table4_is_600_city_c2r2(self):
+        specs = instances_for_table("table4", scale=1.0)
+        assert {s.instance_class for s in specs} == {
+            InstanceClass.C2,
+            InstanceClass.R2,
+        }
+        assert all(s.n_customers == 600 for s in specs)
+
+    def test_replicates(self):
+        specs = instances_for_table("table2", scale=0.1, replicates=3)
+        assert len(specs) == 2 * 3
+        assert len({s.seed for s in specs}) == 6
+
+    def test_unknown_table(self):
+        with pytest.raises(BenchmarkError, match="unknown table"):
+            instances_for_table("table9")
+
+    def test_bad_scale(self):
+        with pytest.raises(BenchmarkError, match="scale"):
+            instances_for_table("table1", scale=0)
+
+    def test_specs_build(self):
+        specs = instances_for_table("table1", scale=0.05)
+        instances = make_instances(specs)
+        assert [i.n_customers for i in instances] == [20, 20]
+        # Stable: rebuilding gives identical coordinates.
+        again = make_instances(specs)
+        assert np.array_equal(instances[0].x, again[0].x)
+
+    def test_minimum_size_floor(self):
+        specs = instances_for_table("table1", scale=0.001)
+        assert all(s.n_customers >= 8 for s in specs)

@@ -1,0 +1,218 @@
+"""Tests for the VRPTW instance substrate: customers, distances, Instance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InstanceError
+from repro.vrptw.customer import Customer, Depot
+from repro.vrptw.distance import euclidean_matrix, pairwise_distances
+from repro.vrptw.instance import Instance
+
+
+def make_instance(**overrides):
+    """A hand-written 3-customer instance with easy-to-check numbers."""
+    kwargs = dict(
+        name="hand",
+        x=[0.0, 3.0, 0.0, -4.0],
+        y=[0.0, 4.0, 5.0, 0.0],
+        demand=[0.0, 10.0, 20.0, 30.0],
+        ready_time=[0.0, 0.0, 10.0, 0.0],
+        due_date=[1000.0, 100.0, 200.0, 300.0],
+        service_time=[0.0, 5.0, 5.0, 5.0],
+        capacity=50.0,
+        n_vehicles=3,
+    )
+    kwargs.update(overrides)
+    return Instance(**kwargs)
+
+
+class TestCustomerRecords:
+    def test_valid_customer(self):
+        c = Customer(1, 1.0, 2.0, 5.0, 0.0, 10.0, 1.0)
+        assert c.window_width == 10.0
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError, match="inverted"):
+            Customer(1, 0, 0, 1, 10.0, 5.0, 0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError, match="demand"):
+            Customer(1, 0, 0, -1, 0, 10, 0)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError, match="service"):
+            Customer(1, 0, 0, 1, 0, 10, -2)
+
+    def test_depot_index_zero_reserved(self):
+        with pytest.raises(ValueError, match="index"):
+            Customer(0, 0, 0, 1, 0, 10, 0)
+        assert Depot(0, 0, 100).index == 0
+
+    def test_depot_needs_positive_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            Depot(0, 0, 0)
+
+
+class TestDistanceMatrix:
+    def test_euclidean_values(self):
+        t = euclidean_matrix(np.array([0.0, 3.0]), np.array([0.0, 4.0]))
+        assert t[0, 1] == pytest.approx(5.0)
+        assert t[1, 0] == pytest.approx(5.0)
+
+    def test_zero_diagonal(self):
+        rng = np.random.default_rng(0)
+        t = euclidean_matrix(rng.random(10), rng.random(10))
+        assert np.allclose(np.diag(t), 0.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        t = euclidean_matrix(rng.random(12), rng.random(12))
+        assert np.allclose(t, t.T)
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(2)
+        t = euclidean_matrix(rng.random(8) * 10, rng.random(8) * 10)
+        n = t.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert t[i, j] <= t[i, k] + t[k, j] + 1e-9
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            euclidean_matrix(np.zeros(3), np.zeros(4))
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            euclidean_matrix(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_pairwise_gather(self):
+        t = euclidean_matrix(np.array([0.0, 3.0, 3.0]), np.array([0.0, 0.0, 4.0]))
+        legs = pairwise_distances(t, np.array([0, 1, 2, 0]))
+        assert legs == pytest.approx([3.0, 4.0, 5.0])
+
+    def test_pairwise_short_sequence(self):
+        t = euclidean_matrix(np.zeros(2), np.zeros(2))
+        assert pairwise_distances(t, np.array([0])).size == 0
+
+
+class TestInstanceValidation:
+    def test_valid_instance_builds(self):
+        inst = make_instance()
+        assert inst.n_customers == 3
+        assert inst.n_sites == 4
+        assert inst.permutation_length == 3 + 3 + 1
+
+    def test_travel_matrix_built(self):
+        inst = make_instance()
+        assert inst.distance(0, 1) == pytest.approx(5.0)
+        assert inst.distance(0, 2) == pytest.approx(5.0)
+        assert inst.distance(0, 3) == pytest.approx(4.0)
+
+    def test_arrays_readonly(self):
+        inst = make_instance()
+        with pytest.raises(ValueError):
+            inst.demand[1] = 99
+        with pytest.raises(ValueError):
+            inst.travel[0, 1] = 0
+
+    def test_depot_demand_must_be_zero(self):
+        with pytest.raises(InstanceError, match="depot demand"):
+            make_instance(demand=[1.0, 10.0, 20.0, 30.0])
+
+    def test_depot_service_must_be_zero(self):
+        with pytest.raises(InstanceError, match="depot service"):
+            make_instance(service_time=[1.0, 5.0, 5.0, 5.0])
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(InstanceError, match="non-negative"):
+            make_instance(demand=[0.0, -1.0, 20.0, 30.0])
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(InstanceError, match="inverted"):
+            make_instance(ready_time=[0.0, 200.0, 10.0, 0.0])
+
+    def test_oversized_demand_rejected(self):
+        with pytest.raises(InstanceError, match="exceeds capacity"):
+            make_instance(demand=[0.0, 60.0, 20.0, 30.0])
+
+    def test_fleet_must_be_positive(self):
+        with pytest.raises(InstanceError, match="fleet"):
+            make_instance(n_vehicles=0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InstanceError, match="capacity"):
+            make_instance(capacity=0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InstanceError, match="length"):
+            make_instance(x=[0.0, 1.0, 2.0])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(InstanceError, match="non-finite"):
+            make_instance(x=[0.0, np.nan, 2.0, 3.0])
+
+    def test_needs_a_customer(self):
+        with pytest.raises(InstanceError, match="depot and at least one"):
+            Instance(
+                name="empty",
+                x=[0.0],
+                y=[0.0],
+                demand=[0.0],
+                ready_time=[0.0],
+                due_date=[10.0],
+                service_time=[0.0],
+                capacity=10,
+                n_vehicles=1,
+            )
+
+
+class TestInstanceViews:
+    def test_customer_record(self):
+        inst = make_instance()
+        c2 = inst.customer(2)
+        assert c2.index == 2
+        assert c2.demand == 20.0
+        assert c2.ready_time == 10.0
+
+    def test_customer_out_of_range(self):
+        inst = make_instance()
+        with pytest.raises(InstanceError):
+            inst.customer(0)
+        with pytest.raises(InstanceError):
+            inst.customer(4)
+
+    def test_customers_iterator(self):
+        inst = make_instance()
+        assert [c.index for c in inst.customers()] == [1, 2, 3]
+
+    def test_depot_view(self):
+        inst = make_instance()
+        assert inst.depot.horizon == 1000.0
+
+    def test_min_vehicles_bound(self):
+        inst = make_instance()
+        assert inst.min_vehicles_by_capacity == 2  # 60 demand / 50 capacity
+
+    def test_fast_list_views_match_arrays(self):
+        inst = make_instance()
+        assert inst._ready_l == list(inst.ready_time)
+        assert inst._due_l == list(inst.due_date)
+        assert inst._travel_rows[0][1] == pytest.approx(inst.travel[0, 1])
+
+    def test_from_customers_roundtrip(self):
+        depot = Depot(0, 0, 500)
+        customers = [
+            Customer(2, 1, 1, 5, 0, 50, 2),
+            Customer(1, 2, 2, 7, 10, 60, 3),
+        ]
+        inst = Instance.from_customers("rt", depot, customers, capacity=20, n_vehicles=2)
+        assert inst.customer(1).demand == 7
+        assert inst.customer(2).demand == 5
+
+    def test_from_customers_bad_indices(self):
+        depot = Depot(0, 0, 500)
+        with pytest.raises(InstanceError, match="indices"):
+            Instance.from_customers(
+                "bad", depot, [Customer(3, 1, 1, 5, 0, 50, 2)], capacity=20, n_vehicles=1
+            )

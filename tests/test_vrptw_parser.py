@@ -1,0 +1,120 @@
+"""Tests for the Solomon/Homberger file format reader and writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.vrptw.generator import generate_instance
+from repro.vrptw.parser import dumps_solomon, loads_solomon, read_solomon, write_solomon
+
+SAMPLE = """\
+R101
+
+VEHICLE
+NUMBER     CAPACITY
+  25         200
+
+CUSTOMER
+CUST NO.  XCOORD.   YCOORD.    DEMAND   READY TIME  DUE DATE   SERVICE   TIME
+    0      35         35          0          0       230          0
+    1      41         49         10        161       171         10
+    2      35         17          7         50        60         10
+"""
+
+
+class TestLoads:
+    def test_basic_fields(self):
+        inst = loads_solomon(SAMPLE)
+        assert inst.name == "R101"
+        assert inst.n_vehicles == 25
+        assert inst.capacity == 200.0
+        assert inst.n_customers == 2
+
+    def test_customer_values(self):
+        inst = loads_solomon(SAMPLE)
+        c1 = inst.customer(1)
+        assert (c1.x, c1.y) == (41.0, 49.0)
+        assert c1.demand == 10.0
+        assert (c1.ready_time, c1.due_date) == (161.0, 171.0)
+        assert c1.service_time == 10.0
+
+    def test_depot_row(self):
+        inst = loads_solomon(SAMPLE)
+        assert inst.horizon == 230.0
+        assert inst.demand[0] == 0.0
+
+    def test_tolerates_blank_lines_and_case(self):
+        text = SAMPLE.replace("VEHICLE", "\n\nvehicle").replace("CUSTOMER", "customer\n")
+        inst = loads_solomon(text)
+        assert inst.n_customers == 2
+
+    def test_empty_file(self):
+        with pytest.raises(ParseError, match="empty"):
+            loads_solomon("")
+
+    def test_missing_vehicle_section(self):
+        with pytest.raises(ParseError, match="VEHICLE"):
+            loads_solomon("name\n\nCUSTOMER\n")
+
+    def test_bad_vehicle_line(self):
+        bad = SAMPLE.replace("  25         200", "  25")
+        with pytest.raises(ParseError, match="two vehicle fields"):
+            loads_solomon(bad)
+
+    def test_bad_field_count(self):
+        bad = SAMPLE + "    3      35\n"
+        with pytest.raises(ParseError, match="7 fields"):
+            loads_solomon(bad)
+
+    def test_non_numeric_row(self):
+        bad = SAMPLE.replace(
+            "    2      35         17          7         50        60         10",
+            "    2      35         xx          7         50        60         10",
+        )
+        with pytest.raises(ParseError, match="non-numeric"):
+            loads_solomon(bad)
+
+    def test_non_consecutive_customers(self):
+        bad = SAMPLE.replace("\n    2  ", "\n    5  ")
+        with pytest.raises(ParseError, match="consecutive"):
+            loads_solomon(bad)
+
+    def test_no_customers(self):
+        header_only = SAMPLE.split("    0")[0]
+        with pytest.raises(ParseError, match="no customer rows"):
+            loads_solomon(header_only)
+
+    def test_parse_error_carries_line_number(self):
+        bad = SAMPLE + "    3      35\n"
+        with pytest.raises(ParseError) as err:
+            loads_solomon(bad)
+        assert err.value.line is not None
+
+
+class TestRoundTrip:
+    def test_generated_instance_roundtrip(self):
+        inst = generate_instance("C1", 25, seed=9)
+        text = dumps_solomon(inst)
+        loaded = loads_solomon(text)
+        assert loaded.name == inst.name
+        assert loaded.n_customers == inst.n_customers
+        assert loaded.n_vehicles == inst.n_vehicles
+        assert loaded.capacity == inst.capacity
+        # Values survive at the writer's printed precision.
+        assert np.allclose(loaded.x, inst.x, atol=0.01)
+        assert np.allclose(loaded.due_date, inst.due_date, atol=0.01)
+
+    def test_file_io(self, tmp_path):
+        inst = generate_instance("R2", 10, seed=1)
+        path = tmp_path / "r2.txt"
+        write_solomon(inst, path)
+        assert read_solomon(path).n_customers == 10
+
+    def test_stream_io(self):
+        inst = generate_instance("R2", 10, seed=1)
+        buf = io.StringIO()
+        write_solomon(inst, buf)
+        buf.seek(0)
+        assert read_solomon(buf).n_customers == 10
