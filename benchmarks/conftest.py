@@ -34,3 +34,63 @@ def emit(output_dir: Path, name: str, text: str) -> None:
     """Print an artifact and persist it under benchmarks/output/."""
     print(f"\n{text}")
     (output_dir / f"{name}.txt").write_text(text, encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Hot-path timing ledger (BENCH_micro.json)
+# ----------------------------------------------------------------------
+
+REPO_ROOT = Path(__file__).parent.parent
+MICRO_JSON = REPO_ROOT / "BENCH_micro.json"
+
+#: keys of the existing file carried over verbatim on rewrite, so
+#: hand-recorded context (e.g. the measured speedup over the previous
+#: baseline) survives regeneration.
+_PRESERVED_KEYS = ("baseline", "notes")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_micro.json`` at the repo root after a timed run.
+
+    Triggers only when ``bench_micro.py`` benchmarks actually ran with
+    timing enabled (skipped under ``--benchmark-disable``), giving
+    future PRs a committed ledger of hot-path timings to diff against.
+    """
+    import json
+    import platform
+
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or getattr(bench_session, "disabled", True):
+        return
+    micro = [
+        bench
+        for bench in bench_session.benchmarks
+        if "bench_micro.py" in bench.fullname and bench.stats.rounds
+    ]
+    if not micro:
+        return
+    payload = {}
+    if MICRO_JSON.exists():
+        try:
+            previous = json.loads(MICRO_JSON.read_text(encoding="utf-8"))
+            payload.update(
+                {k: previous[k] for k in _PRESERVED_KEYS if k in previous}
+            )
+        except (ValueError, OSError):  # pragma: no cover - corrupt ledger
+            pass
+    payload["units"] = "seconds"
+    payload["environment"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    payload["benchmarks"] = {
+        bench.name: {
+            "min": bench.stats.min,
+            "median": bench.stats.median,
+            "mean": bench.stats.mean,
+            "stddev": bench.stats.stddev,
+            "rounds": bench.stats.rounds,
+        }
+        for bench in sorted(micro, key=lambda b: b.name)
+    }
+    MICRO_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -19,7 +19,7 @@ distance/tardiness plane.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -46,6 +46,10 @@ class Fig1Data:
     carryover_neighbors: int
     instance_name: str
     iterations: int
+    #: cumulative route-stats cache counters per iteration:
+    #: ``[iteration, hits, misses, evictions]`` (delta-evaluation
+    #: observability; empty when the run recorded no cache data).
+    cache_timeline: np.ndarray = field(default_factory=lambda: np.zeros((0, 4)))
 
     @property
     def max_iteration(self) -> int:
@@ -53,6 +57,15 @@ class Fig1Data:
         if self.selections.shape[0] == 0:
             return 0
         return int(self.selections[:, 1].max())
+
+    @property
+    def final_hit_rate(self) -> float:
+        """Route-stats cache hit rate at the end of the run."""
+        if self.cache_timeline.shape[0] == 0:
+            return 0.0
+        _, hits, misses, _ = self.cache_timeline[-1]
+        total = hits + misses
+        return float(hits / total) if total else 0.0
 
 
 def fig1_trajectory(
@@ -81,6 +94,7 @@ def fig1_trajectory(
         carryover_neighbors=int(result.extra.get("carryover_neighbors", 0)),
         instance_name=instance.name,
         iterations=result.iterations,
+        cache_timeline=trace.cache_array(),
     )
 
 
@@ -117,7 +131,8 @@ def render_ascii(data: Fig1Data, width: int = 72, height: int = 24) -> str:
     header = (
         f"Figure 1 analogue - async trajectory on {data.instance_name} "
         f"({data.iterations} iterations, {data.carryover_selections} carryover "
-        f"selections, {data.carryover_neighbors} carryover neighbors)"
+        f"selections, {data.carryover_neighbors} carryover neighbors, "
+        f"{data.final_hit_rate:.0%} stats-cache hits)"
     )
     axis = (
         f"x: total distance [{x_lo:.0f}, {x_hi:.0f}]   "

@@ -4,8 +4,19 @@ The paper's stopping criterion is a fixed budget of solution
 *evaluations* (100,000 in Tables I–IV), shared between master and
 workers in the parallel variants.  :class:`Evaluator` is the single
 place where that budget is counted: every neighbor that gets its
-objectives computed passes through :meth:`Evaluator.evaluate`, whether
-it runs on the (simulated) master or a worker.
+objectives computed passes through :meth:`Evaluator.evaluate` or
+:meth:`Evaluator.evaluate_move`, whether it runs on the (simulated)
+master or a worker.
+
+:meth:`Evaluator.evaluate_move` is the delta-evaluation fast path: it
+scores a sampled move from its :meth:`~repro.core.operators.base.Move.
+route_edits` alone — parent statistics for untouched routes, the
+shared :class:`~repro.core.stats_cache.RouteStatsCache` for edited
+ones — without materializing the child :class:`Solution`.  Because the
+per-route statistics are a pure function of the route tuple and the
+summation order matches ``Solution.objectives`` exactly (parent route
+order, then added routes), the result is bit-identical to
+``move.apply(parent).objectives``.
 
 The module also provides :func:`evaluate`, a standalone function that
 recomputes the objective triple of a permutation directly — used by
@@ -20,8 +31,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.objectives import ObjectiveVector
+from repro.core.operators.base import Move
 from repro.core.routes import route_stats
 from repro.core.solution import Solution
+from repro.core.stats_cache import RouteStatsCache
 from repro.errors import SearchError
 from repro.vrptw.instance import Instance
 
@@ -97,16 +110,43 @@ class Evaluator:
     max_evaluations:
         The evaluation budget (``MaximumEvaluations`` in Algorithm 1).
         ``None`` means unlimited.
+    stats_cache:
+        The route-statistics memo backing :meth:`evaluate_move`.  Pass
+        one explicitly to share it between evaluators (the
+        collaborative driver shares a single cache across all
+        searchers); by default each evaluator owns a fresh cache.
     """
 
-    __slots__ = ("instance", "max_evaluations", "count")
+    __slots__ = (
+        "instance",
+        "max_evaluations",
+        "count",
+        "stats_cache",
+        "_memo_parent",
+        "_memo_pd",
+        "_memo_pt",
+    )
 
-    def __init__(self, instance: Instance, max_evaluations: int | None = None) -> None:
+    def __init__(
+        self,
+        instance: Instance,
+        max_evaluations: int | None = None,
+        stats_cache: RouteStatsCache | None = None,
+    ) -> None:
         if max_evaluations is not None and max_evaluations < 1:
             raise SearchError(f"max_evaluations must be >= 1, got {max_evaluations}")
         self.instance = instance
         self.max_evaluations = max_evaluations
         self.count = 0
+        self.stats_cache = (
+            stats_cache if stats_cache is not None else RouteStatsCache(instance)
+        )
+        # Per-parent memo of objective prefix sums (see evaluate_move).
+        # The strong reference also pins the parent, so the identity
+        # check can never alias a recycled object id.
+        self._memo_parent: Solution | None = None
+        self._memo_pd: list[float] = []
+        self._memo_pt: list[float] = []
 
     @property
     def exhausted(self) -> bool:
@@ -129,6 +169,68 @@ class Evaluator:
         """
         self.count += 1
         return solution.objectives
+
+    def evaluate_move(self, parent: Solution, move: Move) -> ObjectiveVector:
+        """Score ``move`` against ``parent`` without building the child.
+
+        Charges one unit of budget, exactly like :meth:`evaluate`.  The
+        returned vector is bit-identical to
+        ``move.apply(parent).objectives``: untouched routes contribute
+        the parent's cached statistics, edited/added routes are served
+        from :attr:`stats_cache` (scanned on miss), and the summation
+        runs in the child's route order.
+        """
+        self.count += 1
+        replacements, added = move.route_edits(parent)
+        stats = parent._stats
+        if parent is not self._memo_parent:
+            if parent._objectives is None:
+                parent.objectives  # noqa: B018 - warms every per-route stat
+            # Left-fold prefix sums of the parent's objectives: pd[k] is
+            # the running distance before route k, i.e. exactly the
+            # partial the summation loop below would hold — so for a
+            # move whose first edited route is k the loop can resume
+            # there with bit-identical float association.  The parent is
+            # stable across a whole neighborhood, so this amortizes to
+            # ~one fold per iteration.
+            d = 0.0
+            t = 0.0
+            pd = [0.0]
+            pt = [0.0]
+            for st in stats:
+                d += st.distance
+                t += st.tardiness
+                pd.append(d)
+                pt.append(t)
+            self._memo_pd = pd
+            self._memo_pt = pt
+            self._memo_parent = parent
+        first = min(replacements) if replacements else len(stats)
+        distance = self._memo_pd[first]
+        tardiness = self._memo_pt[first]
+        vehicles = first
+        lookup = self.stats_cache.lookup
+        replaced = replacements.get
+        for i in range(first, len(stats)):
+            new_route = replaced(i)
+            if new_route is not None:
+                if not new_route:
+                    continue  # route deleted — vehicle returns to the pool
+                st = lookup(new_route)
+            else:
+                st = stats[i]
+            distance += st.distance
+            tardiness += st.tardiness
+            vehicles += 1
+        for route in added:
+            if route:
+                st = lookup(route)
+                distance += st.distance
+                tardiness += st.tardiness
+                vehicles += 1
+        return ObjectiveVector(
+            distance=distance, vehicles=vehicles, tardiness=tardiness
+        )
 
     def reset(self) -> None:
         """Zero the counter (new experiment, same instance)."""

@@ -3,8 +3,15 @@
 A :class:`Move` is a small immutable record describing one neighborhood
 transformation of a specific parent solution.  It can
 
+* report its :meth:`~Move.route_edits` — the 1-2 parent routes it
+  rewrites plus any routes it opens.  This is the delta-evaluation
+  primitive: :meth:`repro.core.evaluation.Evaluator.evaluate_move`
+  scores a neighbor from the edits alone (parent stats for untouched
+  routes, cached/recomputed stats for the edited ones) without building
+  the child :class:`~repro.core.solution.Solution`;
 * :meth:`~Move.apply` itself, producing the neighbor solution with
-  incremental route-statistics reuse, and
+  incremental route-statistics reuse (implemented once on the base
+  class as ``solution.derive(*route_edits)``), and
 * report its tabu :meth:`~Move.attribute` — the hashable key stored in
   the tabu list when the move is made and checked when a candidate is
   screened.  We use ``(operator name, frozenset of moved customers)``:
@@ -29,7 +36,12 @@ import numpy as np
 
 from repro.core.solution import Solution
 
-__all__ = ["Move", "Operator"]
+__all__ = ["Move", "Operator", "RouteEdits"]
+
+
+#: Route edits of a move against its parent: replaced routes (index ->
+#: new tuple, empty tuple = route deleted) and newly opened routes.
+RouteEdits = tuple[dict[int, tuple[int, ...]], tuple[tuple[int, ...], ...]]
 
 
 class Move(abc.ABC):
@@ -41,12 +53,29 @@ class Move(abc.ABC):
     name: str = "move"
 
     @abc.abstractmethod
-    def apply(self, solution: Solution) -> Solution:
-        """Produce the neighbor solution.
+    def route_edits(self, solution: Solution) -> RouteEdits:
+        """The parent routes this move rewrites and the routes it opens.
 
         ``solution`` must be the parent the move was proposed for; route
-        indices and positions inside the move refer to it.
+        indices and positions inside the move refer to it (a mismatch
+        raises :class:`~repro.errors.OperatorError` — the move went
+        stale).  Returns ``(replacements, added)`` in the exact shape
+        :meth:`repro.core.solution.Solution.derive` consumes.
         """
+
+    def changed_routes(self, solution: Solution) -> tuple[int, ...]:
+        """Indices of the parent routes this move touches."""
+        replacements, _ = self.route_edits(solution)
+        return tuple(replacements)
+
+    def apply(self, solution: Solution) -> Solution:
+        """Produce the neighbor solution via :meth:`Solution.derive`.
+
+        Untouched routes carry their cached statistics into the child;
+        only the edited routes are re-scanned on first evaluation.
+        """
+        replacements, added = self.route_edits(solution)
+        return solution.derive(replacements, added=added)
 
     @property
     @abc.abstractmethod

@@ -12,8 +12,7 @@ from typing import Hashable
 
 import numpy as np
 
-from repro.core.operators.base import Move, Operator
-from repro.core.operators.feasibility import insertion_admissible
+from repro.core.operators.base import Move, Operator, RouteEdits
 from repro.core.solution import Solution
 from repro.errors import OperatorError
 
@@ -33,14 +32,14 @@ class ExchangeMove(Move):
 
     name = "exchange"
 
-    def apply(self, solution: Solution) -> Solution:
+    def route_edits(self, solution: Solution) -> RouteEdits:
         ra = solution.routes[self.route_a]
         rb = solution.routes[self.route_b]
         if ra[self.pos_a] != self.customer_a or rb[self.pos_b] != self.customer_b:
             raise OperatorError("stale exchange move: customers moved since proposal")
         new_a = ra[: self.pos_a] + (self.customer_b,) + ra[self.pos_a + 1 :]
         new_b = rb[: self.pos_b] + (self.customer_a,) + rb[self.pos_b + 1 :]
-        return solution.derive({self.route_a: new_a, self.route_b: new_b})
+        return {self.route_a: new_a, self.route_b: new_b}, ()
 
     @property
     def attribute(self) -> Hashable:
@@ -60,27 +59,39 @@ class Exchange(Operator):
             return None
         capacity = instance.capacity
         demand = instance._demand_l
+        depart = instance._depart_l
+        due = instance._due_l
+        travel = instance._travel_rows
+        routes = solution.routes
+        locate = solution.location_table().__getitem__
+        loads = solution.route_loads()
+        integers = rng.integers
+        customer_hi = instance.n_customers + 1
         for _ in range(self.max_attempts):
-            a = int(rng.integers(1, instance.n_customers + 1))
-            b = int(rng.integers(1, instance.n_customers + 1))
-            route_a, pos_a = solution.locate(a)
-            route_b, pos_b = solution.locate(b)
+            a = integers(1, customer_hi)
+            b = integers(1, customer_hi)
+            route_a, pos_a = locate(a)
+            route_b, pos_b = locate(b)
             if route_a == route_b:
                 continue
-            ra = solution.routes[route_a]
-            rb = solution.routes[route_b]
+            ra = routes[route_a]
+            rb = routes[route_b]
             delta = demand[a] - demand[b]
-            if solution.route_stats(route_b).load + delta > capacity:
+            if loads[route_b] + delta > capacity:
                 continue
-            if solution.route_stats(route_a).load - delta > capacity:
+            if loads[route_a] - delta > capacity:
                 continue
-            # b must fit between a's neighbors, a between b's neighbors.
+            # b must fit between a's neighbors, a between b's neighbors
+            # (insertion_admissible() inlined — see feasibility.py).
             ia = ra[pos_a - 1] if pos_a > 0 else 0
             ja = ra[pos_a + 1] if pos_a + 1 < len(ra) else 0
             ib = rb[pos_b - 1] if pos_b > 0 else 0
             jb = rb[pos_b + 1] if pos_b + 1 < len(rb) else 0
-            if insertion_admissible(instance, ia, b, ja) and insertion_admissible(
-                instance, ib, a, jb
+            if (
+                depart[ia] + travel[ia][b] <= due[b]
+                and depart[b] + travel[b][ja] <= due[ja]
+                and depart[ib] + travel[ib][a] <= due[a]
+                and depart[a] + travel[a][jb] <= due[jb]
             ):
                 return ExchangeMove(
                     customer_a=a,

@@ -13,8 +13,7 @@ from typing import Hashable
 
 import numpy as np
 
-from repro.core.operators.base import Move, Operator
-from repro.core.operators.feasibility import segment_insertion_admissible
+from repro.core.operators.base import Move, Operator, RouteEdits
 from repro.core.solution import Solution
 from repro.errors import OperatorError
 
@@ -38,7 +37,7 @@ class OrOptMove(Move):
 
     name = "oropt"
 
-    def apply(self, solution: Solution) -> Solution:
+    def route_edits(self, solution: Solution) -> RouteEdits:
         route = solution.routes[self.route_index]
         end = self.start + SEGMENT_LENGTH
         if route[self.start : end] != self.segment:
@@ -47,7 +46,7 @@ class OrOptMove(Move):
         new_route = (
             remainder[: self.insert_at] + self.segment + remainder[self.insert_at :]
         )
-        return solution.derive({self.route_index: new_route})
+        return {self.route_index: new_route}, ()
 
     @property
     def attribute(self) -> Hashable:
@@ -59,32 +58,64 @@ class OrOpt(Operator):
 
     name = "oropt"
 
+    #: per-solution memo of eligible route indices (the sampler proposes
+    #: dozens of moves against the same current solution).
+    _memo_solution: Solution | None = None
+    _memo_eligible: list[int] = []
+
     def propose(self, solution: Solution, rng: np.random.Generator) -> OrOptMove | None:
         instance = solution.instance
+        routes = solution.routes
         # Need at least 3 customers on the route: a pair plus at least
         # one alternative insertion point.
-        eligible = [
-            i for i, r in enumerate(solution.routes) if len(r) >= SEGMENT_LENGTH + 1
-        ]
+        if self._memo_solution is not solution:
+            self._memo_solution = solution
+            self._memo_eligible = [
+                i for i, r in enumerate(routes) if len(r) >= SEGMENT_LENGTH + 1
+            ]
+        eligible = self._memo_eligible
         if not eligible:
             return None
+        depart = instance._depart_l
+        due = instance._due_l
+        travel = instance._travel_rows
+        n_eligible = len(eligible)
+        integers = rng.integers
         for _ in range(self.max_attempts):
-            route_index = eligible[int(rng.integers(len(eligible)))]
-            route = solution.routes[route_index]
+            route_index = eligible[integers(n_eligible)]
+            route = routes[route_index]
             n = len(route)
-            start = int(rng.integers(0, n - SEGMENT_LENGTH + 1))
-            segment = route[start : start + SEGMENT_LENGTH]
-            remainder = route[:start] + route[start + SEGMENT_LENGTH :]
-            insert_at = int(rng.integers(0, len(remainder) + 1))
+            start = integers(0, n - SEGMENT_LENGTH + 1)
+            n_remainder = n - SEGMENT_LENGTH
+            insert_at = integers(0, n_remainder + 1)
             if insert_at == start:
                 continue  # reproduces the parent route
-            i = remainder[insert_at - 1] if insert_at > 0 else 0
-            j = remainder[insert_at] if insert_at < len(remainder) else 0
-            if segment_insertion_admissible(instance, i, segment, j):
+            # Neighbors in the remainder (the route with the segment
+            # removed), read off the original route without building the
+            # remainder tuple per attempt.
+            if insert_at > 0:
+                k = insert_at - 1
+                i = route[k] if k < start else route[k + SEGMENT_LENGTH]
+            else:
+                i = 0
+            if insert_at < n_remainder:
+                j = route[insert_at] if insert_at < start else route[
+                    insert_at + SEGMENT_LENGTH
+                ]
+            else:
+                j = 0
+            # segment_insertion_admissible() inlined (entering and
+            # leaving edges only — see feasibility.py).
+            s0 = route[start]
+            s1 = route[start + SEGMENT_LENGTH - 1]
+            if (
+                depart[i] + travel[i][s0] <= due[s0]
+                and depart[s1] + travel[s1][j] <= due[j]
+            ):
                 return OrOptMove(
                     route_index=route_index,
                     start=start,
                     insert_at=insert_at,
-                    segment=segment,
+                    segment=route[start : start + SEGMENT_LENGTH],
                 )
         return None

@@ -69,6 +69,7 @@ class OperatorRegistry:
         # integer fast path and the weighted case scans a plain Python
         # list instead of calling numpy on 5 elements.
         self._uniform = bool(np.allclose(w, w[0]))
+        self._n_operators = len(self.operators)
         if max_draws_per_move < 1:
             raise OperatorError("max_draws_per_move must be >= 1")
         self.max_draws_per_move = max_draws_per_move
@@ -76,7 +77,7 @@ class OperatorRegistry:
     def draw_operator(self, rng: np.random.Generator) -> Operator:
         """Spin the wheel once."""
         if self._uniform:
-            return self.operators[int(rng.integers(len(self.operators)))]
+            return self.operators[int(rng.integers(self._n_operators))]
         u = rng.random()
         for index, threshold in enumerate(self._cumulative):
             if u < threshold:
@@ -90,6 +91,17 @@ class OperatorRegistry:
         operator draws all failed — the caller (the neighborhood
         sampler) then stops early with a short neighborhood.
         """
+        if self._uniform:
+            # Hot path: one wheel spin per candidate move; skip the
+            # draw_operator call and the int() coercion.
+            operators = self.operators
+            n = self._n_operators
+            integers = rng.integers
+            for _ in range(self.max_draws_per_move):
+                move = operators[integers(n)].propose(solution, rng)
+                if move is not None:
+                    return move
+            return None
         for _ in range(self.max_draws_per_move):
             move = self.draw_operator(rng).propose(solution, rng)
             if move is not None:

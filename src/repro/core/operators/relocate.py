@@ -14,8 +14,7 @@ from typing import Hashable
 
 import numpy as np
 
-from repro.core.operators.base import Move, Operator
-from repro.core.operators.feasibility import insertion_admissible
+from repro.core.operators.base import Move, Operator, RouteEdits
 from repro.core.solution import Solution
 from repro.errors import OperatorError
 
@@ -40,7 +39,7 @@ class RelocateMove(Move):
 
     name = "relocate"
 
-    def apply(self, solution: Solution) -> Solution:
+    def route_edits(self, solution: Solution) -> RouteEdits:
         src = solution.routes[self.src_route]
         if src[self.src_pos] != self.customer:
             raise OperatorError(
@@ -49,12 +48,10 @@ class RelocateMove(Move):
             )
         new_src = src[: self.src_pos] + src[self.src_pos + 1 :]
         if self.dst_route == NEW_ROUTE:
-            return solution.derive(
-                {self.src_route: new_src}, added=[(self.customer,)]
-            )
+            return {self.src_route: new_src}, ((self.customer,),)
         dst = solution.routes[self.dst_route]
         new_dst = dst[: self.dst_pos] + (self.customer,) + dst[self.dst_pos :]
-        return solution.derive({self.src_route: new_src, self.dst_route: new_dst})
+        return {self.src_route: new_src, self.dst_route: new_dst}, ()
 
     @property
     def attribute(self) -> Hashable:
@@ -83,20 +80,31 @@ class Relocate(Operator):
             return None
         capacity = instance.capacity
         demand = instance._demand_l
+        depart = instance._depart_l
+        due = instance._due_l
+        travel = instance._travel_rows
+        routes = solution.routes
+        locate = solution.location_table().__getitem__
+        loads = solution.route_loads()
+        integers = rng.integers
+        customer_hi = instance.n_customers + 1
+        # Destination wheel: every other route, plus possibly "new".
+        # (Never zero here: n_routes >= 2, or == 1 with new_route_ok.)
+        n_options = n_routes - 1 + (1 if new_route_ok else 0)
         for _ in range(self.max_attempts):
-            customer = int(rng.integers(1, instance.n_customers + 1))
-            src_route, src_pos = solution.locate(customer)
-            # Destination wheel: every other route, plus possibly "new".
-            n_options = n_routes - 1 + (1 if new_route_ok else 0)
-            if n_options == 0:
-                return None
-            pick = int(rng.integers(n_options))
+            customer = integers(1, customer_hi)
+            src_route, src_pos = locate(customer)
+            pick = integers(n_options)
             if pick >= n_routes - 1:
                 # A single-customer source route relocated into a new
                 # route is a no-op (same structure, different vehicle).
-                if len(solution.routes[src_route]) == 1:
+                if len(routes[src_route]) == 1:
                     continue
-                if insertion_admissible(instance, 0, customer, 0):
+                # insertion_admissible(instance, 0, customer, 0) inlined.
+                if (
+                    depart[0] + travel[0][customer] <= due[customer]
+                    and depart[customer] + travel[customer][0] <= due[0]
+                ):
                     return RelocateMove(
                         customer=customer,
                         src_route=src_route,
@@ -106,13 +114,18 @@ class Relocate(Operator):
                     )
                 continue
             dst_route = pick if pick < src_route else pick + 1
-            dst = solution.routes[dst_route]
-            if solution.route_stats(dst_route).load + demand[customer] > capacity:
+            dst = routes[dst_route]
+            if loads[dst_route] + demand[customer] > capacity:
                 continue
-            dst_pos = int(rng.integers(len(dst) + 1))
+            dst_pos = integers(len(dst) + 1)
             i = dst[dst_pos - 1] if dst_pos > 0 else 0
             j = dst[dst_pos] if dst_pos < len(dst) else 0
-            if insertion_admissible(instance, i, customer, j):
+            # insertion_admissible(instance, i, customer, j) inlined
+            # (see feasibility.py for the formula).
+            if (
+                depart[i] + travel[i][customer] <= due[customer]
+                and depart[customer] + travel[customer][j] <= due[j]
+            ):
                 return RelocateMove(
                     customer=customer,
                     src_route=src_route,

@@ -21,11 +21,7 @@ from typing import Hashable
 
 import numpy as np
 
-from repro.core.operators.base import Move, Operator
-from repro.core.operators.feasibility import (
-    insertion_admissible,
-    segment_insertion_admissible,
-)
+from repro.core.operators.base import Move, Operator, RouteEdits
 from repro.core.solution import Solution
 from repro.errors import OperatorError
 
@@ -46,7 +42,7 @@ class SegmentExchangeMove(Move):
 
     name = "segx"
 
-    def apply(self, solution: Solution) -> Solution:
+    def route_edits(self, solution: Solution) -> RouteEdits:
         ra = solution.routes[self.route_a]
         rb = solution.routes[self.route_b]
         if (
@@ -56,7 +52,7 @@ class SegmentExchangeMove(Move):
             raise OperatorError("stale segment-exchange move")
         new_a = ra[: self.pos_a] + (self.customer,) + ra[self.pos_a + 2 :]
         new_b = rb[: self.pos_b] + self.segment + rb[self.pos_b + 1 :]
-        return solution.derive({self.route_a: new_a, self.route_b: new_b})
+        return {self.route_a: new_a, self.route_b: new_b}, ()
 
     @property
     def attribute(self) -> Hashable:
@@ -68,41 +64,64 @@ class SegmentExchange(Operator):
 
     name = "segx"
 
+    #: per-solution memo of donor route indices (the sampler proposes
+    #: dozens of moves against the same current solution).
+    _memo_solution: Solution | None = None
+    _memo_donors: list[int] = []
+
     def propose(
         self, solution: Solution, rng: np.random.Generator
     ) -> SegmentExchangeMove | None:
         instance = solution.instance
         if solution.n_routes < 2:
             return None
-        donors = [i for i, r in enumerate(solution.routes) if len(r) >= 2]
+        routes = solution.routes
+        if self._memo_solution is not solution:
+            self._memo_solution = solution
+            self._memo_donors = [i for i, r in enumerate(routes) if len(r) >= 2]
+        donors = self._memo_donors
         if not donors:
             return None
         capacity = instance.capacity
         demand = instance._demand_l
+        depart = instance._depart_l
+        due = instance._due_l
+        travel = instance._travel_rows
+        locate = solution.location_table().__getitem__
+        loads = solution.route_loads()
+        integers = rng.integers
+        n_donors = len(donors)
+        customer_hi = instance.n_customers + 1
         for _ in range(self.max_attempts):
-            route_a = donors[int(rng.integers(len(donors)))]
-            ra = solution.routes[route_a]
-            pos_a = int(rng.integers(0, len(ra) - 1))
+            route_a = donors[integers(n_donors)]
+            ra = routes[route_a]
+            pos_a = integers(0, len(ra) - 1)
             segment = ra[pos_a : pos_a + 2]
-            customer = int(rng.integers(1, instance.n_customers + 1))
-            route_b, pos_b = solution.locate(customer)
+            customer = integers(1, customer_hi)
+            route_b, pos_b = locate(customer)
             if route_b == route_a:
                 continue
-            rb = solution.routes[route_b]
+            rb = routes[route_b]
             seg_demand = demand[segment[0]] + demand[segment[1]]
             delta = seg_demand - demand[customer]
-            if solution.route_stats(route_b).load + delta > capacity:
+            if loads[route_b] + delta > capacity:
                 continue
-            if solution.route_stats(route_a).load - delta > capacity:
+            if loads[route_a] - delta > capacity:
                 continue
             # Adjacencies: customer replaces the segment in A, the
-            # segment replaces the customer in B.
+            # segment replaces the customer in B (insertion_admissible
+            # and segment_insertion_admissible inlined — feasibility.py).
             ia = ra[pos_a - 1] if pos_a > 0 else 0
             ja = ra[pos_a + 2] if pos_a + 2 < len(ra) else 0
             ib = rb[pos_b - 1] if pos_b > 0 else 0
             jb = rb[pos_b + 1] if pos_b + 1 < len(rb) else 0
-            if insertion_admissible(instance, ia, customer, ja) and (
-                segment_insertion_admissible(instance, ib, segment, jb)
+            s0 = segment[0]
+            s1 = segment[1]
+            if (
+                depart[ia] + travel[ia][customer] <= due[customer]
+                and depart[customer] + travel[customer][ja] <= due[ja]
+                and depart[ib] + travel[ib][s0] <= due[s0]
+                and depart[s1] + travel[s1][jb] <= due[jb]
             ):
                 return SegmentExchangeMove(
                     route_a=route_a,

@@ -13,8 +13,7 @@ from typing import Hashable
 
 import numpy as np
 
-from repro.core.operators.base import Move, Operator
-from repro.core.operators.feasibility import edge_admissible
+from repro.core.operators.base import Move, Operator, RouteEdits
 from repro.core.solution import Solution
 from repro.errors import OperatorError
 
@@ -38,7 +37,7 @@ class TwoOptMove(Move):
 
     name = "2opt"
 
-    def apply(self, solution: Solution) -> Solution:
+    def route_edits(self, solution: Solution) -> RouteEdits:
         route = solution.routes[self.route_index]
         if not 0 <= self.start < self.end < len(route):
             raise OperatorError(
@@ -47,7 +46,7 @@ class TwoOptMove(Move):
             )
         reversed_segment = route[self.start : self.end + 1][::-1]
         new_route = route[: self.start] + reversed_segment + route[self.end + 1 :]
-        return solution.derive({self.route_index: new_route})
+        return {self.route_index: new_route}, ()
 
     @property
     def attribute(self) -> Hashable:
@@ -61,29 +60,49 @@ class TwoOpt(Operator):
 
     name = "2opt"
 
+    #: per-solution memo of eligible route indices (the sampler proposes
+    #: dozens of moves against the same current solution).
+    _memo_solution: Solution | None = None
+    _memo_eligible: list[int] = []
+
     def propose(self, solution: Solution, rng: np.random.Generator) -> TwoOptMove | None:
         instance = solution.instance
-        eligible = [i for i, r in enumerate(solution.routes) if len(r) >= 2]
+        routes = solution.routes
+        if self._memo_solution is not solution:
+            self._memo_solution = solution
+            self._memo_eligible = [i for i, r in enumerate(routes) if len(r) >= 2]
+        eligible = self._memo_eligible
         if not eligible:
             return None
+        # Localized instance arrays: the admissibility checks below are
+        # edge_admissible() inlined (see feasibility.py for the formula).
+        depart = instance._depart_l
+        due = instance._due_l
+        travel = instance._travel_rows
+        n_eligible = len(eligible)
+        integers = rng.integers
         for _ in range(self.max_attempts):
-            route_index = eligible[int(rng.integers(len(eligible)))]
-            route = solution.routes[route_index]
+            route_index = eligible[integers(n_eligible)]
+            route = routes[route_index]
             n = len(route)
-            start = int(rng.integers(0, n - 1))
-            end = int(rng.integers(start + 1, n))
+            start = integers(0, n - 1)
+            end = integers(start + 1, n)
             # Created edges: predecessor -> old segment end, and old
             # segment start -> successor (depot when at the boundary).
             pred = route[start - 1] if start > 0 else 0
             succ = route[end + 1] if end + 1 < n else 0
-            if edge_admissible(instance, pred, route[end]) and edge_admissible(
-                instance, route[start], succ
+            seg_last = route[end]
+            seg_first = route[start]
+            if (
+                depart[pred] + travel[pred][seg_last] <= due[seg_last]
+                and depart[seg_first] + travel[seg_first][succ]
+                <= due[succ]
             ):
                 return TwoOptMove(
                     route_index=route_index,
                     start=start,
                     end=end,
-                    segment_first=route[start],
-                    segment_last=route[end],
+                    segment_first=seg_first,
+                    segment_last=seg_last,
                 )
         return None

@@ -16,8 +16,7 @@ from typing import Hashable
 
 import numpy as np
 
-from repro.core.operators.base import Move, Operator
-from repro.core.operators.feasibility import edge_admissible
+from repro.core.operators.base import Move, Operator, RouteEdits
 from repro.core.solution import Solution
 from repro.errors import OperatorError
 
@@ -41,14 +40,14 @@ class TwoOptStarMove(Move):
 
     name = "2opt*"
 
-    def apply(self, solution: Solution) -> Solution:
+    def route_edits(self, solution: Solution) -> RouteEdits:
         ra = solution.routes[self.route_a]
         rb = solution.routes[self.route_b]
         if not (0 <= self.cut_a <= len(ra) and 0 <= self.cut_b <= len(rb)):
             raise OperatorError("stale 2-opt* move: cut points out of range")
         new_a = ra[: self.cut_a] + rb[self.cut_b :]
         new_b = rb[: self.cut_b] + ra[self.cut_a :]
-        return solution.derive({self.route_a: new_a, self.route_b: new_b})
+        return {self.route_a: new_a, self.route_b: new_b}, ()
 
     @property
     def attribute(self) -> Hashable:
@@ -60,46 +59,77 @@ class TwoOptStar(Operator):
 
     name = "2opt*"
 
+    #: per-solution memo of per-route prefix loads: ``prefix[r][k]`` is
+    #: the demand of the first ``k`` customers of route ``r``, built
+    #: once per current solution instead of summed per attempt.
+    _memo_solution: Solution | None = None
+    _memo_prefix: list[list[float]] = []
+
     def propose(
         self, solution: Solution, rng: np.random.Generator
     ) -> TwoOptStarMove | None:
         instance = solution.instance
-        if solution.n_routes < 2:
+        n_routes = solution.n_routes
+        if n_routes < 2:
             return None
         capacity = instance.capacity
+        demand = instance._demand_l
+        depart = instance._depart_l
+        due = instance._due_l
+        travel = instance._travel_rows
+        routes = solution.routes
+        loads = solution.route_loads()
+        integers = rng.integers
+        if self._memo_solution is not solution:
+            self._memo_solution = solution
+            prefix_table = []
+            for route in routes:
+                acc = 0
+                prefix = [0]
+                grow = prefix.append
+                for c in route:
+                    acc = acc + demand[c]
+                    grow(acc)
+                prefix_table.append(prefix)
+            self._memo_prefix = prefix_table
+        else:
+            prefix_table = self._memo_prefix
         for _ in range(self.max_attempts):
-            route_a = int(rng.integers(solution.n_routes))
-            route_b = int(rng.integers(solution.n_routes))
+            route_a = integers(n_routes)
+            route_b = integers(n_routes)
             if route_a == route_b:
                 continue
-            ra = solution.routes[route_a]
-            rb = solution.routes[route_b]
-            cut_a = int(rng.integers(0, len(ra) + 1))
-            cut_b = int(rng.integers(0, len(rb) + 1))
+            ra = routes[route_a]
+            rb = routes[route_b]
+            na = len(ra)
+            nb = len(rb)
+            cut_a = integers(0, na + 1)
+            cut_b = integers(0, nb + 1)
             # Degenerate cuts: (0, 0) and (len, len) merely relabel the
             # vehicles; skip them.
             if cut_a == 0 and cut_b == 0:
                 continue
-            if cut_a == len(ra) and cut_b == len(rb):
+            if cut_a == na and cut_b == nb:
                 continue
-            # Capacity of both children (loads are prefix/suffix sums;
-            # routes are short so direct summation is fine).
-            demand = instance._demand_l
-            load_a_head = sum(demand[c] for c in ra[:cut_a])
-            load_b_head = sum(demand[c] for c in rb[:cut_b])
-            load_a = solution.route_stats(route_a).load
-            load_b = solution.route_stats(route_b).load
+            # Capacity of both children (head loads from the memoized
+            # prefix sums, tail loads from the cached route stats).
+            load_a_head = prefix_table[route_a][cut_a]
+            load_b_head = prefix_table[route_b][cut_b]
+            load_a = loads[route_a]
+            load_b = loads[route_b]
             if load_a_head + (load_b - load_b_head) > capacity:
                 continue
             if load_b_head + (load_a - load_a_head) > capacity:
                 continue
-            # New crossing edges (depot at the boundaries).
+            # New crossing edges (depot at the boundaries); the checks
+            # are edge_admissible() inlined (see feasibility.py).
             tail_a = ra[cut_a - 1] if cut_a > 0 else 0
-            head_b = rb[cut_b] if cut_b < len(rb) else 0
+            head_b = rb[cut_b] if cut_b < nb else 0
             tail_b = rb[cut_b - 1] if cut_b > 0 else 0
-            head_a = ra[cut_a] if cut_a < len(ra) else 0
-            if edge_admissible(instance, tail_a, head_b) and edge_admissible(
-                instance, tail_b, head_a
+            head_a = ra[cut_a] if cut_a < na else 0
+            if (
+                depart[tail_a] + travel[tail_a][head_b] <= due[head_b]
+                and depart[tail_b] + travel[tail_b][head_a] <= due[head_a]
             ):
                 boundary = frozenset(
                     c for c in (tail_a, head_b, tail_b, head_a) if c != 0

@@ -53,7 +53,7 @@ class Solution:
     routes and can hand over reused route statistics.
     """
 
-    __slots__ = ("instance", "routes", "_stats", "_objectives", "_locations", "_hash")
+    __slots__ = ("instance", "routes", "_stats", "_objectives", "_locations", "_loads", "_hash")
 
     def __init__(
         self,
@@ -73,7 +73,8 @@ class Solution:
                 )
             self._stats = list(stats)
         self._objectives: ObjectiveVector | None = None
-        self._locations: dict[int, tuple[int, int]] | None = None
+        self._locations: list[tuple[int, int] | None] | None = None
+        self._loads: tuple[float, ...] | None = None
         self._hash: int | None = None
 
     # ------------------------------------------------------------------
@@ -196,18 +197,29 @@ class Solution:
         """Unused vehicles remaining at the depot, ``R - f2``."""
         return self.instance.n_vehicles - len(self.routes)
 
-    def locate(self, customer: int) -> tuple[int, int]:
-        """Return ``(route_index, position)`` of a customer."""
-        if self._locations is None:
-            table: dict[int, tuple[int, int]] = {}
+    def location_table(self) -> list[tuple[int, int] | None]:
+        """The ``customer -> (route_index, position)`` index (lazy-built).
+
+        A dense list over site indices (entry 0, the depot, is ``None``)
+        because customers are contiguous small ints and list indexing
+        beats dict hashing in the operators' proposal loops;
+        :meth:`locate` wraps it with a friendlier error.
+        """
+        table = self._locations
+        if table is None:
+            table = [None] * (self.instance.n_customers + 1)
             for r, route in enumerate(self.routes):
                 for p, c in enumerate(route):
                     table[c] = (r, p)
             self._locations = table
-        try:
-            return self._locations[customer]
-        except KeyError:
-            raise SolutionError(f"customer {customer} not present in solution") from None
+        return table
+
+    def locate(self, customer: int) -> tuple[int, int]:
+        """Return ``(route_index, position)`` of a customer."""
+        table = self.location_table()
+        if 1 <= customer < len(table):
+            return table[customer]
+        raise SolutionError(f"customer {customer} not present in solution")
 
     def derive(
         self,
@@ -295,8 +307,12 @@ class Solution:
         return self.objectives.feasible
 
     def route_loads(self) -> tuple[float, ...]:
-        """Carried load per route (for capacity assertions in tests)."""
-        return tuple(self.route_stats(i).load for i in range(len(self.routes)))
+        """Carried load per route (cached; capacity screens index this)."""
+        loads = self._loads
+        if loads is None:
+            loads = tuple(self.route_stats(i).load for i in range(len(self.routes)))
+            self._loads = loads
+        return loads
 
     # ------------------------------------------------------------------
     # Value semantics

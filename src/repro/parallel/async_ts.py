@@ -151,7 +151,11 @@ def run_asynchronous_tsmo(
             idle.clear()
             # The master's own share.
             yield cluster.compute(0, cost.eval_cost * chunks[0])
+            misses_before = evaluator.stats_cache.misses
             pool.extend(engine.generate_neighborhood(chunks[0]))
+            master_misses = evaluator.stats_cache.misses - misses_before
+            if cost.miss_scan_cost > 0.0 and master_misses > 0:
+                yield cluster.compute(0, cost.miss_scan_cost * master_misses)
 
             # Collection loop governed by the decision function.
             deadline = env.now + max_wait

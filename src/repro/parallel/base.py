@@ -71,11 +71,16 @@ def run_sequential_simulated(
     engine = TSMOEngine(instance, params, search_rng, registry=registry, trace=trace)
 
     def driver():
+        cache = engine.evaluator.stats_cache
         yield cluster.compute(0, cost.init_cost(instance.n_customers))
         engine.initialize()
         while not engine.done:
+            misses_before = cache.misses
             neighbors = engine.generate_neighborhood()
-            yield cluster.compute(0, cost.eval_cost * len(neighbors))
+            nominal = cost.eval_cost * len(neighbors)
+            if cost.miss_scan_cost > 0.0:
+                nominal += cost.miss_scan_cost * (cache.misses - misses_before)
+            yield cluster.compute(0, nominal)
             yield cluster.compute(0, cost.selection_cost(len(neighbors)))
             engine.select_and_update(neighbors)
 

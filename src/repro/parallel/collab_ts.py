@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.core.evaluation import Evaluator
 from repro.core.operators.registry import OperatorRegistry, default_registry
+from repro.core.stats_cache import RouteStatsCache
 from repro.errors import SimulationError
 from repro.mo.archive import ParetoArchive
 from repro.parallel.base import simulation_context
@@ -107,6 +108,11 @@ def run_collaborative_tsmo(
     env, cluster, _ = simulation_context(n_processors, cost_model, cluster_seed, 0)
     cost = cluster.cost
 
+    # One route-stats cache shared across all searchers: on a shared-
+    # memory machine the memo is common infrastructure, and the
+    # searchers roam overlapping regions of the same instance, so
+    # cross-searcher hits are real.
+    shared_cache = RouteStatsCache(instance)
     engines: list[TSMOEngine] = []
     for rank in range(n_processors):
         rng = searcher_rngs[rank]
@@ -118,7 +124,9 @@ def run_collaborative_tsmo(
                 instance,
                 local_params,
                 rng,
-                evaluator=Evaluator(instance, params.max_evaluations),
+                evaluator=Evaluator(
+                    instance, params.max_evaluations, stats_cache=shared_cache
+                ),
                 registry=registry,
                 trace=trace if rank == 0 else None,
             )
@@ -154,8 +162,12 @@ def run_collaborative_tsmo(
                 receives[rank] += 1
                 engine.memories.nondom.try_add(msg.solution, msg.objectives)
             version_before = engine.memories.archive.version
+            misses_before = shared_cache.misses
             neighbors = engine.generate_neighborhood()
-            yield cluster.compute(rank, cost.eval_cost * len(neighbors))
+            nominal = cost.eval_cost * len(neighbors)
+            if cost.miss_scan_cost > 0.0:
+                nominal += cost.miss_scan_cost * (shared_cache.misses - misses_before)
+            yield cluster.compute(rank, nominal)
             yield cluster.compute(rank, cost.selection_cost(len(neighbors)))
             engine.select_and_update(neighbors)
             improved = engine.memories.archive.version != version_before
@@ -207,6 +219,7 @@ def run_collaborative_tsmo(
         simulated_time=max(finish_times),
         processors=n_processors,
         trace=trace,
+        cache_stats=shared_cache.snapshot(),
     )
     result.extra["messages_sent"] = cluster.messages_sent
     result.extra["exchanges"] = sum(sends)

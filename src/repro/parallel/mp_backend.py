@@ -34,11 +34,12 @@ import numpy as np
 
 from repro.core.evaluation import Evaluator
 from repro.core.objectives import ObjectiveVector
-from repro.core.operators.base import Move
+from repro.core.operators.base import Move, RouteEdits
 from repro.core.operators.registry import default_registry
 from repro.core.solution import Solution
+from repro.core.stats_cache import CacheStats
 from repro.errors import SearchError
-from repro.rng import RngFactory
+from repro.rng import FastRng, RngFactory
 from repro.tabu.neighborhood import Neighbor
 from repro.tabu.params import TSMOParams
 from repro.tabu.search import TSMOEngine, TSMOResult
@@ -46,37 +47,55 @@ from repro.vrptw.instance import Instance
 
 __all__ = ["RemoteMove", "run_multiprocessing_tsmo"]
 
-# Per-worker globals installed by the pool initializer.
+# Per-worker globals installed by the pool initializer.  The evaluator's
+# RouteStatsCache persists across chunks, so route tuples recurring over
+# iterations are served from memory inside each worker too.
 _WORKER_INSTANCE: Instance | None = None
+_WORKER_EVALUATOR: Evaluator | None = None
 
 
 def _worker_init(instance: Instance) -> None:
-    global _WORKER_INSTANCE
+    global _WORKER_INSTANCE, _WORKER_EVALUATOR
     _WORKER_INSTANCE = instance
+    _WORKER_EVALUATOR = Evaluator(instance)
 
 
 def _worker_chunk(
     args: tuple[tuple[tuple[int, ...], ...], int, int],
-) -> list[tuple[tuple[tuple[int, ...], ...], tuple[float, int, float], Hashable]]:
-    """Generate/evaluate a neighborhood chunk inside a worker process."""
+) -> tuple[
+    list[tuple[tuple[tuple[int, ...], ...], tuple[float, int, float], Hashable]],
+    tuple[int, int],
+]:
+    """Generate/evaluate a neighborhood chunk inside a worker process.
+
+    Returns the chunk plus the worker cache's (hits, misses) delta so
+    the master can aggregate cross-process cache effectiveness.
+    """
     routes, count, seed = args
     if _WORKER_INSTANCE is None:  # pragma: no cover - initializer contract
         raise SearchError("worker pool not initialized with an instance")
     instance = _WORKER_INSTANCE
+    evaluator = _WORKER_EVALUATOR
+    cache = evaluator.stats_cache
+    hits0, misses0 = cache.hits, cache.misses
     solution = Solution(instance, routes)
     registry = default_registry()
     rng = np.random.default_rng(seed)
     out = []
-    for _ in range(count):
-        move = registry.draw_move(solution, rng)
-        if move is None:
-            break
-        child = move.apply(solution)
-        obj = child.objectives
-        out.append(
-            (child.routes, (obj.distance, obj.vehicles, obj.tardiness), move.attribute)
-        )
-    return out
+    fast = FastRng(rng)
+    try:
+        for _ in range(count):
+            move = registry.draw_move(solution, fast)
+            if move is None:
+                break
+            obj = evaluator.evaluate_move(solution, move)
+            child = move.apply(solution)  # routes must ship to the master
+            out.append(
+                (child.routes, (obj.distance, obj.vehicles, obj.tardiness), move.attribute)
+            )
+    finally:
+        fast.detach()
+    return out, (cache.hits - hits0, cache.misses - misses0)
 
 
 class RemoteMove(Move):
@@ -92,6 +111,9 @@ class RemoteMove(Move):
 
     def __init__(self, attribute: Hashable) -> None:
         self._attribute = attribute
+
+    def route_edits(self, solution: Solution) -> RouteEdits:
+        raise SearchError("remote moves are pre-applied on the worker")
 
     def apply(self, solution: Solution) -> Solution:
         raise SearchError("remote moves are pre-applied on the worker")
@@ -124,6 +146,7 @@ def run_multiprocessing_tsmo(
     chunk_sizes = [base + (1 if i < extra else 0) for i in range(n_tasks)]
 
     start = time.perf_counter()
+    worker_hits = worker_misses = 0
     ctx = mp.get_context("spawn")
     with ctx.Pool(n_workers, initializer=_worker_init, initargs=(instance,)) as pool:
         engine.initialize()
@@ -135,7 +158,9 @@ def run_multiprocessing_tsmo(
             ]
             neighbors: list[Neighbor] = []
             iteration = engine.iteration + 1
-            for chunk in pool.map(_worker_chunk, tasks):
+            for chunk, (chunk_hits, chunk_misses) in pool.map(_worker_chunk, tasks):
+                worker_hits += chunk_hits
+                worker_misses += chunk_misses
                 for routes, (dist, veh, tardy), attribute in chunk:
                     child = Solution(instance, routes)
                     objectives = ObjectiveVector(dist, int(veh), tardy)
@@ -150,9 +175,15 @@ def run_multiprocessing_tsmo(
                     )
             engine.select_and_update(neighbors)
     wall = time.perf_counter() - start
-    return engine.result(
+    result = engine.result(
         "multiprocessing", wall_time=wall, simulated_time=None, processors=n_workers + 1
     )
+    # The master never delta-evaluates, so its own cache is idle; the
+    # aggregated per-worker counters are the meaningful surface here.
+    result.cache_stats = CacheStats(hits=worker_hits, misses=worker_misses)
+    result.extra["worker_cache_hits"] = worker_hits
+    result.extra["worker_cache_misses"] = worker_misses
+    return result
 
 
 def pickle_roundtrip_sizes(instance: Instance) -> dict[str, int]:

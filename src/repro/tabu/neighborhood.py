@@ -8,13 +8,25 @@ random, with equal probabilities for each."
 The same function runs on the sequential searcher, on the simulated
 master, and on simulated workers — it is the unit of work the paper
 parallelizes.  Each produced :class:`Neighbor` carries the move (for
-the tabu attribute), the neighbor solution and its objectives; every
-neighbor costs one unit of the evaluation budget.
+the tabu attribute) and its objectives; every neighbor costs one unit
+of the evaluation budget.
+
+Two layers make this the delta-evaluation hot path (DESIGN.md):
+
+* objectives come from :meth:`~repro.core.evaluation.Evaluator.
+  evaluate_move` — parent statistics plus cached/recomputed statistics
+  of the 1-2 edited routes, no child :class:`Solution` built.  The
+  child materializes lazily, only if the neighbor is actually selected
+  or archived (roughly 1 of S per iteration);
+* random draws run through :class:`repro.rng.FastRng`, a buffered
+  bit-identical facade over the sampler's PCG64 stream, because scalar
+  ``Generator.integers`` dispatch dominates move proposal time.
+
+Both layers are exact: the sampled moves, the objective floats and the
+downstream search trajectory are bit-identical to the eager path.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -23,21 +35,65 @@ from repro.core.objectives import ObjectiveVector
 from repro.core.operators.base import Move
 from repro.core.operators.registry import OperatorRegistry
 from repro.core.solution import Solution
+from repro.errors import SearchError
+from repro.rng import FastRng
 
 __all__ = ["Neighbor", "sample_neighborhood"]
 
 
-@dataclass(frozen=True, slots=True)
 class Neighbor:
-    """One evaluated neighbor of a current solution."""
+    """One evaluated neighbor of a current solution.
 
-    move: Move
-    solution: Solution
-    objectives: ObjectiveVector
-    #: iteration at which the neighbor was generated (used by the
-    #: asynchronous variant, where stragglers' neighbors join later
-    #: selections, and by the Figure-1 trajectory trace).
-    iteration: int = 0
+    Holds the move and the (pre-computed) objectives; the neighbor
+    *solution* is materialized on first access by applying the move to
+    the parent, so the ~S-1 unselected neighbors of an iteration never
+    pay for route-tuple construction.  Constructed either lazily
+    (``parent=...``) or eagerly (``solution=...``, e.g. when a worker
+    process shipped the routes back).
+    """
+
+    __slots__ = ("move", "objectives", "iteration", "_parent", "_solution")
+
+    def __init__(
+        self,
+        move: Move,
+        objectives: ObjectiveVector,
+        iteration: int = 0,
+        *,
+        parent: Solution | None = None,
+        solution: Solution | None = None,
+    ) -> None:
+        if (parent is None) == (solution is None):
+            raise SearchError("Neighbor needs exactly one of parent= or solution=")
+        self.move = move
+        self.objectives = objectives
+        #: iteration at which the neighbor was generated (used by the
+        #: asynchronous variant, where stragglers' neighbors join later
+        #: selections, and by the Figure-1 trajectory trace).
+        self.iteration = iteration
+        self._parent = parent
+        self._solution = solution
+
+    @property
+    def solution(self) -> Solution:
+        """The neighbor solution (applied to the parent on first access)."""
+        child = self._solution
+        if child is None:
+            child = self.move.apply(self._parent)
+            self._solution = child
+        return child
+
+    @property
+    def materialized(self) -> bool:
+        """Whether :attr:`solution` has been built yet."""
+        return self._solution is not None
+
+    def __repr__(self) -> str:
+        state = "materialized" if self._solution is not None else "lazy"
+        return (
+            f"Neighbor({self.move.name!r}, objectives={self.objectives!r}, "
+            f"iteration={self.iteration}, {state})"
+        )
 
 
 def sample_neighborhood(
@@ -56,13 +112,19 @@ def sample_neighborhood(
     treat a short list exactly like a full one.
     """
     neighbors: list[Neighbor] = []
-    for _ in range(size):
-        move = registry.draw_move(solution, rng)
-        if move is None:
-            break
-        child = move.apply(solution)
-        objectives = evaluator.evaluate(child)
-        neighbors.append(
-            Neighbor(move=move, solution=child, objectives=objectives, iteration=iteration)
-        )
+    if size <= 0:
+        return neighbors
+    draw_move = registry.draw_move
+    evaluate_move = evaluator.evaluate_move
+    append = neighbors.append
+    fast = FastRng(rng)
+    try:
+        for _ in range(size):
+            move = draw_move(solution, fast)
+            if move is None:
+                break
+            objectives = evaluate_move(solution, move)
+            append(Neighbor(move, objectives, iteration, parent=solution))
+    finally:
+        fast.detach()
     return neighbors

@@ -30,6 +30,7 @@ from repro.core.evaluation import Evaluator
 from repro.core.objectives import ObjectiveVector
 from repro.core.operators.registry import OperatorRegistry, default_registry
 from repro.core.solution import Solution
+from repro.core.stats_cache import CacheStats
 from repro.errors import SearchError
 from repro.mo.archive import ArchiveEntry
 from repro.mo.dominance import non_dominated_mask
@@ -67,6 +68,10 @@ class TSMOResult:
     #: number of (simulated) processors used.
     processors: int = 1
     trace: TrajectoryRecorder | None = None
+    #: route-stats cache counters at the end of the run (the delta
+    #: evaluation observability surface; ``None`` when the variant never
+    #: ran the delta path, e.g. results built from storage).
+    cache_stats: CacheStats | None = None
     extra: dict = field(default_factory=dict)
 
     def front(self) -> np.ndarray:
@@ -246,6 +251,8 @@ class TSMOEngine:
                 created, iteration, self.current.objectives, restarted=restarted
             )
             self.trace.record_archive_size(iteration, len(self.memories.archive))
+            cache = self.evaluator.stats_cache
+            self.trace.record_cache(iteration, cache.hits, cache.misses, cache.evictions)
         return self.current
 
     def _select(self, neighbors: list[Neighbor]) -> Neighbor | None:
@@ -304,6 +311,7 @@ class TSMOEngine:
             simulated_time=simulated_time,
             processors=processors,
             trace=self.trace,
+            cache_stats=self.evaluator.stats_cache.snapshot(),
         )
 
 

@@ -49,6 +49,9 @@ class TrajectoryRecorder:
     neighbors: list[TrajectoryPoint] = field(default_factory=list)
     selections: list[TrajectoryPoint] = field(default_factory=list)
     archive_sizes: list[tuple[int, int]] = field(default_factory=list)
+    #: cumulative route-stats cache counters per iteration:
+    #: ``(iteration, hits, misses, evictions)``.
+    cache_timeline: list[tuple[int, int, int, int]] = field(default_factory=list)
 
     def record_neighbor(self, iteration: int, objectives: ObjectiveVector) -> None:
         """Record one evaluated neighbor."""
@@ -88,6 +91,12 @@ class TrajectoryRecorder:
         """Record the archive occupancy after an iteration."""
         self.archive_sizes.append((iteration, size))
 
+    def record_cache(
+        self, iteration: int, hits: int, misses: int, evictions: int
+    ) -> None:
+        """Record the (cumulative) route-stats cache counters."""
+        self.cache_timeline.append((iteration, hits, misses, evictions))
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
@@ -99,6 +108,13 @@ class TrajectoryRecorder:
     def selections_array(self) -> np.ndarray:
         """Selected currents as an ``(n, 5)`` array (same columns)."""
         return _points_to_array(self.selections)
+
+    def cache_array(self) -> np.ndarray:
+        """Cache timeline as an ``(n, 4)`` array:
+        ``[iteration, hits, misses, evictions]`` (cumulative)."""
+        if not self.cache_timeline:
+            return np.zeros((0, 4))
+        return np.array(self.cache_timeline, dtype=np.float64)
 
     @property
     def carryover_count(self) -> int:

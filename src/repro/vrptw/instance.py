@@ -126,11 +126,19 @@ class Instance:
         # where list indexing beats numpy scalar extraction by ~3x (see
         # DESIGN.md "vectorized evaluation" note — the scan itself cannot
         # be vectorized because arrival times chain through max()).
-        object.__setattr__(self, "_ready_l", arrays["ready_time"].tolist())
+        ready_l = arrays["ready_time"].tolist()
+        service_l = arrays["service_time"].tolist()
+        object.__setattr__(self, "_ready_l", ready_l)
         object.__setattr__(self, "_due_l", arrays["due_date"].tolist())
-        object.__setattr__(self, "_service_l", arrays["service_time"].tolist())
+        object.__setattr__(self, "_service_l", service_l)
         object.__setattr__(self, "_demand_l", arrays["demand"].tolist())
         object.__setattr__(self, "_travel_rows", travel.tolist())
+        # Earliest departure ready_i + service_i, the left term of every
+        # edge-admissibility check (feasibility.py) — summed here once so
+        # the operators' inlined checks do one add instead of two.
+        object.__setattr__(
+            self, "_depart_l", [r + s for r, s in zip(ready_l, service_l)]
+        )
 
     # ------------------------------------------------------------------
     # Dimensions

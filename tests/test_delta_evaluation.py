@@ -1,0 +1,273 @@
+"""The delta-evaluation engine: correctness, determinism, observability.
+
+Three layers are under test (see DESIGN.md "delta evaluation"):
+
+* :meth:`Evaluator.evaluate_move` must score a move *exactly* like
+  materializing the child solution — bit-identical floats, because the
+  search's tie-breaking (and therefore the whole trajectory) hangs on
+  them — and must agree with the independent permutation oracle;
+* the whole sampling path (``FastRng`` + operator memos + prefix-sum
+  resume) must leave search trajectories unchanged: an eager
+  re-implementation of the sampler over the same seed selects the same
+  moves and computes the same objectives;
+* the :class:`RouteStatsCache` counters are a consistent observability
+  surface and the LRU bound actually bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construction import i1_construct
+from repro.core.evaluation import Evaluator, evaluate_permutation
+from repro.core.operators.exchange import Exchange
+from repro.core.operators.or_opt import OrOpt
+from repro.core.operators.registry import OperatorRegistry, default_registry
+from repro.core.operators.relocate import Relocate
+from repro.core.operators.segment_exchange import SegmentExchange
+from repro.core.operators.two_opt import TwoOpt
+from repro.core.operators.two_opt_star import TwoOptStar
+from repro.core.stats_cache import CacheStats, RouteStatsCache
+from repro.rng import FastRng
+from repro.tabu.neighborhood import sample_neighborhood
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import run_sequential_tsmo
+from repro.tabu.trace import TrajectoryRecorder
+from repro.vrptw.generator import generate_instance
+
+
+def all_six_registry() -> OperatorRegistry:
+    """All six operators, including the non-paper (2,1) interchange."""
+    return OperatorRegistry(
+        [Relocate(), Exchange(), TwoOpt(), TwoOptStar(), OrOpt(), SegmentExchange()]
+    )
+
+
+# ----------------------------------------------------------------------
+# Property: delta path == oracle, over random chains of moves
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_delta_matches_oracle_over_move_chains(seed):
+    """evaluate_move == child.objectives == permutation oracle, chained.
+
+    Each example walks a fresh 12-customer instance through a chain of
+    moves drawn from all six operators, scoring every move through the
+    delta path and cross-checking (a) bit-identically against the
+    materialized child and (b) numerically against the §II permutation
+    oracle.  Chains (rather than independent moves) exercise the
+    per-parent memos on the operators and the evaluator.
+    """
+    rng = np.random.default_rng(seed)
+    instance = generate_instance("R1", 12, seed=int(rng.integers(1, 10**6)))
+    solution = i1_construct(instance, rng=rng)
+    registry = all_six_registry()
+    evaluator = Evaluator(instance)
+    for _ in range(12):
+        move = registry.draw_move(solution, rng)
+        if move is None:
+            break
+        scored = evaluator.evaluate_move(solution, move)
+        child = move.apply(solution)
+        # Bit-identical to materializing the child: same floats, not
+        # just approximately equal.
+        assert scored.distance == child.objectives.distance
+        assert scored.tardiness == child.objectives.tardiness
+        assert scored.vehicles == child.objectives.vehicles
+        # And numerically the same answer as the independent oracle
+        # (different summation order, hence approx).
+        oracle = evaluate_permutation(instance, child.permutation)
+        assert scored.distance == pytest.approx(oracle.distance, rel=1e-9)
+        assert scored.tardiness == pytest.approx(oracle.tardiness, rel=1e-9, abs=1e-9)
+        assert scored.vehicles == oracle.vehicles
+        solution = child
+
+
+# ----------------------------------------------------------------------
+# Determinism: the delta sampler replays an eager reference exactly
+# ----------------------------------------------------------------------
+
+
+def eager_reference_sample(solution, size, registry, rng, evaluator):
+    """The pre-delta sampling semantics: materialize and score each child.
+
+    Draws through the plain numpy generator (no FastRng) and evaluates
+    by building every child solution — the behavior the delta engine
+    must replicate bit-for-bit.
+    """
+    out = []
+    for _ in range(size):
+        move = registry.draw_move(solution, rng)
+        if move is None:
+            break
+        evaluator.count += 1
+        out.append((move, move.apply(solution).objectives))
+    return out
+
+
+def test_sampler_bit_identical_to_eager_reference(small_instance, small_solution):
+    registry = default_registry()
+    evaluator = Evaluator(small_instance)
+    fast_rng = np.random.default_rng(31337)
+    eager_rng = np.random.default_rng(31337)
+    neighbors = sample_neighborhood(
+        small_solution, 40, registry, fast_rng, evaluator
+    )
+    reference = eager_reference_sample(
+        small_solution, 40, default_registry(), eager_rng, Evaluator(small_instance)
+    )
+    assert len(neighbors) == len(reference)
+    for neighbor, (move, objectives) in zip(neighbors, reference):
+        assert neighbor.move == move
+        assert neighbor.objectives.distance == objectives.distance
+        assert neighbor.objectives.vehicles == objectives.vehicles
+        assert neighbor.objectives.tardiness == objectives.tardiness
+    # The facade must hand the stream back exactly where the eager
+    # path's generator ended up.
+    assert float(fast_rng.random()) == float(eager_rng.random())
+
+
+def test_fixed_seed_trace_is_reproducible(small_instance):
+    """Same seed → identical sequence of selected currents (Fig. 1 rows)."""
+    params = TSMOParams(max_evaluations=600, neighborhood_size=20)
+
+    def trace_run():
+        recorder = TrajectoryRecorder()
+        run_sequential_tsmo(small_instance, params, seed=2024, trace=recorder)
+        return [
+            (p.distance, p.vehicles, p.tardiness) for p in recorder.selections
+        ]
+
+    first, second = trace_run(), trace_run()
+    assert first, "the run must select at least one current"
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# Cache counters and LRU bound
+# ----------------------------------------------------------------------
+
+
+def test_cache_counters_consistent(small_instance, small_solution):
+    registry = default_registry()
+    evaluator = Evaluator(small_instance)
+    rng = np.random.default_rng(8)
+    for _ in range(30):
+        sample_neighborhood(small_solution, 30, registry, rng, evaluator)
+    cache = evaluator.stats_cache
+    assert cache.hits + cache.misses == cache.lookups
+    snap = cache.snapshot()
+    assert snap.requests == cache.lookups
+    assert snap.hits == cache.hits and snap.misses == cache.misses
+    assert 0.0 <= snap.hit_rate <= 1.0
+    # Re-sampling the same parent must hit: the same child routes recur.
+    assert snap.hits > 0
+
+
+def test_cache_eviction_respects_capacity(small_instance, small_solution):
+    cache = RouteStatsCache(small_instance, capacity=4)
+    evaluator = Evaluator(small_instance, stats_cache=cache)
+    registry = default_registry()
+    rng = np.random.default_rng(9)
+    solution = small_solution
+    for _ in range(8):
+        neighbors = sample_neighborhood(solution, 20, registry, rng, evaluator)
+        if neighbors:
+            solution = neighbors[-1].solution
+    assert len(cache) <= 4
+    assert cache.evictions > 0
+    assert cache.hits + cache.misses == cache.lookups
+
+
+def test_cache_capacity_zero_disables_retention(small_instance, small_solution):
+    cache = RouteStatsCache(small_instance, capacity=0)
+    evaluator = Evaluator(small_instance, stats_cache=cache)
+    sample_neighborhood(
+        small_solution, 20, default_registry(), np.random.default_rng(10), evaluator
+    )
+    assert len(cache) == 0
+    assert cache.hits == 0
+    assert cache.misses == cache.lookups > 0
+
+
+def test_cache_stats_aggregation():
+    a = CacheStats(hits=3, misses=2, evictions=1, size=5, capacity=8)
+    b = CacheStats(hits=1, misses=4, evictions=0, size=7, capacity=8)
+    merged = a + b
+    assert merged.hits == 4 and merged.misses == 6 and merged.evictions == 1
+    assert merged.size == 7 and merged.capacity == 8
+    assert merged.requests == 10
+
+
+# ----------------------------------------------------------------------
+# Observability surface on search results
+# ----------------------------------------------------------------------
+
+
+def test_sequential_result_exposes_cache_stats(small_instance, quick_params):
+    result = run_sequential_tsmo(small_instance, quick_params, seed=77)
+    stats = result.cache_stats
+    assert stats is not None
+    assert stats.hits > 0
+    assert stats.requests == stats.hits + stats.misses
+
+
+def test_parallel_results_expose_cache_stats(small_instance, quick_params):
+    from repro.parallel.async_ts import run_asynchronous_tsmo
+    from repro.parallel.collab_ts import run_collaborative_tsmo
+    from repro.parallel.sync_ts import run_synchronous_tsmo
+
+    for runner in (run_synchronous_tsmo, run_asynchronous_tsmo, run_collaborative_tsmo):
+        result = runner(small_instance, quick_params, 3, seed=78)
+        stats = result.cache_stats
+        assert stats is not None, runner.__name__
+        assert stats.hits > 0, runner.__name__
+        assert stats.requests == stats.hits + stats.misses, runner.__name__
+
+
+# ----------------------------------------------------------------------
+# FastRng facade edge cases
+# ----------------------------------------------------------------------
+
+
+def test_fast_rng_delegates_for_non_pcg64():
+    from repro.rng import _DelegatingRng
+
+    gen = np.random.Generator(np.random.MT19937(5))
+    ref = np.random.Generator(np.random.MT19937(5))
+    fast = FastRng(gen)
+    assert type(fast) is _DelegatingRng
+    for _ in range(20):
+        assert fast.integers(0, 50) == int(ref.integers(0, 50))
+        assert fast.random() == float(ref.random())
+    fast.detach()  # no-op, must be safe
+
+
+def test_fast_rng_detach_round_trip():
+    a = np.random.default_rng(4242)
+    b = np.random.default_rng(4242)
+    fast = FastRng(a)
+    draws = [
+        fast.integers(0, 13),
+        fast.integers(1, 101),
+        fast.integers(0, 2**33),
+        fast.random(),
+        fast.integers(5, 6),
+    ]
+    expected = [
+        int(b.integers(0, 13)),
+        int(b.integers(1, 101)),
+        int(b.integers(0, 2**33)),
+        float(b.random()),
+        int(b.integers(5, 6)),
+    ]
+    assert draws == expected
+    fast.detach()
+    assert float(a.random()) == float(b.random())
+    assert int(a.integers(0, 1000)) == int(b.integers(0, 1000))
+    fast.detach()  # second detach is a documented no-op

@@ -1,5 +1,6 @@
 """Every example script must run to completion (they are documentation)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,19 +8,26 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+SRC = Path(__file__).parent.parent / "src"
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs(script, tmp_path):
     # cwd=tmp_path so examples that write artifacts (plot_routes.py)
-    # drop them into scratch space, not the repository.
+    # drop them into scratch space, not the repository.  The subprocess
+    # gets src/ prepended to PYTHONPATH so the examples import the
+    # checkout under test; with a pip-installed package the extra path
+    # entry is harmless (site-packages still resolves).
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=600,
         cwd=tmp_path,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "examples must print something"
