@@ -18,6 +18,7 @@ from repro.core.solution import Solution
 from repro.mo.archive import ParetoArchive
 from repro.mo.dominance import non_dominated_mask
 from repro.parallel.des import Environment, Mailbox
+from repro.parallel.pool import PoolParams, WorkerPool
 from repro.tabu.neighborhood import sample_neighborhood
 from repro.vrptw.generator import generate_instance
 
@@ -124,3 +125,31 @@ def test_des_event_throughput(benchmark):
 def test_i1_construction_100(benchmark, instance):
     rng = np.random.default_rng(7)
     benchmark(lambda: i1_construct(instance, rng=rng))
+
+
+@pytest.fixture(scope="module")
+def worker_pool(instance):
+    """One persistent worker, shared by the whole module: the spawn cost
+    (instance pickling, interpreter boot) is paid once, so the benchmark
+    below measures the steady-state task round-trip, not startup."""
+    with WorkerPool(
+        instance, 1, params=PoolParams(heartbeat_interval=0.05)
+    ) as pool:
+        yield pool
+
+
+def test_pool_task_roundtrip(benchmark, worker_pool, solution):
+    """submit → worker samples 20 neighbors → gather, on a live process.
+
+    The per-iteration overhead every real-process driver pays on top of
+    the neighborhood work itself (queue hops, pickling both ways)."""
+    counter = {"seed": 0}
+
+    def roundtrip():
+        counter["seed"] += 1
+        tid = worker_pool.submit(
+            solution.routes, 20, seed=counter["seed"], iteration=1
+        )
+        return worker_pool.gather([tid])[tid]
+
+    benchmark(roundtrip)

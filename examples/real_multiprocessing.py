@@ -1,31 +1,60 @@
 #!/usr/bin/env python
-"""The synchronous protocol on *real* OS processes.
+"""Both master–worker protocols on *real* OS processes.
 
 The benchmark tables run the parallel protocols on the deterministic
 simulated cluster (see DESIGN.md — this reproduction targets a
 single-core host, and CPython's GIL rules out shared-memory threading
-for this workload).  This example shows the same synchronous
-master–worker split on a real ``multiprocessing.Pool``: identical
-selection logic, chunks farmed out as picklable route tuples.
+for this workload).  This example drives the production backend
+instead: a persistent, fault-tolerant worker pool under both the
+synchronous and the asynchronous protocol, plus a deterministic
+fault-injection demo.
+
+Four acts:
+
+1. payload sizes — why the instance ships once per worker life;
+2. sequential vs synchronous lockstep — with one worker the driver
+   continues the master's own RNG stream on the worker, so the fronts
+   are bit-identical, process boundary and all;
+3. fault injection — a worker is killed mid-run by a
+   :class:`FaultPlan`; the pool retries the lost task with the same
+   seed and the front still matches the fault-free run exactly;
+4. the asynchronous protocol — streamed batches, the paper's c1–c4
+   decision function on real wall-clock time.
 
 On a single-core machine the wall-clock is *worse* than sequential —
-process spawn, pickling and scheduling all cost real time while the
-workers share one core.  That observation is itself part of the
-reproduction record (the "multiprocessing awkward" band); on a real
-multi-core box the same script shows genuine speedup.
+spawn, pickling and scheduling all cost real time while the workers
+share one core.  That observation is itself part of the reproduction
+record (the "multiprocessing awkward" band); on a multi-core box the
+same script shows genuine speedup.
 
 Run:  python examples/real_multiprocessing.py
 """
 
 import os
 
+import numpy as np
+
 from repro import TSMOParams, generate_instance, run_sequential_tsmo
-from repro.parallel.mp_backend import pickle_roundtrip_sizes, run_multiprocessing_tsmo
+from repro.parallel.mp_backend import (
+    MpAsyncParams,
+    pickle_roundtrip_sizes,
+    run_multiprocessing_async_tsmo,
+    run_multiprocessing_tsmo,
+)
+from repro.parallel.pool import FaultPlan, PoolParams
+
+#: shrunk supervision intervals so the injected crash resolves fast.
+DEMO_POOL = PoolParams(
+    heartbeat_interval=0.05,
+    heartbeat_timeout=10.0,
+    task_deadline=30.0,
+    backoff_base=0.01,
+)
 
 
 def main() -> None:
-    instance = generate_instance("R1", 40, seed=3)
-    params = TSMOParams(max_evaluations=1200, neighborhood_size=40, restart_after=10)
+    instance = generate_instance("R1", 30, seed=3)
+    params = TSMOParams(max_evaluations=600, neighborhood_size=30, restart_after=8)
 
     sizes = pickle_roundtrip_sizes(instance)
     print(
@@ -36,15 +65,59 @@ def main() -> None:
 
     sequential = run_sequential_tsmo(instance, params, seed=9)
     print(
-        f"sequential      : {sequential.wall_time:6.2f}s wall, "
+        f"sequential       : {sequential.wall_time:6.2f}s wall, "
         f"best feasible {sequential.best_feasible()}"
     )
 
-    parallel = run_multiprocessing_tsmo(instance, params, n_workers=2, seed=9)
+    lockstep = run_multiprocessing_tsmo(instance, params, n_workers=1, seed=9)
     print(
-        f"multiprocessing : {parallel.wall_time:6.2f}s wall "
+        f"mp lockstep (1w) : {lockstep.wall_time:6.2f}s wall, "
+        f"best feasible {lockstep.best_feasible()}, "
+        f"front bit-identical to sequential: "
+        f"{np.array_equal(sequential.front(), lockstep.front())}"
+    )
+
+    parallel = run_multiprocessing_tsmo(
+        instance, params, n_workers=2, seed=9, pool_params=DEMO_POOL
+    )
+    print(
+        f"mp synchronous   : {parallel.wall_time:6.2f}s wall "
         f"({parallel.processors - 1} workers), "
         f"best feasible {parallel.best_feasible()}"
+    )
+
+    # Kill worker 1 before its third task: the pool detects the crash,
+    # respawns the slot and retries the task with its original seed, so
+    # the search trajectory never forks.
+    faulty = run_multiprocessing_tsmo(
+        instance,
+        params,
+        n_workers=2,
+        seed=9,
+        pool_params=DEMO_POOL,
+        fault_plan=FaultPlan(kills=((1, 2, None),)),
+    )
+    report = faulty.extra["pool"]
+    print(
+        f"mp + injected kill: crashes={report['crashes']} "
+        f"retries={report['retries']} respawns={report['respawns']}, "
+        f"front identical to fault-free run: "
+        f"{np.array_equal(parallel.front(), faulty.front())}"
+    )
+
+    asynchronous = run_multiprocessing_async_tsmo(
+        instance,
+        params,
+        n_workers=2,
+        seed=9,
+        async_params=MpAsyncParams(batch_size=5, max_wait=0.1),
+        pool_params=DEMO_POOL,
+    )
+    print(
+        f"mp asynchronous  : {asynchronous.wall_time:6.2f}s wall, "
+        f"best feasible {asynchronous.best_feasible()}, "
+        f"mean selection pool {asynchronous.extra['mean_pool_size']:.1f}, "
+        f"carryover neighbors {asynchronous.extra['carryover_neighbors']}"
     )
 
     cores = os.cpu_count() or 1

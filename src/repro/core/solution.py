@@ -301,6 +301,23 @@ class Solution:
             )
         return self._objectives
 
+    def adopt_objectives(self, objectives: ObjectiveVector) -> None:
+        """Install externally computed objectives into the cache slot.
+
+        For solutions reconstructed from wire data whose objectives were
+        already computed elsewhere (a worker process's delta evaluation):
+        adopting them skips the redundant full re-evaluation the first
+        ``.objectives`` access would otherwise trigger.  The caller
+        vouches that the vector belongs to these routes — per-route
+        statistics are a pure function of the route tuple, so a correct
+        vector is bit-identical to what the recompute would produce.
+        """
+        if self._objectives is not None and self._objectives != objectives:
+            raise SolutionError(
+                "adopt_objectives conflicts with already-computed objectives"
+            )
+        self._objectives = objectives
+
     @property
     def feasible(self) -> bool:
         """True when no time window is violated (capacity holds by design)."""

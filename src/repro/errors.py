@@ -61,5 +61,18 @@ class SimulationError(ReproError):
     """
 
 
+class WorkerPoolError(SearchError):
+    """The real-process worker pool was misconfigured or collapsed.
+
+    Raised for invalid pool parameters (zero workers, malformed
+    ``REPRO_POOL_FAULTS`` specs) and for unrecoverable execution
+    failures — a task that keeps failing after its retry budget *and*
+    the master-local fallback is exhausted.  Transient worker crashes,
+    hangs and stragglers are *not* reported through exceptions: the
+    pool retries, respawns and degrades, and records what happened in
+    its counter report.
+    """
+
+
 class BenchmarkError(ReproError):
     """An experiment harness was configured inconsistently."""

@@ -15,9 +15,12 @@ simulation while durations come from a calibrated cost model:
   with the four-condition decision function (§III.D, Algorithm 2);
 * :mod:`repro.parallel.collab_ts` — the collaborative multisearch TSMO
   with the rotating communication list (§III.E);
-* :mod:`repro.parallel.mp_backend` — a real ``multiprocessing``
-  evaluation backend, demonstrating the same master/worker split on
-  actual OS processes (not used by the benchmarks: one core here);
+* :mod:`repro.parallel.pool` — the persistent fault-tolerant worker
+  pool for real OS processes (heartbeats, deadlines, bounded retry
+  with deterministic re-seeding, respawn, graceful degradation);
+* :mod:`repro.parallel.mp_backend` — the synchronous and asynchronous
+  master/worker protocols on actual OS processes, built on the pool
+  (not used by the benchmark tables: one core here);
 * :mod:`repro.parallel.adaptive_memory` — Taillard-style adaptive
   memory TS (the domain-decomposition strand of related work, §I),
   included as an extension.
@@ -34,7 +37,12 @@ from repro.parallel.collab_ts import CollabParams, run_collaborative_tsmo
 from repro.parallel.costmodel import CostModel
 from repro.parallel.des import Environment, Mailbox
 from repro.parallel.hybrid_ts import HybridParams, run_hybrid_tsmo
-from repro.parallel.mp_backend import run_multiprocessing_tsmo
+from repro.parallel.mp_backend import (
+    MpAsyncParams,
+    run_multiprocessing_async_tsmo,
+    run_multiprocessing_tsmo,
+)
+from repro.parallel.pool import FaultPlan, PoolParams, WorkerPool
 from repro.parallel.sync_ts import run_synchronous_tsmo
 
 __all__ = [
@@ -43,13 +51,18 @@ __all__ = [
     "CollabParams",
     "CostModel",
     "Environment",
+    "FaultPlan",
     "HybridParams",
     "Mailbox",
+    "MpAsyncParams",
+    "PoolParams",
     "SimCluster",
+    "WorkerPool",
     "run_adaptive_memory_tsmo",
     "run_asynchronous_tsmo",
     "run_collaborative_tsmo",
     "run_hybrid_tsmo",
+    "run_multiprocessing_async_tsmo",
     "run_multiprocessing_tsmo",
     "run_sequential_simulated",
     "run_synchronous_tsmo",

@@ -223,6 +223,16 @@ def run_collaborative_tsmo(
     )
     result.extra["messages_sent"] = cluster.messages_sent
     result.extra["exchanges"] = sum(sends)
+    # Send/receive conservation: every sent elite is either drained by
+    # its receiver (a receive) or still sits in an inbox when the
+    # receiver's budget ran out first (undelivered).  Both sides are
+    # exported so the invariant is checkable:
+    #     sum(sends) == sum(receives) + undelivered_solutions
+    result.extra["per_searcher_sends"] = list(sends)
+    result.extra["per_searcher_receives"] = list(receives)
+    result.extra["undelivered_solutions"] = sum(
+        len(cluster.inbox(rank)) for rank in range(n_processors)
+    )
     result.extra["per_searcher_evaluations"] = [e.evaluator.count for e in engines]
     result.extra["per_searcher_finish"] = list(finish_times)
     return result

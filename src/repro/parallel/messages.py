@@ -1,14 +1,43 @@
-"""Typed message payloads of the master/worker and multisearch protocols."""
+"""Typed message payloads of the master/worker and multisearch protocols.
+
+Two families live here:
+
+* the *simulated-cluster* messages (:class:`TaskMessage`,
+  :class:`ResultMessage`, :class:`SolutionMessage`) — these carry live
+  Python objects (solutions, neighbors) because simulated processes
+  share one address space;
+* the *real-process pool* wire messages (:class:`PoolTask`,
+  :class:`PoolBatch`, :class:`PoolHeartbeat`) — these must pickle
+  across an OS process boundary, so they carry only plain data: route
+  tuples, objective triples, tabu attributes and RNG seeds/states.
+
+:class:`StopMessage` is shared by both worlds.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Hashable
 
 from repro.core.objectives import ObjectiveVector
 from repro.core.solution import Solution
 from repro.tabu.neighborhood import Neighbor
 
-__all__ = ["TaskMessage", "ResultMessage", "SolutionMessage", "StopMessage"]
+__all__ = [
+    "TaskMessage",
+    "ResultMessage",
+    "SolutionMessage",
+    "StopMessage",
+    "PoolTask",
+    "PoolBatch",
+    "PoolHeartbeat",
+]
+
+#: (routes, (distance, vehicles, tardiness), tabu attribute) — the
+#: picklable representation of one evaluated neighbor on the wire.
+NeighborTriple = tuple[
+    tuple[tuple[int, ...], ...], tuple[float, int, float], Hashable
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,3 +78,60 @@ class StopMessage:
     """Master → worker: shut down."""
 
     reason: str = "budget exhausted"
+
+
+@dataclass(frozen=True, slots=True)
+class PoolTask:
+    """Master → pool worker: generate/evaluate one neighborhood chunk.
+
+    The randomness spec is either ``seed`` (independent per-task
+    stream, the multi-worker mode) or ``rng_state`` (a PCG64 state
+    dict — the lockstep mode, where a single worker continues the
+    master's own stream and ships the advanced state back).  Exactly
+    one of the two is set.  Both are pure data, so re-dispatching the
+    *same* task after a worker crash regenerates the *same* neighbors —
+    the determinism-under-retry invariant the pool is built on.
+    """
+
+    task_id: int
+    attempt: int
+    routes: tuple[tuple[int, ...], ...]
+    count: int
+    batch_size: int
+    iteration: int
+    seed: int | None = None
+    rng_state: dict | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PoolBatch:
+    """Pool worker → master: a streamed batch of evaluated neighbors.
+
+    ``final`` marks the last batch of a task; only final batches carry
+    the worker cache-counter delta and (in lockstep mode) the advanced
+    RNG state.  ``attempt`` lets the master drop batches of a
+    superseded attempt after a retry.
+    """
+
+    worker: int
+    task_id: int
+    attempt: int
+    neighbors: tuple[NeighborTriple, ...]
+    final: bool
+    rng_state: dict | None = None
+    cache_delta: tuple[int, int] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PoolHeartbeat:
+    """Pool worker → master: liveness beacon.
+
+    Carries no timestamp on purpose: clocks of different processes are
+    not comparable, so the master stamps the *receive* time.
+    ``generation`` identifies the slot's process incarnation — beacons
+    a dead predecessor left in the result queue must not vouch for the
+    liveness of its freshly respawned replacement.
+    """
+
+    worker: int
+    generation: int = 0

@@ -1,33 +1,51 @@
-"""Real ``multiprocessing`` master–worker backend (demonstration).
+"""Real ``multiprocessing`` master–worker backends (production path).
 
-The benchmark tables use the simulated cluster (this host has one CPU
-core, and CPython's GIL rules out shared-memory threading for this
-workload — the reproduction band's "GIL hampers shared-memory parallel
-search; multiprocessing awkward").  This module shows that the very
-same synchronous master–worker protocol also runs on *real* OS
-processes: neighborhood chunks are farmed out to a
-:class:`multiprocessing.Pool`, results come back as plain route
-tuples, and the master runs the unchanged
-:meth:`~repro.tabu.search.TSMOEngine.select_and_update`.
+Both master–worker protocols of the paper run here on *real* OS
+processes, on top of the persistent fault-tolerant
+:class:`~repro.parallel.pool.WorkerPool` (see ``pool.py`` and DESIGN.md
+§5): long-lived spawn-context workers, streamed result batches, worker
+heartbeats, bounded task retry with deterministic re-seeding,
+replacement-worker respawn and graceful degradation to master-only
+execution when the pool collapses.
 
-The awkwardnesses the band predicts are handled explicitly:
+* :func:`run_multiprocessing_tsmo` — the synchronous protocol
+  (§III.C): the master farms the whole neighborhood out each
+  iteration, waits for every chunk (the pool supervises stragglers and
+  crashes underneath), then runs the unchanged
+  :meth:`~repro.tabu.search.TSMOEngine.select_and_update`.  With a
+  single task per iteration it switches to *lockstep* mode — the
+  worker continues the master's own RNG stream and ships the advanced
+  state back — which makes ``n_workers=1`` bit-identical to the
+  sequential algorithm.
+* :func:`run_multiprocessing_async_tsmo` — the asynchronous protocol
+  (§III.D): workers stream small result batches and the master applies
+  the paper's decision function on real wall-clock time — c1 a worker
+  went idle, c2 a collected neighbor dominates the current solution,
+  c3 the master waited too long, c4 the budget is exhausted.
 
-* the instance is shipped **once** per worker via the pool
-  initializer, not with every task (it embeds an O(N²) travel matrix);
+The protocol's known awkwardnesses stay handled explicitly:
+
+* the instance (with its O(N²) travel matrix) ships **once** per
+  worker life via the spawn arguments, not with every task;
 * workers return ``(routes, objectives, tabu attribute)`` triples —
   plain picklable data — rather than :class:`Move` objects, because
   moves close over solution internals;
-* evaluation counting happens on the master from the returned chunk
-  sizes (a shared counter would serialize on a lock).
+* evaluation counting happens on the master from received batch sizes
+  (a shared counter would serialize on a lock);
+* worker-computed objectives are *adopted* by the reconstructed
+  solutions, so the master never re-evaluates the selected child.
 
-On a single-core host this is strictly slower than the sequential
-algorithm; see ``examples/real_multiprocessing.py``.
+Failure handling and observability are the pool's: both drivers attach
+its counter report as ``result.extra["pool"]``, and the
+``REPRO_POOL_FAULTS`` environment variable (or an explicit
+:class:`~repro.parallel.pool.FaultPlan`) injects deterministic worker
+crashes and delays for testing.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import time
+from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -35,67 +53,23 @@ import numpy as np
 from repro.core.evaluation import Evaluator
 from repro.core.objectives import ObjectiveVector
 from repro.core.operators.base import Move, RouteEdits
-from repro.core.operators.registry import default_registry
 from repro.core.solution import Solution
 from repro.core.stats_cache import CacheStats
 from repro.errors import SearchError
-from repro.rng import FastRng, RngFactory
+from repro.mo.dominance import dominates
+from repro.parallel.pool import FaultPlan, PoolParams, WorkerPool
+from repro.rng import RngFactory, as_generator
 from repro.tabu.neighborhood import Neighbor
 from repro.tabu.params import TSMOParams
 from repro.tabu.search import TSMOEngine, TSMOResult
 from repro.vrptw.instance import Instance
 
-__all__ = ["RemoteMove", "run_multiprocessing_tsmo"]
-
-# Per-worker globals installed by the pool initializer.  The evaluator's
-# RouteStatsCache persists across chunks, so route tuples recurring over
-# iterations are served from memory inside each worker too.
-_WORKER_INSTANCE: Instance | None = None
-_WORKER_EVALUATOR: Evaluator | None = None
-
-
-def _worker_init(instance: Instance) -> None:
-    global _WORKER_INSTANCE, _WORKER_EVALUATOR
-    _WORKER_INSTANCE = instance
-    _WORKER_EVALUATOR = Evaluator(instance)
-
-
-def _worker_chunk(
-    args: tuple[tuple[tuple[int, ...], ...], int, int],
-) -> tuple[
-    list[tuple[tuple[tuple[int, ...], ...], tuple[float, int, float], Hashable]],
-    tuple[int, int],
-]:
-    """Generate/evaluate a neighborhood chunk inside a worker process.
-
-    Returns the chunk plus the worker cache's (hits, misses) delta so
-    the master can aggregate cross-process cache effectiveness.
-    """
-    routes, count, seed = args
-    if _WORKER_INSTANCE is None:  # pragma: no cover - initializer contract
-        raise SearchError("worker pool not initialized with an instance")
-    instance = _WORKER_INSTANCE
-    evaluator = _WORKER_EVALUATOR
-    cache = evaluator.stats_cache
-    hits0, misses0 = cache.hits, cache.misses
-    solution = Solution(instance, routes)
-    registry = default_registry()
-    rng = np.random.default_rng(seed)
-    out = []
-    fast = FastRng(rng)
-    try:
-        for _ in range(count):
-            move = registry.draw_move(solution, fast)
-            if move is None:
-                break
-            obj = evaluator.evaluate_move(solution, move)
-            child = move.apply(solution)  # routes must ship to the master
-            out.append(
-                (child.routes, (obj.distance, obj.vehicles, obj.tardiness), move.attribute)
-            )
-    finally:
-        fast.detach()
-    return out, (cache.hits - hits0, cache.misses - misses0)
+__all__ = [
+    "MpAsyncParams",
+    "RemoteMove",
+    "run_multiprocessing_async_tsmo",
+    "run_multiprocessing_tsmo",
+]
 
 
 class RemoteMove(Move):
@@ -123,66 +97,278 @@ class RemoteMove(Move):
         return self._attribute
 
 
-def run_multiprocessing_tsmo(
+def _wire_neighbor(
     instance: Instance,
-    params: TSMOParams | None = None,
-    n_workers: int = 2,
-    seed: int | None = None,
-    *,
-    chunks_per_worker: int = 1,
+    triple,
+    iteration: int,
+    evaluator: Evaluator,
+) -> Neighbor:
+    """Rebuild one wire triple into a master-side :class:`Neighbor`.
+
+    The worker-computed objectives are adopted by the reconstructed
+    solution (bit-identical to an eager re-evaluation — per-route
+    statistics are a pure function of the route tuple), so selection
+    never re-evaluates the child.  The master charges the budget here,
+    one unit per received neighbor.
+    """
+    routes, (distance, vehicles, tardiness), attribute = triple
+    child = Solution(instance, routes)
+    objectives = ObjectiveVector(distance, int(vehicles), tardiness)
+    child.adopt_objectives(objectives)
+    evaluator.count += 1
+    return Neighbor(
+        move=RemoteMove(attribute),
+        objectives=objectives,
+        iteration=iteration,
+        solution=child,
+    )
+
+
+def _finish_result(
+    engine: TSMOEngine,
+    pool: WorkerPool,
+    algorithm: str,
+    wall: float,
+    n_workers: int,
+    worker_hits: int,
+    worker_misses: int,
 ) -> TSMOResult:
-    """Synchronous master–worker TSMO on real OS processes."""
-    params = params or TSMOParams()
-    if n_workers < 1:
-        raise SearchError("need at least one worker process")
-    factory = RngFactory(seed)
-    master_rng = factory.generator()
-    seed_rng = factory.generator()
-    evaluator = Evaluator(instance, params.max_evaluations)
-    engine = TSMOEngine(instance, params, master_rng, evaluator=evaluator)
-
-    n_tasks = n_workers * chunks_per_worker
-    base, extra = divmod(params.neighborhood_size, n_tasks)
-    chunk_sizes = [base + (1 if i < extra else 0) for i in range(n_tasks)]
-
-    start = time.perf_counter()
-    worker_hits = worker_misses = 0
-    ctx = mp.get_context("spawn")
-    with ctx.Pool(n_workers, initializer=_worker_init, initargs=(instance,)) as pool:
-        engine.initialize()
-        while not engine.done:
-            tasks = [
-                (engine.current.routes, size, int(seed_rng.integers(2**63)))
-                for size in chunk_sizes
-                if size > 0
-            ]
-            neighbors: list[Neighbor] = []
-            iteration = engine.iteration + 1
-            for chunk, (chunk_hits, chunk_misses) in pool.map(_worker_chunk, tasks):
-                worker_hits += chunk_hits
-                worker_misses += chunk_misses
-                for routes, (dist, veh, tardy), attribute in chunk:
-                    child = Solution(instance, routes)
-                    objectives = ObjectiveVector(dist, int(veh), tardy)
-                    evaluator.count += 1  # counted on the master
-                    neighbors.append(
-                        Neighbor(
-                            move=RemoteMove(attribute),
-                            solution=child,
-                            objectives=objectives,
-                            iteration=iteration,
-                        )
-                    )
-            engine.select_and_update(neighbors)
-    wall = time.perf_counter() - start
     result = engine.result(
-        "multiprocessing", wall_time=wall, simulated_time=None, processors=n_workers + 1
+        algorithm, wall_time=wall, simulated_time=None, processors=n_workers + 1
     )
     # The master never delta-evaluates, so its own cache is idle; the
     # aggregated per-worker counters are the meaningful surface here.
     result.cache_stats = CacheStats(hits=worker_hits, misses=worker_misses)
     result.extra["worker_cache_hits"] = worker_hits
     result.extra["worker_cache_misses"] = worker_misses
+    result.extra["pool"] = pool.report()
+    return result
+
+
+def run_multiprocessing_tsmo(
+    instance: Instance,
+    params: TSMOParams | None = None,
+    n_workers: int = 2,
+    seed: int | np.random.Generator | None = None,
+    *,
+    chunks_per_worker: int = 1,
+    pool_params: PoolParams | None = None,
+    fault_plan: FaultPlan | None = None,
+) -> TSMOResult:
+    """Synchronous master–worker TSMO on real OS processes.
+
+    With exactly one task per iteration (``n_workers=1`` and
+    ``chunks_per_worker=1``) the driver runs in *lockstep* mode: the
+    worker continues the master's own PCG64 stream and returns the
+    advanced state, which makes the run bit-identical to
+    :func:`~repro.tabu.search.run_sequential_tsmo` with the same seed.
+    With more tasks, each task draws an independent per-task seed —
+    deterministic for a given ``seed`` regardless of worker failures.
+    """
+    params = params or TSMOParams()
+    if n_workers < 1:
+        raise SearchError("need at least one worker process")
+    if chunks_per_worker < 1:
+        raise SearchError("need at least one chunk per worker")
+    master_rng = as_generator(seed)
+    seed_rng = RngFactory(seed if not isinstance(seed, np.random.Generator) else None).generator()
+    evaluator = Evaluator(instance, params.max_evaluations)
+    engine = TSMOEngine(instance, params, master_rng, evaluator=evaluator)
+
+    n_tasks = n_workers * chunks_per_worker
+    base, extra = divmod(params.neighborhood_size, n_tasks)
+    chunk_sizes = [base + (1 if i < extra else 0) for i in range(n_tasks)]
+    lockstep = (
+        n_tasks == 1
+        and type(engine.rng.bit_generator).__name__ == "PCG64"
+    )
+
+    start = time.perf_counter()
+    worker_hits = worker_misses = 0
+    with WorkerPool(
+        instance, n_workers, params=pool_params, fault_plan=fault_plan
+    ) as pool:
+        engine.initialize()
+        while not engine.done:
+            iteration = engine.iteration + 1
+            if lockstep:
+                task_ids = [
+                    pool.submit(
+                        engine.current.routes,
+                        chunk_sizes[0],
+                        rng_state=engine.rng.bit_generator.state,
+                        iteration=iteration,
+                    )
+                ]
+            else:
+                task_ids = [
+                    pool.submit(
+                        engine.current.routes,
+                        size,
+                        seed=int(seed_rng.integers(2**63)),
+                        iteration=iteration,
+                    )
+                    for size in chunk_sizes
+                    if size > 0
+                ]
+            outcomes = pool.gather(task_ids)
+            neighbors: list[Neighbor] = []
+            for task_id in task_ids:  # task order, not arrival order
+                outcome = outcomes[task_id]
+                hits, misses = outcome.cache_delta
+                worker_hits += hits
+                worker_misses += misses
+                for triple in outcome.neighbors:
+                    neighbors.append(
+                        _wire_neighbor(instance, triple, iteration, evaluator)
+                    )
+                if lockstep and outcome.rng_state is not None:
+                    engine.rng.bit_generator.state = outcome.rng_state
+            engine.select_and_update(neighbors)
+        wall = time.perf_counter() - start
+        return _finish_result(
+            engine, pool, "multiprocessing", wall, n_workers, worker_hits, worker_misses
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MpAsyncParams:
+    """Knobs of the real-process asynchronous driver.
+
+    The simulated variant's :class:`~repro.parallel.async_ts.AsyncParams`
+    measures its waiting deadline in cost-model units; here ``max_wait``
+    is real wall-clock seconds.
+    """
+
+    #: neighbors per streamed result batch.
+    batch_size: int = 10
+    #: condition ``c3``: seconds the master waits after its last
+    #: selection before proceeding with whatever has been collected.
+    max_wait: float = 0.25
+    #: blocking granularity of each pool poll.
+    poll_timeout: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise SearchError("batch_size must be >= 1")
+        if self.max_wait < 0:
+            raise SearchError("max_wait must be non-negative")
+        if self.poll_timeout <= 0:
+            raise SearchError("poll_timeout must be positive")
+
+
+def run_multiprocessing_async_tsmo(
+    instance: Instance,
+    params: TSMOParams | None = None,
+    n_workers: int = 2,
+    seed: int | np.random.Generator | None = None,
+    *,
+    async_params: MpAsyncParams | None = None,
+    pool_params: PoolParams | None = None,
+    fault_plan: FaultPlan | None = None,
+) -> TSMOResult:
+    """Asynchronous master–worker TSMO on real OS processes (§III.D).
+
+    The master keeps one neighborhood-chunk task outstanding per worker
+    and collects streamed batches into a selection pool; Algorithm 2's
+    decision function — c1 (a task completed, i.e. a worker went idle),
+    c2 (a collected neighbor dominates the current solution), c3 (the
+    master waited longer than ``max_wait``), c4 (budget exhausted) —
+    decides when to select from a partial pool.  Batches that arrive
+    after the master moved on join a later selection (the paper's
+    carryover effect); worker crashes are retried by the pool with the
+    same task seed, so no neighbor is lost or duplicated.
+
+    Real asynchrony means real nondeterminism: unlike the simulated
+    variant, the trajectory depends on OS scheduling.  The run itself —
+    completion, budget accounting, archive validity — is guaranteed
+    regardless of worker failures.
+    """
+    params = params or TSMOParams()
+    aparams = async_params or MpAsyncParams()
+    if n_workers < 1:
+        raise SearchError("need at least one worker process")
+    master_rng = as_generator(seed)
+    seed_rng = RngFactory(seed if not isinstance(seed, np.random.Generator) else None).generator()
+    evaluator = Evaluator(instance, params.max_evaluations)
+    engine = TSMOEngine(instance, params, master_rng, evaluator=evaluator)
+
+    base, extra = divmod(params.neighborhood_size, n_workers)
+    chunk_sizes = [base + (1 if i < extra else 0) for i in range(n_workers)]
+    chunk_sizes = [size for size in chunk_sizes if size > 0]
+
+    start = time.perf_counter()
+    worker_hits = worker_misses = 0
+    carryover = 0
+    pool_sizes: list[int] = []
+    with WorkerPool(
+        instance,
+        n_workers,
+        params=pool_params,
+        fault_plan=fault_plan,
+        batch_size=aparams.batch_size,
+    ) as pool:
+        engine.initialize()
+        collected: list[Neighbor] = []
+        outstanding = 0
+        next_chunk = 0
+        last_select = time.monotonic()
+        while not engine.done:
+            # Keep every worker fed: one outstanding chunk per worker,
+            # always sampling a neighborhood of the *current* solution.
+            while outstanding < len(chunk_sizes):
+                size = chunk_sizes[next_chunk % len(chunk_sizes)]
+                next_chunk += 1
+                pool.submit(
+                    engine.current.routes,
+                    size,
+                    seed=int(seed_rng.integers(2**63)),
+                    iteration=engine.iteration + 1,
+                )
+                outstanding += 1
+
+            task_finished = False
+            for event in pool.poll(aparams.poll_timeout):
+                for triple in event.neighbors:
+                    collected.append(
+                        _wire_neighbor(instance, triple, event.iteration, evaluator)
+                    )
+                if event.final:
+                    task_finished = True
+                    outstanding -= 1
+                    if event.cache_delta is not None:
+                        worker_hits += event.cache_delta[0]
+                        worker_misses += event.cache_delta[1]
+
+            current_obj = engine.current.objectives.as_array()
+            c1 = task_finished
+            c2 = any(
+                dominates(n.objectives.as_array(), current_obj) for n in collected
+            )
+            c3 = time.monotonic() - last_select >= aparams.max_wait
+            c4 = evaluator.exhausted
+            if collected and (c1 or c2 or c3 or c4):
+                pool_sizes.append(len(collected))
+                carryover += sum(
+                    1 for n in collected if n.iteration <= engine.iteration
+                )
+                engine.select_and_update(collected)
+                collected = []
+                last_select = time.monotonic()
+        wall = time.perf_counter() - start
+        result = _finish_result(
+            engine,
+            pool,
+            "multiprocessing_async",
+            wall,
+            n_workers,
+            worker_hits,
+            worker_misses,
+        )
+    result.extra["mean_pool_size"] = (
+        float(np.mean(pool_sizes)) if pool_sizes else 0.0
+    )
+    result.extra["carryover_neighbors"] = carryover
     return result
 
 

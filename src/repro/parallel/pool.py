@@ -1,0 +1,899 @@
+"""Persistent, fault-tolerant worker pool for the real-process TSMO.
+
+The paper's master–worker variants assume workers that *exist for the
+whole run* and a master that survives worker trouble — its asynchronous
+decision function (§III.D) is precisely a straggler-tolerance policy.
+This module provides that substrate on real OS processes, replacing the
+throwaway ``multiprocessing.Pool`` the first backend used:
+
+* **long-lived spawn-context workers** fed over per-worker task queues
+  and answering over per-worker result queues, so the instance (with
+  its O(N²) travel matrix) ships once per worker life and route-stats
+  caches persist across tasks.  Result queues are deliberately *not*
+  shared: a ``multiprocessing.Queue`` with several writer processes
+  guards its pipe with an interprocess lock, and a worker dying while
+  its feeder thread holds that lock would wedge every *other* worker's
+  ``put`` forever — a single crash poisoning the whole pool.  With one
+  writer per queue, a crash can only corrupt the dead worker's own
+  queue, which is abandoned on respawn anyway;
+* **streaming result batches** (``batch_size`` neighbors per message),
+  so the asynchronous master can run conditions c1–c4 on partial
+  neighborhoods exactly as Algorithm 2 prescribes;
+* **liveness supervision** — worker heartbeats on an interval, a
+  per-task deadline and a heartbeat timeout; a silent or dead worker is
+  detected within one polling cycle, never waited on forever;
+* **bounded retry with exponential backoff** — the task a failed
+  worker held is re-dispatched (up to ``max_retries`` times, then
+  executed on the master); because every task carries its own seed or
+  RNG state, a retry regenerates *the same neighbors*, so a crash never
+  forks the search trajectory;
+* **exactly-once delivery across retries** — the pool remembers how
+  many neighbors of each task already reached the driver and skips that
+  prefix of a retried task's output, so mid-task crashes neither drop
+  nor duplicate neighbors;
+* **replacement workers** — a failed worker slot is respawned up to
+  ``respawn_cap`` times; when every slot is dead and the respawn budget
+  is spent, the pool *degrades* to master-local execution and the run
+  still completes (never a hang);
+* **deterministic fault injection** — a :class:`FaultPlan` (or the
+  ``REPRO_POOL_FAULTS`` environment variable) kills or delays chosen
+  workers on chosen tasks, so every failure path above is testable in
+  CI without flaky timing tricks.
+
+Everything the pool observes is aggregated into :meth:`WorkerPool.report`
+— per-worker task/batch/crash/respawn counters, retry and straggler
+totals, dispatch backlog high-water mark and task latency quantiles —
+which the drivers attach to ``TSMOResult.extra["pool"]``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.evaluation import Evaluator
+from repro.core.operators.registry import OperatorRegistry, default_registry
+from repro.core.solution import Solution
+from repro.errors import WorkerPoolError
+from repro.parallel.messages import PoolBatch, PoolHeartbeat, PoolTask, StopMessage
+from repro.rng import FastRng
+from repro.vrptw.instance import Instance
+
+__all__ = [
+    "BatchEvent",
+    "FaultPlan",
+    "PoolParams",
+    "TaskOutcome",
+    "WorkerPool",
+]
+
+#: exit code a worker uses for an injected crash (diagnosable in logs).
+_FAULT_EXIT = 17
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected worker faults.
+
+    Faults are keyed by ``(worker slot, per-slot task ordinal)`` — the
+    ordinal counts every task ever dispatched to that slot, surviving
+    respawns (a replacement worker resumes the count), so each entry
+    fires exactly once per run.
+
+    ``kills`` entries are ``(slot, ordinal, after_batches)``: the
+    worker exits hard (``os._exit``) either before executing the task
+    (``after_batches is None``) or after having streamed that many
+    result batches of it — the latter exercises the exactly-once
+    resume-by-offset path.  ``delays`` entries are ``(slot, ordinal,
+    seconds)``: the worker sleeps before executing, which trips the
+    per-task deadline when ``seconds`` exceeds it (a synthetic
+    straggler).
+
+    The environment form ``REPRO_POOL_FAULTS`` is a comma list of
+    ``kill:SLOT@ORDINAL``, ``kill:SLOT@ORDINAL+BATCHES`` and
+    ``delay:SLOT@ORDINAL:SECONDS`` items, e.g.
+    ``"kill:1@3,delay:0@2:0.5"``.
+    """
+
+    kills: tuple[tuple[int, int, int | None], ...] = ()
+    delays: tuple[tuple[int, int, float], ...] = ()
+
+    @staticmethod
+    def from_env(spec: str | None = None) -> "FaultPlan | None":
+        """Parse ``REPRO_POOL_FAULTS`` (or an explicit spec string)."""
+        if spec is None:
+            spec = os.environ.get("REPRO_POOL_FAULTS", "")
+        spec = spec.strip()
+        if not spec:
+            return None
+        kills: list[tuple[int, int, int | None]] = []
+        delays: list[tuple[int, int, float]] = []
+        for item in spec.split(","):
+            item = item.strip()
+            kind, _, rest = item.partition(":")
+            try:
+                if kind == "kill":
+                    slot_s, _, ordinal_s = rest.partition("@")
+                    ordinal_s, _, after_s = ordinal_s.partition("+")
+                    kills.append(
+                        (int(slot_s), int(ordinal_s), int(after_s) if after_s else None)
+                    )
+                elif kind == "delay":
+                    where, _, seconds_s = rest.partition(":")
+                    slot_s, _, ordinal_s = where.partition("@")
+                    delays.append((int(slot_s), int(ordinal_s), float(seconds_s)))
+                else:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+            except ValueError as exc:
+                raise WorkerPoolError(
+                    f"malformed REPRO_POOL_FAULTS item {item!r}: {exc}"
+                ) from exc
+        return FaultPlan(kills=tuple(kills), delays=tuple(delays))
+
+    def action(
+        self, slot: int, ordinal: int
+    ) -> tuple[str, float | int | None] | None:
+        """The fault to apply for this (slot, ordinal), if any."""
+        for s, o, after in self.kills:
+            if s == slot and o == ordinal:
+                return ("kill", after)
+        for s, o, seconds in self.delays:
+            if s == slot and o == ordinal:
+                return ("delay", seconds)
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.kills or self.delays)
+
+
+# ----------------------------------------------------------------------
+# Pool configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class PoolParams:
+    """Supervision knobs of the worker pool.
+
+    The defaults are sized for production-style runs; tests shrink the
+    intervals so failure paths resolve in milliseconds.
+    """
+
+    #: seconds between worker liveness beacons.
+    heartbeat_interval: float = 0.25
+    #: a busy worker silent for this long is declared hung.
+    heartbeat_timeout: float = 30.0
+    #: hard per-task wall-clock deadline (``None`` disables; the
+    #: heartbeat timeout still catches fully wedged workers).
+    task_deadline: float | None = 120.0
+    #: re-dispatch attempts per task before the master runs it locally.
+    max_retries: int = 2
+    #: total replacement workers the pool may spawn over its lifetime.
+    respawn_cap: int = 2
+    #: base of the exponential re-dispatch backoff (seconds); attempt k
+    #: waits ``backoff_base * 2**(k-1)``, capped at ``backoff_cap``.
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: default blocking granularity of :meth:`WorkerPool.poll`.
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise WorkerPoolError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise WorkerPoolError("heartbeat_timeout must exceed the interval")
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise WorkerPoolError("task_deadline must be positive (or None)")
+        if self.max_retries < 0:
+            raise WorkerPoolError("max_retries must be >= 0")
+        if self.respawn_cap < 0:
+            raise WorkerPoolError("respawn_cap must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise WorkerPoolError("need 0 <= backoff_base <= backoff_cap")
+        if self.poll_interval <= 0:
+            raise WorkerPoolError("poll_interval must be positive")
+
+
+# ----------------------------------------------------------------------
+# Task execution (shared by worker processes and the master fallback)
+# ----------------------------------------------------------------------
+def _task_rng(task: PoolTask) -> np.random.Generator:
+    if task.rng_state is not None:
+        bit_generator = np.random.PCG64()
+        bit_generator.state = task.rng_state
+        return np.random.Generator(bit_generator)
+    return np.random.default_rng(task.seed)
+
+
+def execute_task(
+    instance: Instance,
+    evaluator: Evaluator,
+    registry: OperatorRegistry,
+    task: PoolTask,
+    worker: int,
+):
+    """Yield the :class:`PoolBatch` stream of one task.
+
+    Pure in the sense that matters: the batches are a function of
+    ``(instance, task)`` only — the evaluator/registry are reusable
+    caches that never change the sampled moves or the objective floats.
+    That is the determinism-under-retry invariant: re-running the same
+    task after a crash reproduces the same neighbor sequence.
+    """
+    cache = evaluator.stats_cache
+    hits0, misses0 = cache.hits, cache.misses
+    solution = Solution(instance, task.routes)
+    rng = _task_rng(task)
+    out = []
+    fast = FastRng(rng)
+    try:
+        for _ in range(task.count):
+            move = registry.draw_move(solution, fast)
+            if move is None:
+                break
+            obj = evaluator.evaluate_move(solution, move)
+            child = move.apply(solution)  # routes must ship to the master
+            out.append(
+                (child.routes, (obj.distance, obj.vehicles, obj.tardiness), move.attribute)
+            )
+            if len(out) >= task.batch_size:
+                yield PoolBatch(
+                    worker=worker,
+                    task_id=task.task_id,
+                    attempt=task.attempt,
+                    neighbors=tuple(out),
+                    final=False,
+                )
+                out = []
+    finally:
+        fast.detach()
+    yield PoolBatch(
+        worker=worker,
+        task_id=task.task_id,
+        attempt=task.attempt,
+        neighbors=tuple(out),
+        final=True,
+        rng_state=rng.bit_generator.state if task.rng_state is not None else None,
+        cache_delta=(cache.hits - hits0, cache.misses - misses0),
+    )
+
+
+def _pool_worker_main(
+    slot: int,
+    generation: int,
+    instance: Instance,
+    task_q,
+    result_q,
+    heartbeat_interval: float,
+    fault_plan: FaultPlan | None,
+    ordinal_base: int,
+) -> None:
+    """Entry point of one worker process (spawn context)."""
+    evaluator = Evaluator(instance)
+    registry = default_registry()
+    stop_beating = threading.Event()
+
+    def beat() -> None:
+        while not stop_beating.wait(heartbeat_interval):
+            try:
+                result_q.put(PoolHeartbeat(slot, generation))
+            except Exception:  # pragma: no cover - master gone
+                return
+
+    threading.Thread(target=beat, daemon=True).start()
+
+    ordinal = ordinal_base
+    while True:
+        try:
+            msg = task_q.get()
+        except (EOFError, OSError):  # pragma: no cover - master gone
+            os._exit(0)
+        if isinstance(msg, StopMessage):
+            break
+        task: PoolTask = msg
+        action = fault_plan.action(slot, ordinal) if fault_plan else None
+        ordinal += 1
+        kill_after: int | None = None
+        if action is not None:
+            kind, arg = action
+            if kind == "kill":
+                if arg is None:
+                    os._exit(_FAULT_EXIT)
+                kill_after = int(arg)
+            elif kind == "delay":
+                time.sleep(float(arg))
+        batches_sent = 0
+        for batch in execute_task(instance, evaluator, registry, task, slot):
+            result_q.put(batch)
+            batches_sent += 1
+            if kill_after is not None and batches_sent >= kill_after:
+                os._exit(_FAULT_EXIT)
+    stop_beating.set()
+
+
+# ----------------------------------------------------------------------
+# Master-side bookkeeping
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class BatchEvent:
+    """One delivered batch: what the drivers consume from :meth:`poll`.
+
+    ``neighbors`` holds only *fresh* triples — the prefix a retried
+    task already delivered has been skipped by the pool.  ``final``
+    marks task completion (the c1 signal of the asynchronous decision
+    function); ``rng_state``/``cache_delta`` ride on final events only.
+    """
+
+    task_id: int
+    iteration: int
+    neighbors: tuple
+    final: bool
+    worker: int
+    rng_state: dict | None = None
+    cache_delta: tuple[int, int] | None = None
+
+
+@dataclass(slots=True)
+class TaskOutcome:
+    """Everything a completed task produced, in generation order."""
+
+    neighbors: tuple
+    rng_state: dict | None
+    cache_delta: tuple[int, int]
+
+
+class _Slot:
+    """One worker position: a process, its feed queue, its counters."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "task_q",
+        "result_q",
+        "alive",
+        "busy",
+        "dispatched_at",
+        "generation",
+        "heard",
+        "last_seen",
+        "dispatched_count",
+        "tasks_done",
+        "batches",
+        "crashes",
+        "stragglers",
+        "respawns",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.task_q = None
+        self.result_q = None
+        self.alive = False
+        self.busy: PoolTask | None = None
+        self.dispatched_at = 0.0
+        self.generation = 0
+        self.heard = False
+        self.last_seen = 0.0
+        self.dispatched_count = 0
+        self.tasks_done = 0
+        self.batches = 0
+        self.crashes = 0
+        self.stragglers = 0
+        self.respawns = 0
+
+
+class _TaskState:
+    """Master-side lifecycle of one submitted task."""
+
+    __slots__ = (
+        "task",
+        "attempt",
+        "delivered",
+        "attempt_seen",
+        "submitted_at",
+        "ready_at",
+    )
+
+    def __init__(self, task: PoolTask, now: float) -> None:
+        self.task = task
+        self.attempt = 0
+        #: neighbors already handed to the driver (across attempts).
+        self.delivered = 0
+        #: neighbors seen so far within the current attempt.
+        self.attempt_seen = 0
+        self.submitted_at = now
+        self.ready_at = now
+
+
+class WorkerPool:
+    """A supervised, persistent pool of neighborhood-evaluation workers.
+
+    Use as a context manager::
+
+        with WorkerPool(instance, n_workers=4) as pool:
+            tid = pool.submit(routes, count=50, seed=123, iteration=1)
+            outcome = pool.gather([tid])[tid]
+
+    or drive it event-by-event with :meth:`poll` (the asynchronous
+    master).  All blocking calls are bounded — worker failure is
+    handled by retry/respawn/degradation, never by waiting forever.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        n_workers: int,
+        *,
+        params: PoolParams | None = None,
+        fault_plan: FaultPlan | None = None,
+        batch_size: int | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise WorkerPoolError("need at least one worker process")
+        self.instance = instance
+        self.n_workers = n_workers
+        self.params = params or PoolParams()
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        #: default streaming granularity for :meth:`submit`.
+        self.default_batch_size = batch_size
+        self.degraded = False
+
+        self._ctx = mp.get_context("spawn")
+        self._slots = [_Slot(i) for i in range(n_workers)]
+        self._next_task_id = 0
+        self._pending: deque[int] = deque()  # task_ids awaiting dispatch
+        self._tasks: dict[int, _TaskState] = {}
+        self._respawns_used = 0
+        self._closed = False
+
+        # Global counters for the report.
+        self._retries = 0
+        self._crashes = 0
+        self._stragglers = 0
+        self._master_fallback_tasks = 0
+        self._stale_batches = 0
+        self._heartbeats = 0
+        self._tasks_completed = 0
+        self._max_backlog = 0
+        self._latencies: list[float] = []
+
+        # Master-local execution state (degradation / retry exhaustion).
+        self._local_evaluator: Evaluator | None = None
+        self._local_registry: OperatorRegistry | None = None
+
+        for slot in self._slots:
+            self._spawn(slot)
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _spawn(self, slot: _Slot) -> None:
+        slot.task_q = self._ctx.Queue()
+        slot.result_q = self._ctx.Queue()
+        slot.generation += 1
+        slot.process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(
+                slot.index,
+                slot.generation,
+                self.instance,
+                slot.task_q,
+                slot.result_q,
+                self.params.heartbeat_interval,
+                self.fault_plan,
+                slot.dispatched_count,
+            ),
+            daemon=True,
+        )
+        slot.process.start()
+        slot.alive = True
+        slot.busy = None
+        slot.heard = False
+        slot.last_seen = time.monotonic()
+
+    def close(self) -> None:
+        """Stop every worker; bounded waits only, stragglers get killed."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            if slot.alive and slot.process is not None:
+                try:
+                    slot.task_q.put(StopMessage(reason="pool closed"))
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        for slot in self._slots:
+            proc = slot.process
+            if proc is None:
+                continue
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - stubborn process
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            for q in (slot.task_q, slot.result_q):
+                if q is not None:
+                    q.close()
+                    q.cancel_join_thread()
+        self._maybe_dump_report()
+
+    def _maybe_dump_report(self) -> None:
+        """Persist the counter report when CI asks for it.
+
+        With ``REPRO_POOL_REPORT_DIR`` set, every pool writes its final
+        report there as JSON — the artifact CI uploads when a pool test
+        fails, so hangs and crash loops are diagnosable post-mortem.
+        """
+        directory = os.environ.get("REPRO_POOL_REPORT_DIR")
+        if not directory:
+            return
+        try:
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(
+                directory, f"pool-{os.getpid()}-{id(self):x}.json"
+            )
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(self.report(), fh, indent=2, default=str)
+        except OSError:  # pragma: no cover - report is best-effort
+            pass
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        routes: tuple[tuple[int, ...], ...],
+        count: int,
+        *,
+        seed: int | None = None,
+        rng_state: dict | None = None,
+        iteration: int = 0,
+        batch_size: int | None = None,
+    ) -> int:
+        """Queue one neighborhood chunk; returns its task id."""
+        if self._closed:
+            raise WorkerPoolError("pool is closed")
+        if count < 1:
+            raise WorkerPoolError("task count must be >= 1")
+        if (seed is None) == (rng_state is None):
+            raise WorkerPoolError("tasks need exactly one of seed= or rng_state=")
+        if batch_size is None:
+            batch_size = self.default_batch_size or count
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        task = PoolTask(
+            task_id=task_id,
+            attempt=0,
+            routes=routes,
+            count=count,
+            batch_size=batch_size,
+            iteration=iteration,
+            seed=seed,
+            rng_state=rng_state,
+        )
+        self._tasks[task_id] = _TaskState(task, time.monotonic())
+        self._pending.append(task_id)
+        self._max_backlog = max(self._max_backlog, len(self._pending))
+        return task_id
+
+    # -- event loop ----------------------------------------------------
+    def poll(self, timeout: float | None = None) -> list[BatchEvent]:
+        """Advance the pool and return newly delivered batches.
+
+        Dispatches pending tasks, drains the result queue (blocking up
+        to ``timeout`` for the first message), and polices liveness —
+        crashed or hung workers are respawned and their tasks retried.
+        Returns possibly-empty; never blocks beyond ``timeout`` plus a
+        bounded policing pass.
+        """
+        if timeout is None:
+            timeout = self.params.poll_interval
+        events: list[BatchEvent] = []
+        self._dispatch(events)
+        self._drain(timeout, events)
+        self._police(events)
+        self._dispatch(events)
+        return events
+
+    def gather(self, task_ids) -> dict[int, TaskOutcome]:
+        """Block (with supervision) until every listed task completes."""
+        want = set(task_ids)
+        buffers: dict[int, list] = {tid: [] for tid in want}
+        done: dict[int, TaskOutcome] = {}
+        while want:
+            for event in self.poll():
+                if event.task_id not in want:
+                    continue
+                buffers[event.task_id].extend(event.neighbors)
+                if event.final:
+                    done[event.task_id] = TaskOutcome(
+                        neighbors=tuple(buffers.pop(event.task_id)),
+                        rng_state=event.rng_state,
+                        cache_delta=event.cache_delta or (0, 0),
+                    )
+                    want.discard(event.task_id)
+        return done
+
+    # -- internals -----------------------------------------------------
+    def _idle_slots(self) -> list[_Slot]:
+        return [s for s in self._slots if s.alive and s.busy is None]
+
+    def _alive_count(self) -> int:
+        return sum(1 for s in self._slots if s.alive)
+
+    def _dispatch(self, events: list[BatchEvent]) -> None:
+        now = time.monotonic()
+        if self.degraded:
+            while self._pending:
+                tid = self._pending.popleft()
+                self._run_locally(tid, events)
+            return
+        idle = self._idle_slots()
+        deferred: list[int] = []
+        while self._pending and idle:
+            tid = self._pending.popleft()
+            state = self._tasks[tid]
+            if state.ready_at > now:  # still in its retry backoff window
+                deferred.append(tid)
+                continue
+            slot = idle.pop(0)
+            task = replace(state.task, attempt=state.attempt)
+            slot.busy = task
+            slot.dispatched_at = now
+            slot.dispatched_count += 1
+            try:
+                slot.task_q.put(task)
+            except Exception:  # pragma: no cover - feed queue broken
+                self._fail_slot(slot, "crash", events)
+        for tid in reversed(deferred):
+            self._pending.appendleft(tid)
+
+    def _handle_message(self, msg, events: list[BatchEvent]) -> None:
+        if isinstance(msg, PoolHeartbeat):
+            self._heartbeats += 1
+            if 0 <= msg.worker < len(self._slots):
+                slot = self._slots[msg.worker]
+                # A beacon a dead predecessor left in the queue must
+                # not vouch for its respawned replacement.
+                if msg.generation == slot.generation:
+                    slot.heard = True
+                    slot.last_seen = time.monotonic()
+            return
+        self._accept_batch(msg, events)
+
+    def _drain_slot(self, slot: _Slot, events: list[BatchEvent]) -> int:
+        """Empty one worker's result queue without blocking."""
+        if slot.result_q is None:
+            return 0
+        drained = 0
+        while True:
+            try:
+                msg = slot.result_q.get_nowait()
+            except (queue.Empty, OSError):
+                break
+            drained += 1
+            self._handle_message(msg, events)
+        return drained
+
+    def _drain(self, timeout: float, events: list[BatchEvent]) -> None:
+        """Drain every worker's result queue, waiting up to ``timeout``.
+
+        The queues are polled round-robin (they cannot be waited on
+        jointly); once any queue yields a message the pass finishes the
+        sweep and returns, otherwise it sleeps in ``poll_interval``
+        steps until the deadline.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            drained = sum(self._drain_slot(slot, events) for slot in self._slots)
+            if drained:
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(self.params.poll_interval, remaining))
+
+    def _accept_batch(self, msg: PoolBatch, events: list[BatchEvent]) -> None:
+        slot = self._slots[msg.worker] if 0 <= msg.worker < len(self._slots) else None
+        state = self._tasks.get(msg.task_id)
+        if state is None or msg.attempt != state.attempt:
+            # Stale output of a superseded attempt — it must not count
+            # as liveness either: only current-attempt batches (below)
+            # can come from the slot's current incarnation.
+            self._stale_batches += 1
+            return
+        if slot is not None:
+            slot.heard = True
+            slot.last_seen = time.monotonic()
+            slot.batches += 1
+        # Exactly-once across retries: skip the already-delivered prefix
+        # (retries regenerate the identical neighbor sequence, so an
+        # offset is a correct resume point).
+        n = len(msg.neighbors)
+        skip = min(max(state.delivered - state.attempt_seen, 0), n)
+        fresh = msg.neighbors[skip:]
+        state.attempt_seen += n
+        state.delivered = max(state.delivered, state.attempt_seen)
+        if msg.final:
+            self._complete_task(msg, slot)
+        if fresh or msg.final:
+            events.append(
+                BatchEvent(
+                    task_id=msg.task_id,
+                    iteration=state.task.iteration,
+                    neighbors=fresh,
+                    final=msg.final,
+                    worker=msg.worker,
+                    rng_state=msg.rng_state,
+                    cache_delta=msg.cache_delta,
+                )
+            )
+
+    def _complete_task(self, msg: PoolBatch, slot: _Slot | None) -> None:
+        state = self._tasks.pop(msg.task_id)
+        self._tasks_completed += 1
+        self._latencies.append(time.monotonic() - state.submitted_at)
+        if slot is not None:
+            slot.tasks_done += 1
+            if slot.busy is not None and slot.busy.task_id == msg.task_id:
+                slot.busy = None
+
+    def _police(self, events: list[BatchEvent]) -> None:
+        now = time.monotonic()
+        p = self.params
+        for slot in self._slots:
+            if not slot.alive:
+                continue
+            dead = not slot.process.is_alive()
+            hung = False
+            if not dead and slot.busy is not None:
+                over_deadline = (
+                    p.task_deadline is not None
+                    and now - slot.dispatched_at > p.task_deadline
+                )
+                # Silence only counts once this incarnation has been
+                # heard from: a freshly (re)spawned worker legitimately
+                # spends boot time (interpreter + imports) before its
+                # first heartbeat, and a worker wedged *during* boot is
+                # still caught by the task deadline or is_alive().
+                silent = slot.heard and now - slot.last_seen > p.heartbeat_timeout
+                hung = over_deadline or silent
+            if dead or hung:
+                self._fail_slot(slot, "crash" if dead else "straggler", events)
+
+    def _fail_slot(self, slot: _Slot, reason: str, events: list[BatchEvent]) -> None:
+        proc = slot.process
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - stubborn process
+                proc.kill()
+                proc.join(timeout=1.0)
+        # Salvage whatever the worker managed to send before dying —
+        # anything still unread after this is regenerated by the retry.
+        self._drain_slot(slot, events)
+        for q in (slot.task_q, slot.result_q):
+            # Abandon both queues: the task queue may hold an
+            # undelivered task copy that must not reach the replacement
+            # worker, and the result queue's write end may be corrupted
+            # by the death.
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        slot.task_q = None
+        slot.result_q = None
+        slot.alive = False
+        if reason == "crash":
+            slot.crashes += 1
+            self._crashes += 1
+        else:
+            slot.stragglers += 1
+            self._stragglers += 1
+
+        held = slot.busy
+        slot.busy = None
+        if held is not None:
+            self._retry_task(held.task_id, events)
+
+        if self._respawns_used < self.params.respawn_cap:
+            self._respawns_used += 1
+            slot.respawns += 1
+            self._spawn(slot)
+        elif self._alive_count() == 0 and not self.degraded:
+            self.degraded = True
+            # The pool has collapsed: every queued task now runs on the
+            # master so the search still completes.
+            while self._pending:
+                self._run_locally(self._pending.popleft(), events)
+
+    def _retry_task(self, task_id: int, events: list[BatchEvent]) -> None:
+        state = self._tasks.get(task_id)
+        if state is None:  # completed just before the failure was seen
+            return
+        state.attempt += 1
+        state.attempt_seen = 0
+        if state.attempt > self.params.max_retries:
+            self._master_fallback_tasks += 1
+            self._run_locally(task_id, events)
+            return
+        self._retries += 1
+        backoff = min(
+            self.params.backoff_base * (2.0 ** (state.attempt - 1)),
+            self.params.backoff_cap,
+        )
+        state.ready_at = time.monotonic() + backoff
+        self._pending.append(task_id)
+        self._max_backlog = max(self._max_backlog, len(self._pending))
+
+    def _run_locally(self, task_id: int, events: list[BatchEvent]) -> None:
+        """Execute one task on the master (degradation / retry-exhaustion)."""
+        state = self._tasks.get(task_id)
+        if state is None:
+            return
+        if self._local_evaluator is None:
+            self._local_evaluator = Evaluator(self.instance)
+            self._local_registry = default_registry()
+        task = replace(state.task, attempt=state.attempt)
+        for batch in execute_task(
+            self.instance, self._local_evaluator, self._local_registry, task, -1
+        ):
+            self._accept_batch(batch, events)
+
+    # -- observability -------------------------------------------------
+    def report(self) -> dict:
+        """The structured counter report (``TSMOResult.extra["pool"]``)."""
+        latencies = sorted(self._latencies)
+
+        def quantile(q: float) -> float | None:
+            if not latencies:
+                return None
+            return latencies[min(int(q * len(latencies)), len(latencies) - 1)]
+
+        plan = self.fault_plan
+        return {
+            "n_workers": self.n_workers,
+            "degraded": self.degraded,
+            "crashes": self._crashes,
+            "stragglers": self._stragglers,
+            "respawns": self._respawns_used,
+            "retries": self._retries,
+            "master_fallback_tasks": self._master_fallback_tasks,
+            "stale_batches": self._stale_batches,
+            "heartbeats": self._heartbeats,
+            "tasks_completed": self._tasks_completed,
+            "max_backlog": self._max_backlog,
+            "latency": {
+                "p50": quantile(0.50),
+                "p90": quantile(0.90),
+                "max": latencies[-1] if latencies else None,
+            },
+            "per_worker": [
+                {
+                    "slot": s.index,
+                    "tasks": s.tasks_done,
+                    "batches": s.batches,
+                    "crashes": s.crashes,
+                    "stragglers": s.stragglers,
+                    "respawns": s.respawns,
+                }
+                for s in self._slots
+            ],
+            "faults_planned": {
+                "kills": len(plan.kills) if plan else 0,
+                "delays": len(plan.delays) if plan else 0,
+            },
+        }

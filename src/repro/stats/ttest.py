@@ -59,7 +59,21 @@ def pairwise_ttest(
         raise BenchmarkError(
             f"t-test needs >= 2 samples per side, got {a.size} and {b.size}"
         )
-    stat, p = sps.ttest_ind(a, b, equal_var=False)
+    if np.var(a) == 0.0 and np.var(b) == 0.0:
+        # Degenerate case: both samples are constant (common for the
+        # integer vehicles objective — e.g. 10 runs all using 11
+        # vehicles), where Welch's statistic is 0/0 and scipy returns
+        # ``t=nan, p=nan`` — which ``significant()`` would silently
+        # answer False on.  Resolve it explicitly: identical constants
+        # are maximally indistinguishable (p=1); different constants
+        # are separated with zero within-sample noise (p=0).
+        if float(a[0]) == float(b[0]):
+            stat, p = 0.0, 1.0
+        else:
+            stat = np.inf if a[0] > b[0] else -np.inf
+            p = 0.0
+    else:
+        stat, p = sps.ttest_ind(a, b, equal_var=False)
     return TTestResult(
         label_a=label_a,
         label_b=label_b,

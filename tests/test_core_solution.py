@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.evaluation import evaluate, evaluate_permutation
+from repro.core.objectives import ObjectiveVector
 from repro.core.solution import Solution
 from repro.errors import SolutionError
 from repro.vrptw.generator import generate_instance
@@ -126,6 +127,22 @@ class TestViews:
         assert sol.objectives is sol.objectives  # cached object
         oracle = evaluate(inst, sol)
         assert sol.objectives.distance == pytest.approx(oracle.distance)
+
+    def test_adopt_objectives_skips_recomputation(self, inst):
+        sol = Solution.from_routes(inst, [[1, 2, 3, 4, 5], [6, 7, 8, 9, 10]])
+        truth = sol.objectives
+        fresh = Solution.from_routes(inst, [[1, 2, 3, 4, 5], [6, 7, 8, 9, 10]])
+        fresh.adopt_objectives(truth)
+        assert fresh.objectives is truth  # installed, not recomputed
+
+    def test_adopt_objectives_conflict_rejected(self, inst):
+        sol = Solution.from_routes(inst, [[1, 2, 3, 4, 5], [6, 7, 8, 9, 10]])
+        truth = sol.objectives
+        wrong = ObjectiveVector(truth.distance + 1.0, truth.vehicles, truth.tardiness)
+        with pytest.raises(SolutionError, match="conflicts"):
+            sol.adopt_objectives(wrong)
+        # Adopting the already-cached value is a no-op, not an error.
+        sol.adopt_objectives(truth)
 
     def test_permutation_oracle_agreement(self, inst):
         sol = Solution.from_routes(inst, [[2, 4], [1, 3, 5, 6], [7, 8, 9, 10]])

@@ -237,6 +237,27 @@ class TestCollaborative:
         )
         assert r.extra["exchanges"] > 0
 
+    def test_send_receive_conservation(self, instance, cost):
+        """Every sent elite is either received or still sits in an inbox
+        when its receiver's budget ran out: sends = receives + undelivered."""
+        params = TSMOParams(
+            max_evaluations=1200, neighborhood_size=30, restart_after=6
+        )
+        r = run_collaborative_tsmo(
+            instance,
+            params,
+            4,
+            seed=3,
+            cost_model=cost,
+            collab_params=CollabParams(initial_phase_patience=2),
+        )
+        sends = r.extra["per_searcher_sends"]
+        receives = r.extra["per_searcher_receives"]
+        assert len(sends) == len(receives) == 4
+        assert sum(sends) == r.extra["exchanges"]
+        assert sum(sends) == sum(receives) + r.extra["undelivered_solutions"]
+        assert sum(sends) > 0
+
     def test_perturbation_off(self, instance, params, cost):
         r = run_collaborative_tsmo(
             instance,

@@ -1,0 +1,238 @@
+"""Tests for the persistent fault-tolerant worker pool.
+
+Process-free tests (fault-plan parsing, parameter validation, the
+execute_task determinism invariant) run first; the process-backed
+tests shrink every supervision interval so failure paths resolve in
+well under a second of policing time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import i1_construct
+from repro.core.evaluation import Evaluator
+from repro.core.operators.registry import default_registry
+from repro.errors import WorkerPoolError
+from repro.parallel.messages import PoolTask
+from repro.parallel.pool import FaultPlan, PoolParams, WorkerPool, execute_task
+from repro.vrptw.generator import generate_instance
+
+#: supervision knobs shrunk for tests: failures resolve in milliseconds.
+FAST = PoolParams(
+    heartbeat_interval=0.05,
+    heartbeat_timeout=10.0,
+    task_deadline=10.0,
+    backoff_base=0.01,
+    poll_interval=0.02,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance("R1", 20, seed=55)
+
+
+@pytest.fixture(scope="module")
+def routes(instance):
+    return i1_construct(instance, rng=1).routes
+
+
+def run_on_master(instance, routes, count, seed, batch_size=None):
+    """Ground truth: the same task executed inline, no processes."""
+    task = PoolTask(
+        task_id=0,
+        attempt=0,
+        routes=routes,
+        count=count,
+        batch_size=batch_size or count,
+        iteration=1,
+        seed=seed,
+    )
+    neighbors = []
+    for batch in execute_task(
+        instance, Evaluator(instance), default_registry(), task, -1
+    ):
+        neighbors.extend(batch.neighbors)
+    return tuple(neighbors)
+
+
+class TestFaultPlanParsing:
+    def test_kill_delay_and_mid_task_kill(self):
+        plan = FaultPlan.from_env("kill:1@3, delay:0@2:0.5, kill:2@0+4")
+        assert plan.kills == ((1, 3, None), (2, 0, 4))
+        assert plan.delays == ((0, 2, 0.5),)
+        assert plan.action(1, 3) == ("kill", None)
+        assert plan.action(2, 0) == ("kill", 4)
+        assert plan.action(0, 2) == ("delay", 0.5)
+        assert plan.action(0, 0) is None
+
+    def test_empty_spec_is_no_plan(self):
+        assert FaultPlan.from_env("") is None
+        assert FaultPlan.from_env("   ") is None
+
+    def test_plan_truthiness(self):
+        assert not FaultPlan()
+        assert FaultPlan(kills=((0, 0, None),))
+
+    @pytest.mark.parametrize(
+        "spec", ["kill:x@y", "delay:0@1:soon", "boom:1@2", "kill:1"]
+    )
+    def test_malformed_rejected(self, spec):
+        with pytest.raises(WorkerPoolError, match="malformed"):
+            FaultPlan.from_env(spec)
+
+
+class TestPoolParams:
+    def test_defaults_valid(self):
+        PoolParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(heartbeat_interval=0.0),
+            dict(heartbeat_timeout=0.1, heartbeat_interval=0.25),
+            dict(task_deadline=0.0),
+            dict(max_retries=-1),
+            dict(respawn_cap=-1),
+            dict(backoff_base=-0.1),
+            dict(backoff_base=1.0, backoff_cap=0.5),
+            dict(poll_interval=0.0),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(WorkerPoolError):
+            PoolParams(**kwargs)
+
+
+class TestExecuteTaskDeterminism:
+    def test_same_seed_same_neighbors(self, instance, routes):
+        a = run_on_master(instance, routes, 12, seed=77)
+        b = run_on_master(instance, routes, 12, seed=77)
+        assert a == b
+        assert len(a) == 12
+
+    def test_batching_does_not_change_output(self, instance, routes):
+        whole = run_on_master(instance, routes, 12, seed=77)
+        streamed = run_on_master(instance, routes, 12, seed=77, batch_size=3)
+        assert whole == streamed
+
+
+class TestWorkerPoolHealthy:
+    def test_submit_gather_matches_master(self, instance, routes):
+        with WorkerPool(instance, 1, params=FAST) as pool:
+            tid = pool.submit(routes, 10, seed=42, iteration=1)
+            outcome = pool.gather([tid])[tid]
+            # Determinism across the process boundary: the worker's
+            # neighbors equal an inline execution of the same task.
+            assert outcome.neighbors == run_on_master(instance, routes, 10, seed=42)
+            assert outcome.cache_delta[1] > 0  # misses were counted
+
+            with pytest.raises(WorkerPoolError, match="count"):
+                pool.submit(routes, 0, seed=1)
+            with pytest.raises(WorkerPoolError, match="exactly one"):
+                pool.submit(routes, 5)
+            with pytest.raises(WorkerPoolError, match="exactly one"):
+                pool.submit(routes, 5, seed=1, rng_state={"state": 0})
+
+            report = pool.report()
+        assert report["crashes"] == 0
+        assert report["respawns"] == 0
+        assert report["degraded"] is False
+        assert report["tasks_completed"] == 1
+        assert report["latency"]["p50"] is not None
+        assert len(report["per_worker"]) == 1
+
+        with pytest.raises(WorkerPoolError, match="closed"):
+            pool.submit(routes, 5, seed=1)
+
+    def test_invalid_worker_count(self, instance):
+        with pytest.raises(WorkerPoolError):
+            WorkerPool(instance, 0)
+
+
+class TestFaultTolerance:
+    def test_kill_before_task_retries_and_respawns(self, instance, routes):
+        plan = FaultPlan(kills=((0, 0, None),))
+        with WorkerPool(instance, 1, params=FAST, fault_plan=plan) as pool:
+            tid = pool.submit(routes, 10, seed=42, iteration=1)
+            outcome = pool.gather([tid])[tid]
+            report = pool.report()
+        # The injected crash, its retry and the respawn — exactly once.
+        assert report["crashes"] == 1
+        assert report["retries"] == 1
+        assert report["respawns"] == 1
+        assert report["degraded"] is False
+        assert report["faults_planned"] == {"kills": 1, "delays": 0}
+        # Deterministic re-seeding: the retried task regenerates the
+        # identical neighbor sequence.
+        assert outcome.neighbors == run_on_master(instance, routes, 10, seed=42)
+
+    def test_mid_task_kill_is_exactly_once(self, instance, routes):
+        # Worker dies after streaming one 3-neighbor batch; the retry
+        # must resume past the delivered prefix: no loss, no duplicates.
+        plan = FaultPlan(kills=((0, 0, 1),))
+        with WorkerPool(instance, 1, params=FAST, fault_plan=plan) as pool:
+            tid = pool.submit(routes, 12, seed=42, iteration=1, batch_size=3)
+            outcome = pool.gather([tid])[tid]
+            report = pool.report()
+        assert report["crashes"] == 1
+        assert report["retries"] == 1
+        expected = run_on_master(instance, routes, 12, seed=42)
+        assert len(outcome.neighbors) == 12
+        assert outcome.neighbors == expected
+
+    def test_delayed_worker_is_cut_off_as_straggler(self, instance, routes):
+        plan = FaultPlan(delays=((0, 0, 30.0),))
+        params = PoolParams(
+            heartbeat_interval=0.05,
+            heartbeat_timeout=10.0,
+            task_deadline=0.4,
+            backoff_base=0.01,
+            poll_interval=0.02,
+        )
+        with WorkerPool(instance, 1, params=params, fault_plan=plan) as pool:
+            tid = pool.submit(routes, 8, seed=9, iteration=1)
+            outcome = pool.gather([tid])[tid]
+            report = pool.report()
+        assert report["stragglers"] == 1
+        assert report["retries"] == 1
+        assert report["respawns"] == 1
+        assert outcome.neighbors == run_on_master(instance, routes, 8, seed=9)
+
+    def test_total_collapse_degrades_to_master(self, instance, routes):
+        # Both workers die on their first task and the respawn budget is
+        # zero: the pool must degrade and still complete every task.
+        plan = FaultPlan(kills=((0, 0, None), (1, 0, None)))
+        params = PoolParams(
+            heartbeat_interval=0.05,
+            heartbeat_timeout=10.0,
+            task_deadline=10.0,
+            backoff_base=0.01,
+            poll_interval=0.02,
+            respawn_cap=0,
+        )
+        with WorkerPool(instance, 2, params=params, fault_plan=plan) as pool:
+            tids = [pool.submit(routes, 6, seed=s, iteration=1) for s in (1, 2, 3)]
+            outcomes = pool.gather(tids)
+            report = pool.report()
+        assert report["degraded"] is True
+        assert report["crashes"] == 2
+        assert report["respawns"] == 0
+        assert len(outcomes) == 3
+        for tid, seed in zip(tids, (1, 2, 3)):
+            assert outcomes[tid].neighbors == run_on_master(
+                instance, routes, 6, seed=seed
+            )
+
+    def test_report_dump_on_request(self, instance, routes, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_REPORT_DIR", str(tmp_path))
+        with WorkerPool(instance, 1, params=FAST) as pool:
+            tid = pool.submit(routes, 4, seed=5, iteration=1)
+            pool.gather([tid])
+        dumps = list(tmp_path.glob("pool-*.json"))
+        assert len(dumps) == 1
+        import json
+
+        payload = json.loads(dumps[0].read_text())
+        assert payload["tasks_completed"] == 1
+        assert payload["n_workers"] == 1

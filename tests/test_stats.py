@@ -138,6 +138,28 @@ class TestTTest:
         with pytest.raises(BenchmarkError):
             pairwise_ttest([1.0], [2.0, 3.0])
 
+    def test_equal_constant_samples_not_significant(self):
+        # Both sides constant and equal (e.g. every run used 11
+        # vehicles): scipy's Welch statistic is 0/0 = nan; the explicit
+        # resolution is p=1 — maximally indistinguishable.
+        t = pairwise_ttest([11.0, 11.0, 11.0], [11.0, 11.0, 11.0])
+        assert not np.isnan(t.p_value)
+        assert t.p_value == 1.0
+        assert t.statistic == 0.0
+        assert not t.significant()
+
+    def test_unequal_constant_samples_significant(self):
+        # Both sides constant but different: zero within-sample noise
+        # separates them perfectly — p=0, always significant.
+        t = pairwise_ttest([11.0, 11.0, 11.0], [10.0, 10.0, 10.0])
+        assert not np.isnan(t.p_value)
+        assert t.p_value == 0.0
+        assert t.statistic == np.inf
+        assert t.significant()
+        flipped = pairwise_ttest([10.0, 10.0], [11.0, 11.0])
+        assert flipped.statistic == -np.inf
+        assert flipped.significant()
+
     def test_symmetry_of_p(self):
         rng = np.random.default_rng(1)
         a = rng.normal(10, 1, 20)
