@@ -34,11 +34,14 @@ from repro.core import (
 )
 from repro.errors import (
     BenchmarkError,
+    CheckpointError,
+    CrashInjected,
     InstanceError,
     OperatorError,
     ParseError,
     ReproError,
     SearchError,
+    SearchInterrupted,
     SimulationError,
     SolutionError,
 )
@@ -59,6 +62,14 @@ from repro.parallel import (
     run_sequential_simulated,
     run_synchronous_tsmo,
 )
+from repro.persistence import (
+    CheckpointPlan,
+    CheckpointPolicy,
+    InterruptFlag,
+    RunManifest,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.tabu import (
     TSMOEngine,
     TSMOParams,
@@ -78,20 +89,27 @@ __all__ = [
     "AdaptiveMemoryParams",
     "AsyncParams",
     "BenchmarkError",
+    "CheckpointError",
+    "CheckpointPlan",
+    "CheckpointPolicy",
     "CollabParams",
     "CostModel",
+    "CrashInjected",
     "Evaluator",
     "HybridParams",
     "I1Params",
     "Instance",
     "InstanceError",
+    "InterruptFlag",
     "NSGA2Params",
     "ObjectiveVector",
     "OperatorError",
     "ParetoArchive",
     "ParseError",
     "ReproError",
+    "RunManifest",
     "SearchError",
+    "SearchInterrupted",
     "SimCluster",
     "SimulationError",
     "Solution",
@@ -107,6 +125,7 @@ __all__ = [
     "i1_construct",
     "loads_solomon",
     "mutual_coverage",
+    "read_checkpoint",
     "read_solomon",
     "run_adaptive_memory_tsmo",
     "run_asynchronous_tsmo",
@@ -118,5 +137,6 @@ __all__ = [
     "run_sequential_tsmo",
     "run_synchronous_tsmo",
     "set_coverage",
+    "write_checkpoint",
     "write_solomon",
 ]

@@ -8,11 +8,22 @@ Examples::
     repro-bench table1 --save t1.json  # persist the run matrix
     repro-bench render t1.json         # re-render without re-running
     REPRO_BENCH_SCALE=paper repro-bench table1   # full-size protocol
+
+Crash recovery::
+
+    repro-bench table1 --checkpoint-dir ckpt --save t1.json
+    # ... killed (SIGTERM, SIGKILL, power loss) ...
+    repro-bench table1 --checkpoint-dir ckpt --save t1.json --resume
+
+``--resume`` skips every cell journaled in the run manifest and
+restores the interrupted cell from its latest snapshot; the completed
+table is bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -20,6 +31,8 @@ from repro.bench.config import BenchConfig
 from repro.bench.figures import fig1_trajectory, render_ascii
 from repro.bench.report import render_table
 from repro.bench.runner import run_table
+from repro.errors import SearchInterrupted
+from repro.persistence import ENV_CRASH_AFTER, CheckpointPlan
 from repro.vrptw.catalog import TABLE_GROUPS
 
 __all__ = ["main"]
@@ -62,6 +75,24 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="journal completed cells and snapshot in-flight searches here",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot every N evaluations (default: ~10 snapshots per run)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from --checkpoint-dir",
+    )
     return parser
 
 
@@ -75,6 +106,25 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_overrides(seed=args.seed)
     if args.evaluations is not None:
         config = config.with_overrides(max_evaluations=args.evaluations)
+    if args.checkpoint_every is not None:
+        config = config.with_overrides(checkpoint_every=args.checkpoint_every)
+
+    if args.resume and not args.checkpoint_dir:
+        print("--resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
+    plan = None
+    if args.checkpoint_dir:
+        every = config.checkpoint_every
+        if every is None:
+            # Roughly ten snapshots over the course of each run.
+            every = max(1, config.max_evaluations // 10)
+        crash_raw = os.environ.get(ENV_CRASH_AFTER, "").strip()
+        plan = CheckpointPlan(
+            args.checkpoint_dir,
+            every=every,
+            resume=args.resume,
+            crash_after=int(crash_raw) if crash_raw else None,
+        )
 
     if args.target == "fig1":
         data = fig1_trajectory(config)
@@ -95,7 +145,15 @@ def main(argv: list[str] | None = None) -> int:
     progress = None if args.quiet else lambda msg: print(f"  ... {msg}", file=sys.stderr)
     for table in tables:
         start = time.perf_counter()
-        data = run_table(table, config, progress=progress)
+        try:
+            data = run_table(table, config, progress=progress, checkpoint=plan)
+        except SearchInterrupted as exc:
+            where = f" (snapshot: {exc.path})" if exc.path else ""
+            print(
+                f"interrupted during {table}; resume with --resume{where}",
+                file=sys.stderr,
+            )
+            return 130
         elapsed = time.perf_counter() - start
         print(render_table(data, title=_TABLE_TITLES[table]))
         print(f"(regenerated in {elapsed:.1f}s wall time at bench scale)\n")

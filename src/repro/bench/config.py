@@ -15,7 +15,9 @@ Environment overrides:
   a float ``s`` multiplies both the evaluation budget and the city
   fraction (``2`` → twice the default size, etc.);
 * ``REPRO_BENCH_RUNS`` — runs per instance;
-* ``REPRO_BENCH_SEED`` — master seed of the whole experiment.
+* ``REPRO_BENCH_SEED`` — master seed of the whole experiment;
+* ``REPRO_CHECKPOINT_EVERY`` — snapshot cadence (evaluations) for
+  checkpointed runs (see :mod:`repro.persistence`).
 """
 
 from __future__ import annotations
@@ -59,6 +61,9 @@ class BenchConfig:
     collab_patience: int = 4
     #: master seed; every run seed derives from it deterministically.
     seed: int = 2007
+    #: snapshot cadence in evaluations for checkpointed runs; ``None``
+    #: leaves the cadence to the checkpoint plan (interrupt-only).
+    checkpoint_every: int | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.city_fraction <= 1:
@@ -68,6 +73,8 @@ class BenchConfig:
                 raise BenchmarkError(f"{label} must be >= 1")
         if any(p < 2 for p in self.processors):
             raise BenchmarkError("parallel variants need >= 2 processors")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise BenchmarkError("checkpoint_every must be >= 1 (or None)")
 
     # ------------------------------------------------------------------
     # Derived pieces
@@ -143,4 +150,12 @@ class BenchConfig:
         seed = os.environ.get("REPRO_BENCH_SEED", "").strip()
         if seed:
             config = config.with_overrides(seed=int(seed))
+        every = os.environ.get("REPRO_CHECKPOINT_EVERY", "").strip()
+        if every:
+            try:
+                config = config.with_overrides(checkpoint_every=int(every))
+            except ValueError:
+                raise BenchmarkError(
+                    f"REPRO_CHECKPOINT_EVERY must be an integer, got {every!r}"
+                ) from None
         return config

@@ -15,18 +15,23 @@ instance/initialization draws wherever the protocol allows.
 
 from __future__ import annotations
 
+import contextlib
+import signal
+import threading
 from typing import Callable
 
 import numpy as np
 
 from repro.bench.config import BenchConfig
+from repro.bench.storage import _record_result, _result_record
 from repro.bench.tables import TableData
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, SearchInterrupted
 from repro.parallel.async_ts import AsyncParams, run_asynchronous_tsmo
 from repro.parallel.base import run_sequential_simulated
 from repro.parallel.collab_ts import CollabParams, run_collaborative_tsmo
 from repro.parallel.costmodel import CostModel
 from repro.parallel.sync_ts import run_synchronous_tsmo
+from repro.persistence import CheckpointPlan, CheckpointPolicy
 from repro.tabu.search import TSMOResult
 from repro.vrptw.catalog import instances_for_table
 from repro.vrptw.instance import Instance
@@ -51,16 +56,33 @@ def run_configuration(
     n_processors: int,
     seed: int,
     cost_model: CostModel | None = None,
+    *,
+    checkpoint: CheckpointPolicy | None = None,
 ) -> TSMOResult:
-    """Run one algorithm configuration on one instance."""
+    """Run one algorithm configuration on one instance.
+
+    ``checkpoint`` (a per-cell :class:`~repro.persistence.
+    CheckpointPolicy`) is threaded through to whichever driver runs,
+    enabling periodic snapshots, crash injection and resume.
+    """
     params = config.tsmo_params()
     if algorithm == "sequential":
-        return run_sequential_simulated(instance, params, seed, cost_model)
+        return run_sequential_simulated(
+            instance, params, seed, cost_model, checkpoint=checkpoint
+        )
     if algorithm == "synchronous":
-        return run_synchronous_tsmo(instance, params, n_processors, seed, cost_model)
+        return run_synchronous_tsmo(
+            instance, params, n_processors, seed, cost_model, checkpoint=checkpoint
+        )
     if algorithm == "asynchronous":
         return run_asynchronous_tsmo(
-            instance, params, n_processors, seed, cost_model, AsyncParams()
+            instance,
+            params,
+            n_processors,
+            seed,
+            cost_model,
+            AsyncParams(),
+            checkpoint=checkpoint,
         )
     if algorithm == "collaborative":
         return run_collaborative_tsmo(
@@ -70,8 +92,40 @@ def run_configuration(
             seed,
             cost_model,
             CollabParams(initial_phase_patience=config.collab_patience),
+            checkpoint=checkpoint,
         )
     raise BenchmarkError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+
+
+@contextlib.contextmanager
+def _deliver_interrupts(plan: CheckpointPlan | None):
+    """Turn SIGINT/SIGTERM into a clean checkpoint-then-stop.
+
+    While a checkpointed table run is in flight, both signals set the
+    plan's shared interrupt flag; the running cell then snapshots at
+    its next safe point and raises
+    :class:`~repro.errors.SearchInterrupted`.  Handlers can only be
+    installed from the main thread — elsewhere this is a no-op and the
+    process keeps the default (or caller-installed) behavior.
+    """
+    if plan is None or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def handler(signum, frame):  # pragma: no cover - exercised via CLI test
+        plan.request_interrupt()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            pass
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
 
 
 def run_table(
@@ -80,8 +134,19 @@ def run_table(
     cost_model: CostModel | None = None,
     *,
     progress: Callable[[str], None] | None = None,
+    checkpoint: CheckpointPlan | None = None,
 ) -> TableData:
-    """Execute the full run matrix of one of the paper's tables."""
+    """Execute the full run matrix of one of the paper's tables.
+
+    With a :class:`~repro.persistence.CheckpointPlan`, every completed
+    cell ``(instance, run, algorithm, processors)`` is journaled to the
+    table's run manifest, in-flight cells snapshot periodically, and —
+    when the plan has ``resume=True`` — completed cells are skipped
+    (their stored records re-added verbatim) and the interrupted cell
+    restarts from its latest snapshot, bit-identically.  SIGINT/SIGTERM
+    checkpoint the running cell and raise
+    :class:`~repro.errors.SearchInterrupted`.
+    """
     config = config or BenchConfig.from_env()
     if cost_model is None:
         # Keep the simulation dimensionally self-similar at reduced
@@ -90,23 +155,74 @@ def run_table(
     specs = instances_for_table(
         table, scale=config.city_fraction, replicates=config.replicates
     )
+    manifest = checkpoint.manifest(table) if checkpoint is not None else None
+    completed = (
+        manifest.load() if checkpoint is not None and checkpoint.resume else {}
+    )
     data = TableData(table=table)
-    for instance_idx, spec in enumerate(specs):
-        instance = spec.build()
-        for run_idx in range(config.runs):
-            seed = _run_seed(config, table, instance_idx, run_idx)
-            for algorithm in ALGORITHMS:
-                proc_list = (1,) if algorithm == "sequential" else config.processors
-                for p in proc_list:
-                    if progress is not None:
-                        progress(
-                            f"{table}: {instance.name} run {run_idx + 1}/"
-                            f"{config.runs} {algorithm}@{p}"
-                        )
-                    result = run_configuration(
-                        algorithm, instance, config, p, seed, cost_model
+    with _deliver_interrupts(checkpoint):
+        for instance_idx, spec in enumerate(specs):
+            instance = spec.build()
+            for run_idx in range(config.runs):
+                seed = _run_seed(config, table, instance_idx, run_idx)
+                for algorithm in ALGORITHMS:
+                    proc_list = (
+                        (1,) if algorithm == "sequential" else config.processors
                     )
-                    data.add(result)
+                    for p in proc_list:
+                        if (
+                            checkpoint is not None
+                            and checkpoint.interrupt.is_set()
+                        ):
+                            # A cell can outrun its last snapshot
+                            # threshold and finish normally; stop the
+                            # table between cells in that case.
+                            raise SearchInterrupted(
+                                "table run interrupted; completed cells "
+                                f"are journaled in {manifest.path}"
+                            )
+                        done = completed.get((instance_idx, run_idx, algorithm, p))
+                        if done is not None:
+                            data.add(
+                                _record_result(done["record"], run_index=run_idx)
+                            )
+                            continue
+                        if progress is not None:
+                            progress(
+                                f"{table}: {instance.name} run {run_idx + 1}/"
+                                f"{config.runs} {algorithm}@{p}"
+                            )
+                        policy = (
+                            checkpoint.policy_for(
+                                table, instance_idx, run_idx, algorithm, p
+                            )
+                            if checkpoint is not None
+                            else None
+                        )
+                        result = run_configuration(
+                            algorithm,
+                            instance,
+                            config,
+                            p,
+                            seed,
+                            cost_model,
+                            checkpoint=policy,
+                        )
+                        data.add(result)
+                        if manifest is not None:
+                            # Journal first, then drop the now-obsolete
+                            # snapshot: a crash between the two leaves a
+                            # stale .ckpt that resume ignores (the cell
+                            # is in the manifest), never a lost cell.
+                            manifest.append(
+                                instance=instance.name,
+                                instance_idx=instance_idx,
+                                run_idx=run_idx,
+                                algorithm=algorithm,
+                                processors=p,
+                                record=_result_record(result),
+                            )
+                            policy.discard()
     return data
 
 

@@ -20,6 +20,7 @@ from repro.bench.tables import TableData
 from repro.core.objectives import ObjectiveVector
 from repro.errors import BenchmarkError
 from repro.mo.archive import ArchiveEntry
+from repro.persistence import atomic_write_text
 from repro.tabu.params import TSMOParams
 from repro.tabu.search import TSMOResult
 
@@ -27,6 +28,20 @@ __all__ = ["save_table_data", "load_table_data"]
 
 #: bumped when the on-disk layout changes.
 FORMAT_VERSION = 1
+
+#: every run record must carry exactly these fields.
+_REQUIRED_FIELDS = (
+    "instance",
+    "algorithm",
+    "processors",
+    "iterations",
+    "evaluations",
+    "restarts",
+    "wall_time",
+    "simulated_time",
+    "front",
+    "params",
+)
 
 
 def _result_record(result: TSMOResult) -> dict:
@@ -56,24 +71,58 @@ def _result_record(result: TSMOResult) -> dict:
     }
 
 
-def _record_result(record: dict) -> TSMOResult:
-    params = TSMOParams(**record["params"])
-    archive = [
-        ArchiveEntry(None, ObjectiveVector(float(d), int(v), float(t)))
-        for d, v, t in record["front"]
-    ]
-    return TSMOResult(
-        instance_name=record["instance"],
-        algorithm=record["algorithm"],
-        params=params,
-        archive=archive,
-        iterations=record["iterations"],
-        evaluations=record["evaluations"],
-        restarts=record["restarts"],
-        wall_time=record["wall_time"],
-        simulated_time=record["simulated_time"],
-        processors=record["processors"],
-    )
+def _record_result(record: dict, *, run_index: int | None = None) -> TSMOResult:
+    """Rebuild a :class:`TSMOResult` from a stored record, validating it.
+
+    A malformed record (hand-edited file, version skew, torn write that
+    slipped past the JSON parser) raises :class:`BenchmarkError` naming
+    the offending run index and field instead of a bare ``KeyError``
+    deep inside the table machinery.
+    """
+    where = "record" if run_index is None else f"run {run_index}"
+    if not isinstance(record, dict):
+        raise BenchmarkError(
+            f"{where}: expected a mapping, got {type(record).__name__}"
+        )
+    missing = [field for field in _REQUIRED_FIELDS if field not in record]
+    if missing:
+        raise BenchmarkError(f"{where}: missing field(s): {', '.join(missing)}")
+    if not isinstance(record["params"], dict):
+        raise BenchmarkError(f"{where}: field 'params' must be a mapping")
+    try:
+        params = TSMOParams(**record["params"])
+    except TypeError as exc:
+        raise BenchmarkError(f"{where}: field 'params' is invalid: {exc}") from exc
+    try:
+        archive = [
+            ArchiveEntry(None, ObjectiveVector(float(d), int(v), float(t)))
+            for d, v, t in record["front"]
+        ]
+    except (TypeError, ValueError) as exc:
+        raise BenchmarkError(f"{where}: field 'front' is malformed: {exc}") from exc
+    try:
+        return TSMOResult(
+            instance_name=record["instance"],
+            algorithm=record["algorithm"],
+            params=params,
+            archive=archive,
+            iterations=int(record["iterations"]),
+            evaluations=int(record["evaluations"]),
+            restarts=int(record["restarts"]),
+            # Timing fields are None for results that never measured
+            # them (e.g. pure-sequential runs have no simulated clock).
+            wall_time=(
+                None if record["wall_time"] is None else float(record["wall_time"])
+            ),
+            simulated_time=(
+                None
+                if record["simulated_time"] is None
+                else float(record["simulated_time"])
+            ),
+            processors=int(record["processors"]),
+        )
+    except (TypeError, ValueError) as exc:
+        raise BenchmarkError(f"{where}: invalid field value: {exc}") from exc
 
 
 def save_table_data(data: TableData, path: str | Path) -> Path:
@@ -91,7 +140,9 @@ def save_table_data(data: TableData, path: str | Path) -> Path:
         "runs": records,
     }
     out = Path(path)
-    out.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    # Crash-safe: a paper-scale run must never leave a half-written
+    # results file where the finished one should be.
+    atomic_write_text(out, json.dumps(payload, indent=1))
     return out
 
 
@@ -106,7 +157,10 @@ def load_table_data(path: str | Path) -> TableData:
         raise BenchmarkError(
             f"{path} has format version {version}, expected {FORMAT_VERSION}"
         )
+    runs = payload.get("runs")
+    if not isinstance(runs, list):
+        raise BenchmarkError(f"{path}: field 'runs' must be a list")
     data = TableData(table=payload["table"])
-    for record in payload["runs"]:
-        data.add(_record_result(record))
+    for run_index, record in enumerate(runs):
+        data.add(_record_result(record, run_index=run_index))
     return data

@@ -76,3 +76,38 @@ class WorkerPoolError(SearchError):
 
 class BenchmarkError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file could not be written, read or trusted.
+
+    Raised for malformed headers, version/kind mismatches, truncated
+    payloads and sha256 digest failures — anything that makes a
+    snapshot unsafe to resume from.  A missing file is also reported
+    through this class so callers can offer "start fresh" uniformly.
+    """
+
+
+class SearchInterrupted(ReproError):
+    """A run stopped early at the user's request (SIGINT/SIGTERM).
+
+    The interrupted driver has already written a checkpoint of its
+    latest consistent state before raising; re-running with resume
+    enabled continues from exactly that point.
+    """
+
+    def __init__(self, message: str, *, path=None) -> None:
+        super().__init__(message)
+        #: checkpoint file holding the interrupted run's state.
+        self.path = path
+
+
+class CrashInjected(ReproError):
+    """Deterministic fault injection fired (``REPRO_CRASH_AFTER_EVALS``).
+
+    Test-only: simulates an abrupt process death at a chosen evaluation
+    count so crash-recovery tests can kill a run mid-flight *without*
+    writing a farewell checkpoint — exactly like a SIGKILL or node
+    loss — and then assert that resuming from the latest periodic
+    snapshot reproduces the uninterrupted run bit for bit.
+    """

@@ -17,7 +17,7 @@ medium-term memory of non-dominated neighborhood solutions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generic, Iterator, Sequence, TypeVar
+from typing import Any, Callable, Generic, Iterator, Sequence, TypeVar
 
 import numpy as np
 
@@ -143,6 +143,33 @@ class ParetoArchive(Generic[T]):
         if not self._entries:
             raise SearchError("cannot sample from an empty archive")
         return self._entries[int(rng.integers(len(self._entries)))]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def export_state(self, encode_item: Callable[[T], Any]) -> dict:
+        """Snapshot entries (in order) and the version counter.
+
+        Entry ORDER is part of the search's bit-identity: restarts draw
+        ``pool[rng.integers(len(pool))]``, so a permuted archive would
+        change which solution a resumed run restarts from.  ``encode_item``
+        maps each item to something picklable and instance-independent
+        (solutions become route tuples).
+        """
+        return {
+            "entries": [
+                (encode_item(e.item), tuple(e.objectives)) for e in self._entries
+            ],
+            "version": self.version,
+        }
+
+    def restore_state(self, state: dict, decode_item: Callable[[Any], T]) -> None:
+        """Rebuild the archive exactly as exported."""
+        self._entries = [
+            ArchiveEntry(decode_item(item), ObjectiveVector(*objectives))
+            for item, objectives in state["entries"]
+        ]
+        self.version = state["version"]
 
     def would_accept(self, objectives: ObjectiveVector) -> bool:
         """Non-mutating acceptance test (used by the collaborative TS

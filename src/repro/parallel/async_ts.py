@@ -39,15 +39,41 @@ from repro.parallel.base import simulation_context
 from repro.parallel.costmodel import CostModel
 from repro.parallel.des import GET_TIMED_OUT
 from repro.parallel.messages import ResultMessage, StopMessage, TaskMessage
+from repro.core.objectives import ObjectiveVector
 from repro.parallel.sync_ts import split_chunks, worker_process
-from repro.rng import RngFactory
+from repro.rng import RngFactory, get_generator_state, set_generator_state
 from repro.tabu.neighborhood import Neighbor
 from repro.tabu.params import TSMOParams
-from repro.tabu.search import TSMOEngine, TSMOResult
+from repro.tabu.search import TSMOEngine, TSMOResult, decode_routes, encode_solution
 from repro.tabu.trace import TrajectoryRecorder
 from repro.vrptw.instance import Instance
 
 __all__ = ["AsyncParams", "run_asynchronous_tsmo"]
+
+
+def _encode_neighbor(neighbor: Neighbor) -> tuple:
+    """A pool neighbor as picklable, instance-free data.
+
+    Materializing the solution here is behavior-neutral (applying a
+    move consumes no randomness), and the decoded neighbor is eager, so
+    it never needs the — unpicklable — parent reference again.
+    """
+    return (
+        neighbor.move,
+        tuple(neighbor.objectives),
+        neighbor.iteration,
+        encode_solution(neighbor.solution),
+    )
+
+
+def _decode_neighbor(instance: Instance, data: tuple) -> Neighbor:
+    move, objectives, iteration, routes = data
+    return Neighbor(
+        move,
+        ObjectiveVector(*objectives),
+        iteration,
+        solution=decode_routes(instance, routes),
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,8 +116,22 @@ def run_asynchronous_tsmo(
     *,
     registry: OperatorRegistry | None = None,
     trace: TrajectoryRecorder | None = None,
+    checkpoint=None,
 ) -> TSMOResult:
-    """Run the asynchronous master–worker TSMO on the simulated cluster."""
+    """Run the asynchronous master–worker TSMO on the simulated cluster.
+
+    Unlike the synchronous variant, the master's loop top is *not*
+    quiescent — workers may be mid-chunk with batches in flight.  When
+    a snapshot is due the master therefore **drains** first: it stops
+    assigning work and absorbs messages until every worker is idle and
+    nothing is in transit, then captures the global state (engine,
+    carried-over pool, worker RNG streams, cluster, simulated clock).
+    The drain is an extra synchronization the uncheckpointed run does
+    not have, so the checkpoint cadence is part of the protocol: a run
+    with a given policy is bit-identical to a crashed-and-resumed run
+    under the *same* policy (which is what crash recovery needs), but
+    not to a run with no checkpointing at all.  See DESIGN.md.
+    """
     params = params or TSMOParams()
     aparams = async_params or AsyncParams()
     if n_processors < 2:
@@ -110,12 +150,37 @@ def run_asynchronous_tsmo(
     )
     finish = {"time": None, "carryover": 0, "pool_sizes": []}
 
+    resumed = (
+        checkpoint.load_resume_state(kind="asynchronous")
+        if checkpoint is not None
+        else None
+    )
+    if resumed is not None:
+        if len(resumed["workers"]) != n_processors - 1:
+            raise SimulationError(
+                f"snapshot has {len(resumed['workers'])} worker streams, "
+                f"run asked for {n_processors - 1} workers"
+            )
+        engine.restore(resumed["engine"])
+        for rng, state in zip(worker_rngs, resumed["workers"]):
+            set_generator_state(rng, state)
+        cluster.restore_state(resumed["cluster"])
+        env.now = resumed["env_now"]
+        finish["carryover"] = resumed["carryover"]
+        finish["pool_sizes"] = list(resumed["pool_sizes"])
+        checkpoint.note_resumed(engine.evaluator.count)
+
     def master():
         inbox = cluster.inbox(0)
-        yield cluster.compute(0, cost.init_cost(instance.n_customers))
-        engine.initialize()
+        if resumed is None:
+            yield cluster.compute(0, cost.init_cost(instance.n_customers))
+            engine.initialize()
         idle = set(range(1, n_processors))
         pool: list[Neighbor] = []
+        if resumed is not None:
+            # Snapshots are taken drained: every worker idle, nothing
+            # in flight, stragglers already absorbed into the pool.
+            pool.extend(_decode_neighbor(instance, n) for n in resumed["pool"])
         # The master takes a reduced share; workers split the rest.
         equal = params.neighborhood_size / n_processors
         master_chunk = int(round(aparams.master_share * equal))
@@ -137,7 +202,36 @@ def run_asynchronous_tsmo(
             if msg.final:
                 idle.add(msg.worker)
 
-        while not engine.done:
+        def build_state():
+            return {
+                "engine": engine.snapshot(),
+                "workers": [get_generator_state(rng) for rng in worker_rngs],
+                "cluster": cluster.export_state(),
+                "env_now": env.now,
+                "pool": [_encode_neighbor(n) for n in pool],
+                "carryover": finish["carryover"],
+                "pool_sizes": list(finish["pool_sizes"]),
+            }
+
+        while True:
+            if checkpoint is not None:
+                count = evaluator.count
+                if checkpoint.due(count):
+                    # Drain to quiescence before capturing state: no
+                    # new work goes out, in-flight batches are absorbed
+                    # into the pool, every worker ends blocked on its
+                    # inbox with nothing in transit.
+                    while (
+                        len(idle) < n_processors - 1
+                        or len(inbox) > 0
+                        or cluster.has_pending_deliveries()
+                    ):
+                        msg = yield inbox.get()
+                        yield from absorb(msg)
+                    checkpoint.commit(evaluator.count, build_state(), kind="asynchronous")
+                checkpoint.maybe_crash(evaluator.count)
+            if engine.done:
+                break
             iteration = engine.iteration + 1
             # (Re)assign work to every idle worker; busy workers keep
             # grinding on neighborhoods of previous currents.

@@ -56,6 +56,7 @@ def run_sequential_simulated(
     *,
     registry: OperatorRegistry | None = None,
     trace: TrajectoryRecorder | None = None,
+    checkpoint=None,
 ) -> TSMOResult:
     """The sequential TSMO with simulated timing — the ``T_s`` baseline.
 
@@ -64,17 +65,49 @@ def run_sequential_simulated(
     archive); additionally accumulates the cost-model time a single
     reference processor would need, which is the numerator of every
     speedup in Tables I–IV.
+
+    Checkpointing (via a :class:`~repro.persistence.CheckpointPolicy`)
+    snapshots at iteration boundaries — where the single process owns
+    all state and no event is in flight — and is fully transparent:
+    results are bit-identical with or without it.  Snapshots add the
+    simulated clock, so a resumed run reports the same
+    ``simulated_time`` as an uninterrupted one.
     """
     params = params or TSMOParams()
     env, cluster, (search_rng,) = simulation_context(1, cost_model, seed)
     cost = cluster.cost
     engine = TSMOEngine(instance, params, search_rng, registry=registry, trace=trace)
 
+    resumed = (
+        checkpoint.load_resume_state(kind="sequential-sim")
+        if checkpoint is not None
+        else None
+    )
+    if resumed is not None:
+        engine.restore(resumed["engine"])
+        cluster.restore_state(resumed["cluster"])
+        env.now = resumed["env_now"]
+        checkpoint.note_resumed(engine.evaluator.count)
+
+    def build_state():
+        return {
+            "engine": engine.snapshot(),
+            "cluster": cluster.export_state(),
+            "env_now": env.now,
+        }
+
     def driver():
         cache = engine.evaluator.stats_cache
-        yield cluster.compute(0, cost.init_cost(instance.n_customers))
-        engine.initialize()
-        while not engine.done:
+        if resumed is None:
+            yield cluster.compute(0, cost.init_cost(instance.n_customers))
+            engine.initialize()
+        while True:
+            if checkpoint is not None:
+                checkpoint.tick(
+                    engine.evaluator.count, build_state, kind="sequential-sim"
+                )
+            if engine.done:
+                break
             misses_before = cache.misses
             neighbors = engine.generate_neighborhood()
             nominal = cost.eval_cost * len(neighbors)

@@ -22,7 +22,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.parallel.costmodel import CostModel
 from repro.parallel.des import Environment, Mailbox, Timeout
-from repro.rng import spawn_generators
+from repro.rng import get_generator_state, set_generator_state, spawn_generators
 
 __all__ = ["SimCluster"]
 
@@ -116,6 +116,78 @@ class SimCluster:
         """The mailbox of a processor."""
         self._check(processor)
         return self.mailboxes[processor]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the cluster's mutable state (noise RNGs + counters).
+
+        Speeds are NOT captured: they are a pure function of the
+        cluster seed, so the resuming run reconstructs them by
+        rebuilding the cluster with the same seed.  Mailbox buffers and
+        in-flight deliveries are protocol payloads; the drivers encode
+        them (see :meth:`pending_deliveries`).
+        """
+        return {
+            "noise": [get_generator_state(g) for g in self._noise],
+            "messages_sent": self.messages_sent,
+            "items_sent": self.items_sent,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overlay a snapshot onto a freshly rebuilt same-seed cluster."""
+        if len(state["noise"]) != self.n_processors:
+            raise SimulationError(
+                f"cluster snapshot has {len(state['noise'])} noise streams, "
+                f"cluster has {self.n_processors} processors"
+            )
+        for gen, gen_state in zip(self._noise, state["noise"]):
+            set_generator_state(gen, gen_state)
+        self.messages_sent = state["messages_sent"]
+        self.items_sent = state["items_sent"]
+
+    def pending_deliveries(self) -> list[tuple[float, int, Any]]:
+        """In-flight messages: ``(remaining_delay, dst_rank, payload)``.
+
+        Scans the event heap for delayed ``Mailbox._deliver`` calls
+        bound to this cluster's mailboxes, in ``(time, seq)`` order —
+        the order :meth:`restore_deliveries` must re-schedule them in
+        so ties on delivery time keep their original sequence order.
+        """
+        rank_of = {id(mb): i for i, mb in enumerate(self.mailboxes)}
+        pending = []
+        for at, seq, fn, value in sorted(self.env._heap, key=lambda e: (e[0], e[1])):
+            if (
+                getattr(fn, "__func__", None) is Mailbox._deliver
+                and id(getattr(fn, "__self__", None)) in rank_of
+            ):
+                pending.append((at - self.env.now, rank_of[id(fn.__self__)], value))
+        return pending
+
+    def has_pending_deliveries(self) -> bool:
+        """True while any message is still in transit."""
+        rank_of = {id(mb) for mb in self.mailboxes}
+        return any(
+            getattr(fn, "__func__", None) is Mailbox._deliver
+            and id(getattr(fn, "__self__", None)) in rank_of
+            for _, _, fn, _ in self.env._heap
+        )
+
+    def restore_deliveries(
+        self, deliveries: list[tuple[float, int, Any]]
+    ) -> None:
+        """Re-schedule in-flight messages captured at snapshot time.
+
+        Scheduled directly (even at zero remaining delay) so restored
+        messages arrive through the heap exactly like the originals —
+        a zero-delay ``put`` would instead deliver synchronously and
+        reorder same-time arrivals.
+        """
+        for remaining, rank, payload in deliveries:
+            self.env._schedule(
+                max(remaining, 0.0), self.mailboxes[rank]._deliver, payload
+            )
 
     def _check(self, processor: int) -> None:
         if not 0 <= processor < self.n_processors:

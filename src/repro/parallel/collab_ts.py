@@ -49,17 +49,118 @@ from repro.core.evaluation import Evaluator
 from repro.core.operators.registry import OperatorRegistry, default_registry
 from repro.core.stats_cache import RouteStatsCache
 from repro.errors import SimulationError
+from repro.core.objectives import ObjectiveVector
 from repro.mo.archive import ParetoArchive
 from repro.parallel.base import simulation_context
 from repro.parallel.costmodel import CostModel
+from repro.parallel.des import Mailbox
 from repro.parallel.messages import SolutionMessage
 from repro.rng import RngFactory
 from repro.tabu.params import TSMOParams
-from repro.tabu.search import TSMOEngine, TSMOResult
+from repro.tabu.search import TSMOEngine, TSMOResult, decode_routes, encode_solution
 from repro.tabu.trace import TrajectoryRecorder
 from repro.vrptw.instance import Instance
 
 __all__ = ["CollabParams", "run_collaborative_tsmo"]
+
+
+def _encode_message(msg: SolutionMessage) -> tuple:
+    return (msg.sender, encode_solution(msg.solution), tuple(msg.objectives))
+
+
+def _decode_message(instance: Instance, data: tuple) -> SolutionMessage:
+    sender, routes, objectives = data
+    return SolutionMessage(
+        sender=sender,
+        solution=decode_routes(instance, routes),
+        objectives=ObjectiveVector(*objectives),
+    )
+
+
+class _CollabBarrier:
+    """Checkpoint coordinator for the collaborative searchers.
+
+    Unlike the master–worker variants, no single process ever owns the
+    global state, so snapshots use a barrier: when round ``k`` is due
+    (a searcher's own evaluation count reaches ``k * every``), each
+    live searcher pauses at its loop top.
+    The *last* arriver — possibly a searcher that just finished its
+    budget — becomes the leader: it captures the global state
+    synchronously (every engine, comm lists, inbox buffers, in-flight
+    messages, cluster streams, the simulated clock), commits the
+    checkpoint, and releases the waiters in rank order through
+    per-rank mailboxes.  The stored spawn order (leader first, then
+    waiters in release order) lets the resuming run reproduce the
+    exact event interleaving after the barrier.
+
+    As with the asynchronous drain, the barrier is an extra
+    synchronization: the checkpoint cadence is part of the protocol
+    (crash+resume under a policy matches an uninterrupted run under
+    the *same* policy).
+    """
+
+    def __init__(self, env, policy, n_searchers, total_count, capture):
+        self.env = env
+        self.policy = policy
+        self.n = n_searchers
+        self.total_count = total_count  # () -> total evaluations
+        self.capture = capture  # (leader, live_order) -> state dict
+        self.k = 1
+        self.arrived: set[int] = set()
+        self.finished_ranks: set[int] = set()
+        self.boxes = [Mailbox(env, f"ckpt-barrier-{r}") for r in range(n_searchers)]
+
+    def due(self, rank: int, own_count: int) -> bool:
+        # An interrupt never moves the barrier off its scheduled
+        # rounds (that would change the protocol and break
+        # bit-identical resume); the scheduled commit raises
+        # SearchInterrupted instead.  Only without a cadence does an
+        # interrupt trigger an immediate round.
+        every = self.policy.every
+        if every is not None:
+            return own_count >= self.k * every
+        return self.policy.interrupt.is_set()
+
+    def maybe_crash(self) -> None:
+        self.policy.maybe_crash(self.total_count())
+
+    def arrive(self, rank: int):
+        """Pause at the barrier (``yield from`` this at the loop top)."""
+        self.arrived.add(rank)
+        if self.arrived | self.finished_ranks == set(range(self.n)):
+            self._complete(leader=rank, leader_live=True)
+            return
+        yield self.boxes[rank].get()
+
+    def finished(self, rank: int) -> None:
+        """A searcher exhausted its budget; stop waiting for it."""
+        self.finished_ranks.add(rank)
+        if (
+            self.arrived
+            and self.arrived | self.finished_ranks == set(range(self.n))
+        ):
+            self._complete(leader=rank, leader_live=False)
+
+    def _complete(self, leader: int, leader_live: bool) -> None:
+        waiting = sorted(self.arrived - {leader})
+        live_order = ([leader] if leader_live else []) + waiting
+        self.arrived.clear()
+        state = self.capture(leader, live_order)
+        if self.policy.every is not None and live_order:
+            slowest = min(state["counts"][r] for r in live_order)
+            self.k = slowest // self.policy.every + 1
+        # Store the *post-advance* round index: a resumed run must wait
+        # for round k+1, not replay round k (an extra barrier round
+        # would perturb same-time event ordering and the clock).
+        state["barrier_k"] = self.k
+        # commit may raise SearchInterrupted: waiters stay parked and
+        # the exception unwinds env.run() — exactly the wanted exit.
+        try:
+            self.policy.commit(self.total_count(), state, kind="collaborative")
+        finally:
+            if not self.policy.interrupt.is_set():
+                for r in waiting:
+                    self.boxes[r].put(True)
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,10 +192,17 @@ def run_collaborative_tsmo(
     *,
     registry: OperatorRegistry | None = None,
     trace: TrajectoryRecorder | None = None,
+    checkpoint=None,
 ) -> TSMOResult:
     """Run the collaborative multisearch TSMO on the simulated cluster.
 
     ``trace``, when given, records searcher 0's trajectory.
+
+    Checkpointing uses the :class:`_CollabBarrier` protocol: snapshots
+    capture every searcher plus the rotated communication lists,
+    undelivered inter-searcher messages (buffered and in transit) and
+    the simulated clock; crash injection triggers on the *total*
+    evaluation count across searchers.
     """
     params = params or TSMOParams()
     cparams = collab_params or CollabParams()
@@ -141,21 +249,108 @@ def run_collaborative_tsmo(
     finish_times = [0.0] * n_processors
     sends = [0] * n_processors
     receives = [0] * n_processors
+    # Phase state lives in per-rank lists (not searcher locals) so the
+    # checkpoint barrier can capture and restore it.
+    initial_phase = [True] * n_processors
+    last_improvement = [0] * n_processors
+
+    resumed = (
+        checkpoint.load_resume_state(kind="collaborative")
+        if checkpoint is not None
+        else None
+    )
+
+    def capture(leader: int, live_order: list[int]) -> dict:
+        return {
+            "engines": [engine.snapshot() for engine in engines],
+            "counts": [engine.evaluator.count for engine in engines],
+            "comm_lists": [list(c) for c in comm_lists],
+            "initial_phase": list(initial_phase),
+            "last_improvement": list(last_improvement),
+            "finish_times": list(finish_times),
+            "sends": list(sends),
+            "receives": list(receives),
+            "finished": sorted(barrier.finished_ranks),
+            "live_order": live_order,
+            "barrier_k": barrier.k,
+            "inboxes": [
+                [_encode_message(m) for m in cluster.inbox(r)._buffer]
+                for r in range(n_processors)
+            ],
+            "pending": [
+                (remaining, dst, _encode_message(payload))
+                for remaining, dst, payload in cluster.pending_deliveries()
+            ],
+            "cluster": cluster.export_state(),
+            "env_now": env.now,
+        }
+
+    barrier = (
+        _CollabBarrier(
+            env,
+            checkpoint,
+            n_processors,
+            lambda: sum(engine.evaluator.count for engine in engines),
+            capture,
+        )
+        if checkpoint is not None
+        else None
+    )
+
+    if resumed is not None:
+        if len(resumed["engines"]) != n_processors:
+            raise SimulationError(
+                f"snapshot has {len(resumed['engines'])} searchers, "
+                f"run asked for {n_processors}"
+            )
+        for engine, state in zip(engines, resumed["engines"]):
+            engine.restore(state)
+        for comm, stored in zip(comm_lists, resumed["comm_lists"]):
+            comm[:] = list(stored)
+        initial_phase[:] = resumed["initial_phase"]
+        last_improvement[:] = resumed["last_improvement"]
+        finish_times[:] = resumed["finish_times"]
+        sends[:] = resumed["sends"]
+        receives[:] = resumed["receives"]
+        cluster.restore_state(resumed["cluster"])
+        env.now = resumed["env_now"]
+        for rank, buffered in enumerate(resumed["inboxes"]):
+            for data in buffered:
+                cluster.inbox(rank)._buffer.append(_decode_message(instance, data))
+        cluster.restore_deliveries(
+            [
+                (remaining, dst, _decode_message(instance, data))
+                for remaining, dst, data in resumed["pending"]
+            ]
+        )
+        barrier.k = resumed["barrier_k"]
+        barrier.finished_ranks = set(resumed["finished"])
+        checkpoint.note_resumed(sum(engine.evaluator.count for engine in engines))
 
     def searcher(rank: int):
         engine = engines[rank]
         inbox = cluster.inbox(rank)
         comm = comm_lists[rank]
-        yield cluster.compute(rank, cost.init_cost(instance.n_customers))
-        engine.initialize()
-        initial_phase = True
+        if resumed is None:
+            yield cluster.compute(rank, cost.init_cost(instance.n_customers))
+            engine.initialize()
         patience = (
             cparams.initial_phase_patience
             if cparams.initial_phase_patience is not None
             else engine.params.restart_after
         )
-        last_improvement = 0
-        while not engine.done:
+        # A resumed searcher restarts exactly where the barrier paused
+        # it: past the arrival check (the snapshot's round is done) but
+        # before the crash/done checks, like the original post-release.
+        skip_arrival = resumed is not None
+        while True:
+            if barrier is not None:
+                if not skip_arrival and barrier.due(rank, engine.evaluator.count):
+                    yield from barrier.arrive(rank)
+                barrier.maybe_crash()
+            skip_arrival = False
+            if engine.done:
+                break
             # Drain foreign elites into the medium-term memory.
             while (msg := inbox.get_nowait()) is not None:
                 yield cluster.receive_overhead(rank, 1, streamed=False)
@@ -172,10 +367,10 @@ def run_collaborative_tsmo(
             engine.select_and_update(neighbors)
             improved = engine.memories.archive.version != version_before
             if improved:
-                last_improvement = engine.iteration
-            if initial_phase:
-                if engine.iteration - last_improvement >= patience:
-                    initial_phase = False
+                last_improvement[rank] = engine.iteration
+            if initial_phase[rank]:
+                if engine.iteration - last_improvement[rank] >= patience:
+                    initial_phase[rank] = False
             elif improved and comm:
                 dst = comm.pop(0)
                 comm.append(dst)
@@ -190,10 +385,22 @@ def run_collaborative_tsmo(
                     n_items=1,
                 )
                 sends[rank] += 1
+        # The finish time must be on record BEFORE the barrier learns
+        # this searcher is done — finished() may complete a pending
+        # round and snapshot finish_times right away.
         finish_times[rank] = env.now
+        if barrier is not None:
+            barrier.finished(rank)
 
-    for rank in range(n_processors):
-        env.process(searcher(rank), name=f"searcher-{rank}")
+    if resumed is None:
+        for rank in range(n_processors):
+            env.process(searcher(rank), name=f"searcher-{rank}")
+    else:
+        # Leader first, then the released waiters in rank order — the
+        # spawn order reproduces the post-barrier event interleaving of
+        # the original run.  Finished searchers are not respawned.
+        for rank in resumed["live_order"]:
+            env.process(searcher(rank), name=f"searcher-{rank}")
 
     start = time.perf_counter()
     env.run()

@@ -211,11 +211,17 @@ class Mailbox:
     # Sending
     # ------------------------------------------------------------------
     def put(self, item: Any, delay: float = 0.0) -> None:
-        """Deliver ``item`` after ``delay`` time units."""
+        """Deliver ``item`` after ``delay`` time units.
+
+        Delayed deliveries are scheduled as bound ``_deliver`` calls
+        (not opaque closures) so checkpointing code can recognize
+        in-flight messages in the event heap and re-schedule them on
+        resume.
+        """
         if item is None:
             raise SimulationError("mailboxes cannot carry None items")
         if delay > 0:
-            self.env.call_at(delay, lambda: self._deliver(item))
+            self.env._schedule(delay, self._deliver, item)
         else:
             self._deliver(item)
 

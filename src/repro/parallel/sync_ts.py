@@ -27,7 +27,7 @@ from repro.errors import SimulationError
 from repro.parallel.base import simulation_context
 from repro.parallel.costmodel import CostModel
 from repro.parallel.messages import ResultMessage, StopMessage, TaskMessage
-from repro.rng import RngFactory
+from repro.rng import RngFactory, get_generator_state, set_generator_state
 from repro.tabu.neighborhood import Neighbor, sample_neighborhood
 from repro.tabu.params import TSMOParams
 from repro.tabu.search import TSMOEngine, TSMOResult
@@ -128,8 +128,17 @@ def run_synchronous_tsmo(
     *,
     registry: OperatorRegistry | None = None,
     trace: TrajectoryRecorder | None = None,
+    checkpoint=None,
 ) -> TSMOResult:
-    """Run the synchronous master–worker TSMO on the simulated cluster."""
+    """Run the synchronous master–worker TSMO on the simulated cluster.
+
+    The master's loop top is a global barrier — every worker has
+    reported and is blocked on its inbox, nothing is in transit — so
+    checkpointing there captures the whole cluster consistently:
+    engine, per-worker RNG bit-states, cluster noise streams and the
+    simulated clock.  As for the sequential drivers, checkpointing is
+    fully transparent (bit-identical with or without it).
+    """
     params = params or TSMOParams()
     if n_processors < 2:
         raise SimulationError("the master-worker variants need >= 2 processors")
@@ -148,11 +157,44 @@ def run_synchronous_tsmo(
     )
     finish = {"time": None}
 
+    resumed = (
+        checkpoint.load_resume_state(kind="synchronous")
+        if checkpoint is not None
+        else None
+    )
+    if resumed is not None:
+        if len(resumed["workers"]) != n_processors - 1:
+            raise SimulationError(
+                f"snapshot has {len(resumed['workers'])} worker streams, "
+                f"run asked for {n_processors - 1} workers"
+            )
+        engine.restore(resumed["engine"])
+        for rng, state in zip(worker_rngs, resumed["workers"]):
+            set_generator_state(rng, state)
+        cluster.restore_state(resumed["cluster"])
+        env.now = resumed["env_now"]
+        checkpoint.note_resumed(engine.evaluator.count)
+
+    def build_state():
+        return {
+            "engine": engine.snapshot(),
+            "workers": [get_generator_state(rng) for rng in worker_rngs],
+            "cluster": cluster.export_state(),
+            "env_now": env.now,
+        }
+
     def master():
         inbox = cluster.inbox(0)
-        yield cluster.compute(0, cost.init_cost(instance.n_customers))
-        engine.initialize()
-        while not engine.done:
+        if resumed is None:
+            yield cluster.compute(0, cost.init_cost(instance.n_customers))
+            engine.initialize()
+        while True:
+            if checkpoint is not None:
+                checkpoint.tick(
+                    engine.evaluator.count, build_state, kind="synchronous"
+                )
+            if engine.done:
+                break
             iteration = engine.iteration + 1
             chunks = split_chunks(params.neighborhood_size, n_processors)
             for rank in range(1, n_processors):

@@ -1,0 +1,43 @@
+"""Crash-safe persistence: atomic writes, checkpoints, run manifests.
+
+This package is the durability layer of the repro: everything that
+must survive a SIGKILL goes through it.  See DESIGN.md ("Checkpoint /
+resume") for the snapshot format and the bit-identical resume
+invariant the drivers build on top of these primitives.
+"""
+
+from repro.persistence.atomic import (
+    append_line,
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+)
+from repro.persistence.checkpoint import (
+    ENV_CRASH_AFTER,
+    ENV_EVERY,
+    FORMAT_VERSION,
+    CheckpointPlan,
+    CheckpointPolicy,
+    InterruptFlag,
+    dump_checkpoint_bytes,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.persistence.manifest import RunManifest
+
+__all__ = [
+    "CheckpointPlan",
+    "CheckpointPolicy",
+    "ENV_CRASH_AFTER",
+    "ENV_EVERY",
+    "FORMAT_VERSION",
+    "InterruptFlag",
+    "RunManifest",
+    "append_line",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "dump_checkpoint_bytes",
+    "fsync_directory",
+    "read_checkpoint",
+    "write_checkpoint",
+]

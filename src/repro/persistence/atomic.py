@@ -1,0 +1,83 @@
+"""Crash-safe filesystem primitives.
+
+Every artifact this library persists — result pickles, table JSON,
+checkpoint snapshots, run manifests — goes through the helpers here so
+that a crash (SIGKILL, OOM, node loss) at *any* instant leaves either
+the previous complete file or the new complete file, never a torn
+hybrid:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` write to a
+  temporary file in the **same directory** (same filesystem, so the
+  final rename cannot degrade to a copy), ``fsync`` it, and publish it
+  with :func:`os.replace` — the POSIX-atomic rename;
+* :func:`append_line` is the append-only discipline for manifests: one
+  ``write`` of a complete line followed by flush + ``fsync``.  A crash
+  mid-append can tear at most the final line, which readers detect and
+  drop (the record it described simply counts as not-done).
+
+Directory entries are fsynced best-effort after a publish; some
+filesystems (and all of Windows) do not support opening directories,
+in which case the data fsync alone already bounds the damage.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["append_line", "atomic_write_bytes", "atomic_write_text", "fsync_directory"]
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory entry to disk (best-effort, POSIX only)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + replace).
+
+    The temporary file carries the writer's pid so concurrent writers
+    on the same path cannot collide; a crash before the final rename
+    leaves the previous version of ``path`` untouched (plus a stale
+    ``*.tmp.*`` file that later writers ignore and overwrite).
+    """
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    fsync_directory(target.parent)
+    return target
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Atomic counterpart of :meth:`pathlib.Path.write_text`."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def append_line(path: str | Path, line: str, encoding: str = "utf-8") -> None:
+    """Append one complete line to ``path`` durably.
+
+    ``line`` must not contain embedded newlines (one record per line is
+    what makes torn-tail detection possible); a trailing newline is
+    added if missing.
+    """
+    if "\n" in line.rstrip("\n"):
+        raise ValueError("manifest records must be single lines")
+    if not line.endswith("\n"):
+        line += "\n"
+    with open(path, "a", encoding=encoding) as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())

@@ -1,0 +1,389 @@
+"""The versioned, checksummed snapshot format and checkpoint policy.
+
+A checkpoint file is one header line followed by a pickle payload::
+
+    REPROCKPT <format-version> <kind> <payload-length> <sha256-hex>\\n
+    <pickle bytes>
+
+The header makes the file self-describing without unpickling anything:
+``kind`` names the driver that wrote it (``sequential``,
+``synchronous``, ``asynchronous``, ``collaborative``, ...), and the
+embedded digest plus length let :func:`read_checkpoint` reject
+truncated or bit-rotted payloads *before* pickle ever sees them.
+Writes go through :func:`repro.persistence.atomic.atomic_write_bytes`,
+so the file on disk is always a complete snapshot — the previous one
+or the new one, never a torn mix.
+
+:class:`CheckpointPolicy` decides *when* a driver snapshots: every
+``every`` evaluations (absolute thresholds ``k * every``, so a resumed
+run continues the exact cadence of the original — for the
+asynchronous and collaborative drivers the cadence is part of the
+protocol, see DESIGN.md).  A requested interrupt (SIGTERM/SIGINT)
+stops the run at the *next scheduled* snapshot — never at an
+off-cadence point, which would break bit-identical resume for the
+drain/barrier drivers — and the policy hosts the deterministic
+crash-injection knob ``REPRO_CRASH_AFTER_EVALS`` used by the recovery
+tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import CheckpointError, CrashInjected, SearchInterrupted
+from repro.persistence.atomic import atomic_write_bytes
+
+__all__ = [
+    "CheckpointPlan",
+    "CheckpointPolicy",
+    "InterruptFlag",
+    "read_checkpoint",
+    "write_checkpoint",
+]
+
+_MAGIC = "REPROCKPT"
+
+#: bumped whenever the header or payload layout changes.
+FORMAT_VERSION = 1
+
+#: environment knob: evaluations between periodic snapshots.
+ENV_EVERY = "REPRO_CHECKPOINT_EVERY"
+#: environment knob: abort (without checkpointing) once this many
+#: evaluations completed — deterministic SIGKILL stand-in for tests.
+ENV_CRASH_AFTER = "REPRO_CRASH_AFTER_EVALS"
+
+
+def dump_checkpoint_bytes(state: Any, *, kind: str) -> bytes:
+    """Serialize ``state`` into the on-disk checkpoint representation."""
+    if not kind or any(c.isspace() for c in kind):
+        raise CheckpointError(f"checkpoint kind must be a single token, got {kind!r}")
+    payload = pickle.dumps(
+        {"kind": kind, "state": state}, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    digest = hashlib.sha256(payload).hexdigest()
+    header = f"{_MAGIC} {FORMAT_VERSION} {kind} {len(payload)} {digest}\n"
+    return header.encode("ascii") + payload
+
+
+def write_checkpoint(path: str | Path, state: Any, *, kind: str) -> Path:
+    """Atomically write one snapshot file."""
+    return atomic_write_bytes(path, dump_checkpoint_bytes(state, kind=kind))
+
+
+def read_checkpoint(path: str | Path, *, kind: str | None = None) -> Any:
+    """Read and verify a snapshot; return the stored state.
+
+    Raises :class:`~repro.errors.CheckpointError` when the file is
+    missing, the header is malformed, the format version or ``kind``
+    disagrees, the payload is truncated, or the sha256 digest does not
+    match — a resumed run must never start from a half-written or
+    corrupted snapshot.
+    """
+    target = Path(path)
+    try:
+        raw = target.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {target}: {exc}") from exc
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise CheckpointError(f"{target} has no checkpoint header")
+    try:
+        fields = raw[:newline].decode("ascii").split(" ")
+        magic, version_s, file_kind, length_s, digest = fields
+        version, length = int(version_s), int(length_s)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CheckpointError(f"{target} has a malformed checkpoint header") from exc
+    if magic != _MAGIC:
+        raise CheckpointError(f"{target} is not a repro checkpoint (magic {magic!r})")
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{target} has checkpoint format version {version}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    if kind is not None and file_kind != kind:
+        raise CheckpointError(
+            f"{target} holds a {file_kind!r} snapshot, expected {kind!r}"
+        )
+    payload = raw[newline + 1 :]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"{target} is truncated: payload {len(payload)} of {length} bytes"
+        )
+    if hashlib.sha256(payload).hexdigest() != digest:
+        raise CheckpointError(f"{target} failed its sha256 integrity check")
+    try:
+        envelope = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of error types
+        raise CheckpointError(f"{target} payload does not unpickle: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("kind") != file_kind:
+        raise CheckpointError(f"{target} payload disagrees with its header kind")
+    return envelope["state"]
+
+
+class InterruptFlag:
+    """A latch shared between a signal handler and running drivers.
+
+    Deliberately not a :class:`threading.Event`: signal handlers run on
+    the main thread between bytecodes, so a plain attribute is enough,
+    and the flag must be picklable-adjacent (it never is pickled, but
+    it rides inside policy objects that tests construct freely).
+    """
+
+    __slots__ = ("_set",)
+
+    def __init__(self) -> None:
+        self._set = False
+
+    def set(self) -> None:
+        self._set = True
+
+    def is_set(self) -> bool:
+        return self._set
+
+    def clear(self) -> None:
+        self._set = False
+
+
+class CheckpointPolicy:
+    """When, where and whether one search run checkpoints.
+
+    Parameters
+    ----------
+    path:
+        Snapshot file of this run.  Periodic snapshots atomically
+        replace it, so the file always holds the latest one.
+    every:
+        Evaluations between periodic snapshots.  Thresholds are
+        absolute (``every``, ``2 * every``, ...) against the run's
+        evaluation counter, so a resumed run re-aligns to the original
+        cadence.  ``None`` disables periodic snapshots (interrupt
+        snapshots still work).
+    resume:
+        When True, :meth:`load_resume_state` reads ``path`` (if it
+        exists) and the driver continues from it instead of starting
+        fresh.
+    crash_after:
+        Deterministic fault injection — :meth:`maybe_crash` raises
+        :class:`~repro.errors.CrashInjected` the first time the
+        evaluation counter reaches this value, *without* writing a
+        snapshot (mimicking SIGKILL).
+    interrupt:
+        A shared :class:`InterruptFlag`; when set (by a signal
+        handler), the next *scheduled* :meth:`commit` still writes its
+        snapshot and then raises
+        :class:`~repro.errors.SearchInterrupted` (immediately at the
+        next :meth:`due` check when ``every`` is ``None``).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        every: int | None = None,
+        resume: bool = False,
+        crash_after: int | None = None,
+        interrupt: InterruptFlag | None = None,
+    ) -> None:
+        if every is not None and every < 1:
+            raise CheckpointError(f"checkpoint interval must be >= 1, got {every}")
+        if crash_after is not None and crash_after < 1:
+            raise CheckpointError(f"crash_after must be >= 1, got {crash_after}")
+        self.path = Path(path)
+        self.every = every
+        self.resume = resume
+        self.crash_after = crash_after
+        self.interrupt = interrupt if interrupt is not None else InterruptFlag()
+        self._next_at = every
+        #: snapshots written by this policy (observability/tests).
+        self.snapshots_written = 0
+
+    @classmethod
+    def from_env(
+        cls,
+        path: str | Path,
+        *,
+        resume: bool = False,
+        interrupt: InterruptFlag | None = None,
+        default_every: int | None = None,
+    ) -> "CheckpointPolicy":
+        """Build a policy from ``REPRO_CHECKPOINT_EVERY`` /
+        ``REPRO_CRASH_AFTER_EVALS`` (invalid values raise)."""
+        return cls(
+            path,
+            every=_env_int(ENV_EVERY, default_every),
+            resume=resume,
+            crash_after=_env_int(ENV_CRASH_AFTER, None),
+            interrupt=interrupt,
+        )
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def load_resume_state(self, *, kind: str) -> Any | None:
+        """The stored state when resuming, else ``None``.
+
+        Returns ``None`` both when resume was not requested and when no
+        snapshot file exists yet (a resumed table run hits fresh cells);
+        an unreadable/corrupt file raises — silently restarting a run
+        the user asked to resume would waste hours of completed work.
+        """
+        if not self.resume or not self.path.exists():
+            return None
+        return read_checkpoint(self.path, kind=kind)
+
+    def note_resumed(self, count: int) -> None:
+        """Re-align the periodic cadence after restoring at ``count``."""
+        if self.every is not None:
+            self._next_at = (count // self.every + 1) * self.every
+
+    # ------------------------------------------------------------------
+    # The per-iteration protocol
+    # ------------------------------------------------------------------
+    def due(self, count: int) -> bool:
+        """Should the driver snapshot now?
+
+        An interrupt does *not* advance the moment: snapshots stay on
+        the scheduled ``k * every`` thresholds (the commit there raises
+        :class:`~repro.errors.SearchInterrupted`).  For the
+        asynchronous and collaborative drivers the snapshot points are
+        part of the protocol, so an interrupt-timed snapshot would
+        break bit-identical resume — the run instead stops at the next
+        scheduled threshold.  Only in interrupt-only mode
+        (``every=None``, no cadence to preserve) does an interrupt
+        trigger an immediate snapshot.
+        """
+        if self._next_at is not None:
+            return count >= self._next_at
+        return self.interrupt.is_set()
+
+    def commit(self, count: int, state: Any, *, kind: str) -> None:
+        """Write the snapshot; raise ``SearchInterrupted`` when asked to stop."""
+        write_checkpoint(self.path, state, kind=kind)
+        self.snapshots_written += 1
+        if self._next_at is not None and count >= self._next_at:
+            self._next_at = (count // self.every + 1) * self.every
+        if self.interrupt.is_set():
+            raise SearchInterrupted(
+                f"run checkpointed to {self.path} after {count} evaluations",
+                path=self.path,
+            )
+
+    def maybe_crash(self, count: int) -> None:
+        """Fire the injected crash once its evaluation count is reached."""
+        if self.crash_after is not None and count >= self.crash_after:
+            self.crash_after = None  # fire exactly once
+            raise CrashInjected(f"injected crash after {count} evaluations")
+
+    def tick(self, count: int, build_state: Callable[[], Any], *, kind: str) -> None:
+        """The quiescent-driver convenience: snapshot if due, then maybe crash.
+
+        Drivers whose loop top is already a consistent cut (sequential,
+        synchronous) call this; the asynchronous and collaborative
+        drivers inline the same sequence around their drain/barrier.
+        """
+        if self.due(count):
+            self.commit(count, build_state(), kind=kind)
+        self.maybe_crash(count)
+
+    def discard(self) -> None:
+        """Delete the snapshot file (the run completed; keep disk clean)."""
+        self.path.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"CheckpointPolicy({str(self.path)!r}, every={self.every}, "
+            f"resume={self.resume}, written={self.snapshots_written})"
+        )
+
+
+class CheckpointPlan:
+    """Checkpointing for a whole table run: one directory, many cells.
+
+    The plan owns the checkpoint directory, the shared interrupt flag
+    (one SIGTERM stops *all* cells cleanly) and the knobs every cell
+    policy inherits; :meth:`policy_for` derives the per-cell
+    :class:`CheckpointPolicy` (one snapshot file per table cell) and
+    :meth:`manifest` the table's completed-cell journal.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        every: int | None = None,
+        resume: bool = False,
+        crash_after: int | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.every = every
+        self.resume = resume
+        self.crash_after = crash_after
+        self.interrupt = InterruptFlag()
+
+    @classmethod
+    def from_env(
+        cls,
+        directory: str | Path,
+        *,
+        resume: bool = False,
+        default_every: int | None = None,
+    ) -> "CheckpointPlan":
+        return cls(
+            directory,
+            every=_env_int(ENV_EVERY, default_every),
+            resume=resume,
+            crash_after=_env_int(ENV_CRASH_AFTER, None),
+        )
+
+    def request_interrupt(self) -> None:
+        """Ask every running cell to checkpoint and stop."""
+        self.interrupt.set()
+
+    def policy_for(
+        self,
+        table: str,
+        instance_idx: int,
+        run_idx: int,
+        algorithm: str,
+        processors: int,
+    ) -> CheckpointPolicy:
+        """The snapshot policy of one table cell."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        name = f"{table}_i{instance_idx}_r{run_idx}_{algorithm}_p{processors}.ckpt"
+        return CheckpointPolicy(
+            self.directory / name,
+            every=self.every,
+            resume=self.resume,
+            crash_after=self.crash_after,
+            interrupt=self.interrupt,
+        )
+
+    def manifest(self, table: str):
+        """The completed-cell journal of one table."""
+        from repro.persistence.manifest import RunManifest
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        return RunManifest(self.directory / f"{table}_manifest.jsonl", table=table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"CheckpointPlan({str(self.directory)!r}, every={self.every}, "
+            f"resume={self.resume})"
+        )
+
+
+def _env_int(name: str, default: int | None) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise CheckpointError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise CheckpointError(f"{name} must be >= 1, got {value}")
+    return value

@@ -1,0 +1,129 @@
+"""The append-only run manifest behind ``run_table --resume``.
+
+One JSONL file per table.  Every completed cell — a single
+``(instance, run_idx, algorithm, processors)`` configuration — appends
+exactly one line *after* its result record is final, so on resume the
+set of manifest keys IS the set of cells that never need to run again.
+
+Lines are written through :func:`repro.persistence.atomic.append_line`
+(single write + fsync), so a crash can tear at most the very last
+line.  :meth:`RunManifest.load` therefore tolerates a torn final line
+(that cell simply re-runs) but treats corruption *before* the tail as
+a real error: it means the file was edited or the filesystem lied, and
+silently skipping records would resurrect completed work as "missing"
+— or worse, trust half a table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.errors import BenchmarkError
+from repro.persistence.atomic import append_line
+
+__all__ = ["RunManifest"]
+
+#: manifest line schema version.
+MANIFEST_VERSION = 1
+
+#: identifies one table cell: (instance_idx, run_idx, algorithm, processors).
+CellKey = Tuple[int, int, str, int]
+
+
+class RunManifest:
+    """Reader/writer for one table's completed-cell journal."""
+
+    def __init__(self, path: str | Path, *, table: str) -> None:
+        self.path = Path(path)
+        self.table = table
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        *,
+        instance: str,
+        instance_idx: int,
+        run_idx: int,
+        algorithm: str,
+        processors: int,
+        record: Dict[str, Any],
+    ) -> None:
+        """Journal one completed cell with its result record."""
+        entry = {
+            "v": MANIFEST_VERSION,
+            "table": self.table,
+            "instance": instance,
+            "instance_idx": instance_idx,
+            "run_idx": run_idx,
+            "algorithm": algorithm,
+            "processors": processors,
+            "record": record,
+        }
+        append_line(self.path, json.dumps(entry, sort_keys=True))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[CellKey, Dict[str, Any]]:
+        """Map each completed cell key to its journaled entry.
+
+        Returns ``{}`` when the manifest does not exist yet.  A torn
+        final line (crash mid-append) is dropped; malformed content
+        anywhere else raises :class:`~repro.errors.BenchmarkError`.
+        """
+        if not self.path.exists():
+            return {}
+        completed: Dict[CellKey, Dict[str, Any]] = {}
+        for line_no, line, is_last in self._lines():
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict):
+                    raise ValueError("manifest entry is not an object")
+                if entry.get("v") != MANIFEST_VERSION:
+                    raise ValueError(
+                        f"unsupported manifest version {entry.get('v')!r}"
+                    )
+                key = (
+                    int(entry["instance_idx"]),
+                    int(entry["run_idx"]),
+                    str(entry["algorithm"]),
+                    int(entry["processors"]),
+                )
+                entry["record"]  # noqa: B018 - presence check
+            except (ValueError, KeyError, TypeError) as exc:
+                if is_last:
+                    # torn tail from a crash mid-append: the cell the
+                    # line described is simply not done — re-run it.
+                    break
+                raise BenchmarkError(
+                    f"manifest {self.path} line {line_no} is corrupt: {exc}"
+                ) from exc
+            if entry.get("table") != self.table:
+                raise BenchmarkError(
+                    f"manifest {self.path} line {line_no} belongs to table "
+                    f"{entry.get('table')!r}, expected {self.table!r}"
+                )
+            completed[key] = entry
+        return completed
+
+    def completed_count(self) -> int:
+        return len(self.load())
+
+    def _lines(self) -> Iterator[Tuple[int, str, bool]]:
+        raw = self.path.read_text(encoding="utf-8")
+        lines = raw.split("\n")
+        # a well-formed file ends with "\n", so the final split element
+        # is empty; anything else there is a torn tail by construction.
+        body, tail = lines[:-1], lines[-1]
+        entries = [(i + 1, line) for i, line in enumerate(body) if line.strip()]
+        for pos, (line_no, line) in enumerate(entries):
+            yield line_no, line, (pos == len(entries) - 1 and not tail)
+        if tail.strip():
+            yield len(lines), tail, True

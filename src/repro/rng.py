@@ -22,7 +22,46 @@ from collections.abc import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["FastRng", "RngFactory", "as_generator", "spawn_generators"]
+__all__ = [
+    "FastRng",
+    "RngFactory",
+    "as_generator",
+    "get_generator_state",
+    "set_generator_state",
+    "spawn_generators",
+]
+
+
+def get_generator_state(generator: np.random.Generator) -> dict:
+    """Capture the exact bit-state of ``generator`` for a checkpoint.
+
+    The returned dict is ``BitGenerator.state`` — for PCG64 it includes
+    the 128-bit LCG state *and* the ``has_uint32``/``uinteger``
+    half-word carry, which is also where :class:`FastRng` parks its
+    buffer position on detach, so a generator captured at an iteration
+    boundary fully determines every future draw.
+    """
+    bg = generator.bit_generator
+    return {"class": type(bg).__name__, "state": bg.state}
+
+
+def set_generator_state(generator: np.random.Generator, state: dict) -> None:
+    """Restore a bit-state captured by :func:`get_generator_state`.
+
+    Raises :class:`~repro.errors.CheckpointError` when the snapshot was
+    taken from a different bit-generator class — silently continuing
+    with a mismatched stream would break the resume guarantee in a way
+    no test downstream could attribute.
+    """
+    from repro.errors import CheckpointError
+
+    bg = generator.bit_generator
+    if state.get("class") != type(bg).__name__:
+        raise CheckpointError(
+            f"RNG snapshot is for bit generator {state.get('class')!r}, "
+            f"but the live generator uses {type(bg).__name__!r}"
+        )
+    bg.state = state["state"]
 
 
 def as_generator(

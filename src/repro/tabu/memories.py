@@ -9,6 +9,8 @@
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 import numpy as np
 
 from repro.core.solution import Solution
@@ -35,6 +37,22 @@ class Memories:
         if not pool:
             raise SearchError("both memories are empty; nothing to restart from")
         return pool[int(rng.integers(len(pool)))].item
+
+    def export_state(self, encode_item: Callable[[Solution], Any]) -> dict:
+        """Snapshot all three memories for a checkpoint."""
+        return {
+            "tabulist": self.tabulist.export_state(),
+            "nondom": self.nondom.export_state(encode_item),
+            "archive": self.archive.export_state(encode_item),
+        }
+
+    def restore_state(
+        self, state: dict, decode_item: Callable[[Any], Solution]
+    ) -> None:
+        """Rebuild all three memories from a checkpoint."""
+        self.tabulist.restore_state(state["tabulist"])
+        self.nondom.restore_state(state["nondom"], decode_item)
+        self.archive.restore_state(state["archive"], decode_item)
 
     def __repr__(self) -> str:
         return (

@@ -31,17 +31,50 @@ from repro.core.objectives import ObjectiveVector
 from repro.core.operators.registry import OperatorRegistry, default_registry
 from repro.core.solution import Solution
 from repro.core.stats_cache import CacheStats
-from repro.errors import SearchError
+from repro.errors import CheckpointError, SearchError
 from repro.mo.archive import ArchiveEntry
 from repro.mo.dominance import non_dominated_mask
-from repro.rng import as_generator
+from repro.persistence.atomic import atomic_write_bytes
+from repro.rng import as_generator, get_generator_state, set_generator_state
 from repro.tabu.memories import Memories
 from repro.tabu.neighborhood import Neighbor, sample_neighborhood
 from repro.tabu.params import TSMOParams
 from repro.tabu.trace import TrajectoryRecorder
 from repro.vrptw.instance import Instance
 
-__all__ = ["TSMOEngine", "TSMOResult", "run_sequential_tsmo"]
+__all__ = [
+    "TSMOEngine",
+    "TSMOResult",
+    "decode_routes",
+    "encode_solution",
+    "run_sequential_tsmo",
+]
+
+#: version of :meth:`TSMOEngine.snapshot`'s payload layout.
+ENGINE_SNAPSHOT_VERSION = 1
+
+
+def encode_solution(solution: Solution) -> tuple[tuple[int, ...], ...]:
+    """A solution as bare route tuples — picklable, instance-free.
+
+    Snapshots never pickle :class:`Solution` objects: they drag the
+    whole :class:`Instance` (distance matrices included) into every
+    checkpoint and would re-anchor restored solutions to a *copy* of
+    the instance instead of the live one.
+    """
+    return tuple(tuple(int(c) for c in route) for route in solution.routes)
+
+
+def decode_routes(
+    instance: Instance, routes: tuple[tuple[int, ...], ...]
+) -> Solution:
+    """Re-anchor encoded routes to the live instance.
+
+    Objectives are recomputed lazily on first access; the computation
+    is a pure function of the route tuples, so the restored solution's
+    objective triple is bit-identical to the one that was archived.
+    """
+    return Solution(instance, tuple(tuple(route) for route in routes))
 
 
 @dataclass
@@ -102,25 +135,34 @@ class TSMOResult:
     def save(self, path) -> None:
         """Pickle this result (archive solutions included) to ``path``.
 
-        The trace can be large; it is kept — drop it beforehand
+        The write is atomic (tmp + fsync + rename), so a crash mid-save
+        leaves the previous file intact instead of a torn pickle.  The
+        trace can be large; it is kept — drop it beforehand
         (``result.trace = None``) when only the front matters.
         """
         import pickle
-        from pathlib import Path
 
-        Path(path).write_bytes(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
+        atomic_write_bytes(path, pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
 
     @staticmethod
     def load(path) -> "TSMOResult":
         """Load a result previously stored with :meth:`save`.
 
-        Only unpickle files you created yourself — pickle executes
-        arbitrary code from untrusted data.
+        Truncated or corrupt files raise :class:`~repro.errors.
+        SearchError` naming the path instead of leaking raw pickle
+        errors.  Only unpickle files you created yourself — pickle
+        executes arbitrary code from untrusted data.
         """
         import pickle
         from pathlib import Path
 
-        result = pickle.loads(Path(path).read_bytes())
+        try:
+            result = pickle.loads(Path(path).read_bytes())
+        except (EOFError, pickle.UnpicklingError, AttributeError, IndexError) as exc:
+            raise SearchError(
+                f"{path} is not a readable TSMOResult pickle "
+                f"(truncated or corrupt): {exc}"
+            ) from exc
         if not isinstance(result, TSMOResult):
             raise SearchError(f"{path} does not contain a TSMOResult")
         return result
@@ -284,6 +326,67 @@ class TSMOEngine:
         return candidates[int(self.rng.integers(len(candidates)))]
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture everything needed to continue this search bit-identically.
+
+        Valid at any iteration boundary (between ``select_and_update``
+        calls): the current solution and all three memories as encoded
+        route tuples, all counters, the stagnation bookkeeping, the
+        exact RNG bit-state (PCG64 state dict including the half-word
+        carry, which also encodes any FastRng handoff), and the
+        trajectory recorder.  The route-stats cache is deliberately NOT
+        captured — it is a pure performance memo whose contents never
+        influence results, so a resumed run simply starts cold (its
+        hit/miss counters are the one documented bit-identity
+        exclusion besides wall time).
+        """
+        if self.current is None:
+            raise SearchError("cannot snapshot an uninitialized engine")
+        return {
+            "v": ENGINE_SNAPSHOT_VERSION,
+            "instance": self.instance.name,
+            "current": encode_solution(self.current),
+            "iteration": self.iteration,
+            "restarts": self.restarts,
+            "evaluations": self.evaluator.count,
+            "no_improvement": self._no_improvement,
+            "last_archive_version": self._last_archive_version,
+            "last_change_iteration": self._last_change_iteration,
+            "rng": get_generator_state(self.rng),
+            "memories": self.memories.export_state(encode_solution),
+            "trace": self.trace.export_state() if self.trace is not None else None,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot`, re-anchored to the live instance."""
+        if state.get("v") != ENGINE_SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"engine snapshot version {state.get('v')!r} is not supported "
+                f"(expected {ENGINE_SNAPSHOT_VERSION})"
+            )
+        if state["instance"] != self.instance.name:
+            raise CheckpointError(
+                f"snapshot belongs to instance {state['instance']!r}, "
+                f"but the engine runs {self.instance.name!r}"
+            )
+        decode = lambda routes: decode_routes(self.instance, routes)  # noqa: E731
+        self.current = decode(state["current"])
+        self.iteration = state["iteration"]
+        self.restarts = state["restarts"]
+        self.evaluator.count = state["evaluations"]
+        self._no_improvement = state["no_improvement"]
+        self._last_archive_version = state["last_archive_version"]
+        self._last_change_iteration = state["last_change_iteration"]
+        set_generator_state(self.rng, state["rng"])
+        self.memories.restore_state(state["memories"], decode)
+        if state["trace"] is not None:
+            if self.trace is None:
+                self.trace = TrajectoryRecorder()
+            self.trace.restore_state(state["trace"])
+
+    # ------------------------------------------------------------------
     # Sequential driver
     # ------------------------------------------------------------------
     def step(self) -> Solution:
@@ -323,15 +426,41 @@ def run_sequential_tsmo(
     registry: OperatorRegistry | None = None,
     trace: TrajectoryRecorder | None = None,
     initial: Solution | None = None,
+    checkpoint=None,
 ) -> TSMOResult:
-    """Run the sequential TSMO (Algorithm 1) to budget exhaustion."""
+    """Run the sequential TSMO (Algorithm 1) to budget exhaustion.
+
+    With a :class:`~repro.persistence.CheckpointPolicy` the loop
+    snapshots at iteration boundaries (a consistent cut: the RNG and
+    all memories are quiescent there) and, when the policy resumes,
+    continues from the stored snapshot instead of constructing an
+    initial solution.  Checkpointing is fully transparent for this
+    driver — the result is bit-identical with or without it.
+    """
     params = params or TSMOParams()
     engine = TSMOEngine(
         instance, params, seed, registry=registry, trace=trace
     )
     start = time.perf_counter()
-    engine.initialize(initial)
-    while not engine.done:
+    resumed = (
+        checkpoint.load_resume_state(kind="sequential")
+        if checkpoint is not None
+        else None
+    )
+    if resumed is not None:
+        engine.restore(resumed)
+        checkpoint.note_resumed(engine.evaluator.count)
+    else:
+        engine.initialize(initial)
+    while True:
+        # The policy block runs BEFORE the done-check so a threshold
+        # that coincides with budget exhaustion still snapshots, and a
+        # resumed run replays the same number of iterations.
+        if checkpoint is not None:
+            count = engine.evaluator.count
+            checkpoint.tick(count, engine.snapshot, kind="sequential")
+        if engine.done:
+            break
         engine.step()
     wall = time.perf_counter() - start
     return engine.result("sequential", wall_time=wall)

@@ -56,5 +56,19 @@ class TabuList:
         self._queue.clear()
         self._counts.clear()
 
+    def export_state(self) -> list[Hashable]:
+        """The queued attributes, oldest first (for checkpoints)."""
+        return list(self._queue)
+
+    def restore_state(self, attributes: list[Hashable]) -> None:
+        """Rebuild queue and membership multiset from a checkpoint."""
+        if len(attributes) > self.tenure:
+            raise SearchError(
+                f"tabu snapshot holds {len(attributes)} attributes but the "
+                f"tenure is {self.tenure}"
+            )
+        self._queue = deque(attributes)
+        self._counts = Counter(attributes)
+
     def __repr__(self) -> str:
         return f"TabuList(tenure={self.tenure}, size={len(self._queue)})"

@@ -98,6 +98,28 @@ class TrajectoryRecorder:
         self.cache_timeline.append((iteration, hits, misses, evictions))
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot all recorded series (points are frozen dataclasses,
+        so sharing the tuples with the checkpoint payload is safe)."""
+        return {
+            "max_neighbors": self.max_neighbors,
+            "neighbors": list(self.neighbors),
+            "selections": list(self.selections),
+            "archive_sizes": list(self.archive_sizes),
+            "cache_timeline": list(self.cache_timeline),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the recorder exactly as exported."""
+        self.max_neighbors = state["max_neighbors"]
+        self.neighbors = list(state["neighbors"])
+        self.selections = list(state["selections"])
+        self.archive_sizes = list(state["archive_sizes"])
+        self.cache_timeline = list(state["cache_timeline"])
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def neighbors_array(self) -> np.ndarray:

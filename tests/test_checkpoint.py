@@ -1,0 +1,451 @@
+"""Tests for the persistence layer: atomic writes, the checkpoint
+format, snapshot policies, run manifests and engine snapshots.
+
+The end-to-end crash/resume equivalence tests live in
+test_crash_resume.py; this module covers the building blocks.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.bench.storage import _record_result, _result_record
+from repro.errors import (
+    BenchmarkError,
+    CheckpointError,
+    CrashInjected,
+    SearchError,
+    SearchInterrupted,
+)
+from repro.persistence import (
+    CheckpointPlan,
+    CheckpointPolicy,
+    InterruptFlag,
+    RunManifest,
+    append_line,
+    atomic_write_bytes,
+    atomic_write_text,
+    dump_checkpoint_bytes,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOEngine, TSMOResult, run_sequential_tsmo
+from repro.vrptw.generator import generate_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance("R1", 20, seed=77)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return TSMOParams(
+        max_evaluations=400,
+        neighborhood_size=20,
+        tabu_tenure=8,
+        archive_capacity=8,
+        nondom_capacity=16,
+        restart_after=5,
+    )
+
+
+class TestAtomicWrites:
+    def test_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_replace_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_append_line_rejects_newlines(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_line(tmp_path / "log", "a\nb")
+
+    def test_append_line_appends(self, tmp_path):
+        path = tmp_path / "log"
+        append_line(path, "first")
+        append_line(path, "second")
+        assert path.read_text().splitlines() == ["first", "second"]
+
+
+class TestCheckpointFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        state = {"numbers": list(range(10)), "array": np.arange(4)}
+        write_checkpoint(path, state, kind="sequential")
+        loaded = read_checkpoint(path, kind="sequential")
+        assert loaded["numbers"] == state["numbers"]
+        assert np.array_equal(loaded["array"], state["array"])
+
+    def test_kind_mismatch(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        write_checkpoint(path, {}, kind="sequential")
+        with pytest.raises(CheckpointError, match="sequential"):
+            read_checkpoint(path, kind="collaborative")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        path.write_bytes(b"NOTACKPT 1 k 0 abc\n")
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            read_checkpoint(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        blob = dump_checkpoint_bytes({}, kind="k")
+        header, _, payload = blob.partition(b"\n")
+        fields = header.decode().split(" ")
+        fields[1] = "99"
+        path.write_bytes(" ".join(fields).encode() + b"\n" + payload)
+        with pytest.raises(CheckpointError, match="format version 99"):
+            read_checkpoint(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        write_checkpoint(path, {"k": list(range(100))}, kind="k")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-20])
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_flipped_bit_fails_digest(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        write_checkpoint(path, {"k": list(range(100))}, kind="k")
+        raw = bytearray(path.read_bytes())
+        raw[-10] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="sha256"):
+            read_checkpoint(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        path.write_bytes(b"no newline here at all")
+        with pytest.raises(CheckpointError, match="header"):
+            read_checkpoint(path)
+
+    def test_kind_must_be_token(self):
+        with pytest.raises(CheckpointError):
+            dump_checkpoint_bytes({}, kind="two words")
+
+
+class TestCheckpointPolicy:
+    def test_threshold_arithmetic(self, tmp_path):
+        policy = CheckpointPolicy(tmp_path / "p.ckpt", every=100)
+        assert not policy.due(99)
+        assert policy.due(100)
+        policy.commit(137, {"s": 1}, kind="k")
+        # Thresholds are absolute multiples of `every`.
+        assert not policy.due(199)
+        assert policy.due(200)
+        assert policy.snapshots_written == 1
+
+    def test_note_resumed_realigns(self, tmp_path):
+        policy = CheckpointPolicy(tmp_path / "p.ckpt", every=100)
+        policy.note_resumed(137)
+        assert not policy.due(199)
+        assert policy.due(200)
+
+    def test_no_cadence_no_due(self, tmp_path):
+        policy = CheckpointPolicy(tmp_path / "p.ckpt")
+        assert not policy.due(10**9)
+
+    def test_interrupt_does_not_advance_cadence(self, tmp_path):
+        # With a cadence, the interrupt rides the next scheduled
+        # snapshot (off-cadence snapshots would break bit-identical
+        # resume of the drain/barrier drivers).
+        policy = CheckpointPolicy(tmp_path / "p.ckpt", every=100)
+        policy.interrupt.set()
+        assert not policy.due(50)
+        assert policy.due(100)
+        with pytest.raises(SearchInterrupted):
+            policy.commit(100, {"s": 1}, kind="k")
+        assert policy.path.exists()
+
+    def test_interrupt_only_mode_is_immediate(self, tmp_path):
+        policy = CheckpointPolicy(tmp_path / "p.ckpt")
+        assert not policy.due(5)
+        policy.interrupt.set()
+        assert policy.due(5)
+
+    def test_crash_fires_once(self, tmp_path):
+        policy = CheckpointPolicy(tmp_path / "p.ckpt", crash_after=10)
+        policy.maybe_crash(9)
+        with pytest.raises(CrashInjected):
+            policy.maybe_crash(12)
+        policy.maybe_crash(15)  # disarmed after firing
+
+    def test_crash_writes_no_snapshot(self, tmp_path):
+        policy = CheckpointPolicy(tmp_path / "p.ckpt", crash_after=10)
+        with pytest.raises(CrashInjected):
+            policy.maybe_crash(10)
+        assert not policy.path.exists()
+
+    def test_load_resume_state_absent(self, tmp_path):
+        policy = CheckpointPolicy(tmp_path / "p.ckpt", resume=True)
+        assert policy.load_resume_state(kind="k") is None
+
+    def test_load_resume_state_roundtrip(self, tmp_path):
+        path = tmp_path / "p.ckpt"
+        CheckpointPolicy(path, every=10).commit(10, {"v": 42}, kind="k")
+        policy = CheckpointPolicy(path, resume=True)
+        assert policy.load_resume_state(kind="k") == {"v": 42}
+
+    def test_not_resuming_ignores_file(self, tmp_path):
+        path = tmp_path / "p.ckpt"
+        write_checkpoint(path, {"v": 1}, kind="k")
+        assert CheckpointPolicy(path).load_resume_state(kind="k") is None
+
+    def test_discard(self, tmp_path):
+        path = tmp_path / "p.ckpt"
+        policy = CheckpointPolicy(path, every=10)
+        policy.commit(10, {}, kind="k")
+        policy.discard()
+        assert not path.exists()
+        policy.discard()  # idempotent
+
+    def test_invalid_every(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointPolicy(tmp_path / "p", every=0)
+        with pytest.raises(CheckpointError):
+            CheckpointPolicy(tmp_path / "p", crash_after=0)
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "250")
+        monkeypatch.setenv("REPRO_CRASH_AFTER_EVALS", "999")
+        policy = CheckpointPolicy.from_env(tmp_path / "p")
+        assert policy.every == 250
+        assert policy.crash_after == 999
+
+    def test_from_env_invalid(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "soon")
+        with pytest.raises(CheckpointError):
+            CheckpointPolicy.from_env(tmp_path / "p")
+
+
+class TestCheckpointPlan:
+    def test_policy_naming(self, tmp_path):
+        plan = CheckpointPlan(tmp_path / "ckpt", every=50)
+        policy = plan.policy_for("table1", 2, 1, "collaborative", 6)
+        assert policy.path.name == "table1_i2_r1_collaborative_p6.ckpt"
+        assert policy.every == 50
+        assert policy.interrupt is plan.interrupt
+
+    def test_shared_interrupt(self, tmp_path):
+        plan = CheckpointPlan(tmp_path / "ckpt", every=50)
+        a = plan.policy_for("table1", 0, 0, "sequential", 1)
+        b = plan.policy_for("table1", 0, 1, "sequential", 1)
+        plan.request_interrupt()
+        assert a.interrupt.is_set() and b.interrupt.is_set()
+
+    def test_manifest_location(self, tmp_path):
+        plan = CheckpointPlan(tmp_path / "ckpt")
+        manifest = plan.manifest("table2")
+        assert manifest.path == tmp_path / "ckpt" / "table2_manifest.jsonl"
+
+
+class TestInterruptFlag:
+    def test_latch(self):
+        flag = InterruptFlag()
+        assert not flag.is_set()
+        flag.set()
+        assert flag.is_set()
+        flag.clear()
+        assert not flag.is_set()
+
+
+class TestRunManifest:
+    def _entry(self, i=0, r=0, algo="sequential", p=1):
+        return dict(
+            instance="R1_20", instance_idx=i, run_idx=r, algorithm=algo,
+            processors=p, record={"evaluations": 100 + i},
+        )
+
+    def test_roundtrip(self, tmp_path):
+        manifest = RunManifest(tmp_path / "m.jsonl", table="table1")
+        manifest.append(**self._entry(0, 0))
+        manifest.append(**self._entry(0, 1, "synchronous", 3))
+        loaded = manifest.load()
+        assert set(loaded) == {
+            (0, 0, "sequential", 1),
+            (0, 1, "synchronous", 3),
+        }
+        assert loaded[(0, 0, "sequential", 1)]["record"] == {"evaluations": 100}
+        assert manifest.completed_count() == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        manifest = RunManifest(tmp_path / "m.jsonl", table="table1")
+        assert manifest.load() == {}
+        assert not manifest.exists()
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        manifest = RunManifest(tmp_path / "m.jsonl", table="table1")
+        manifest.append(**self._entry(0, 0))
+        manifest.append(**self._entry(0, 1))
+        with open(manifest.path, "a") as fh:
+            fh.write('{"v": 1, "table": "table1", "instance_idx":')
+        loaded = manifest.load()
+        assert len(loaded) == 2
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        manifest = RunManifest(tmp_path / "m.jsonl", table="table1")
+        manifest.append(**self._entry(0, 0))
+        lines = manifest.path.read_text().splitlines()
+        manifest.path.write_text("garbage{{{\n" + "\n".join(lines) + "\n")
+        with pytest.raises(BenchmarkError, match="line 1"):
+            manifest.load()
+
+    def test_wrong_table_raises(self, tmp_path):
+        manifest = RunManifest(tmp_path / "m.jsonl", table="table1")
+        manifest.append(**self._entry())
+        other = RunManifest(tmp_path / "m.jsonl", table="table2")
+        other.append(**{**self._entry(1, 0)})
+        with pytest.raises(BenchmarkError, match="table"):
+            RunManifest(tmp_path / "m.jsonl", table="table1").load()
+
+
+class TestEngineSnapshot:
+    def test_mid_run_roundtrip(self, instance, params):
+        rng_a = np.random.default_rng(5)
+        engine_a = TSMOEngine(instance, params, rng_a)
+        engine_a.initialize()
+        for _ in range(4):
+            engine_a.step()
+        state = engine_a.snapshot()
+        # Fresh engine, restored, must finish identically.
+        engine_b = TSMOEngine(instance, params, np.random.default_rng(999))
+        engine_b.restore(state)
+        while not engine_a.done:
+            engine_a.step()
+        while not engine_b.done:
+            engine_b.step()
+        front_a = np.array(
+            [tuple(e.objectives) for e in engine_a.memories.archive.entries]
+        )
+        front_b = np.array(
+            [tuple(e.objectives) for e in engine_b.memories.archive.entries]
+        )
+        assert np.array_equal(front_a, front_b)
+        assert engine_a.evaluator.count == engine_b.evaluator.count
+        assert engine_a.restarts == engine_b.restarts
+
+    def test_snapshot_is_picklable(self, instance, params):
+        engine = TSMOEngine(instance, params, np.random.default_rng(5))
+        engine.initialize()
+        engine.step()
+        blob = pickle.dumps(engine.snapshot())
+        assert pickle.loads(blob)["instance"] == instance.name
+
+    def test_restore_rejects_wrong_instance(self, instance, params):
+        engine = TSMOEngine(instance, params, np.random.default_rng(5))
+        engine.initialize()
+        state = engine.snapshot()
+        state["instance"] = "some_other_instance"
+        fresh = TSMOEngine(instance, params, np.random.default_rng(5))
+        with pytest.raises(CheckpointError, match="instance"):
+            fresh.restore(state)
+
+    def test_restore_rejects_wrong_version(self, instance, params):
+        engine = TSMOEngine(instance, params, np.random.default_rng(5))
+        engine.initialize()
+        state = engine.snapshot()
+        state["v"] = 999
+        fresh = TSMOEngine(instance, params, np.random.default_rng(5))
+        with pytest.raises(CheckpointError, match="version"):
+            fresh.restore(state)
+
+
+class TestResultLoadHardening:
+    def test_truncated_pickle(self, instance, tmp_path):
+        params = TSMOParams(max_evaluations=100, neighborhood_size=10)
+        result = run_sequential_tsmo(instance, params, seed=1)
+        path = tmp_path / "run.pkl"
+        result.save(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(SearchError, match=str(path)):
+            TSMOResult.load(path)
+
+    def test_garbage_pickle(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(SearchError, match=str(path)):
+            TSMOResult.load(path)
+
+
+class TestRecordValidation:
+    def _good_record(self, instance):
+        params = TSMOParams(max_evaluations=100, neighborhood_size=10)
+        result = run_sequential_tsmo(instance, params, seed=1)
+        return _result_record(result)
+
+    def test_roundtrip(self, instance):
+        record = self._good_record(instance)
+        rebuilt = _record_result(record, run_index=0)
+        assert rebuilt.instance_name == record["instance"]
+        assert rebuilt.evaluations == record["evaluations"]
+
+    def test_missing_field_names_run_and_field(self, instance):
+        record = self._good_record(instance)
+        del record["front"]
+        with pytest.raises(BenchmarkError, match=r"run 7.*front"):
+            _record_result(record, run_index=7)
+
+    def test_bad_params_key(self, instance):
+        record = self._good_record(instance)
+        record["params"]["no_such_knob"] = 1
+        with pytest.raises(BenchmarkError, match=r"run 3.*params"):
+            _record_result(record, run_index=3)
+
+    def test_params_must_be_mapping(self, instance):
+        record = self._good_record(instance)
+        record["params"] = [1, 2, 3]
+        with pytest.raises(BenchmarkError, match="params"):
+            _record_result(record)
+
+    def test_malformed_front(self, instance):
+        record = self._good_record(instance)
+        record["front"] = [["x", "y"]]
+        with pytest.raises(BenchmarkError, match="front"):
+            _record_result(record, run_index=0)
+
+    def test_non_mapping_record(self):
+        with pytest.raises(BenchmarkError, match="mapping"):
+            _record_result([1, 2], run_index=0)
+
+
+class TestBenchConfigCheckpointEvery:
+    def test_default_none(self):
+        assert BenchConfig().checkpoint_every is None
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "123")
+        assert BenchConfig.from_env().checkpoint_every == 123
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "often")
+        with pytest.raises(BenchmarkError):
+            BenchConfig.from_env()
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            BenchConfig(checkpoint_every=0)
+
+
+def test_persistence_package_exports_resolve():
+    import repro.persistence as pkg
+
+    assert list(pkg.__all__) == sorted(pkg.__all__)
+    for name in pkg.__all__:
+        assert hasattr(pkg, name), f"repro.persistence.{name} missing"

@@ -1,0 +1,404 @@
+"""End-to-end crash-recovery tests: kill a run at an arbitrary point,
+resume it from its latest snapshot, and require the result to be
+bit-identical to the uninterrupted run.
+
+Oracle convention: the reference run executes under the *same*
+checkpoint policy (cadence) as the crashed run.  For the sequential
+and synchronous drivers checkpointing is fully transparent, so the
+oracle also equals the no-checkpoint run (asserted separately); for
+the asynchronous drain and the collaborative barrier the cadence is
+part of the protocol, so crash+resume is compared against the
+policy-run oracle — exactly the guarantee crash recovery needs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import run_table
+from repro.bench.storage import _result_record
+from repro.errors import CrashInjected, SearchInterrupted
+from repro.parallel.async_ts import AsyncParams, run_asynchronous_tsmo
+from repro.parallel.base import run_sequential_simulated
+from repro.parallel.collab_ts import CollabParams, run_collaborative_tsmo
+from repro.parallel.sync_ts import run_synchronous_tsmo
+from repro.persistence import CheckpointPlan, CheckpointPolicy
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import run_sequential_tsmo
+from repro.tabu.trace import TrajectoryRecorder
+from repro.vrptw.generator import generate_instance
+
+EVERY = 100
+
+DRIVERS = [
+    "sequential",
+    "sequential-sim",
+    "synchronous",
+    "asynchronous",
+    "collaborative",
+]
+
+# "Hypothesis-style": a seeded sweep of random (seed, crash_point)
+# pairs, deterministic across CI runs but spread over the run.
+_pair_rng = np.random.default_rng(20070326)
+PAIRS = [
+    (int(_pair_rng.integers(1, 10_000)), int(_pair_rng.integers(30, 380)))
+    for _ in range(3)
+]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance("R1", 20, seed=91)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return TSMOParams(
+        max_evaluations=400,
+        neighborhood_size=20,
+        tabu_tenure=8,
+        archive_capacity=8,
+        nondom_capacity=16,
+        restart_after=5,
+    )
+
+
+def run_driver(driver, instance, params, seed, *, checkpoint=None, trace=None):
+    if driver == "sequential":
+        return run_sequential_tsmo(
+            instance, params, seed=seed, checkpoint=checkpoint, trace=trace
+        )
+    if driver == "sequential-sim":
+        return run_sequential_simulated(
+            instance, params, seed=seed, checkpoint=checkpoint, trace=trace
+        )
+    if driver == "synchronous":
+        return run_synchronous_tsmo(
+            instance, params, 3, seed, checkpoint=checkpoint, trace=trace
+        )
+    if driver == "asynchronous":
+        return run_asynchronous_tsmo(
+            instance,
+            params,
+            3,
+            seed,
+            async_params=AsyncParams(batch_size=8),
+            checkpoint=checkpoint,
+            trace=trace,
+        )
+    if driver == "collaborative":
+        return run_collaborative_tsmo(
+            instance,
+            params,
+            3,
+            seed,
+            collab_params=CollabParams(initial_phase_patience=3),
+            checkpoint=checkpoint,
+            trace=trace,
+        )
+    raise AssertionError(driver)
+
+
+def fingerprint(result):
+    return (
+        result.front().tolist(),
+        result.evaluations,
+        result.iterations,
+        result.restarts,
+        result.simulated_time,
+        result.extra.get("messages_sent"),
+    )
+
+
+def crash_then_resume(driver, instance, params, seed, crash_point, tmp_path):
+    """Crash a checkpointed run at ``crash_point`` evaluations, then
+    resume it to completion; returns the resumed result."""
+    path = tmp_path / f"{driver}.ckpt"
+    crashing = CheckpointPolicy(path, every=EVERY, crash_after=crash_point)
+    with pytest.raises(CrashInjected):
+        run_driver(driver, instance, params, seed, checkpoint=crashing)
+    resuming = CheckpointPolicy(path, every=EVERY, resume=True)
+    return run_driver(driver, instance, params, seed, checkpoint=resuming)
+
+
+class TestBitIdenticalResume:
+    @pytest.mark.parametrize("driver", DRIVERS)
+    @pytest.mark.parametrize("seed,crash_point", PAIRS)
+    def test_crash_resume_matches_oracle(
+        self, driver, seed, crash_point, instance, params, tmp_path
+    ):
+        oracle = run_driver(
+            driver,
+            instance,
+            params,
+            seed,
+            checkpoint=CheckpointPolicy(tmp_path / "oracle.ckpt", every=EVERY),
+        )
+        resumed = crash_then_resume(
+            driver, instance, params, seed, crash_point, tmp_path
+        )
+        assert fingerprint(resumed) == fingerprint(oracle)
+
+    @pytest.mark.parametrize("driver", DRIVERS)
+    def test_traces_match(self, driver, instance, params, tmp_path):
+        seed, crash_point = 11, 170
+        oracle_trace = TrajectoryRecorder()
+        run_driver(
+            driver,
+            instance,
+            params,
+            seed,
+            checkpoint=CheckpointPolicy(tmp_path / "oracle.ckpt", every=EVERY),
+            trace=oracle_trace,
+        )
+        path = tmp_path / "crash.ckpt"
+        with pytest.raises(CrashInjected):
+            run_driver(
+                driver,
+                instance,
+                params,
+                seed,
+                checkpoint=CheckpointPolicy(
+                    path, every=EVERY, crash_after=crash_point
+                ),
+                trace=TrajectoryRecorder(),
+            )
+        resumed_trace = TrajectoryRecorder()
+        run_driver(
+            driver,
+            instance,
+            params,
+            seed,
+            checkpoint=CheckpointPolicy(path, every=EVERY, resume=True),
+            trace=resumed_trace,
+        )
+        assert np.array_equal(
+            resumed_trace.selections_array(), oracle_trace.selections_array()
+        )
+        assert np.array_equal(
+            resumed_trace.neighbors_array(), oracle_trace.neighbors_array()
+        )
+
+    def test_crash_before_first_snapshot_restarts_fresh(
+        self, instance, params, tmp_path
+    ):
+        seed, crash_point = 5, EVERY // 2
+        oracle = run_driver(
+            "sequential",
+            instance,
+            params,
+            seed,
+            checkpoint=CheckpointPolicy(tmp_path / "oracle.ckpt", every=EVERY),
+        )
+        resumed = crash_then_resume(
+            "sequential", instance, params, seed, crash_point, tmp_path
+        )
+        assert fingerprint(resumed) == fingerprint(oracle)
+
+
+class TestTransparency:
+    """For quiescent-loop drivers, checkpointing must not perturb the
+    search at all: a policy run equals a bare run bit for bit."""
+
+    @pytest.mark.parametrize(
+        "driver", ["sequential", "sequential-sim", "synchronous"]
+    )
+    def test_policy_run_equals_bare_run(self, driver, instance, params, tmp_path):
+        bare = run_driver(driver, instance, params, seed=21)
+        policied = run_driver(
+            driver,
+            instance,
+            params,
+            seed=21,
+            checkpoint=CheckpointPolicy(tmp_path / "p.ckpt", every=EVERY),
+        )
+        assert fingerprint(policied) == fingerprint(bare)
+
+
+class TestInterrupt:
+    @pytest.mark.parametrize("driver", DRIVERS)
+    def test_interrupt_checkpoints_then_resumes(
+        self, driver, instance, params, tmp_path
+    ):
+        seed = 33
+        oracle = run_driver(
+            driver,
+            instance,
+            params,
+            seed,
+            checkpoint=CheckpointPolicy(tmp_path / "oracle.ckpt", every=EVERY),
+        )
+        path = tmp_path / "int.ckpt"
+        interrupted = CheckpointPolicy(path, every=EVERY)
+        interrupted.interrupt.set()
+        with pytest.raises(SearchInterrupted):
+            run_driver(driver, instance, params, seed, checkpoint=interrupted)
+        assert path.exists()
+        resumed = run_driver(
+            driver,
+            instance,
+            params,
+            seed,
+            checkpoint=CheckpointPolicy(path, every=EVERY, resume=True),
+        )
+        assert fingerprint(resumed) == fingerprint(oracle)
+
+
+def _table_records(data):
+    return [
+        _result_record(r)
+        for key in data.results
+        for runs in data.results[key].values()
+        for r in runs
+    ]
+
+
+def _strip_wall_time(records):
+    records = json.loads(json.dumps(records))
+    for record in records:
+        record["wall_time"] = None
+    return records
+
+
+@pytest.fixture(scope="module")
+def table_config():
+    return BenchConfig.quick().with_overrides(
+        runs=1, processors=(3,), max_evaluations=400
+    )
+
+
+class TestTableResume:
+    TABLE = "table1"
+
+    def test_crash_resume_table(self, table_config, tmp_path, monkeypatch):
+        oracle = run_table(
+            self.TABLE,
+            table_config,
+            checkpoint=CheckpointPlan(tmp_path / "a", every=120),
+        )
+        plan = CheckpointPlan(tmp_path / "b", every=120, crash_after=250)
+        with pytest.raises(CrashInjected):
+            run_table(self.TABLE, table_config, checkpoint=plan)
+
+        manifest_path = tmp_path / "b" / f"{self.TABLE}_manifest.jsonl"
+        journaled_at_crash = (
+            sum(1 for _ in open(manifest_path)) if manifest_path.exists() else 0
+        )
+
+        # Count live cell executions during resume.
+        import repro.bench.runner as runner_mod
+
+        calls = []
+        original = runner_mod.run_configuration
+
+        def counting(*args, **kwargs):
+            calls.append(args[0])
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_configuration", counting)
+        resumed = run_table(
+            self.TABLE,
+            table_config,
+            checkpoint=CheckpointPlan(tmp_path / "b", every=120, resume=True),
+        )
+        journaled = sum(1 for _ in open(manifest_path))
+        # Completed cells were skipped, every remaining cell journaled.
+        assert journaled_at_crash + len(calls) == journaled
+        assert _strip_wall_time(_table_records(resumed)) == _strip_wall_time(
+            _table_records(oracle)
+        )
+
+        # A second resume re-executes zero cells.
+        calls.clear()
+        again = run_table(
+            self.TABLE,
+            table_config,
+            checkpoint=CheckpointPlan(tmp_path / "b", every=120, resume=True),
+        )
+        assert calls == []
+        assert _strip_wall_time(_table_records(again)) == _strip_wall_time(
+            _table_records(oracle)
+        )
+        # Completed cells leave no snapshot files behind.
+        assert list((tmp_path / "b").glob("*.ckpt")) == []
+
+    def test_interrupt_between_cells(self, table_config, tmp_path):
+        plan = CheckpointPlan(tmp_path / "c", every=120)
+        seen = []
+
+        def progress(msg):
+            seen.append(msg)
+            if len(seen) == 2:
+                plan.request_interrupt()
+
+        with pytest.raises(SearchInterrupted):
+            run_table(self.TABLE, table_config, checkpoint=plan, progress=progress)
+        # The run stopped early: not every cell was attempted.
+        total_cells = 2 * table_config.runs * 4  # instances x runs x algorithms
+        assert len(seen) < total_cells
+
+
+@pytest.mark.slow
+class TestCLIRecovery:
+    """The full loop through the bench CLI in a subprocess: a
+    deterministic mid-cell crash (the SIGKILL stand-in), then
+    ``--resume`` to a table identical to the uninterrupted reference."""
+
+    def run_cli(self, tmp_path, *args, crash_after=None):
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(
+                (os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+            )
+            + "/src",
+            REPRO_BENCH_SCALE="0.4",
+            REPRO_BENCH_RUNS="1",
+        )
+        env.pop("REPRO_CRASH_AFTER_EVALS", None)
+        if crash_after is not None:
+            env["REPRO_CRASH_AFTER_EVALS"] = str(crash_after)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.bench.cli", "table1", "--quiet", *args],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            env=env,
+            cwd=tmp_path,
+        )
+
+    def test_crash_then_resume_bit_identical(self, tmp_path):
+        base = ["--checkpoint-dir", "ckpt", "--checkpoint-every", "150"]
+        ref = self.run_cli(tmp_path, *base, "--save", "ref.json")
+        assert ref.returncode == 0, ref.stderr[-2000:]
+
+        import shutil
+
+        shutil.rmtree(tmp_path / "ckpt")
+        crashed = self.run_cli(
+            tmp_path, *base, "--save", "out.json", crash_after=400
+        )
+        assert crashed.returncode != 0
+        assert not (tmp_path / "out.json").exists()
+        manifest = tmp_path / "ckpt" / "table1_manifest.jsonl"
+
+        resumed = self.run_cli(tmp_path, *base, "--save", "out.json", "--resume")
+        assert resumed.returncode == 0, resumed.stderr[-2000:]
+        assert manifest.exists()
+
+        ref_payload = json.loads((tmp_path / "ref.json").read_text())
+        out_payload = json.loads((tmp_path / "out.json").read_text())
+        for payload in (ref_payload, out_payload):
+            for record in payload["runs"]:
+                record["wall_time"] = None
+        assert ref_payload == out_payload
+
+    def test_resume_requires_checkpoint_dir(self, tmp_path):
+        proc = self.run_cli(tmp_path, "--resume")
+        assert proc.returncode == 2
+        assert "--checkpoint-dir" in proc.stderr
