@@ -6,6 +6,8 @@ drawing, archive updates, non-dominated filtering and DES throughput.
 Regressions here inflate every macro benchmark above.
 """
 
+import timeit
+
 import numpy as np
 import pytest
 
@@ -136,6 +138,49 @@ def worker_pool(instance):
         instance, 1, params=PoolParams(heartbeat_interval=0.05)
     ) as pool:
         yield pool
+
+
+def test_disabled_metrics_overhead_under_5_percent(instance, solution):
+    """Disabled instrumentation must stay out of ``evaluate_move``'s way.
+
+    The only code the observability layer added to the hot loop is the
+    ``m = self.metrics; if m.enabled:`` guard against the null registry.
+    This measures that guard in isolation (min-of-repeats, so scheduler
+    noise cannot help it pass) against the per-call cost of a real
+    ``evaluate_move``, and asserts the guard is under 5% of it — i.e.
+    uninstrumented search speed is preserved.  A couple of retries
+    absorb one-off timer hiccups; the bound itself has ~100x margin on
+    typical hardware, so a persistent failure is a real regression.
+    """
+    evaluator = Evaluator(instance)
+    registry = default_registry()
+    rng = np.random.default_rng(8)
+    moves = []
+    while len(moves) < 32:
+        move = registry.draw_move(solution, rng)
+        if move is not None:
+            moves.append(move)
+
+    def eval_all():
+        for move in moves:
+            evaluator.evaluate_move(solution, move)
+
+    guard_stmt = "m = evaluator.metrics\nif m.enabled:\n    pass"
+    for attempt in range(3):
+        eval_per_call = min(
+            timeit.repeat(eval_all, number=20, repeat=5)
+        ) / (20 * len(moves))
+        guard_per_call = min(
+            timeit.repeat(
+                guard_stmt, number=20_000, globals={"evaluator": evaluator}, repeat=5
+            )
+        ) / 20_000
+        if guard_per_call < 0.05 * eval_per_call:
+            return
+    pytest.fail(
+        f"disabled-metrics guard costs {guard_per_call * 1e9:.0f}ns per call, "
+        f">= 5% of evaluate_move's {eval_per_call * 1e9:.0f}ns"
+    )
 
 
 def test_pool_task_roundtrip(benchmark, worker_pool, solution):

@@ -8,6 +8,15 @@ and the collaborative multisearch pays a runtime penalty but finds
 better fronts with fewer vehicles.
 
 Run:  python examples/parallel_comparison.py
+
+Instrumented run (identical trajectories — instrumentation observes,
+never steers):
+
+    REPRO_OBS=1 python examples/parallel_comparison.py
+        # ... plus a per-variant phase-timing table
+    REPRO_TRACE_DIR=traces python examples/parallel_comparison.py
+        # ... plus one JSONL event trace per variant, checkable with
+        # python -m repro.obs.validate traces/
 """
 
 from repro import (
@@ -18,6 +27,7 @@ from repro import (
     run_sequential_simulated,
     run_synchronous_tsmo,
 )
+from repro.obs import Obs, format_profile_table
 from repro.parallel import CostModel
 from repro.parallel.collab_ts import CollabParams
 from repro.stats.speedup import format_speedup
@@ -30,8 +40,20 @@ def main() -> None:
     )
     cost = CostModel().for_neighborhood(params.neighborhood_size)
     seed = 7
+    profiles: dict[str, dict] = {}
 
-    sequential = run_sequential_simulated(instance, params, seed, cost)
+    def instrumented(label, run):
+        """Run one variant under its own (env-gated) obs bundle."""
+        with Obs.from_env(span=label, unit="simulated") as obs:
+            result = run(obs)
+        if obs.enabled:
+            profiles[label] = obs.profiler.summary()
+        return result
+
+    sequential = instrumented(
+        "sequential",
+        lambda obs: run_sequential_simulated(instance, params, seed, cost, obs=obs),
+    )
     ts = sequential.simulated_time
     print(f"{instance.name}: sequential baseline T = {ts:.0f} simulated units\n")
     print(
@@ -50,18 +72,39 @@ def main() -> None:
 
     show(sequential)
     for p in (3, 6, 12):
-        show(run_synchronous_tsmo(instance, params, p, seed, cost))
-        show(run_asynchronous_tsmo(instance, params, p, seed, cost))
         show(
-            run_collaborative_tsmo(
-                instance,
-                params,
-                p,
-                seed,
-                cost,
-                CollabParams(initial_phase_patience=4),
+            instrumented(
+                f"synchronous@{p}",
+                lambda obs: run_synchronous_tsmo(
+                    instance, params, p, seed, cost, obs=obs
+                ),
             )
         )
+        show(
+            instrumented(
+                f"asynchronous@{p}",
+                lambda obs: run_asynchronous_tsmo(
+                    instance, params, p, seed, cost, obs=obs
+                ),
+            )
+        )
+        show(
+            instrumented(
+                f"collaborative@{p}",
+                lambda obs: run_collaborative_tsmo(
+                    instance,
+                    params,
+                    p,
+                    seed,
+                    cost,
+                    CollabParams(initial_phase_patience=4),
+                    obs=obs,
+                ),
+            )
+        )
+    if profiles:
+        print("\nWhere each iteration went (simulated units):")
+        print(format_profile_table(profiles))
     print(
         "\nShapes to notice (cf. the paper): sync saturates early, async "
         "peaks at 6\nand dips at 12 (message handling), collaborative is "

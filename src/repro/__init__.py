@@ -47,6 +47,13 @@ from repro.errors import (
 )
 from repro.mo import ParetoArchive, hypervolume, mutual_coverage, set_coverage
 from repro.moea import NSGA2Params, run_nsga2
+from repro.obs import (
+    NULL_OBS,
+    EventTracer,
+    MetricsRegistry,
+    Obs,
+    PhaseProfiler,
+)
 from repro.parallel import (
     AdaptiveMemoryParams,
     AsyncParams,
@@ -96,16 +103,21 @@ __all__ = [
     "CostModel",
     "CrashInjected",
     "Evaluator",
+    "EventTracer",
     "HybridParams",
     "I1Params",
     "Instance",
     "InstanceError",
     "InterruptFlag",
+    "MetricsRegistry",
     "NSGA2Params",
+    "NULL_OBS",
     "ObjectiveVector",
+    "Obs",
     "OperatorError",
     "ParetoArchive",
     "ParseError",
+    "PhaseProfiler",
     "ReproError",
     "RunManifest",
     "SearchError",

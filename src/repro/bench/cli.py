@@ -29,9 +29,10 @@ import time
 
 from repro.bench.config import BenchConfig
 from repro.bench.figures import fig1_trajectory, render_ascii
-from repro.bench.report import render_table
+from repro.bench.report import render_profile, render_table
 from repro.bench.runner import run_table
 from repro.errors import SearchInterrupted
+from repro.obs import ENV_OBS
 from repro.persistence import ENV_CRASH_AFTER, CheckpointPlan
 from repro.vrptw.catalog import TABLE_GROUPS
 
@@ -93,6 +94,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume an interrupted run from --checkpoint-dir",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="instrument the runs and print a per-phase timing table "
+        "per driver (implies REPRO_OBS=1; for 'render', reads stored "
+        "profiles)",
+    )
     return parser
 
 
@@ -112,6 +120,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume needs --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.profile and not os.environ.get("REPRO_TRACE_DIR"):
+        # In-memory instrumentation is enough for the timing table; a
+        # JSONL trace still needs an explicit REPRO_TRACE_DIR.
+        os.environ[ENV_OBS] = "1"
     plan = None
     if args.checkpoint_dir:
         every = config.checkpoint_every
@@ -139,6 +151,8 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         data = load_table_data(args.path)
         print(render_table(data, title=_TABLE_TITLES.get(data.table, data.table)))
+        if args.profile:
+            print(render_profile(data))
         return 0
 
     tables = sorted(TABLE_GROUPS) if args.target == "all" else [args.target]
@@ -156,6 +170,9 @@ def main(argv: list[str] | None = None) -> int:
             return 130
         elapsed = time.perf_counter() - start
         print(render_table(data, title=_TABLE_TITLES[table]))
+        if args.profile:
+            print(render_profile(data))
+            print()
         print(f"(regenerated in {elapsed:.1f}s wall time at bench scale)\n")
         if args.save:
             from repro.bench.storage import save_table_data

@@ -12,9 +12,10 @@ from __future__ import annotations
 import io
 
 from repro.bench.tables import ConfigKey, TableData
+from repro.obs import format_profile_table
 from repro.stats.speedup import format_speedup
 
-__all__ = ["render_table", "render_row"]
+__all__ = ["render_table", "render_row", "render_profile"]
 
 _DISPLAY = {
     "sequential": "Sequential TSMO",
@@ -72,3 +73,36 @@ def render_table(data: TableData, *, title: str | None = None) -> str:
         verdict = "significant" if ttest.significant() else "not significant"
         buf.write(f"  {ttest}  -> {verdict} at 5%\n")
     return buf.getvalue()
+
+
+def _merge_profiles(profiles: list[dict]) -> dict:
+    """Sum per-phase totals/counts across runs of one configuration."""
+    merged: dict = {"unit": profiles[0].get("unit", "seconds"), "phases": {}}
+    for profile in profiles:
+        for phase, cell in profile.get("phases", {}).items():
+            slot = merged["phases"].setdefault(phase, {"total": 0.0, "count": 0})
+            slot["total"] += cell.get("total", 0.0)
+            slot["count"] += cell.get("count", 0)
+    return merged
+
+
+def render_profile(data: TableData) -> str:
+    """Per-driver phase-timing table, aggregated over a table's runs.
+
+    Only instrumented runs carry a profile; configurations without one
+    are omitted, and an entirely uninstrumented table renders a hint to
+    rerun with ``--profile`` (or ``REPRO_OBS=1``) instead of an empty
+    table.
+    """
+    profiles: dict[str, dict] = {}
+    for key in data.configs():
+        run_profiles = [r.profile for r in data.runs_of(key) if r.profile]
+        if not run_profiles:
+            continue
+        label = key[0] if key[0] == "sequential" else f"{key[0]}@{key[1]}"
+        profiles[label] = _merge_profiles(run_profiles)
+    if not profiles:
+        return (
+            "(no phase profiles recorded - rerun with --profile or REPRO_OBS=1)"
+        )
+    return format_profile_table(profiles)

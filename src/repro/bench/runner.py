@@ -26,6 +26,7 @@ from repro.bench.config import BenchConfig
 from repro.bench.storage import _record_result, _result_record
 from repro.bench.tables import TableData
 from repro.errors import BenchmarkError, SearchInterrupted
+from repro.obs import NULL_OBS, Obs
 from repro.parallel.async_ts import AsyncParams, run_asynchronous_tsmo
 from repro.parallel.base import run_sequential_simulated
 from repro.parallel.collab_ts import CollabParams, run_collaborative_tsmo
@@ -58,21 +59,30 @@ def run_configuration(
     cost_model: CostModel | None = None,
     *,
     checkpoint: CheckpointPolicy | None = None,
+    obs=NULL_OBS,
 ) -> TSMOResult:
     """Run one algorithm configuration on one instance.
 
     ``checkpoint`` (a per-cell :class:`~repro.persistence.
     CheckpointPolicy`) is threaded through to whichever driver runs,
-    enabling periodic snapshots, crash injection and resume.
+    enabling periodic snapshots, crash injection and resume.  ``obs``
+    (a :class:`~repro.obs.Obs` bundle) instruments the run — metrics,
+    events and the per-phase profile land on the returned result.
     """
     params = config.tsmo_params()
     if algorithm == "sequential":
         return run_sequential_simulated(
-            instance, params, seed, cost_model, checkpoint=checkpoint
+            instance, params, seed, cost_model, checkpoint=checkpoint, obs=obs
         )
     if algorithm == "synchronous":
         return run_synchronous_tsmo(
-            instance, params, n_processors, seed, cost_model, checkpoint=checkpoint
+            instance,
+            params,
+            n_processors,
+            seed,
+            cost_model,
+            checkpoint=checkpoint,
+            obs=obs,
         )
     if algorithm == "asynchronous":
         return run_asynchronous_tsmo(
@@ -83,6 +93,7 @@ def run_configuration(
             cost_model,
             AsyncParams(),
             checkpoint=checkpoint,
+            obs=obs,
         )
     if algorithm == "collaborative":
         return run_collaborative_tsmo(
@@ -93,6 +104,7 @@ def run_configuration(
             cost_model,
             CollabParams(initial_phase_patience=config.collab_patience),
             checkpoint=checkpoint,
+            obs=obs,
         )
     raise BenchmarkError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
 
@@ -199,15 +211,26 @@ def run_table(
                             if checkpoint is not None
                             else None
                         )
-                        result = run_configuration(
-                            algorithm,
-                            instance,
-                            config,
-                            p,
-                            seed,
-                            cost_model,
-                            checkpoint=policy,
+                        # One bundle per cell (NULL_OBS unless enabled
+                        # via REPRO_TRACE_DIR / REPRO_OBS): each cell
+                        # gets its own run id — and trace file — so
+                        # per-cell profiles and events never mix.
+                        obs = Obs.from_env(
+                            span=f"{algorithm}@{p}", unit="simulated"
                         )
+                        try:
+                            result = run_configuration(
+                                algorithm,
+                                instance,
+                                config,
+                                p,
+                                seed,
+                                cost_model,
+                                checkpoint=policy,
+                                obs=obs,
+                            )
+                        finally:
+                            obs.close()
                         data.add(result)
                         if manifest is not None:
                             # Journal first, then drop the now-obsolete

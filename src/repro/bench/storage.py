@@ -45,7 +45,7 @@ _REQUIRED_FIELDS = (
 
 
 def _result_record(result: TSMOResult) -> dict:
-    return {
+    record = {
         "instance": result.instance_name,
         "algorithm": result.algorithm,
         "processors": result.processors,
@@ -69,6 +69,14 @@ def _result_record(result: TSMOResult) -> dict:
             "aspiration": result.params.aspiration,
         },
     }
+    # Observability payloads appear only when the run was instrumented,
+    # so default (uninstrumented) files stay byte-identical to the
+    # pre-instrumentation format — crash/resume byte-diffs depend on it.
+    if result.profile is not None:
+        record["profile"] = result.profile
+    if result.metrics is not None:
+        record["metrics"] = result.metrics
+    return record
 
 
 def _record_result(record: dict, *, run_index: int | None = None) -> TSMOResult:
@@ -101,7 +109,7 @@ def _record_result(record: dict, *, run_index: int | None = None) -> TSMOResult:
     except (TypeError, ValueError) as exc:
         raise BenchmarkError(f"{where}: field 'front' is malformed: {exc}") from exc
     try:
-        return TSMOResult(
+        result = TSMOResult(
             instance_name=record["instance"],
             algorithm=record["algorithm"],
             params=params,
@@ -123,6 +131,10 @@ def _record_result(record: dict, *, run_index: int | None = None) -> TSMOResult:
         )
     except (TypeError, ValueError) as exc:
         raise BenchmarkError(f"{where}: invalid field value: {exc}") from exc
+    # Optional observability payloads (instrumented runs only).
+    result.profile = record.get("profile")
+    result.metrics = record.get("metrics")
+    return result
 
 
 def save_table_data(data: TableData, path: str | Path) -> Path:

@@ -36,6 +36,7 @@ from repro.core.routes import route_stats
 from repro.core.solution import Solution
 from repro.core.stats_cache import RouteStatsCache
 from repro.errors import SearchError
+from repro.obs.registry import NULL_REGISTRY
 from repro.vrptw.instance import Instance
 
 __all__ = ["Evaluator", "evaluate", "evaluate_permutation"]
@@ -122,6 +123,7 @@ class Evaluator:
         "max_evaluations",
         "count",
         "stats_cache",
+        "metrics",
         "_memo_parent",
         "_memo_pd",
         "_memo_pt",
@@ -141,6 +143,9 @@ class Evaluator:
         self.stats_cache = (
             stats_cache if stats_cache is not None else RouteStatsCache(instance)
         )
+        # Metrics hook for instrumented runs; NULL_REGISTRY's disabled
+        # flag keeps the hot-loop cost to one attribute check.
+        self.metrics = NULL_REGISTRY
         # Per-parent memo of objective prefix sums (see evaluate_move).
         # The strong reference also pins the parent, so the identity
         # check can never alias a recycled object id.
@@ -228,6 +233,10 @@ class Evaluator:
                 distance += st.distance
                 tardiness += st.tardiness
                 vehicles += 1
+        m = self.metrics
+        if m.enabled:
+            m.inc("evaluate.moves")
+            m.inc("evaluate.routes_touched", len(replacements) + len(added))
         return ObjectiveVector(
             distance=distance, vehicles=vehicles, tardiness=tardiness
         )

@@ -1,0 +1,215 @@
+"""Per-phase profiling: where did each driver iteration go?
+
+Parallel-metaheuristic speedup claims are only credible with a phase
+decomposition — how much of an iteration was *generate* (building and
+scoring neighborhoods), *evaluate* (delta evaluation proper), *select*
+(the sequential archive/tabu update), *communicate* (marshalling and
+message overhead), and *wait* (idle at a barrier or on an empty
+inbox).  :class:`PhaseProfiler` accumulates exactly that, one named
+bucket per phase, and renders the per-driver timing table shown by
+``repro-bench --profile`` and ``examples/parallel_comparison.py``.
+
+Units matter: the simulated drivers (seq-sim, sync, async, collab)
+decompose *simulated* cluster time — deterministic, derived from the
+cost model, bit-identical across runs — while the plain sequential and
+real-multiprocessing drivers decompose wall-clock seconds.  The
+profiler carries a ``unit`` attribute (``"seconds"`` or
+``"simulated"``) so the two are never mixed in one table column, and
+wall-clock measurement (:meth:`PhaseProfiler.time`) is only used when
+``unit == "seconds"``.
+
+Like the registry and tracer, the disabled path is a null object
+(:data:`NULL_PROFILER`, ``enabled`` ``False``) so the drivers carry no
+conditional plumbing.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = [
+    "NULL_PROFILER",
+    "NullProfiler",
+    "PHASES",
+    "PhaseProfiler",
+    "format_profile_table",
+]
+
+#: canonical iteration phases, in table-rendering order.  Profilers
+#: accept other names too (drivers may add e.g. ``checkpoint``); the
+#: canonical ones simply sort first.
+PHASES = ("generate", "evaluate", "select", "communicate", "wait", "other")
+
+
+class _PhaseContext:
+    """``with profiler.time("generate"):`` — one wall-clock measurement."""
+
+    __slots__ = ("_profiler", "_phase", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", phase: str) -> None:
+        self._profiler = profiler
+        self._phase = phase
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler.add(self._phase, time.perf_counter() - self._t0)
+
+
+class PhaseProfiler:
+    """Accumulates per-phase time for one driver run."""
+
+    __slots__ = ("unit", "_totals", "_counts")
+
+    enabled = True
+
+    def __init__(self, unit: str = "seconds") -> None:
+        if unit not in ("seconds", "simulated"):
+            raise ValueError(f"unknown profiler unit {unit!r}")
+        self.unit = unit
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    def add(self, phase: str, amount: float) -> None:
+        """Fold ``amount`` (seconds or simulated time) into ``phase``."""
+        self._totals[phase] = self._totals.get(phase, 0.0) + amount
+        self._counts[phase] = self._counts.get(phase, 0) + 1
+
+    def time(self, phase: str) -> _PhaseContext:
+        """Wall-clock a block into ``phase`` (``unit == "seconds"`` only)."""
+        return _PhaseContext(self, phase)
+
+    def total(self, phase: str) -> float:
+        return self._totals.get(phase, 0.0)
+
+    def summary(self) -> dict:
+        """JSON-serializable per-phase totals, canonical phases first.
+
+        This is what lands on ``TSMOResult.profile``.
+        """
+        order = [p for p in PHASES if p in self._totals]
+        order += sorted(p for p in self._totals if p not in PHASES)
+        return {
+            "unit": self.unit,
+            "phases": {
+                phase: {
+                    "total": self._totals[phase],
+                    "count": self._counts.get(phase, 0),
+                }
+                for phase in order
+            },
+        }
+
+    # -- persistence ---------------------------------------------------
+    def export_state(self) -> dict:
+        return {
+            "unit": self.unit,
+            "totals": dict(self._totals),
+            "counts": dict(self._counts),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.unit = state.get("unit", self.unit)
+        self._totals = dict(state.get("totals", {}))
+        self._counts = dict(state.get("counts", {}))
+
+    def merge_state(self, state: dict) -> None:
+        for phase, amount in state.get("totals", {}).items():
+            self._totals[phase] = self._totals.get(phase, 0.0) + amount
+        for phase, count in state.get("counts", {}).items():
+            self._counts[phase] = self._counts.get(phase, 0) + count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PhaseProfiler(unit={self.unit!r}, phases={len(self._totals)})"
+
+
+class NullProfiler:
+    """The disabled profiler: same interface, nothing recorded."""
+
+    __slots__ = ()
+
+    enabled = False
+    unit = "seconds"
+
+    def add(self, phase: str, amount: float) -> None:
+        return None
+
+    def time(self, phase: str) -> "NullProfiler":
+        return self
+
+    def __enter__(self) -> "NullProfiler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def total(self, phase: str) -> float:
+        return 0.0
+
+    def summary(self) -> dict:
+        return {"unit": self.unit, "phases": {}}
+
+    def export_state(self) -> dict:
+        return {"unit": self.unit, "totals": {}, "counts": {}}
+
+    def restore_state(self, state: dict) -> None:
+        return None
+
+    def merge_state(self, state: dict) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "NullProfiler()"
+
+
+#: the shared disabled profiler every uninstrumented component points at.
+NULL_PROFILER = NullProfiler()
+
+
+def format_profile_table(profiles: dict[str, dict]) -> str:
+    """Render ``{driver label: profile summary}`` as a fixed-width table.
+
+    One row per driver; one column per phase plus a total.  Drivers
+    with different units get the unit spelled out in their row label —
+    simulated and wall-clock numbers are not comparable and the table
+    never pretends they are.
+    """
+    if not profiles:
+        return "(no profile data)"
+    phases = [
+        p
+        for p in PHASES
+        if any(p in s.get("phases", {}) for s in profiles.values())
+    ]
+    extra = sorted(
+        {
+            p
+            for s in profiles.values()
+            for p in s.get("phases", {})
+            if p not in PHASES
+        }
+    )
+    phases += extra
+    label_w = max(
+        len(f"{label} [{s.get('unit', '?')}]") for label, s in profiles.items()
+    )
+    label_w = max(label_w, len("driver"))
+    col_w = max([len("total")] + [len(p) for p in phases]) + 4
+    header = "driver".ljust(label_w) + "".join(
+        p.rjust(col_w) for p in phases + ["total"]
+    )
+    lines = [header, "-" * len(header)]
+    for label, s in profiles.items():
+        unit = s.get("unit", "?")
+        row = f"{label} [{unit}]".ljust(label_w)
+        total = 0.0
+        for phase in phases:
+            amount = s.get("phases", {}).get(phase, {}).get("total", 0.0)
+            total += amount
+            row += f"{amount:.4f}".rjust(col_w)
+        row += f"{total:.4f}".rjust(col_w)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,322 @@
+"""The metrics registry: counters, gauges, histograms, timers.
+
+One :class:`MetricsRegistry` per run collects every numeric fact the
+search produces — iteration/restart counters, archive-size gauges,
+neighborhood-size histograms, per-segment timers — under dotted string
+names (``search.iterations``, ``cache.hits``, ``pool.crashes``).  The
+registry is *process-safe by value*: it never shares mutable state
+across processes; workers snapshot their own registries (or raw
+counters) and ship the plain-dict :meth:`export_state` back over the
+existing result queues, and the master folds them in with
+:meth:`merge_state`.  The same export/restore pair rides inside engine
+checkpoints, so a crashed-and-resumed run reports cumulative totals,
+not just the final leg's.
+
+The disabled path is :class:`NullRegistry` (singleton
+:data:`NULL_REGISTRY`): same interface, every method a no-op, and
+``enabled`` is ``False`` — hot loops guard their instrumentation with
+one attribute check (``if m.enabled:``) so a run without observability
+pays essentially nothing (asserted by the overhead microbenchmark in
+``benchmarks/bench_micro.py``).
+
+Histograms use *fixed* bucket boundaries chosen at creation (defaults
+in :data:`DEFAULT_BUCKETS`): fixed buckets make per-worker histograms
+mergeable by plain addition, which adaptive schemes are not.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Timer",
+]
+
+#: default histogram bucket upper bounds (an implicit +inf bucket is
+#: always appended).  Spans both "sizes" (pool/neighborhood counts) and
+#: sub-millisecond timings; callers with a better idea pass their own.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    500.0,
+    1000.0,
+)
+
+
+@dataclass(slots=True)
+class _Histogram:
+    """Fixed-boundary histogram: bucket counts + sum + count."""
+
+    bounds: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)  # +inf bucket
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.n += 1
+
+
+@dataclass(slots=True)
+class Timer:
+    """Accumulated monotonic wall time of one named segment."""
+
+    seconds: float = 0.0
+    count: int = 0
+    max: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.count += 1
+        if seconds > self.max:
+            self.max = seconds
+
+
+class _TimerContext:
+    """``with registry.time("name"):`` — one monotonic measurement."""
+
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.add(time.perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """Named counters, gauges, histograms and timers for one run."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_timers")
+
+    #: class attribute so the hot-loop guard (``if m.enabled:``) is a
+    #: plain attribute lookup with no per-instance storage.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+        self._timers: dict[str, Timer] = {}
+
+    # -- write side ----------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest observed value."""
+        self._gauges[name] = value
+
+    def observe(
+        self, name: str, value: float, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        """Record one sample into the fixed-bucket histogram ``name``.
+
+        The boundaries are fixed on first use; later calls ignore the
+        ``buckets`` argument (changing boundaries mid-run would make the
+        series unmergeable).
+        """
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = _Histogram(tuple(buckets))
+        hist.observe(value)
+
+    def timer(self, name: str) -> Timer:
+        """The (auto-created) accumulator behind ``time(name)``."""
+        t = self._timers.get(name)
+        if t is None:
+            t = self._timers[name] = Timer()
+        return t
+
+    def time(self, name: str) -> _TimerContext:
+        """Context manager measuring one monotonic segment into ``name``."""
+        return _TimerContext(self.timer(name))
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into timer ``name``."""
+        self.timer(name).add(seconds)
+
+    # -- read side -----------------------------------------------------
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def snapshot(self) -> dict:
+        """A plain-dict, JSON-serializable view of everything recorded.
+
+        This is what lands on ``TSMOResult.metrics`` and what the
+        ``repro-bench`` profile report renders.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.total,
+                    "count": h.n,
+                }
+                for name, h in self._histograms.items()
+            },
+            "timers": {
+                name: {"seconds": t.seconds, "count": t.count, "max": t.max}
+                for name, t in self._timers.items()
+            },
+        }
+
+    # -- persistence / cross-process merging ---------------------------
+    def export_state(self) -> dict:
+        """Checkpoint payload — identical shape to :meth:`snapshot`."""
+        return self.snapshot()
+
+    def restore_state(self, state: dict) -> None:
+        """Replace all series with a previously exported state."""
+        self._counters = dict(state.get("counters", {}))
+        self._gauges = dict(state.get("gauges", {}))
+        self._histograms = {}
+        for name, h in state.get("histograms", {}).items():
+            hist = _Histogram(tuple(h["bounds"]), counts=list(h["counts"]))
+            hist.total = h["sum"]
+            hist.n = h["count"]
+            self._histograms[name] = hist
+        self._timers = {
+            name: Timer(seconds=t["seconds"], count=t["count"], max=t["max"])
+            for name, t in state.get("timers", {}).items()
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another registry's export into this one.
+
+        Counters, histograms and timers add; gauges take the incoming
+        value (last writer wins — they are point-in-time readings).
+        Histograms with mismatched boundaries raise ``ValueError``
+        rather than silently producing a meaningless sum.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, h in state.get("histograms", {}).items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = _Histogram(tuple(h["bounds"]))
+            elif mine.bounds != tuple(h["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} has mismatched bucket boundaries"
+                )
+            mine.counts = [a + b for a, b in zip(mine.counts, h["counts"])]
+            mine.total += h["sum"]
+            mine.n += h["count"]
+        for name, t in state.get("timers", {}).items():
+            mine = self.timer(name)
+            mine.seconds += t["seconds"]
+            mine.count += t["count"]
+            mine.max = max(mine.max, t["max"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)}, "
+            f"timers={len(self._timers)})"
+        )
+
+
+class _NullTimerContext:
+    """Shared, reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimerContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_TIMER_CONTEXT = _NullTimerContext()
+_NULL_TIMER = Timer()
+
+
+class NullRegistry:
+    """The disabled registry: same interface, every method a no-op.
+
+    ``enabled`` is ``False`` as a *class* attribute, so the hot-loop
+    guard ``if m.enabled:`` costs two attribute lookups and a falsy
+    branch — the entire price of disabled instrumentation.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name, value, buckets=DEFAULT_BUCKETS) -> None:
+        return None
+
+    def timer(self, name: str) -> Timer:
+        return _NULL_TIMER
+
+    def time(self, name: str) -> _NullTimerContext:
+        return _NULL_TIMER_CONTEXT
+
+    def add_time(self, name: str, seconds: float) -> None:
+        return None
+
+    def counter(self, name: str) -> float:
+        return 0
+
+    def gauge_value(self, name: str) -> float | None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
+
+    def export_state(self) -> dict:
+        return self.snapshot()
+
+    def restore_state(self, state: dict) -> None:
+        return None
+
+    def merge_state(self, state: dict) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "NullRegistry()"
+
+
+#: the shared disabled registry every uninstrumented component points at.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,36 @@
+"""The one timestamp helper every persisted artifact uses.
+
+Before the observability layer, two artifacts stamped wall-clock
+provenance independently (the worker-pool report dump and the bench
+run manifest) and nothing guaranteed their formats agreed.  Everything
+now goes through :func:`utc_timestamp`: ISO-8601, UTC, second
+precision, explicit ``+00:00`` offset — sortable as a plain string and
+parseable by ``datetime.fromisoformat`` on every supported Python.
+
+Deliberately dependency-free (stdlib ``datetime`` only) so it can be
+imported from anywhere in the package — persistence, the pool, the
+event sink — without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+__all__ = ["parse_timestamp", "utc_timestamp"]
+
+
+def utc_timestamp() -> str:
+    """The current time as an ISO-8601 UTC string, e.g.
+    ``2026-08-07T12:34:56+00:00``."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def parse_timestamp(text: str) -> datetime:
+    """Parse a string written by :func:`utc_timestamp` back into an
+    aware :class:`~datetime.datetime` (raises ``ValueError`` on any
+    other format — mixed formats are exactly the bug this module
+    exists to prevent)."""
+    stamp = datetime.fromisoformat(text)
+    if stamp.tzinfo is None:
+        raise ValueError(f"timestamp {text!r} is not timezone-aware")
+    return stamp

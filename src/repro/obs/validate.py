@@ -1,0 +1,133 @@
+"""Trace validation: check every JSONL event line against the schema.
+
+``python -m repro.obs.validate TRACE...`` (files or directories of
+``*.jsonl``) verifies that
+
+* every line parses as a JSON object;
+* every event carries the full envelope (``type``/``seq``/``run``/
+  ``span``) and a known type;
+* every type's required payload fields (:data:`~repro.obs.events.
+  EVENT_SCHEMA`) are present;
+* ``seq`` is strictly increasing within a file (monotonic numbering is
+  what makes cross-span interleaving reconstructable).
+
+A torn *final* line — the signature of a crash mid-append, which the
+sink's durability discipline explicitly permits — is skipped with a
+note rather than failing the file, mirroring the run-manifest reader.
+Any other problem is an error; the process exits non-zero if any file
+had one, which is what the CI observability job keys off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.events import ENVELOPE_KEYS, EVENT_SCHEMA
+
+__all__ = ["main", "validate_file", "validate_event"]
+
+
+def validate_event(event: object) -> str | None:
+    """Why this event is invalid, or ``None`` if it is fine."""
+    if not isinstance(event, dict):
+        return f"expected an object, got {type(event).__name__}"
+    type_ = event.get("type")
+    if type_ not in EVENT_SCHEMA:
+        return f"unknown event type {type_!r}"
+    if type_ != "meta":
+        missing = [key for key in ENVELOPE_KEYS if key not in event]
+        if missing:
+            return f"{type_} event missing envelope key(s): {', '.join(missing)}"
+    required = EVENT_SCHEMA[type_]
+    missing = [key for key in required if key not in event]
+    if missing:
+        return f"{type_} event missing field(s): {', '.join(missing)}"
+    return None
+
+
+def validate_file(path: Path | str) -> tuple[int, list[str]]:
+    """Validate one trace file; returns ``(events_ok, errors)``."""
+    path = Path(path)
+    errors: list[str] = []
+    ok = 0
+    last_seq: int | None = None
+    try:
+        lines = path.read_text(encoding="utf-8").split("\n")
+    except OSError as exc:
+        return 0, [f"{path}: cannot read: {exc}"]
+    if lines and lines[-1] == "":
+        lines.pop()  # trailing newline, the normal case
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                # Torn tail from a crash mid-append: tolerated by design.
+                print(f"{path}:{lineno}: note: skipping torn final line")
+                continue
+            errors.append(f"{path}:{lineno}: not valid JSON")
+            continue
+        problem = validate_event(event)
+        if problem is not None:
+            errors.append(f"{path}:{lineno}: {problem}")
+            continue
+        seq = event.get("seq")
+        if seq is not None:
+            if last_seq is not None and seq <= last_seq:
+                errors.append(
+                    f"{path}:{lineno}: seq {seq} not greater than previous "
+                    f"{last_seq}"
+                )
+            last_seq = seq
+        ok += 1
+    return ok, errors
+
+
+def _collect(targets: list[str]) -> list[Path]:
+    paths: list[Path] = []
+    for target in targets:
+        p = Path(target)
+        if p.is_dir():
+            paths.extend(sorted(p.glob("*.jsonl")))
+        else:
+            paths.append(p)
+    return paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate JSONL event traces against the event schema.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="trace files, or directories containing *.jsonl traces",
+    )
+    args = parser.parse_args(argv)
+    paths = _collect(args.targets)
+    if not paths:
+        print("error: no trace files found", file=sys.stderr)
+        return 2
+    total_ok = 0
+    total_errors = 0
+    for path in paths:
+        ok, errors = validate_file(path)
+        total_ok += ok
+        total_errors += len(errors)
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        status = "OK" if not errors else f"{len(errors)} error(s)"
+        print(f"{path}: {ok} valid event(s), {status}")
+    print(
+        f"validated {len(paths)} file(s): {total_ok} event(s), "
+        f"{total_errors} error(s)"
+    )
+    return 1 if total_errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ from repro.core.evaluation import Evaluator
 from repro.core.operators.registry import OperatorRegistry, default_registry
 from repro.errors import SimulationError
 from repro.mo.dominance import dominates
+from repro.obs import NULL_OBS
 from repro.parallel.base import simulation_context
 from repro.parallel.costmodel import CostModel
 from repro.parallel.des import GET_TIMED_OUT
@@ -117,6 +118,7 @@ def run_asynchronous_tsmo(
     registry: OperatorRegistry | None = None,
     trace: TrajectoryRecorder | None = None,
     checkpoint=None,
+    obs=NULL_OBS,
 ) -> TSMOResult:
     """Run the asynchronous master–worker TSMO on the simulated cluster.
 
@@ -136,6 +138,7 @@ def run_asynchronous_tsmo(
     aparams = async_params or AsyncParams()
     if n_processors < 2:
         raise SimulationError("the master-worker variants need >= 2 processors")
+    obs.set_unit("simulated")
     registry = registry or default_registry()
     factory = RngFactory(seed)
     master_rng = factory.generator()
@@ -146,7 +149,13 @@ def run_asynchronous_tsmo(
 
     evaluator = Evaluator(instance, params.max_evaluations)
     engine = TSMOEngine(
-        instance, params, master_rng, evaluator=evaluator, registry=registry, trace=trace
+        instance,
+        params,
+        master_rng,
+        evaluator=evaluator,
+        registry=registry,
+        trace=trace,
+        obs=obs,
     )
     finish = {"time": None, "carryover": 0, "pool_sizes": []}
 
@@ -172,6 +181,8 @@ def run_asynchronous_tsmo(
 
     def master():
         inbox = cluster.inbox(0)
+        profiler = obs.profiler
+        tracer = obs.tracer
         if resumed is None:
             yield cluster.compute(0, cost.init_cost(instance.n_customers))
             engine.initialize()
@@ -197,7 +208,18 @@ def run_asynchronous_tsmo(
         def absorb(msg: ResultMessage):
             # Streamed receive: pre-posted buffers overlap with compute,
             # only per-message handling hits the critical path.
+            t0 = env.now
             yield cluster.receive_overhead(0, len(msg.neighbors), streamed=True)
+            if profiler.enabled:
+                profiler.add("communicate", env.now - t0)
+            if tracer.enabled:
+                tracer.emit(
+                    "comm_recv",
+                    peer=msg.worker,
+                    kind="result",
+                    items=len(msg.neighbors),
+                    final=msg.final,
+                )
             pool.extend(msg.neighbors)
             if msg.final:
                 idle.add(msg.worker)
@@ -236,6 +258,10 @@ def run_asynchronous_tsmo(
             # (Re)assign work to every idle worker; busy workers keep
             # grinding on neighborhoods of previous currents.
             for rank in sorted(idle):
+                if tracer.enabled:
+                    tracer.emit(
+                        "comm_send", peer=rank, kind="task", items=chunks[rank]
+                    )
                 cluster.send(
                     0,
                     rank,
@@ -244,12 +270,15 @@ def run_asynchronous_tsmo(
                 )
             idle.clear()
             # The master's own share.
+            t0 = env.now
             yield cluster.compute(0, cost.eval_cost * chunks[0])
             misses_before = evaluator.stats_cache.misses
             pool.extend(engine.generate_neighborhood(chunks[0]))
             master_misses = evaluator.stats_cache.misses - misses_before
             if cost.miss_scan_cost > 0.0 and master_misses > 0:
                 yield cluster.compute(0, cost.miss_scan_cost * master_misses)
+            if profiler.enabled:
+                profiler.add("evaluate", env.now - t0)
 
             # Collection loop governed by the decision function.
             deadline = env.now + max_wait
@@ -263,14 +292,29 @@ def run_asynchronous_tsmo(
                 )
                 c3 = env.now >= deadline
                 c4 = evaluator.exhausted
-                if pool and (c1 or c2 or c3 or c4):
-                    break
-                if not pool and c4:
+                if (pool and (c1 or c2 or c3 or c4)) or (not pool and c4):
+                    if tracer.enabled:
+                        fired = [
+                            name
+                            for name, hit in (
+                                ("c1", c1), ("c2", c2), ("c3", c3), ("c4", c4)
+                            )
+                            if hit
+                        ]
+                        tracer.emit(
+                            "decision_fired",
+                            iteration=iteration,
+                            reason=",".join(fired),
+                            pool=len(pool),
+                        )
                     break
                 # Give the workers more time: block until the next
                 # message or the waiting-too-long deadline.
                 timeout = None if c3 else max(deadline - env.now, 0.0)
+                t0 = env.now
                 msg = yield inbox.get(timeout=timeout)
+                if profiler.enabled:
+                    profiler.add("wait", env.now - t0)
                 if msg is GET_TIMED_OUT:
                     continue
                 yield from absorb(msg)
@@ -282,7 +326,10 @@ def run_asynchronous_tsmo(
             finish["carryover"] += sum(
                 1 for n in pool if n.iteration <= engine.iteration
             )
+            t0 = env.now
             yield cluster.compute(0, cost.selection_cost(len(pool)))
+            if profiler.enabled:
+                profiler.add("select", env.now - t0)
             engine.select_and_update(pool)
             pool.clear()
 
@@ -300,6 +347,7 @@ def run_asynchronous_tsmo(
                 worker_rngs[rank - 1],
                 evaluator,
                 batch_size=aparams.batch_size,
+                obs=obs,
             ),
             name=f"worker-{rank}",
         )
@@ -307,6 +355,15 @@ def run_asynchronous_tsmo(
     start = time.perf_counter()
     env.run()
     wall = time.perf_counter() - start
+    if obs.enabled:
+        m = obs.metrics
+        m.gauge("comm.messages_sent", cluster.messages_sent)
+        m.gauge("comm.items_sent", cluster.items_sent)
+        m.gauge("async.carryover_neighbors", finish["carryover"])
+        for size in finish["pool_sizes"]:
+            m.observe(
+                "async.pool_size", size, buckets=(0, 5, 10, 25, 50, 100, 250, 500)
+            )
     result = engine.result(
         "asynchronous",
         wall_time=wall,

@@ -21,6 +21,7 @@ import time
 import numpy as np
 
 from repro.core.operators.registry import OperatorRegistry
+from repro.obs import NULL_OBS
 from repro.parallel.cluster import SimCluster
 from repro.parallel.costmodel import CostModel
 from repro.parallel.des import Environment
@@ -57,6 +58,7 @@ def run_sequential_simulated(
     registry: OperatorRegistry | None = None,
     trace: TrajectoryRecorder | None = None,
     checkpoint=None,
+    obs=NULL_OBS,
 ) -> TSMOResult:
     """The sequential TSMO with simulated timing — the ``T_s`` baseline.
 
@@ -74,9 +76,14 @@ def run_sequential_simulated(
     ``simulated_time`` as an uninterrupted one.
     """
     params = params or TSMOParams()
+    # Simulated drivers profile in cost-model units (deterministic, so
+    # profiles are bit-identical across runs and resume legs).
+    obs.set_unit("simulated")
     env, cluster, (search_rng,) = simulation_context(1, cost_model, seed)
     cost = cluster.cost
-    engine = TSMOEngine(instance, params, search_rng, registry=registry, trace=trace)
+    engine = TSMOEngine(
+        instance, params, search_rng, registry=registry, trace=trace, obs=obs
+    )
 
     resumed = (
         checkpoint.load_resume_state(kind="sequential-sim")
@@ -113,8 +120,14 @@ def run_sequential_simulated(
             nominal = cost.eval_cost * len(neighbors)
             if cost.miss_scan_cost > 0.0:
                 nominal += cost.miss_scan_cost * (cache.misses - misses_before)
+            t0 = env.now
             yield cluster.compute(0, nominal)
+            t1 = env.now
             yield cluster.compute(0, cost.selection_cost(len(neighbors)))
+            profiler = obs.profiler
+            if profiler.enabled:
+                profiler.add("evaluate", t1 - t0)
+                profiler.add("select", env.now - t1)
             engine.select_and_update(neighbors)
 
     start = time.perf_counter()

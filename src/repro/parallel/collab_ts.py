@@ -51,6 +51,7 @@ from repro.core.stats_cache import RouteStatsCache
 from repro.errors import SimulationError
 from repro.core.objectives import ObjectiveVector
 from repro.mo.archive import ParetoArchive
+from repro.obs import NULL_OBS
 from repro.parallel.base import simulation_context
 from repro.parallel.costmodel import CostModel
 from repro.parallel.des import Mailbox
@@ -193,6 +194,7 @@ def run_collaborative_tsmo(
     registry: OperatorRegistry | None = None,
     trace: TrajectoryRecorder | None = None,
     checkpoint=None,
+    obs=NULL_OBS,
 ) -> TSMOResult:
     """Run the collaborative multisearch TSMO on the simulated cluster.
 
@@ -208,6 +210,7 @@ def run_collaborative_tsmo(
     cparams = collab_params or CollabParams()
     if n_processors < 2:
         raise SimulationError("multisearch needs >= 2 searchers")
+    obs.set_unit("simulated")
     registry = registry or default_registry()
     factory = RngFactory(seed)
     searcher_rngs = factory.generators(n_processors)
@@ -237,6 +240,10 @@ def run_collaborative_tsmo(
                 ),
                 registry=registry,
                 trace=trace if rank == 0 else None,
+                # All searchers share one bundle; restore_state replaces
+                # (rather than merges), so the n-fold restore at a
+                # resumed barrier is idempotent.
+                obs=obs,
             )
         )
 
@@ -331,6 +338,9 @@ def run_collaborative_tsmo(
         engine = engines[rank]
         inbox = cluster.inbox(rank)
         comm = comm_lists[rank]
+        profiler = obs.profiler
+        tracer = obs.tracer
+        span = f"searcher-{rank}"
         if resumed is None:
             yield cluster.compute(rank, cost.init_cost(instance.n_customers))
             engine.initialize()
@@ -353,7 +363,14 @@ def run_collaborative_tsmo(
                 break
             # Drain foreign elites into the medium-term memory.
             while (msg := inbox.get_nowait()) is not None:
+                t0 = env.now
                 yield cluster.receive_overhead(rank, 1, streamed=False)
+                if profiler.enabled:
+                    profiler.add("communicate", env.now - t0)
+                if tracer.enabled:
+                    tracer.emit(
+                        "comm_recv", span=span, peer=msg.sender, kind="elite"
+                    )
                 receives[rank] += 1
                 engine.memories.nondom.try_add(msg.solution, msg.objectives)
             version_before = engine.memories.archive.version
@@ -362,8 +379,13 @@ def run_collaborative_tsmo(
             nominal = cost.eval_cost * len(neighbors)
             if cost.miss_scan_cost > 0.0:
                 nominal += cost.miss_scan_cost * (shared_cache.misses - misses_before)
+            t0 = env.now
             yield cluster.compute(rank, nominal)
+            t1 = env.now
             yield cluster.compute(rank, cost.selection_cost(len(neighbors)))
+            if profiler.enabled:
+                profiler.add("evaluate", t1 - t0)
+                profiler.add("select", env.now - t1)
             engine.select_and_update(neighbors)
             improved = engine.memories.archive.version != version_before
             if improved:
@@ -374,6 +396,8 @@ def run_collaborative_tsmo(
             elif improved and comm:
                 dst = comm.pop(0)
                 comm.append(dst)
+                if tracer.enabled:
+                    tracer.emit("comm_send", span=span, peer=dst, kind="elite")
                 cluster.send(
                     rank,
                     dst,
@@ -414,6 +438,17 @@ def run_collaborative_tsmo(
         for entry in engine.memories.archive.entries:
             merged.try_add(entry.item, entry.objectives)
 
+    metrics = profile = None
+    if obs.enabled:
+        m = obs.metrics
+        m.gauge("cache.hits", shared_cache.hits)
+        m.gauge("cache.misses", shared_cache.misses)
+        m.gauge("cache.evictions", shared_cache.evictions)
+        m.gauge("cache.size", len(shared_cache))
+        m.gauge("comm.messages_sent", cluster.messages_sent)
+        m.gauge("collab.exchanges", sum(sends))
+        metrics = m.snapshot()
+        profile = obs.profiler.summary()
     result = TSMOResult(
         instance_name=instance.name,
         algorithm="collaborative",
@@ -427,6 +462,8 @@ def run_collaborative_tsmo(
         processors=n_processors,
         trace=trace,
         cache_stats=shared_cache.snapshot(),
+        metrics=metrics,
+        profile=profile,
     )
     result.extra["messages_sent"] = cluster.messages_sent
     result.extra["exchanges"] = sum(sends)

@@ -111,6 +111,11 @@ class PoolBatch:
     the worker cache-counter delta and (in lockstep mode) the advanced
     RNG state.  ``attempt`` lets the master drop batches of a
     superseded attempt after a retry.
+
+    ``events`` is the worker's drained trace-event batch (plain dicts,
+    empty unless tracing is enabled via the environment) — riding on
+    the existing result message is how worker events reach the master's
+    tracer without a second channel.
     """
 
     worker: int
@@ -120,6 +125,7 @@ class PoolBatch:
     final: bool
     rng_state: dict | None = None
     cache_delta: tuple[int, int] | None = None
+    events: tuple = ()
 
 
 @dataclass(frozen=True, slots=True)

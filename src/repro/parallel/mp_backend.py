@@ -57,6 +57,7 @@ from repro.core.solution import Solution
 from repro.core.stats_cache import CacheStats
 from repro.errors import SearchError
 from repro.mo.dominance import dominates
+from repro.obs import NULL_OBS
 from repro.parallel.pool import FaultPlan, PoolParams, WorkerPool
 from repro.rng import RngFactory, as_generator
 from repro.tabu.neighborhood import Neighbor
@@ -141,7 +142,27 @@ def _finish_result(
     result.cache_stats = CacheStats(hits=worker_hits, misses=worker_misses)
     result.extra["worker_cache_hits"] = worker_hits
     result.extra["worker_cache_misses"] = worker_misses
-    result.extra["pool"] = pool.report()
+    report = pool.report()
+    result.extra["pool"] = report
+    obs = engine.obs
+    if obs.enabled:
+        m = obs.metrics
+        for key in (
+            "crashes",
+            "stragglers",
+            "respawns",
+            "retries",
+            "master_fallback_tasks",
+            "stale_batches",
+            "tasks_completed",
+            "max_backlog",
+        ):
+            m.gauge(f"pool.{key}", report[key])
+        m.gauge("cache.worker_hits", worker_hits)
+        m.gauge("cache.worker_misses", worker_misses)
+        # Re-snapshot: engine.result() ran before the pool gauges above.
+        result.metrics = m.snapshot()
+        result.profile = obs.profiler.summary()
     return result
 
 
@@ -154,6 +175,7 @@ def run_multiprocessing_tsmo(
     chunks_per_worker: int = 1,
     pool_params: PoolParams | None = None,
     fault_plan: FaultPlan | None = None,
+    obs=NULL_OBS,
 ) -> TSMOResult:
     """Synchronous master–worker TSMO on real OS processes.
 
@@ -170,10 +192,11 @@ def run_multiprocessing_tsmo(
         raise SearchError("need at least one worker process")
     if chunks_per_worker < 1:
         raise SearchError("need at least one chunk per worker")
+    obs.set_unit("seconds")
     master_rng = as_generator(seed)
     seed_rng = RngFactory(seed if not isinstance(seed, np.random.Generator) else None).generator()
     evaluator = Evaluator(instance, params.max_evaluations)
-    engine = TSMOEngine(instance, params, master_rng, evaluator=evaluator)
+    engine = TSMOEngine(instance, params, master_rng, evaluator=evaluator, obs=obs)
 
     n_tasks = n_workers * chunks_per_worker
     base, extra = divmod(params.neighborhood_size, n_tasks)
@@ -185,8 +208,9 @@ def run_multiprocessing_tsmo(
 
     start = time.perf_counter()
     worker_hits = worker_misses = 0
+    profiler = obs.profiler
     with WorkerPool(
-        instance, n_workers, params=pool_params, fault_plan=fault_plan
+        instance, n_workers, params=pool_params, fault_plan=fault_plan, obs=obs
     ) as pool:
         engine.initialize()
         while not engine.done:
@@ -211,20 +235,23 @@ def run_multiprocessing_tsmo(
                     for size in chunk_sizes
                     if size > 0
                 ]
-            outcomes = pool.gather(task_ids)
+            with profiler.time("wait"):
+                outcomes = pool.gather(task_ids)
             neighbors: list[Neighbor] = []
-            for task_id in task_ids:  # task order, not arrival order
-                outcome = outcomes[task_id]
-                hits, misses = outcome.cache_delta
-                worker_hits += hits
-                worker_misses += misses
-                for triple in outcome.neighbors:
-                    neighbors.append(
-                        _wire_neighbor(instance, triple, iteration, evaluator)
-                    )
-                if lockstep and outcome.rng_state is not None:
-                    engine.rng.bit_generator.state = outcome.rng_state
-            engine.select_and_update(neighbors)
+            with profiler.time("communicate"):
+                for task_id in task_ids:  # task order, not arrival order
+                    outcome = outcomes[task_id]
+                    hits, misses = outcome.cache_delta
+                    worker_hits += hits
+                    worker_misses += misses
+                    for triple in outcome.neighbors:
+                        neighbors.append(
+                            _wire_neighbor(instance, triple, iteration, evaluator)
+                        )
+                    if lockstep and outcome.rng_state is not None:
+                        engine.rng.bit_generator.state = outcome.rng_state
+            with profiler.time("select"):
+                engine.select_and_update(neighbors)
         wall = time.perf_counter() - start
         return _finish_result(
             engine, pool, "multiprocessing", wall, n_workers, worker_hits, worker_misses
@@ -266,6 +293,7 @@ def run_multiprocessing_async_tsmo(
     async_params: MpAsyncParams | None = None,
     pool_params: PoolParams | None = None,
     fault_plan: FaultPlan | None = None,
+    obs=NULL_OBS,
 ) -> TSMOResult:
     """Asynchronous master–worker TSMO on real OS processes (§III.D).
 
@@ -288,10 +316,11 @@ def run_multiprocessing_async_tsmo(
     aparams = async_params or MpAsyncParams()
     if n_workers < 1:
         raise SearchError("need at least one worker process")
+    obs.set_unit("seconds")
     master_rng = as_generator(seed)
     seed_rng = RngFactory(seed if not isinstance(seed, np.random.Generator) else None).generator()
     evaluator = Evaluator(instance, params.max_evaluations)
-    engine = TSMOEngine(instance, params, master_rng, evaluator=evaluator)
+    engine = TSMOEngine(instance, params, master_rng, evaluator=evaluator, obs=obs)
 
     base, extra = divmod(params.neighborhood_size, n_workers)
     chunk_sizes = [base + (1 if i < extra else 0) for i in range(n_workers)]
@@ -301,12 +330,15 @@ def run_multiprocessing_async_tsmo(
     worker_hits = worker_misses = 0
     carryover = 0
     pool_sizes: list[int] = []
+    profiler = obs.profiler
+    tracer = obs.tracer
     with WorkerPool(
         instance,
         n_workers,
         params=pool_params,
         fault_plan=fault_plan,
         batch_size=aparams.batch_size,
+        obs=obs,
     ) as pool:
         engine.initialize()
         collected: list[Neighbor] = []
@@ -328,17 +360,22 @@ def run_multiprocessing_async_tsmo(
                 outstanding += 1
 
             task_finished = False
-            for event in pool.poll(aparams.poll_timeout):
-                for triple in event.neighbors:
-                    collected.append(
-                        _wire_neighbor(instance, triple, event.iteration, evaluator)
-                    )
-                if event.final:
-                    task_finished = True
-                    outstanding -= 1
-                    if event.cache_delta is not None:
-                        worker_hits += event.cache_delta[0]
-                        worker_misses += event.cache_delta[1]
+            with profiler.time("wait"):
+                events = pool.poll(aparams.poll_timeout)
+            with profiler.time("communicate"):
+                for event in events:
+                    for triple in event.neighbors:
+                        collected.append(
+                            _wire_neighbor(
+                                instance, triple, event.iteration, evaluator
+                            )
+                        )
+                    if event.final:
+                        task_finished = True
+                        outstanding -= 1
+                        if event.cache_delta is not None:
+                            worker_hits += event.cache_delta[0]
+                            worker_misses += event.cache_delta[1]
 
             current_obj = engine.current.objectives.as_array()
             c1 = task_finished
@@ -348,14 +385,34 @@ def run_multiprocessing_async_tsmo(
             c3 = time.monotonic() - last_select >= aparams.max_wait
             c4 = evaluator.exhausted
             if collected and (c1 or c2 or c3 or c4):
+                if tracer.enabled:
+                    fired = [
+                        name
+                        for name, hit in (("c1", c1), ("c2", c2), ("c3", c3), ("c4", c4))
+                        if hit
+                    ]
+                    tracer.emit(
+                        "decision_fired",
+                        iteration=engine.iteration + 1,
+                        reason=",".join(fired),
+                        pool=len(collected),
+                    )
                 pool_sizes.append(len(collected))
                 carryover += sum(
                     1 for n in collected if n.iteration <= engine.iteration
                 )
-                engine.select_and_update(collected)
+                with profiler.time("select"):
+                    engine.select_and_update(collected)
                 collected = []
                 last_select = time.monotonic()
         wall = time.perf_counter() - start
+        if obs.enabled:
+            m = obs.metrics
+            for size in pool_sizes:
+                m.observe(
+                    "async.pool_size", size, buckets=(0, 5, 10, 25, 50, 100, 250, 500)
+                )
+            m.gauge("async.carryover_neighbors", carryover)
         result = _finish_result(
             engine,
             pool,

@@ -63,6 +63,7 @@ from repro.core.evaluation import Evaluator
 from repro.core.operators.registry import OperatorRegistry, default_registry
 from repro.core.solution import Solution
 from repro.errors import WorkerPoolError
+from repro.obs import ENV_OBS, ENV_TRACE_DIR, NULL_OBS, EventTracer, utc_timestamp
 from repro.parallel.messages import PoolBatch, PoolHeartbeat, PoolTask, StopMessage
 from repro.rng import FastRng
 from repro.vrptw.instance import Instance
@@ -280,6 +281,18 @@ def _pool_worker_main(
     """Entry point of one worker process (spawn context)."""
     evaluator = Evaluator(instance)
     registry = default_registry()
+    # Spawn children inherit the master's environment, so the same
+    # REPRO_TRACE_DIR / REPRO_OBS switch that enabled the master's
+    # bundle enables worker-side event collection — no new plumbing
+    # through the task messages.  Workers never open their own sink;
+    # drained events ride back on final PoolBatch messages and the
+    # master ingests them under this per-worker span.
+    tracer = None
+    if os.environ.get(ENV_TRACE_DIR) or os.environ.get(ENV_OBS, "").strip() not in (
+        "",
+        "0",
+    ):
+        tracer = EventTracer(span=f"worker-{slot}")
     stop_beating = threading.Event()
 
     def beat() -> None:
@@ -313,6 +326,14 @@ def _pool_worker_main(
                 time.sleep(float(arg))
         batches_sent = 0
         for batch in execute_task(instance, evaluator, registry, task, slot):
+            if batch.final and tracer is not None:
+                tracer.emit(
+                    "worker_task",
+                    worker=slot,
+                    task_id=task.task_id,
+                    neighbors=task.count,
+                )
+                batch = replace(batch, events=tuple(tracer.drain()))
             result_q.put(batch)
             batches_sent += 1
             if kill_after is not None and batches_sent >= kill_after:
@@ -437,10 +458,12 @@ class WorkerPool:
         params: PoolParams | None = None,
         fault_plan: FaultPlan | None = None,
         batch_size: int | None = None,
+        obs=NULL_OBS,
     ) -> None:
         if n_workers < 1:
             raise WorkerPoolError("need at least one worker process")
         self.instance = instance
+        self.obs = obs
         self.n_workers = n_workers
         self.params = params or PoolParams()
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
@@ -548,8 +571,9 @@ class WorkerPool:
             path = os.path.join(
                 directory, f"pool-{os.getpid()}-{id(self):x}.json"
             )
+            payload = dict(self.report(), written_at=utc_timestamp())
             with open(path, "w", encoding="utf-8") as fh:
-                json.dump(self.report(), fh, indent=2, default=str)
+                json.dump(payload, fh, indent=2, default=str)
         except OSError:  # pragma: no cover - report is best-effort
             pass
 
@@ -720,6 +744,11 @@ class WorkerPool:
             slot.heard = True
             slot.last_seen = time.monotonic()
             slot.batches += 1
+        # Worker trace events ride on current-attempt batches only (a
+        # retried attempt re-emits them), so ingesting here — after the
+        # stale check — keeps the master's trace free of duplicates.
+        if msg.events and self.obs.tracer.enabled:
+            self.obs.tracer.ingest(msg.events)
         # Exactly-once across retries: skip the already-delivered prefix
         # (retries regenerate the identical neighbor sequence, so an
         # offset is a correct resume point).

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.evaluation import Evaluator
 from repro.core.operators.registry import OperatorRegistry, default_registry
 from repro.errors import SimulationError
+from repro.obs import NULL_OBS
 from repro.parallel.base import simulation_context
 from repro.parallel.costmodel import CostModel
 from repro.parallel.messages import ResultMessage, StopMessage, TaskMessage
@@ -54,6 +55,7 @@ def worker_process(
     *,
     batch_size: int | None = None,
     master: int = 0,
+    obs=NULL_OBS,
 ):
     """The worker loop shared by the synchronous and asynchronous variants.
 
@@ -61,18 +63,30 @@ def worker_process(
     sends results back — as one final message (synchronous,
     ``batch_size=None``) or as a stream of batches with a terminating
     ``final`` flag (asynchronous).
+
+    Simulated workers run in the master's process, so their events go
+    straight into the shared tracer under a per-rank span, and their
+    compute/idle time folds into the shared simulated-unit profiler.
     """
     cost = cluster.cost
     cache = evaluator.stats_cache
     inbox = cluster.inbox(rank)
+    env = cluster.env
+    profiler = obs.profiler
+    tracer = obs.tracer
+    span = f"rank-{rank}"
     while True:
+        idle_from = env.now
         msg = yield inbox.get()
+        if profiler.enabled:
+            profiler.add("wait", env.now - idle_from)
         if isinstance(msg, StopMessage):
             return
         if not isinstance(msg, TaskMessage):
             raise SimulationError(f"worker {rank} received unexpected {msg!r}")
         remaining = msg.count
         produced: list[Neighbor] = []
+        work_from = env.now
         while remaining > 0:
             step = remaining if batch_size is None else min(batch_size, remaining)
             # Pay the simulated duration first, then materialize the
@@ -94,6 +108,14 @@ def worker_process(
             if batch_size is None:
                 produced.extend(batch)
             else:
+                if tracer.enabled:
+                    tracer.emit(
+                        "comm_send",
+                        span=span,
+                        peer=master,
+                        kind="result",
+                        items=len(batch),
+                    )
                 cluster.send(
                     rank,
                     master,
@@ -105,7 +127,25 @@ def worker_process(
                     ),
                     n_items=max(len(batch), 1),
                 )
+        if profiler.enabled:
+            profiler.add("evaluate", env.now - work_from)
+        if tracer.enabled:
+            tracer.emit(
+                "worker_task",
+                span=span,
+                worker=rank,
+                task_id=msg.iteration,
+                neighbors=msg.count,
+            )
         if batch_size is None:
+            if tracer.enabled:
+                tracer.emit(
+                    "comm_send",
+                    span=span,
+                    peer=master,
+                    kind="result",
+                    items=len(produced),
+                )
             cluster.send(
                 rank,
                 master,
@@ -129,6 +169,7 @@ def run_synchronous_tsmo(
     registry: OperatorRegistry | None = None,
     trace: TrajectoryRecorder | None = None,
     checkpoint=None,
+    obs=NULL_OBS,
 ) -> TSMOResult:
     """Run the synchronous master–worker TSMO on the simulated cluster.
 
@@ -142,6 +183,7 @@ def run_synchronous_tsmo(
     params = params or TSMOParams()
     if n_processors < 2:
         raise SimulationError("the master-worker variants need >= 2 processors")
+    obs.set_unit("simulated")
     registry = registry or default_registry()
     # RNG tree: master stream + one stream per worker + cluster stream.
     factory = RngFactory(seed)
@@ -153,7 +195,13 @@ def run_synchronous_tsmo(
 
     evaluator = Evaluator(instance, params.max_evaluations)
     engine = TSMOEngine(
-        instance, params, master_rng, evaluator=evaluator, registry=registry, trace=trace
+        instance,
+        params,
+        master_rng,
+        evaluator=evaluator,
+        registry=registry,
+        trace=trace,
+        obs=obs,
     )
     finish = {"time": None}
 
@@ -185,6 +233,8 @@ def run_synchronous_tsmo(
 
     def master():
         inbox = cluster.inbox(0)
+        profiler = obs.profiler
+        tracer = obs.tracer
         if resumed is None:
             yield cluster.compute(0, cost.init_cost(instance.n_customers))
             engine.initialize()
@@ -198,25 +248,47 @@ def run_synchronous_tsmo(
             iteration = engine.iteration + 1
             chunks = split_chunks(params.neighborhood_size, n_processors)
             for rank in range(1, n_processors):
+                if tracer.enabled:
+                    tracer.emit(
+                        "comm_send", peer=rank, kind="task", items=chunks[rank]
+                    )
                 cluster.send(
                     0,
                     rank,
                     TaskMessage(engine.current, chunks[rank], iteration),
                     n_items=1,
                 )
+            t0 = env.now
             yield cluster.compute(0, cost.eval_cost * chunks[0])
             misses_before = evaluator.stats_cache.misses
             neighbors = engine.generate_neighborhood(chunks[0])
             master_misses = evaluator.stats_cache.misses - misses_before
             if cost.miss_scan_cost > 0.0 and master_misses > 0:
                 yield cluster.compute(0, cost.miss_scan_cost * master_misses)
+            if profiler.enabled:
+                profiler.add("evaluate", env.now - t0)
             # Wait for every worker — the synchronous barrier — then
             # deserialize each bulk result on the critical path.
             for _ in range(n_processors - 1):
+                t0 = env.now
                 msg = yield inbox.get()
+                t1 = env.now
                 yield cluster.receive_overhead(0, len(msg.neighbors), streamed=False)
+                if profiler.enabled:
+                    profiler.add("wait", t1 - t0)
+                    profiler.add("communicate", env.now - t1)
+                if tracer.enabled:
+                    tracer.emit(
+                        "comm_recv",
+                        peer=msg.worker,
+                        kind="result",
+                        items=len(msg.neighbors),
+                    )
                 neighbors.extend(msg.neighbors)
+            t0 = env.now
             yield cluster.compute(0, cost.selection_cost(len(neighbors)))
+            if profiler.enabled:
+                profiler.add("select", env.now - t0)
             engine.select_and_update(neighbors)
         finish["time"] = env.now
         for rank in range(1, n_processors):
@@ -225,13 +297,18 @@ def run_synchronous_tsmo(
     env.process(master(), name="master")
     for rank in range(1, n_processors):
         env.process(
-            worker_process(cluster, rank, registry, worker_rngs[rank - 1], evaluator),
+            worker_process(
+                cluster, rank, registry, worker_rngs[rank - 1], evaluator, obs=obs
+            ),
             name=f"worker-{rank}",
         )
 
     start = time.perf_counter()
     env.run()
     wall = time.perf_counter() - start
+    if obs.enabled:
+        obs.metrics.gauge("comm.messages_sent", cluster.messages_sent)
+        obs.metrics.gauge("comm.items_sent", cluster.items_sent)
     result = engine.result(
         "synchronous",
         wall_time=wall,

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Tuple
 
 from repro.errors import BenchmarkError
+from repro.obs.timeutil import utc_timestamp
 from repro.persistence.atomic import append_line
 
 __all__ = ["RunManifest"]
@@ -58,6 +59,7 @@ class RunManifest:
         """Journal one completed cell with its result record."""
         entry = {
             "v": MANIFEST_VERSION,
+            "written_at": utc_timestamp(),
             "table": self.table,
             "instance": instance,
             "instance_idx": instance_idx,

@@ -34,6 +34,7 @@ from repro.core.stats_cache import CacheStats
 from repro.errors import CheckpointError, SearchError
 from repro.mo.archive import ArchiveEntry
 from repro.mo.dominance import non_dominated_mask
+from repro.obs import NULL_OBS
 from repro.persistence.atomic import atomic_write_bytes
 from repro.rng import as_generator, get_generator_state, set_generator_state
 from repro.tabu.memories import Memories
@@ -105,6 +106,12 @@ class TSMOResult:
     #: evaluation observability surface; ``None`` when the variant never
     #: ran the delta path, e.g. results built from storage).
     cache_stats: CacheStats | None = None
+    #: metrics-registry snapshot (counters/gauges/histograms/timers)
+    #: for instrumented runs; ``None`` when observability was disabled.
+    metrics: dict | None = None
+    #: per-phase profiler summary (``{"unit": ..., "phases": ...}``)
+    #: for instrumented runs; ``None`` when observability was disabled.
+    profile: dict | None = None
     extra: dict = field(default_factory=dict)
 
     def front(self) -> np.ndarray:
@@ -179,6 +186,7 @@ class TSMOEngine:
         evaluator: Evaluator | None = None,
         registry: OperatorRegistry | None = None,
         trace: TrajectoryRecorder | None = None,
+        obs=NULL_OBS,
     ) -> None:
         self.instance = instance
         self.params = params
@@ -186,6 +194,11 @@ class TSMOEngine:
         self.evaluator = evaluator or Evaluator(instance, params.max_evaluations)
         self.registry = registry or default_registry()
         self.trace = trace
+        # Instrumentation only observes — it never touches the RNG or
+        # control flow, so trajectories are identical with or without it.
+        self.obs = obs
+        if obs.enabled:
+            self.evaluator.metrics = obs.metrics
         self.memories = Memories(params)
         self.current: Solution | None = None
         self.iteration = 0
@@ -229,6 +242,15 @@ class TSMOEngine:
         """Sample and evaluate a neighborhood of the current solution."""
         if self.current is None:
             raise SearchError("engine not initialized; call initialize() first")
+        obs = self.obs
+        # Wall-clock phase splitting only makes sense for real-time
+        # drivers; simulated drivers derive their phases from the cost
+        # model instead (see parallel/base.py).
+        profiler = (
+            obs.profiler
+            if obs.enabled and obs.profiler.unit == "seconds"
+            else None
+        )
         return sample_neighborhood(
             self.current,
             size if size is not None else self.params.neighborhood_size,
@@ -236,6 +258,7 @@ class TSMOEngine:
             self.rng,
             self.evaluator,
             iteration=self.iteration + 1,
+            profiler=profiler,
         )
 
     def select_and_update(self, neighbors: list[Neighbor]) -> Solution:
@@ -280,7 +303,8 @@ class TSMOEngine:
 
         # isUnchanged(M_archive): stagnation arms the restart flag for
         # the *next* iteration, exactly as lines 14–16 order it.
-        if self.memories.archive.version != self._last_archive_version:
+        archive_changed = self.memories.archive.version != self._last_archive_version
+        if archive_changed:
             self._last_archive_version = self.memories.archive.version
             self._last_change_iteration = iteration
         elif iteration - self._last_change_iteration >= self.params.restart_after:
@@ -295,7 +319,55 @@ class TSMOEngine:
             self.trace.record_archive_size(iteration, len(self.memories.archive))
             cache = self.evaluator.stats_cache
             self.trace.record_cache(iteration, cache.hits, cache.misses, cache.evictions)
+        obs = self.obs
+        if obs.enabled:
+            self._record_iteration(obs, neighbors, restarted, archive_changed)
         return self.current
+
+    def _record_iteration(
+        self, obs, neighbors, restarted: bool, archive_changed: bool
+    ) -> None:
+        """Emit the per-iteration events/metrics (instrumented runs only).
+
+        Runs strictly after all search state is updated, so nothing
+        here can influence the trajectory.
+        """
+        archive_size = len(self.memories.archive)
+        metrics = obs.metrics
+        metrics.inc("search.iterations")
+        if restarted:
+            metrics.inc("search.restarts")
+        metrics.gauge("search.archive_size", archive_size)
+        metrics.observe(
+            "search.batch_size",
+            len(neighbors),
+            buckets=(0, 5, 10, 25, 50, 100, 250, 500),
+        )
+        tracer = obs.tracer
+        if tracer.enabled:
+            objectives = self.current.objectives
+            tracer.emit(
+                "iteration",
+                iteration=self.iteration,
+                evaluations=self.evaluator.count,
+                archive_size=archive_size,
+            )
+            tracer.emit(
+                "move_applied",
+                iteration=self.iteration,
+                objectives=[
+                    objectives.distance,
+                    objectives.vehicles,
+                    objectives.tardiness,
+                ],
+                restarted=restarted,
+            )
+            if archive_changed:
+                tracer.emit(
+                    "archive_update",
+                    iteration=self.iteration,
+                    archive_size=archive_size,
+                )
 
     def _select(self, neighbors: list[Neighbor]) -> Neighbor | None:
         """Pick one non-dominated, non-tabu neighbor uniformly at random.
@@ -344,6 +416,9 @@ class TSMOEngine:
         """
         if self.current is None:
             raise SearchError("cannot snapshot an uninitialized engine")
+        obs = self.obs
+        if obs.tracer.enabled:
+            obs.tracer.emit("checkpoint", kind="engine", iteration=self.iteration)
         return {
             "v": ENGINE_SNAPSHOT_VERSION,
             "instance": self.instance.name,
@@ -357,6 +432,10 @@ class TSMOEngine:
             "rng": get_generator_state(self.rng),
             "memories": self.memories.export_state(encode_solution),
             "trace": self.trace.export_state() if self.trace is not None else None,
+            # Cumulative observability series ride along so resumed runs
+            # report whole-run totals; readers use .get() — older
+            # version-1 snapshots without the key restore fine.
+            "obs": obs.export_state() if obs.enabled else None,
         }
 
     def restore(self, state: dict) -> None:
@@ -385,6 +464,9 @@ class TSMOEngine:
             if self.trace is None:
                 self.trace = TrajectoryRecorder()
             self.trace.restore_state(state["trace"])
+        obs_state = state.get("obs")
+        if obs_state and self.obs.enabled:
+            self.obs.restore_state(obs_state)
 
     # ------------------------------------------------------------------
     # Sequential driver
@@ -402,6 +484,20 @@ class TSMOEngine:
         processors: int = 1,
     ) -> TSMOResult:
         """Snapshot the engine state into a :class:`TSMOResult`."""
+        obs = self.obs
+        metrics = profile = None
+        if obs.enabled:
+            # Fold the route-stats cache counters into the registry so
+            # one snapshot carries the full observability surface
+            # (gauges: idempotent if result() is called twice).
+            cache = self.evaluator.stats_cache
+            m = obs.metrics
+            m.gauge("cache.hits", cache.hits)
+            m.gauge("cache.misses", cache.misses)
+            m.gauge("cache.evictions", cache.evictions)
+            m.gauge("cache.size", len(cache))
+            metrics = m.snapshot()
+            profile = obs.profiler.summary()
         return TSMOResult(
             instance_name=self.instance.name,
             algorithm=algorithm,
@@ -415,6 +511,8 @@ class TSMOEngine:
             processors=processors,
             trace=self.trace,
             cache_stats=self.evaluator.stats_cache.snapshot(),
+            metrics=metrics,
+            profile=profile,
         )
 
 
@@ -427,6 +525,7 @@ def run_sequential_tsmo(
     trace: TrajectoryRecorder | None = None,
     initial: Solution | None = None,
     checkpoint=None,
+    obs=NULL_OBS,
 ) -> TSMOResult:
     """Run the sequential TSMO (Algorithm 1) to budget exhaustion.
 
@@ -438,8 +537,9 @@ def run_sequential_tsmo(
     driver — the result is bit-identical with or without it.
     """
     params = params or TSMOParams()
+    obs.set_unit("seconds")
     engine = TSMOEngine(
-        instance, params, seed, registry=registry, trace=trace
+        instance, params, seed, registry=registry, trace=trace, obs=obs
     )
     start = time.perf_counter()
     resumed = (
@@ -452,6 +552,7 @@ def run_sequential_tsmo(
         checkpoint.note_resumed(engine.evaluator.count)
     else:
         engine.initialize(initial)
+    profiler = obs.profiler
     while True:
         # The policy block runs BEFORE the done-check so a threshold
         # that coincides with budget exhaustion still snapshots, and a
@@ -461,7 +562,10 @@ def run_sequential_tsmo(
             checkpoint.tick(count, engine.snapshot, kind="sequential")
         if engine.done:
             break
-        engine.step()
+        # generate/evaluate phases are split inside sample_neighborhood.
+        neighbors = engine.generate_neighborhood()
+        with profiler.time("select"):
+            engine.select_and_update(neighbors)
     wall = time.perf_counter() - start
     return engine.result("sequential", wall_time=wall)
 
