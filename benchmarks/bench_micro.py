@@ -21,6 +21,7 @@ from repro.mo.archive import ParetoArchive
 from repro.mo.dominance import non_dominated_mask
 from repro.parallel.des import Environment, Mailbox
 from repro.parallel.pool import PoolParams, WorkerPool
+from repro.parallel.wire import WireBatch, WireRoutes, wire_cost
 from repro.tabu.neighborhood import sample_neighborhood
 from repro.vrptw.generator import generate_instance
 
@@ -181,6 +182,47 @@ def test_disabled_metrics_overhead_under_5_percent(instance, solution):
         f"disabled-metrics guard costs {guard_per_call * 1e9:.0f}ns per call, "
         f">= 5% of evaluate_move's {eval_per_call * 1e9:.0f}ns"
     )
+
+
+def test_wire_batch_encode_decode(benchmark, instance, solution):
+    """Codec hot path: encode + decode one 10-neighbor result batch.
+
+    This is the CPU the transport spends per batch on each side of the
+    queue; it must stay small next to the pickling it displaces."""
+    registry = default_registry()
+    evaluator = Evaluator(instance)
+    rng = np.random.default_rng(9)
+    items = []
+    while len(items) < 10:
+        move = registry.draw_move(solution, rng)
+        if move is None:
+            continue
+        obj = evaluator.evaluate_move(solution, move)
+        replacements, added = move.route_edits(solution)
+        items.append(
+            (
+                replacements,
+                added,
+                (obj.distance, obj.vehicles, obj.tardiness),
+                move.attribute,
+            )
+        )
+    benchmark(lambda: WireBatch.encode(items).decode(solution.routes))
+
+
+def test_wire_routes_encode_decode_400(benchmark):
+    """Full-task codec round-trip at paper scale (400 customers).
+
+    The byte ledger rides along as ``extra_info`` → BENCH_micro.json:
+    pickle-vs-wire payload sizes for the instance broadcast, the task,
+    one result batch and a whole iteration, measured on real sampled
+    neighbors of this instance."""
+    instance = generate_instance("R1", 400, seed=7)
+    benchmark.extra_info["wire_cost"] = wire_cost(
+        instance, neighborhood=200, batch_size=10, seed=3
+    )
+    routes = i1_construct(instance, rng=7).routes
+    benchmark(lambda: WireRoutes.encode(routes).decode())
 
 
 def test_pool_task_roundtrip(benchmark, worker_pool, solution):

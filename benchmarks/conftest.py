@@ -83,14 +83,18 @@ def pytest_sessionfinish(session, exitstatus):
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
-    payload["benchmarks"] = {
-        bench.name: {
+    payload["benchmarks"] = {}
+    for bench in sorted(micro, key=lambda b: b.name):
+        row = {
             "min": bench.stats.min,
             "median": bench.stats.median,
             "mean": bench.stats.mean,
             "stddev": bench.stats.stddev,
             "rounds": bench.stats.rounds,
         }
-        for bench in sorted(micro, key=lambda b: b.name)
-    }
+        # Benchmarks may attach side measurements (e.g. the wire-cost
+        # byte ledger) via pytest-benchmark's extra_info.
+        if bench.extra_info:
+            row.update(bench.extra_info)
+        payload["benchmarks"][bench.name] = row
     MICRO_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

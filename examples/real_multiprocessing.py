@@ -11,7 +11,9 @@ fault-injection demo.
 
 Four acts:
 
-1. payload sizes — why the instance ships once per worker life;
+1. wire costs — what the zero-copy transport saves: the shared-memory
+   instance descriptor vs the pickled instance, and the compact codec
+   vs pickled tuples for tasks and result batches;
 2. sequential vs synchronous lockstep — with one worker the driver
    continues the master's own RNG stream on the worker, so the fronts
    are bit-identical, process boundary and all;
@@ -37,11 +39,11 @@ import numpy as np
 from repro import TSMOParams, generate_instance, run_sequential_tsmo
 from repro.parallel.mp_backend import (
     MpAsyncParams,
-    pickle_roundtrip_sizes,
     run_multiprocessing_async_tsmo,
     run_multiprocessing_tsmo,
 )
 from repro.parallel.pool import FaultPlan, PoolParams
+from repro.parallel.wire import wire_cost
 
 #: shrunk supervision intervals so the injected crash resolves fast.
 DEMO_POOL = PoolParams(
@@ -56,11 +58,21 @@ def main() -> None:
     instance = generate_instance("R1", 30, seed=3)
     params = TSMOParams(max_evaluations=600, neighborhood_size=30, restart_after=8)
 
-    sizes = pickle_roundtrip_sizes(instance)
+    cost = wire_cost(instance, neighborhood=params.neighborhood_size)
     print(
-        f"Payload sizes: instance {sizes['instance_bytes'] / 1024:.0f} KiB "
-        f"(shipped once per worker), routes {sizes['routes_bytes']} bytes "
-        "(shipped every task)\n"
+        "Wire costs (pickle -> transport):\n"
+        f"  instance  {cost['instance_bytes_pickle']:>8} -> "
+        f"{cost['instance_bytes_shared']:>5} B per worker "
+        f"({cost['instance_ratio']:,.0f}x, shared-memory descriptor)\n"
+        f"  task      {cost['task_bytes_pickle']:>8} -> "
+        f"{cost['task_bytes_wire']:>5} B steady-state "
+        f"({cost['task_ratio']:.1f}x, route delta)\n"
+        f"  batch     {cost['batch_bytes_pickle']:>8} -> "
+        f"{cost['batch_bytes_wire']:>5} B per {cost['batch_size']} neighbors "
+        f"({cost['batch_ratio']:.1f}x, edit codec)\n"
+        f"  iteration {cost['iteration_bytes_pickle']:>8} -> "
+        f"{cost['iteration_bytes_wire']:>5} B round trip "
+        f"({cost['iteration_ratio']:.1f}x)\n"
     )
 
     sequential = run_sequential_tsmo(instance, params, seed=9)

@@ -28,15 +28,18 @@ def set_coverage(a: Sequence | np.ndarray, b: Sequence | np.ndarray) -> float:
     """Fraction of points of ``b`` weakly dominated by some point of ``a``.
 
     Edge conventions (needed when a run produced no feasible
-    solutions): ``C(A, ∅) = 1`` for any A (vacuous coverage) and
-    ``C(∅, B) = 0`` for non-empty B.
+    solutions): ``C(∅, B) = 0`` for any B — an empty archive covers
+    nothing, *including another empty archive* — and ``C(A, ∅) = 1``
+    for non-empty A (vacuous coverage).  The empty-A check comes first
+    so that ``C(∅, ∅) == 0``: two runs that both produced nothing must
+    not be reported as fully covering each other.
     """
     pa = as_points(a)
     pb = as_points(b)
-    if pb.shape[0] == 0:
-        return 1.0
     if pa.shape[0] == 0:
         return 0.0
+    if pb.shape[0] == 0:
+        return 1.0
     # covered[j] == True iff some row of A weakly dominates B[j].
     le = np.all(pa[:, None, :] <= pb[None, :, :], axis=2)
     covered = le.any(axis=0)

@@ -21,6 +21,7 @@ from typing import Hashable
 
 from repro.core.objectives import ObjectiveVector
 from repro.core.solution import Solution
+from repro.parallel.wire import WireBatch, WireRoutes, WireTaskDelta
 from repro.tabu.neighborhood import Neighbor
 
 __all__ = [
@@ -91,11 +92,19 @@ class PoolTask:
     one of the two is set.  Both are pure data, so re-dispatching the
     *same* task after a worker crash regenerates the *same* neighbors —
     the determinism-under-retry invariant the pool is built on.
+
+    ``routes`` carries the parent solution in one of three forms: the
+    plain nested tuple (codec off / master-local execution), a packed
+    :class:`~repro.parallel.wire.WireRoutes`, or a
+    :class:`~repro.parallel.wire.WireTaskDelta` against the routes of
+    the last task the *target worker* completed (the steady-state
+    form).  All three decode to the identical tuple, so the neighbor
+    stream is the same regardless of encoding.
     """
 
     task_id: int
     attempt: int
-    routes: tuple[tuple[int, ...], ...]
+    routes: tuple[tuple[int, ...], ...] | WireRoutes | WireTaskDelta
     count: int
     batch_size: int
     iteration: int
@@ -116,16 +125,25 @@ class PoolBatch:
     empty unless tracing is enabled via the environment) — riding on
     the existing result message is how worker events reach the master's
     tracer without a second channel.
+
+    ``neighbors`` is either the plain triple tuple (codec off) or a
+    packed :class:`~repro.parallel.wire.WireBatch` of parent-relative
+    edits; the pool decodes before anything downstream sees it.
+    ``phase`` (final batches only, when the worker timed itself) is the
+    task's accumulated ``(generate, evaluate)`` seconds — the feedback
+    signal of the adaptive task sizer and the worker-side contribution
+    to the obs phase profile.
     """
 
     worker: int
     task_id: int
     attempt: int
-    neighbors: tuple[NeighborTriple, ...]
+    neighbors: tuple[NeighborTriple, ...] | WireBatch
     final: bool
     rng_state: dict | None = None
     cache_delta: tuple[int, int] | None = None
     events: tuple = ()
+    phase: tuple[float, float] | None = None
 
 
 @dataclass(frozen=True, slots=True)

@@ -158,6 +158,10 @@ def _finish_result(
             "max_backlog",
         ):
             m.gauge(f"pool.{key}", report[key])
+        transport = report.get("transport") or {}
+        for key in ("delta_tasks", "full_tasks", "wire_batches", "wire_batch_bytes"):
+            if key in transport:
+                m.gauge(f"pool.transport.{key}", transport[key])
         m.gauge("cache.worker_hits", worker_hits)
         m.gauge("cache.worker_misses", worker_misses)
         # Re-snapshot: engine.result() ran before the pool gauges above.
@@ -205,6 +209,12 @@ def run_multiprocessing_tsmo(
         n_tasks == 1
         and type(engine.rng.bit_generator).__name__ == "PCG64"
     )
+    # Adaptive sizing retunes the split between iterations from worker
+    # phase timings; lockstep mode keeps its single task regardless —
+    # splitting it would break the bit-identity contract.
+    adaptive = (
+        not lockstep and pool_params is not None and pool_params.adaptive_sizing
+    )
 
     start = time.perf_counter()
     worker_hits = worker_misses = 0
@@ -225,6 +235,11 @@ def run_multiprocessing_tsmo(
                     )
                 ]
             else:
+                sizes = (
+                    pool.plan_counts(params.neighborhood_size)
+                    if adaptive
+                    else chunk_sizes
+                )
                 task_ids = [
                     pool.submit(
                         engine.current.routes,
@@ -232,7 +247,7 @@ def run_multiprocessing_tsmo(
                         seed=int(seed_rng.integers(2**63)),
                         iteration=iteration,
                     )
-                    for size in chunk_sizes
+                    for size in sizes
                     if size > 0
                 ]
             with profiler.time("wait"):
@@ -341,6 +356,7 @@ def run_multiprocessing_async_tsmo(
         obs=obs,
     ) as pool:
         engine.initialize()
+        adaptive = pool.sizer is not None
         collected: list[Neighbor] = []
         outstanding = 0
         next_chunk = 0
@@ -348,8 +364,15 @@ def run_multiprocessing_async_tsmo(
         while not engine.done:
             # Keep every worker fed: one outstanding chunk per worker,
             # always sampling a neighborhood of the *current* solution.
-            while outstanding < len(chunk_sizes):
-                size = chunk_sizes[next_chunk % len(chunk_sizes)]
+            # With adaptive sizing the split is recomputed between
+            # refills, so chunk granularity follows observed timings.
+            plan = (
+                pool.plan_counts(params.neighborhood_size) or chunk_sizes
+                if adaptive
+                else chunk_sizes
+            )
+            while outstanding < len(plan):
+                size = plan[next_chunk % len(plan)]
                 next_chunk += 1
                 pool.submit(
                     engine.current.routes,
@@ -430,8 +453,15 @@ def run_multiprocessing_async_tsmo(
 
 
 def pickle_roundtrip_sizes(instance: Instance) -> dict[str, int]:
-    """Serialized sizes of the protocol's payloads (diagnostics for the
-    'multiprocessing awkward' discussion in EXPERIMENTS.md)."""
+    """Pickle-baseline sizes of the protocol's payloads.
+
+    These are the *uncoded* costs — what each task and worker spawn
+    paid before the zero-copy transport (``repro.parallel.wire`` /
+    ``repro.parallel.shm``).  For the full pickle-vs-codec comparison,
+    including the shared-memory and delta-task steady state, use
+    :func:`repro.parallel.wire.wire_cost` (the ``bench_micro.py``
+    wire-cost benchmark records it into ``BENCH_micro.json``).
+    """
     import pickle
 
     customers = list(range(1, instance.n_customers + 1))

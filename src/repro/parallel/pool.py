@@ -65,10 +65,13 @@ from repro.core.solution import Solution
 from repro.errors import WorkerPoolError
 from repro.obs import ENV_OBS, ENV_TRACE_DIR, NULL_OBS, EventTracer, utc_timestamp
 from repro.parallel.messages import PoolBatch, PoolHeartbeat, PoolTask, StopMessage
+from repro.parallel.shm import SharedInstance, SharedInstanceRef, share_instance
+from repro.parallel.wire import WireBatch, WireRoutes, WireTaskDelta, diff_routes
 from repro.rng import FastRng
 from repro.vrptw.instance import Instance
 
 __all__ = [
+    "AdaptiveSizer",
     "BatchEvent",
     "FaultPlan",
     "PoolParams",
@@ -186,6 +189,28 @@ class PoolParams:
     backoff_cap: float = 2.0
     #: default blocking granularity of :meth:`WorkerPool.poll`.
     poll_interval: float = 0.05
+    #: extra seconds granted on top of ``task_deadline`` while a worker
+    #: incarnation has not yet been heard from: a fresh spawn pays
+    #: interpreter + numpy import time before it can even start the
+    #: task, and under machine load that boot alone can exceed a tight
+    #: deadline.  Once the worker is heard, its deadline clock starts
+    #: at that moment instead of at dispatch.
+    boot_grace: float = 10.0
+    #: ship tasks/batches through the compact wire codecs
+    #: (:mod:`repro.parallel.wire`) instead of pickling nested tuples.
+    #: Decode is bit-identical, so this is safe to leave on.
+    codec: bool = True
+    #: broadcast the instance through one shared-memory segment
+    #: (:mod:`repro.parallel.shm`) instead of pickling it into every
+    #: worker spawn.
+    shared_instance: bool = True
+    #: retune task count / batch size between iterations from observed
+    #: worker phase timings (:class:`AdaptiveSizer`).  Off by default:
+    #: it changes task boundaries, so seeded multi-task runs are no
+    #: longer reproducible across machines.
+    adaptive_sizing: bool = False
+    #: floor for adaptively chosen task counts.
+    min_task_count: int = 4
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
@@ -202,6 +227,10 @@ class PoolParams:
             raise WorkerPoolError("need 0 <= backoff_base <= backoff_cap")
         if self.poll_interval <= 0:
             raise WorkerPoolError("poll_interval must be positive")
+        if self.boot_grace < 0:
+            raise WorkerPoolError("boot_grace must be non-negative")
+        if self.min_task_count < 1:
+            raise WorkerPoolError("min_task_count must be >= 1")
 
 
 # ----------------------------------------------------------------------
@@ -221,6 +250,9 @@ def execute_task(
     registry: OperatorRegistry,
     task: PoolTask,
     worker: int,
+    *,
+    codec: bool = False,
+    timed: bool = False,
 ):
     """Yield the :class:`PoolBatch` stream of one task.
 
@@ -229,56 +261,96 @@ def execute_task(
     caches that never change the sampled moves or the objective floats.
     That is the determinism-under-retry invariant: re-running the same
     task after a crash reproduces the same neighbor sequence.
+
+    ``task.routes`` must already be the plain nested tuple here (the
+    worker main decodes wire forms first).  With ``codec=True``,
+    batches carry :class:`~repro.parallel.wire.WireBatch` edit payloads
+    and ``move.apply`` is skipped entirely — the master reconstructs
+    child routes from the parent it already holds, and the move's
+    ``route_edits`` are exactly what ``apply`` would have used, so the
+    decoded triples are identical.  Neither the codec nor ``timed``
+    touches the RNG stream or the evaluator, so all modes are
+    bit-identical per seed.
     """
     cache = evaluator.stats_cache
     hits0, misses0 = cache.hits, cache.misses
     solution = Solution(instance, task.routes)
     rng = _task_rng(task)
     out = []
+    gen_s = eval_s = 0.0
+    clock = time.perf_counter
     fast = FastRng(rng)
+
+    def flush(final: bool) -> PoolBatch:
+        neighbors = WireBatch.encode(out) if codec else tuple(out)
+        return PoolBatch(
+            worker=worker,
+            task_id=task.task_id,
+            attempt=task.attempt,
+            neighbors=neighbors,
+            final=final,
+            rng_state=(
+                rng.bit_generator.state
+                if final and task.rng_state is not None
+                else None
+            ),
+            cache_delta=(
+                (cache.hits - hits0, cache.misses - misses0) if final else None
+            ),
+            phase=(gen_s, eval_s) if final and timed else None,
+        )
+
     try:
         for _ in range(task.count):
-            move = registry.draw_move(solution, fast)
+            if timed:
+                t0 = clock()
+                move = registry.draw_move(solution, fast)
+                gen_s += clock() - t0
+            else:
+                move = registry.draw_move(solution, fast)
             if move is None:
                 break
-            obj = evaluator.evaluate_move(solution, move)
-            child = move.apply(solution)  # routes must ship to the master
-            out.append(
-                (child.routes, (obj.distance, obj.vehicles, obj.tardiness), move.attribute)
-            )
+            if timed:
+                t0 = clock()
+                obj = evaluator.evaluate_move(solution, move)
+                eval_s += clock() - t0
+            else:
+                obj = evaluator.evaluate_move(solution, move)
+            objective = (obj.distance, obj.vehicles, obj.tardiness)
+            if codec:
+                replacements, added = move.route_edits(solution)
+                out.append((replacements, added, objective, move.attribute))
+            else:
+                child = move.apply(solution)  # routes must ship to the master
+                out.append((child.routes, objective, move.attribute))
             if len(out) >= task.batch_size:
-                yield PoolBatch(
-                    worker=worker,
-                    task_id=task.task_id,
-                    attempt=task.attempt,
-                    neighbors=tuple(out),
-                    final=False,
-                )
+                yield flush(final=False)
                 out = []
     finally:
         fast.detach()
-    yield PoolBatch(
-        worker=worker,
-        task_id=task.task_id,
-        attempt=task.attempt,
-        neighbors=tuple(out),
-        final=True,
-        rng_state=rng.bit_generator.state if task.rng_state is not None else None,
-        cache_delta=(cache.hits - hits0, cache.misses - misses0),
-    )
+    yield flush(final=True)
 
 
 def _pool_worker_main(
     slot: int,
     generation: int,
-    instance: Instance,
+    instance: Instance | SharedInstanceRef,
     task_q,
     result_q,
     heartbeat_interval: float,
     fault_plan: FaultPlan | None,
     ordinal_base: int,
+    timed: bool = False,
 ) -> None:
     """Entry point of one worker process (spawn context)."""
+    shm = None
+    if isinstance(instance, SharedInstanceRef):
+        # Zero-copy broadcast: attach to the master's segment instead of
+        # unpickling the instance (and recomputing nothing — the arrays
+        # were validated once, master-side).  The mapping must outlive
+        # every use of the instance, so it is held for the process
+        # lifetime; the master owns unlink.
+        instance, shm = instance.attach()
     evaluator = Evaluator(instance)
     registry = default_registry()
     # Spawn children inherit the master's environment, so the same
@@ -305,6 +377,11 @@ def _pool_worker_main(
     threading.Thread(target=beat, daemon=True).start()
 
     ordinal = ordinal_base
+    # Routes of the last task this process completed, the base of
+    # steady-state WireTaskDelta dispatches.  The master only sends a
+    # delta when *it* saw this worker's final batch for the base task,
+    # so a populated cache is guaranteed whenever one arrives.
+    last_done: tuple[int, tuple] | None = None
     while True:
         try:
             msg = task_q.get()
@@ -313,6 +390,19 @@ def _pool_worker_main(
         if isinstance(msg, StopMessage):
             break
         task: PoolTask = msg
+        codec = not isinstance(task.routes, tuple)
+        if isinstance(task.routes, WireTaskDelta):
+            delta = task.routes
+            if last_done is None or last_done[0] != delta.base_task_id:
+                # Master bookkeeping bug — die loudly; the pool retries
+                # the task (with a full payload) on the replacement.
+                raise WorkerPoolError(
+                    f"delta task {task.task_id} against unknown base "
+                    f"{delta.base_task_id}"
+                )
+            task = replace(task, routes=delta.apply(last_done[1]))
+        elif isinstance(task.routes, WireRoutes):
+            task = replace(task, routes=task.routes.decode())
         action = fault_plan.action(slot, ordinal) if fault_plan else None
         ordinal += 1
         kill_after: int | None = None
@@ -325,7 +415,9 @@ def _pool_worker_main(
             elif kind == "delay":
                 time.sleep(float(arg))
         batches_sent = 0
-        for batch in execute_task(instance, evaluator, registry, task, slot):
+        for batch in execute_task(
+            instance, evaluator, registry, task, slot, codec=codec, timed=timed
+        ):
             if batch.final and tracer is not None:
                 tracer.emit(
                     "worker_task",
@@ -338,7 +430,103 @@ def _pool_worker_main(
             batches_sent += 1
             if kill_after is not None and batches_sent >= kill_after:
                 os._exit(_FAULT_EXIT)
+        last_done = (task.task_id, task.routes)
     stop_beating.set()
+    if shm is not None:
+        shm.close()
+
+
+# ----------------------------------------------------------------------
+# Adaptive task sizing
+# ----------------------------------------------------------------------
+class AdaptiveSizer:
+    """Feedback controller for task count / batch size.
+
+    The tension: fewer, larger tasks amortize per-task overhead
+    (dispatch, queue hop, decode) but lengthen the straggler tail the
+    synchronous master waits out — and starve the asynchronous c1–c4
+    loop of partial results.  The sizer keeps EMAs of the worker-side
+    per-neighbor work :math:`\\bar w` (from the ``(generate, evaluate)``
+    phase timings riding final batches) and the per-task overhead
+    :math:`o` (task latency minus work), and proposes the count that
+    balances the two terms: total overhead across ``total/c`` tasks is
+    ``(total/c) * o`` while the tail a task adds is ``c * w``, equal at
+    :math:`c^* = \\sqrt{total \\cdot o / \\bar w}`.
+
+    The batch size targets steady arrival: a batch should complete in
+    about half the master's observed inter-poll wait, so partial
+    results land every cycle instead of in one final burst.
+
+    All state is master-side floats fed from observed timings — nothing
+    here touches RNG streams, task seeds or neighbor order, so an
+    adaptive run stays *correct*; it is only not *reproducible* across
+    machines, which is why :attr:`PoolParams.adaptive_sizing` defaults
+    off.
+    """
+
+    __slots__ = ("alpha", "min_count", "work_ema", "overhead_ema", "wait_ema", "observed")
+
+    def __init__(self, min_count: int = 4, alpha: float = 0.25) -> None:
+        self.alpha = alpha
+        self.min_count = min_count
+        self.work_ema: float | None = None  # seconds per neighbor
+        self.overhead_ema: float | None = None  # seconds per task
+        self.wait_ema: float | None = None  # master poll wait, seconds
+        self.observed = 0
+
+    def _ema(self, old: float | None, value: float) -> float:
+        if old is None:
+            return value
+        return old + self.alpha * (value - old)
+
+    def observe_task(
+        self, count: int, latency: float, phase: tuple[float, float] | None
+    ) -> None:
+        """Fold one completed task's timings into the EMAs."""
+        if count < 1 or latency < 0:
+            return
+        work = latency if phase is None else max(phase[0] + phase[1], 0.0)
+        work = min(work, latency)
+        self.work_ema = self._ema(self.work_ema, work / count)
+        self.overhead_ema = self._ema(self.overhead_ema, max(latency - work, 0.0))
+        self.observed += 1
+
+    def observe_wait(self, seconds: float) -> None:
+        """Fold one master-side blocking wait into the EMA."""
+        if seconds >= 0:
+            self.wait_ema = self._ema(self.wait_ema, seconds)
+
+    @property
+    def ready(self) -> bool:
+        """Enough observations to trust the EMAs over the static split."""
+        return self.observed >= 3 and self.work_ema is not None
+
+    def suggest_count(self, total: int, n_slots: int) -> int:
+        """Neighbors per task for a ``total``-neighbor fan-out."""
+        base = max(1, -(-total // max(n_slots, 1)))  # ceil, the static split
+        if not self.ready or not self.work_ema or self.overhead_ema is None:
+            return base
+        c_opt = (total * self.overhead_ema / self.work_ema) ** 0.5
+        return max(self.min_count, min(int(round(c_opt)) or 1, base, total))
+
+    def suggest_batch(self, count: int, default: int | None) -> int:
+        """Neighbors per streamed batch within a ``count``-neighbor task."""
+        if default is None:
+            default = count
+        default = min(default, count)
+        if not self.ready or not self.work_ema or self.wait_ema is None:
+            return default
+        target = self.wait_ema / (2.0 * self.work_ema)
+        return max(1, min(int(target) or 1, default))
+
+    def summary(self) -> dict:
+        """The controller state for :meth:`WorkerPool.report`."""
+        return {
+            "observed_tasks": self.observed,
+            "work_per_neighbor_s": self.work_ema,
+            "task_overhead_s": self.overhead_ema,
+            "master_wait_s": self.wait_ema,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -385,6 +573,7 @@ class _Slot:
         "dispatched_at",
         "generation",
         "heard",
+        "heard_at",
         "last_seen",
         "dispatched_count",
         "tasks_done",
@@ -392,6 +581,8 @@ class _Slot:
         "crashes",
         "stragglers",
         "respawns",
+        "done_task_id",
+        "done_routes",
     )
 
     def __init__(self, index: int) -> None:
@@ -404,6 +595,7 @@ class _Slot:
         self.dispatched_at = 0.0
         self.generation = 0
         self.heard = False
+        self.heard_at = 0.0
         self.last_seen = 0.0
         self.dispatched_count = 0
         self.tasks_done = 0
@@ -411,6 +603,10 @@ class _Slot:
         self.crashes = 0
         self.stragglers = 0
         self.respawns = 0
+        #: id + plain routes of the last task *this incarnation*
+        #: completed — the base the master may delta-encode against.
+        self.done_task_id: int | None = None
+        self.done_routes: tuple | None = None
 
 
 class _TaskState:
@@ -489,13 +685,41 @@ class WorkerPool:
         self._tasks_completed = 0
         self._max_backlog = 0
         self._latencies: list[float] = []
+        self._delta_tasks = 0
+        self._full_tasks = 0
+        self._wire_batches = 0
+        self._wire_batch_bytes = 0
 
         # Master-local execution state (degradation / retry exhaustion).
         self._local_evaluator: Evaluator | None = None
         self._local_registry: OperatorRegistry | None = None
 
-        for slot in self._slots:
-            self._spawn(slot)
+        self.sizer = (
+            AdaptiveSizer(min_count=self.params.min_task_count)
+            if self.params.adaptive_sizing
+            else None
+        )
+        #: workers time their generate/evaluate phases when the sizer
+        #: needs the signal or the obs profiler will ingest it.
+        self._timed = self.sizer is not None or bool(getattr(obs, "enabled", False))
+
+        # Shared-memory instance broadcast: create the segment before
+        # the first spawn so every worker (including respawns) attaches
+        # instead of unpickling ~MBs of arrays.  If segment creation
+        # fails (e.g. /dev/shm exhausted), fall back to pickling.
+        self._shared: SharedInstance | None = None
+        if self.params.shared_instance:
+            try:
+                self._shared = share_instance(instance)
+            except OSError:  # pragma: no cover - shm exhausted
+                self._shared = None
+
+        try:
+            for slot in self._slots:
+                self._spawn(slot)
+        except Exception:  # pragma: no cover - spawn failure
+            self._destroy_shared()
+            raise
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "WorkerPool":
@@ -508,17 +732,19 @@ class WorkerPool:
         slot.task_q = self._ctx.Queue()
         slot.result_q = self._ctx.Queue()
         slot.generation += 1
+        payload = self._shared.ref if self._shared is not None else self.instance
         slot.process = self._ctx.Process(
             target=_pool_worker_main,
             args=(
                 slot.index,
                 slot.generation,
-                self.instance,
+                payload,
                 slot.task_q,
                 slot.result_q,
                 self.params.heartbeat_interval,
                 self.fault_plan,
                 slot.dispatched_count,
+                self._timed,
             ),
             daemon=True,
         )
@@ -526,35 +752,51 @@ class WorkerPool:
         slot.alive = True
         slot.busy = None
         slot.heard = False
+        slot.heard_at = 0.0
         slot.last_seen = time.monotonic()
+        # A fresh incarnation holds no routes cache — full payload first.
+        slot.done_task_id = None
+        slot.done_routes = None
 
     def close(self) -> None:
-        """Stop every worker; bounded waits only, stragglers get killed."""
+        """Stop every worker; bounded waits only, stragglers get killed.
+
+        The shared-memory segment is destroyed *unconditionally*, on
+        every exit path — including when workers had to be terminated
+        or killed — so no run leaks a segment into ``/dev/shm``.
+        """
         if self._closed:
             return
         self._closed = True
-        for slot in self._slots:
-            if slot.alive and slot.process is not None:
-                try:
-                    slot.task_q.put(StopMessage(reason="pool closed"))
-                except Exception:  # pragma: no cover - queue already broken
-                    pass
-        for slot in self._slots:
-            proc = slot.process
-            if proc is None:
-                continue
-            proc.join(timeout=1.0)
-            if proc.is_alive():
-                proc.terminate()
+        try:
+            for slot in self._slots:
+                if slot.alive and slot.process is not None:
+                    try:
+                        slot.task_q.put(StopMessage(reason="pool closed"))
+                    except Exception:  # pragma: no cover - queue already broken
+                        pass
+            for slot in self._slots:
+                proc = slot.process
+                if proc is None:
+                    continue
                 proc.join(timeout=1.0)
-                if proc.is_alive():  # pragma: no cover - stubborn process
-                    proc.kill()
+                if proc.is_alive():
+                    proc.terminate()
                     proc.join(timeout=1.0)
-            for q in (slot.task_q, slot.result_q):
-                if q is not None:
-                    q.close()
-                    q.cancel_join_thread()
+                    if proc.is_alive():  # pragma: no cover - stubborn process
+                        proc.kill()
+                        proc.join(timeout=1.0)
+                for q in (slot.task_q, slot.result_q):
+                    if q is not None:
+                        q.close()
+                        q.cancel_join_thread()
+        finally:
+            self._destroy_shared()
         self._maybe_dump_report()
+
+    def _destroy_shared(self) -> None:
+        if self._shared is not None:
+            self._shared.destroy()
 
     def _maybe_dump_report(self) -> None:
         """Persist the counter report when CI asks for it.
@@ -596,7 +838,10 @@ class WorkerPool:
         if (seed is None) == (rng_state is None):
             raise WorkerPoolError("tasks need exactly one of seed= or rng_state=")
         if batch_size is None:
-            batch_size = self.default_batch_size or count
+            if self.sizer is not None:
+                batch_size = self.sizer.suggest_batch(count, self.default_batch_size)
+            else:
+                batch_size = self.default_batch_size or count
         task_id = self._next_task_id
         self._next_task_id += 1
         task = PoolTask(
@@ -613,6 +858,26 @@ class WorkerPool:
         self._pending.append(task_id)
         self._max_backlog = max(self._max_backlog, len(self._pending))
         return task_id
+
+    def plan_counts(self, total: int) -> list[int]:
+        """Split a ``total``-neighbor fan-out into per-task counts.
+
+        Without adaptive sizing this is the static even split across
+        alive workers that the drivers always used; with it, the
+        :class:`AdaptiveSizer`'s suggested count takes over once it has
+        seen enough completed tasks.
+        """
+        if total < 1:
+            return []
+        n_slots = max(self._alive_count(), 1)
+        if self.sizer is not None:
+            per = self.sizer.suggest_count(total, n_slots)
+        else:
+            per = max(1, -(-total // n_slots))
+        counts = [per] * (total // per)
+        if total % per:
+            counts.append(total % per)
+        return counts
 
     # -- event loop ----------------------------------------------------
     def poll(self, timeout: float | None = None) -> list[BatchEvent]:
@@ -675,7 +940,11 @@ class WorkerPool:
                 deferred.append(tid)
                 continue
             slot = idle.pop(0)
-            task = replace(state.task, attempt=state.attempt)
+            task = replace(
+                state.task,
+                attempt=state.attempt,
+                routes=self._encode_routes(state.task.routes, slot),
+            )
             slot.busy = task
             slot.dispatched_at = now
             slot.dispatched_count += 1
@@ -686,6 +955,26 @@ class WorkerPool:
         for tid in reversed(deferred):
             self._pending.appendleft(tid)
 
+    def _encode_routes(self, routes: tuple, slot: _Slot):
+        """Pick the wire form of one task's routes for one target slot.
+
+        ``_TaskState`` always holds the plain tuple; encoding happens
+        here, per dispatch, because the best form depends on the
+        receiver: a worker whose last completed task's routes the
+        master knows gets a :class:`WireTaskDelta` (tens of bytes), any
+        other gets the full :class:`WireRoutes`.  Retries re-enter this
+        path and re-encode for whichever slot they land on.
+        """
+        if not self.params.codec:
+            return routes
+        if slot.done_task_id is not None and slot.done_routes is not None:
+            delta = diff_routes(slot.done_routes, routes)
+            if delta is not None:
+                self._delta_tasks += 1
+                return replace(delta, base_task_id=slot.done_task_id)
+        self._full_tasks += 1
+        return WireRoutes.encode(routes)
+
     def _handle_message(self, msg, events: list[BatchEvent]) -> None:
         if isinstance(msg, PoolHeartbeat):
             self._heartbeats += 1
@@ -694,10 +983,21 @@ class WorkerPool:
                 # A beacon a dead predecessor left in the queue must
                 # not vouch for its respawned replacement.
                 if msg.generation == slot.generation:
-                    slot.heard = True
-                    slot.last_seen = time.monotonic()
+                    self._mark_heard(slot)
             return
         self._accept_batch(msg, events)
+
+    @staticmethod
+    def _mark_heard(slot: _Slot) -> None:
+        now = time.monotonic()
+        if not slot.heard:
+            slot.heard = True
+            # First sign of life of this incarnation: its task-deadline
+            # clock starts here, not at dispatch — boot time (fresh
+            # interpreter + imports, arbitrarily long under load) must
+            # not count against the task.
+            slot.heard_at = now
+        slot.last_seen = now
 
     def _drain_slot(self, slot: _Slot, events: list[BatchEvent]) -> int:
         """Empty one worker's result queue without blocking."""
@@ -721,15 +1021,22 @@ class WorkerPool:
         sweep and returns, otherwise it sleeps in ``poll_interval``
         steps until the deadline.
         """
-        deadline = time.monotonic() + timeout
-        while True:
-            drained = sum(self._drain_slot(slot, events) for slot in self._slots)
-            if drained:
-                return
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                return
-            time.sleep(min(self.params.poll_interval, remaining))
+        started = time.monotonic()
+        deadline = started + timeout
+        try:
+            while True:
+                drained = sum(self._drain_slot(slot, events) for slot in self._slots)
+                if drained:
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                time.sleep(min(self.params.poll_interval, remaining))
+        finally:
+            if self.sizer is not None:
+                # The blocked portion of this pass is the master-wait
+                # signal the batch-size suggestion feeds on.
+                self.sizer.observe_wait(time.monotonic() - started)
 
     def _accept_batch(self, msg: PoolBatch, events: list[BatchEvent]) -> None:
         slot = self._slots[msg.worker] if 0 <= msg.worker < len(self._slots) else None
@@ -741,20 +1048,29 @@ class WorkerPool:
             self._stale_batches += 1
             return
         if slot is not None:
-            slot.heard = True
-            slot.last_seen = time.monotonic()
+            self._mark_heard(slot)
             slot.batches += 1
         # Worker trace events ride on current-attempt batches only (a
         # retried attempt re-emits them), so ingesting here — after the
         # stale check — keeps the master's trace free of duplicates.
         if msg.events and self.obs.tracer.enabled:
             self.obs.tracer.ingest(msg.events)
+        # Codec payloads decode here — after the stale check, before the
+        # exactly-once offset logic, so everything downstream (prefix
+        # skip, drivers) sees the identical plain triples either way.
+        # The parent routes are the ones the master submitted; the
+        # worker evaluated edits against the same tuple by construction.
+        neighbors = msg.neighbors
+        if isinstance(neighbors, WireBatch):
+            self._wire_batches += 1
+            self._wire_batch_bytes += len(neighbors.blob)
+            neighbors = neighbors.decode(state.task.routes)
         # Exactly-once across retries: skip the already-delivered prefix
         # (retries regenerate the identical neighbor sequence, so an
         # offset is a correct resume point).
-        n = len(msg.neighbors)
+        n = len(neighbors)
         skip = min(max(state.delivered - state.attempt_seen, 0), n)
-        fresh = msg.neighbors[skip:]
+        fresh = neighbors[skip:]
         state.attempt_seen += n
         state.delivered = max(state.delivered, state.attempt_seen)
         if msg.final:
@@ -775,9 +1091,22 @@ class WorkerPool:
     def _complete_task(self, msg: PoolBatch, slot: _Slot | None) -> None:
         state = self._tasks.pop(msg.task_id)
         self._tasks_completed += 1
-        self._latencies.append(time.monotonic() - state.submitted_at)
+        latency = time.monotonic() - state.submitted_at
+        self._latencies.append(latency)
+        if self.sizer is not None:
+            self.sizer.observe_task(state.task.count, latency, msg.phase)
+        # Worker-side phase timings fold into the master's profile under
+        # the same phase names the sequential driver uses, so one table
+        # shows where worker time went regardless of driver.
+        if msg.phase is not None and getattr(self.obs, "enabled", False):
+            self.obs.profiler.add("generate", msg.phase[0])
+            self.obs.profiler.add("evaluate", msg.phase[1])
         if slot is not None:
             slot.tasks_done += 1
+            # This incarnation now caches the task's routes — the base
+            # for a future WireTaskDelta dispatch to the same slot.
+            slot.done_task_id = msg.task_id
+            slot.done_routes = state.task.routes
             if slot.busy is not None and slot.busy.task_id == msg.task_id:
                 slot.busy = None
 
@@ -790,10 +1119,23 @@ class WorkerPool:
             dead = not slot.process.is_alive()
             hung = False
             if not dead and slot.busy is not None:
-                over_deadline = (
-                    p.task_deadline is not None
-                    and now - slot.dispatched_at > p.task_deadline
-                )
+                # The deadline clock must not count worker boot time: a
+                # fresh incarnation spends interpreter + import seconds
+                # before touching the task, arbitrarily stretched by
+                # machine load.  Once heard, the clock runs from the
+                # later of dispatch and first-heard; an *unheard* worker
+                # gets ``boot_grace`` on top of the deadline, so a
+                # wedged boot is still caught — just not mistaken for a
+                # straggling task.
+                if p.task_deadline is None:
+                    over_deadline = False
+                elif slot.heard:
+                    started = max(slot.dispatched_at, slot.heard_at)
+                    over_deadline = now - started > p.task_deadline
+                else:
+                    over_deadline = (
+                        now - slot.dispatched_at > p.task_deadline + p.boot_grace
+                    )
                 # Silence only counts once this incarnation has been
                 # heard from: a freshly (re)spawned worker legitimately
                 # spends boot time (interpreter + imports) before its
@@ -896,6 +1238,15 @@ class WorkerPool:
         return {
             "n_workers": self.n_workers,
             "degraded": self.degraded,
+            "transport": {
+                "codec": self.params.codec,
+                "shared_instance": self._shared is not None,
+                "delta_tasks": self._delta_tasks,
+                "full_tasks": self._full_tasks,
+                "wire_batches": self._wire_batches,
+                "wire_batch_bytes": self._wire_batch_bytes,
+            },
+            "adaptive": self.sizer.summary() if self.sizer is not None else None,
             "crashes": self._crashes,
             "stragglers": self._stragglers,
             "respawns": self._respawns_used,

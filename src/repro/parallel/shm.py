@@ -1,0 +1,158 @@
+"""Shared-memory instance broadcast for the real-process pool.
+
+Every worker spawn used to unpickle the full :class:`Instance` — on a
+400-customer problem that is ~1.3 MB, dominated by the ``(N+1)^2``
+float64 travel matrix, paid again on every respawn.  This module puts
+the seven instance arrays into one :mod:`multiprocessing.shared_memory`
+segment at pool startup; workers attach by name and rebuild the
+instance with :meth:`Instance.from_validated_arrays` (no validation, no
+O(N^2) travel recompute), so the per-spawn payload collapses to a
+~300-byte :class:`SharedInstanceRef` descriptor.
+
+Lifecycle contract (see ``WorkerPool``):
+
+* the **master** calls :func:`share_instance` once, passes the
+  ``.ref`` to workers, and calls :meth:`SharedInstance.destroy` in
+  ``shutdown()`` — unconditionally, on every exit path, which both
+  closes its mapping and unlinks the segment;
+* **workers** call :meth:`SharedInstanceRef.attach` and keep the
+  mapping for the life of the process (worker death releases it; the
+  master's ``unlink`` is what removes the segment from the system).
+
+Python 3.11 wrinkle: ``SharedMemory(name=...)`` registers the segment
+with the resource tracker even on a plain attach (``track=False`` only
+exists from 3.13).  That is harmless *here*: spawned workers inherit
+the master's tracker process (the fd rides in the spawn preparation
+data), and the tracker cache is a set, so the duplicate registration
+dedupes to a no-op.  Crucially, :meth:`attach` must NOT "fix" this by
+unregistering — the cache is shared, so a child-side unregister would
+erase the master's sole registration and break both ``unlink()``
+bookkeeping and the crashed-master safety net (the tracker unlinking
+the segment when the creating interpreter dies uncleanly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.vrptw.instance import Instance
+
+__all__ = ["SharedInstance", "SharedInstanceRef", "share_instance"]
+
+#: (field name, ndim) of every array shipped through the segment, in
+#: segment order.  All are float64; 1-D arrays have length ``n_sites``
+#: and the travel matrix is ``n_sites x n_sites``.
+_FIELDS: tuple[tuple[str, int], ...] = (
+    ("x", 1),
+    ("y", 1),
+    ("demand", 1),
+    ("ready_time", 1),
+    ("due_date", 1),
+    ("service_time", 1),
+    ("travel", 2),
+)
+
+
+def _layout(n_sites: int) -> tuple[dict[str, tuple[int, tuple[int, ...]]], int]:
+    """Per-field (byte offset, shape) and the total segment size."""
+    itemsize = np.dtype(np.float64).itemsize
+    offsets: dict[str, tuple[int, tuple[int, ...]]] = {}
+    pos = 0
+    for name, ndim in _FIELDS:
+        shape = (n_sites,) if ndim == 1 else (n_sites, n_sites)
+        offsets[name] = (pos, shape)
+        pos += itemsize * int(np.prod(shape))
+    return offsets, pos
+
+
+@dataclass(frozen=True, slots=True)
+class SharedInstanceRef:
+    """What actually crosses the process boundary: name + metadata.
+
+    Pickles to a few hundred bytes regardless of instance size.  The
+    scalars (``capacity``, ``n_vehicles``, ``instance_name``) ride here
+    rather than in the segment — they are cheap, and keeping the segment
+    pure float64 keeps the layout trivial.
+    """
+
+    segment: str
+    n_sites: int
+    instance_name: str
+    capacity: float
+    n_vehicles: int
+
+    def attach(self) -> tuple[Instance, shared_memory.SharedMemory]:
+        """Map the segment and rebuild the instance around its buffers.
+
+        Returns the instance *and* the mapping: the caller must keep
+        the :class:`~multiprocessing.shared_memory.SharedMemory` object
+        alive as long as the instance is in use (the arrays are views
+        into its buffer) and ``close()`` it when done.  Never
+        ``unlink()`` from an attach — the creator owns the segment.
+        """
+        # NB: this re-registers the name with the (shared) resource
+        # tracker on 3.11/3.12; the set-backed cache dedupes it, and
+        # unregistering here would clobber the creator's registration —
+        # see the module docstring.
+        shm = shared_memory.SharedMemory(name=self.segment)
+        offsets, _ = _layout(self.n_sites)
+        arrays = {
+            name: np.ndarray(shape, dtype=np.float64, buffer=shm.buf, offset=off)
+            for name, (off, shape) in offsets.items()
+        }
+        instance = Instance.from_validated_arrays(
+            name=self.instance_name,
+            capacity=self.capacity,
+            n_vehicles=self.n_vehicles,
+            **arrays,
+        )
+        return instance, shm
+
+
+@dataclass(slots=True)
+class SharedInstance:
+    """The creator's handle: the live segment plus its wire descriptor."""
+
+    ref: SharedInstanceRef
+    shm: shared_memory.SharedMemory
+    _destroyed: bool = False
+
+    def destroy(self) -> None:
+        """Close and unlink the segment.  Idempotent, never raises.
+
+        Called from ``WorkerPool.shutdown`` on every exit path; workers
+        that are still attached keep their mapping valid until they
+        exit (POSIX unlink semantics), so destroy-before-join is safe.
+        """
+        if self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            self.shm.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+        try:
+            self.shm.unlink()
+        except Exception:  # pragma: no cover - already unlinked
+            pass
+
+
+def share_instance(instance: Instance) -> SharedInstance:
+    """Copy an instance's arrays into a fresh shared-memory segment."""
+    n_sites = instance.n_sites
+    offsets, total = _layout(n_sites)
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    for name, (off, shape) in offsets.items():
+        view = np.ndarray(shape, dtype=np.float64, buffer=shm.buf, offset=off)
+        view[:] = getattr(instance, name)
+    ref = SharedInstanceRef(
+        segment=shm.name,
+        n_sites=n_sites,
+        instance_name=instance.name,
+        capacity=instance.capacity,
+        n_vehicles=instance.n_vehicles,
+    )
+    return SharedInstance(ref=ref, shm=shm)

@@ -21,9 +21,22 @@ __all__ = ["speedup", "speedup_percent", "format_speedup"]
 
 
 def speedup(sequential_times: Sequence[float], parallel_times: Sequence[float]) -> float:
-    """``Ts / Tp`` over mean execution times (paper §IV)."""
-    ts = float(np.mean(np.asarray(list(sequential_times), dtype=np.float64)))
-    tp = float(np.mean(np.asarray(list(parallel_times), dtype=np.float64)))
+    """``Ts / Tp`` over mean execution times (paper §IV).
+
+    Empty samples are rejected explicitly: ``np.mean`` of an empty
+    array is NaN, and NaN slips past the ``<= 0`` guard below (NaN
+    comparisons are all False), which used to send ``nan%`` straight
+    into the rendered tables.
+    """
+    sequential = np.asarray(list(sequential_times), dtype=np.float64)
+    parallel = np.asarray(list(parallel_times), dtype=np.float64)
+    if sequential.size == 0 or parallel.size == 0:
+        raise BenchmarkError(
+            "speedup needs at least one runtime sample per side "
+            f"(got {sequential.size} sequential, {parallel.size} parallel)"
+        )
+    ts = float(np.mean(sequential))
+    tp = float(np.mean(parallel))
     if tp <= 0 or ts <= 0:
         raise BenchmarkError(f"non-positive mean runtime (Ts={ts}, Tp={tp})")
     return ts / tp

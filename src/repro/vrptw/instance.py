@@ -121,18 +121,21 @@ class Instance:
             object.__setattr__(self, label, _readonly(arr))
         travel = euclidean_matrix(arrays["x"], arrays["y"])
         object.__setattr__(self, "travel", _readonly(travel))
+        self._install_views()
+
+    def _install_views(self) -> None:
         # Fast plain-Python views for the schedule scan in
         # repro.core.routes: route evaluation walks sites one at a time,
         # where list indexing beats numpy scalar extraction by ~3x (see
         # DESIGN.md "vectorized evaluation" note — the scan itself cannot
         # be vectorized because arrival times chain through max()).
-        ready_l = arrays["ready_time"].tolist()
-        service_l = arrays["service_time"].tolist()
+        ready_l = self.ready_time.tolist()
+        service_l = self.service_time.tolist()
         object.__setattr__(self, "_ready_l", ready_l)
-        object.__setattr__(self, "_due_l", arrays["due_date"].tolist())
+        object.__setattr__(self, "_due_l", self.due_date.tolist())
         object.__setattr__(self, "_service_l", service_l)
-        object.__setattr__(self, "_demand_l", arrays["demand"].tolist())
-        object.__setattr__(self, "_travel_rows", travel.tolist())
+        object.__setattr__(self, "_demand_l", self.demand.tolist())
+        object.__setattr__(self, "_travel_rows", self.travel.tolist())
         # Earliest departure ready_i + service_i, the left term of every
         # edge-admissibility check (feasibility.py) — summed here once so
         # the operators' inlined checks do one add instead of two.
@@ -254,6 +257,52 @@ class Instance:
             capacity=capacity,
             n_vehicles=n_vehicles,
         )
+
+    @classmethod
+    def from_validated_arrays(
+        cls,
+        name: str,
+        x: np.ndarray,
+        y: np.ndarray,
+        demand: np.ndarray,
+        ready_time: np.ndarray,
+        due_date: np.ndarray,
+        service_time: np.ndarray,
+        travel: np.ndarray,
+        capacity: float,
+        n_vehicles: int,
+    ) -> "Instance":
+        """Rehydrate an instance from arrays that already passed validation.
+
+        The shared-memory attach path (``repro.parallel.shm``): the
+        arrays come from an :class:`Instance` the master validated, and
+        the travel matrix was computed once there, so this constructor
+        skips both the invariant checks and the ``euclidean_matrix``
+        recompute (the O(N^2) part of construction).  It must never be
+        fed arrays of unknown provenance.
+
+        Arrays are wrapped read-only without copying; buffers backed by
+        shared memory stay shared (only the plain-list evaluation views
+        are materialized per process).
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "name", name)
+        for label, arr in (
+            ("x", x),
+            ("y", y),
+            ("demand", demand),
+            ("ready_time", ready_time),
+            ("due_date", due_date),
+            ("service_time", service_time),
+            ("travel", travel),
+        ):
+            view = arr.view()
+            view.setflags(write=False)
+            object.__setattr__(self, label, view)
+        object.__setattr__(self, "capacity", capacity)
+        object.__setattr__(self, "n_vehicles", n_vehicles)
+        self._install_views()
+        return self
 
     def __repr__(self) -> str:
         return (

@@ -42,9 +42,19 @@ class TestSetCoverage:
         assert set_coverage(b, a) == 0.0
 
     def test_empty_conventions(self):
+        # All four empty/non-empty combinations.  C(∅, ∅) = 0: an empty
+        # archive covers nothing, so two runs that both produced no
+        # solutions must not be reported as fully covering each other
+        # (the old pb-empty-first ordering returned 1.0 here).
+        assert set_coverage([[1, 1]], [[2, 2]]) == 1.0
         assert set_coverage([[1, 1]], []) == 1.0
         assert set_coverage([], [[1, 1]]) == 0.0
-        assert set_coverage([], []) == 1.0
+        assert set_coverage([], []) == 0.0
+
+    def test_mutual_empty_conventions(self):
+        assert mutual_coverage([], []) == (0.0, 0.0)
+        assert mutual_coverage([[1, 1]], []) == (1.0, 0.0)
+        assert mutual_coverage([], [[1, 1]]) == (0.0, 1.0)
 
     def test_mutual(self):
         a = [[1, 1]]
@@ -60,7 +70,9 @@ class TestSetCoverage:
     @settings(max_examples=40, deadline=None)
     @given(a=front_strategy)
     def test_self_coverage_is_total(self, a):
-        assert set_coverage(a, a) == 1.0
+        # Every non-empty front weakly dominates itself; the empty
+        # front covers nothing by convention, itself included.
+        assert set_coverage(a, a) == (1.0 if len(a) else 0.0)
 
 
 class TestHypervolume:

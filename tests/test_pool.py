@@ -182,11 +182,22 @@ class TestFaultTolerance:
         assert outcome.neighbors == expected
 
     def test_delayed_worker_is_cut_off_as_straggler(self, instance, routes):
+        # The injected 30 s delay dwarfs the 0.75 s deadline, so the
+        # cutoff decision has a 40x margin against scheduler jitter.
+        # The deadline clock starts when the incarnation is first heard
+        # (plus boot_grace while unheard), so neither the first worker's
+        # boot nor the respawned replacement's boot — arbitrarily slow
+        # under full-suite load — can count against the task and
+        # produce a second spurious straggler.
         plan = FaultPlan(delays=((0, 0, 30.0),))
         params = PoolParams(
             heartbeat_interval=0.05,
             heartbeat_timeout=10.0,
-            task_deadline=0.4,
+            task_deadline=0.75,
+            # Must stay well under the injected delay: even if the slot
+            # were somehow never heard, deadline + boot_grace (10.75 s)
+            # still cuts the 30 s sleeper off as a straggler.
+            boot_grace=10.0,
             backoff_base=0.01,
             poll_interval=0.02,
         )

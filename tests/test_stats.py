@@ -117,6 +117,17 @@ class TestSpeedup:
         with pytest.raises(BenchmarkError):
             speedup([0.0], [1.0])
 
+    def test_empty_samples_rejected(self):
+        # np.mean([]) is NaN and NaN slips past a `<= 0` guard (NaN
+        # comparisons are False); the empty case must raise instead of
+        # letting `nan%` reach the rendered tables.
+        with pytest.raises(BenchmarkError, match="sample"):
+            speedup([], [])
+        with pytest.raises(BenchmarkError, match="sample"):
+            speedup([], [1.0])
+        with pytest.raises(BenchmarkError, match="sample"):
+            speedup([1.0], [])
+
 
 class TestTTest:
     def test_identical_samples_not_significant(self):

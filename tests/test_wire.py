@@ -1,0 +1,540 @@
+"""Tests for the zero-copy pool transport.
+
+Four layers, separately falsifiable:
+
+* the wire codecs (``repro.parallel.wire``) — hypothesis round-trip
+  properties on synthetic payloads plus an equivalence check against
+  real operator moves;
+* the shared-memory instance broadcast (``repro.parallel.shm``) —
+  attach fidelity in-process, and subprocess leak checks (clean
+  shutdown *and* a SIGKILL-induced respawn must leave no segment and
+  no resource-tracker complaint);
+* the adaptive task sizer — pure-unit controller math;
+* end-to-end codec parity — seeded codec-on runs bit-identical to
+  codec-off for both mp drivers.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.construction import i1_construct
+from repro.core.evaluation import Evaluator
+from repro.core.operators.registry import default_registry
+from repro.parallel.mp_backend import (
+    MpAsyncParams,
+    run_multiprocessing_async_tsmo,
+    run_multiprocessing_tsmo,
+)
+from repro.parallel.pool import AdaptiveSizer, FaultPlan, PoolParams, WorkerPool
+from repro.parallel.shm import share_instance
+from repro.parallel.wire import (
+    WireBatch,
+    WireRoutes,
+    WireTaskDelta,
+    diff_routes,
+    wire_cost,
+)
+from repro.tabu.params import TSMOParams
+from repro.vrptw.generator import generate_instance
+
+FAST = PoolParams(
+    heartbeat_interval=0.05,
+    heartbeat_timeout=10.0,
+    task_deadline=10.0,
+    backoff_base=0.01,
+    poll_interval=0.02,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance("R1", 20, seed=55)
+
+
+@pytest.fixture(scope="module")
+def routes(instance):
+    return i1_construct(instance, rng=1).routes
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+sites = st.integers(min_value=0, max_value=2**40)  # exercises h/i/q dtypes
+route_strategy = st.lists(sites, min_size=0, max_size=8).map(tuple)
+routes_strategy = st.lists(route_strategy, min_size=0, max_size=10).map(tuple)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+attr_strategy = st.one_of(
+    st.tuples(st.sampled_from(["relocate", "2opt*", "segx"]), st.integers(0, 2**33)),
+    st.tuples(
+        st.sampled_from(["2opt", "exchange", "oropt"]),
+        st.frozensets(st.integers(0, 10_000), max_size=6),
+    ),
+    st.tuples(st.just("custom-op"), st.integers(0, 500)),  # per-batch name table
+    st.text(max_size=8),  # escape hatch
+    st.tuples(st.just("weird"), st.text(max_size=4)),  # escape hatch
+)
+
+
+def reference_derive(parent, replacements, added):
+    """Independent reimplementation of ``Solution.derive`` route algebra."""
+    out = []
+    for k, route in enumerate(parent):
+        if k in replacements:
+            if replacements[k]:
+                out.append(tuple(replacements[k]))
+        else:
+            out.append(tuple(route))
+    out.extend(tuple(r) for r in added if r)
+    return tuple(out)
+
+
+@st.composite
+def batch_items(draw):
+    """A parent plus WireBatch-encodable edit items against it."""
+    parent = draw(routes_strategy)
+    n = draw(st.integers(1, 6))
+    items = []
+    for _ in range(n):
+        indices = (
+            draw(
+                st.lists(
+                    st.integers(0, len(parent) - 1), max_size=3, unique=True
+                )
+            )
+            if parent
+            else []
+        )
+        replacements = {i: draw(route_strategy) for i in indices}
+        added = tuple(draw(st.lists(route_strategy, max_size=2)))
+        child = reference_derive(parent, replacements, added)
+        objective = (draw(finite), len(child), draw(finite))
+        items.append((replacements, added, objective, draw(attr_strategy)))
+    return parent, items
+
+
+# ----------------------------------------------------------------------
+# WireRoutes
+# ----------------------------------------------------------------------
+class TestWireRoutes:
+    @settings(max_examples=80, deadline=None)
+    @given(r=routes_strategy)
+    def test_roundtrip_property(self, r):
+        decoded = WireRoutes.encode(r).decode()
+        assert decoded == r
+        assert all(type(c) is int for route in decoded for c in route)
+
+    def test_real_solution_roundtrip(self, routes):
+        assert WireRoutes.encode(routes).decode() == routes
+
+    def test_smaller_than_naive_int32(self, routes):
+        # 20 customers fit int16; the adaptive dtype must pick it.
+        blob = WireRoutes.encode(routes).blob
+        n_sites = sum(len(r) for r in routes)
+        assert len(blob) < 4 * n_sites + 4 * len(routes) + 32
+
+    def test_survives_pickle(self, routes):
+        wired = pickle.loads(pickle.dumps(WireRoutes.encode(routes)))
+        assert wired.decode() == routes
+
+
+# ----------------------------------------------------------------------
+# WireBatch
+# ----------------------------------------------------------------------
+class TestWireBatch:
+    @settings(max_examples=80, deadline=None)
+    @given(case=batch_items())
+    def test_roundtrip_property(self, case):
+        parent, items = case
+        triples = WireBatch.encode(items).decode(parent)
+        assert len(triples) == len(items)
+        for (replacements, added, objective, attr), triple in zip(items, triples):
+            child, obj, got_attr = triple
+            assert child == reference_derive(parent, replacements, added)
+            assert obj == (objective[0], len(child), objective[2])
+            assert got_attr == attr
+
+    def test_matches_real_moves(self, instance):
+        """Codec output equals what move.apply would have shipped."""
+        solution = i1_construct(instance, rng=3)
+        registry = default_registry()
+        evaluator = Evaluator(instance)
+        rng = np.random.default_rng(7)
+        items, expected = [], []
+        while len(items) < 40:
+            move = registry.draw_move(solution, rng)
+            if move is None:
+                continue
+            obj = evaluator.evaluate_move(solution, move)
+            objective = (obj.distance, obj.vehicles, obj.tardiness)
+            replacements, added = move.route_edits(solution)
+            items.append((replacements, added, objective, move.attribute))
+            expected.append(
+                (move.apply(solution).routes, objective, move.attribute)
+            )
+        decoded = WireBatch.encode(items).decode(solution.routes)
+        for got, want in zip(decoded, expected):
+            assert got[0] == want[0]  # identical child routes
+            assert got[1] == want[1]  # identical objective floats
+            assert got[2] == want[2]  # equal tabu attribute
+
+    def test_survives_pickle(self, instance):
+        solution = i1_construct(instance, rng=3)
+        items = [({0: solution.routes[0][1:]}, (), (1.5, len(solution.routes), 0.0), ("relocate", 4))]
+        batch = pickle.loads(pickle.dumps(WireBatch.encode(items)))
+        triples = batch.decode(solution.routes)
+        assert triples[0][2] == ("relocate", 4)
+
+
+# ----------------------------------------------------------------------
+# Task deltas
+# ----------------------------------------------------------------------
+class TestDiffRoutes:
+    @settings(max_examples=80, deadline=None)
+    @given(case=batch_items())
+    def test_found_delta_reconstructs_exactly(self, case):
+        parent, items = case
+        for replacements, added, _, _ in items:
+            child = reference_derive(parent, replacements, added)
+            delta = diff_routes(parent, child)
+            if delta is not None:
+                assert delta.apply(parent) == child
+
+    def test_single_move_delta(self, instance, routes):
+        solution = i1_construct(instance, rng=1)
+        registry = default_registry()
+        rng = np.random.default_rng(5)
+        move = None
+        while move is None:
+            move = registry.draw_move(solution, rng)
+        child = move.apply(solution).routes
+        delta = diff_routes(solution.routes, child)
+        assert delta is not None
+        assert delta.apply(solution.routes) == child
+        # The delta only carries the touched routes, not the whole plan.
+        assert len(delta.replacements) + len(delta.added) < len(child)
+
+    def test_identity_delta(self, routes):
+        delta = diff_routes(routes, routes)
+        assert delta is not None
+        assert delta.replacements == () and delta.added == ()
+
+    def test_unrelated_routes_fall_back(self):
+        parent = tuple((i, i + 1) for i in range(0, 20, 2))
+        child = tuple((i + 100, i + 101) for i in range(0, 20, 2))
+        assert diff_routes(parent, child) is None
+
+
+# ----------------------------------------------------------------------
+# Shared-memory broadcast
+# ----------------------------------------------------------------------
+class TestSharedInstance:
+    def test_attach_fidelity(self, instance):
+        shared = share_instance(instance)
+        try:
+            attached, shm = shared.ref.attach()
+            try:
+                for field in (
+                    "x",
+                    "y",
+                    "demand",
+                    "ready_time",
+                    "due_date",
+                    "service_time",
+                    "travel",
+                ):
+                    np.testing.assert_array_equal(
+                        getattr(attached, field), getattr(instance, field)
+                    )
+                assert attached.name == instance.name
+                assert attached.capacity == instance.capacity
+                assert attached.n_vehicles == instance.n_vehicles
+                # The list views the hot path walks must match too.
+                assert attached._travel_rows == instance._travel_rows
+                assert attached._depart_l == instance._depart_l
+            finally:
+                shm.close()
+        finally:
+            shared.destroy()
+
+    def test_ref_is_tiny(self, instance):
+        shared = share_instance(instance)
+        try:
+            ref_bytes = len(pickle.dumps(shared.ref))
+            assert ref_bytes < 512
+            assert len(pickle.dumps(instance)) > 10 * ref_bytes
+        finally:
+            shared.destroy()
+
+    def test_destroy_is_idempotent(self, instance):
+        shared = share_instance(instance)
+        shared.destroy()
+        shared.destroy()  # must not raise
+
+    def test_pool_unlinks_segment_on_close(self, instance, routes):
+        from multiprocessing import shared_memory
+
+        with WorkerPool(instance, 1, params=FAST) as pool:
+            assert pool._shared is not None
+            name = pool._shared.ref.segment
+            tid = pool.submit(routes, 4, seed=5, iteration=1)
+            pool.gather([tid])
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    @pytest.mark.parametrize("crash", [False, True], ids=["clean", "sigkill"])
+    def test_no_leak_subprocess(self, crash, tmp_path):
+        """No segment and no resource-tracker complaint at exit.
+
+        Resource-tracker leak warnings only fire at interpreter
+        shutdown, so the check needs a real subprocess — one per mode:
+        a clean run, and a run whose worker is SIGKILLed mid-life (the
+        respawn re-attaches; neither the kill nor the respawn may leak
+        or double-unregister the segment).
+        """
+        script = textwrap.dedent(
+            f"""
+            import os, signal, time
+            from multiprocessing import shared_memory
+            from repro.core.construction import i1_construct
+            from repro.parallel.pool import PoolParams, WorkerPool
+            from repro.vrptw.generator import generate_instance
+
+            instance = generate_instance("R1", 20, seed=55)
+            routes = i1_construct(instance, rng=1).routes
+            params = PoolParams(
+                heartbeat_interval=0.05, heartbeat_timeout=10.0,
+                task_deadline=10.0, backoff_base=0.01, poll_interval=0.02,
+            )
+            crash = {crash!r}
+            with WorkerPool(instance, 1, params=params) as pool:
+                name = pool._shared.ref.segment
+                tid = pool.submit(routes, 4, seed=5, iteration=1)
+                pool.gather([tid])
+                if crash:
+                    os.kill(pool._slots[0].process.pid, signal.SIGKILL)
+                    tid = pool.submit(routes, 4, seed=6, iteration=2)
+                    pool.gather([tid])  # respawned worker re-attaches
+                    assert pool.report()["crashes"] == 1
+            try:
+                shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                print("SEGMENT-GONE")
+            else:
+                raise SystemExit("segment leaked")
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=180,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "SEGMENT-GONE" in proc.stdout
+        assert "leaked shared_memory" not in proc.stderr
+        assert "resource_tracker" not in proc.stderr
+
+
+# ----------------------------------------------------------------------
+# Adaptive sizer
+# ----------------------------------------------------------------------
+class TestAdaptiveSizer:
+    def test_static_split_until_ready(self):
+        sizer = AdaptiveSizer(min_count=4)
+        assert not sizer.ready
+        assert sizer.suggest_count(100, 4) == 25
+        assert sizer.suggest_batch(50, 10) == 10
+        assert sizer.suggest_batch(50, None) == 50
+
+    def test_balances_overhead_against_tail(self):
+        sizer = AdaptiveSizer(min_count=4)
+        # 1 ms per neighbor, 100 ms fixed overhead per task.
+        for _ in range(5):
+            sizer.observe_task(100, 0.2, (0.05, 0.05))
+        assert sizer.ready
+        # c* = sqrt(total * o / w) = sqrt(400 * 0.1 / 0.001) = 200,
+        # clamped to the static per-slot ceiling of 100.
+        assert sizer.suggest_count(400, 4) == 100
+        # With negligible dispatch overhead (10 us/task) the tail term
+        # dominates: c* = sqrt(400 * 1e-5 / 1e-3) = 2, clamped up to
+        # the floor of 4.
+        cheap = AdaptiveSizer(min_count=4)
+        for _ in range(5):
+            cheap.observe_task(100, 0.10001, (0.05, 0.05))
+        assert cheap.suggest_count(400, 4) == 4
+
+    def test_batch_targets_half_the_wait(self):
+        sizer = AdaptiveSizer()
+        for _ in range(5):
+            sizer.observe_task(100, 0.1, (0.05, 0.05))  # 1 ms / neighbor
+            sizer.observe_wait(0.05)
+        # 0.05 s wait / (2 * 0.001 s) = 25 neighbors per batch.
+        assert sizer.suggest_batch(100, 100) == 25
+        assert sizer.suggest_batch(100, 10) == 10  # never above default
+
+    def test_degenerate_observations_ignored(self):
+        sizer = AdaptiveSizer()
+        sizer.observe_task(0, 1.0, None)
+        sizer.observe_task(10, -1.0, None)
+        sizer.observe_wait(-5.0)
+        assert sizer.observed == 0 and sizer.wait_ema is None
+
+    def test_pool_report_exposes_controller(self, instance, routes):
+        params = PoolParams(
+            heartbeat_interval=0.05,
+            heartbeat_timeout=10.0,
+            task_deadline=10.0,
+            backoff_base=0.01,
+            poll_interval=0.02,
+            adaptive_sizing=True,
+        )
+        with WorkerPool(instance, 1, params=params) as pool:
+            for i in range(4):
+                tid = pool.submit(routes, 8, seed=i, iteration=i + 1)
+                pool.gather([tid])
+            report = pool.report()
+        assert report["adaptive"]["observed_tasks"] == 4
+        assert report["adaptive"]["work_per_neighbor_s"] > 0
+        assert len(pool.plan_counts(64)) >= 1
+        assert sum(pool.plan_counts(64)) == 64
+
+    def test_plan_counts_static(self, instance, routes):
+        with WorkerPool(instance, 2, params=FAST) as pool:
+            assert pool.plan_counts(20) == [10, 10]
+            assert pool.plan_counts(21) == [11, 10]
+            assert pool.plan_counts(0) == []
+
+
+# ----------------------------------------------------------------------
+# End-to-end codec behavior
+# ----------------------------------------------------------------------
+class TestTransportEndToEnd:
+    def test_delta_tasks_take_over_in_steady_state(self, instance):
+        """Consecutive submits to the same worker ship deltas."""
+        solution = i1_construct(instance, rng=1)
+        registry = default_registry()
+        rng = np.random.default_rng(2)
+        move = None
+        while move is None:
+            move = registry.draw_move(solution, rng)
+        child = move.apply(solution)
+        with WorkerPool(instance, 1, params=FAST) as pool:
+            t1 = pool.submit(solution.routes, 4, seed=1, iteration=1)
+            pool.gather([t1])
+            t2 = pool.submit(child.routes, 4, seed=2, iteration=2)
+            pool.gather([t2])
+            report = pool.report()
+        transport = report["transport"]
+        assert transport["codec"] is True
+        assert transport["shared_instance"] is True
+        assert transport["full_tasks"] == 1  # first dispatch: no base yet
+        assert transport["delta_tasks"] == 1  # second rides the delta
+        assert transport["wire_batches"] >= 2
+        assert transport["wire_batch_bytes"] > 0
+
+    def test_codec_off_still_works(self, instance, routes):
+        plain = PoolParams(
+            heartbeat_interval=0.05,
+            heartbeat_timeout=10.0,
+            task_deadline=10.0,
+            backoff_base=0.01,
+            poll_interval=0.02,
+            codec=False,
+            shared_instance=False,
+        )
+        with WorkerPool(instance, 1, params=plain) as pool:
+            assert pool._shared is None
+            tid = pool.submit(routes, 6, seed=3, iteration=1)
+            outcome = pool.gather([tid])[tid]
+            transport = pool.report()["transport"]
+        assert transport["codec"] is False
+        assert transport["wire_batches"] == 0
+        assert len(outcome.neighbors) == 6
+
+    def test_sync_driver_codec_parity(self, instance):
+        """Seeded codec-on and codec-off runs are bit-identical (sync)."""
+        params = TSMOParams(max_evaluations=150, neighborhood_size=20, restart_after=6)
+        off = PoolParams(**{**_fast_kwargs(), "codec": False, "shared_instance": False})
+        on = PoolParams(**_fast_kwargs())
+        a = run_multiprocessing_tsmo(
+            instance, params, n_workers=2, seed=11, pool_params=off
+        )
+        b = run_multiprocessing_tsmo(
+            instance, params, n_workers=2, seed=11, pool_params=on
+        )
+        assert np.array_equal(a.front(), b.front())
+        assert a.evaluations == b.evaluations
+        assert a.iterations == b.iterations
+        assert a.restarts == b.restarts
+
+    def test_async_driver_codec_parity(self, instance):
+        """Seeded codec parity for the async driver, forced deterministic.
+
+        With one worker, batches as large as the task and an unreachable
+        ``max_wait``, the only decision trigger is c1 on a *complete*
+        task — so the trajectory is a pure function of the seed and the
+        codec must not change it.
+        """
+        params = TSMOParams(max_evaluations=150, neighborhood_size=20, restart_after=6)
+        aparams = MpAsyncParams(batch_size=1000, max_wait=1e9, poll_timeout=0.02)
+        off = PoolParams(**{**_fast_kwargs(), "codec": False, "shared_instance": False})
+        on = PoolParams(**_fast_kwargs())
+        a = run_multiprocessing_async_tsmo(
+            instance, params, n_workers=1, seed=13, async_params=aparams, pool_params=off
+        )
+        b = run_multiprocessing_async_tsmo(
+            instance, params, n_workers=1, seed=13, async_params=aparams, pool_params=on
+        )
+        assert np.array_equal(a.front(), b.front())
+        assert a.evaluations == b.evaluations
+        assert a.iterations == b.iterations
+
+    def test_codec_survives_worker_crash(self, instance, routes):
+        """A respawned worker has no delta base: retry must go full."""
+        from repro.core.evaluation import Evaluator as Ev
+
+        plan = FaultPlan(kills=((0, 1, None),))  # die on the second task
+        with WorkerPool(instance, 1, params=FAST, fault_plan=plan) as pool:
+            t1 = pool.submit(routes, 6, seed=4, iteration=1)
+            first = pool.gather([t1])[t1]
+            t2 = pool.submit(routes, 6, seed=5, iteration=2)
+            second = pool.gather([t2])[t2]
+            report = pool.report()
+        assert report["crashes"] == 1 and report["respawns"] == 1
+        # Both tasks produced the deterministic ground truth despite the
+        # delta dispatch being killed and re-encoded in full.
+        from tests.test_pool import run_on_master
+
+        assert first.neighbors == run_on_master(instance, routes, 6, seed=4)
+        assert second.neighbors == run_on_master(instance, routes, 6, seed=5)
+
+
+def _fast_kwargs() -> dict:
+    return dict(
+        heartbeat_interval=0.05,
+        heartbeat_timeout=10.0,
+        task_deadline=10.0,
+        backoff_base=0.01,
+        poll_interval=0.02,
+    )
+
+
+class TestWireCost:
+    def test_report_shape_and_ratios(self, instance):
+        report = wire_cost(instance, neighborhood=40, batch_size=10, seed=0)
+        assert report["task_bytes_pickle"] > 0
+        assert report["batch_ratio"] > 1.0
+        assert report["instance_ratio"] > 100.0
+        assert report["iteration_bytes_wire"] < report["iteration_bytes_pickle"]
