@@ -88,7 +88,25 @@ class Move(abc.ABC):
 
 
 class Operator(abc.ABC):
-    """A random-move generator over solutions."""
+    """A random-move generator over solutions.
+
+    Operators may additionally support the batched sampling protocol of
+    :mod:`repro.core.batch_eval` by defining
+
+    * ``batch_words`` — the number of uniform doubles one candidate
+      consumes,
+    * ``batch_ready(pre)`` — whether this operator can propose anything
+      at all against the parent summarized by ``pre`` (a pure function
+      of the parent, so skipping an unready operator consumes no RNG),
+    * ``propose_batch(pre, U)`` — map a ``(m, batch_words)`` block of
+      uniforms to ``(fields, valid)``: an ``(m, 4)`` integer descriptor
+      array and a boolean mask of candidates that pass the local
+      feasibility criterion.
+
+    ``pre`` is the :class:`~repro.core.batch_eval.ParentArrays` summary
+    of the parent solution.  The descriptor layout is operator-specific
+    and decoded by the kernel's move/edit builders.
+    """
 
     #: unique operator identifier (also used in tabu attributes).
     name: str = "operator"
@@ -96,6 +114,13 @@ class Operator(abc.ABC):
     #: how many random draws :meth:`propose` makes before giving up; the
     #: registry treats ``None`` as "redraw the operator wheel".
     max_attempts: int = 8
+
+    #: uniforms per batched candidate; 0 = no vectorized emitter.
+    batch_words: int = 0
+
+    def batch_ready(self, pre) -> bool:
+        """Whether :meth:`propose_batch` can yield moves on this parent."""
+        return False
 
     @abc.abstractmethod
     def propose(self, solution: Solution, rng: np.random.Generator) -> Move | None:

@@ -51,6 +51,9 @@ class Exchange(Operator):
 
     name = "exchange"
 
+    #: uniforms consumed per batched candidate (the two customers).
+    batch_words = 2
+
     def propose(
         self, solution: Solution, rng: np.random.Generator
     ) -> ExchangeMove | None:
@@ -65,11 +68,11 @@ class Exchange(Operator):
         routes = solution.routes
         locate = solution.location_table().__getitem__
         loads = solution.route_loads()
-        integers = rng.integers
-        customer_hi = instance.n_customers + 1
-        for _ in range(self.max_attempts):
-            a = integers(1, customer_hi)
-            b = integers(1, customer_hi)
+        n_customers = instance.n_customers
+        u = rng.random(self.batch_words * self.max_attempts).tolist()
+        for k in range(0, len(u), 2):
+            a = 1 + int(u[k] * n_customers)
+            b = 1 + int(u[k + 1] * n_customers)
             route_a, pos_a = locate(a)
             route_b, pos_b = locate(b)
             if route_a == route_b:
@@ -102,3 +105,44 @@ class Exchange(Operator):
                     pos_b=pos_b,
                 )
         return None
+
+    def batch_ready(self, pre) -> bool:
+        return pre.n_routes >= 2
+
+    def propose_batch(self, pre, U: np.ndarray):
+        """Vectorized :meth:`propose`; fields: ``f0`` = a, ``f1`` = b."""
+        n_customers = pre.n_customers
+        a = 1 + (U[:, 0] * n_customers).astype(np.int64)
+        np.minimum(a, n_customers, out=a)
+        b = 1 + (U[:, 1] * n_customers).astype(np.int64)
+        np.minimum(b, n_customers, out=b)
+        route_a = pre.route_of[a]
+        route_b = pre.route_of[b]
+        pos_a = pre.pos_of[a]
+        pos_b = pre.pos_of[b]
+        demand = pre.demand
+        delta = demand[a] - demand[b]
+        capacity = pre.capacity
+        load_ok = (pre.loads[route_b] + delta <= capacity) & (
+            pre.loads[route_a] - delta <= capacity
+        )
+        Rz = pre.Rz
+        ia = Rz[route_a, pos_a]
+        ja = Rz[route_a, pos_a + 2]
+        ib = Rz[route_b, pos_b]
+        jb = Rz[route_b, pos_b + 2]
+        depart = pre.depart
+        due = pre.due
+        travel = pre.travel_flat
+        ns = pre.n_sites
+        edges_ok = (
+            (depart[ia] + travel[ia * ns + b] <= due[b])
+            & (depart[b] + travel[b * ns + ja] <= due[ja])
+            & (depart[ib] + travel[ib * ns + a] <= due[a])
+            & (depart[a] + travel[a * ns + jb] <= due[jb])
+        )
+        valid = (route_a != route_b) & load_ok & edges_ok
+        fields = np.zeros((len(a), 4), dtype=np.int64)
+        fields[:, 0] = a
+        fields[:, 1] = b
+        return fields, valid

@@ -58,6 +58,9 @@ class OrOpt(Operator):
 
     name = "oropt"
 
+    #: uniforms consumed per batched candidate (route, start, insert).
+    batch_words = 3
+
     #: per-solution memo of eligible route indices (the sampler proposes
     #: dozens of moves against the same current solution).
     _memo_solution: Solution | None = None
@@ -80,14 +83,14 @@ class OrOpt(Operator):
         due = instance._due_l
         travel = instance._travel_rows
         n_eligible = len(eligible)
-        integers = rng.integers
-        for _ in range(self.max_attempts):
-            route_index = eligible[integers(n_eligible)]
+        u = rng.random(self.batch_words * self.max_attempts).tolist()
+        for k in range(0, len(u), 3):
+            route_index = eligible[int(u[k] * n_eligible)]
             route = routes[route_index]
             n = len(route)
-            start = integers(0, n - SEGMENT_LENGTH + 1)
+            start = int(u[k + 1] * (n - SEGMENT_LENGTH + 1))
             n_remainder = n - SEGMENT_LENGTH
-            insert_at = integers(0, n_remainder + 1)
+            insert_at = int(u[k + 2] * (n_remainder + 1))
             if insert_at == start:
                 continue  # reproduces the parent route
             # Neighbors in the remainder (the route with the segment
@@ -119,3 +122,44 @@ class OrOpt(Operator):
                     segment=route[start : start + SEGMENT_LENGTH],
                 )
         return None
+
+    def batch_ready(self, pre) -> bool:
+        return len(pre.eligible3) > 0
+
+    def propose_batch(self, pre, U: np.ndarray):
+        """Vectorized :meth:`propose`; fields: route, start, insert_at."""
+        eligible = pre.eligible3
+        n_eligible = len(eligible)
+        e = (U[:, 0] * n_eligible).astype(np.int64)
+        np.minimum(e, n_eligible - 1, out=e)
+        route = eligible[e]
+        n = pre.L[route]
+        start = (U[:, 1] * (n - SEGMENT_LENGTH + 1)).astype(np.int64)
+        np.minimum(start, n - SEGMENT_LENGTH, out=start)
+        n_remainder = n - SEGMENT_LENGTH
+        insert_at = (U[:, 2] * (n_remainder + 1)).astype(np.int64)
+        np.minimum(insert_at, n_remainder, out=insert_at)
+        Rz = pre.Rz
+        # Neighbors in the remainder, read off the parent route exactly
+        # as the scalar loop does (Rz column 0 / the trailing pad return
+        # the depot for the boundary cases).
+        k = insert_at - 1
+        col_i = np.where(k < start, k + 1, k + SEGMENT_LENGTH + 1)
+        i = np.where(insert_at > 0, Rz[route, np.maximum(col_i, 0)], 0)
+        col_j = np.where(insert_at < start, insert_at + 1, insert_at + SEGMENT_LENGTH + 1)
+        j = np.where(insert_at < n_remainder, Rz[route, np.minimum(col_j, pre.Rz_width - 1)], 0)
+        s0 = Rz[route, start + 1]
+        s1 = Rz[route, start + SEGMENT_LENGTH]
+        depart = pre.depart
+        due = pre.due
+        travel = pre.travel_flat
+        ns = pre.n_sites
+        edges_ok = (depart[i] + travel[i * ns + s0] <= due[s0]) & (
+            depart[s1] + travel[s1 * ns + j] <= due[j]
+        )
+        valid = (insert_at != start) & edges_ok
+        fields = np.zeros((len(route), 4), dtype=np.int64)
+        fields[:, 0] = route
+        fields[:, 1] = start
+        fields[:, 2] = insert_at
+        return fields, valid

@@ -65,11 +65,14 @@ class OperatorRegistry:
         self.weights = w
         self._cumulative = np.cumsum(w).tolist()
         # Profiling note: the wheel spins once per candidate move (tens
-        # of thousands of times per run), so the uniform case takes the
-        # integer fast path and the weighted case scans a plain Python
-        # list instead of calling numpy on 5 elements.
+        # of thousands of times per run).  Everything the spin needs is
+        # hoisted here — the bound ``propose`` methods and the cumulative
+        # thresholds as plain Python containers — so a draw allocates
+        # nothing and the weighted case scans a list instead of calling
+        # numpy on 5 elements.
         self._uniform = bool(np.allclose(w, w[0]))
         self._n_operators = len(self.operators)
+        self._propose = tuple(op.propose for op in self.operators)
         if max_draws_per_move < 1:
             raise OperatorError("max_draws_per_move must be >= 1")
         self.max_draws_per_move = max_draws_per_move
@@ -91,19 +94,29 @@ class OperatorRegistry:
         operator draws all failed — the caller (the neighborhood
         sampler) then stops early with a short neighborhood.
         """
+        propose = self._propose
+        random = rng.random
         if self._uniform:
-            # Hot path: one wheel spin per candidate move; skip the
-            # draw_operator call and the int() coercion.
-            operators = self.operators
+            # Hot path: one wheel spin per candidate move.  The spin is
+            # a single ``random()`` double (cheaper to dispatch than a
+            # bounded ``integers``) indexing the hoisted propose table;
+            # ``u < 1`` strictly, so the floor never reaches ``n``.
             n = self._n_operators
-            integers = rng.integers
             for _ in range(self.max_draws_per_move):
-                move = operators[integers(n)].propose(solution, rng)
+                move = propose[int(random() * n)](solution, rng)
                 if move is not None:
                     return move
             return None
+        cumulative = self._cumulative
+        last = self._n_operators - 1
         for _ in range(self.max_draws_per_move):
-            move = self.draw_operator(rng).propose(solution, rng)
+            u = random()
+            chosen = last
+            for index, threshold in enumerate(cumulative):
+                if u < threshold:
+                    chosen = index
+                    break
+            move = propose[chosen](solution, rng)
             if move is not None:
                 return move
         return None

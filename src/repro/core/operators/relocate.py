@@ -41,7 +41,7 @@ class RelocateMove(Move):
 
     def route_edits(self, solution: Solution) -> RouteEdits:
         src = solution.routes[self.src_route]
-        if src[self.src_pos] != self.customer:
+        if self.src_pos >= len(src) or src[self.src_pos] != self.customer:
             raise OperatorError(
                 f"stale move: customer {self.customer} not at "
                 f"route {self.src_route} position {self.src_pos}"
@@ -62,6 +62,10 @@ class Relocate(Operator):
     """Random relocate proposals under the local feasibility criterion."""
 
     name = "relocate"
+
+    #: uniforms consumed per batched candidate (customer, destination
+    #: wheel, insertion position).
+    batch_words = 3
 
     def __init__(self, *, allow_new_route: bool = True) -> None:
         #: when True (default) the destination wheel includes opening a
@@ -86,15 +90,18 @@ class Relocate(Operator):
         routes = solution.routes
         locate = solution.location_table().__getitem__
         loads = solution.route_loads()
-        integers = rng.integers
-        customer_hi = instance.n_customers + 1
+        n_customers = instance.n_customers
         # Destination wheel: every other route, plus possibly "new".
         # (Never zero here: n_routes >= 2, or == 1 with new_route_ok.)
         n_options = n_routes - 1 + (1 if new_route_ok else 0)
-        for _ in range(self.max_attempts):
-            customer = integers(1, customer_hi)
+        # One uniform block for all attempts: a single RNG dispatch per
+        # call instead of 2-3 scalar draws per attempt, so the call cost
+        # is flat whether the first or the last attempt succeeds.
+        u = rng.random(self.batch_words * self.max_attempts).tolist()
+        for k in range(0, len(u), 3):
+            customer = 1 + int(u[k] * n_customers)
             src_route, src_pos = locate(customer)
-            pick = integers(n_options)
+            pick = int(u[k + 1] * n_options)
             if pick >= n_routes - 1:
                 # A single-customer source route relocated into a new
                 # route is a no-op (same structure, different vehicle).
@@ -117,7 +124,7 @@ class Relocate(Operator):
             dst = routes[dst_route]
             if loads[dst_route] + demand[customer] > capacity:
                 continue
-            dst_pos = integers(len(dst) + 1)
+            dst_pos = int(u[k + 2] * (len(dst) + 1))
             i = dst[dst_pos - 1] if dst_pos > 0 else 0
             j = dst[dst_pos] if dst_pos < len(dst) else 0
             # insertion_admissible(instance, i, customer, j) inlined
@@ -134,3 +141,54 @@ class Relocate(Operator):
                     dst_pos=dst_pos,
                 )
         return None
+
+    def batch_ready(self, pre) -> bool:
+        """Whether the destination wheel is non-empty on this parent."""
+        new_ok = self.allow_new_route and pre.new_route_ok
+        return pre.n_routes >= 2 or (pre.n_routes == 1 and new_ok)
+
+    def propose_batch(self, pre, U: np.ndarray):
+        """Vectorized :meth:`propose` over uniform rows (see batch_eval).
+
+        ``U`` has :attr:`batch_words` columns per candidate; returns the
+        ``(fields, valid)`` descriptor pair.  Field layout: ``f0`` the
+        customer, ``f1`` the destination route (:data:`NEW_ROUTE` for a
+        fresh vehicle), ``f2`` the insertion position, ``f3`` the source
+        route.
+        """
+        n_routes = pre.n_routes
+        new_ok = self.allow_new_route and pre.new_route_ok
+        n_options = n_routes - 1 + (1 if new_ok else 0)
+        customer = 1 + (U[:, 0] * pre.n_customers).astype(np.int64)
+        np.minimum(customer, pre.n_customers, out=customer)
+        pick = (U[:, 1] * n_options).astype(np.int64)
+        np.minimum(pick, n_options - 1, out=pick)
+        new_mask = pick >= n_routes - 1
+        src = pre.route_of[customer]
+        dst = np.where(pick < src, pick, pick + 1)
+        dst[new_mask] = 0  # clamp for the gathers below; unused when new
+        dst_len = pre.L[dst]
+        dst_pos = (U[:, 2] * (dst_len + 1)).astype(np.int64)
+        np.minimum(dst_pos, dst_len, out=dst_pos)
+        i = pre.Rz[dst, dst_pos]
+        j = pre.Rz[dst, dst_pos + 1]
+        depart = pre.depart
+        due = pre.due
+        travel = pre.travel_flat
+        ns = pre.n_sites
+        edges_ok = (depart[i] + travel[i * ns + customer] <= due[customer]) & (
+            depart[customer] + travel[customer * ns + j] <= due[j]
+        )
+        load_ok = pre.loads[dst] + pre.demand[customer] <= pre.capacity
+        valid = ~new_mask & load_ok & edges_ok
+        if new_ok:
+            # Same screens as the scalar branch: no single-customer
+            # sources (a pure vehicle relabel) and a depot-feasible
+            # round trip for the relocated customer.
+            valid |= new_mask & (pre.L[src] > 1) & pre.depot_ok[customer]
+        fields = np.empty((len(customer), 4), dtype=np.int64)
+        fields[:, 0] = customer
+        fields[:, 1] = np.where(new_mask, NEW_ROUTE, dst)
+        fields[:, 2] = np.where(new_mask, 0, dst_pos)
+        fields[:, 3] = src
+        return fields, valid

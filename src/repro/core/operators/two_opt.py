@@ -60,6 +60,9 @@ class TwoOpt(Operator):
 
     name = "2opt"
 
+    #: uniforms consumed per batched candidate (route, start, end).
+    batch_words = 3
+
     #: per-solution memo of eligible route indices (the sampler proposes
     #: dozens of moves against the same current solution).
     _memo_solution: Solution | None = None
@@ -80,13 +83,13 @@ class TwoOpt(Operator):
         due = instance._due_l
         travel = instance._travel_rows
         n_eligible = len(eligible)
-        integers = rng.integers
-        for _ in range(self.max_attempts):
-            route_index = eligible[integers(n_eligible)]
+        u = rng.random(self.batch_words * self.max_attempts).tolist()
+        for k in range(0, len(u), 3):
+            route_index = eligible[int(u[k] * n_eligible)]
             route = routes[route_index]
             n = len(route)
-            start = integers(0, n - 1)
-            end = integers(start + 1, n)
+            start = int(u[k + 1] * (n - 1))
+            end = start + 1 + int(u[k + 2] * (n - 1 - start))
             # Created edges: predecessor -> old segment end, and old
             # segment start -> successor (depot when at the boundary).
             pred = route[start - 1] if start > 0 else 0
@@ -106,3 +109,36 @@ class TwoOpt(Operator):
                     segment_last=seg_last,
                 )
         return None
+
+    def batch_ready(self, pre) -> bool:
+        return len(pre.eligible2) > 0
+
+    def propose_batch(self, pre, U: np.ndarray):
+        """Vectorized :meth:`propose`; fields: route, start, end."""
+        eligible = pre.eligible2
+        n_eligible = len(eligible)
+        e = (U[:, 0] * n_eligible).astype(np.int64)
+        np.minimum(e, n_eligible - 1, out=e)
+        route = eligible[e]
+        n = pre.L[route]
+        start = (U[:, 1] * (n - 1)).astype(np.int64)
+        np.minimum(start, n - 2, out=start)
+        end = start + 1 + (U[:, 2] * (n - 1 - start)).astype(np.int64)
+        np.minimum(end, n - 1, out=end)
+        Rz = pre.Rz
+        pred = Rz[route, start]
+        succ = Rz[route, end + 2]
+        seg_first = Rz[route, start + 1]
+        seg_last = Rz[route, end + 1]
+        depart = pre.depart
+        due = pre.due
+        travel = pre.travel_flat
+        ns = pre.n_sites
+        valid = (depart[pred] + travel[pred * ns + seg_last] <= due[seg_last]) & (
+            depart[seg_first] + travel[seg_first * ns + succ] <= due[succ]
+        )
+        fields = np.zeros((len(route), 4), dtype=np.int64)
+        fields[:, 0] = route
+        fields[:, 1] = start
+        fields[:, 2] = end
+        return fields, valid

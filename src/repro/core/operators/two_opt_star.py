@@ -59,6 +59,9 @@ class TwoOptStar(Operator):
 
     name = "2opt*"
 
+    #: uniforms consumed per batched candidate (two routes, two cuts).
+    batch_words = 4
+
     #: per-solution memo of per-route prefix loads: ``prefix[r][k]`` is
     #: the demand of the first ``k`` customers of route ``r``, built
     #: once per current solution instead of summed per attempt.
@@ -79,7 +82,6 @@ class TwoOptStar(Operator):
         travel = instance._travel_rows
         routes = solution.routes
         loads = solution.route_loads()
-        integers = rng.integers
         if self._memo_solution is not solution:
             self._memo_solution = solution
             prefix_table = []
@@ -94,17 +96,18 @@ class TwoOptStar(Operator):
             self._memo_prefix = prefix_table
         else:
             prefix_table = self._memo_prefix
-        for _ in range(self.max_attempts):
-            route_a = integers(n_routes)
-            route_b = integers(n_routes)
+        u = rng.random(self.batch_words * self.max_attempts).tolist()
+        for k in range(0, len(u), 4):
+            route_a = int(u[k] * n_routes)
+            route_b = int(u[k + 1] * n_routes)
             if route_a == route_b:
                 continue
             ra = routes[route_a]
             rb = routes[route_b]
             na = len(ra)
             nb = len(rb)
-            cut_a = integers(0, na + 1)
-            cut_b = integers(0, nb + 1)
+            cut_a = int(u[k + 2] * (na + 1))
+            cut_b = int(u[k + 3] * (nb + 1))
             # Degenerate cuts: (0, 0) and (len, len) merely relabel the
             # vehicles; skip them.
             if cut_a == 0 and cut_b == 0:
@@ -142,3 +145,55 @@ class TwoOptStar(Operator):
                     boundary=boundary,
                 )
         return None
+
+    def batch_ready(self, pre) -> bool:
+        return pre.n_routes >= 2
+
+    def propose_batch(self, pre, U: np.ndarray):
+        """Vectorized :meth:`propose`; fields: route_a, cut_a, route_b, cut_b."""
+        n_routes = pre.n_routes
+        route_a = (U[:, 0] * n_routes).astype(np.int64)
+        np.minimum(route_a, n_routes - 1, out=route_a)
+        route_b = (U[:, 1] * n_routes).astype(np.int64)
+        np.minimum(route_b, n_routes - 1, out=route_b)
+        L = pre.L
+        na = L[route_a]
+        nb = L[route_b]
+        cut_a = (U[:, 2] * (na + 1)).astype(np.int64)
+        np.minimum(cut_a, na, out=cut_a)
+        cut_b = (U[:, 3] * (nb + 1)).astype(np.int64)
+        np.minimum(cut_b, nb, out=cut_b)
+        # Degenerate cuts merely relabel the vehicles.
+        structural = (
+            (route_a != route_b)
+            & ~((cut_a == 0) & (cut_b == 0))
+            & ~((cut_a == na) & (cut_b == nb))
+        )
+        prefload = pre.prefload
+        head_load_a = prefload[route_a, cut_a]
+        head_load_b = prefload[route_b, cut_b]
+        load_a = pre.loads[route_a]
+        load_b = pre.loads[route_b]
+        capacity = pre.capacity
+        load_ok = (head_load_a + (load_b - head_load_b) <= capacity) & (
+            head_load_b + (load_a - head_load_a) <= capacity
+        )
+        Rz = pre.Rz
+        tail_a = Rz[route_a, cut_a]
+        head_b = Rz[route_b, cut_b + 1]
+        tail_b = Rz[route_b, cut_b]
+        head_a = Rz[route_a, cut_a + 1]
+        depart = pre.depart
+        due = pre.due
+        travel = pre.travel_flat
+        ns = pre.n_sites
+        edges_ok = (depart[tail_a] + travel[tail_a * ns + head_b] <= due[head_b]) & (
+            depart[tail_b] + travel[tail_b * ns + head_a] <= due[head_a]
+        )
+        valid = structural & load_ok & edges_ok
+        fields = np.empty((len(route_a), 4), dtype=np.int64)
+        fields[:, 0] = route_a
+        fields[:, 1] = cut_a
+        fields[:, 2] = route_b
+        fields[:, 3] = cut_b
+        return fields, valid

@@ -59,6 +59,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.core.batch_eval import batch_supported, sample_batch, vector_eval_enabled
 from repro.core.evaluation import Evaluator
 from repro.core.operators.registry import OperatorRegistry, default_registry
 from repro.core.solution import Solution
@@ -279,7 +280,6 @@ def execute_task(
     out = []
     gen_s = eval_s = 0.0
     clock = time.perf_counter
-    fast = FastRng(rng)
 
     def flush(final: bool) -> PoolBatch:
         neighbors = WireBatch.encode(out) if codec else tuple(out)
@@ -300,6 +300,38 @@ def execute_task(
             phase=(gen_s, eval_s) if final and timed else None,
         )
 
+    if batch_supported(registry):
+        # Batched path: one kernel call samples and scores the whole
+        # task; the entries then stream out in ``batch_size`` chunks
+        # through the same flush protocol.  Moves are materialized
+        # eagerly — every entry ships its edits/routes to the master.
+        result = sample_batch(
+            solution,
+            task.count,
+            registry,
+            rng,
+            evaluator,
+            vector=vector_eval_enabled(),
+            eager_moves=True,
+            timed=timed,
+        )
+        gen_s = result.gen_seconds
+        eval_s = result.eval_seconds
+        for obj, move, _ in result.entries:
+            objective = (obj.distance, obj.vehicles, obj.tardiness)
+            if codec:
+                replacements, added = move.route_edits(solution)
+                out.append((replacements, added, objective, move.attribute))
+            else:
+                child = move.apply(solution)  # routes must ship to the master
+                out.append((child.routes, objective, move.attribute))
+            if len(out) >= task.batch_size:
+                yield flush(final=False)
+                out = []
+        yield flush(final=True)
+        return
+
+    fast = FastRng(rng)
     try:
         for _ in range(task.count):
             if timed:

@@ -336,9 +336,18 @@ class FastRng:
                 leftover = m & _M64
         return low + (m >> 64)
 
-    def random(self) -> float:
-        """Scalar ``Generator.random()`` — a double in [0, 1)."""
-        return (self._u64() >> 11) * _INV_2_53
+    def random(self, size: int | None = None) -> float | np.ndarray:
+        """``Generator.random()`` — a double in [0, 1), scalar or 1-d block.
+
+        numpy fills an array by repeating the scalar next-double recipe,
+        so the looped block below consumes the identical words and
+        returns the identical doubles the wrapped generator would have
+        produced for ``random(size)``.
+        """
+        if size is None:
+            return (self._u64() >> 11) * _INV_2_53
+        u64 = self._u64
+        return np.array([(u64() >> 11) * _INV_2_53 for _ in range(size)])
 
     def detach(self) -> None:
         """Return unconsumed words and the half-word carry to the generator.
@@ -391,8 +400,10 @@ class _DelegatingRng(FastRng):
     def integers(self, low: int, high: int | None = None) -> int:
         return int(self._gen.integers(low, high))
 
-    def random(self) -> float:
-        return float(self._gen.random())
+    def random(self, size: int | None = None) -> float | np.ndarray:
+        if size is None:
+            return float(self._gen.random())
+        return self._gen.random(size)
 
     def detach(self) -> None:
         return None
@@ -429,6 +440,10 @@ def _fast_path_ok() -> bool:
             if fast.random() != float(ref.random()):
                 ok = False
                 break
+        # The block form must replay numpy's array fill exactly, half-word
+        # carry included (the preceding interleave leaves one pending).
+        if ok:
+            ok = bool(np.array_equal(fast.random(7), ref.random(7)))
         if ok:
             fast.detach()
             ok = (

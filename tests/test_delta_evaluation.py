@@ -89,47 +89,71 @@ def test_delta_matches_oracle_over_move_chains(seed):
 
 
 # ----------------------------------------------------------------------
-# Determinism: the delta sampler replays an eager reference exactly
+# Determinism: the kernel sampler replays the scalar oracle exactly
 # ----------------------------------------------------------------------
 
 
-def eager_reference_sample(solution, size, registry, rng, evaluator):
-    """The pre-delta sampling semantics: materialize and score each child.
+def test_sampler_bit_identical_to_scalar_oracle(small_instance, small_solution):
+    """Kernel-evaluated neighborhoods == scalar-oracle neighborhoods.
 
-    Draws through the plain numpy generator (no FastRng) and evaluates
-    by building every child solution — the behavior the delta engine
-    must replicate bit-for-bit.
+    Same seed, both knob settings: the sampled moves, the objective
+    floats (bit-for-bit), the materialized children, and the final RNG
+    stream position must all agree — the kernel only changes who
+    computes the numbers.
     """
-    out = []
-    for _ in range(size):
-        move = registry.draw_move(solution, rng)
-        if move is None:
-            break
-        evaluator.count += 1
-        out.append((move, move.apply(solution).objectives))
-    return out
+    from repro.core.batch_eval import sample_batch
 
-
-def test_sampler_bit_identical_to_eager_reference(small_instance, small_solution):
     registry = default_registry()
-    evaluator = Evaluator(small_instance)
-    fast_rng = np.random.default_rng(31337)
-    eager_rng = np.random.default_rng(31337)
-    neighbors = sample_neighborhood(
-        small_solution, 40, registry, fast_rng, evaluator
+    vec_rng = np.random.default_rng(31337)
+    ora_rng = np.random.default_rng(31337)
+    vec = sample_batch(
+        small_solution, 40, registry, vec_rng, Evaluator(small_instance), vector=True
     )
-    reference = eager_reference_sample(
-        small_solution, 40, default_registry(), eager_rng, Evaluator(small_instance)
+    oracle = sample_batch(
+        small_solution,
+        40,
+        default_registry(),
+        ora_rng,
+        Evaluator(small_instance),
+        vector=False,
     )
-    assert len(neighbors) == len(reference)
-    for neighbor, (move, objectives) in zip(neighbors, reference):
-        assert neighbor.move == move
-        assert neighbor.objectives.distance == objectives.distance
-        assert neighbor.objectives.vehicles == objectives.vehicles
-        assert neighbor.objectives.tardiness == objectives.tardiness
-    # The facade must hand the stream back exactly where the eager
-    # path's generator ended up.
-    assert float(fast_rng.random()) == float(eager_rng.random())
+    assert len(vec.entries) == len(oracle.entries) == 40
+    for (obj_v, move_v, maker), (obj_o, move_o, _) in zip(vec.entries, oracle.entries):
+        move_v = move_v if move_v is not None else maker()
+        assert move_v == move_o
+        assert obj_v.distance == obj_o.distance
+        assert obj_v.vehicles == obj_o.vehicles
+        assert obj_v.tardiness == obj_o.tardiness
+        child = move_v.apply(small_solution)
+        assert obj_v.distance == child.objectives.distance
+        assert obj_v.tardiness == child.objectives.tardiness
+        assert obj_v.vehicles == child.objectives.vehicles
+    # Both paths must hand the stream back at the same position.
+    assert float(vec_rng.random()) == float(ora_rng.random())
+
+
+def test_sample_neighborhood_respects_vector_knob(
+    small_instance, small_solution, monkeypatch
+):
+    """The public sampler is knob-invariant: same neighbors either way."""
+
+    def run(knob):
+        monkeypatch.setenv("REPRO_VECTOR_EVAL", knob)
+        return sample_neighborhood(
+            small_solution,
+            30,
+            default_registry(),
+            np.random.default_rng(555),
+            Evaluator(small_instance),
+        )
+
+    on, off = run("1"), run("0")
+    assert len(on) == len(off) == 30
+    for a, b in zip(on, off):
+        assert a.move == b.move
+        assert a.objectives.distance == b.objectives.distance
+        assert a.objectives.vehicles == b.objectives.vehicles
+        assert a.objectives.tardiness == b.objectives.tardiness
 
 
 def test_fixed_seed_trace_is_reproducible(small_instance):
