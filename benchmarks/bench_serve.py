@@ -1,0 +1,82 @@
+"""Solve-service throughput benchmark (``BENCH_serve.json``).
+
+Not a paper table — this measures the multi-tenant service layer
+itself: how many concurrent solve jobs one shared worker pool
+sustains, end-to-end job latency under open-loop load, and the
+conservation audit (zero lost, zero duplicated, zero short-of-budget
+jobs).  The same workload is runnable standalone via
+``python -m repro.serve --smoke``; this pytest wrapper regenerates the
+repo-root ``BENCH_serve.json`` artifact from a test run.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.parallel.pool import PoolParams
+from repro.serve import (
+    ServeParams,
+    SolveScheduler,
+    TrafficConfig,
+    run_traffic,
+    write_report,
+)
+from repro.vrptw.generator import generate_instance
+
+from conftest import REPO_ROOT
+
+SERVE_JSON = REPO_ROOT / "BENCH_serve.json"
+
+FAST = PoolParams(
+    heartbeat_interval=0.05,
+    heartbeat_timeout=10.0,
+    task_deadline=10.0,
+    backoff_base=0.01,
+    poll_interval=0.02,
+)
+
+CONFIG = TrafficConfig(
+    n_jobs=60,
+    rate=2000.0,
+    seed=1,
+    budget=48,
+    neighborhood=8,
+    tenants=(("acme", 3.0), ("globex", 1.0)),
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance("R1", 20, seed=55)
+
+
+def test_serve_throughput(instance):
+    """Drive the open-loop workload once and record the service numbers."""
+
+    async def scenario():
+        async with SolveScheduler(
+            instance,
+            n_workers=2,
+            pool_params=FAST,
+            params=ServeParams(max_active=64, max_queued=256),
+            tenant_weights=dict(CONFIG.tenants),
+        ) as scheduler:
+            report = await run_traffic(scheduler, CONFIG)
+            pool_report = scheduler.report().get("pool", {})
+        return report, pool_report
+
+    report, pool_report = asyncio.run(scenario())
+    assert report.conserved(), report.to_dict()
+    assert report.peak_active >= 50
+    write_report(
+        report,
+        SERVE_JSON,
+        config=CONFIG,
+        extra={"n_workers": 2, "pool": pool_report},
+    )
+    print(
+        f"\nserve: {report.completed} jobs in {report.makespan_s:.2f}s "
+        f"= {report.jobs_per_sec:.1f} jobs/s, "
+        f"p99 latency {report.latency_s['p99'] * 1e3:.0f}ms, "
+        f"peak_active {report.peak_active} -> {SERVE_JSON.name}"
+    )

@@ -33,15 +33,18 @@ from repro.core import (
     i1_construct,
 )
 from repro.errors import (
+    AdmissionError,
     BenchmarkError,
     CheckpointError,
     CrashInjected,
     InstanceError,
+    JobCancelled,
     OperatorError,
     ParseError,
     ReproError,
     SearchError,
     SearchInterrupted,
+    ServeError,
     SimulationError,
     SolutionError,
 )
@@ -77,6 +80,7 @@ from repro.persistence import (
     read_checkpoint,
     write_checkpoint,
 )
+from repro.serve import JobSpec, ServeParams, SolveScheduler
 from repro.tabu import (
     TSMOEngine,
     TSMOParams,
@@ -94,6 +98,7 @@ from repro.vrptw import (
 
 __all__ = [
     "AdaptiveMemoryParams",
+    "AdmissionError",
     "AsyncParams",
     "BenchmarkError",
     "CheckpointError",
@@ -109,6 +114,8 @@ __all__ = [
     "Instance",
     "InstanceError",
     "InterruptFlag",
+    "JobCancelled",
+    "JobSpec",
     "MetricsRegistry",
     "NSGA2Params",
     "NULL_OBS",
@@ -122,10 +129,13 @@ __all__ = [
     "RunManifest",
     "SearchError",
     "SearchInterrupted",
+    "ServeError",
+    "ServeParams",
     "SimCluster",
     "SimulationError",
     "Solution",
     "SolutionError",
+    "SolveScheduler",
     "TSMOEngine",
     "TSMOParams",
     "TSMOResult",

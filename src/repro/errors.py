@@ -74,6 +74,37 @@ class WorkerPoolError(SearchError):
     """
 
 
+class ServeError(SearchError):
+    """The multi-tenant solve service was misused or misconfigured.
+
+    Raised for invalid scheduler/job parameters, for operations against
+    a scheduler that is not running, and as the base class of the two
+    lifecycle signals below.  Deriving from :class:`SearchError` keeps
+    the service inside the search-layer catch net: a caller that
+    already handles driver failures handles service failures too.
+    """
+
+
+class AdmissionError(ServeError):
+    """The scheduler refused a job at the admission boundary.
+
+    This is *rejection*, not loss: the submit call fails loudly before
+    the job enters any queue, so the client knows immediately that the
+    work was not accepted and can back off or resubmit.  Raised when
+    the bounded wait queue is full (overload) or when the scheduler is
+    shutting down.
+    """
+
+
+class JobCancelled(ServeError):
+    """A solve job was cancelled before reaching its budget.
+
+    Raised by ``Job.wait()`` for jobs cancelled mid-run; the job's
+    partial progress (iterations, evaluations served) stays readable on
+    the job handle.
+    """
+
+
 class BenchmarkError(ReproError):
     """An experiment harness was configured inconsistently."""
 

@@ -67,6 +67,12 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "comm_send": ("peer", "kind"),
     "comm_recv": ("peer", "kind"),
     "checkpoint": ("kind", "iteration"),
+    # Solve-service job lifecycle: one ``job_state`` per transition
+    # (queued/running/done/cancelled/failed/rejected), ``job_progress``
+    # per completed job iteration.  Each job emits under its own span
+    # (``job-<id>``), so one trace file multiplexes many tenants.
+    "job_state": ("job", "state"),
+    "job_progress": ("job", "iteration", "evaluations"),
     "meta": ("run", "format", "written_at"),
 }
 

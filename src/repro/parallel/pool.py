@@ -581,6 +581,10 @@ class BatchEvent:
     worker: int
     rng_state: dict | None = None
     cache_delta: tuple[int, int] | None = None
+    #: opaque caller label riding from :meth:`WorkerPool.submit` — the
+    #: solve service tags every task with its job id so one event
+    #: stream multiplexes many independent jobs.
+    tag: object | None = None
 
 
 @dataclass(slots=True)
@@ -651,9 +655,11 @@ class _TaskState:
         "attempt_seen",
         "submitted_at",
         "ready_at",
+        "tag",
+        "cancelled",
     )
 
-    def __init__(self, task: PoolTask, now: float) -> None:
+    def __init__(self, task: PoolTask, now: float, tag: object | None = None) -> None:
         self.task = task
         self.attempt = 0
         #: neighbors already handed to the driver (across attempts).
@@ -662,6 +668,12 @@ class _TaskState:
         self.attempt_seen = 0
         self.submitted_at = now
         self.ready_at = now
+        #: opaque caller label (job id in the solve service).
+        self.tag = tag
+        #: a cancelled in-flight task drains silently: its remaining
+        #: batches are discarded instead of delivered, and a worker
+        #: failure no longer retries it.
+        self.cancelled = False
 
 
 class WorkerPool:
@@ -715,6 +727,7 @@ class WorkerPool:
         self._stale_batches = 0
         self._heartbeats = 0
         self._tasks_completed = 0
+        self._cancelled_tasks = 0
         self._max_backlog = 0
         self._latencies: list[float] = []
         self._delta_tasks = 0
@@ -796,6 +809,14 @@ class WorkerPool:
         The shared-memory segment is destroyed *unconditionally*, on
         every exit path — including when workers had to be terminated
         or killed — so no run leaks a segment into ``/dev/shm``.
+
+        After this returns the pool is inert but *inspectable*:
+        :meth:`report` keeps returning the final counters (the solve
+        service reads its post-drain accounting from exactly there),
+        while :meth:`submit`, :meth:`poll` and :meth:`gather` raise a
+        clear :class:`~repro.errors.WorkerPoolError` instead of
+        queueing work onto dead processes — previously a submit+gather
+        after shutdown would feed closed queues and spin forever.
         """
         if self._closed:
             return
@@ -822,9 +843,21 @@ class WorkerPool:
                     if q is not None:
                         q.close()
                         q.cancel_join_thread()
+                # The slot must read as dead from here on: a later poll
+                # (already an error, but belt and braces) must never
+                # dispatch onto the closed queues or "respawn" a worker
+                # of a pool that no longer exists.
+                slot.alive = False
+                slot.busy = None
+                slot.task_q = None
+                slot.result_q = None
         finally:
             self._destroy_shared()
         self._maybe_dump_report()
+
+    #: the lifecycle verb the solve service uses; identical to
+    #: :meth:`close` (kept as the primary name for context managers).
+    shutdown = close
 
     def _destroy_shared(self) -> None:
         if self._shared is not None:
@@ -861,10 +894,20 @@ class WorkerPool:
         rng_state: dict | None = None,
         iteration: int = 0,
         batch_size: int | None = None,
+        tag: object | None = None,
     ) -> int:
-        """Queue one neighborhood chunk; returns its task id."""
+        """Queue one neighborhood chunk; returns its task id.
+
+        ``tag`` is an opaque caller label echoed on every
+        :class:`BatchEvent` of the task — the multiplexing key of the
+        solve service (one tag per job) and the handle
+        :meth:`cancel_tag` operates on.
+        """
         if self._closed:
-            raise WorkerPoolError("pool is closed")
+            raise WorkerPoolError(
+                "cannot submit to a shut-down pool: its workers are "
+                "stopped and their queues closed"
+            )
         if count < 1:
             raise WorkerPoolError("task count must be >= 1")
         if (seed is None) == (rng_state is None):
@@ -886,10 +929,52 @@ class WorkerPool:
             seed=seed,
             rng_state=rng_state,
         )
-        self._tasks[task_id] = _TaskState(task, time.monotonic())
+        self._tasks[task_id] = _TaskState(task, time.monotonic(), tag=tag)
         self._pending.append(task_id)
         self._max_backlog = max(self._max_backlog, len(self._pending))
         return task_id
+
+    def cancel_tag(self, tag: object) -> list[int]:
+        """Cancel every live task carrying ``tag``; returns their ids.
+
+        Graceful per-job drain, not a kill: tasks still waiting for
+        dispatch are removed outright, while tasks already running on a
+        worker are left to finish — killing the process would take the
+        *other* jobs' cached state with it — but every one of their
+        remaining batches is discarded instead of delivered, and a
+        worker failure no longer retries them.  After this returns, no
+        :class:`BatchEvent` with this tag will ever be emitted again.
+        """
+        if self._closed:
+            raise WorkerPoolError("cannot cancel tasks on a shut-down pool")
+        dropped = [
+            tid
+            for tid in self._pending
+            if self._tasks[tid].tag == tag and not self._tasks[tid].cancelled
+        ]
+        for tid in dropped:
+            del self._tasks[tid]
+        if dropped:
+            self._pending = deque(
+                tid for tid in self._pending if tid in self._tasks
+            )
+        draining = [
+            tid
+            for tid, state in self._tasks.items()
+            if state.tag == tag and not state.cancelled
+        ]
+        for tid in draining:
+            self._tasks[tid].cancelled = True
+        self._cancelled_tasks += len(dropped) + len(draining)
+        return dropped + draining
+
+    def backlog(self) -> int:
+        """Tasks accepted but not yet completed (pending + in flight).
+
+        The solve service throttles its dispatch on this number so one
+        greedy job cannot bury the pool's internal queue.
+        """
+        return len(self._tasks)
 
     def plan_counts(self, total: int) -> list[int]:
         """Split a ``total``-neighbor fan-out into per-task counts.
@@ -921,6 +1006,11 @@ class WorkerPool:
         Returns possibly-empty; never blocks beyond ``timeout`` plus a
         bounded policing pass.
         """
+        if self._closed:
+            raise WorkerPoolError(
+                "cannot poll a shut-down pool: no workers are left to "
+                "produce results (submit/gather would hang forever)"
+            )
         if timeout is None:
             timeout = self.params.poll_interval
         events: list[BatchEvent] = []
@@ -1082,6 +1172,14 @@ class WorkerPool:
         if slot is not None:
             self._mark_heard(slot)
             slot.batches += 1
+        # A cancelled task drains silently: the worker is left to finish
+        # (its process carries other jobs' warm caches), but nothing it
+        # produces is delivered — the final batch only runs the
+        # completion bookkeeping that frees the slot.
+        if state.cancelled:
+            if msg.final:
+                self._complete_task(msg, slot)
+            return
         # Worker trace events ride on current-attempt batches only (a
         # retried attempt re-emits them), so ingesting here — after the
         # stale check — keeps the master's trace free of duplicates.
@@ -1117,22 +1215,25 @@ class WorkerPool:
                     worker=msg.worker,
                     rng_state=msg.rng_state,
                     cache_delta=msg.cache_delta,
+                    tag=state.tag,
                 )
             )
 
     def _complete_task(self, msg: PoolBatch, slot: _Slot | None) -> None:
         state = self._tasks.pop(msg.task_id)
-        self._tasks_completed += 1
-        latency = time.monotonic() - state.submitted_at
-        self._latencies.append(latency)
-        if self.sizer is not None:
-            self.sizer.observe_task(state.task.count, latency, msg.phase)
-        # Worker-side phase timings fold into the master's profile under
-        # the same phase names the sequential driver uses, so one table
-        # shows where worker time went regardless of driver.
-        if msg.phase is not None and getattr(self.obs, "enabled", False):
-            self.obs.profiler.add("generate", msg.phase[0])
-            self.obs.profiler.add("evaluate", msg.phase[1])
+        if not state.cancelled:
+            self._tasks_completed += 1
+            latency = time.monotonic() - state.submitted_at
+            self._latencies.append(latency)
+            if self.sizer is not None:
+                self.sizer.observe_task(state.task.count, latency, msg.phase)
+            # Worker-side phase timings fold into the master's profile
+            # under the same phase names the sequential driver uses, so
+            # one table shows where worker time went regardless of
+            # driver.
+            if msg.phase is not None and getattr(self.obs, "enabled", False):
+                self.obs.profiler.add("generate", msg.phase[0])
+                self.obs.profiler.add("evaluate", msg.phase[1])
         if slot is not None:
             slot.tasks_done += 1
             # This incarnation now caches the task's routes — the base
@@ -1227,6 +1328,11 @@ class WorkerPool:
         state = self._tasks.get(task_id)
         if state is None:  # completed just before the failure was seen
             return
+        if state.cancelled:
+            # The worker holding this cancelled task died before its
+            # drain finished; nobody wants the output, so drop it.
+            del self._tasks[task_id]
+            return
         state.attempt += 1
         state.attempt_seen = 0
         if state.attempt > self.params.max_retries:
@@ -1287,6 +1393,7 @@ class WorkerPool:
             "stale_batches": self._stale_batches,
             "heartbeats": self._heartbeats,
             "tasks_completed": self._tasks_completed,
+            "cancelled_tasks": self._cancelled_tasks,
             "max_backlog": self._max_backlog,
             "latency": {
                 "p50": quantile(0.50),

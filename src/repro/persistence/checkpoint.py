@@ -362,6 +362,37 @@ class CheckpointPlan:
             interrupt=self.interrupt,
         )
 
+    def policy_for_job(
+        self,
+        job_id: str,
+        *,
+        every: int | None = None,
+        resume: bool | None = None,
+    ) -> CheckpointPolicy:
+        """The snapshot policy of one long-running service job.
+
+        The solve service keys snapshots by *job id* rather than table
+        coordinates — one ``serve_<job>.ckpt`` per job, atomically
+        replaced at every periodic snapshot, discarded on completion.
+        ``every``/``resume`` override the plan defaults per job (a
+        short job may not checkpoint at all while a long one in the
+        same scheduler snapshots frequently).  The id is sanitized into
+        a filename, so callers may use arbitrary request identifiers.
+        """
+        if not job_id:
+            raise CheckpointError("job_id must be a non-empty string")
+        safe = "".join(
+            c if c.isalnum() or c in "._-" else "_" for c in str(job_id)
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        return CheckpointPolicy(
+            self.directory / f"serve_{safe}.ckpt",
+            every=self.every if every is None else every,
+            resume=self.resume if resume is None else resume,
+            crash_after=self.crash_after,
+            interrupt=self.interrupt,
+        )
+
     def manifest(self, table: str):
         """The completed-cell journal of one table."""
         from repro.persistence.manifest import RunManifest

@@ -1,0 +1,32 @@
+"""Multi-tenant solve service: many concurrent TSMO jobs, one pool.
+
+The service turns the repository's single-run drivers into a
+long-lived *solver daemon* for one problem instance:
+:class:`SolveScheduler` owns a shared
+:class:`~repro.parallel.pool.WorkerPool` and time-slices any number of
+concurrent :class:`JobSpec` requests onto it at iteration granularity,
+with bounded admission (overload is rejected, never dropped), weighted
+deficit-round-robin fairness between tenants, per-job checkpointing
+through the standard snapshot format, and job-scoped observability.
+:mod:`repro.serve.traffic` drives it with a reproducible open-loop
+workload; ``python -m repro.serve`` runs that as the
+``BENCH_serve.json`` benchmark and smoke test.
+"""
+
+from repro.serve.job import DRIVERS, Job, JobSpec, JobState
+from repro.serve.scheduler import DeficitRoundRobin, ServeParams, SolveScheduler
+from repro.serve.traffic import TrafficConfig, TrafficReport, run_traffic, write_report
+
+__all__ = [
+    "DRIVERS",
+    "DeficitRoundRobin",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "ServeParams",
+    "SolveScheduler",
+    "TrafficConfig",
+    "TrafficReport",
+    "run_traffic",
+    "write_report",
+]

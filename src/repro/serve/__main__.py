@@ -1,0 +1,144 @@
+"""``python -m repro.serve`` — the traffic-generator benchmark.
+
+Runs a reproducible open-loop workload against a fresh scheduler and
+prints (and optionally writes) the service-level numbers; with
+``--smoke`` it exits non-zero unless the exactly-once audit holds —
+this is the command the CI ``serve`` job runs.
+
+Example::
+
+    PYTHONPATH=src python -m repro.serve --jobs 60 --rate 500 \\
+        --workers 2 --budget 96 --neighborhood 16 \\
+        --tenants acme:3,globex:1 --out BENCH_serve.json --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.scheduler import ServeParams, SolveScheduler
+from repro.serve.traffic import TrafficConfig, run_traffic, write_report
+from repro.vrptw.generator import generate_instance
+
+
+def _parse_tenants(text: str) -> tuple:
+    tenants = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition(":")
+        tenants.append((name, float(weight) if weight else 1.0))
+    return tuple(tenants) or (("default", 1.0),)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument("--jobs", type=int, default=50, help="jobs to submit")
+    parser.add_argument(
+        "--rate", type=float, default=500.0, help="mean arrivals/second (<=0: burst)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="traffic + job seed base")
+    parser.add_argument("--workers", type=int, default=2, help="pool worker processes")
+    parser.add_argument("--budget", type=int, default=96, help="evaluations per job")
+    parser.add_argument(
+        "--neighborhood", type=int, default=16, help="neighbors per iteration"
+    )
+    parser.add_argument(
+        "--driver", choices=("lockstep", "split"), default="lockstep"
+    )
+    parser.add_argument(
+        "--n-tasks", type=int, default=1, help="tasks/iteration (split driver)"
+    )
+    parser.add_argument(
+        "--tenants",
+        type=_parse_tenants,
+        default=(("acme", 1.0), ("globex", 1.0)),
+        help="name:weight,... (default acme:1,globex:1)",
+    )
+    parser.add_argument("--max-active", type=int, default=64)
+    parser.add_argument("--max-queued", type=int, default=256)
+    parser.add_argument(
+        "--cancel-every", type=int, default=0, help="cancel every k-th job (0: never)"
+    )
+    parser.add_argument(
+        "--instance-class", default="R1", help="C1/C2/R1/R2/RC1/RC2"
+    )
+    parser.add_argument("--instance-size", type=int, default=20)
+    parser.add_argument("--instance-seed", type=int, default=55)
+    parser.add_argument("--out", default=None, help="write BENCH_serve.json here")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="exit non-zero unless zero jobs were lost or duplicated",
+    )
+    return parser
+
+
+async def _run(args) -> int:
+    instance = generate_instance(
+        args.instance_class, args.instance_size, seed=args.instance_seed
+    )
+    config = TrafficConfig(
+        n_jobs=args.jobs,
+        rate=args.rate,
+        seed=args.seed,
+        budget=args.budget,
+        neighborhood=args.neighborhood,
+        tenants=args.tenants,
+        driver=args.driver,
+        n_tasks=args.n_tasks,
+        cancel_every=args.cancel_every,
+    )
+    params = ServeParams(max_active=args.max_active, max_queued=args.max_queued)
+    async with SolveScheduler(
+        instance,
+        n_workers=args.workers,
+        params=params,
+        tenant_weights=dict(args.tenants),
+    ) as scheduler:
+        report = await run_traffic(scheduler, config)
+        pool_report = scheduler.report().get("pool", {})
+    print(
+        f"serve: {report.completed}/{report.accepted} jobs completed "
+        f"({report.rejected} rejected, {report.cancelled} cancelled, "
+        f"{report.failed} failed) in {report.makespan_s:.2f}s "
+        f"= {report.jobs_per_sec:.1f} jobs/s"
+    )
+    print(
+        f"serve: latency p50={report.latency_s['p50'] * 1e3:.0f}ms "
+        f"p99={report.latency_s['p99'] * 1e3:.0f}ms, "
+        f"peak_active={report.peak_active}, "
+        f"pool tasks={pool_report.get('tasks_completed', 0)} "
+        f"retries={pool_report.get('retries', 0)}"
+    )
+    if args.out:
+        write_report(
+            report,
+            args.out,
+            config=config,
+            extra={"n_workers": args.workers, "pool": pool_report},
+        )
+        print(f"serve: wrote {args.out}")
+    if args.smoke and not report.conserved():
+        print(
+            "serve: SMOKE FAILURE — conservation audit failed: "
+            f"lost={report.lost} duplicates={report.duplicates} "
+            f"short_of_budget={report.short_of_budget}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return asyncio.run(_run(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,368 @@
+"""One solve job of the multi-tenant service: spec, handle, runner.
+
+A *job* is one complete TSMO run — its own engine, RNG stream,
+evaluation budget and archive — time-sliced onto the scheduler's
+shared :class:`~repro.parallel.pool.WorkerPool` at iteration
+granularity.  :class:`JobSpec` is the immutable request; :class:`Job`
+is both the client-facing handle (``state``, ``await job.wait()``) and
+the scheduler-facing runner that drives the engine one iteration at a
+time through tagged pool tasks.
+
+Two drivers:
+
+* ``"lockstep"`` — one task per iteration carrying the engine's exact
+  PCG64 bit-state; the worker continues the master's own stream and
+  ships the advanced state back, so the job's trajectory is
+  bit-identical to :func:`~repro.tabu.search.run_sequential_tsmo` with
+  the same seed (the property the kill-and-resume test relies on).
+* ``"split"`` — ``n_tasks`` chunks per iteration, each with an
+  independent per-task seed drawn from a job-owned
+  :class:`~repro.rng.RngFactory` stream; deterministic for a given
+  spec seed regardless of worker failures, but not sequential-identical.
+
+The runner follows the sequential driver's checkpoint protocol
+exactly: the policy block (snapshot-if-due, then maybe-crash) runs at
+every iteration boundary *before* the done-check, so a resumed job
+replays the same number of iterations and snapshots land on the same
+absolute evaluation thresholds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from dataclasses import dataclass, field
+
+from repro.core.evaluation import Evaluator
+from repro.core.stats_cache import CacheStats
+from repro.errors import JobCancelled, ServeError
+from repro.obs import NULL_OBS
+from repro.parallel.mp_backend import _wire_neighbor
+from repro.rng import RngFactory, as_generator, get_generator_state, set_generator_state
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOEngine, TSMOResult
+
+__all__ = ["DRIVERS", "Job", "JobSpec", "JobState"]
+
+#: the job drivers the service knows how to run.
+DRIVERS = ("lockstep", "split")
+
+
+class JobState:
+    """The lifecycle states of a solve job (plain strings, not an enum,
+    so reports and traces serialize without ceremony)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """One immutable solve request.
+
+    ``job_id`` doubles as the pool task tag and (sanitized) checkpoint
+    file name, so it must be unique per scheduler.  ``priority`` orders
+    admission (higher first, FIFO within a level); ``tenant`` is the
+    fairness identity — the deficit round-robin arbitrates *between*
+    tenants, never between one tenant's own jobs.
+    """
+
+    job_id: str
+    tenant: str = "default"
+    priority: int = 0
+    seed: int | None = None
+    params: TSMOParams = field(default_factory=TSMOParams)
+    #: ``"lockstep"`` (sequential-identical, checkpoint-resumable) or
+    #: ``"split"`` (``n_tasks`` independent chunks per iteration).
+    driver: str = "lockstep"
+    n_tasks: int = 1
+    #: evaluations between periodic snapshots (None: scheduler default).
+    checkpoint_every: int | None = None
+    #: continue from this job's snapshot file if one exists.
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ServeError("job_id must be a non-empty string")
+        if self.driver not in DRIVERS:
+            raise ServeError(
+                f"unknown job driver {self.driver!r}; expected one of {DRIVERS}"
+            )
+        if self.n_tasks < 1:
+            raise ServeError("n_tasks must be >= 1")
+        if self.driver == "lockstep" and self.n_tasks != 1:
+            raise ServeError(
+                "lockstep jobs run exactly one task per iteration; "
+                f"n_tasks={self.n_tasks} would break the bit-identity contract"
+            )
+
+
+class Job:
+    """Handle and runner of one submitted job.
+
+    Clients read ``state``/``iterations``/``evaluations`` and ``await
+    job.wait()``; everything prefixed with ``_`` is the scheduler-side
+    runner, only ever touched from the scheduler's event loop (the pump
+    is the single writer, so no locking is needed).
+    """
+
+    def __init__(self, spec: JobSpec, future: asyncio.Future, *, now: float) -> None:
+        self.spec = spec
+        self.state = JobState.QUEUED
+        self.submitted_at = now
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.result: TSMOResult | None = None
+        self.error: BaseException | None = None
+        #: set by :meth:`SolveScheduler.cancel`; the pump applies it.
+        self.cancel_requested = False
+        self._future = future
+        self._obs = NULL_OBS
+        # Runner state, populated by _start().
+        self._engine: TSMOEngine | None = None
+        self._policy = None
+        self._seed_rng = None
+        self._lockstep = spec.driver == "lockstep"
+        self._chunk_sizes: list[int] = []
+        self._task_order: list[int] = []
+        self._buffers: dict[int, list] = {}
+        self._pending_finals: set[int] = set()
+        self._rng_back: dict | None = None
+        self._finished = False
+        self._worker_hits = 0
+        self._worker_misses = 0
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def iterations(self) -> int:
+        return self._engine.iteration if self._engine is not None else 0
+
+    @property
+    def evaluations(self) -> int:
+        return self._engine.evaluator.count if self._engine is not None else 0
+
+    def done(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self._future.done()
+
+    async def wait(self) -> TSMOResult:
+        """Block until the job finishes; returns its result.
+
+        Raises :class:`~repro.errors.JobCancelled` for cancelled jobs
+        and re-raises the failure of failed ones.
+        """
+        return await self._future
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Job({self.job_id!r}, tenant={self.tenant!r}, "
+            f"state={self.state!r}, evaluations={self.evaluations})"
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduler-side runner (single-threaded: only the pump calls these)
+    # ------------------------------------------------------------------
+    def _start(self, instance, policy, obs) -> None:
+        """Build the engine (fresh or from a resume snapshot)."""
+        spec = self.spec
+        self._obs = obs
+        self._policy = policy
+        evaluator = Evaluator(instance, spec.params.max_evaluations)
+        # The engine stays uninstrumented: service-level observability
+        # lives on job-scoped events/metrics, and an instrumented engine
+        # would break bit-identity against the NULL_OBS sequential run.
+        engine = TSMOEngine(
+            instance, spec.params, as_generator(spec.seed), evaluator=evaluator
+        )
+        self._engine = engine
+        if self._lockstep:
+            self._chunk_sizes = [spec.params.neighborhood_size]
+        else:
+            base, extra = divmod(spec.params.neighborhood_size, spec.n_tasks)
+            sizes = [base + (1 if i < extra else 0) for i in range(spec.n_tasks)]
+            self._chunk_sizes = [size for size in sizes if size > 0]
+            self._seed_rng = RngFactory(spec.seed).generator()
+        resumed = (
+            policy.load_resume_state(kind="serve-job") if policy is not None else None
+        )
+        if resumed is not None:
+            engine.restore(resumed["engine"])
+            if self._seed_rng is not None and resumed.get("seed_rng") is not None:
+                set_generator_state(self._seed_rng, resumed["seed_rng"])
+            policy.note_resumed(engine.evaluator.count)
+        else:
+            engine.initialize()
+        self.state = JobState.RUNNING
+        self.started_at = time.monotonic()
+        self._boundary()
+
+    @property
+    def _ready(self) -> bool:
+        """Dispatchable: running, quiescent, budget left."""
+        return (
+            self.state == JobState.RUNNING
+            and not self._finished
+            and not self._pending_finals
+            and not self.cancel_requested
+        )
+
+    def _iteration_cost(self) -> int:
+        """Fairness charge of one iteration: neighbors evaluated."""
+        return sum(self._chunk_sizes)
+
+    def _dispatch(self, pool) -> int:
+        """Submit one iteration's tasks onto the shared pool."""
+        engine = self._engine
+        iteration = engine.iteration + 1
+        self._task_order = []
+        self._buffers = {}
+        self._rng_back = None
+        if self._lockstep:
+            task_id = pool.submit(
+                engine.current.routes,
+                self._chunk_sizes[0],
+                rng_state=engine.rng.bit_generator.state,
+                iteration=iteration,
+                tag=self.job_id,
+            )
+            self._task_order.append(task_id)
+            self._buffers[task_id] = []
+        else:
+            for size in self._chunk_sizes:
+                task_id = pool.submit(
+                    engine.current.routes,
+                    size,
+                    seed=int(self._seed_rng.integers(2**63)),
+                    iteration=iteration,
+                    tag=self.job_id,
+                )
+                self._task_order.append(task_id)
+                self._buffers[task_id] = []
+        self._pending_finals = set(self._task_order)
+        return len(self._task_order)
+
+    def _on_event(self, event) -> None:
+        """Fold one tagged :class:`BatchEvent` into the current iteration."""
+        buffer = self._buffers.get(event.task_id)
+        if buffer is None:
+            return  # a batch of an already-completed iteration (stale)
+        buffer.extend(event.neighbors)
+        if not event.final:
+            return
+        self._pending_finals.discard(event.task_id)
+        if event.cache_delta is not None:
+            self._worker_hits += event.cache_delta[0]
+            self._worker_misses += event.cache_delta[1]
+        if self._lockstep and event.rng_state is not None:
+            self._rng_back = event.rng_state
+        if not self._pending_finals and self._task_order:
+            self._complete_iteration()
+
+    def _complete_iteration(self) -> None:
+        """All finals in: rebuild neighbors in task order and select."""
+        engine = self._engine
+        iteration = engine.iteration + 1
+        neighbors = []
+        for task_id in self._task_order:  # task order, not arrival order
+            for triple in self._buffers[task_id]:
+                neighbors.append(
+                    _wire_neighbor(
+                        engine.instance, triple, iteration, engine.evaluator
+                    )
+                )
+        if self._lockstep and self._rng_back is not None:
+            engine.rng.bit_generator.state = self._rng_back
+        engine.select_and_update(neighbors)
+        self._task_order = []
+        self._buffers = {}
+        obs = self._obs
+        if obs.enabled and obs.tracer.enabled:
+            obs.tracer.emit(
+                "job_progress",
+                span=f"job-{self.job_id}",
+                job=self.job_id,
+                iteration=engine.iteration,
+                evaluations=engine.evaluator.count,
+            )
+        self._boundary()
+
+    def _boundary(self) -> None:
+        """The sequential loop-top protocol at an iteration boundary:
+        snapshot if due, maybe fire an injected crash, then done-check."""
+        if self._policy is not None:
+            self._policy.tick(
+                self._engine.evaluator.count, self._build_state, kind="serve-job"
+            )
+        if self._engine.done:
+            self._finished = True
+
+    def _build_state(self) -> dict:
+        return {
+            "engine": self._engine.snapshot(),
+            "seed_rng": (
+                get_generator_state(self._seed_rng)
+                if self._seed_rng is not None
+                else None
+            ),
+        }
+
+    def _finalize(self, n_workers: int) -> TSMOResult:
+        """Package the finished engine into a result; drop the snapshot."""
+        engine = self._engine
+        wall = time.monotonic() - self.started_at
+        result = engine.result(
+            f"serve-{self.spec.driver}",
+            wall_time=wall,
+            simulated_time=None,
+            processors=n_workers + 1,
+        )
+        result.cache_stats = CacheStats(
+            hits=self._worker_hits, misses=self._worker_misses
+        )
+        result.extra["job_id"] = self.job_id
+        result.extra["tenant"] = self.tenant
+        if self._policy is not None:
+            self._policy.discard()
+        self.result = result
+        self.state = JobState.DONE
+        self.finished_at = time.monotonic()
+        self._future.set_result(result)
+        return result
+
+    def _fail(self, exc: BaseException) -> None:
+        self.state = JobState.FAILED
+        self.error = exc
+        self.finished_at = time.monotonic()
+        if not self._future.done():
+            self._future.set_exception(exc)
+            # Mark retrieved so an un-awaited handle never warns.
+            self._future.exception()
+
+    def _cancelled(self) -> None:
+        self.state = JobState.CANCELLED
+        exc = JobCancelled(
+            f"job {self.job_id!r} cancelled after {self.iterations} iterations "
+            f"({self.evaluations} evaluations served)"
+        )
+        self.error = exc
+        self.finished_at = time.monotonic()
+        self._pending_finals = set()
+        self._task_order = []
+        self._buffers = {}
+        if not self._future.done():
+            self._future.set_exception(exc)
+            self._future.exception()

@@ -1,0 +1,543 @@
+"""The multi-tenant solve scheduler: one pool, many jobs, fair shares.
+
+:class:`SolveScheduler` multiplexes any number of concurrent solve
+jobs onto **one** shared :class:`~repro.parallel.pool.WorkerPool` for
+a single problem instance (the workers hold the instance and its
+O(N²) travel matrix; shipping a new instance means starting a new
+scheduler).  The design is built around one invariant:
+
+    *only the pump touches the pool.*
+
+The pool is not thread-safe, so every pool call — dispatch, poll,
+cancel — happens inside the single :meth:`_pump` coroutine; the
+blocking ``pool.poll`` runs via ``asyncio.to_thread`` so the event
+loop stays live for submissions.  Client-facing methods
+(:meth:`submit`, :meth:`cancel`) only mutate scheduler state; the pump
+applies their effects between polls.
+
+Scheduling is three layered decisions, made every pump cycle:
+
+* **admission** — :meth:`submit` bounds the wait queue
+  (``max_queued``): overload is *rejected* loudly with
+  :class:`~repro.errors.AdmissionError`, never silently dropped.
+  Admission into the running set (``max_active``) pops the bounded
+  queue highest-priority-first, FIFO within a priority level.
+* **fairness** — a weighted :class:`DeficitRoundRobin` over *tenants*
+  arbitrates which ready job dispatches its next iteration; the charge
+  is the iteration's neighbor count, so tenants receive pool work in
+  proportion to their weights regardless of how many jobs each has
+  in flight.
+* **flow control** — dispatch stops once the pool backlog reaches
+  ``max_inflight`` tasks, so the fairness decision is re-made at every
+  slot rather than buried in a deep FIFO queue.
+
+Exactly-once per job rides on the pool's own machinery: every task is
+tagged with its job id, retries re-seed deterministically, and the
+delivered-prefix offsets guarantee no neighbor is lost or duplicated —
+the service adds nothing but the tag.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import math
+import time
+
+from dataclasses import dataclass
+
+from repro.errors import AdmissionError, ServeError, WorkerPoolError
+from repro.obs import NULL_OBS
+from repro.parallel.pool import WorkerPool
+from repro.persistence import CheckpointPlan
+from repro.serve.job import Job, JobSpec, JobState
+
+__all__ = ["DeficitRoundRobin", "ServeParams", "SolveScheduler"]
+
+#: histogram buckets for job latency / queue-wait observations (seconds).
+_LATENCY_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+@dataclass(frozen=True, slots=True)
+class ServeParams:
+    """Knobs of the solve service.
+
+    ``quantum`` is the deficit round-robin credit (in neighbors) a
+    weight-1.0 tenant accrues per replenishment round; larger values
+    trade fairness granularity for fewer arbitration decisions.
+    ``max_inflight`` bounds the pool backlog the dispatcher maintains
+    (default ``2 * n_workers``: enough to keep every worker busy while
+    the next fairness decision is being made).
+    """
+
+    max_active: int = 64
+    max_queued: int = 128
+    pump_interval: float = 0.02
+    quantum: float = 32.0
+    max_inflight: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ServeError("max_active must be >= 1")
+        if self.max_queued < 0:
+            raise ServeError("max_queued must be >= 0")
+        if self.pump_interval <= 0:
+            raise ServeError("pump_interval must be positive")
+        if self.quantum <= 0:
+            raise ServeError("quantum must be positive")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ServeError("max_inflight must be >= 1")
+
+
+class DeficitRoundRobin:
+    """Weighted deficit round-robin over tenants (pure, deterministic).
+
+    Each tenant holds a *deficit* (spendable credit).  A replenishment
+    round grants every backlogged tenant ``quantum * weight`` credit;
+    serving a tenant charges the served work's cost.  :meth:`pick`
+    collapses the round loop analytically: it computes how many whole
+    rounds each backlogged tenant needs before it can afford its next
+    item, grants that many rounds to all of them at once, and serves
+    the first affordable tenant in rotation order — O(tenants) per
+    decision, bit-for-bit reproducible, and long-run service shares
+    proportional to weights.
+
+    Idle tenants forfeit accumulated credit (the classic DRR rule):
+    fairness divides the pool among tenants that *want* work now, and
+    a tenant returning from idle must not burst ahead on stale credit.
+    """
+
+    def __init__(self, quantum: float = 32.0) -> None:
+        if quantum <= 0:
+            raise ServeError("quantum must be positive")
+        self.quantum = float(quantum)
+        self._deficit: dict[str, float] = {}
+        self._weight: dict[str, float] = {}
+        self._order: list[str] = []
+        self._cursor = 0
+
+    def ensure(self, tenant: str, weight: float = 1.0) -> None:
+        """Register a tenant (idempotent; first registration wins the
+        rotation position, :meth:`set_weight` adjusts later)."""
+        if tenant not in self._weight:
+            self._order.append(tenant)
+            self._deficit[tenant] = 0.0
+            self._weight[tenant] = float(weight)
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        if weight <= 0:
+            raise ServeError("tenant weight must be positive")
+        self.ensure(tenant, weight)
+        self._weight[tenant] = float(weight)
+
+    def pick(self, costs: dict[str, float]) -> str | None:
+        """Choose which backlogged tenant serves next.
+
+        ``costs`` maps each tenant with ready work to the cost of its
+        next item; the winner's deficit is charged.  Returns ``None``
+        only for an empty ``costs``.
+        """
+        if not costs:
+            return None
+        for tenant in costs:
+            self.ensure(tenant)
+        # Idle tenants lose their savings.
+        for tenant in self._order:
+            if tenant not in costs:
+                self._deficit[tenant] = 0.0
+        # Rotation order starting at the cursor.
+        n = len(self._order)
+        rotation = [
+            self._order[(self._cursor + i) % n]
+            for i in range(n)
+            if self._order[(self._cursor + i) % n] in costs
+        ]
+        rounds = {
+            tenant: max(
+                0,
+                math.ceil(
+                    (costs[tenant] - self._deficit[tenant])
+                    / (self.quantum * self._weight[tenant])
+                ),
+            )
+            for tenant in rotation
+        }
+        need = min(rounds.values())
+        winner = next(t for t in rotation if rounds[t] == need)
+        if need:
+            for tenant in rotation:
+                self._deficit[tenant] += need * self.quantum * self._weight[tenant]
+        self._deficit[winner] -= costs[winner]
+        self._cursor = (self._order.index(winner) + 1) % n
+        return winner
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"DeficitRoundRobin(quantum={self.quantum}, tenants={self._order})"
+
+
+class SolveScheduler:
+    """Multi-tenant solve service over one shared worker pool.
+
+    Use as an async context manager (or call :meth:`start` /
+    :meth:`close` explicitly)::
+
+        async with SolveScheduler(instance, n_workers=2) as scheduler:
+            job = scheduler.submit(JobSpec(job_id="a", seed=7))
+            result = await job.wait()
+
+    ``checkpoint_dir`` enables per-job snapshots: each job writes
+    ``serve_<job>.ckpt`` on its ``checkpoint_every`` cadence, and a job
+    resubmitted with ``resume=True`` — to this scheduler or a brand-new
+    one after a crash — continues from its snapshot bit-identically.
+    """
+
+    def __init__(
+        self,
+        instance,
+        *,
+        n_workers: int = 2,
+        params: ServeParams | None = None,
+        pool_params=None,
+        tenant_weights: dict[str, float] | None = None,
+        checkpoint_dir=None,
+        checkpoint_every: int | None = None,
+        obs=NULL_OBS,
+        fault_plan=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ServeError("need at least one worker process")
+        self.instance = instance
+        self.n_workers = n_workers
+        self.params = params or ServeParams()
+        self.pool_params = pool_params
+        self.fault_plan = fault_plan
+        self.obs = obs
+        self._weights = dict(tenant_weights or {})
+        self._plan = (
+            CheckpointPlan(checkpoint_dir, every=checkpoint_every)
+            if checkpoint_dir is not None
+            else None
+        )
+        self._drr = DeficitRoundRobin(self.params.quantum)
+        for tenant, weight in self._weights.items():
+            self._drr.set_weight(tenant, weight)
+        self._jobs: dict[str, Job] = {}
+        self._heap: list[tuple[int, int, Job]] = []
+        self._active: dict[str, Job] = {}
+        self._seq = 0
+        self._pool: WorkerPool | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._stopping = False
+        self._closed = False
+        self._max_inflight = self.params.max_inflight or 2 * n_workers
+        # Service counters (always on; obs mirrors them when enabled).
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.cancelled = 0
+        self.failed = 0
+        self.peak_active = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker pool and the pump (needs a running loop)."""
+        if self._closed:
+            raise ServeError("cannot restart a closed scheduler")
+        if self._pool is None:
+            self._pool = WorkerPool(
+                self.instance,
+                self.n_workers,
+                params=self.pool_params,
+                fault_plan=self.fault_plan,
+                obs=self.obs,
+            )
+        if self._pump_task is None:
+            self._pump_task = asyncio.get_running_loop().create_task(
+                self._pump(), name="repro-serve-pump"
+            )
+
+    async def __aenter__(self) -> "SolveScheduler":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self, *, drain: bool = False) -> None:
+        """Stop the service.
+
+        ``drain=True`` first waits for every queued and running job to
+        reach a terminal state; ``drain=False`` (the default) stops
+        after the current poll — unfinished jobs fail with a
+        :class:`~repro.errors.ServeError` telling the caller to
+        resubmit with ``resume=True``, and their checkpoint files stay
+        on disk.
+        """
+        if self._closed:
+            return
+        if drain and self._pump_task is not None:
+            pending = [job._future for job in self._jobs.values()]
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._stopping = True
+        if self._pump_task is not None:
+            await self._pump_task
+            self._pump_task = None
+        for job in self._jobs.values():
+            if not job._future.done():
+                job._fail(
+                    ServeError(
+                        f"scheduler closed before job {job.job_id!r} finished "
+                        f"({job.evaluations} evaluations served); resubmit "
+                        "with resume=True to continue from its checkpoint"
+                    )
+                )
+        if self._pool is not None:
+            self._pool.close()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one job (or refuse it, loudly).
+
+        Raises :class:`~repro.errors.AdmissionError` when the bounded
+        wait queue is full or the scheduler is shutting down — the
+        request never entered any queue, so the client can back off and
+        resubmit.  Must run inside the scheduler's event loop.
+        """
+        if self._closed or self._stopping:
+            raise AdmissionError(
+                f"scheduler is shut down; job {spec.job_id!r} was not accepted"
+            )
+        if spec.job_id in self._jobs:
+            raise ServeError(f"duplicate job id {spec.job_id!r}")
+        if spec.resume and self._plan is None:
+            raise ServeError(
+                f"job {spec.job_id!r} requests resume but the scheduler has "
+                "no checkpoint directory"
+            )
+        if len(self._heap) >= self.params.max_queued:
+            self.rejected += 1
+            if self.obs.enabled:
+                self.obs.metrics.inc("serve.admission_rejects")
+                self._emit_state(spec.job_id, "rejected")
+            raise AdmissionError(
+                f"admission queue full ({self.params.max_queued} jobs "
+                f"waiting); job {spec.job_id!r} rejected — back off and "
+                "resubmit"
+            )
+        future = asyncio.get_running_loop().create_future()
+        job = Job(spec, future, now=time.monotonic())
+        self._jobs[spec.job_id] = job
+        heapq.heappush(self._heap, (-spec.priority, self._seq, job))
+        self._seq += 1
+        self.submitted += 1
+        if self.obs.enabled:
+            self._emit_state(spec.job_id, JobState.QUEUED)
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; returns False if already terminal.
+
+        Queued jobs cancel immediately; running jobs are cancelled by
+        the pump, which drops their pending pool tasks and discards the
+        remaining batches of in-flight ones (graceful drain — workers
+        are never killed, other jobs keep their cached state).
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"unknown job id {job_id!r}")
+        if job.done():
+            return False
+        if job.state == JobState.QUEUED:
+            self._finish_cancelled(job)
+        else:
+            job.cancel_requested = True
+        return True
+
+    def get_job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"unknown job id {job_id!r}")
+        return job
+
+    def report(self) -> dict:
+        """Service counters plus the pool's own report (always readable,
+        including after :meth:`close`)."""
+        queued = sum(
+            1 for j in self._jobs.values() if j.state == JobState.QUEUED
+        )
+        out = {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "failed": self.failed,
+            "active": len(self._active),
+            "queued": queued,
+            "peak_active": self.peak_active,
+        }
+        if self._pool is not None:
+            out["pool"] = self._pool.report()
+        return out
+
+    # ------------------------------------------------------------------
+    # The pump: the single owner of every pool interaction
+    # ------------------------------------------------------------------
+    async def _pump(self) -> None:
+        pool = self._pool
+        interval = self.params.pump_interval
+        try:
+            while True:
+                if self._stopping:
+                    return
+                self._apply_cancellations()
+                self._admit()
+                self._dispatch()
+                self._update_gauges()
+                if pool.backlog():
+                    events = await asyncio.to_thread(pool.poll, interval)
+                    self._route(events)
+                else:
+                    await asyncio.sleep(interval)
+        except Exception as exc:  # noqa: BLE001 - the pump must not die silently
+            wrapped = ServeError(f"solve-service pump failed: {exc}")
+            wrapped.__cause__ = exc
+            for job in list(self._jobs.values()):
+                if not job._future.done():
+                    job._fail(wrapped)
+                    self.failed += 1
+            self._active.clear()
+
+    def _route(self, events) -> None:
+        for event in events:
+            job = self._active.get(event.tag)
+            if job is None or job.cancel_requested:
+                continue
+            try:
+                job._on_event(event)
+            except Exception as exc:  # CrashInjected, SearchInterrupted, ...
+                self._fail_job(job, exc)
+        for job in list(self._active.values()):
+            if job._finished and not job._pending_finals:
+                self._finish_job(job)
+
+    def _admit(self) -> None:
+        while self._heap and len(self._active) < self.params.max_active:
+            _, _, job = heapq.heappop(self._heap)
+            if job.state != JobState.QUEUED:
+                continue  # cancelled while waiting
+            policy = None
+            if self._plan is not None and (
+                job.spec.checkpoint_every is not None
+                or job.spec.resume
+                or self._plan.every is not None
+            ):
+                policy = self._plan.policy_for_job(
+                    job.job_id,
+                    every=job.spec.checkpoint_every,
+                    resume=job.spec.resume,
+                )
+            self._drr.ensure(job.tenant, self._weights.get(job.tenant, 1.0))
+            try:
+                job._start(self.instance, policy, self.obs)
+            except Exception as exc:
+                self._fail_job(job, exc)
+                continue
+            self._active[job.job_id] = job
+            self.peak_active = max(self.peak_active, len(self._active))
+            if self.obs.enabled:
+                self._emit_state(job.job_id, JobState.RUNNING)
+            if job._finished:  # zero budget left (e.g. resumed past it)
+                self._finish_job(job)
+
+    def _dispatch(self) -> None:
+        pool = self._pool
+        while pool.backlog() < self._max_inflight:
+            ready: dict[str, Job] = {}
+            for job in self._active.values():
+                if job._ready and job.tenant not in ready:
+                    ready[job.tenant] = job
+            if not ready:
+                return
+            costs = {
+                tenant: float(job._iteration_cost())
+                for tenant, job in ready.items()
+            }
+            tenant = self._drr.pick(costs)
+            job = ready[tenant]
+            try:
+                job._dispatch(pool)
+            except Exception as exc:
+                self._fail_job(job, exc)
+
+    def _apply_cancellations(self) -> None:
+        for job in list(self._active.values()):
+            if job.cancel_requested:
+                self._pool.cancel_tag(job.job_id)
+                del self._active[job.job_id]
+                self._finish_cancelled(job)
+
+    # ------------------------------------------------------------------
+    # Terminal transitions
+    # ------------------------------------------------------------------
+    def _finish_job(self, job: Job) -> None:
+        del self._active[job.job_id]
+        job._finalize(self.n_workers)
+        self.completed += 1
+        if self.obs.enabled:
+            m = self.obs.metrics
+            m.inc("serve.jobs_completed")
+            m.observe(
+                "serve.job_latency_s",
+                job.finished_at - job.submitted_at,
+                buckets=_LATENCY_BUCKETS,
+            )
+            m.observe(
+                "serve.job_queue_wait_s",
+                job.started_at - job.submitted_at,
+                buckets=_LATENCY_BUCKETS,
+            )
+            self._emit_state(job.job_id, JobState.DONE)
+
+    def _finish_cancelled(self, job: Job) -> None:
+        job._cancelled()
+        self.cancelled += 1
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve.jobs_cancelled")
+            self._emit_state(job.job_id, JobState.CANCELLED)
+
+    def _fail_job(self, job: Job, exc: BaseException) -> None:
+        self._active.pop(job.job_id, None)
+        if self._pool is not None and not self._pool._closed:
+            try:
+                self._pool.cancel_tag(job.job_id)
+            except WorkerPoolError:  # pragma: no cover - defensive
+                pass
+        job._fail(exc)
+        self.failed += 1
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve.jobs_failed")
+            self._emit_state(job.job_id, JobState.FAILED)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _emit_state(self, job_id: str, state: str) -> None:
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.emit("job_state", span=f"job-{job_id}", job=job_id, state=state)
+
+    def _update_gauges(self) -> None:
+        if self.obs.enabled:
+            m = self.obs.metrics
+            m.gauge("serve.jobs_active", len(self._active))
+            m.gauge(
+                "serve.jobs_queued",
+                sum(1 for j in self._jobs.values() if j.state == JobState.QUEUED),
+            )
+            m.gauge("serve.peak_active", self.peak_active)

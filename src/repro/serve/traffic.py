@@ -1,0 +1,203 @@
+"""Synthetic open-loop traffic for the solve service.
+
+:func:`run_traffic` plays a deterministic Poisson arrival process of
+solve jobs against a running :class:`~repro.serve.SolveScheduler` —
+*open loop*: arrivals never wait for completions, so overload actually
+overloads (the service must reject, not slow the generator down).  The
+resulting :class:`TrafficReport` carries the service-level numbers the
+``BENCH_serve.json`` artifact records — sustained jobs/sec, latency
+and queue-wait quantiles — plus the conservation audit the smoke test
+asserts on: every accepted job reaches exactly one terminal state
+(``lost == 0``), no result is delivered twice (``duplicates == 0``)
+and every completed job consumed its full budget
+(``short_of_budget == 0``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.errors import AdmissionError, JobCancelled
+from repro.obs.timeutil import utc_timestamp
+from repro.serve.job import JobSpec
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import TSMOResult
+
+__all__ = ["TrafficConfig", "TrafficReport", "run_traffic", "write_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficConfig:
+    """One reproducible traffic pattern (arrivals are a pure function
+    of ``seed``)."""
+
+    n_jobs: int = 50
+    #: mean arrival rate, jobs/second (exponential gaps); <= 0 means
+    #: all jobs arrive at once (burst).
+    rate: float = 500.0
+    seed: int = 0
+    #: per-job evaluation budget and neighborhood size.
+    budget: int = 96
+    neighborhood: int = 16
+    #: ``(name, weight)`` pairs; jobs are assigned round-robin.
+    tenants: tuple = (("acme", 1.0), ("globex", 1.0))
+    driver: str = "lockstep"
+    n_tasks: int = 1
+    #: cancel every k-th accepted job right after submission (0: never).
+    cancel_every: int = 0
+
+
+@dataclass
+class TrafficReport:
+    """What one traffic run measured."""
+
+    n_jobs: int
+    accepted: int
+    rejected: int
+    completed: int
+    cancelled: int
+    failed: int
+    #: accepted jobs that reached no terminal state — must be 0.
+    lost: int
+    #: completed results sharing a job id — must be 0.
+    duplicates: int
+    #: completed jobs that stopped short of their budget — must be 0.
+    short_of_budget: int
+    makespan_s: float
+    jobs_per_sec: float
+    peak_active: int
+    latency_s: dict = field(default_factory=dict)
+    queue_wait_s: dict = field(default_factory=dict)
+
+    def conserved(self) -> bool:
+        """The exactly-once audit: nothing lost, nothing duplicated,
+        nothing silently truncated."""
+        return (
+            self.lost == 0
+            and self.duplicates == 0
+            and self.short_of_budget == 0
+            and self.completed + self.cancelled + self.failed == self.accepted
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _quantiles(samples: list[float]) -> dict:
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0, "mean": 0.0}
+    arr = np.sort(np.asarray(samples, dtype=np.float64))
+    return {
+        "p50": float(np.quantile(arr, 0.50)),
+        "p95": float(np.quantile(arr, 0.95)),
+        "p99": float(np.quantile(arr, 0.99)),
+        "max": float(arr[-1]),
+        "mean": float(arr.mean()),
+    }
+
+
+async def run_traffic(scheduler, config: TrafficConfig) -> TrafficReport:
+    """Play ``config`` against a started scheduler and measure it."""
+    rng = np.random.default_rng(config.seed)
+    if config.rate > 0:
+        gaps = rng.exponential(1.0 / config.rate, size=config.n_jobs)
+    else:
+        gaps = np.zeros(config.n_jobs)
+    tenants = list(config.tenants)
+    params = TSMOParams(
+        max_evaluations=config.budget, neighborhood_size=config.neighborhood
+    )
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    jobs = []
+    rejected = 0
+    for i in range(config.n_jobs):
+        if gaps[i] > 0:
+            await asyncio.sleep(float(gaps[i]))
+        tenant = tenants[i % len(tenants)][0]
+        spec = JobSpec(
+            job_id=f"job-{i:05d}",
+            tenant=tenant,
+            seed=config.seed * 1_000_003 + i,
+            params=params,
+            driver=config.driver,
+            n_tasks=config.n_tasks,
+        )
+        try:
+            job = scheduler.submit(spec)
+        except AdmissionError:
+            rejected += 1
+            continue
+        jobs.append(job)
+        if config.cancel_every and len(jobs) % config.cancel_every == 0:
+            scheduler.cancel(job.job_id)
+    outcomes = await asyncio.gather(
+        *(job.wait() for job in jobs), return_exceptions=True
+    )
+    makespan = loop.time() - start
+
+    completed_jobs = []
+    results = []
+    cancelled = failed = 0
+    for job, outcome in zip(jobs, outcomes):
+        if isinstance(outcome, TSMOResult):
+            completed_jobs.append(job)
+            results.append(outcome)
+        elif isinstance(outcome, JobCancelled):
+            cancelled += 1
+        elif isinstance(outcome, BaseException):
+            failed += 1
+    completed = len(results)
+    lost = len(jobs) - completed - cancelled - failed
+    duplicates = completed - len({r.extra.get("job_id") for r in results})
+    short = sum(1 for r in results if r.evaluations < config.budget)
+    latencies = [j.finished_at - j.submitted_at for j in completed_jobs]
+    waits = [
+        j.started_at - j.submitted_at
+        for j in completed_jobs
+        if j.started_at is not None
+    ]
+    return TrafficReport(
+        n_jobs=config.n_jobs,
+        accepted=len(jobs),
+        rejected=rejected,
+        completed=completed,
+        cancelled=cancelled,
+        failed=failed,
+        lost=lost,
+        duplicates=duplicates,
+        short_of_budget=short,
+        makespan_s=makespan,
+        jobs_per_sec=completed / makespan if makespan > 0 else 0.0,
+        peak_active=scheduler.peak_active,
+        latency_s=_quantiles(latencies),
+        queue_wait_s=_quantiles(waits),
+    )
+
+
+def write_report(
+    report: TrafficReport,
+    path,
+    *,
+    config: TrafficConfig | None = None,
+    extra: dict | None = None,
+) -> None:
+    """Write one ``BENCH_serve.json``-style artifact."""
+    payload = {
+        "bench": "serve",
+        "written_at": utc_timestamp(),
+        "report": report.to_dict(),
+    }
+    if config is not None:
+        payload["config"] = asdict(config)
+    if extra:
+        payload.update(extra)
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")

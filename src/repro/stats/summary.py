@@ -38,10 +38,24 @@ class MeanStd:
 
 def aggregate(values: Sequence[float]) -> MeanStd:
     """Aggregate a sample into :class:`MeanStd` (ddof=1 like the paper's
-    spreadsheet-style std; falls back to 0 for singletons)."""
+    spreadsheet-style std; falls back to 0 for singletons).
+
+    Non-finite samples are rejected outright: a single NaN or inf
+    poisons both the mean and the std (``nan±nan`` in a rendered
+    table cell), and by then the offending run is unidentifiable — the
+    same silent-propagation failure class as the ``speedup([], [])``
+    NaN fixed earlier, so it fails loudly here, naming the index.
+    """
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         raise BenchmarkError("cannot aggregate an empty sample")
+    bad = np.flatnonzero(~np.isfinite(arr))
+    if bad.size:
+        index = int(bad[0])
+        raise BenchmarkError(
+            f"cannot aggregate non-finite sample {arr[index]!r} at index "
+            f"{index} ({bad.size} of {arr.size} samples are non-finite)"
+        )
     std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
     return MeanStd(mean=float(arr.mean()), std=std, n=int(arr.size))
 
@@ -61,6 +75,11 @@ class AlgorithmSummary:
     runtime_samples: list[float] = field(default_factory=list)
     #: runs that produced no feasible solution (excluded per the paper).
     infeasible_runs: int = 0
+    #: which clock the ``runtime`` column aggregated: ``"simulated"``
+    #: (cost-model units) or ``"wall"`` (seconds).  One summary never
+    #: mixes the two — :func:`summarize_results` rejects mixed-basis
+    #: run sets — so this records the unit of the runtime cell.
+    runtime_basis: str = "wall"
 
     @property
     def key(self) -> tuple[str, int]:
@@ -84,6 +103,21 @@ def summarize_results(results: Sequence[TSMOResult]) -> AlgorithmSummary:
         raise BenchmarkError(
             f"mixed configurations in one summary: {algorithms} x {processors}"
         )
+    # The runtime column must aggregate one clock, not two: simulated
+    # cost-model units and wall-clock seconds are incomparable, and a
+    # mean±std over a mix of both is meaningless.  A run set where some
+    # runs carry ``simulated_time`` and others don't is a harness bug
+    # (e.g. simulated and real-process results merged into one cell),
+    # so it fails loudly instead of silently producing a garbage cell.
+    simulated = sum(1 for r in results if r.simulated_time is not None)
+    if 0 < simulated < len(results):
+        raise BenchmarkError(
+            f"mixed time basis in one summary of {results[0].algorithm}: "
+            f"{simulated} of {len(results)} runs carry simulated_time, "
+            f"{len(results) - simulated} are wall-clock only; simulated "
+            "units and seconds cannot share one runtime column"
+        )
+    basis = "simulated" if simulated else "wall"
     distances: list[float] = []
     vehicles: list[float] = []
     runtimes: list[float] = []
@@ -113,4 +147,5 @@ def summarize_results(results: Sequence[TSMOResult]) -> AlgorithmSummary:
         vehicle_samples=vehicles,
         runtime_samples=runtimes,
         infeasible_runs=infeasible,
+        runtime_basis=basis,
     )

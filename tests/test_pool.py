@@ -247,3 +247,67 @@ class TestFaultTolerance:
         payload = json.loads(dumps[0].read_text())
         assert payload["tasks_completed"] == 1
         assert payload["n_workers"] == 1
+
+
+class TestShutdownSurface:
+    def test_submit_and_poll_after_shutdown_raise(self, instance, routes):
+        # Regression: submitting to a shut-down pool used to enqueue
+        # onto dead worker queues and hang (a later poll would dispatch
+        # to a terminated process); now both raise immediately.
+        pool = WorkerPool(instance, 1, params=FAST)
+        tid = pool.submit(routes, 4, seed=1, iteration=1)
+        pool.gather([tid])
+        pool.shutdown()
+        with pytest.raises(WorkerPoolError, match="shut-down"):
+            pool.submit(routes, 4, seed=2, iteration=1)
+        with pytest.raises(WorkerPoolError, match="shut-down"):
+            pool.poll(0.01)
+        with pytest.raises(WorkerPoolError):
+            pool.cancel_tag("any")
+
+    def test_report_readable_after_shutdown(self, instance, routes):
+        with WorkerPool(instance, 1, params=FAST) as pool:
+            tid = pool.submit(routes, 4, seed=1, iteration=1)
+            pool.gather([tid])
+        report = pool.report()  # the context manager already closed it
+        assert report["tasks_completed"] == 1
+        assert report["n_workers"] == 1
+        pool.shutdown()  # idempotent
+
+    def test_shutdown_is_close_alias(self, instance):
+        assert WorkerPool.shutdown is WorkerPool.close
+
+
+class TestCancelTag:
+    def test_pending_tasks_dropped_inflight_drained(self, instance, routes):
+        with WorkerPool(instance, 1, params=FAST) as pool:
+            keep = pool.submit(routes, 4, seed=1, iteration=1, tag="keep")
+            doomed = [
+                pool.submit(routes, 4, seed=s, iteration=1, tag="doomed")
+                for s in (2, 3, 4)
+            ]
+            cancelled = pool.cancel_tag("doomed")
+            assert sorted(cancelled) == sorted(doomed)
+            assert pool.cancel_tag("doomed") == []  # idempotent
+            outcome = pool.gather([keep])[keep]
+            # No cancelled batch is ever delivered after cancel_tag.
+            deadline = 40
+            while pool.backlog() and deadline:
+                assert all(e.tag != "doomed" for e in pool.poll(0.02))
+                deadline -= 1
+            report = pool.report()
+        assert outcome.neighbors == run_on_master(instance, routes, 4, seed=1)
+        assert report["cancelled_tasks"] == 3
+        assert report["tasks_completed"] >= 1
+
+    def test_events_carry_tags(self, instance, routes):
+        with WorkerPool(instance, 1, params=FAST) as pool:
+            pool.submit(routes, 4, seed=7, iteration=1, tag="job-x")
+            tags = set()
+            neighbors = []
+            while pool.backlog():
+                for event in pool.poll(0.05):
+                    tags.add(event.tag)
+                    neighbors.extend(event.neighbors)
+            assert tags == {"job-x"}
+            assert tuple(neighbors) == run_on_master(instance, routes, 4, seed=7)

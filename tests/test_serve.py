@@ -1,0 +1,387 @@
+"""Tests for the multi-tenant solve service (``repro.serve``).
+
+The deterministic pieces — spec validation, admission control, the
+deficit-round-robin arbiter — run process-free.  The integration tests
+spawn a real worker pool with the same shrunk supervision intervals as
+``test_pool.py``; the headline guarantees each proves:
+
+* a lockstep job is bit-identical to the sequential driver;
+* killing the scheduler mid-job and resuming in a brand-new one
+  finishes bit-identically (checkpointed multi-tenant restarts work);
+* 50+ concurrent jobs on one shared pool lose and duplicate nothing;
+* overload is rejected loudly, never dropped silently.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import AdmissionError, JobCancelled, ServeError
+from repro.obs import Obs
+from repro.parallel.pool import PoolParams
+from repro.serve import (
+    DeficitRoundRobin,
+    JobSpec,
+    JobState,
+    ServeParams,
+    SolveScheduler,
+    TrafficConfig,
+    run_traffic,
+)
+from repro.tabu.params import TSMOParams
+from repro.tabu.search import run_sequential_tsmo
+from repro.vrptw.generator import generate_instance
+
+#: supervision knobs shrunk for tests (same spirit as test_pool.py).
+FAST = PoolParams(
+    heartbeat_interval=0.05,
+    heartbeat_timeout=10.0,
+    task_deadline=10.0,
+    backoff_base=0.01,
+    poll_interval=0.02,
+)
+
+#: a small budget: a few iterations, well under a second per job.
+SMALL = TSMOParams(max_evaluations=48, neighborhood_size=8)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance("R1", 20, seed=55)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Process-free: spec validation and admission control
+# ----------------------------------------------------------------------
+class TestJobSpec:
+    def test_rejects_empty_id_bad_driver_and_lockstep_split(self):
+        with pytest.raises(ServeError):
+            JobSpec(job_id="")
+        with pytest.raises(ServeError):
+            JobSpec(job_id="a", driver="turbo")
+        with pytest.raises(ServeError):
+            JobSpec(job_id="a", driver="lockstep", n_tasks=2)
+
+    def test_split_accepts_many_tasks(self):
+        spec = JobSpec(job_id="a", driver="split", n_tasks=4)
+        assert spec.n_tasks == 4
+
+
+class TestAdmission:
+    def test_queue_bound_rejects_not_drops(self, instance):
+        # The scheduler is never started: jobs stay queued, so the
+        # bounded queue fills deterministically.
+        async def scenario():
+            obs = Obs()
+            scheduler = SolveScheduler(
+                instance, params=ServeParams(max_queued=2), obs=obs
+            )
+            scheduler.submit(JobSpec(job_id="a", params=SMALL))
+            scheduler.submit(JobSpec(job_id="b", params=SMALL))
+            with pytest.raises(AdmissionError):
+                scheduler.submit(JobSpec(job_id="c", params=SMALL))
+            assert scheduler.rejected == 1
+            counters = obs.metrics.snapshot()["counters"]
+            assert counters["serve.admission_rejects"] == 1
+            # The rejected job never entered any queue.
+            with pytest.raises(ServeError):
+                scheduler.get_job("c")
+            await scheduler.close()
+            # Abandoned jobs fail loudly with a resume hint.
+            with pytest.raises(ServeError, match="resume"):
+                await scheduler.get_job("a").wait()
+
+        run(scenario())
+
+    def test_duplicate_id_and_closed_scheduler_rejected(self, instance):
+        async def scenario():
+            scheduler = SolveScheduler(instance)
+            scheduler.submit(JobSpec(job_id="a", params=SMALL))
+            with pytest.raises(ServeError):
+                scheduler.submit(JobSpec(job_id="a", params=SMALL))
+            await scheduler.close()
+            with pytest.raises(AdmissionError):
+                scheduler.submit(JobSpec(job_id="b", params=SMALL))
+
+        run(scenario())
+
+    def test_resume_without_checkpoint_dir_rejected(self, instance):
+        async def scenario():
+            scheduler = SolveScheduler(instance)
+            with pytest.raises(ServeError):
+                scheduler.submit(JobSpec(job_id="a", params=SMALL, resume=True))
+            await scheduler.close()
+
+        run(scenario())
+
+
+class TestDeficitRoundRobin:
+    def test_weighted_shares_exact_pattern(self):
+        # Weight 3 vs 1, equal unit costs of 30, quantum 10: tenant A
+        # accrues 30 credit per round, B 10 — so the steady-state cycle
+        # serves A three times per B.
+        drr = DeficitRoundRobin(quantum=10.0)
+        drr.set_weight("A", 3.0)
+        drr.set_weight("B", 1.0)
+        costs = {"A": 30.0, "B": 30.0}
+        picks = [drr.pick(costs) for _ in range(12)]
+        assert picks.count("A") == 9
+        assert picks.count("B") == 3
+
+    def test_single_tenant_always_wins(self):
+        drr = DeficitRoundRobin(quantum=4.0)
+        assert drr.pick({"only": 100.0}) == "only"
+        assert drr.pick({}) is None
+
+    def test_idle_tenant_forfeits_credit(self):
+        drr = DeficitRoundRobin(quantum=10.0)
+        drr.set_weight("A", 1.0)
+        drr.set_weight("B", 1.0)
+        # A runs alone for a while...
+        for _ in range(10):
+            assert drr.pick({"A": 10.0}) == "A"
+        # ...B was idle, so on return it holds no stale credit and the
+        # two alternate immediately instead of B bursting ahead.
+        picks = [drr.pick({"A": 10.0, "B": 10.0}) for _ in range(6)]
+        assert picks.count("A") == 3
+        assert picks.count("B") == 3
+
+    def test_determinism(self):
+        def play():
+            drr = DeficitRoundRobin(quantum=7.0)
+            drr.set_weight("x", 2.0)
+            drr.set_weight("y", 1.5)
+            drr.set_weight("z", 1.0)
+            costs = {"x": 11.0, "y": 5.0, "z": 17.0}
+            return [drr.pick(costs) for _ in range(50)]
+
+        assert play() == play()
+
+
+# ----------------------------------------------------------------------
+# Process-backed integration
+# ----------------------------------------------------------------------
+class TestLockstepBitIdentity:
+    def test_job_matches_sequential_driver(self, instance):
+        params = TSMOParams(max_evaluations=96, neighborhood_size=16)
+
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=1, pool_params=FAST
+            ) as scheduler:
+                job = scheduler.submit(JobSpec(job_id="a", seed=7, params=params))
+                return await job.wait()
+
+        result = run(scenario())
+        oracle = run_sequential_tsmo(instance, params, seed=7)
+        assert result.evaluations == oracle.evaluations
+        assert result.iterations == oracle.iterations
+        assert result.restarts == oracle.restarts
+        assert np.array_equal(result.front(), oracle.front())
+        assert result.extra["job_id"] == "a"
+
+    def test_split_driver_completes_budget(self, instance):
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=2, pool_params=FAST
+            ) as scheduler:
+                job = scheduler.submit(
+                    JobSpec(
+                        job_id="s", seed=3, params=SMALL, driver="split", n_tasks=3
+                    )
+                )
+                return await job.wait()
+
+        result = run(scenario())
+        assert result.evaluations >= SMALL.max_evaluations
+        assert result.algorithm == "serve-split"
+
+
+class TestCancellation:
+    def test_cancel_mid_run_drains_gracefully(self, instance):
+        long_params = TSMOParams(max_evaluations=4000, neighborhood_size=8)
+
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=1, pool_params=FAST
+            ) as scheduler:
+                victim = scheduler.submit(
+                    JobSpec(job_id="victim", seed=1, params=long_params)
+                )
+                survivor = scheduler.submit(
+                    JobSpec(job_id="survivor", seed=2, params=SMALL)
+                )
+                while victim.evaluations < 16:
+                    await asyncio.sleep(0.005)
+                assert scheduler.cancel("victim") is True
+                with pytest.raises(JobCancelled):
+                    await victim.wait()
+                result = await survivor.wait()
+                report = scheduler.report()
+                return victim, result, report
+
+        victim, result, report = run(scenario())
+        assert victim.state == JobState.CANCELLED
+        assert 0 < victim.evaluations < long_params.max_evaluations
+        assert result.evaluations >= SMALL.max_evaluations
+        assert report["cancelled"] == 1 and report["completed"] == 1
+        # Cancelling an already-terminal job is a no-op, unknown ids raise.
+        assert report["pool"]["cancelled_tasks"] >= 1
+
+    def test_cancel_queued_job_immediate(self, instance):
+        async def scenario():
+            scheduler = SolveScheduler(instance)  # never started
+            job = scheduler.submit(JobSpec(job_id="q", params=SMALL))
+            assert scheduler.cancel("q") is True
+            with pytest.raises(JobCancelled):
+                await job.wait()
+            assert scheduler.cancel("q") is False
+            with pytest.raises(ServeError):
+                scheduler.cancel("nope")
+            await scheduler.close()
+
+        run(scenario())
+
+
+class TestKillAndResume:
+    def test_resumed_job_is_bit_identical(self, instance, tmp_path):
+        params = TSMOParams(max_evaluations=240, neighborhood_size=16)
+        spec = dict(job_id="long", seed=11, params=params, checkpoint_every=48)
+
+        async def phase_one():
+            scheduler = SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            )
+            async with scheduler:
+                job = scheduler.submit(JobSpec(**spec))
+                while job.evaluations < 100:
+                    await asyncio.sleep(0.005)
+                await scheduler.close()  # kill: no drain, job abandoned
+            with pytest.raises(ServeError, match="resume=True"):
+                await job.wait()
+            return job.evaluations
+
+        async def phase_two():
+            async with SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            ) as scheduler:
+                job = scheduler.submit(JobSpec(**spec, resume=True))
+                return await job.wait()
+
+        served_before_kill = run(phase_one())
+        assert (tmp_path / "serve_long.ckpt").exists()
+        result = run(phase_two())
+        # The resume did real work: it did not replay from scratch ...
+        assert served_before_kill >= 96
+        # ... and the stitched run equals the uninterrupted sequential
+        # oracle bit for bit.
+        oracle = run_sequential_tsmo(instance, params, seed=11)
+        assert result.evaluations == oracle.evaluations
+        assert result.iterations == oracle.iterations
+        assert result.restarts == oracle.restarts
+        assert np.array_equal(result.front(), oracle.front())
+        # Completion discards the snapshot.
+        assert not (tmp_path / "serve_long.ckpt").exists()
+
+
+class TestFairness:
+    def test_weighted_tenants_skew_completion_order(self, instance):
+        # One worker → pool work is strictly serialized in dispatch
+        # order, so the DRR's grants are the only thing deciding which
+        # tenant's jobs progress.  With weights 3:1 and equal jobs per
+        # tenant, the heavy tenant's jobs must finish earlier on
+        # average (sum of completion ranks strictly smaller).
+        async def scenario():
+            finished: list[str] = []
+
+            async def watch(job):
+                try:
+                    await job.wait()
+                finally:
+                    finished.append(job.tenant)
+
+            async with SolveScheduler(
+                instance,
+                n_workers=1,
+                pool_params=FAST,
+                params=ServeParams(quantum=8.0),
+                tenant_weights={"heavy": 3.0, "light": 1.0},
+            ) as scheduler:
+                jobs = []
+                for i in range(4):
+                    for tenant in ("heavy", "light"):
+                        jobs.append(
+                            scheduler.submit(
+                                JobSpec(
+                                    job_id=f"{tenant}-{i}",
+                                    tenant=tenant,
+                                    seed=i,
+                                    params=SMALL,
+                                )
+                            )
+                        )
+                await asyncio.gather(*(watch(j) for j in jobs))
+            return finished
+
+        finished = run(scenario())
+        assert len(finished) == 8
+        heavy_ranks = [i for i, t in enumerate(finished) if t == "heavy"]
+        light_ranks = [i for i, t in enumerate(finished) if t == "light"]
+        assert sum(heavy_ranks) < sum(light_ranks)
+
+
+class TestConcurrencyAtScale:
+    def test_50_concurrent_jobs_zero_lost_zero_duplicated(self, instance):
+        config = TrafficConfig(
+            n_jobs=55,
+            rate=2000.0,
+            seed=1,
+            budget=24,
+            neighborhood=8,
+            cancel_every=11,
+        )
+
+        async def scenario():
+            async with SolveScheduler(
+                instance,
+                n_workers=2,
+                pool_params=FAST,
+                params=ServeParams(max_active=64, max_queued=256),
+            ) as scheduler:
+                return await run_traffic(scheduler, config)
+
+        report = run(scenario())
+        assert report.conserved(), report.to_dict()
+        assert report.rejected == 0
+        assert report.cancelled == 5
+        assert report.completed == 50
+        # The service genuinely multiplexed: ≥50 jobs were in flight on
+        # the one shared pool at once.
+        assert report.peak_active >= 50
+
+
+class TestObservability:
+    def test_job_scoped_events_and_metrics(self, instance):
+        async def scenario():
+            obs = Obs()
+            async with SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, obs=obs
+            ) as scheduler:
+                job = scheduler.submit(JobSpec(job_id="j1", seed=5, params=SMALL))
+                await job.wait()
+            return obs
+
+        obs = run(scenario())
+        states = [e for e in obs.tracer.events("job_state") if e["job"] == "j1"]
+        assert [e["state"] for e in states] == ["queued", "running", "done"]
+        assert all(e["span"] == "job-j1" for e in states)
+        progress = obs.tracer.events("job_progress")
+        assert progress and progress[-1]["evaluations"] >= SMALL.max_evaluations
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["serve.jobs_completed"] == 1
+        assert "serve.job_latency_s" in snap["histograms"]

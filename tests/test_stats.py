@@ -52,6 +52,18 @@ class TestMeanStd:
         with pytest.raises(BenchmarkError):
             aggregate([])
 
+    def test_nan_rejected_naming_index(self):
+        # Regression: a NaN sample used to propagate silently into a
+        # nan±nan table cell; now the offending index is named.
+        with pytest.raises(BenchmarkError, match="index 2"):
+            aggregate([1.0, 2.0, float("nan"), 4.0])
+
+    def test_inf_rejected(self):
+        with pytest.raises(BenchmarkError, match="non-finite"):
+            aggregate([1.0, float("inf")])
+        with pytest.raises(BenchmarkError, match="2 of 3"):
+            aggregate([float("-inf"), 1.0, float("nan")])
+
     def test_formatting(self):
         ms = MeanStd(mean=226897.72, std=4999.31, n=30)
         assert f"{ms:.2f}" == "226897.72±4999.31"
@@ -98,6 +110,24 @@ class TestSummarize:
     def test_empty_rejected(self):
         with pytest.raises(BenchmarkError):
             summarize_results([])
+
+    def test_mixed_time_basis_rejected(self):
+        # Regression: a run set mixing simulated-clock and wall-clock
+        # runtimes used to aggregate both into one meaningless runtime
+        # column; now it fails loudly naming the split.
+        simulated = fake_result()
+        wall_only = fake_result()
+        wall_only.simulated_time = None
+        with pytest.raises(BenchmarkError, match="mixed time basis"):
+            summarize_results([simulated, wall_only])
+
+    def test_runtime_basis_recorded(self):
+        assert summarize_results([fake_result()]).runtime_basis == "simulated"
+        wall = fake_result()
+        wall.simulated_time = None
+        s = summarize_results([wall])
+        assert s.runtime_basis == "wall"
+        assert s.runtime.mean == pytest.approx(wall.wall_time)
 
 
 class TestSpeedup:
