@@ -7,17 +7,26 @@ conservation audit (zero lost, zero duplicated, zero short-of-budget
 jobs).  The same workload is runnable standalone via
 ``python -m repro.serve --smoke``; this pytest wrapper regenerates the
 repo-root ``BENCH_serve.json`` artifact from a test run.
+
+The chaos section of the artifact comes from the seeded chaos soak:
+the same job population driven through worker kills, a scheduler
+kill-and-restart with ledger recovery, torn checkpoints and injected
+crashes — and still conserved, with every completed front bit-identical
+to the uninterrupted sequential oracle.
 """
 
 import asyncio
+import json
 
 import pytest
 
 from repro.parallel.pool import PoolParams
 from repro.serve import (
+    ServeFaultPlan,
     ServeParams,
     SolveScheduler,
     TrafficConfig,
+    run_chaos_soak,
     run_traffic,
     write_report,
 )
@@ -79,4 +88,44 @@ def test_serve_throughput(instance):
         f"= {report.jobs_per_sec:.1f} jobs/s, "
         f"p99 latency {report.latency_s['p99'] * 1e3:.0f}ms, "
         f"peak_active {report.peak_active} -> {SERVE_JSON.name}"
+    )
+
+
+def test_serve_chaos_soak(instance, tmp_path):
+    """The acceptance soak: 60 jobs through the seeded fault schedule,
+    still conserved and bit-identical; recorded under ``"chaos"``."""
+    n_jobs = 60
+    plan = ServeFaultPlan.seeded(1, n_jobs)
+
+    report = asyncio.run(
+        run_chaos_soak(
+            instance,
+            checkpoint_dir=tmp_path,
+            plan=plan,
+            n_jobs=n_jobs,
+            n_workers=2,
+            seed=1,
+            budget=96,
+            neighborhood=16,
+            pool_params=FAST,
+        )
+    )
+    assert report.conserved(), report.to_dict()
+    assert report.traffic.completed == n_jobs
+    assert len(plan.worker_kills) >= 2
+    assert report.scheduler_kills >= 1
+    assert report.recovered_jobs >= 1
+    assert report.tears_applied >= 1
+    assert report.job_retries >= 1
+    assert report.preemptions >= 1
+    assert report.bit_identical is True and report.verified_jobs == n_jobs
+    # Fold the chaos numbers into the artifact the throughput test wrote.
+    payload = json.loads(SERVE_JSON.read_text())
+    payload["chaos"] = {"plan": plan.to_dict(), "report": report.to_dict()}
+    SERVE_JSON.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    print(
+        f"\nserve-chaos: {report.traffic.completed}/{n_jobs} jobs across "
+        f"{report.incarnations} incarnations, retries={report.job_retries}, "
+        f"preemptions={report.preemptions}, recovered={report.recovered_jobs}, "
+        f"tears={report.tears_applied} -> {SERVE_JSON.name}"
     )

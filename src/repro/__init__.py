@@ -39,6 +39,8 @@ from repro.errors import (
     CrashInjected,
     InstanceError,
     JobCancelled,
+    JobDeadlineExceeded,
+    LedgerError,
     OperatorError,
     ParseError,
     ReproError,
@@ -115,7 +117,9 @@ __all__ = [
     "InstanceError",
     "InterruptFlag",
     "JobCancelled",
+    "JobDeadlineExceeded",
     "JobSpec",
+    "LedgerError",
     "MetricsRegistry",
     "NSGA2Params",
     "NULL_OBS",

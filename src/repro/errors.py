@@ -105,6 +105,27 @@ class JobCancelled(ServeError):
     """
 
 
+class JobDeadlineExceeded(ServeError):
+    """One attempt of a solve job overran its per-attempt deadline.
+
+    The scheduler raises this internally when a running job exceeds
+    ``JobSpec.deadline_s``; the attempt's in-flight pool tasks are
+    cancelled and the job either retries from its latest checkpoint
+    (while ``max_retries`` allows) or fails terminally with this
+    exception, so the cause is always named on the job handle.
+    """
+
+
+class LedgerError(ServeError):
+    """The solve service's durable job ledger cannot be trusted.
+
+    Raised when a ledger line *before* the tail is corrupt — a torn
+    final line (crash mid-append) is tolerated by design, but damage
+    anywhere else means the file was edited or the filesystem lied,
+    and recovering jobs from it could lose or duplicate work.
+    """
+
+
 class BenchmarkError(ReproError):
     """An experiment harness was configured inconsistently."""
 

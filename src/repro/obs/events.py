@@ -73,6 +73,16 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     # (``job-<id>``), so one trace file multiplexes many tenants.
     "job_state": ("job", "state"),
     "job_progress": ("job", "iteration", "evaluations"),
+    # Fault-tolerance lifecycle: ``job_retry`` when an attempt failed
+    # and the job re-queued (resuming from its latest checkpoint),
+    # ``job_preempted`` when a higher-priority arrival suspended it,
+    # ``job_checkpoint_corrupt`` when a resume snapshot failed its
+    # integrity check and the job restarted fresh, ``job_recovered``
+    # when a restarted scheduler re-admitted it from the job ledger.
+    "job_retry": ("job", "attempt", "cause"),
+    "job_preempted": ("job", "evaluations"),
+    "job_checkpoint_corrupt": ("job", "error"),
+    "job_recovered": ("job", "state"),
     "meta": ("run", "format", "written_at"),
 }
 

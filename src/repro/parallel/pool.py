@@ -398,9 +398,17 @@ def _pool_worker_main(
     ):
         tracer = EventTracer(span=f"worker-{slot}")
     stop_beating = threading.Event()
+    master_pid = os.getppid()
 
     def beat() -> None:
         while not stop_beating.wait(heartbeat_interval):
+            # Workers are direct children of the master: a changed
+            # parent pid means the master was killed outright (SIGKILL
+            # never runs its cleanup), and an orphan blocked forever on
+            # task_q.get() would leak.  Die instead — there is no one
+            # left to serve.
+            if os.getppid() != master_pid:  # pragma: no cover - needs a dead master
+                os._exit(0)
             try:
                 result_q.put(PoolHeartbeat(slot, generation))
             except Exception:  # pragma: no cover - master gone
@@ -728,6 +736,7 @@ class WorkerPool:
         self._heartbeats = 0
         self._tasks_completed = 0
         self._cancelled_tasks = 0
+        self._cancelled_completions = 0
         self._max_backlog = 0
         self._latencies: list[float] = []
         self._delta_tasks = 0
@@ -944,14 +953,23 @@ class WorkerPool:
         remaining batches is discarded instead of delivered, and a
         worker failure no longer retries them.  After this returns, no
         :class:`BatchEvent` with this tag will ever be emitted again.
+
+        Counting is conserved across the completion race: every task
+        resolves into exactly one of ``tasks_completed`` or
+        ``cancelled_tasks``.  A task whose final batch lands while its
+        cancellation is in flight (or already landed, undrained, before
+        this call) counts once in ``cancelled_tasks`` — never in
+        ``tasks_completed``, never twice — and its ran-anyway finish is
+        tallied separately in ``cancelled_completions``.  Calling this
+        again with the same tag is a no-op for already-cancelled tasks.
         """
         if self._closed:
             raise WorkerPoolError("cannot cancel tasks on a shut-down pool")
-        dropped = [
-            tid
-            for tid in self._pending
-            if self._tasks[tid].tag == tag and not self._tasks[tid].cancelled
-        ]
+        dropped = []
+        for tid in self._pending:
+            state = self._tasks.get(tid)
+            if state is not None and state.tag == tag and not state.cancelled:
+                dropped.append(tid)
         for tid in dropped:
             del self._tasks[tid]
         if dropped:
@@ -1221,6 +1239,11 @@ class WorkerPool:
 
     def _complete_task(self, msg: PoolBatch, slot: _Slot | None) -> None:
         state = self._tasks.pop(msg.task_id)
+        if state.cancelled:
+            # The completion raced the cancel and the task ran to the
+            # end anyway: it stays counted (once) in cancelled_tasks;
+            # this separate tally just makes the race window visible.
+            self._cancelled_completions += 1
         if not state.cancelled:
             self._tasks_completed += 1
             latency = time.monotonic() - state.submitted_at
@@ -1394,6 +1417,7 @@ class WorkerPool:
             "heartbeats": self._heartbeats,
             "tasks_completed": self._tasks_completed,
             "cancelled_tasks": self._cancelled_tasks,
+            "cancelled_completions": self._cancelled_completions,
             "max_backlog": self._max_backlog,
             "latency": {
                 "p50": quantile(0.50),

@@ -24,8 +24,15 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Iterator, Tuple
 
-__all__ = ["append_line", "atomic_write_bytes", "atomic_write_text", "fsync_directory"]
+__all__ = [
+    "append_line",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
+    "iter_durable_lines",
+]
 
 
 def fsync_directory(directory: Path) -> None:
@@ -81,3 +88,28 @@ def append_line(path: str | Path, line: str, encoding: str = "utf-8") -> None:
         handle.write(line)
         handle.flush()
         os.fsync(handle.fileno())
+
+
+def iter_durable_lines(
+    path: str | Path, encoding: str = "utf-8"
+) -> Iterator[Tuple[int, str, bool]]:
+    """Yield ``(line_no, line, is_last)`` over an :func:`append_line` file.
+
+    The reading half of the append-only discipline, shared by every
+    journal built on it (run manifests, the solve-service job ledger):
+    ``is_last`` marks the final record of the file — the *only* one a
+    crash mid-append can tear, so readers may drop it when malformed
+    but must treat damage anywhere earlier as real corruption.  A file
+    that does not end in a newline has a torn tail by construction;
+    its final fragment is yielded with ``is_last=True``.
+    """
+    raw = Path(path).read_text(encoding=encoding)
+    lines = raw.split("\n")
+    # a well-formed file ends with "\n", so the final split element is
+    # empty; anything else there is a torn tail by construction.
+    body, tail = lines[:-1], lines[-1]
+    entries = [(i + 1, line) for i, line in enumerate(body) if line.strip()]
+    for pos, (line_no, line) in enumerate(entries):
+        yield line_no, line, (pos == len(entries) - 1 and not tail)
+    if tail.strip():
+        yield len(lines), tail, True

@@ -289,6 +289,21 @@ class CheckpointPolicy:
             self.commit(count, build_state(), kind=kind)
         self.maybe_crash(count)
 
+    def flush(self, count: int, build_state: Callable[[], Any], *, kind: str) -> None:
+        """Write an unconditional, off-cadence durability snapshot.
+
+        The preemption path of the solve service: a job suspended to
+        make room for a higher-priority arrival keeps its engine in
+        memory, but flushes a snapshot so a crash *while suspended*
+        loses nothing beyond this point.  The periodic cadence is
+        deliberately not advanced — scheduled thresholds stay at
+        ``k * every`` (and :meth:`note_resumed` re-aligns after a
+        resume from disk), so an off-cadence flush never perturbs the
+        snapshot protocol the bit-identity guarantee rides on.
+        """
+        write_checkpoint(self.path, build_state(), kind=kind)
+        self.snapshots_written += 1
+
     def discard(self) -> None:
         """Delete the snapshot file (the run completed; keep disk clean)."""
         self.path.unlink(missing_ok=True)
@@ -368,16 +383,19 @@ class CheckpointPlan:
         *,
         every: int | None = None,
         resume: bool | None = None,
+        crash_after: int | None = None,
     ) -> CheckpointPolicy:
         """The snapshot policy of one long-running service job.
 
         The solve service keys snapshots by *job id* rather than table
         coordinates — one ``serve_<job>.ckpt`` per job, atomically
         replaced at every periodic snapshot, discarded on completion.
-        ``every``/``resume`` override the plan defaults per job (a
-        short job may not checkpoint at all while a long one in the
-        same scheduler snapshots frequently).  The id is sanitized into
-        a filename, so callers may use arbitrary request identifiers.
+        ``every``/``resume``/``crash_after`` override the plan defaults
+        per job (a short job may not checkpoint at all while a long one
+        in the same scheduler snapshots frequently; the chaos harness
+        injects a deterministic crash into one chosen job).  The id is
+        sanitized into a filename, so callers may use arbitrary request
+        identifiers.
         """
         if not job_id:
             raise CheckpointError("job_id must be a non-empty string")
@@ -389,7 +407,7 @@ class CheckpointPlan:
             self.directory / f"serve_{safe}.ckpt",
             every=self.every if every is None else every,
             resume=self.resume if resume is None else resume,
-            crash_after=self.crash_after,
+            crash_after=self.crash_after if crash_after is None else crash_after,
             interrupt=self.interrupt,
         )
 

@@ -22,7 +22,7 @@ from typing import Any, Dict, Iterator, Tuple
 
 from repro.errors import BenchmarkError
 from repro.obs.timeutil import utc_timestamp
-from repro.persistence.atomic import append_line
+from repro.persistence.atomic import append_line, iter_durable_lines
 
 __all__ = ["RunManifest"]
 
@@ -119,13 +119,6 @@ class RunManifest:
         return len(self.load())
 
     def _lines(self) -> Iterator[Tuple[int, str, bool]]:
-        raw = self.path.read_text(encoding="utf-8")
-        lines = raw.split("\n")
-        # a well-formed file ends with "\n", so the final split element
-        # is empty; anything else there is a torn tail by construction.
-        body, tail = lines[:-1], lines[-1]
-        entries = [(i + 1, line) for i, line in enumerate(body) if line.strip()]
-        for pos, (line_no, line) in enumerate(entries):
-            yield line_no, line, (pos == len(entries) - 1 and not tail)
-        if tail.strip():
-            yield len(lines), tail, True
+        # Shared with the solve-service job ledger: one reader for the
+        # whole append-only discipline (see persistence/atomic.py).
+        yield from iter_durable_lines(self.path)

@@ -11,22 +11,37 @@ through the standard snapshot format, and job-scoped observability.
 :mod:`repro.serve.traffic` drives it with a reproducible open-loop
 workload; ``python -m repro.serve`` runs that as the
 ``BENCH_serve.json`` benchmark and smoke test.
+
+The service is fault tolerant end to end: a durable job ledger
+(:class:`JobLedger`) makes the scheduler supervised — a restart over
+the same checkpoint directory re-admits every unfinished job — jobs
+carry per-attempt retry/deadline budgets that resume from the latest
+checkpoint, priority arrivals preempt running jobs to their
+checkpoints, and :mod:`repro.serve.chaos` replays all of it under
+deterministic fault schedules (``python -m repro.serve --chaos``).
 """
 
+from repro.serve.chaos import ChaosReport, ServeFaultPlan, run_chaos_soak, tear_checkpoint
 from repro.serve.job import DRIVERS, Job, JobSpec, JobState
+from repro.serve.ledger import JobLedger
 from repro.serve.scheduler import DeficitRoundRobin, ServeParams, SolveScheduler
 from repro.serve.traffic import TrafficConfig, TrafficReport, run_traffic, write_report
 
 __all__ = [
+    "ChaosReport",
     "DRIVERS",
     "DeficitRoundRobin",
     "Job",
+    "JobLedger",
     "JobSpec",
     "JobState",
+    "ServeFaultPlan",
     "ServeParams",
     "SolveScheduler",
     "TrafficConfig",
     "TrafficReport",
+    "run_chaos_soak",
     "run_traffic",
+    "tear_checkpoint",
     "write_report",
 ]

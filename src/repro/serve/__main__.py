@@ -10,14 +10,29 @@ Example::
     PYTHONPATH=src python -m repro.serve --jobs 60 --rate 500 \\
         --workers 2 --budget 96 --neighborhood 16 \\
         --tenants acme:3,globex:1 --out BENCH_serve.json --smoke
+
+``--chaos`` switches to the deterministic chaos soak instead: the same
+jobs are driven through seeded worker kills, a scheduler
+kill-and-restart (with ledger recovery), torn checkpoints and injected
+crashes, and the run must still conserve every job::
+
+    PYTHONPATH=src python -m repro.serve --chaos --jobs 60 \\
+        --checkpoint-dir /tmp/serve-chaos --out BENCH_chaos.json --smoke
+
+``--faults`` (or ``REPRO_SERVE_FAULTS``) overrides the seeded schedule
+with an explicit one, e.g.
+``kill-worker:0@3,stall:12:0.05,kill-scheduler:20,tear:chaos-00021``.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import sys
 
+from repro.obs.timeutil import utc_timestamp
+from repro.serve.chaos import ServeFaultPlan, run_chaos_soak
 from repro.serve.scheduler import ServeParams, SolveScheduler
 from repro.serve.traffic import TrafficConfig, run_traffic, write_report
 from repro.vrptw.generator import generate_instance
@@ -76,7 +91,91 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero unless zero jobs were lost or duplicated",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="enable per-job checkpoints + the durable job ledger here",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="default snapshot cadence (evaluations) for all jobs",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the deterministic chaos soak (requires --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="explicit REPRO_SERVE_FAULTS-style schedule for --chaos "
+        "(default: seeded from --seed)",
+    )
     return parser
+
+
+async def _run_chaos(args) -> int:
+    if not args.checkpoint_dir:
+        print("serve: --chaos requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    instance = generate_instance(
+        args.instance_class, args.instance_size, seed=args.instance_seed
+    )
+    plan = ServeFaultPlan.from_env(args.faults)
+    if plan is None:
+        plan = ServeFaultPlan.seeded(args.seed, args.jobs)
+    report = await run_chaos_soak(
+        instance,
+        checkpoint_dir=args.checkpoint_dir,
+        plan=plan,
+        n_jobs=args.jobs,
+        n_workers=args.workers,
+        seed=args.seed,
+        budget=args.budget,
+        neighborhood=args.neighborhood,
+        checkpoint_every=args.checkpoint_every,
+        tenants=args.tenants,
+    )
+    traffic = report.traffic
+    print(
+        f"serve-chaos: {traffic.completed}/{traffic.accepted} completed "
+        f"({traffic.cancelled} cancelled, {traffic.failed} failed) across "
+        f"{report.incarnations} scheduler incarnation(s) in "
+        f"{traffic.makespan_s:.2f}s"
+    )
+    print(
+        f"serve-chaos: kills={report.scheduler_kills} "
+        f"worker_kills={report.worker_kills} tears={report.tears_applied} "
+        f"crashes={report.crash_targets} retries={report.job_retries} "
+        f"preemptions={report.preemptions} recovered={report.recovered_jobs}"
+    )
+    print(
+        f"serve-chaos: ledger conserved={report.ledger.get('conserved')} "
+        f"bit_identical={report.bit_identical} "
+        f"(verified {report.verified_jobs} fronts)"
+    )
+    if args.out:
+        payload = {
+            "bench": "serve-chaos",
+            "written_at": utc_timestamp(),
+            "plan": plan.to_dict(),
+            "report": report.to_dict(),
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"serve-chaos: wrote {args.out}")
+    if args.smoke and not report.conserved():
+        print(
+            "serve-chaos: SMOKE FAILURE — conservation audit failed: "
+            f"lost={traffic.lost} duplicates={traffic.duplicates} "
+            f"ledger={report.ledger} bit_identical={report.bit_identical}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 async def _run(args) -> int:
@@ -100,6 +199,8 @@ async def _run(args) -> int:
         n_workers=args.workers,
         params=params,
         tenant_weights=dict(args.tenants),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
     ) as scheduler:
         report = await run_traffic(scheduler, config)
         pool_report = scheduler.report().get("pool", {})
@@ -137,6 +238,8 @@ async def _run(args) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.chaos:
+        return asyncio.run(_run_chaos(args))
     return asyncio.run(_run(args))
 
 

@@ -32,11 +32,11 @@ from __future__ import annotations
 import asyncio
 import time
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.core.evaluation import Evaluator
 from repro.core.stats_cache import CacheStats
-from repro.errors import JobCancelled, ServeError
+from repro.errors import CheckpointError, JobCancelled, ServeError
 from repro.obs import NULL_OBS
 from repro.parallel.mp_backend import _wire_neighbor
 from repro.rng import RngFactory, as_generator, get_generator_state, set_generator_state
@@ -55,6 +55,10 @@ class JobState:
 
     QUEUED = "queued"
     RUNNING = "running"
+    #: suspended to its checkpoint by a higher-priority arrival; the
+    #: engine stays warm in memory and the job re-enters the running
+    #: set (bit-identically) once capacity frees up.
+    PREEMPTED = "preempted"
     DONE = "done"
     CANCELLED = "cancelled"
     FAILED = "failed"
@@ -84,6 +88,16 @@ class JobSpec:
     checkpoint_every: int | None = None
     #: continue from this job's snapshot file if one exists.
     resume: bool = False
+    #: failed attempts the scheduler may retry (from the latest
+    #: checkpoint, not from scratch) before the job fails terminally.
+    max_retries: int = 0
+    #: base of the exponential retry backoff (seconds before the k-th
+    #: retry becomes admittable again: ``retry_backoff_s * 2**(k-1)``).
+    retry_backoff_s: float = 0.05
+    #: per-*attempt* wall-clock deadline (None: unlimited).  An attempt
+    #: that overruns is cancelled and retried from its latest
+    #: checkpoint while the retry budget lasts.
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -99,6 +113,33 @@ class JobSpec:
                 "lockstep jobs run exactly one task per iteration; "
                 f"n_tasks={self.n_tasks} would break the bit-identity contract"
             )
+        if self.max_retries < 0:
+            raise ServeError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ServeError("retry_backoff_s must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ServeError("deadline_s must be positive")
+
+    # ------------------------------------------------------------------
+    # Wire form (the job ledger stores this; recovery rebuilds from it)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        """A plain-JSON dict carrying everything needed to rebuild the
+        spec in another process (the ledger's ``accepted`` payload)."""
+        return asdict(self)
+
+    @classmethod
+    def from_wire(cls, wire: dict, **overrides) -> "JobSpec":
+        """Rebuild a spec from :meth:`to_wire` output.
+
+        ``overrides`` patch fields on the way in — recovery forces
+        ``resume=True`` so a re-admitted job continues from its
+        snapshot instead of restarting.
+        """
+        data = dict(wire)
+        data["params"] = TSMOParams(**data["params"])
+        data.update(overrides)
+        return cls(**data)
 
 
 class Job:
@@ -120,8 +161,24 @@ class Job:
         self.error: BaseException | None = None
         #: set by :meth:`SolveScheduler.cancel`; the pump applies it.
         self.cancel_requested = False
+        #: failed attempts retried so far (attempt number - 1).
+        self.attempts = 0
+        #: monotonic time before which a retried job is not re-admitted
+        #: (the exponential backoff gate).
+        self.retry_at = 0.0
+        #: start of the *current* attempt (the deadline clock; a
+        #: preempted job's clock restarts on resume so suspended time
+        #: never burns the deadline).
+        self.attempt_started_at: float | None = None
+        #: re-admitted from the ledger by a restarted scheduler.
+        self.recovered = False
+        #: why the resume snapshot was rejected (corrupt fallback).
+        self.checkpoint_corrupt: str | None = None
         self._future = future
         self._obs = NULL_OBS
+        #: admission key (set at submit; preemption/retry re-queue with
+        #: it so FIFO order within a priority level is preserved).
+        self._admit_seq = 0
         # Runner state, populated by _start().
         self._engine: TSMOEngine | None = None
         self._policy = None
@@ -181,6 +238,9 @@ class Job:
         spec = self.spec
         self._obs = obs
         self._policy = policy
+        # Per-attempt note: a stale corruption report from a previous
+        # attempt must not be re-journaled by this one.
+        self.checkpoint_corrupt = None
         evaluator = Evaluator(instance, spec.params.max_evaluations)
         # The engine stays uninstrumented: service-level observability
         # lives on job-scoped events/metrics, and an instrumented engine
@@ -196,9 +256,21 @@ class Job:
             sizes = [base + (1 if i < extra else 0) for i in range(spec.n_tasks)]
             self._chunk_sizes = [size for size in sizes if size > 0]
             self._seed_rng = RngFactory(spec.seed).generator()
-        resumed = (
-            policy.load_resume_state(kind="serve-job") if policy is not None else None
-        )
+        try:
+            resumed = (
+                policy.load_resume_state(kind="serve-job")
+                if policy is not None
+                else None
+            )
+        except CheckpointError as exc:
+            # A corrupt resume snapshot (torn tail, bad sha256, stale
+            # format) must not escape the scheduler pump: fall back to
+            # a fresh restart, loudly — the bad file is dropped so the
+            # next periodic snapshot replaces it, and the scheduler
+            # emits a job_checkpoint_corrupt event + ledger record.
+            self.checkpoint_corrupt = str(exc)
+            policy.path.unlink(missing_ok=True)
+            resumed = None
         if resumed is not None:
             engine.restore(resumed["engine"])
             if self._seed_rng is not None and resumed.get("seed_rng") is not None:
@@ -208,6 +280,7 @@ class Job:
             engine.initialize()
         self.state = JobState.RUNNING
         self.started_at = time.monotonic()
+        self.attempt_started_at = self.started_at
         self._boundary()
 
     @property
@@ -319,6 +392,60 @@ class Job:
                 else None
             ),
         }
+
+    # ------------------------------------------------------------------
+    # Fault-tolerance transitions (retry / preemption)
+    # ------------------------------------------------------------------
+    def _reset_for_retry(self, now: float) -> None:
+        """Back to the wait queue after a failed attempt.
+
+        Drops the attempt's runner state wholesale — the next admission
+        rebuilds the engine, resuming from the latest periodic snapshot
+        when one exists (otherwise restarting fresh).  The exponential
+        backoff gate keeps a crash-looping job from monopolizing
+        admission.
+        """
+        self.attempts += 1
+        self.retry_at = now + self.spec.retry_backoff_s * (2.0 ** (self.attempts - 1))
+        self.state = JobState.QUEUED
+        self.attempt_started_at = None
+        self._engine = None
+        self._policy = None
+        self._seed_rng = None
+        self._chunk_sizes = []
+        self._task_order = []
+        self._buffers = {}
+        self._pending_finals = set()
+        self._rng_back = None
+        self._finished = False
+
+    def _suspend(self) -> None:
+        """Preemption: park the job, keeping the engine warm.
+
+        In-flight pool tasks were already cancelled (their batches
+        drain silently), so the partial iteration is simply discarded:
+        the engine only ever mutates at iteration completion, and the
+        resumed dispatch re-ships the identical RNG bit-state, so the
+        re-run iteration is bit-identical to the one that was cut —
+        preemption is invisible to the trajectory.  A durability
+        snapshot is flushed so a crash while suspended loses nothing
+        beyond this boundary.
+        """
+        self._task_order = []
+        self._buffers = {}
+        self._pending_finals = set()
+        self._rng_back = None
+        if self._policy is not None:
+            self._policy.flush(
+                self._engine.evaluator.count, self._build_state, kind="serve-job"
+            )
+        self.state = JobState.PREEMPTED
+
+    def _resume_preempted(self) -> None:
+        """Back into the running set; the deadline clock restarts so
+        time spent suspended never counts against the attempt."""
+        self.state = JobState.RUNNING
+        self.attempt_started_at = time.monotonic()
 
     def _finalize(self, n_workers: int) -> TSMOResult:
         """Package the finished engine into a result; drop the snapshot."""

@@ -1,0 +1,180 @@
+"""The durable job ledger: what makes the scheduler *supervised*.
+
+Every job the solve service accepts is journaled to one append-only,
+fsynced JSONL file (``serve_ledger.jsonl`` in the scheduler's
+checkpoint directory) through the same durability discipline as the
+run manifest: one complete line per record, flushed and fsynced before
+the call returns, so a crash — SIGKILL, OOM, node loss — can tear at
+most the very last line.  The ledger is an *episode* log:
+
+* ``accepted`` opens a job's episode and carries its full serialized
+  :class:`~repro.serve.job.JobSpec` (everything a restarted scheduler
+  needs to rebuild the job);
+* ``done`` / ``cancelled`` / ``failed`` close it — exactly one
+  terminal record per episode is the conservation invariant
+  :meth:`JobLedger.audit` checks;
+* ``retry`` / ``preempted`` / ``recovered`` / ``checkpoint_corrupt``
+  are informational waypoints inside an episode.
+
+:meth:`JobLedger.replay` returns the *open* episodes — the jobs a
+crashed scheduler accepted but never finished.  A restarted scheduler
+re-admits every one of them with ``resume=True``: jobs that reached a
+periodic checkpoint continue bit-identically from their snapshot,
+jobs that never snapshotted restart fresh, and either way no accepted
+job is ever silently lost.
+"""
+
+from __future__ import annotations
+
+import json
+
+from pathlib import Path
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.errors import LedgerError
+from repro.obs.timeutil import utc_timestamp
+from repro.persistence.atomic import append_line, iter_durable_lines
+
+__all__ = ["JobLedger", "LEDGER_FILENAME", "TERMINAL_EVENTS"]
+
+#: ledger line schema version.
+LEDGER_VERSION = 1
+
+#: the ledger file's name inside the scheduler's checkpoint directory.
+LEDGER_FILENAME = "serve_ledger.jsonl"
+
+#: events that close a job episode.
+TERMINAL_EVENTS = frozenset({"done", "cancelled", "failed"})
+
+#: every event kind the ledger accepts.
+EVENT_KINDS = TERMINAL_EVENTS | {
+    "accepted",
+    "retry",
+    "preempted",
+    "recovered",
+    "checkpoint_corrupt",
+}
+
+
+class JobLedger:
+    """Reader/writer of one scheduler's durable job journal."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(self, event: str, job_id: str, **fields: Any) -> None:
+        """Append one durable record (write + flush + fsync)."""
+        if event not in EVENT_KINDS:
+            raise LedgerError(f"unknown ledger event kind {event!r}")
+        entry = {
+            "v": LEDGER_VERSION,
+            "event": event,
+            "job": job_id,
+            "written_at": utc_timestamp(),
+        }
+        entry.update(fields)
+        append_line(self.path, json.dumps(entry, sort_keys=True))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Yield every well-formed record in append order.
+
+        A torn *final* line (the crash-mid-append signature the append
+        discipline explicitly permits) is dropped; malformed content
+        anywhere earlier raises :class:`~repro.errors.LedgerError` —
+        recovering jobs from a lying ledger could lose or duplicate
+        accepted work.
+        """
+        if not self.path.exists():
+            return
+        for line_no, line, is_last in iter_durable_lines(self.path):
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict):
+                    raise ValueError("ledger entry is not an object")
+                if entry.get("v") != LEDGER_VERSION:
+                    raise ValueError(
+                        f"unsupported ledger version {entry.get('v')!r}"
+                    )
+                if entry.get("event") not in EVENT_KINDS:
+                    raise ValueError(f"unknown event {entry.get('event')!r}")
+                if not entry.get("job"):
+                    raise ValueError("ledger entry names no job")
+            except (ValueError, TypeError) as exc:
+                if is_last:
+                    # torn tail: the record was never durably complete,
+                    # so whatever it described simply did not happen.
+                    break
+                raise LedgerError(
+                    f"ledger {self.path} line {line_no} is corrupt: {exc}"
+                ) from exc
+            yield entry
+
+    def replay(self) -> Dict[str, Dict[str, Any]]:
+        """Map each *open* episode's job id to its ``accepted`` record.
+
+        These are exactly the jobs a restarted scheduler must re-admit:
+        accepted (durably) but never driven to a terminal state.
+        Preserves acceptance order (dict insertion order).
+        """
+        open_episodes: Dict[str, Dict[str, Any]] = {}
+        for entry in self.entries():
+            event = entry["event"]
+            if event == "accepted":
+                open_episodes[entry["job"]] = entry
+            elif event in TERMINAL_EVENTS:
+                open_episodes.pop(entry["job"], None)
+        return open_episodes
+
+    def audit(self) -> Dict[str, Any]:
+        """The conservation audit over the whole ledger.
+
+        Counts every event kind and checks the episode invariant:
+        every ``accepted`` is closed by exactly one terminal record
+        (``open == 0``), no terminal arrives without an open episode
+        (``orphan_terminals == 0`` — a duplicate terminal would
+        double-count a job), and no job is re-accepted while its
+        episode is still open (``duplicate_accepts == 0``).
+        """
+        counts = {kind: 0 for kind in sorted(EVENT_KINDS)}
+        open_jobs: Dict[str, bool] = {}
+        orphan_terminals = 0
+        duplicate_accepts = 0
+        for entry in self.entries():
+            event, job = entry["event"], entry["job"]
+            counts[event] += 1
+            if event == "accepted":
+                if open_jobs.get(job):
+                    duplicate_accepts += 1
+                open_jobs[job] = True
+            elif event in TERMINAL_EVENTS:
+                if not open_jobs.get(job):
+                    orphan_terminals += 1
+                open_jobs[job] = False
+        open_count = sum(1 for still_open in open_jobs.values() if still_open)
+        terminal = sum(counts[kind] for kind in TERMINAL_EVENTS)
+        return {
+            "events": counts,
+            "accepted": counts["accepted"],
+            "terminal": terminal,
+            "open": open_count,
+            "orphan_terminals": orphan_terminals,
+            "duplicate_accepts": duplicate_accepts,
+            "conserved": (
+                open_count == 0
+                and orphan_terminals == 0
+                and duplicate_accepts == 0
+                and counts["accepted"] == terminal
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"JobLedger({str(self.path)!r})"

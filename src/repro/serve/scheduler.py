@@ -46,11 +46,19 @@ import time
 
 from dataclasses import dataclass
 
-from repro.errors import AdmissionError, ServeError, WorkerPoolError
+from repro.errors import (
+    AdmissionError,
+    JobCancelled,
+    JobDeadlineExceeded,
+    SearchInterrupted,
+    ServeError,
+    WorkerPoolError,
+)
 from repro.obs import NULL_OBS
 from repro.parallel.pool import WorkerPool
 from repro.persistence import CheckpointPlan
 from repro.serve.job import Job, JobSpec, JobState
+from repro.serve.ledger import LEDGER_FILENAME, JobLedger
 
 __all__ = ["DeficitRoundRobin", "ServeParams", "SolveScheduler"]
 
@@ -189,6 +197,18 @@ class SolveScheduler:
     ``serve_<job>.ckpt`` on its ``checkpoint_every`` cadence, and a job
     resubmitted with ``resume=True`` — to this scheduler or a brand-new
     one after a crash — continues from its snapshot bit-identically.
+
+    With a checkpoint directory the scheduler is also *supervised*:
+    every accepted job is journaled to a durable ledger
+    (``serve_ledger.jsonl``), so a scheduler constructed over the same
+    directory after a crash re-admits every unfinished job
+    automatically (``recover=False`` opts out).  Jobs carry per-attempt
+    fault budgets (``max_retries`` / ``deadline_s`` on
+    :class:`~repro.serve.job.JobSpec`): a failed or overrunning attempt
+    re-queues with exponential backoff and resumes from the latest
+    checkpoint rather than scratch.  When the running set is full, a
+    strictly higher-priority arrival preempts the lowest-priority
+    running job to its checkpoint and resumes it later.
     """
 
     def __init__(
@@ -203,6 +223,8 @@ class SolveScheduler:
         checkpoint_every: int | None = None,
         obs=NULL_OBS,
         fault_plan=None,
+        recover: bool = True,
+        chaos=None,
     ) -> None:
         if n_workers < 1:
             raise ServeError("need at least one worker process")
@@ -218,6 +240,19 @@ class SolveScheduler:
             if checkpoint_dir is not None
             else None
         )
+        # The durable job ledger lives next to the checkpoints: a
+        # scheduler without a checkpoint directory has nowhere to
+        # recover *to*, so it runs unsupervised (best effort) exactly
+        # as before.
+        if self._plan is not None:
+            self._plan.directory.mkdir(parents=True, exist_ok=True)
+            self._ledger = JobLedger(self._plan.directory / LEDGER_FILENAME)
+        else:
+            self._ledger = None
+        self._recover = recover
+        self._recovered_from_ledger = False
+        self._chaos = chaos
+        self._pump_cycles = 0
         self._drr = DeficitRoundRobin(self.params.quantum)
         for tenant, weight in self._weights.items():
             self._drr.set_weight(tenant, weight)
@@ -237,6 +272,9 @@ class SolveScheduler:
         self.cancelled = 0
         self.failed = 0
         self.peak_active = 0
+        self.job_retries = 0
+        self.preemptions = 0
+        self.recovered_jobs = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -253,10 +291,80 @@ class SolveScheduler:
                 fault_plan=self.fault_plan,
                 obs=self.obs,
             )
+        if (
+            self._recover
+            and not self._recovered_from_ledger
+            and self._ledger is not None
+            and self._ledger.exists()
+        ):
+            self._recovered_from_ledger = True
+            self._recover_from_ledger()
         if self._pump_task is None:
             self._pump_task = asyncio.get_running_loop().create_task(
                 self._pump(), name="repro-serve-pump"
             )
+
+    def _recover_from_ledger(self) -> None:
+        """Re-admit every job the ledger says was accepted but never
+        finished (the supervised-recovery half of the failure story).
+
+        Each open episode's ``accepted`` record carries the full wire
+        form of its :class:`~repro.serve.job.JobSpec`; the job is
+        rebuilt with ``resume=True`` so an attempt that reached a
+        checkpoint continues bit-identically from its snapshot and one
+        that never snapshotted restarts fresh.  Jobs the client already
+        resubmitted by id keep the client's handle — recovery never
+        shadows a live submission.
+        """
+        loop = asyncio.get_running_loop()
+        for job_id, entry in self._ledger.replay().items():
+            if job_id in self._jobs:
+                continue
+            spec = JobSpec.from_wire(entry["spec"], resume=True)
+            job = Job(spec, loop.create_future(), now=time.monotonic())
+            job.recovered = True
+            job._admit_seq = self._seq
+            self._jobs[job_id] = job
+            heapq.heappush(self._heap, (-spec.priority, self._seq, job))
+            self._seq += 1
+            self.submitted += 1
+            self.recovered_jobs += 1
+            self._ledger.record("recovered", job_id)
+            if self.obs.enabled:
+                self.obs.metrics.inc("serve.recovered_jobs")
+                tracer = self.obs.tracer
+                if tracer.enabled:
+                    tracer.emit(
+                        "job_recovered",
+                        span=f"job-{job_id}",
+                        job=job_id,
+                        state=JobState.QUEUED,
+                    )
+                self._emit_state(job_id, JobState.QUEUED)
+
+    async def abort(self) -> None:
+        """Tear the service down with **no** terminal bookkeeping.
+
+        The in-process stand-in for SIGKILL that the chaos harness
+        uses: the pump stops, the worker processes are shut down, but
+        unfinished jobs are neither failed nor journaled — their ledger
+        episodes stay open, exactly as after a real crash, so a new
+        scheduler on the same checkpoint directory recovers every one
+        of them.  Client futures are cancelled; the work itself is not
+        lost (it continues on the recovered scheduler).
+        """
+        if self._closed:
+            return
+        self._stopping = True
+        if self._pump_task is not None:
+            await self._pump_task
+            self._pump_task = None
+        if self._pool is not None:
+            self._pool.close()
+        for job in self._jobs.values():
+            if not job._future.done():
+                job._future.cancel()
+        self._closed = True
 
     async def __aenter__(self) -> "SolveScheduler":
         self.start()
@@ -294,6 +402,10 @@ class SolveScheduler:
                         "with resume=True to continue from its checkpoint"
                     )
                 )
+                # A deliberate close is a terminal decision, not a crash:
+                # closing the episode keeps the ledger conserved and stops
+                # the next scheduler from resurrecting abandoned work.
+                self._record(job, "failed", cause="scheduler closed", attempts=job.attempts + 1)
         if self._pool is not None:
             self._pool.close()
         self._closed = True
@@ -332,6 +444,17 @@ class SolveScheduler:
             )
         future = asyncio.get_running_loop().create_future()
         job = Job(spec, future, now=time.monotonic())
+        # Durable accept *before* the job becomes visible: once the
+        # ledger line is fsynced, no crash can lose this job.
+        if self._ledger is not None:
+            self._ledger.record(
+                "accepted",
+                spec.job_id,
+                spec=spec.to_wire(),
+                tenant=spec.tenant,
+                priority=spec.priority,
+            )
+        job._admit_seq = self._seq
         self._jobs[spec.job_id] = job
         heapq.heappush(self._heap, (-spec.priority, self._seq, job))
         self._seq += 1
@@ -353,7 +476,10 @@ class SolveScheduler:
             raise ServeError(f"unknown job id {job_id!r}")
         if job.done():
             return False
-        if job.state == JobState.QUEUED:
+        if job.state in (JobState.QUEUED, JobState.PREEMPTED):
+            # Not on the pool (a preempted job's tasks were already
+            # cancelled at suspension), so cancel immediately; the
+            # job's stale heap entry is skipped at admission.
             self._finish_cancelled(job)
         else:
             job.cancel_requested = True
@@ -380,6 +506,9 @@ class SolveScheduler:
             "active": len(self._active),
             "queued": queued,
             "peak_active": self.peak_active,
+            "job_retries": self.job_retries,
+            "preemptions": self.preemptions,
+            "recovered_jobs": self.recovered_jobs,
         }
         if self._pool is not None:
             out["pool"] = self._pool.report()
@@ -395,7 +524,13 @@ class SolveScheduler:
             while True:
                 if self._stopping:
                     return
+                self._pump_cycles += 1
+                if self._chaos is not None:
+                    stall = self._chaos.stall_for(self._pump_cycles)
+                    if stall:
+                        await asyncio.sleep(stall)
                 self._apply_cancellations()
+                self._apply_deadlines()
                 self._admit()
                 self._dispatch()
                 self._update_gauges()
@@ -411,6 +546,9 @@ class SolveScheduler:
                 if not job._future.done():
                     job._fail(wrapped)
                     self.failed += 1
+                    self._record(
+                        job, "failed", cause=repr(wrapped), attempts=job.attempts + 1
+                    )
             self._active.clear()
 
     def _route(self, events) -> None:
@@ -421,39 +559,147 @@ class SolveScheduler:
             try:
                 job._on_event(event)
             except Exception as exc:  # CrashInjected, SearchInterrupted, ...
-                self._fail_job(job, exc)
+                self._fail_or_retry(job, exc)
         for job in list(self._active.values()):
             if job._finished and not job._pending_finals:
                 self._finish_job(job)
 
     def _admit(self) -> None:
-        while self._heap and len(self._active) < self.params.max_active:
-            _, _, job = heapq.heappop(self._heap)
-            if job.state != JobState.QUEUED:
-                continue  # cancelled while waiting
-            policy = None
-            if self._plan is not None and (
-                job.spec.checkpoint_every is not None
-                or job.spec.resume
-                or self._plan.every is not None
-            ):
-                policy = self._plan.policy_for_job(
-                    job.job_id,
-                    every=job.spec.checkpoint_every,
-                    resume=job.spec.resume,
-                )
+        now = time.monotonic()
+        deferred: list[tuple[int, int, Job]] = []
+        while self._heap:
+            entry = self._heap[0]
+            job = entry[2]
+            if job.state not in (JobState.QUEUED, JobState.PREEMPTED):
+                heapq.heappop(self._heap)
+                continue  # cancelled/failed while waiting — stale entry
+            if job.state == JobState.QUEUED and job.retry_at > now:
+                # Backoff gate: the retry is queued but not yet due.
+                deferred.append(heapq.heappop(self._heap))
+                continue
+            if len(self._active) >= self.params.max_active:
+                victim = self._preemption_victim(job.spec.priority)
+                if victim is None:
+                    break
+                self._preempt(victim)
+                continue
+            heapq.heappop(self._heap)
+            if job.state == JobState.PREEMPTED:
+                # Same engine object, untouched since suspension: the
+                # resumed iteration replays the exact dispatch the
+                # preemption aborted, so the trajectory stays
+                # bit-identical to an uninterrupted run.
+                job._resume_preempted()
+                self._active[job.job_id] = job
+                self.peak_active = max(self.peak_active, len(self._active))
+                if self.obs.enabled:
+                    self._emit_state(job.job_id, JobState.RUNNING)
+                if job._finished and not job._pending_finals:
+                    self._finish_job(job)  # preempted after its last iteration
+                continue
+            policy = self._policy_for(job)
             self._drr.ensure(job.tenant, self._weights.get(job.tenant, 1.0))
             try:
                 job._start(self.instance, policy, self.obs)
             except Exception as exc:
-                self._fail_job(job, exc)
+                self._fail_or_retry(job, exc)
                 continue
+            if job.checkpoint_corrupt is not None:
+                self._note_checkpoint_corrupt(job)
             self._active[job.job_id] = job
             self.peak_active = max(self.peak_active, len(self._active))
             if self.obs.enabled:
                 self._emit_state(job.job_id, JobState.RUNNING)
             if job._finished:  # zero budget left (e.g. resumed past it)
                 self._finish_job(job)
+        for item in deferred:
+            heapq.heappush(self._heap, item)
+
+    def _policy_for(self, job: Job):
+        """The checkpoint policy one attempt of ``job`` runs under.
+
+        Retries and recovered jobs always resume (continuing from the
+        latest snapshot instead of scratch is the whole point of the
+        retry budget); chaos-injected crashes fire on the first attempt
+        only, so the retry that follows proves the recovery path.
+        """
+        if self._plan is None:
+            return None
+        spec = job.spec
+        crash_after = None
+        if (
+            self._chaos is not None
+            and job.attempts == 0
+            and not job.recovered
+        ):
+            crash_after = self._chaos.crash_after_for(job.job_id)
+        resume = spec.resume or job.attempts > 0 or job.recovered
+        if (
+            spec.checkpoint_every is None
+            and not resume
+            and self._plan.every is None
+            and crash_after is None
+        ):
+            return None
+        return self._plan.policy_for_job(
+            job.job_id,
+            every=spec.checkpoint_every,
+            resume=resume,
+            crash_after=crash_after,
+        )
+
+    def _note_checkpoint_corrupt(self, job: Job) -> None:
+        """A resume found a corrupt snapshot: loud, journaled, non-fatal
+        (the attempt restarted fresh; see ``Job._start``)."""
+        self._record(job, "checkpoint_corrupt", error=job.checkpoint_corrupt)
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve.checkpoint_corrupt")
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    "job_checkpoint_corrupt",
+                    span=f"job-{job.job_id}",
+                    job=job.job_id,
+                    error=job.checkpoint_corrupt,
+                )
+
+    def _preemption_victim(self, priority: int) -> Job | None:
+        """The running job a ``priority`` arrival may displace: the
+        lowest-priority active job (latest-admitted on ties), and only
+        if its priority is *strictly* lower — equal-priority work is
+        never churned."""
+        victim: Job | None = None
+        victim_key: tuple[int, int] | None = None
+        for job in self._active.values():
+            if job.cancel_requested or job.state != JobState.RUNNING:
+                continue
+            key = (job.spec.priority, -job._admit_seq)
+            if victim_key is None or key < victim_key:
+                victim, victim_key = job, key
+        if victim is None or victim.spec.priority >= priority:
+            return None
+        return victim
+
+    def _preempt(self, victim: Job) -> None:
+        self._pool.cancel_tag(victim.job_id)
+        del self._active[victim.job_id]
+        victim._suspend()
+        heapq.heappush(
+            self._heap, (-victim.spec.priority, victim._admit_seq, victim)
+        )
+        self.preemptions += 1
+        self._record(victim, "preempted", evaluations=victim.evaluations)
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve.preemptions")
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    "job_preempted",
+                    span=f"job-{victim.job_id}",
+                    job=victim.job_id,
+                    evaluations=victim.evaluations,
+                )
+            self._emit_state(victim.job_id, JobState.PREEMPTED)
 
     def _dispatch(self) -> None:
         pool = self._pool
@@ -473,7 +719,7 @@ class SolveScheduler:
             try:
                 job._dispatch(pool)
             except Exception as exc:
-                self._fail_job(job, exc)
+                self._fail_or_retry(job, exc)
 
     def _apply_cancellations(self) -> None:
         for job in list(self._active.values()):
@@ -482,13 +728,81 @@ class SolveScheduler:
                 del self._active[job.job_id]
                 self._finish_cancelled(job)
 
+    def _apply_deadlines(self) -> None:
+        now = time.monotonic()
+        for job in list(self._active.values()):
+            deadline = job.spec.deadline_s
+            if (
+                deadline is not None
+                and not job.cancel_requested
+                and job.attempt_started_at is not None
+                and now - job.attempt_started_at > deadline
+            ):
+                self._fail_or_retry(
+                    job,
+                    JobDeadlineExceeded(
+                        f"job {job.job_id!r} attempt {job.attempts + 1} "
+                        f"exceeded its {deadline}s deadline after "
+                        f"{job.evaluations} evaluations"
+                    ),
+                )
+
     # ------------------------------------------------------------------
-    # Terminal transitions
+    # Terminal transitions (and the retry escape hatch before them)
     # ------------------------------------------------------------------
+    def _record(self, job: Job, event: str, **fields) -> None:
+        if self._ledger is not None:
+            try:
+                self._ledger.record(event, job.job_id, **fields)
+            except OSError:  # pragma: no cover - disk loss at journal time
+                # The job outcome must still reach the client; a
+                # write-failed ledger only degrades recovery.
+                pass
+
+    def _fail_or_retry(self, job: Job, exc: BaseException) -> None:
+        """Route one attempt's failure: burn a retry when the budget
+        allows, otherwise make the failure terminal.
+
+        Cancellation and admission refusals are never retried — they
+        are decisions, not faults.
+        """
+        retryable = not isinstance(
+            exc, (AdmissionError, JobCancelled, SearchInterrupted)
+        )
+        if retryable and job.attempts < job.spec.max_retries:
+            self._retry_job(job, exc)
+        else:
+            self._fail_job(job, exc)
+
+    def _retry_job(self, job: Job, exc: BaseException) -> None:
+        self._active.pop(job.job_id, None)
+        if self._pool is not None and not self._pool._closed:
+            try:
+                self._pool.cancel_tag(job.job_id)
+            except WorkerPoolError:  # pragma: no cover - defensive
+                pass
+        job._reset_for_retry(time.monotonic())
+        heapq.heappush(self._heap, (-job.spec.priority, job._admit_seq, job))
+        self.job_retries += 1
+        self._record(job, "retry", attempt=job.attempts, cause=repr(exc))
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve.job_retries")
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    "job_retry",
+                    span=f"job-{job.job_id}",
+                    job=job.job_id,
+                    attempt=job.attempts,
+                    cause=type(exc).__name__,
+                )
+            self._emit_state(job.job_id, JobState.QUEUED)
+
     def _finish_job(self, job: Job) -> None:
         del self._active[job.job_id]
         job._finalize(self.n_workers)
         self.completed += 1
+        self._record(job, "done", evaluations=job.evaluations)
         if self.obs.enabled:
             m = self.obs.metrics
             m.inc("serve.jobs_completed")
@@ -507,6 +821,7 @@ class SolveScheduler:
     def _finish_cancelled(self, job: Job) -> None:
         job._cancelled()
         self.cancelled += 1
+        self._record(job, "cancelled", evaluations=job.evaluations)
         if self.obs.enabled:
             self.obs.metrics.inc("serve.jobs_cancelled")
             self._emit_state(job.job_id, JobState.CANCELLED)
@@ -520,6 +835,7 @@ class SolveScheduler:
                 pass
         job._fail(exc)
         self.failed += 1
+        self._record(job, "failed", cause=repr(exc), attempts=job.attempts + 1)
         if self.obs.enabled:
             self.obs.metrics.inc("serve.jobs_failed")
             self._emit_state(job.job_id, JobState.FAILED)

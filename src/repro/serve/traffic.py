@@ -23,7 +23,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.errors import AdmissionError, JobCancelled
+from repro.errors import AdmissionError, JobCancelled, ServeError
 from repro.obs.timeutil import utc_timestamp
 from repro.serve.job import JobSpec
 from repro.tabu.params import TSMOParams
@@ -74,6 +74,10 @@ class TrafficReport:
     peak_active: int
     latency_s: dict = field(default_factory=dict)
     queue_wait_s: dict = field(default_factory=dict)
+    # Fault-tolerance counters (how much healing the run needed).
+    job_retries: int = 0
+    preemptions: int = 0
+    recovered_jobs: int = 0
 
     def conserved(self) -> bool:
         """The exactly-once audit: nothing lost, nothing duplicated,
@@ -134,6 +138,13 @@ async def run_traffic(scheduler, config: TrafficConfig) -> TrafficReport:
         except AdmissionError:
             rejected += 1
             continue
+        except ServeError as exc:
+            if "duplicate job id" not in str(exc):
+                raise
+            # The scheduler recovered this job from its ledger before
+            # the generator re-offered it: adopt the live handle so the
+            # conservation audit still sees exactly one outcome per id.
+            job = scheduler.get_job(spec.job_id)
         jobs.append(job)
         if config.cancel_every and len(jobs) % config.cancel_every == 0:
             scheduler.cancel(job.job_id)
@@ -178,6 +189,9 @@ async def run_traffic(scheduler, config: TrafficConfig) -> TrafficReport:
         peak_active=scheduler.peak_active,
         latency_s=_quantiles(latencies),
         queue_wait_s=_quantiles(waits),
+        job_retries=scheduler.job_retries,
+        preemptions=scheduler.preemptions,
+        recovered_jobs=scheduler.recovered_jobs,
     )
 
 

@@ -402,3 +402,87 @@ class TestCLIRecovery:
         proc = self.run_cli(tmp_path, "--resume")
         assert proc.returncode == 2
         assert "--checkpoint-dir" in proc.stderr
+
+
+@pytest.mark.slow
+class TestServeSchedulerSigkill:
+    """SIGKILL the whole solve service mid-burst, restart over the same
+    checkpoint directory, and the ledger-recovered scheduler must finish
+    every accepted job — conserved, and bit-identical to uninterrupted
+    sequential runs."""
+
+    DRIVER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "_serve_crash_driver.py")
+
+    def _env(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        return dict(os.environ, PYTHONPATH=os.path.join(root, "src"))
+
+    def test_sigkill_mid_burst_recovers_conserved_bit_identical(self, tmp_path):
+        import importlib.util
+        import signal
+        import time as _time
+
+        from repro.serve.ledger import LEDGER_FILENAME, JobLedger
+
+        spec = importlib.util.spec_from_file_location(
+            "_serve_crash_driver", self.DRIVER
+        )
+        driver = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(driver)
+
+        ckpt = tmp_path / "ckpt"
+        ready = tmp_path / "ready"
+        phase1 = subprocess.Popen(
+            [sys.executable, self.DRIVER, "phase1",
+             "--checkpoint-dir", str(ckpt), "--ready-file", str(ready)],
+            env=self._env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = _time.monotonic() + 120
+            while not ready.exists():
+                if phase1.poll() is not None:
+                    pytest.fail(
+                        f"phase1 died before ready: {phase1.stderr.read()[-2000:]}"
+                    )
+                if _time.monotonic() > deadline:
+                    pytest.fail("phase1 never wrote a checkpoint")
+                _time.sleep(0.05)
+            os.kill(phase1.pid, signal.SIGKILL)
+        finally:
+            if phase1.poll() is None:  # pragma: no cover - kill raced
+                phase1.kill()
+            phase1.wait(timeout=30)
+
+        # The kill tore the service down with no shutdown bookkeeping:
+        # the ledger still holds open episodes for the orphaned jobs.
+        ledger = JobLedger(ckpt / LEDGER_FILENAME)
+        pre = ledger.audit()
+        assert pre["accepted"] == driver.N_JOBS
+        assert pre["open"] >= 1 and not pre["conserved"]
+
+        phase2 = subprocess.run(
+            [sys.executable, self.DRIVER, "phase2", "--checkpoint-dir", str(ckpt)],
+            env=self._env(),
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert phase2.returncode == 0, phase2.stderr[-2000:]
+        payload = json.loads(phase2.stdout.strip().splitlines()[-1])
+        assert payload["recovered"] >= 1
+        assert payload["recovered"] == payload["completed"]
+        assert payload["audit"]["conserved"], payload["audit"]
+        assert payload["audit"]["accepted"] == driver.N_JOBS
+        assert payload["fronts"], "recovery finished no jobs"
+
+        # Every recovered job's front equals the uninterrupted oracle.
+        inst = driver.make_instance()
+        for job_id, front in payload["fronts"].items():
+            seed = driver.SEED_BASE + int(job_id.split("-")[1])
+            oracle = run_sequential_tsmo(inst, driver.PARAMS, seed=seed)
+            assert payload["evaluations"][job_id] == oracle.evaluations
+            assert np.array_equal(np.asarray(front), oracle.front()), job_id

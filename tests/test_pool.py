@@ -6,6 +6,8 @@ tests shrink every supervision interval so failure paths resolve in
 well under a second of policing time.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -311,3 +313,74 @@ class TestCancelTag:
                     neighbors.extend(event.neighbors)
             assert tags == {"job-x"}
             assert tuple(neighbors) == run_on_master(instance, routes, 4, seed=7)
+
+
+class TestCancelCompletionRace:
+    """A task finishing while its cancel is in flight must count once.
+
+    The window: the worker streams the final batch into the result
+    queue, and before the master drains it ``cancel_tag`` marks the
+    task cancelled.  The invariant pinned here is conservation —
+    every resolved task lands in exactly one of ``tasks_completed`` or
+    ``cancelled_tasks`` — plus silence (no event with the tag is ever
+    delivered after ``cancel_tag`` returns).
+    """
+
+    def test_finished_but_undrained_task_counts_once(self, instance, routes):
+        # The injected delay guarantees the first poll dispatches the
+        # task but cannot deliver any of its output; the sleep then
+        # guarantees the final batch is sitting undrained in the result
+        # queue when the cancel lands.
+        plan = FaultPlan(delays=((0, 0, 0.2),))
+        with WorkerPool(instance, 1, params=FAST, fault_plan=plan) as pool:
+            tid = pool.submit(routes, 4, seed=3, iteration=1, tag="j")
+            assert pool.poll(0.001) == []
+            time.sleep(1.0)  # worker finishes; final batch lands undrained
+            assert pool.cancel_tag("j") == [tid]
+            assert pool.cancel_tag("j") == []  # idempotent, still counted once
+            deadline = 40
+            while pool.backlog() and deadline:
+                assert pool.poll(0.02) == []  # the finish drains silently
+                deadline -= 1
+            report = pool.report()
+        assert report["tasks_completed"] == 0
+        assert report["cancelled_tasks"] == 1
+        assert report["cancelled_completions"] == 1
+        assert report["crashes"] == 0
+
+    def test_tag_reuse_after_cancel_is_fresh(self, instance, routes):
+        # A new task under a previously-cancelled tag must behave as if
+        # the tag were never seen: delivered exactly once, in full.
+        with WorkerPool(instance, 1, params=FAST) as pool:
+            first = pool.submit(routes, 4, seed=5, iteration=1, tag="j")
+            assert pool.cancel_tag("j") == [first]
+            second = pool.submit(routes, 4, seed=6, iteration=2, tag="j")
+            outcome = pool.gather([second])[second]
+            report = pool.report()
+        assert outcome.neighbors == run_on_master(instance, routes, 4, seed=6)
+        assert report["tasks_completed"] == 1
+        assert report["cancelled_tasks"] == 1
+        assert report["cancelled_completions"] == 0  # dropped pre-dispatch
+
+    def test_mixed_workload_counts_are_conserved(self, instance, routes):
+        submitted = 6
+        with WorkerPool(instance, 2, params=FAST) as pool:
+            ids = [
+                pool.submit(
+                    routes, 4, seed=s, iteration=1, tag="a" if s % 2 else "b"
+                )
+                for s in range(submitted)
+            ]
+            pool.poll(0.05)
+            pool.cancel_tag("a")
+            deadline = 100
+            while pool.backlog() and deadline:
+                pool.poll(0.02)
+                deadline -= 1
+            report = pool.report()
+        assert deadline > 0, "pool failed to drain"
+        assert len(ids) == submitted
+        assert (
+            report["tasks_completed"] + report["cancelled_tasks"] == submitted
+        )
+        assert report["cancelled_completions"] <= report["cancelled_tasks"]

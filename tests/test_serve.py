@@ -17,18 +17,28 @@ import asyncio
 import numpy as np
 import pytest
 
-from repro.errors import AdmissionError, JobCancelled, ServeError
+from repro.errors import (
+    AdmissionError,
+    CrashInjected,
+    JobCancelled,
+    JobDeadlineExceeded,
+    LedgerError,
+    ServeError,
+)
 from repro.obs import Obs
 from repro.parallel.pool import PoolParams
 from repro.serve import (
     DeficitRoundRobin,
+    JobLedger,
     JobSpec,
     JobState,
+    ServeFaultPlan,
     ServeParams,
     SolveScheduler,
     TrafficConfig,
     run_traffic,
 )
+from repro.serve.ledger import LEDGER_FILENAME
 from repro.tabu.params import TSMOParams
 from repro.tabu.search import run_sequential_tsmo
 from repro.vrptw.generator import generate_instance
@@ -385,3 +395,422 @@ class TestObservability:
         snap = obs.metrics.snapshot()
         assert snap["counters"]["serve.jobs_completed"] == 1
         assert "serve.job_latency_s" in snap["histograms"]
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: retry budgets, preemption, corruption, supervision
+# ----------------------------------------------------------------------
+class TestRetryBudget:
+    def test_crash_retries_from_checkpoint_bit_identical(self, instance, tmp_path):
+        params = TSMOParams(max_evaluations=240, neighborhood_size=16)
+        plan = ServeFaultPlan(crashes=(("c1", 100),))
+
+        async def scenario():
+            obs = Obs()
+            async with SolveScheduler(
+                instance,
+                n_workers=1,
+                pool_params=FAST,
+                checkpoint_dir=tmp_path,
+                chaos=plan,
+                obs=obs,
+            ) as scheduler:
+                job = scheduler.submit(
+                    JobSpec(
+                        job_id="c1",
+                        seed=13,
+                        params=params,
+                        checkpoint_every=48,
+                        max_retries=2,
+                        retry_backoff_s=0.01,
+                    )
+                )
+                result = await job.wait()
+                return result, scheduler.report(), obs, job
+
+        result, report, obs, job = run(scenario())
+        # The injected crash burned exactly one retry ...
+        assert job.attempts == 1
+        assert report["job_retries"] == 1
+        assert report["completed"] == 1 and report["failed"] == 0
+        retries = obs.tracer.events("job_retry")
+        assert retries and retries[0]["job"] == "c1"
+        assert retries[0]["cause"] == "CrashInjected"
+        # ... resumed from the snapshot, and the stitched trajectory is
+        # bit-identical to the uninterrupted sequential oracle.
+        oracle = run_sequential_tsmo(instance, params, seed=13)
+        assert result.evaluations == oracle.evaluations
+        assert result.iterations == oracle.iterations
+        assert np.array_equal(result.front(), oracle.front())
+        # The ledger saw accept -> retry -> done, episode closed.
+        audit = JobLedger(tmp_path / LEDGER_FILENAME).audit()
+        assert audit["conserved"], audit
+        assert audit["events"]["retry"] == 1
+
+    def test_exhausted_budget_fails_naming_cause(self, instance, tmp_path):
+        plan = ServeFaultPlan(crashes=(("c2", 1),))
+
+        async def scenario():
+            async with SolveScheduler(
+                instance,
+                n_workers=1,
+                pool_params=FAST,
+                checkpoint_dir=tmp_path,
+                chaos=plan,
+            ) as scheduler:
+                job = scheduler.submit(
+                    JobSpec(job_id="c2", seed=14, params=SMALL, max_retries=0)
+                )
+                with pytest.raises(CrashInjected):
+                    await job.wait()
+                return scheduler.report(), job
+
+        report, job = run(scenario())
+        assert job.state == JobState.FAILED
+        assert report["failed"] == 1 and report["job_retries"] == 0
+        entries = list(JobLedger(tmp_path / LEDGER_FILENAME).entries())
+        terminal = [e for e in entries if e["event"] == "failed"]
+        assert len(terminal) == 1
+        assert "CrashInjected" in terminal[0]["cause"]
+
+    def test_deadline_overrun_retries_then_fails(self, instance):
+        # A budget no attempt can finish inside the deadline: the first
+        # overrun burns the single retry, the second is terminal.
+        long_params = TSMOParams(max_evaluations=100_000, neighborhood_size=8)
+
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=1, pool_params=FAST
+            ) as scheduler:
+                job = scheduler.submit(
+                    JobSpec(
+                        job_id="slow",
+                        seed=15,
+                        params=long_params,
+                        max_retries=1,
+                        retry_backoff_s=0.01,
+                        deadline_s=0.2,
+                    )
+                )
+                with pytest.raises(JobDeadlineExceeded, match="slow"):
+                    await job.wait()
+                return scheduler.report(), job
+
+        report, job = run(scenario())
+        assert job.state == JobState.FAILED
+        assert job.attempts == 1  # retried once, then terminal
+        assert report["job_retries"] == 1 and report["failed"] == 1
+
+
+class TestPreemption:
+    def test_high_priority_preempts_then_victim_resumes(self, instance, tmp_path):
+        params = TSMOParams(max_evaluations=320, neighborhood_size=16)
+
+        async def scenario():
+            obs = Obs()
+            async with SolveScheduler(
+                instance,
+                n_workers=1,
+                pool_params=FAST,
+                params=ServeParams(max_active=1, pump_interval=0.01),
+                checkpoint_dir=tmp_path,
+                obs=obs,
+            ) as scheduler:
+                low = scheduler.submit(
+                    JobSpec(
+                        job_id="low",
+                        seed=21,
+                        params=params,
+                        checkpoint_every=32,
+                        priority=0,
+                    )
+                )
+                while low.evaluations < 32:
+                    await asyncio.sleep(0.005)
+                high = scheduler.submit(
+                    JobSpec(job_id="high", seed=22, params=SMALL, priority=5)
+                )
+                high_result = await high.wait()
+                low_result = await low.wait()
+                return low, high, low_result, high_result, scheduler.report(), obs
+
+        low, high, low_result, high_result, report, obs = run(scenario())
+        assert report["preemptions"] >= 1
+        assert report["completed"] == 2 and report["failed"] == 0
+        # The arrival displaced the running job and finished first.
+        assert high.finished_at <= low.finished_at
+        preempted = obs.tracer.events("job_preempted")
+        assert preempted and preempted[0]["job"] == "low"
+        states = [e["state"] for e in obs.tracer.events("job_state") if e["job"] == "low"]
+        assert "preempted" in states and states[-1] == "done"
+        # Suspension/resume did not perturb either trajectory.
+        for result, seed, p in (
+            (low_result, 21, params),
+            (high_result, 22, SMALL),
+        ):
+            oracle = run_sequential_tsmo(instance, p, seed=seed)
+            assert result.evaluations == oracle.evaluations
+            assert np.array_equal(result.front(), oracle.front())
+
+    def test_preempted_job_can_be_cancelled(self, instance):
+        params = TSMOParams(max_evaluations=4000, neighborhood_size=8)
+
+        async def scenario():
+            async with SolveScheduler(
+                instance,
+                n_workers=1,
+                pool_params=FAST,
+                params=ServeParams(max_active=1, pump_interval=0.01),
+            ) as scheduler:
+                low = scheduler.submit(
+                    JobSpec(job_id="low", seed=23, params=params, priority=0)
+                )
+                while low.evaluations < 16:
+                    await asyncio.sleep(0.005)
+                high = scheduler.submit(
+                    JobSpec(job_id="high", seed=24, params=SMALL, priority=9)
+                )
+                while low.state != JobState.PREEMPTED:
+                    await asyncio.sleep(0.005)
+                assert scheduler.cancel("low") is True
+                with pytest.raises(JobCancelled):
+                    await low.wait()
+                await high.wait()
+                return scheduler.report()
+
+        report = run(scenario())
+        assert report["preemptions"] >= 1
+        assert report["cancelled"] == 1 and report["completed"] == 1
+
+    def test_equal_priority_never_preempts(self, instance):
+        async def scenario():
+            async with SolveScheduler(
+                instance,
+                n_workers=1,
+                pool_params=FAST,
+                params=ServeParams(max_active=1, pump_interval=0.01),
+            ) as scheduler:
+                first = scheduler.submit(
+                    JobSpec(job_id="first", seed=25, params=SMALL, priority=3)
+                )
+                second = scheduler.submit(
+                    JobSpec(job_id="second", seed=26, params=SMALL, priority=3)
+                )
+                await asyncio.gather(first.wait(), second.wait())
+                return scheduler.report()
+
+        report = run(scenario())
+        assert report["preemptions"] == 0
+        assert report["completed"] == 2
+
+
+class TestCorruptCheckpoint:
+    def test_corrupt_snapshot_restarts_fresh_and_loud(self, instance, tmp_path):
+        (tmp_path / "serve_cc.ckpt").write_bytes(b"REPROCKPT garbage\x00\xff")
+
+        async def scenario():
+            obs = Obs()
+            async with SolveScheduler(
+                instance,
+                n_workers=1,
+                pool_params=FAST,
+                checkpoint_dir=tmp_path,
+                obs=obs,
+            ) as scheduler:
+                job = scheduler.submit(
+                    JobSpec(
+                        job_id="cc",
+                        seed=31,
+                        params=SMALL,
+                        checkpoint_every=16,
+                        resume=True,
+                    )
+                )
+                result = await job.wait()
+                return result, job, scheduler.report(), obs
+
+        result, job, report, obs = run(scenario())
+        # The job completed from scratch instead of raising out of the pump.
+        assert report["completed"] == 1 and report["failed"] == 0
+        assert job.checkpoint_corrupt is not None
+        events = obs.tracer.events("job_checkpoint_corrupt")
+        assert events and events[0]["job"] == "cc" and events[0]["error"]
+        audit = JobLedger(tmp_path / LEDGER_FILENAME).audit()
+        assert audit["conserved"] and audit["events"]["checkpoint_corrupt"] == 1
+        # Fresh restart == plain sequential run.
+        oracle = run_sequential_tsmo(instance, SMALL, seed=31)
+        assert result.evaluations == oracle.evaluations
+        assert np.array_equal(result.front(), oracle.front())
+
+
+class TestLedgerRecovery:
+    def test_abort_then_new_scheduler_recovers_everything(self, instance, tmp_path):
+        params = TSMOParams(max_evaluations=240, neighborhood_size=16)
+        n_jobs = 5
+        specs = [
+            JobSpec(
+                job_id=f"r{i}", seed=40 + i, params=params, checkpoint_every=32
+            )
+            for i in range(n_jobs)
+        ]
+
+        async def scenario():
+            first = SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            )
+            first.start()
+            jobs = [first.submit(spec) for spec in specs]
+            while not any(job.evaluations >= 32 for job in jobs):
+                await asyncio.sleep(0.005)
+            await first.abort()  # SIGKILL stand-in: no terminal bookkeeping
+            aborted = sum(1 for job in jobs if job.state != JobState.DONE)
+            assert aborted >= 1
+
+            second = SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            )
+            async with second:
+                recovered = list(second._jobs.values())
+                results = await asyncio.gather(*(j.wait() for j in recovered))
+                report = second.report()
+            return jobs, recovered, results, report
+
+        jobs, recovered, results, report = run(scenario())
+        assert report["recovered_jobs"] == len(recovered) >= 1
+        assert report["completed"] == len(recovered)
+        audit = JobLedger(tmp_path / LEDGER_FILENAME).audit()
+        assert audit["conserved"], audit
+        assert audit["accepted"] == n_jobs
+        assert audit["events"]["recovered"] == len(recovered)
+        # Recovered jobs finish bit-identically to uninterrupted runs.
+        for job, result in zip(recovered, results):
+            seed = 40 + int(job.job_id[1:])
+            oracle = run_sequential_tsmo(instance, params, seed=seed)
+            assert result.evaluations == oracle.evaluations
+            assert np.array_equal(result.front(), oracle.front()), job.job_id
+
+    def test_recovery_skips_resubmitted_ids(self, instance, tmp_path):
+        async def scenario():
+            first = SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            )
+            first.start()
+            first.submit(JobSpec(job_id="dup", seed=50, params=SMALL))
+            await first.abort()
+
+            second = SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            )
+            async with second:
+                # Recovery already re-admitted the id; a client that
+                # re-submits adopts the recovered handle instead.
+                with pytest.raises(ServeError, match="duplicate"):
+                    second.submit(
+                        JobSpec(job_id="dup", seed=50, params=SMALL, resume=True)
+                    )
+                job = second.get_job("dup")
+                result = await job.wait()
+                report = second.report()
+            return result, report
+
+        result, report = run(scenario())
+        assert report["completed"] == 1 and report["recovered_jobs"] == 1
+        assert result.evaluations >= SMALL.max_evaluations
+
+    def test_recover_false_opts_out(self, instance, tmp_path):
+        async def scenario():
+            first = SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            )
+            first.start()
+            first.submit(JobSpec(job_id="o1", seed=51, params=SMALL))
+            await first.abort()
+
+            second = SolveScheduler(
+                instance,
+                n_workers=1,
+                pool_params=FAST,
+                checkpoint_dir=tmp_path,
+                recover=False,
+            )
+            async with second:
+                return dict(second._jobs), second.report()
+
+        jobs, report = run(scenario())
+        assert jobs == {} and report["recovered_jobs"] == 0
+
+
+class TestJobLedger:
+    def test_episode_replay_and_audit(self, tmp_path):
+        ledger = JobLedger(tmp_path / "ledger.jsonl")
+        ledger.record("accepted", "a", spec={"job_id": "a"})
+        ledger.record("accepted", "b", spec={"job_id": "b"})
+        ledger.record("retry", "a", attempt=1, cause="x")
+        ledger.record("done", "a")
+        open_episodes = ledger.replay()
+        assert list(open_episodes) == ["b"]
+        assert open_episodes["b"]["spec"] == {"job_id": "b"}
+        audit = ledger.audit()
+        assert audit["open"] == 1 and not audit["conserved"]
+        ledger.record("failed", "b", cause="y")
+        assert ledger.audit()["conserved"]
+
+    def test_torn_tail_dropped_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = JobLedger(path)
+        ledger.record("accepted", "a", spec={})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "event": "do')  # torn mid-append
+        assert [e["event"] for e in ledger.entries()] == ["accepted"]
+        # Complete the torn line into valid JSON of the wrong shape and
+        # append after it: now it is mid-file corruption, not a tail.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('ne"}\n')
+        ledger.record("done", "a")
+        with pytest.raises(LedgerError, match="line 2"):
+            list(ledger.entries())
+
+    def test_rejects_unknown_event_kind(self, tmp_path):
+        with pytest.raises(LedgerError, match="unknown ledger event"):
+            JobLedger(tmp_path / "l.jsonl").record("exploded", "a")
+
+    def test_audit_flags_orphans_and_duplicates(self, tmp_path):
+        ledger = JobLedger(tmp_path / "ledger.jsonl")
+        ledger.record("done", "ghost")  # terminal without accept
+        ledger.record("accepted", "a", spec={})
+        ledger.record("accepted", "a", spec={})  # re-accept while open
+        audit = ledger.audit()
+        assert audit["orphan_terminals"] == 1
+        assert audit["duplicate_accepts"] == 1
+        assert not audit["conserved"]
+
+
+class TestSpecWire:
+    def test_round_trip_with_overrides(self):
+        spec = JobSpec(
+            job_id="w",
+            tenant="acme",
+            seed=9,
+            params=TSMOParams(max_evaluations=64, neighborhood_size=8),
+            priority=2,
+            max_retries=3,
+            deadline_s=5.0,
+        )
+        wire = spec.to_wire()
+        back = JobSpec.from_wire(wire, resume=True)
+        assert back.resume is True
+        assert back.params == spec.params
+        assert back.job_id == spec.job_id and back.priority == 2
+        assert back.max_retries == 3 and back.deadline_s == 5.0
+        # Wire form survives JSON (what the ledger actually stores).
+        import json as _json
+
+        assert JobSpec.from_wire(_json.loads(_json.dumps(wire))).params == spec.params
+
+    def test_validates_budget_fields(self):
+        with pytest.raises(ServeError):
+            JobSpec(job_id="x", max_retries=-1)
+        with pytest.raises(ServeError):
+            JobSpec(job_id="x", retry_backoff_s=-0.1)
+        with pytest.raises(ServeError):
+            JobSpec(job_id="x", deadline_s=0.0)
