@@ -1,0 +1,112 @@
+"""Sustained-load soak benchmark (the ``"soak"`` section of
+``BENCH_serve.json``).
+
+Where ``bench_serve.py`` measures a fixed burst of jobs (throughput
+and makespan), this holds a fixed Poisson arrival *rate* against the
+scheduler for a fixed *duration* and reports steady-state SLOs: the
+warmup window is trimmed so worker spawn and cold caches don't pollute
+the latency quantiles, and the p50/p95/p99 numbers come from the
+mergeable latency histograms (the exact per-job quantiles ride along
+as a cross-check).  The soak also consumes live ``metrics_snapshot``
+events off the scheduler's telemetry bus, so peak backlog/queue-depth
+come from the streaming plane itself — one run exercises admission,
+scheduling, span-stamped worker traffic, and the tail path end to end.
+
+Duration is short by default so the tier-2 benchmark job stays fast;
+set ``REPRO_SOAK_SECONDS`` (and optionally ``REPRO_SOAK_RATE``) for a
+longer pass, e.g. the CI ``serve-soak`` job runs ~60 seconds.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.parallel.pool import PoolParams
+from repro.serve import ServeParams, SoakConfig, SolveScheduler, run_soak
+from repro.vrptw.generator import generate_instance
+
+from conftest import REPO_ROOT
+
+SERVE_JSON = REPO_ROOT / "BENCH_serve.json"
+
+FAST = PoolParams(
+    heartbeat_interval=0.05,
+    heartbeat_timeout=10.0,
+    task_deadline=10.0,
+    backoff_base=0.01,
+    poll_interval=0.02,
+)
+
+DURATION_S = float(os.environ.get("REPRO_SOAK_SECONDS", "8"))
+RATE = float(os.environ.get("REPRO_SOAK_RATE", "10"))
+
+CONFIG = SoakConfig(
+    duration_s=DURATION_S,
+    warmup_s=min(2.0, DURATION_S / 4),
+    rate=RATE,
+    seed=1,
+    budget=48,
+    neighborhood=8,
+    tenants=(("acme", 3.0), ("globex", 1.0)),
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance("R1", 20, seed=55)
+
+
+def test_serve_soak(instance):
+    """Hold the arrival rate for the full duration and record the
+    warmup-trimmed steady-state SLO section under ``"soak"``."""
+
+    async def scenario():
+        async with SolveScheduler(
+            instance,
+            n_workers=2,
+            pool_params=FAST,
+            params=ServeParams(max_active=64, max_queued=256),
+            tenant_weights=dict(CONFIG.tenants),
+        ) as scheduler:
+            return await run_soak(scheduler, CONFIG)
+
+    report = asyncio.run(scenario())
+    assert report.conserved(), report.to_dict()
+    # Sustained load actually arrived and the steady-state window saw
+    # completions (duration and rate are sized so this holds even on a
+    # slow machine with the short default duration).
+    assert report.submitted >= CONFIG.duration_s * CONFIG.rate * 0.5
+    assert report.steady_latency_s["count"] > 0
+    # The soak consumed the live telemetry stream, not a post-hoc dump.
+    assert report.snapshots > 0
+    # Fold the soak numbers into the artifact bench_serve.py wrote (or
+    # start a fresh payload when this file runs standalone).
+    try:
+        payload = json.loads(SERVE_JSON.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        payload = {"bench": "serve"}
+    payload["soak"] = {
+        "config": {
+            "duration_s": CONFIG.duration_s,
+            "warmup_s": CONFIG.warmup_s,
+            "rate": CONFIG.rate,
+            "seed": CONFIG.seed,
+            "budget": CONFIG.budget,
+            "neighborhood": CONFIG.neighborhood,
+            "driver": CONFIG.driver,
+            "n_workers": 2,
+        },
+        "report": report.to_dict(),
+    }
+    SERVE_JSON.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    steady = report.steady_latency_s
+    print(
+        f"\nserve-soak: {report.completed}/{report.accepted} jobs over "
+        f"{report.duration_s:.0f}s @ {report.rate:.1f}/s, steady p50="
+        f"{steady['p50'] * 1e3:.0f}ms p95={steady['p95'] * 1e3:.0f}ms "
+        f"p99={steady['p99'] * 1e3:.0f}ms (n={steady['count']}), "
+        f"max_backlog={report.max_backlog}, snapshots={report.snapshots} "
+        f"-> {SERVE_JSON.name}"
+    )

@@ -126,6 +126,17 @@ class LedgerError(ServeError):
     """
 
 
+class ObsError(ReproError):
+    """The observability layer was asked to do something unsound.
+
+    Raised when metric aggregation would silently produce garbage —
+    most importantly merging two histograms whose bucket boundaries
+    disagree (counts from incompatible grids cannot be added) — and
+    for other misuse of the telemetry plane that must fail loudly
+    rather than corrupt the numbers operators act on.
+    """
+
+
 class BenchmarkError(ReproError):
     """An experiment harness was configured inconsistently."""
 

@@ -44,6 +44,11 @@ from repro.obs.events import (
     NullTracer,
     new_run_id,
 )
+from repro.obs.expo import (
+    histogram_delta,
+    quantile_from_histogram,
+    render_exposition,
+)
 from repro.obs.profiler import (
     NULL_PROFILER,
     NullProfiler,
@@ -58,6 +63,7 @@ from repro.obs.registry import (
     NullRegistry,
     Timer,
 )
+from repro.obs.stream import EventBus, Subscription
 from repro.obs.timeutil import parse_timestamp, utc_timestamp
 
 __all__ = [
@@ -67,6 +73,7 @@ __all__ = [
     "ENV_TRACE_DIR",
     "EVENT_SCHEMA",
     "EVENT_TYPES",
+    "EventBus",
     "EventTracer",
     "JsonlEventSink",
     "MetricsRegistry",
@@ -81,10 +88,14 @@ __all__ = [
     "Obs",
     "PHASES",
     "PhaseProfiler",
+    "Subscription",
     "Timer",
     "format_profile_table",
+    "histogram_delta",
     "new_run_id",
     "parse_timestamp",
+    "quantile_from_histogram",
+    "render_exposition",
     "utc_timestamp",
 ]
 

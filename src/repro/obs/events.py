@@ -83,8 +83,21 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "job_preempted": ("job", "evaluations"),
     "job_checkpoint_corrupt": ("job", "error"),
     "job_recovered": ("job", "state"),
+    # Live telemetry: a periodic point-in-time metrics reading emitted
+    # by the serve scheduler's pump (jobs in flight, queue depth, pool
+    # backlog, counter deltas, latency histogram state) so watchers and
+    # soak harnesses can sample steady state without stopping the run.
+    "metrics_snapshot": ("snapshot",),
     "meta": ("run", "format", "written_at"),
 }
+
+# Events may additionally carry two *optional* envelope fields for
+# cross-process span propagation: ``trace`` names the logical trace the
+# event belongs to (the serve layer uses the job id) and ``parent``
+# names the parent span within that trace.  They are optional because
+# standalone drivers have no trace to join; the validator tolerates
+# extra fields by design, and ``repro.obs.spans`` reconstructs per-job
+# span trees from them.
 
 #: the emittable event types (everything except the sink's meta line).
 EVENT_TYPES = frozenset(EVENT_SCHEMA) - {"meta"}
@@ -174,7 +187,7 @@ class JsonlEventSink:
 class EventTracer:
     """Typed events into a bounded ring and an optional JSONL sink."""
 
-    __slots__ = ("run_id", "span", "ring", "sink", "_seq")
+    __slots__ = ("run_id", "span", "ring", "sink", "_seq", "_listeners")
 
     enabled = True
 
@@ -191,6 +204,31 @@ class EventTracer:
         self.ring: deque = deque(maxlen=ring_size)
         self.sink = sink
         self._seq = 0
+        self._listeners: list = []
+
+    def add_listener(self, fn) -> None:
+        """Call ``fn(event)`` for every event recorded by this tracer.
+
+        Listeners fire synchronously after the ring/sink writes, for
+        both locally emitted and ingested events, and may run on
+        whatever thread the emit happens on.  A listener that raises is
+        dropped silently — streaming is observation, and a broken
+        subscriber must never take the search down with it.
+        """
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            pass
+
+    def _notify(self, event: dict) -> None:
+        for fn in list(self._listeners):
+            try:
+                fn(event)
+            except Exception:
+                self.remove_listener(fn)
 
     def emit(self, type_: str, *, span: str | None = None, **fields) -> dict:
         """Record one event; returns the event dict.
@@ -212,6 +250,8 @@ class EventTracer:
         self.ring.append(event)
         if self.sink is not None:
             self.sink.write(event)
+        if self._listeners:
+            self._notify(event)
         return event
 
     def ingest(self, events) -> None:
@@ -231,6 +271,8 @@ class EventTracer:
             self.ring.append(merged)
             if self.sink is not None:
                 self.sink.write(merged)
+            if self._listeners:
+                self._notify(merged)
 
     def events(self, type_: str | None = None) -> list[dict]:
         """Current ring contents (optionally one type), oldest first."""
@@ -274,6 +316,12 @@ class NullTracer:
         return {}
 
     def ingest(self, events) -> None:
+        return None
+
+    def add_listener(self, fn) -> None:
+        return None
+
+    def remove_listener(self, fn) -> None:
         return None
 
     def events(self, type_: str | None = None) -> list[dict]:

@@ -30,6 +30,8 @@ import bisect
 import time
 from dataclasses import dataclass, field
 
+from repro.errors import ObsError
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
@@ -218,8 +220,9 @@ class MetricsRegistry:
 
         Counters, histograms and timers add; gauges take the incoming
         value (last writer wins — they are point-in-time readings).
-        Histograms with mismatched boundaries raise ``ValueError``
-        rather than silently producing a meaningless sum.
+        Histograms with mismatched boundaries raise
+        :class:`~repro.errors.ObsError` naming both bucket sets rather
+        than silently producing a meaningless sum.
         """
         for name, value in state.get("counters", {}).items():
             self.inc(name, value)
@@ -230,8 +233,10 @@ class MetricsRegistry:
             if mine is None:
                 mine = self._histograms[name] = _Histogram(tuple(h["bounds"]))
             elif mine.bounds != tuple(h["bounds"]):
-                raise ValueError(
-                    f"histogram {name!r} has mismatched bucket boundaries"
+                raise ObsError(
+                    f"histogram {name!r} has mismatched bucket boundaries: "
+                    f"mine={tuple(mine.bounds)!r} vs "
+                    f"incoming={tuple(h['bounds'])!r}"
                 )
             mine.counts = [a + b for a, b in zip(mine.counts, h["counts"])]
             mine.total += h["sum"]

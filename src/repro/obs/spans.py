@@ -1,0 +1,208 @@
+"""Span-tree reconstruction: one causally-ordered tree per trace.
+
+``python -m repro.obs.spans TRACE...`` (files or directories of
+``*.jsonl``) groups events by their optional ``trace`` envelope field
+(the serve layer uses the job id), builds the span tree each trace's
+``parent`` links describe, and renders it — the root span (the job's
+``job-<id>`` lifecycle span) on top, worker spans that executed its
+tasks beneath.  Two kinds of problems are flagged and fail the exit
+code, which is what the CI serve-soak job keys off:
+
+* **orphans** — a span whose declared parent has no events in the
+  trace: the propagation chain broke somewhere between the scheduler
+  and a worker;
+* **gaps** — a root span whose ``job_state`` lifecycle never reached a
+  terminal state (``done``/``cancelled``/``failed``/``rejected``): the
+  trace is torn mid-job.
+
+Events without a ``trace`` field (standalone driver runs) are counted
+and ignored; a file of them is not an error for *this* tool — schema
+validity is ``repro.obs.validate``'s job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SpanInfo", "TraceReport", "analyze_traces", "load_events", "main"]
+
+#: job_state values that end a job's lifecycle.
+TERMINAL_STATES = frozenset({"done", "cancelled", "failed", "rejected"})
+
+
+@dataclass(slots=True)
+class SpanInfo:
+    """Everything observed about one span within one trace."""
+
+    name: str
+    parent: str | None = None
+    events: int = 0
+    types: Counter = field(default_factory=Counter)
+    states: list[str] = field(default_factory=list)
+    children: list[str] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class TraceReport:
+    """One trace's reconstructed tree plus its detected problems."""
+
+    trace: str
+    spans: dict[str, SpanInfo] = field(default_factory=dict)
+    roots: list[str] = field(default_factory=list)
+    orphans: list[str] = field(default_factory=list)
+    gaps: list[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.roots) and not self.orphans and not self.gaps
+
+
+def load_events(targets: list[str]) -> list[dict]:
+    """All parseable events from the target files/directories, in order.
+
+    Unparseable lines (torn tails included) are skipped silently here —
+    durability tolerance is the validator's contract, and this tool
+    only needs the events that *did* land.
+    """
+    paths: list[Path] = []
+    for target in targets:
+        p = Path(target)
+        if p.is_dir():
+            paths.extend(sorted(p.glob("*.jsonl")))
+        else:
+            paths.append(p)
+    events: list[dict] = []
+    for path in paths:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.split("\n"):
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    return events
+
+
+def analyze_traces(events: list[dict]) -> dict[str, TraceReport]:
+    """Group events by ``trace`` and reconstruct each trace's span tree."""
+    reports: dict[str, TraceReport] = {}
+    for event in events:
+        trace = event.get("trace")
+        if trace is None:
+            continue
+        trace = str(trace)
+        report = reports.get(trace)
+        if report is None:
+            report = reports[trace] = TraceReport(trace)
+        span_name = str(event.get("span", "?"))
+        span = report.spans.get(span_name)
+        if span is None:
+            span = report.spans[span_name] = SpanInfo(span_name)
+        span.events += 1
+        span.types[str(event.get("type", "?"))] += 1
+        parent = event.get("parent")
+        if parent is not None and span.parent is None:
+            span.parent = str(parent)
+        if event.get("type") == "job_state":
+            state = str(event.get("state", "?"))
+            if not span.states or span.states[-1] != state:
+                span.states.append(state)
+    for report in reports.values():
+        for span in report.spans.values():
+            if span.parent is None:
+                report.roots.append(span.name)
+            elif span.parent in report.spans:
+                report.spans[span.parent].children.append(span.name)
+            else:
+                report.orphans.append(span.name)
+        for root in report.roots:
+            states = report.spans[root].states
+            if states and not (set(states) & TERMINAL_STATES):
+                report.gaps.append(
+                    f"root span {root!r} never reached a terminal state "
+                    f"(saw {'→'.join(states)})"
+                )
+        if not report.roots:
+            report.gaps.append("no root span (every span declares a parent)")
+    return reports
+
+
+def _render_span(report: TraceReport, name: str, depth: int, out: list[str]) -> None:
+    span = report.spans[name]
+    indent = "  " * depth
+    parts = [f"{indent}{name}"]
+    if span.states:
+        parts.append(f"[{'→'.join(span.states)}]")
+    summary = ", ".join(
+        f"{type_}×{count}" for type_, count in sorted(span.types.items())
+    )
+    parts.append(f"({span.events} events: {summary})")
+    out.append(" ".join(parts))
+    for child in sorted(span.children):
+        _render_span(report, child, depth + 1, out)
+
+
+def render_tree(report: TraceReport) -> str:
+    """The trace's span tree as indented text, orphans flagged last."""
+    out: list[str] = [f"trace {report.trace}:"]
+    for root in sorted(report.roots):
+        _render_span(report, root, 1, out)
+    for orphan in sorted(report.orphans):
+        span = report.spans[orphan]
+        out.append(
+            f"  ORPHAN {orphan} (parent {span.parent!r} has no events; "
+            f"{span.events} events)"
+        )
+    for gap in report.gaps:
+        out.append(f"  GAP {gap}")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.spans",
+        description="Reconstruct per-trace span trees from JSONL event traces.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="trace files, or directories containing *.jsonl traces",
+    )
+    args = parser.parse_args(argv)
+    events = load_events(args.targets)
+    reports = analyze_traces(events)
+    untraced = sum(1 for e in events if e.get("trace") is None)
+    if not reports:
+        print(
+            f"error: no traced events found ({len(events)} events, "
+            f"{untraced} without a trace field)",
+            file=sys.stderr,
+        )
+        return 2
+    problems = 0
+    for trace in sorted(reports):
+        report = reports[trace]
+        print(render_tree(report))
+        problems += len(report.orphans) + len(report.gaps)
+    print(
+        f"reconstructed {len(reports)} trace(s) from {len(events)} event(s) "
+        f"({untraced} untraced); "
+        + ("all complete" if problems == 0 else f"{problems} problem(s)")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

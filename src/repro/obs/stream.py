@@ -1,0 +1,204 @@
+"""Live event streaming: a bounded fan-out bus over tracer events.
+
+:class:`EventBus` turns the tracer's synchronous listener callback into
+any number of independently-paced async subscribers.  The publishing
+side is the hot path — the serve scheduler's pump thread folds worker
+batches into the master tracer, and the tracer notifies listeners from
+whatever thread the ingest happened on — so ``publish`` must never
+block and never raise.  Three rules follow:
+
+* **Thread-safe, non-blocking publish.**  Each subscription owns a
+  bounded deque; publishing appends under a plain lock and wakes the
+  subscriber's event loop with ``call_soon_threadsafe``.  No queue
+  ever applies back-pressure to the pump.
+* **Drop-oldest with counting.**  A slow subscriber loses the *oldest*
+  buffered events (the tail of a live stream is worth more than its
+  head) and its :attr:`Subscription.dropped` counter records exactly
+  how many, so lossiness is observable instead of silent.
+* **Observation only.**  Nothing a subscriber does — including
+  crashing — can steer the search.  A predicate that raises closes its
+  own subscription; the bus and the pump carry on.
+
+This is the transport behind ``SolveScheduler.tail()`` /
+``tail_all()``; it is deliberately independent of the serve layer so
+any tracer-instrumented component can stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from collections import deque
+
+__all__ = ["EventBus", "Subscription"]
+
+#: default per-subscription buffer capacity (events).
+DEFAULT_BUFFER = 1024
+
+
+class Subscription:
+    """One subscriber's bounded buffer and async iterator.
+
+    Produced by :meth:`EventBus.subscribe`; must be created (and
+    iterated) inside a running event loop.  Iterate with ``async for``;
+    the stream ends when the bus closes or :meth:`close` is called.
+    ``dropped`` counts events lost to buffer overflow.
+    """
+
+    __slots__ = (
+        "_bus",
+        "_predicate",
+        "_items",
+        "_maxsize",
+        "_event",
+        "_loop",
+        "_closed",
+        "dropped",
+    )
+
+    def __init__(self, bus, predicate, maxsize, loop) -> None:
+        self._bus = bus
+        self._predicate = predicate
+        self._items: deque = deque()
+        self._maxsize = max(1, int(maxsize))
+        self._event = asyncio.Event()
+        self._loop = loop
+        self._closed = False
+        self.dropped = 0
+
+    # -- publisher side (called under the bus lock, any thread) --------
+    def _offer(self, event: dict) -> None:
+        if self._closed:
+            return
+        if self._predicate is not None:
+            try:
+                if not self._predicate(event):
+                    return
+            except Exception:
+                # A broken filter means a broken subscriber; end its
+                # stream rather than poisoning every publish.
+                self._mark_closed()
+                return
+        if len(self._items) >= self._maxsize:
+            self._items.popleft()
+            self.dropped += 1
+        self._items.append(event)
+        self._wake()
+
+    def _mark_closed(self) -> None:
+        self._closed = True
+        self._wake()
+
+    def _wake(self) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._event.set)
+        except RuntimeError:
+            # The subscriber's loop is gone; nobody is listening.
+            pass
+
+    # -- subscriber side ----------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending(self) -> int:
+        """Events currently buffered (diagnostic)."""
+        return len(self._items)
+
+    def close(self) -> None:
+        """Detach from the bus; buffered events stay readable."""
+        self._bus._unsubscribe(self)
+        self._mark_closed()
+
+    def __aiter__(self) -> "Subscription":
+        return self
+
+    async def __anext__(self) -> dict:
+        while True:
+            if self._items:
+                return self._items.popleft()
+            if self._closed:
+                raise StopAsyncIteration
+            self._event.clear()
+            # Re-check after clearing: a publish between the buffer
+            # check and the clear would otherwise be slept through.
+            if self._items or self._closed:
+                continue
+            await self._event.wait()
+
+
+class EventBus:
+    """Fan events out to bounded async subscriptions, without blocking.
+
+    ``publish`` may be called from any thread; ``subscribe`` must be
+    called from a running event loop (the one the subscriber will
+    iterate on).  Closing the bus ends every subscription after its
+    buffered events are drained.
+    """
+
+    __slots__ = ("_subs", "_lock", "_closed", "published", "_dropped_detached")
+
+    def __init__(self) -> None:
+        self._subs: list[Subscription] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        #: events offered to the bus (whether or not anyone buffered them).
+        self.published = 0
+        self._dropped_detached = 0
+
+    def subscribe(
+        self, *, predicate=None, maxsize: int = DEFAULT_BUFFER
+    ) -> Subscription:
+        """A new subscription, optionally filtered by ``predicate(event)``."""
+        loop = asyncio.get_running_loop()
+        sub = Subscription(self, predicate, maxsize, loop)
+        with self._lock:
+            if self._closed:
+                sub._closed = True
+            else:
+                self._subs.append(sub)
+        return sub
+
+    def _unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                return
+            self._dropped_detached += sub.dropped
+
+    def publish(self, event: dict) -> None:
+        """Offer one event to every live subscription.  Never blocks."""
+        with self._lock:
+            if self._closed:
+                return
+            self.published += 1
+            for sub in self._subs:
+                sub._offer(event)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def dropped(self) -> int:
+        """Total events lost to slow subscribers, including detached ones."""
+        with self._lock:
+            return self._dropped_detached + sum(
+                sub.dropped for sub in self._subs
+            )
+
+    def close(self) -> None:
+        """End every subscription (after their buffers drain)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            subs, self._subs = self._subs, []
+            self._dropped_detached += sum(sub.dropped for sub in subs)
+        for sub in subs:
+            sub._mark_closed()

@@ -13,9 +13,12 @@
 
 A torn *final* line — the signature of a crash mid-append, which the
 sink's durability discipline explicitly permits — is skipped with a
-note rather than failing the file, mirroring the run-manifest reader.
-Any other problem is an error; the process exits non-zero if any file
-had one, which is what the CI observability job keys off.
+warning rather than failing the file, mirroring the run-manifest
+reader.  A torn tail is specifically a final line *without* a trailing
+newline: a newline-terminated line of garbage was a complete write and
+is a real error.  Any other problem is an error; the process exits
+non-zero if any file had one, which is what the CI observability and
+serve-soak jobs key off.
 """
 
 from __future__ import annotations
@@ -55,18 +58,26 @@ def validate_file(path: Path | str) -> tuple[int, list[str]]:
     ok = 0
     last_seq: int | None = None
     try:
-        lines = path.read_text(encoding="utf-8").split("\n")
+        text = path.read_text(encoding="utf-8")
     except OSError as exc:
         return 0, [f"{path}: cannot read: {exc}"]
-    if lines and lines[-1] == "":
+    lines = text.split("\n")
+    newline_terminated = lines and lines[-1] == ""
+    if newline_terminated:
         lines.pop()  # trailing newline, the normal case
     for lineno, line in enumerate(lines, start=1):
         try:
             event = json.loads(line)
         except json.JSONDecodeError:
-            if lineno == len(lines):
-                # Torn tail from a crash mid-append: tolerated by design.
-                print(f"{path}:{lineno}: note: skipping torn final line")
+            if lineno == len(lines) and not newline_terminated:
+                # Torn tail from a crash mid-append: tolerated by
+                # design.  Only an unterminated final line qualifies —
+                # a complete (newline-terminated) line of garbage was
+                # never torn and is reported as an error below.
+                print(
+                    f"warning: {path}:{lineno}: skipping torn final line",
+                    file=sys.stderr,
+                )
                 continue
             errors.append(f"{path}:{lineno}: not valid JSON")
             continue

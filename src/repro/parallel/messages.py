@@ -100,6 +100,13 @@ class PoolTask:
     the last task the *target worker* completed (the steady-state
     form).  All three decode to the identical tuple, so the neighbor
     stream is the same regardless of encoding.
+
+    ``trace`` is the optional span-propagation envelope, a
+    ``(trace_id, parent_span)`` pair the submitter wants stamped onto
+    the worker's trace events for this task (the serve layer passes
+    ``(job_id, "job-<id>")``).  Pure data, ignored by execution — it
+    exists so one job's events reconstruct as a single causally-ordered
+    trace across the process boundary.
     """
 
     task_id: int
@@ -110,6 +117,7 @@ class PoolTask:
     iteration: int
     seed: int | None = None
     rng_state: dict | None = None
+    trace: tuple[str, str] | None = None
 
 
 @dataclass(frozen=True, slots=True)

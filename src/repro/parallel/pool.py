@@ -459,11 +459,20 @@ def _pool_worker_main(
             instance, evaluator, registry, task, slot, codec=codec, timed=timed
         ):
             if batch.final and tracer is not None:
+                # Stamp the submitter's span-propagation envelope so
+                # this event joins its job's trace on the master side.
+                trace_fields = {}
+                if task.trace is not None:
+                    trace_fields = {
+                        "trace": task.trace[0],
+                        "parent": task.trace[1],
+                    }
                 tracer.emit(
                     "worker_task",
                     worker=slot,
                     task_id=task.task_id,
                     neighbors=task.count,
+                    **trace_fields,
                 )
                 batch = replace(batch, events=tuple(tracer.drain()))
             result_q.put(batch)
@@ -904,6 +913,7 @@ class WorkerPool:
         iteration: int = 0,
         batch_size: int | None = None,
         tag: object | None = None,
+        trace: tuple[str, str] | None = None,
     ) -> int:
         """Queue one neighborhood chunk; returns its task id.
 
@@ -911,6 +921,12 @@ class WorkerPool:
         :class:`BatchEvent` of the task — the multiplexing key of the
         solve service (one tag per job) and the handle
         :meth:`cancel_tag` operates on.
+
+        ``trace`` is an optional ``(trace_id, parent_span)`` pair
+        stamped onto the worker's ``worker_task`` trace events for this
+        task, so a submitter's logical operation (a serve job) spans
+        the process boundary as one causally-ordered trace.  Pure
+        observability — execution ignores it.
         """
         if self._closed:
             raise WorkerPoolError(
@@ -937,6 +953,7 @@ class WorkerPool:
             iteration=iteration,
             seed=seed,
             rng_state=rng_state,
+            trace=trace,
         )
         self._tasks[task_id] = _TaskState(task, time.monotonic(), tag=tag)
         self._pending.append(task_id)

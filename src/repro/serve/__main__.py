@@ -22,19 +22,39 @@ crashes, and the run must still conserve every job::
 ``--faults`` (or ``REPRO_SERVE_FAULTS``) overrides the seeded schedule
 with an explicit one, e.g.
 ``kill-worker:0@3,stall:12:0.05,kill-scheduler:20,tear:chaos-00021``.
+
+``--soak SECONDS`` switches to the sustained-load soak: instead of a
+fixed job count, a fixed arrival rate is held for the duration and the
+report is the *steady-state* SLO section (warmup-trimmed p50/p95/p99,
+max backlog, event-drop counters), folded into ``--out`` under a
+``"soak"`` key.  ``--watch`` (usable with any mode that runs a local
+scheduler) tails the live telemetry bus and prints one status line per
+``metrics_snapshot`` — jobs in flight, queue depth, DRR deficits and
+running latency quantiles — without perturbing the run::
+
+    PYTHONPATH=src python -m repro.serve --soak 30 --warmup 5 \\
+        --rate 10 --workers 2 --watch --out BENCH_serve.json --smoke
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
 import sys
 
+from repro.obs.expo import quantile_from_histogram, render_exposition
 from repro.obs.timeutil import utc_timestamp
 from repro.serve.chaos import ServeFaultPlan, run_chaos_soak
 from repro.serve.scheduler import ServeParams, SolveScheduler
-from repro.serve.traffic import TrafficConfig, run_traffic, write_report
+from repro.serve.traffic import (
+    SoakConfig,
+    TrafficConfig,
+    run_soak,
+    run_traffic,
+    write_report,
+)
 from repro.vrptw.generator import generate_instance
 
 
@@ -113,7 +133,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit REPRO_SERVE_FAULTS-style schedule for --chaos "
         "(default: seeded from --seed)",
     )
+    parser.add_argument(
+        "--soak",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the sustained-load soak for this many seconds instead "
+        "of a fixed job count (uses --rate as the sustained arrival rate)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=2.0,
+        help="seconds trimmed from the front of the soak before the "
+        "steady-state SLO window opens",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="tail the live telemetry bus and print one status line per "
+        "metrics snapshot (stderr)",
+    )
+    parser.add_argument(
+        "--expo",
+        default=None,
+        metavar="PATH",
+        help="write a Prometheus-style text exposition of the final "
+        "metrics here",
+    )
     return parser
+
+
+def _watch_line(snapshot: dict) -> str:
+    """One human-readable status line per live ``metrics_snapshot``."""
+    hist = snapshot.get("metrics", {}).get("histograms", {}).get(
+        "serve.job_latency_s"
+    )
+    p50 = p99 = None
+    if hist and hist.get("count", 0) > 0:
+        p50 = quantile_from_histogram(hist["bounds"], hist["counts"], 0.50)
+        p99 = quantile_from_histogram(hist["bounds"], hist["counts"], 0.99)
+    quantiles = (
+        f"p50={p50 * 1e3:.0f}ms p99={p99 * 1e3:.0f}ms"
+        if p50 is not None and p99 is not None
+        else "p50=- p99=-"
+    )
+    counters = snapshot.get("counters", {})
+    stream = snapshot.get("stream", {})
+    deficits = " ".join(
+        f"{tenant}={value:.1f}"
+        for tenant, value in snapshot.get("deficits", {}).items()
+    )
+    return (
+        f"[watch] active={snapshot.get('jobs_active', 0)} "
+        f"queued={snapshot.get('jobs_queued', 0)} "
+        f"backlog={snapshot.get('pool_backlog', 0)} "
+        f"done={counters.get('completed', 0)} "
+        f"rejected={counters.get('rejected', 0)} {quantiles} "
+        f"drops={stream.get('dropped', 0)}"
+        + (f" | drr {deficits}" if deficits else "")
+    )
+
+
+async def _watch_loop(scheduler) -> None:
+    """Print the live snapshot stream until cancelled (or bus close).
+
+    Pure consumer: it subscribes to the scheduler's telemetry bus like
+    any other tail, so a slow terminal can only drop *its own* events,
+    never slow the pump.
+    """
+    async for event in scheduler.tail_all():
+        if event.get("type") == "metrics_snapshot":
+            print(_watch_line(event["snapshot"]), file=sys.stderr, flush=True)
+
+
+@contextlib.asynccontextmanager
+async def _watching(scheduler, enabled: bool):
+    task = asyncio.ensure_future(_watch_loop(scheduler)) if enabled else None
+    try:
+        yield
+    finally:
+        if task is not None:
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+
+
+def _write_expo(path: str, scheduler) -> None:
+    text = render_exposition(scheduler.obs.metrics.snapshot())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"serve: wrote exposition {path}")
 
 
 async def _run_chaos(args) -> int:
@@ -178,6 +288,90 @@ async def _run_chaos(args) -> int:
     return 0
 
 
+async def _run_soak(args) -> int:
+    instance = generate_instance(
+        args.instance_class, args.instance_size, seed=args.instance_seed
+    )
+    config = SoakConfig(
+        duration_s=args.soak,
+        warmup_s=args.warmup,
+        rate=args.rate if args.rate > 0 else 10.0,
+        seed=args.seed,
+        budget=args.budget,
+        neighborhood=args.neighborhood,
+        tenants=args.tenants,
+        driver=args.driver,
+        n_tasks=args.n_tasks,
+    )
+    params = ServeParams(max_active=args.max_active, max_queued=args.max_queued)
+    async with SolveScheduler(
+        instance,
+        n_workers=args.workers,
+        params=params,
+        tenant_weights=dict(args.tenants),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    ) as scheduler:
+        async with _watching(scheduler, args.watch):
+            report = await run_soak(scheduler, config)
+        pool_report = scheduler.report().get("pool", {})
+        if args.expo:
+            _write_expo(args.expo, scheduler)
+    steady = report.steady_latency_s
+    print(
+        f"serve-soak: {report.completed}/{report.accepted} jobs completed "
+        f"({report.rejected} rejected, {report.cancelled} cancelled, "
+        f"{report.failed} failed) over {report.duration_s:.0f}s "
+        f"@ {report.rate:.1f} jobs/s"
+    )
+    print(
+        f"serve-soak: steady-state latency p50={steady['p50'] * 1e3:.0f}ms "
+        f"p95={steady['p95'] * 1e3:.0f}ms p99={steady['p99'] * 1e3:.0f}ms "
+        f"(n={steady['count']}, warmup {report.warmup_s:.0f}s trimmed)"
+    )
+    print(
+        f"serve-soak: max_backlog={report.max_backlog} "
+        f"max_queue_depth={report.max_queue_depth} "
+        f"max_active={report.max_active} snapshots={report.snapshots} "
+        f"dropped_events={report.dropped_events}"
+    )
+    if args.out:
+        try:
+            with open(args.out, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            payload = {"bench": "serve"}
+        payload["written_at"] = utc_timestamp()
+        payload["soak"] = {
+            "config": {
+                "duration_s": config.duration_s,
+                "warmup_s": config.warmup_s,
+                "rate": config.rate,
+                "seed": config.seed,
+                "budget": config.budget,
+                "neighborhood": config.neighborhood,
+                "driver": config.driver,
+                "n_workers": args.workers,
+            },
+            "report": report.to_dict(),
+            "pool": pool_report,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"serve-soak: wrote {args.out}")
+    if args.smoke and not report.conserved():
+        print(
+            "serve-soak: SMOKE FAILURE — conservation audit failed: "
+            f"lost={report.lost} accepted={report.accepted} "
+            f"completed={report.completed} cancelled={report.cancelled} "
+            f"failed={report.failed}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 async def _run(args) -> int:
     instance = generate_instance(
         args.instance_class, args.instance_size, seed=args.instance_seed
@@ -202,8 +396,11 @@ async def _run(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
     ) as scheduler:
-        report = await run_traffic(scheduler, config)
+        async with _watching(scheduler, args.watch):
+            report = await run_traffic(scheduler, config)
         pool_report = scheduler.report().get("pool", {})
+        if args.expo:
+            _write_expo(args.expo, scheduler)
     print(
         f"serve: {report.completed}/{report.accepted} jobs completed "
         f"({report.rejected} rejected, {report.cancelled} cancelled, "
@@ -240,6 +437,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.chaos:
         return asyncio.run(_run_chaos(args))
+    if args.soak is not None:
+        return asyncio.run(_run_soak(args))
     return asyncio.run(_run(args))
 
 

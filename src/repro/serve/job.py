@@ -192,6 +192,7 @@ class Job:
         self._finished = False
         self._worker_hits = 0
         self._worker_misses = 0
+        self._snaps_seen = 0
 
     # ------------------------------------------------------------------
     # Client surface
@@ -238,6 +239,7 @@ class Job:
         spec = self.spec
         self._obs = obs
         self._policy = policy
+        self._snaps_seen = policy.snapshots_written if policy is not None else 0
         # Per-attempt note: a stale corruption report from a previous
         # attempt must not be re-journaled by this one.
         self.checkpoint_corrupt = None
@@ -304,6 +306,9 @@ class Job:
         self._task_order = []
         self._buffers = {}
         self._rng_back = None
+        # Span propagation: worker_task events of this job's tasks join
+        # the job's trace, parented under its lifecycle span.
+        trace = (self.job_id, f"job-{self.job_id}")
         if self._lockstep:
             task_id = pool.submit(
                 engine.current.routes,
@@ -311,6 +316,7 @@ class Job:
                 rng_state=engine.rng.bit_generator.state,
                 iteration=iteration,
                 tag=self.job_id,
+                trace=trace,
             )
             self._task_order.append(task_id)
             self._buffers[task_id] = []
@@ -322,6 +328,7 @@ class Job:
                     seed=int(self._seed_rng.integers(2**63)),
                     iteration=iteration,
                     tag=self.job_id,
+                    trace=trace,
                 )
                 self._task_order.append(task_id)
                 self._buffers[task_id] = []
@@ -370,6 +377,7 @@ class Job:
                 job=self.job_id,
                 iteration=engine.iteration,
                 evaluations=engine.evaluator.count,
+                trace=self.job_id,
             )
         self._boundary()
 
@@ -380,6 +388,17 @@ class Job:
             self._policy.tick(
                 self._engine.evaluator.count, self._build_state, kind="serve-job"
             )
+            if self._policy.snapshots_written > self._snaps_seen:
+                self._snaps_seen = self._policy.snapshots_written
+                obs = self._obs
+                if obs.enabled and obs.tracer.enabled:
+                    obs.tracer.emit(
+                        "checkpoint",
+                        span=f"job-{self.job_id}",
+                        kind="serve-job",
+                        iteration=self._engine.iteration,
+                        trace=self.job_id,
+                    )
         if self._engine.done:
             self._finished = True
 

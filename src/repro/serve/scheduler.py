@@ -54,7 +54,8 @@ from repro.errors import (
     ServeError,
     WorkerPoolError,
 )
-from repro.obs import NULL_OBS
+from repro.obs import NULL_OBS, Obs
+from repro.obs.stream import DEFAULT_BUFFER, EventBus
 from repro.parallel.pool import WorkerPool
 from repro.persistence import CheckpointPlan
 from repro.serve.job import Job, JobSpec, JobState
@@ -64,6 +65,9 @@ __all__ = ["DeficitRoundRobin", "ServeParams", "SolveScheduler"]
 
 #: histogram buckets for job latency / queue-wait observations (seconds).
 _LATENCY_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+#: job_state values that end a tail stream.
+_TERMINAL_STATES = frozenset({"done", "cancelled", "failed"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,7 +79,9 @@ class ServeParams:
     trade fairness granularity for fewer arbitration decisions.
     ``max_inflight`` bounds the pool backlog the dispatcher maintains
     (default ``2 * n_workers``: enough to keep every worker busy while
-    the next fairness decision is being made).
+    the next fairness decision is being made).  ``snapshot_interval``
+    is the cadence (seconds) of live ``metrics_snapshot`` events on the
+    telemetry bus.
     """
 
     max_active: int = 64
@@ -83,6 +89,7 @@ class ServeParams:
     pump_interval: float = 0.02
     quantum: float = 32.0
     max_inflight: int | None = None
+    snapshot_interval: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_active < 1:
@@ -95,6 +102,8 @@ class ServeParams:
             raise ServeError("quantum must be positive")
         if self.max_inflight is not None and self.max_inflight < 1:
             raise ServeError("max_inflight must be >= 1")
+        if self.snapshot_interval <= 0:
+            raise ServeError("snapshot_interval must be positive")
 
 
 class DeficitRoundRobin:
@@ -137,6 +146,10 @@ class DeficitRoundRobin:
             raise ServeError("tenant weight must be positive")
         self.ensure(tenant, weight)
         self._weight[tenant] = float(weight)
+
+    def deficits(self) -> dict[str, float]:
+        """Per-tenant spendable credit, in rotation order (diagnostic)."""
+        return {tenant: self._deficit[tenant] for tenant in self._order}
 
     def pick(self, costs: dict[str, float]) -> str | None:
         """Choose which backlogged tenant serves next.
@@ -233,7 +246,29 @@ class SolveScheduler:
         self.params = params or ServeParams()
         self.pool_params = pool_params
         self.fault_plan = fault_plan
+        # The telemetry plane needs an enabled tracer to have anything
+        # to stream, so a scheduler handed the null bundle builds its
+        # own: from the environment when REPRO_TRACE_DIR/REPRO_OBS ask
+        # for a sink, else a plain in-memory bundle (nothing written to
+        # disk).  Still pure observation: the engines stay
+        # uninstrumented and bit-identity against the sequential oracle
+        # is guarded by tests either way.
+        self._owns_obs = False
+        if obs is NULL_OBS:
+            obs = Obs.from_env(span="serve")
+            if not obs.enabled:
+                obs = Obs(span="serve")
+            self._owns_obs = True
         self.obs = obs
+        #: live event fan-out behind :meth:`tail` / :meth:`tail_all`.
+        self.bus = EventBus()
+        self._bus_attached = False
+        self._last_snapshot_at: float | None = None
+        self._prev_counters: dict[str, float] = {}
+        #: latest ``metrics_snapshot`` payload (``None`` until the
+        #: first snapshot interval elapses) — the ``--watch`` view's
+        #: pull-side fallback.
+        self.last_snapshot: dict | None = None
         self._weights = dict(tenant_weights or {})
         self._plan = (
             CheckpointPlan(checkpoint_dir, every=checkpoint_every)
@@ -291,6 +326,13 @@ class SolveScheduler:
                 fault_plan=self.fault_plan,
                 obs=self.obs,
             )
+        if not self._bus_attached:
+            # Every tracer event — scheduler-emitted lifecycle events
+            # and worker events folded in by the pool's poll thread —
+            # fans out to tail subscribers.  publish() never blocks,
+            # so the pump is never back-pressured by a slow consumer.
+            self.obs.tracer.add_listener(self.bus.publish)
+            self._bus_attached = True
         if (
             self._recover
             and not self._recovered_from_ledger
@@ -339,6 +381,7 @@ class SolveScheduler:
                         span=f"job-{job_id}",
                         job=job_id,
                         state=JobState.QUEUED,
+                        trace=job_id,
                     )
                 self._emit_state(job_id, JobState.QUEUED)
 
@@ -364,6 +407,7 @@ class SolveScheduler:
         for job in self._jobs.values():
             if not job._future.done():
                 job._future.cancel()
+        self._teardown_stream()
         self._closed = True
 
     async def __aenter__(self) -> "SolveScheduler":
@@ -408,7 +452,16 @@ class SolveScheduler:
                 self._record(job, "failed", cause="scheduler closed", attempts=job.attempts + 1)
         if self._pool is not None:
             self._pool.close()
+        self._teardown_stream()
         self._closed = True
+
+    def _teardown_stream(self) -> None:
+        if self._bus_attached:
+            self.obs.tracer.remove_listener(self.bus.publish)
+            self._bus_attached = False
+        self.bus.close()
+        if self._owns_obs:
+            self.obs.close()  # flush the auto-created bundle's sink, if any
 
     # ------------------------------------------------------------------
     # Client surface
@@ -514,6 +567,56 @@ class SolveScheduler:
             out["pool"] = self._pool.report()
         return out
 
+    async def tail(self, job_id: str, *, maxsize: int = DEFAULT_BUFFER):
+        """Stream one job's events live, ending at its terminal state.
+
+        An async iterator over the job's ``job_state`` /
+        ``job_progress`` / ``checkpoint`` / worker events as they
+        happen (everything carrying the job's id or trace).  The
+        stream ends after yielding the terminal ``job_state``
+        (done/cancelled/failed); tailing a job that already finished
+        yields nothing.  A subscriber that falls more than ``maxsize``
+        events behind loses the oldest buffered ones —
+        :attr:`~repro.obs.stream.Subscription.dropped` on the bus
+        counts them — and never slows the pump down.
+        """
+        job = self.get_job(job_id)
+        sub = self.bus.subscribe(
+            predicate=lambda e: (
+                e.get("job") == job_id or e.get("trace") == job_id
+            ),
+            maxsize=maxsize,
+        )
+        # No await between the done() check and iteration: the pump
+        # runs on this same loop, so the terminal event either already
+        # happened (stream stays empty) or will reach the subscription.
+        if job.done():
+            sub.close()
+            return
+        try:
+            async for event in sub:
+                yield event
+                if (
+                    event.get("type") == "job_state"
+                    and event.get("state") in _TERMINAL_STATES
+                ):
+                    return
+        finally:
+            sub.close()
+
+    async def tail_all(self, *, maxsize: int = DEFAULT_BUFFER):
+        """Stream every tracer event (all jobs, snapshots, workers).
+
+        Ends when the scheduler closes; same drop-oldest back-pressure
+        policy as :meth:`tail`.
+        """
+        sub = self.bus.subscribe(maxsize=maxsize)
+        try:
+            async for event in sub:
+                yield event
+        finally:
+            sub.close()
+
     # ------------------------------------------------------------------
     # The pump: the single owner of every pool interaction
     # ------------------------------------------------------------------
@@ -534,6 +637,7 @@ class SolveScheduler:
                 self._admit()
                 self._dispatch()
                 self._update_gauges()
+                self._maybe_snapshot()
                 if pool.backlog():
                     events = await asyncio.to_thread(pool.poll, interval)
                     self._route(events)
@@ -661,6 +765,7 @@ class SolveScheduler:
                     span=f"job-{job.job_id}",
                     job=job.job_id,
                     error=job.checkpoint_corrupt,
+                    trace=job.job_id,
                 )
 
     def _preemption_victim(self, priority: int) -> Job | None:
@@ -698,6 +803,7 @@ class SolveScheduler:
                     span=f"job-{victim.job_id}",
                     job=victim.job_id,
                     evaluations=victim.evaluations,
+                    trace=victim.job_id,
                 )
             self._emit_state(victim.job_id, JobState.PREEMPTED)
 
@@ -795,6 +901,7 @@ class SolveScheduler:
                     job=job.job_id,
                     attempt=job.attempts,
                     cause=type(exc).__name__,
+                    trace=job.job_id,
                 )
             self._emit_state(job.job_id, JobState.QUEUED)
 
@@ -846,7 +953,15 @@ class SolveScheduler:
     def _emit_state(self, job_id: str, state: str) -> None:
         tracer = self.obs.tracer
         if tracer.enabled:
-            tracer.emit("job_state", span=f"job-{job_id}", job=job_id, state=state)
+            # ``job-<id>`` is the root span of the job's trace: no
+            # ``parent`` field, so the spans CLI anchors the tree here.
+            tracer.emit(
+                "job_state",
+                span=f"job-{job_id}",
+                job=job_id,
+                state=state,
+                trace=job_id,
+            )
 
     def _update_gauges(self) -> None:
         if self.obs.enabled:
@@ -857,3 +972,53 @@ class SolveScheduler:
                 sum(1 for j in self._jobs.values() if j.state == JobState.QUEUED),
             )
             m.gauge("serve.peak_active", self.peak_active)
+            if self._pool is not None:
+                m.gauge("serve.pool_backlog", self._pool.backlog())
+
+    def _maybe_snapshot(self) -> None:
+        """Publish a point-in-time metrics reading on the snapshot
+        cadence: the live-telemetry heartbeat watchers and soak
+        harnesses sample instead of waiting for the run to end."""
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return
+        now = time.monotonic()
+        if (
+            self._last_snapshot_at is not None
+            and now - self._last_snapshot_at < self.params.snapshot_interval
+        ):
+            return
+        self._last_snapshot_at = now
+        counters = {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "failed": self.failed,
+            "job_retries": self.job_retries,
+            "preemptions": self.preemptions,
+            "recovered_jobs": self.recovered_jobs,
+        }
+        deltas = {
+            name: value - self._prev_counters.get(name, 0)
+            for name, value in counters.items()
+        }
+        self._prev_counters = counters
+        snapshot = {
+            "jobs_active": len(self._active),
+            "jobs_queued": sum(
+                1 for j in self._jobs.values() if j.state == JobState.QUEUED
+            ),
+            "pool_backlog": self._pool.backlog() if self._pool is not None else 0,
+            "deficits": self._drr.deficits(),
+            "counters": counters,
+            "deltas": deltas,
+            "stream": {
+                "published": self.bus.published,
+                "dropped": self.bus.dropped(),
+                "subscribers": self.bus.subscriber_count(),
+            },
+            "metrics": self.obs.metrics.snapshot(),
+        }
+        self.last_snapshot = snapshot
+        tracer.emit("metrics_snapshot", snapshot=snapshot)

@@ -18,18 +18,28 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import time
 
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro.errors import AdmissionError, JobCancelled, ServeError
+from repro.obs.expo import histogram_delta, quantile_from_histogram
 from repro.obs.timeutil import utc_timestamp
 from repro.serve.job import JobSpec
 from repro.tabu.params import TSMOParams
 from repro.tabu.search import TSMOResult
 
-__all__ = ["TrafficConfig", "TrafficReport", "run_traffic", "write_report"]
+__all__ = [
+    "SoakConfig",
+    "SoakReport",
+    "TrafficConfig",
+    "TrafficReport",
+    "run_soak",
+    "run_traffic",
+    "write_report",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -192,6 +202,226 @@ async def run_traffic(scheduler, config: TrafficConfig) -> TrafficReport:
         job_retries=scheduler.job_retries,
         preemptions=scheduler.preemptions,
         recovered_jobs=scheduler.recovered_jobs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sustained-load soak: duration-shaped, steady-state SLO measurement
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class SoakConfig:
+    """One reproducible sustained-load soak.
+
+    Unlike :class:`TrafficConfig` (a fixed *number* of jobs, however
+    long they take) a soak holds a fixed arrival *rate* for a fixed
+    *duration* and reports steady-state behavior: everything completing
+    before ``warmup_s`` is trimmed, so cold caches and worker spawn
+    don't pollute the SLO numbers.
+    """
+
+    duration_s: float = 10.0
+    warmup_s: float = 2.0
+    #: mean arrival rate, jobs/second (exponential gaps; must be > 0 —
+    #: a soak without sustained arrivals is just a burst).
+    rate: float = 10.0
+    seed: int = 0
+    budget: int = 48
+    neighborhood: int = 8
+    tenants: tuple = (("acme", 1.0), ("globex", 1.0))
+    driver: str = "lockstep"
+    n_tasks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ServeError("soak rate must be positive (jobs/second)")
+        if self.duration_s <= 0:
+            raise ServeError("soak duration must be positive")
+        if not 0 <= self.warmup_s < self.duration_s:
+            raise ServeError("warmup must be >= 0 and shorter than the soak")
+
+
+@dataclass
+class SoakReport:
+    """What one sustained-load soak measured."""
+
+    duration_s: float
+    warmup_s: float
+    rate: float
+    submitted: int
+    accepted: int
+    rejected: int
+    completed: int
+    cancelled: int
+    failed: int
+    lost: int
+    #: warmup-trimmed quantiles from the mergeable latency histograms
+    #: (the difference between the final histogram and the one sampled
+    #: at the warmup cutoff — exactly what a scraper would compute).
+    steady_latency_s: dict = field(default_factory=dict)
+    steady_queue_wait_s: dict = field(default_factory=dict)
+    #: exact per-job quantiles over jobs finishing after the cutoff
+    #: (the cross-check on the histogram estimates).
+    exact_latency_s: dict = field(default_factory=dict)
+    #: peaks over the live metrics_snapshot series.
+    max_backlog: int = 0
+    max_queue_depth: int = 0
+    max_active: int = 0
+    #: live snapshots observed on the telemetry bus during the soak.
+    snapshots: int = 0
+    #: events lost to slow tail subscribers (bus drop counters).
+    dropped_events: int = 0
+
+    def conserved(self) -> bool:
+        return (
+            self.lost == 0
+            and self.completed + self.cancelled + self.failed == self.accepted
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _histogram_quantiles(hist: dict | None) -> dict:
+    if hist is None or hist.get("count", 0) <= 0:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "count": 0}
+    out = {
+        label: float(
+            quantile_from_histogram(hist["bounds"], hist["counts"], q) or 0.0
+        )
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+    }
+    out["count"] = hist["count"]
+    return out
+
+
+def _latency_histograms(scheduler) -> dict:
+    hists = scheduler.obs.metrics.snapshot().get("histograms", {})
+    return {
+        "latency": hists.get("serve.job_latency_s"),
+        "queue_wait": hists.get("serve.job_queue_wait_s"),
+    }
+
+
+async def run_soak(scheduler, config: SoakConfig) -> SoakReport:
+    """Hold ``config.rate`` against a started scheduler for
+    ``config.duration_s`` seconds, then drain and report steady state.
+
+    The steady-state window opens at the warmup cutoff and closes when
+    the last accepted job finishes (jobs still draining after the
+    submission window count — they completed under sustained load).
+    Live ``metrics_snapshot`` events are consumed off the scheduler's
+    own telemetry bus, so a soak also exercises the streaming plane
+    end to end.
+    """
+    rng = np.random.default_rng(config.seed)
+    tenants = list(config.tenants)
+    params = TSMOParams(
+        max_evaluations=config.budget, neighborhood_size=config.neighborhood
+    )
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    warmup_at = start + config.warmup_s
+    deadline = start + config.duration_s
+
+    snapshots: list[dict] = []
+
+    async def collect() -> None:
+        async for event in scheduler.tail_all():
+            if event.get("type") == "metrics_snapshot":
+                snapshots.append(event["snapshot"])
+
+    collector = asyncio.ensure_future(collect())
+
+    jobs = []
+    submitted = rejected = 0
+    warmup_marks: dict | None = None
+    warmup_mono: float | None = None
+    i = 0
+    while True:
+        await asyncio.sleep(float(rng.exponential(1.0 / config.rate)))
+        now = loop.time()
+        if warmup_marks is None and now >= warmup_at:
+            warmup_marks = _latency_histograms(scheduler)
+            warmup_mono = time.monotonic()
+        if now >= deadline:
+            break
+        tenant = tenants[i % len(tenants)][0]
+        spec = JobSpec(
+            job_id=f"soak-{i:06d}",
+            tenant=tenant,
+            seed=config.seed * 1_000_003 + i,
+            params=params,
+            driver=config.driver,
+            n_tasks=config.n_tasks,
+        )
+        submitted += 1
+        try:
+            jobs.append(scheduler.submit(spec))
+        except AdmissionError:
+            rejected += 1
+        i += 1
+    outcomes = await asyncio.gather(
+        *(job.wait() for job in jobs), return_exceptions=True
+    )
+    collector.cancel()
+    try:
+        await collector
+    except asyncio.CancelledError:
+        pass
+
+    completed_jobs = []
+    cancelled = failed = 0
+    for job, outcome in zip(jobs, outcomes):
+        if isinstance(outcome, TSMOResult):
+            completed_jobs.append(job)
+        elif isinstance(outcome, JobCancelled):
+            cancelled += 1
+        elif isinstance(outcome, BaseException):
+            failed += 1
+    completed = len(completed_jobs)
+    lost = len(jobs) - completed - cancelled - failed
+
+    final = _latency_histograms(scheduler)
+    if warmup_marks is None:
+        warmup_marks = {"latency": None, "queue_wait": None}
+    steady = {
+        key: (
+            histogram_delta(final[key], warmup_marks[key])
+            if final[key] is not None
+            else None
+        )
+        for key in ("latency", "queue_wait")
+    }
+    exact = [
+        job.finished_at - job.submitted_at
+        for job in completed_jobs
+        if warmup_mono is None or job.finished_at >= warmup_mono
+    ]
+    return SoakReport(
+        duration_s=config.duration_s,
+        warmup_s=config.warmup_s,
+        rate=config.rate,
+        submitted=submitted,
+        accepted=len(jobs),
+        rejected=rejected,
+        completed=completed,
+        cancelled=cancelled,
+        failed=failed,
+        lost=lost,
+        steady_latency_s=_histogram_quantiles(steady["latency"]),
+        steady_queue_wait_s=_histogram_quantiles(steady["queue_wait"]),
+        exact_latency_s=_quantiles(exact),
+        max_backlog=max(
+            (int(s.get("pool_backlog", 0)) for s in snapshots), default=0
+        ),
+        max_queue_depth=max(
+            (int(s.get("jobs_queued", 0)) for s in snapshots), default=0
+        ),
+        max_active=max(
+            (int(s.get("jobs_active", 0)) for s in snapshots), default=0
+        ),
+        snapshots=len(snapshots),
+        dropped_events=scheduler.bus.dropped(),
     )
 
 

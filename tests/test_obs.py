@@ -22,7 +22,7 @@ import json
 
 import pytest
 
-from repro.errors import CrashInjected
+from repro.errors import CrashInjected, ObsError
 from repro.obs import (
     EVENT_TYPES,
     EventTracer,
@@ -254,8 +254,15 @@ class TestMetricsRegistry:
         a, b = MetricsRegistry(), MetricsRegistry()
         a.observe("h", 0.5, buckets=(1.0,))
         b.observe("h", 0.5, buckets=(2.0,))
-        with pytest.raises(ValueError):
+        with pytest.raises(ObsError) as excinfo:
             a.merge_state(b.export_state())
+        # The error names the histogram and *both* bucket sets, so the
+        # operator can see which worker disagreed about the grid.
+        message = str(excinfo.value)
+        assert "'h'" in message
+        assert "(1.0,)" in message and "(2.0,)" in message
+        # Nothing was partially merged for the offending histogram.
+        assert a.snapshot()["histograms"]["h"]["count"] == 1
 
     def test_restore_replaces(self):
         a = MetricsRegistry()

@@ -1,0 +1,595 @@
+"""Tests for the live telemetry plane.
+
+Three layers, mirroring how the plane is built:
+
+* process-free units — the bounded fan-out :class:`EventBus`, the
+  Prometheus-style exposition/quantile helpers in ``repro.obs.expo``,
+  and span-tree reconstruction over synthetic traces;
+* pool integration — tailing live jobs off the scheduler's bus,
+  cross-process span propagation (worker events join their job's
+  trace), per-span ``wseq`` ordering under interleaved multi-worker
+  batches, and the sustained-load soak harness;
+* the acceptance guarantee — a seeded serve run with a live tail
+  consumer attached is bit-identical (front + trajectory counters) to
+  the same run with tailing disabled, per driver.  Streaming observes;
+  it never steers.
+"""
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import Obs, quantile_from_histogram, render_exposition
+from repro.obs.expo import histogram_delta
+from repro.obs.spans import analyze_traces, main as spans_main
+from repro.obs.stream import EventBus
+from repro.obs.validate import main as validate_main, validate_file
+from repro.parallel.pool import PoolParams
+from repro.serve import (
+    JobSpec,
+    ServeParams,
+    SoakConfig,
+    SolveScheduler,
+    run_soak,
+)
+from repro.tabu.params import TSMOParams
+from repro.vrptw.generator import generate_instance
+
+FAST = PoolParams(
+    heartbeat_interval=0.05,
+    heartbeat_timeout=10.0,
+    task_deadline=10.0,
+    backoff_base=0.01,
+    poll_interval=0.02,
+)
+
+SMALL = TSMOParams(max_evaluations=48, neighborhood_size=8)
+
+#: a snapshot cadence fast enough that short test runs see several.
+SNAPPY = ServeParams(snapshot_interval=0.05)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance("R1", 20, seed=55)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# EventBus: bounded fan-out, drop counting, thread-safe publish
+# ----------------------------------------------------------------------
+class TestEventBus:
+    def test_subscriber_sees_events_in_order(self):
+        async def scenario():
+            bus = EventBus()
+            sub = bus.subscribe()
+            for i in range(5):
+                bus.publish({"type": "t", "i": i})
+            bus.close()
+            return [event["i"] async for event in sub], bus.published
+
+        seen, published = run(scenario())
+        assert seen == [0, 1, 2, 3, 4]
+        assert published == 5
+
+    def test_predicate_filters_without_counting_drops(self):
+        async def scenario():
+            bus = EventBus()
+            sub = bus.subscribe(predicate=lambda e: e["i"] % 2 == 0)
+            for i in range(6):
+                bus.publish({"i": i})
+            bus.close()
+            return [e["i"] async for e in sub], bus.dropped()
+
+        seen, dropped = run(scenario())
+        assert seen == [0, 2, 4]
+        assert dropped == 0
+
+    def test_slow_subscriber_drops_oldest_and_counts(self):
+        async def scenario():
+            bus = EventBus()
+            sub = bus.subscribe(maxsize=3)
+            for i in range(10):
+                bus.publish({"i": i})
+            bus.close()
+            kept = [e["i"] async for e in sub]
+            return kept, sub.dropped, bus.dropped()
+
+        kept, sub_dropped, bus_dropped = run(scenario())
+        # Drop-oldest: the newest maxsize events survive.
+        assert kept == [7, 8, 9]
+        assert sub_dropped == 7
+        assert bus_dropped == 7
+
+    def test_dropped_counts_survive_unsubscribe(self):
+        async def scenario():
+            bus = EventBus()
+            sub = bus.subscribe(maxsize=1)
+            bus.publish({"i": 0})
+            bus.publish({"i": 1})
+            sub.close()
+            return bus.dropped(), bus.subscriber_count()
+
+        dropped, remaining = run(scenario())
+        assert dropped == 1
+        assert remaining == 0
+
+    def test_subscribe_after_close_yields_nothing(self):
+        async def scenario():
+            bus = EventBus()
+            bus.close()
+            sub = bus.subscribe()
+            bus.publish({"i": 0})
+            return [e async for e in sub], bus.published
+
+        seen, published = run(scenario())
+        assert seen == []
+        assert published == 0
+
+    def test_publish_from_another_thread_wakes_subscriber(self):
+        async def scenario():
+            bus = EventBus()
+            sub = bus.subscribe()
+
+            def worker():
+                for i in range(3):
+                    bus.publish({"i": i})
+                bus.close()
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            seen = [e["i"] async for e in sub]
+            thread.join()
+            return seen
+
+        assert run(scenario()) == [0, 1, 2]
+
+    def test_raising_predicate_closes_only_that_subscription(self):
+        async def scenario():
+            bus = EventBus()
+            bad = bus.subscribe(predicate=lambda e: e["boom"])
+            good = bus.subscribe()
+            bus.publish({"i": 0})  # KeyError inside bad's predicate
+            bus.publish({"i": 1, "boom": True})
+            bus.close()
+            return bad.closed, [e["i"] async for e in good]
+
+        bad_closed, seen = run(scenario())
+        assert bad_closed
+        assert seen == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Exposition + histogram math
+# ----------------------------------------------------------------------
+class TestExpo:
+    def test_render_exposition_counters_gauges_histograms(self):
+        from repro.obs import MetricsRegistry
+
+        m = MetricsRegistry()
+        m.inc("serve.jobs_completed", 3)
+        m.gauge("serve.jobs_active", 2)
+        m.observe("lat", 0.3, buckets=(0.1, 1.0))
+        m.observe("lat", 5.0, buckets=(0.1, 1.0))
+        m.add_time("poll", 1.25)
+        text = render_exposition(m.snapshot())
+        assert "# TYPE repro_serve_jobs_completed counter" in text
+        assert "repro_serve_jobs_completed 3" in text
+        assert "repro_serve_jobs_active 2" in text
+        # Cumulative buckets with a +Inf terminator.
+        assert 'repro_lat_bucket{le="0.1"} 0' in text
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_count 2" in text
+        assert "repro_poll_seconds_total 1.25" in text
+
+    def test_quantile_interpolates_within_buckets(self):
+        bounds = (1.0, 2.0, 4.0)
+        counts = (0, 10, 0, 0)  # all mass in (1, 2]
+        assert quantile_from_histogram(bounds, counts, 0.5) == pytest.approx(1.5)
+        assert quantile_from_histogram(bounds, counts, 1.0) == pytest.approx(2.0)
+
+    def test_quantile_edge_cases(self):
+        assert quantile_from_histogram((1.0,), (0, 0), 0.5) is None
+        with pytest.raises(ValueError):
+            quantile_from_histogram((1.0,), (1, 0), 1.5)
+        # Mass in the overflow bucket reports the largest finite bound.
+        assert quantile_from_histogram((1.0,), (0, 5), 0.99) == pytest.approx(1.0)
+
+    def test_histogram_delta_is_the_steady_state_window(self):
+        earlier = {"bounds": [1.0], "counts": [2, 0], "sum": 1.0, "count": 2}
+        later = {"bounds": [1.0], "counts": [2, 3], "sum": 10.0, "count": 5}
+        delta = histogram_delta(later, earlier)
+        assert delta["counts"] == [0, 3]
+        assert delta["count"] == 3
+        assert delta["sum"] == pytest.approx(9.0)
+        # No earlier mark: the delta is the whole series.
+        assert histogram_delta(later, None)["count"] == 5
+
+    def test_histogram_delta_rejects_mismatched_bounds(self):
+        earlier = {"bounds": [2.0], "counts": [0, 0], "sum": 0.0, "count": 0}
+        later = {"bounds": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}
+        with pytest.raises(ObsError):
+            histogram_delta(later, earlier)
+
+
+# ----------------------------------------------------------------------
+# Span-tree reconstruction over synthetic traces
+# ----------------------------------------------------------------------
+def _event(type_, seq, span, trace=None, parent=None, **fields):
+    event = {"type": type_, "seq": seq, "run": "r", "span": span, **fields}
+    if trace is not None:
+        event["trace"] = trace
+    if parent is not None:
+        event["parent"] = parent
+    return event
+
+
+class TestSpanAnalysis:
+    def test_complete_tree(self):
+        events = [
+            _event("job_state", 1, "job-a", trace="a", job="a", state="queued"),
+            _event("job_state", 2, "job-a", trace="a", job="a", state="running"),
+            _event(
+                "worker_task", 3, "worker-0", trace="a", parent="job-a",
+                worker=0, task_id="t1", neighbors=8,
+            ),
+            _event("job_state", 4, "job-a", trace="a", job="a", state="done"),
+        ]
+        reports = analyze_traces(events)
+        report = reports["a"]
+        assert report.complete
+        assert report.roots == ["job-a"]
+        assert report.spans["job-a"].children == ["worker-0"]
+        assert report.spans["job-a"].states == ["queued", "running", "done"]
+
+    def test_orphan_when_parent_has_no_events(self):
+        events = [
+            _event("job_state", 1, "job-a", trace="a", job="a", state="done"),
+            _event(
+                "worker_task", 2, "worker-0", trace="a", parent="job-GONE",
+                worker=0, task_id="t1", neighbors=8,
+            ),
+        ]
+        report = analyze_traces(events)["a"]
+        assert not report.complete
+        assert report.orphans == ["worker-0"]
+
+    def test_gap_when_lifecycle_never_terminates(self):
+        events = [
+            _event("job_state", 1, "job-a", trace="a", job="a", state="queued"),
+            _event("job_state", 2, "job-a", trace="a", job="a", state="running"),
+        ]
+        report = analyze_traces(events)["a"]
+        assert not report.complete
+        assert report.gaps and "terminal" in report.gaps[0]
+
+    def test_untraced_events_are_ignored(self):
+        events = [_event("iteration", 1, "main", iteration=0,
+                         evaluations=8, archive_size=1)]
+        assert analyze_traces(events) == {}
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.jsonl"
+        good.write_text(
+            "\n".join(
+                json.dumps(e)
+                for e in [
+                    _event("job_state", 1, "job-a", trace="a", job="a",
+                           state="running"),
+                    _event("job_state", 2, "job-a", trace="a", job="a",
+                           state="done"),
+                ]
+            )
+            + "\n"
+        )
+        assert spans_main([str(good)]) == 0
+        out = capsys.readouterr().out
+        assert "all complete" in out and "trace a:" in out
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            json.dumps(
+                _event("worker_task", 1, "worker-0", trace="b",
+                       parent="job-GONE", worker=0, task_id="t", neighbors=8)
+            )
+            + "\n"
+        )
+        assert spans_main([str(bad)]) == 1
+        assert "ORPHAN" in capsys.readouterr().out
+
+        empty = tmp_path / "untraced.jsonl"
+        empty.write_text(
+            json.dumps(_event("iteration", 1, "main", iteration=0,
+                              evaluations=8, archive_size=1)) + "\n"
+        )
+        assert spans_main([str(empty)]) == 2
+
+
+# ----------------------------------------------------------------------
+# Validator: a complete write of garbage is an error, a torn tail is not
+# ----------------------------------------------------------------------
+class TestValidateTail:
+    def test_newline_terminated_garbage_is_an_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps(_event("job_state", 1, "job-a", job="a", state="done"))
+            + "\n{not json}\n"
+        )
+        ok, errors = validate_file(path)
+        assert errors
+        assert validate_main([str(path)]) == 1
+
+    def test_torn_tail_without_newline_is_tolerated(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps(_event("job_state", 1, "job-a", job="a", state="done"))
+            + "\n{\"type\": \"job_st"
+        )
+        ok, errors = validate_file(path)
+        assert not errors
+        assert validate_main([str(path)]) == 0
+        assert "torn final line" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Live tails against a real scheduler
+# ----------------------------------------------------------------------
+class TestTail:
+    def test_tail_streams_job_lifecycle_and_ends_at_terminal(self, instance):
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, params=SNAPPY
+            ) as scheduler:
+                job = scheduler.submit(JobSpec(job_id="t1", seed=3, params=SMALL))
+                events = []
+
+                async def consume():
+                    async for event in scheduler.tail("t1"):
+                        events.append(event)
+
+                consumer = asyncio.ensure_future(consume())
+                await job.wait()
+                await asyncio.wait_for(consumer, timeout=30)
+                return events
+
+        events = run(scenario())
+        states = [e["state"] for e in events if e["type"] == "job_state"]
+        assert states[-1] == "done"
+        assert any(e["type"] == "job_progress" for e in events)
+        # Everything tailed belongs to this job's trace.
+        assert all(
+            e.get("job") == "t1" or e.get("trace") == "t1" for e in events
+        )
+        # The bus preserves publish order: seq is strictly increasing.
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_tail_of_finished_job_yields_nothing(self, instance):
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=1, pool_params=FAST
+            ) as scheduler:
+                job = scheduler.submit(JobSpec(job_id="t2", seed=3, params=SMALL))
+                await job.wait()
+                return [event async for event in scheduler.tail("t2")]
+
+        assert run(scenario()) == []
+
+    def test_tail_all_carries_metrics_snapshots(self, instance):
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, params=SNAPPY
+            ) as scheduler:
+                snapshots = []
+
+                async def consume():
+                    async for event in scheduler.tail_all():
+                        if event["type"] == "metrics_snapshot":
+                            snapshots.append(event["snapshot"])
+
+                consumer = asyncio.ensure_future(consume())
+                job = scheduler.submit(JobSpec(job_id="t3", seed=3, params=SMALL))
+                await job.wait()
+                await asyncio.sleep(0.15)  # one more snapshot cadence
+                consumer.cancel()
+                try:
+                    await consumer
+                except asyncio.CancelledError:
+                    pass
+                return snapshots
+
+        snapshots = run(scenario())
+        assert snapshots
+        latest = snapshots[-1]
+        for key in ("jobs_active", "jobs_queued", "pool_backlog", "deficits",
+                    "counters", "deltas", "stream", "metrics"):
+            assert key in latest
+        assert any(s["counters"].get("completed") == 1 for s in snapshots)
+
+
+# ----------------------------------------------------------------------
+# Cross-process span propagation + ingest ordering
+# ----------------------------------------------------------------------
+class TestSpanPropagation:
+    def test_worker_events_join_job_trace_and_wseq_orders_per_span(
+        self, instance, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBS", "1")
+
+        async def scenario():
+            obs = Obs(span="serve")
+            async with SolveScheduler(
+                instance, n_workers=2, pool_params=FAST, obs=obs
+            ) as scheduler:
+                tailed = {}
+
+                async def consume(job_id):
+                    tailed[job_id] = [
+                        e async for e in scheduler.tail(job_id)
+                    ]
+
+                jobs = [
+                    scheduler.submit(
+                        JobSpec(job_id=f"sp{i}", seed=10 + i, params=SMALL,
+                                driver="split", n_tasks=2)
+                    )
+                    for i in range(2)
+                ]
+                consumers = [
+                    asyncio.ensure_future(consume(f"sp{i}")) for i in range(2)
+                ]
+                await asyncio.gather(*(job.wait() for job in jobs))
+                await asyncio.wait_for(
+                    asyncio.gather(*consumers), timeout=30
+                )
+            return obs, tailed
+
+        obs, tailed = run(scenario())
+        shipped = obs.tracer.events("worker_task")
+        assert shipped, "workers shipped no events back"
+        # Every worker event carries its job's trace and points at the
+        # job's root span — the propagation chain is unbroken.
+        for event in shipped:
+            assert event["trace"] in ("sp0", "sp1")
+            assert event["parent"] == f"job-{event['trace']}"
+            assert event["span"].startswith("worker-")
+        # Both workers contributed (interleaved batches, not one pipe).
+        assert len({e["span"] for e in shipped}) == 2
+        # wseq (the worker's own emission counter) is strictly
+        # increasing within each worker span even though batches from
+        # the two workers interleave arbitrarily at the scheduler.
+        by_span = {}
+        for event in shipped:
+            by_span.setdefault(event["span"], []).append(event["wseq"])
+        for span, wseqs in by_span.items():
+            assert wseqs == sorted(wseqs), span
+            assert len(set(wseqs)) == len(wseqs), span
+        # Tail subscribers observe the same per-span order.
+        for job_id, events in tailed.items():
+            worker_events = [e for e in events if e["type"] == "worker_task"]
+            assert worker_events, job_id
+            per_span = {}
+            for event in worker_events:
+                per_span.setdefault(event["span"], []).append(event["wseq"])
+            for wseqs in per_span.values():
+                assert wseqs == sorted(wseqs)
+
+    def test_checkpoint_events_join_the_trace(self, instance, tmp_path):
+        async def scenario():
+            obs = Obs(span="serve")
+            async with SolveScheduler(
+                instance,
+                n_workers=1,
+                pool_params=FAST,
+                obs=obs,
+                checkpoint_dir=tmp_path,
+                checkpoint_every=16,
+            ) as scheduler:
+                job = scheduler.submit(JobSpec(job_id="ck", seed=4, params=SMALL))
+                await job.wait()
+            return obs
+
+        obs = run(scenario())
+        checkpoints = [
+            e for e in obs.tracer.events("checkpoint") if e.get("trace") == "ck"
+        ]
+        assert checkpoints
+        assert all(e["span"] == "job-ck" for e in checkpoints)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: tailing a run never changes it (per driver)
+# ----------------------------------------------------------------------
+class TestTailDeterminismGuard:
+    @pytest.mark.parametrize(
+        "driver,n_tasks,n_workers",
+        [("lockstep", 1, 1), ("split", 2, 2)],
+        ids=["lockstep", "split"],
+    )
+    def test_tailed_run_is_bit_identical(
+        self, instance, driver, n_tasks, n_workers
+    ):
+        spec_kwargs = dict(
+            seed=7, params=SMALL, driver=driver, n_tasks=n_tasks
+        )
+
+        async def run_once(tailing):
+            async with SolveScheduler(
+                instance, n_workers=n_workers, pool_params=FAST, params=SNAPPY
+            ) as scheduler:
+                job = scheduler.submit(JobSpec(job_id="d", **spec_kwargs))
+                if tailing:
+                    events = []
+
+                    async def consume():
+                        async for event in scheduler.tail("d"):
+                            events.append(event)
+
+                    consumer = asyncio.ensure_future(consume())
+                    result = await job.wait()
+                    await asyncio.wait_for(consumer, timeout=30)
+                    assert events, "tailing observed nothing"
+                else:
+                    result = await job.wait()
+                return result
+
+        plain = run(run_once(False))
+        tailed = run(run_once(True))
+        assert tailed.evaluations == plain.evaluations
+        assert tailed.iterations == plain.iterations
+        assert tailed.restarts == plain.restarts
+        assert np.array_equal(tailed.front(), plain.front())
+
+
+# ----------------------------------------------------------------------
+# Sustained-load soak (short) + end-to-end span completeness
+# ----------------------------------------------------------------------
+class TestSoak:
+    def test_config_validation(self):
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError):
+            SoakConfig(rate=0.0)
+        with pytest.raises(ServeError):
+            SoakConfig(duration_s=0.0)
+        with pytest.raises(ServeError):
+            SoakConfig(duration_s=5.0, warmup_s=5.0)
+
+    def test_short_soak_conserves_and_reconstructs_spans(
+        self, instance, tmp_path, monkeypatch, capsys
+    ):
+        trace_dir = tmp_path / "traces"
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(trace_dir))
+        config = SoakConfig(
+            duration_s=2.5, warmup_s=0.5, rate=10.0, seed=2,
+            budget=32, neighborhood=8,
+        )
+
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=2, pool_params=FAST, params=SNAPPY
+            ) as scheduler:
+                return await run_soak(scheduler, config)
+
+        report = run(scenario())
+        assert report.conserved(), report.to_dict()
+        assert report.submitted > 0
+        assert report.snapshots > 0
+        assert report.to_dict()["steady_latency_s"].keys() >= {
+            "p50", "p95", "p99", "count"
+        }
+        # The traces on disk validate and reconstruct one complete span
+        # tree per job — no orphans, no torn lifecycles (the acceptance
+        # bar for the 2-worker chaos-free soak).
+        assert validate_main([str(trace_dir)]) == 0
+        assert spans_main([str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "all complete" in out
