@@ -116,6 +116,21 @@ class JobDeadlineExceeded(ServeError):
     """
 
 
+class WrongInstanceError(ServeError):
+    """A job was about to resume against a different instance.
+
+    The serve ledger's ``accepted`` entries and serve-job checkpoints
+    both record the instance's content fingerprint
+    (:func:`repro.parallel.shm.instance_fingerprint`).  When a restarted
+    scheduler — constructed over a different default instance, or fed a
+    ledger whose instance payload no longer matches — would resume a
+    job whose recorded fingerprint disagrees with the instance actually
+    available, that job must fail loudly with this error instead of
+    silently producing fronts for the wrong problem.  Non-retryable:
+    every retry would see the same mismatch.
+    """
+
+
 class LedgerError(ServeError):
     """The solve service's durable job ledger cannot be trusted.
 

@@ -63,7 +63,14 @@ from repro.obs.registry import (
     NullRegistry,
     Timer,
 )
-from repro.obs.stream import EventBus, Subscription
+from repro.obs.stream import (
+    EventBus,
+    Subscription,
+    TERMINAL_JOB_STATES,
+    is_terminal_job_event,
+    job_event_predicate,
+)
+from repro.obs.tailserv import TailServer, tail_client
 from repro.obs.timeutil import parse_timestamp, utc_timestamp
 
 __all__ = [
@@ -89,13 +96,18 @@ __all__ = [
     "PHASES",
     "PhaseProfiler",
     "Subscription",
+    "TERMINAL_JOB_STATES",
+    "TailServer",
     "Timer",
     "format_profile_table",
     "histogram_delta",
+    "is_terminal_job_event",
+    "job_event_predicate",
     "new_run_id",
     "parse_timestamp",
     "quantile_from_histogram",
     "render_exposition",
+    "tail_client",
     "utc_timestamp",
 ]
 

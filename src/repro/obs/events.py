@@ -83,6 +83,10 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "job_preempted": ("job", "evaluations"),
     "job_checkpoint_corrupt": ("job", "error"),
     "job_recovered": ("job", "state"),
+    # ``job_wrong_instance`` when a job's recorded instance fingerprint
+    # disagreed with the instance available at resume/recovery — the
+    # job fails loudly instead of solving the wrong problem.
+    "job_wrong_instance": ("job", "error"),
     # Live telemetry: a periodic point-in-time metrics reading emitted
     # by the serve scheduler's pump (jobs in flight, queue depth, pool
     # backlog, counter deltas, latency histogram state) so watchers and

@@ -31,10 +31,39 @@ import threading
 
 from collections import deque
 
-__all__ = ["EventBus", "Subscription"]
+__all__ = [
+    "EventBus",
+    "Subscription",
+    "TERMINAL_JOB_STATES",
+    "is_terminal_job_event",
+    "job_event_predicate",
+]
 
 #: default per-subscription buffer capacity (events).
 DEFAULT_BUFFER = 1024
+
+#: ``job_state`` values that end a per-job tail stream.  Shared by the
+#: in-process ``SolveScheduler.tail`` and the remote tail server so the
+#: two views of one job end on exactly the same event.
+TERMINAL_JOB_STATES = frozenset({"done", "cancelled", "failed"})
+
+
+def job_event_predicate(job_id: str):
+    """The subscription filter selecting one job's events: everything
+    stamped with its id or riding its trace (worker task events)."""
+
+    def predicate(event: dict) -> bool:
+        return event.get("job") == job_id or event.get("trace") == job_id
+
+    return predicate
+
+
+def is_terminal_job_event(event: dict) -> bool:
+    """True for the ``job_state`` event that ends a job's tail stream."""
+    return (
+        event.get("type") == "job_state"
+        and event.get("state") in TERMINAL_JOB_STATES
+    )
 
 
 class Subscription:

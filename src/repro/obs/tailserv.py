@@ -1,0 +1,226 @@
+"""Remote tail server: the scheduler's EventBus over a TCP socket.
+
+``SolveScheduler.tail()`` / ``tail_all()`` only work inside the
+scheduler's own process.  :class:`TailServer` exposes the same two
+streams to remote operators — ``python -m repro.serve --watch
+--connect HOST:PORT`` in another process, on another machine — with a
+protocol small enough to speak from anything:
+
+* the client sends **one JSON request line** (newline-terminated)::
+
+      {"op": "tail_all"}
+      {"op": "tail", "job_id": "job-00042"}
+
+* the server answers with a stream of **length-prefixed JSON frames**:
+  a 4-byte big-endian payload size, then that many bytes of UTF-8
+  JSON — one tracer event per frame, exactly what the in-process tail
+  iterators yield.  Length prefixes rather than newline-delimited
+  JSONL on the response side because event payloads are
+  operator-controlled (``metrics_snapshot`` nests whole metric
+  registries) and a framing that survives any payload beats one that
+  asks every producer to promise newline-freedom.
+
+Semantics mirror the in-process iterators deliberately (both sides
+share :func:`~repro.obs.stream.job_event_predicate` and
+:func:`~repro.obs.stream.is_terminal_job_event`): a per-job tail ends
+after the terminal ``job_state`` frame, ``tail_all`` ends when the bus
+closes (scheduler shutdown), and a slow client loses oldest events on
+its own bounded subscription — never slowing the pump, never another
+client.
+
+The server is pure observation: it holds the bus, not the scheduler,
+so nothing a client sends can steer the search.  Malformed requests
+are counted (``bad_requests``) and the connection closed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.stream import (
+    DEFAULT_BUFFER,
+    EventBus,
+    is_terminal_job_event,
+    job_event_predicate,
+)
+
+__all__ = ["TailServer", "tail_client"]
+
+#: request line size bound (a request is one short JSON object; a
+#: client shoving megabytes at the socket is not a client).
+_MAX_REQUEST = 64 * 1024
+
+
+def _encode_frame(event: dict) -> bytes:
+    payload = json.dumps(event, default=str).encode("utf-8")
+    return len(payload).to_bytes(4, "big") + payload
+
+
+class TailServer:
+    """Serve an :class:`~repro.obs.stream.EventBus` to TCP clients.
+
+    Created by the scheduler when ``tail_port`` is set; ``port=0``
+    binds an ephemeral port (tests), resolved via :meth:`address`.
+    Counters (``connections``, ``frames_sent``, ``bad_requests``) are
+    diagnostics for the serve report and the CI smoke.
+    """
+
+    def __init__(
+        self,
+        bus: EventBus,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        maxsize: int = DEFAULT_BUFFER,
+    ) -> None:
+        self.bus = bus
+        self.host = host
+        self.port = port
+        self.maxsize = maxsize
+        self._server: asyncio.base_events.Server | None = None
+        self._ready = asyncio.Event()
+        self._closed = False
+        self._handlers: set[asyncio.Task] = set()
+        self.connections = 0
+        self.frames_sent = 0
+        self.bad_requests = 0
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and begin accepting; returns the bound ``(host, port)``."""
+        if self._closed:
+            raise RuntimeError("cannot restart a stopped TailServer")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._ready.set()
+        return self.host, self.port
+
+    async def address(self) -> tuple[str, int]:
+        """The bound address, waiting for :meth:`start` if necessary."""
+        await self._ready.wait()
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, end live streams, close the socket.  Idempotent.
+
+        Active handlers are cancelled and awaited (clients see a clean
+        end of stream), not left for the event loop's shutdown to
+        cancel — an abandoned handler still parked on its subscription
+        dumps a spurious CancelledError traceback when the loop dies.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._ready.set()  # release address() waiters
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        handlers, self._handlers = set(self._handlers), set()
+        for task in handlers:
+            task.cancel()
+        if handlers:
+            await asyncio.gather(*handlers, return_exceptions=True)
+
+    def report(self) -> dict:
+        return {
+            "connections": self.connections,
+            "frames_sent": self.frames_sent,
+            "bad_requests": self.bad_requests,
+        }
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        sub = None
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            job_id = request.get("job_id")
+            predicate = (
+                job_event_predicate(job_id) if request["op"] == "tail" else None
+            )
+            sub = self.bus.subscribe(predicate=predicate, maxsize=self.maxsize)
+            async for event in sub:
+                writer.write(_encode_frame(event))
+                await writer.drain()
+                self.frames_sent += 1
+                if job_id is not None and is_terminal_job_event(event):
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-stream; nothing to clean up
+        except asyncio.CancelledError:
+            pass  # stop() ending this stream; the finally sends EOF
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            if sub is not None:
+                sub.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> dict | None:
+        """Parse the one request line; ``None`` (after an error frame)
+        for anything malformed."""
+        try:
+            line = await reader.readline()
+        except (ConnectionResetError, asyncio.LimitOverrunError):
+            return None
+        if not line or len(line) > _MAX_REQUEST:
+            self.bad_requests += 1
+            return None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request is not an object")
+            op = request.get("op")
+            if op not in ("tail", "tail_all"):
+                raise ValueError(f"unknown op {op!r}")
+            if op == "tail" and not request.get("job_id"):
+                raise ValueError("tail requires a job_id")
+        except (ValueError, UnicodeDecodeError):
+            self.bad_requests += 1
+            return None
+        return request
+
+
+async def tail_client(host: str, port: int, *, job_id: str | None = None):
+    """Async-iterate a remote scheduler's event stream.
+
+    The client half of the protocol: connects, sends the one-line
+    request, yields decoded event dicts until the server ends the
+    stream (terminal ``job_state`` for a per-job tail, scheduler
+    shutdown for ``tail_all``).
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        request: dict = (
+            {"op": "tail", "job_id": job_id}
+            if job_id is not None
+            else {"op": "tail_all"}
+        )
+        writer.write((json.dumps(request) + "\n").encode("utf-8"))
+        await writer.drain()
+        while True:
+            try:
+                header = await reader.readexactly(4)
+                payload = await reader.readexactly(int.from_bytes(header, "big"))
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return  # clean end of stream (or server gone)
+            yield json.loads(payload)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

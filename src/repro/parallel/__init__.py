@@ -43,6 +43,13 @@ from repro.parallel.mp_backend import (
     run_multiprocessing_tsmo,
 )
 from repro.parallel.pool import FaultPlan, PoolParams, WorkerPool
+from repro.parallel.shm import (
+    SharedInstance,
+    SharedInstanceRef,
+    SharedInstanceStore,
+    instance_fingerprint,
+    share_instance,
+)
 from repro.parallel.sync_ts import run_synchronous_tsmo
 
 __all__ = [
@@ -56,8 +63,12 @@ __all__ = [
     "Mailbox",
     "MpAsyncParams",
     "PoolParams",
+    "SharedInstance",
+    "SharedInstanceRef",
+    "SharedInstanceStore",
     "SimCluster",
     "WorkerPool",
+    "instance_fingerprint",
     "run_adaptive_memory_tsmo",
     "run_asynchronous_tsmo",
     "run_collaborative_tsmo",
@@ -66,4 +77,5 @@ __all__ = [
     "run_multiprocessing_tsmo",
     "run_sequential_simulated",
     "run_synchronous_tsmo",
+    "share_instance",
 ]

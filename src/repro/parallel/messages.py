@@ -21,6 +21,7 @@ from typing import Hashable
 
 from repro.core.objectives import ObjectiveVector
 from repro.core.solution import Solution
+from repro.parallel.shm import SharedInstanceRef
 from repro.parallel.wire import WireBatch, WireRoutes, WireTaskDelta
 from repro.tabu.neighborhood import Neighbor
 
@@ -107,6 +108,13 @@ class PoolTask:
     ``(job_id, "job-<id>")``).  Pure data, ignored by execution — it
     exists so one job's events reconstruct as a single causally-ordered
     trace across the process boundary.
+
+    ``instance`` selects which problem the task solves: ``None`` means
+    the pool's default instance (the one workers received at spawn),
+    while a :class:`~repro.parallel.shm.SharedInstanceRef` names a
+    shared-memory segment the worker attaches on first use and keeps in
+    a small LRU of mapped instances — the multi-tenant serve layer
+    ships a ~300-byte ref per task instead of one pool per instance.
     """
 
     task_id: int
@@ -118,6 +126,7 @@ class PoolTask:
     seed: int | None = None
     rng_state: dict | None = None
     trace: tuple[str, str] | None = None
+    instance: SharedInstanceRef | None = None
 
 
 @dataclass(frozen=True, slots=True)

@@ -363,6 +363,11 @@ def execute_task(
     yield flush(final=True)
 
 
+#: mapped per-task instance segments one worker keeps warm (beyond the
+#: default instance, which is pinned for the process lifetime).
+_WORKER_INSTANCE_LRU = 8
+
+
 def _pool_worker_main(
     slot: int,
     generation: int,
@@ -385,6 +390,30 @@ def _pool_worker_main(
         instance, shm = instance.attach()
     evaluator = Evaluator(instance)
     registry = default_registry()
+    # Per-task instances (the multi-tenant serve path): segments attach
+    # lazily on the first task that names them and stay mapped — with
+    # their per-instance evaluator caches — in a small LRU.  Evicting
+    # only closes this worker's mapping; the master owns unlink, and a
+    # re-referenced evicted segment simply re-attaches.
+    attached: dict[str, tuple[Instance, object, Evaluator]] = {}
+
+    def resolve_instance(ref: SharedInstanceRef | None):
+        if ref is None:
+            return instance, evaluator
+        entry = attached.get(ref.segment)
+        if entry is None:
+            inst, seg = ref.attach()
+            entry = (inst, seg, Evaluator(inst))
+            if len(attached) >= _WORKER_INSTANCE_LRU:
+                oldest = next(iter(attached))
+                _, old_seg, _ = attached.pop(oldest)
+                old_seg.close()
+            attached[ref.segment] = entry
+        else:
+            # Re-insertion keeps dict order = recency order.
+            attached.pop(ref.segment)
+            attached[ref.segment] = entry
+        return entry[0], entry[2]
     # Spawn children inherit the master's environment, so the same
     # REPRO_TRACE_DIR / REPRO_OBS switch that enabled the master's
     # bundle enables worker-side event collection — no new plumbing
@@ -454,9 +483,16 @@ def _pool_worker_main(
                 kill_after = int(arg)
             elif kind == "delay":
                 time.sleep(float(arg))
+        task_instance, task_evaluator = resolve_instance(task.instance)
         batches_sent = 0
         for batch in execute_task(
-            instance, evaluator, registry, task, slot, codec=codec, timed=timed
+            task_instance,
+            task_evaluator,
+            registry,
+            task,
+            slot,
+            codec=codec,
+            timed=timed,
         ):
             if batch.final and tracer is not None:
                 # Stamp the submitter's span-propagation envelope so
@@ -481,6 +517,8 @@ def _pool_worker_main(
                 os._exit(_FAULT_EXIT)
         last_done = (task.task_id, task.routes)
     stop_beating.set()
+    for _, seg, _ in attached.values():
+        seg.close()
     if shm is not None:
         shm.close()
 
@@ -752,9 +790,13 @@ class WorkerPool:
         self._full_tasks = 0
         self._wire_batches = 0
         self._wire_batch_bytes = 0
+        self._instance_ref_tasks = 0
 
-        # Master-local execution state (degradation / retry exhaustion).
-        self._local_evaluator: Evaluator | None = None
+        # Master-local execution state (degradation / retry exhaustion):
+        # one (instance, evaluator) context per instance ever run
+        # locally, keyed by segment name (None: the pool's default).
+        self._local_contexts: dict[str | None, tuple[Instance, Evaluator]] = {}
+        self._local_shms: list = []
         self._local_registry: OperatorRegistry | None = None
 
         self.sizer = (
@@ -870,6 +912,17 @@ class WorkerPool:
                 slot.task_q = None
                 slot.result_q = None
         finally:
+            # Master-side mappings of per-task instance segments: close
+            # before the owners unlink (harmless either way — POSIX
+            # keeps an unlinked segment alive while mapped, but a clean
+            # close keeps the resource tracker's books exact).
+            for seg in self._local_shms:
+                try:
+                    seg.close()
+                except Exception:  # pragma: no cover - already closed
+                    pass
+            self._local_shms = []
+            self._local_contexts = {}
             self._destroy_shared()
         self._maybe_dump_report()
 
@@ -914,6 +967,7 @@ class WorkerPool:
         batch_size: int | None = None,
         tag: object | None = None,
         trace: tuple[str, str] | None = None,
+        instance_ref=None,
     ) -> int:
         """Queue one neighborhood chunk; returns its task id.
 
@@ -927,6 +981,14 @@ class WorkerPool:
         task, so a submitter's logical operation (a serve job) spans
         the process boundary as one causally-ordered trace.  Pure
         observability — execution ignores it.
+
+        ``instance_ref`` runs the task against a *different* instance
+        than the pool's default: a
+        :class:`~repro.parallel.shm.SharedInstanceRef` to a segment the
+        caller keeps alive for the task's whole life (the serve layer's
+        :class:`~repro.parallel.shm.SharedInstanceStore` holds it until
+        the owning job is terminal).  ``routes`` must index into *that*
+        instance's sites.
         """
         if self._closed:
             raise WorkerPoolError(
@@ -944,6 +1006,8 @@ class WorkerPool:
                 batch_size = self.default_batch_size or count
         task_id = self._next_task_id
         self._next_task_id += 1
+        if instance_ref is not None:
+            self._instance_ref_tasks += 1
         task = PoolTask(
             task_id=task_id,
             attempt=0,
@@ -954,6 +1018,7 @@ class WorkerPool:
             seed=seed,
             rng_state=rng_state,
             trace=trace,
+            instance=instance_ref,
         )
         self._tasks[task_id] = _TaskState(task, time.monotonic(), tag=tag)
         self._pending.append(task_id)
@@ -1388,17 +1453,37 @@ class WorkerPool:
         self._pending.append(task_id)
         self._max_backlog = max(self._max_backlog, len(self._pending))
 
+    def _local_context(self, ref) -> tuple[Instance, Evaluator]:
+        """The master-side (instance, evaluator) a task runs on locally.
+
+        Tasks carrying a :class:`SharedInstanceRef` attach the segment
+        in the master process too (the creator still owns unlink); the
+        mapping is held until :meth:`close` so evaluator caches stay
+        warm across fallbacks, exactly like a worker's.
+        """
+        key = None if ref is None else ref.segment
+        context = self._local_contexts.get(key)
+        if context is None:
+            if ref is None:
+                local_instance = self.instance
+            else:
+                local_instance, seg = ref.attach()
+                self._local_shms.append(seg)
+            context = (local_instance, Evaluator(local_instance))
+            self._local_contexts[key] = context
+        return context
+
     def _run_locally(self, task_id: int, events: list[BatchEvent]) -> None:
         """Execute one task on the master (degradation / retry-exhaustion)."""
         state = self._tasks.get(task_id)
         if state is None:
             return
-        if self._local_evaluator is None:
-            self._local_evaluator = Evaluator(self.instance)
+        if self._local_registry is None:
             self._local_registry = default_registry()
+        local_instance, local_evaluator = self._local_context(state.task.instance)
         task = replace(state.task, attempt=state.attempt)
         for batch in execute_task(
-            self.instance, self._local_evaluator, self._local_registry, task, -1
+            local_instance, local_evaluator, self._local_registry, task, -1
         ):
             self._accept_batch(batch, events)
 
@@ -1423,6 +1508,7 @@ class WorkerPool:
                 "full_tasks": self._full_tasks,
                 "wire_batches": self._wire_batches,
                 "wire_batch_bytes": self._wire_batch_bytes,
+                "instance_ref_tasks": self._instance_ref_tasks,
             },
             "adaptive": self.sizer.summary() if self.sizer is not None else None,
             "crashes": self._crashes,

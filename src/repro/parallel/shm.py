@@ -33,6 +33,8 @@ the segment when the creating interpreter dies uncleanly).
 
 from __future__ import annotations
 
+import hashlib
+
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -40,7 +42,13 @@ import numpy as np
 
 from repro.vrptw.instance import Instance
 
-__all__ = ["SharedInstance", "SharedInstanceRef", "share_instance"]
+__all__ = [
+    "SharedInstance",
+    "SharedInstanceRef",
+    "SharedInstanceStore",
+    "instance_fingerprint",
+    "share_instance",
+]
 
 #: (field name, ndim) of every array shipped through the segment, in
 #: segment order.  All are float64; 1-D arrays have length ``n_sites``
@@ -140,19 +148,134 @@ class SharedInstance:
             pass
 
 
+def instance_fingerprint(instance: Instance) -> str:
+    """A content hash identifying an instance's *data*, not its object.
+
+    sha256 over the scalar metadata and the raw bytes of every shipped
+    array (travel included, so a hand-edited matrix never collides with
+    the euclidean one its coordinates imply).  Two instances with equal
+    fingerprints are interchangeable for solving: same neighborhoods,
+    same objectives, same trajectories per seed.  This is the dedup key
+    of :class:`SharedInstanceStore`, the identity recorded in the serve
+    ledger's ``accepted`` entries and in serve-job checkpoints, and the
+    thing recovery compares before resuming a job — a restarted
+    scheduler constructed over a *different* instance must fail those
+    jobs loudly, never resume them silently.
+    """
+    digest = hashlib.sha256()
+    # capacity normalized through float: the wire codec
+    # (``instance_to_wire``) coerces it, and an int-vs-float capacity
+    # must not make otherwise-identical instances look different.
+    digest.update(
+        f"{instance.name}|{float(instance.capacity)!r}|"
+        f"{int(instance.n_vehicles)}|{instance.n_sites}".encode()
+    )
+    for name, _ in _FIELDS:
+        arr = np.ascontiguousarray(getattr(instance, name), dtype=np.float64)
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
 def share_instance(instance: Instance) -> SharedInstance:
-    """Copy an instance's arrays into a fresh shared-memory segment."""
+    """Copy an instance's arrays into a fresh shared-memory segment.
+
+    The segment is unlinked before re-raising if anything fails between
+    its creation and the handle's return — a half-built broadcast must
+    not leak into ``/dev/shm`` just because the copy (or the ref
+    construction) blew up before any owner existed to destroy it.
+    """
     n_sites = instance.n_sites
     offsets, total = _layout(n_sites)
     shm = shared_memory.SharedMemory(create=True, size=total)
-    for name, (off, shape) in offsets.items():
-        view = np.ndarray(shape, dtype=np.float64, buffer=shm.buf, offset=off)
-        view[:] = getattr(instance, name)
-    ref = SharedInstanceRef(
-        segment=shm.name,
-        n_sites=n_sites,
-        instance_name=instance.name,
-        capacity=instance.capacity,
-        n_vehicles=instance.n_vehicles,
-    )
+    try:
+        for name, (off, shape) in offsets.items():
+            view = np.ndarray(shape, dtype=np.float64, buffer=shm.buf, offset=off)
+            view[:] = getattr(instance, name)
+        ref = SharedInstanceRef(
+            segment=shm.name,
+            n_sites=n_sites,
+            instance_name=instance.name,
+            capacity=instance.capacity,
+            n_vehicles=instance.n_vehicles,
+        )
+    except BaseException:
+        try:
+            shm.close()
+        finally:
+            shm.unlink()
+        raise
     return SharedInstance(ref=ref, shm=shm)
+
+
+class SharedInstanceStore:
+    """A refcounted registry of shared instance segments.
+
+    The multi-tenant solve service shares N *different* instances
+    concurrently — one segment per distinct instance content, not one
+    per job.  :meth:`acquire` keys segments by
+    :func:`instance_fingerprint`, so two jobs solving the same instance
+    map the same segment; each acquire registers an *owner* (the job
+    id) and :meth:`release` unlinks the segment when its last owner
+    reaches a terminal state.  Single-threaded by design: the scheduler
+    pump (one event loop) is the only caller, exactly like the pool.
+
+    :meth:`segment_count` exists for the leak assertions — it must read
+    0 after every owner released (or after :meth:`close`).
+    """
+
+    def __init__(self) -> None:
+        #: fingerprint -> (live segment handle, owner ids).
+        self._entries: dict[str, tuple[SharedInstance, set[object]]] = {}
+        self._closed = False
+
+    def acquire(
+        self,
+        instance: Instance,
+        owner: object,
+        *,
+        fingerprint: str | None = None,
+    ) -> SharedInstanceRef:
+        """Register ``owner`` on ``instance``'s segment (creating it on
+        first acquire) and return the wire ref tasks should carry."""
+        if self._closed:
+            raise ValueError("cannot acquire from a closed SharedInstanceStore")
+        fp = fingerprint or instance_fingerprint(instance)
+        entry = self._entries.get(fp)
+        if entry is None:
+            shared = share_instance(instance)
+            entry = (shared, set())
+            self._entries[fp] = entry
+        entry[1].add(owner)
+        return entry[0].ref
+
+    def release(self, fingerprint: str, owner: object) -> bool:
+        """Drop one owner; unlink the segment when none remain.
+
+        Idempotent per ``(fingerprint, owner)`` — terminal transitions
+        may race a close, and a double release must never unlink a
+        segment another job still maps.  Returns whether the segment
+        was destroyed by this call.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            return False
+        entry[1].discard(owner)
+        if entry[1]:
+            return False
+        del self._entries[fingerprint]
+        entry[0].destroy()
+        return True
+
+    def segment_count(self) -> int:
+        """Live segments (the number that must return to zero)."""
+        return len(self._entries)
+
+    def fingerprints(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def close(self) -> None:
+        """Destroy every remaining segment.  Idempotent, never raises."""
+        self._closed = True
+        entries, self._entries = self._entries, {}
+        for shared, _ in entries.values():
+            shared.destroy()

@@ -49,6 +49,8 @@ __all__ = [
     "WireRoutes",
     "WireTaskDelta",
     "diff_routes",
+    "instance_from_wire",
+    "instance_to_wire",
     "wire_cost",
 ]
 
@@ -485,6 +487,59 @@ class WireBatch:
 
     def __len__(self) -> int:
         return len(self.blob)
+
+
+# ----------------------------------------------------------------------
+# Admission payload: a whole instance as plain JSON-able data
+# ----------------------------------------------------------------------
+def instance_to_wire(instance) -> dict:
+    """An :class:`~repro.vrptw.instance.Instance` as plain JSON data.
+
+    This is the *admission* form of a per-job instance — what rides in
+    ``JobSpec.to_wire`` and therefore in the ledger's ``accepted``
+    entries, so recovery can rebuild the instance a restarted scheduler
+    never saw.  Only the six site arrays and the scalars ship; the
+    travel matrix is recomputed by the validating constructor on
+    decode.  Python floats round-trip JSON exactly (``repr`` is
+    shortest-exact), so the recomputed matrix is bit-identical for
+    euclidean instances — and a *hand-edited* travel matrix, which
+    would not survive the round trip, is caught loudly by the
+    fingerprint check (:func:`repro.parallel.shm.instance_fingerprint`
+    hashes the travel bytes) rather than silently re-euclideanized.
+    """
+    return {
+        "name": instance.name,
+        "capacity": float(instance.capacity),
+        "n_vehicles": int(instance.n_vehicles),
+        "x": [float(v) for v in instance.x],
+        "y": [float(v) for v in instance.y],
+        "demand": [float(v) for v in instance.demand],
+        "ready_time": [float(v) for v in instance.ready_time],
+        "due_date": [float(v) for v in instance.due_date],
+        "service_time": [float(v) for v in instance.service_time],
+    }
+
+
+def instance_from_wire(wire: dict):
+    """Rebuild an instance from :func:`instance_to_wire` data.
+
+    Goes through the validating ``Instance`` constructor on purpose —
+    ledger bytes are less trusted than live objects, and the O(N^2)
+    travel recompute happens once per recovery, not per task.
+    """
+    from repro.vrptw.instance import Instance
+
+    return Instance(
+        name=wire["name"],
+        x=wire["x"],
+        y=wire["y"],
+        demand=wire["demand"],
+        ready_time=wire["ready_time"],
+        due_date=wire["due_date"],
+        service_time=wire["service_time"],
+        capacity=wire["capacity"],
+        n_vehicles=wire["n_vehicles"],
+    )
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,20 @@ carry per-attempt retry/deadline budgets that resume from the latest
 checkpoint, priority arrivals preempt running jobs to their
 checkpoints, and :mod:`repro.serve.chaos` replays all of it under
 deterministic fault schedules (``python -m repro.serve --chaos``).
+
+The service is multi-tenant in *data* as well as scheduling: a
+:class:`JobSpec` may carry its own problem instance, which rides the
+shared-memory transport through the scheduler's refcounted
+:class:`~repro.parallel.shm.SharedInstanceStore` (one segment per
+distinct instance, unlinked when the last referencing job reaches a
+terminal state), and every job is pinned to its instance by a content
+fingerprint recorded in the ledger and in checkpoints — resuming a
+job against the wrong instance fails loudly with
+:class:`~repro.errors.WrongInstanceError` instead of silently
+producing fronts for the wrong problem.  The telemetry plane reaches
+beyond the process too: ``tail_port=`` serves the event bus over TCP
+(:mod:`repro.obs.tailserv`), and ``python -m repro.serve --watch
+--connect HOST:PORT`` is the remote client.
 """
 
 from repro.serve.chaos import ChaosReport, ServeFaultPlan, run_chaos_soak, tear_checkpoint

@@ -34,6 +34,22 @@ running latency quantiles — without perturbing the run::
 
     PYTHONPATH=src python -m repro.serve --soak 30 --warmup 5 \\
         --rate 10 --workers 2 --watch --out BENCH_serve.json --smoke
+
+``--instances CLASS:SIZE[:SEED],...`` makes the workload
+multi-instance: every generated instance rides its job's spec as a
+shared-memory payload, round-robin across arrivals (the first listed
+instance doubles as the scheduler default).  ``--tail-port PORT``
+additionally serves the telemetry bus over TCP, and ``--connect
+HOST:PORT`` turns this command into a pure client of such a server —
+no scheduler, no pool, just the remote event stream rendered exactly
+like ``--watch``::
+
+    # terminal 1: serve a mixed-instance soak with a tail server
+    PYTHONPATH=src python -m repro.serve --soak 30 --rate 10 \\
+        --instances R1:20,C1:16:7 --tail-port 9400
+
+    # terminal 2 (any machine): watch it live
+    PYTHONPATH=src python -m repro.serve --watch --connect 127.0.0.1:9400
 """
 
 from __future__ import annotations
@@ -56,6 +72,46 @@ from repro.serve.traffic import (
     write_report,
 )
 from repro.vrptw.generator import generate_instance
+
+
+def _parse_instances(text: str) -> tuple:
+    """Parse ``CLASS:SIZE[:SEED],...`` into generated instances.
+
+    The seed defaults to each entry's position so two unseeded entries
+    of the same class/size still produce *different* instances — the
+    point of a mixed-instance run.
+    """
+    instances = []
+    for position, part in enumerate(text.split(",")):
+        part = part.strip()
+        if not part:
+            continue
+        pieces = part.split(":")
+        if len(pieces) not in (2, 3):
+            raise argparse.ArgumentTypeError(
+                f"bad instance spec {part!r} (expected CLASS:SIZE[:SEED])"
+            )
+        klass = pieces[0]
+        try:
+            size = int(pieces[1])
+            seed = int(pieces[2]) if len(pieces) == 3 else position
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(
+                f"bad instance spec {part!r}: {exc}"
+            ) from None
+        instances.append(generate_instance(klass, size, seed=seed))
+    if not instances:
+        raise argparse.ArgumentTypeError("--instances needs at least one entry")
+    return tuple(instances)
+
+
+def _parse_connect(text: str) -> tuple:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"bad --connect address {text!r} (expected HOST:PORT)"
+        )
+    return host, int(port)
 
 
 def _parse_tenants(text: str) -> tuple:
@@ -161,7 +217,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Prometheus-style text exposition of the final "
         "metrics here",
     )
+    parser.add_argument(
+        "--instances",
+        type=_parse_instances,
+        default=None,
+        metavar="CLASS:SIZE[:SEED],...",
+        help="mixed-instance workload: jobs carry these instances "
+        "round-robin as shared-memory payloads (first entry is also "
+        "the scheduler default)",
+    )
+    parser.add_argument(
+        "--tail-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the live telemetry bus over TCP on this port "
+        "(0: ephemeral; address is printed at startup)",
+    )
+    parser.add_argument(
+        "--connect",
+        type=_parse_connect,
+        default=None,
+        metavar="HOST:PORT",
+        help="pure-client mode: tail a remote scheduler's event stream "
+        "instead of running one (combine with --watch / --smoke)",
+    )
     return parser
+
+
+def _fmt_ms(seconds) -> str:
+    """Render a latency quantile, or ``-`` when there is no data.
+
+    Empty aggregates are ``None`` (no measurement), never a fabricated
+    0 ms — see the traffic-report quantile helpers.
+    """
+    return f"{seconds * 1e3:.0f}ms" if seconds is not None else "-"
 
 
 def _watch_line(snapshot: dict) -> str:
@@ -173,11 +263,7 @@ def _watch_line(snapshot: dict) -> str:
     if hist and hist.get("count", 0) > 0:
         p50 = quantile_from_histogram(hist["bounds"], hist["counts"], 0.50)
         p99 = quantile_from_histogram(hist["bounds"], hist["counts"], 0.99)
-    quantiles = (
-        f"p50={p50 * 1e3:.0f}ms p99={p99 * 1e3:.0f}ms"
-        if p50 is not None and p99 is not None
-        else "p50=- p99=-"
-    )
+    quantiles = f"p50={_fmt_ms(p50)} p99={_fmt_ms(p99)}"
     counters = snapshot.get("counters", {})
     stream = snapshot.get("stream", {})
     deficits = " ".join(
@@ -219,6 +305,58 @@ async def _watching(scheduler, enabled: bool):
                 await task
 
 
+async def _announce_tail(scheduler, enabled: bool) -> None:
+    if not enabled:
+        return
+    host, port = await scheduler.tail_address()
+    print(f"serve: tail server listening on {host}:{port}", flush=True)
+
+
+async def _run_connect(args) -> int:
+    """Pure-client mode: tail a remote scheduler and render its stream.
+
+    Prints one ``--watch`` status line per ``metrics_snapshot`` and one
+    ``[event]`` line per job lifecycle event; exits when the server
+    ends the stream (scheduler shutdown).  With ``--smoke`` the exit
+    code asserts the stream was *live*: at least one metrics snapshot
+    and at least one terminal ``job_state`` must have arrived.
+    """
+    from repro.obs.stream import is_terminal_job_event
+    from repro.obs.tailserv import tail_client
+
+    host, port = args.connect
+    snapshots = 0
+    terminals = 0
+    events = 0
+    async for event in tail_client(host, port):
+        events += 1
+        kind = event.get("type")
+        if kind == "metrics_snapshot":
+            snapshots += 1
+            print(_watch_line(event["snapshot"]), flush=True)
+        elif kind == "job_state":
+            if is_terminal_job_event(event):
+                terminals += 1
+            print(
+                f"[event] job={event.get('job')} state={event.get('state')}",
+                flush=True,
+            )
+    print(
+        f"serve-connect: stream from {host}:{port} ended after {events} "
+        f"event(s) ({snapshots} snapshot(s), {terminals} terminal "
+        f"job state(s))"
+    )
+    if args.smoke and (snapshots < 1 or terminals < 1):
+        print(
+            "serve-connect: SMOKE FAILURE — expected a live stream with "
+            f">=1 metrics_snapshot and >=1 terminal job_state, got "
+            f"snapshots={snapshots} terminals={terminals}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _write_expo(path: str, scheduler) -> None:
     text = render_exposition(scheduler.obs.metrics.snapshot())
     with open(path, "w", encoding="utf-8") as handle:
@@ -226,13 +364,22 @@ def _write_expo(path: str, scheduler) -> None:
     print(f"serve: wrote exposition {path}")
 
 
+def _default_instance(args):
+    """The scheduler's default instance: the first ``--instances``
+    entry when a mix is given, the classic single-instance flags
+    otherwise."""
+    if args.instances:
+        return args.instances[0]
+    return generate_instance(
+        args.instance_class, args.instance_size, seed=args.instance_seed
+    )
+
+
 async def _run_chaos(args) -> int:
     if not args.checkpoint_dir:
         print("serve: --chaos requires --checkpoint-dir", file=sys.stderr)
         return 2
-    instance = generate_instance(
-        args.instance_class, args.instance_size, seed=args.instance_seed
-    )
+    instance = _default_instance(args)
     plan = ServeFaultPlan.from_env(args.faults)
     if plan is None:
         plan = ServeFaultPlan.seeded(args.seed, args.jobs)
@@ -247,6 +394,7 @@ async def _run_chaos(args) -> int:
         neighborhood=args.neighborhood,
         checkpoint_every=args.checkpoint_every,
         tenants=args.tenants,
+        instances=args.instances or (),
     )
     traffic = report.traffic
     print(
@@ -289,9 +437,7 @@ async def _run_chaos(args) -> int:
 
 
 async def _run_soak(args) -> int:
-    instance = generate_instance(
-        args.instance_class, args.instance_size, seed=args.instance_seed
-    )
+    instance = _default_instance(args)
     config = SoakConfig(
         duration_s=args.soak,
         warmup_s=args.warmup,
@@ -311,9 +457,13 @@ async def _run_soak(args) -> int:
         tenant_weights=dict(args.tenants),
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        tail_port=args.tail_port,
     ) as scheduler:
+        await _announce_tail(scheduler, args.tail_port is not None)
         async with _watching(scheduler, args.watch):
-            report = await run_soak(scheduler, config)
+            report = await run_soak(
+                scheduler, config, instances=args.instances or ()
+            )
         pool_report = scheduler.report().get("pool", {})
         if args.expo:
             _write_expo(args.expo, scheduler)
@@ -325,8 +475,8 @@ async def _run_soak(args) -> int:
         f"@ {report.rate:.1f} jobs/s"
     )
     print(
-        f"serve-soak: steady-state latency p50={steady['p50'] * 1e3:.0f}ms "
-        f"p95={steady['p95'] * 1e3:.0f}ms p99={steady['p99'] * 1e3:.0f}ms "
+        f"serve-soak: steady-state latency p50={_fmt_ms(steady['p50'])} "
+        f"p95={_fmt_ms(steady['p95'])} p99={_fmt_ms(steady['p99'])} "
         f"(n={steady['count']}, warmup {report.warmup_s:.0f}s trimmed)"
     )
     print(
@@ -352,6 +502,9 @@ async def _run_soak(args) -> int:
                 "neighborhood": config.neighborhood,
                 "driver": config.driver,
                 "n_workers": args.workers,
+                "instances": [
+                    inst.name for inst in (args.instances or (instance,))
+                ],
             },
             "report": report.to_dict(),
             "pool": pool_report,
@@ -373,9 +526,7 @@ async def _run_soak(args) -> int:
 
 
 async def _run(args) -> int:
-    instance = generate_instance(
-        args.instance_class, args.instance_size, seed=args.instance_seed
-    )
+    instance = _default_instance(args)
     config = TrafficConfig(
         n_jobs=args.jobs,
         rate=args.rate,
@@ -395,9 +546,13 @@ async def _run(args) -> int:
         tenant_weights=dict(args.tenants),
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        tail_port=args.tail_port,
     ) as scheduler:
+        await _announce_tail(scheduler, args.tail_port is not None)
         async with _watching(scheduler, args.watch):
-            report = await run_traffic(scheduler, config)
+            report = await run_traffic(
+                scheduler, config, instances=args.instances or ()
+            )
         pool_report = scheduler.report().get("pool", {})
         if args.expo:
             _write_expo(args.expo, scheduler)
@@ -408,8 +563,8 @@ async def _run(args) -> int:
         f"= {report.jobs_per_sec:.1f} jobs/s"
     )
     print(
-        f"serve: latency p50={report.latency_s['p50'] * 1e3:.0f}ms "
-        f"p99={report.latency_s['p99'] * 1e3:.0f}ms, "
+        f"serve: latency p50={_fmt_ms(report.latency_s['p50'])} "
+        f"p99={_fmt_ms(report.latency_s['p99'])}, "
         f"peak_active={report.peak_active}, "
         f"pool tasks={pool_report.get('tasks_completed', 0)} "
         f"retries={pool_report.get('retries', 0)}"
@@ -435,6 +590,8 @@ async def _run(args) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.connect is not None:
+        return asyncio.run(_run_connect(args))
     if args.chaos:
         return asyncio.run(_run_chaos(args))
     if args.soak is not None:

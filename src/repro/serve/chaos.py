@@ -241,6 +241,7 @@ async def run_chaos_soak(
     pool_params=None,
     obs=NULL_OBS,
     verify_bit_identity: bool = True,
+    instances: tuple = (),
 ) -> ChaosReport:
     """Run the full failure story once and audit the books.
 
@@ -252,9 +253,16 @@ async def run_chaos_soak(
     must hold for *any* plan: no accepted job lost or double-counted,
     every ledger episode closed exactly once, and every completed
     lockstep front bit-identical to an uninterrupted sequential run.
+
+    ``instances`` (optional) round-robins per-job instance payloads
+    into the specs, exactly as in the traffic generators; each
+    completed job is then verified against the sequential oracle on
+    *its own* instance, and a kill-and-restart proves recovery rebuilds
+    per-job instances from the ledger rather than the constructor.
     """
     if plan is None:
         plan = ServeFaultPlan.seeded(seed, n_jobs)
+    mix = tuple(instances)
     if checkpoint_every is None:
         # Snapshot at every iteration boundary: a kill then always finds
         # live checkpoints, so recovery (and tearing) has teeth.
@@ -277,6 +285,7 @@ async def run_chaos_soak(
             priority=5 if i % 9 == 7 else 0,
             max_retries=max_retries,
             retry_backoff_s=0.01,
+            instance=mix[i % len(mix)] if mix else None,
         )
         for i in range(n_jobs)
     ]
@@ -415,7 +424,8 @@ async def run_chaos_soak(
             spec = by_id[jid]
             if kind != "completed" or spec.driver != "lockstep":
                 continue
-            oracle = run_sequential_tsmo(instance, spec.params, seed=spec.seed)
+            own = spec.instance if spec.instance is not None else instance
+            oracle = run_sequential_tsmo(own, spec.params, seed=spec.seed)
             verified += 1
             if not (
                 result.evaluations == oracle.evaluations

@@ -32,16 +32,19 @@ from __future__ import annotations
 import asyncio
 import time
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.core.evaluation import Evaluator
 from repro.core.stats_cache import CacheStats
-from repro.errors import CheckpointError, JobCancelled, ServeError
+from repro.errors import CheckpointError, JobCancelled, ServeError, WrongInstanceError
 from repro.obs import NULL_OBS
 from repro.parallel.mp_backend import _wire_neighbor
+from repro.parallel.shm import SharedInstanceRef, instance_fingerprint
+from repro.parallel.wire import instance_from_wire, instance_to_wire
 from repro.rng import RngFactory, as_generator, get_generator_state, set_generator_state
 from repro.tabu.params import TSMOParams
 from repro.tabu.search import TSMOEngine, TSMOResult
+from repro.vrptw.instance import Instance
 
 __all__ = ["DRIVERS", "Job", "JobSpec", "JobState"]
 
@@ -98,6 +101,11 @@ class JobSpec:
     #: that overruns is cancelled and retried from its latest
     #: checkpoint while the retry budget lasts.
     deadline_s: float | None = None
+    #: the instance this job solves (None: the scheduler's default).
+    #: Excluded from repr/compare — the arrays are large and numpy
+    #: equality does not reduce to bool; identity is the content
+    #: fingerprint, not dataclass equality.
+    instance: Instance | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -125,8 +133,21 @@ class JobSpec:
     # ------------------------------------------------------------------
     def to_wire(self) -> dict:
         """A plain-JSON dict carrying everything needed to rebuild the
-        spec in another process (the ledger's ``accepted`` payload)."""
-        return asdict(self)
+        spec in another process (the ledger's ``accepted`` payload).
+
+        Shallow on purpose: ``asdict`` would recurse into the frozen
+        :class:`Instance` dataclass and emit raw numpy arrays; the
+        instance ships through its own codec
+        (:func:`~repro.parallel.wire.instance_to_wire`) instead, so
+        recovery can rebuild a per-job instance the restarted scheduler
+        never saw.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["params"] = asdict(self.params)
+        data["instance"] = (
+            instance_to_wire(self.instance) if self.instance is not None else None
+        )
+        return data
 
     @classmethod
     def from_wire(cls, wire: dict, **overrides) -> "JobSpec":
@@ -134,10 +155,15 @@ class JobSpec:
 
         ``overrides`` patch fields on the way in — recovery forces
         ``resume=True`` so a re-admitted job continues from its
-        snapshot instead of restarting.
+        snapshot instead of restarting.  Ledgers written before specs
+        carried instances simply lack the key, which decodes to the
+        scheduler-default instance.
         """
         data = dict(wire)
         data["params"] = TSMOParams(**data["params"])
+        payload = data.get("instance")
+        if isinstance(payload, dict):
+            data["instance"] = instance_from_wire(payload)
         data.update(overrides)
         return cls(**data)
 
@@ -179,6 +205,14 @@ class Job:
         #: admission key (set at submit; preemption/retry re-queue with
         #: it so FIFO order within a priority level is preserved).
         self._admit_seq = 0
+        #: content identity of the instance this job solves (set by the
+        #: scheduler at submit/recovery; recorded in the ledger and in
+        #: every serve-job checkpoint).  Survives retries — the identity
+        #: of the work never changes between attempts.
+        self._instance_fp: str | None = None
+        #: shared-memory ref tasks carry when the job's instance is not
+        #: the pool default (owned by the scheduler's instance store).
+        self._instance_ref: SharedInstanceRef | None = None
         # Runner state, populated by _start().
         self._engine: TSMOEngine | None = None
         self._policy = None
@@ -240,6 +274,8 @@ class Job:
         self._obs = obs
         self._policy = policy
         self._snaps_seen = policy.snapshots_written if policy is not None else 0
+        if self._instance_fp is None:
+            self._instance_fp = instance_fingerprint(instance)
         # Per-attempt note: a stale corruption report from a previous
         # attempt must not be re-journaled by this one.
         self.checkpoint_corrupt = None
@@ -274,6 +310,16 @@ class Job:
             policy.path.unlink(missing_ok=True)
             resumed = None
         if resumed is not None:
+            recorded = resumed.get("instance_fp")
+            if recorded is not None and recorded != self._instance_fp:
+                # The snapshot belongs to a different problem.  Resuming
+                # would splice this instance's evaluations onto another
+                # instance's trajectory — fail loudly, never silently.
+                raise WrongInstanceError(
+                    f"job {self.job_id!r} checkpoint was written for instance "
+                    f"fingerprint {recorded[:12]}…, but the instance available "
+                    f"at resume has fingerprint {self._instance_fp[:12]}…"
+                )
             engine.restore(resumed["engine"])
             if self._seed_rng is not None and resumed.get("seed_rng") is not None:
                 set_generator_state(self._seed_rng, resumed["seed_rng"])
@@ -317,6 +363,7 @@ class Job:
                 iteration=iteration,
                 tag=self.job_id,
                 trace=trace,
+                instance_ref=self._instance_ref,
             )
             self._task_order.append(task_id)
             self._buffers[task_id] = []
@@ -329,6 +376,7 @@ class Job:
                     iteration=iteration,
                     tag=self.job_id,
                     trace=trace,
+                    instance_ref=self._instance_ref,
                 )
                 self._task_order.append(task_id)
                 self._buffers[task_id] = []
@@ -410,6 +458,9 @@ class Job:
                 if self._seed_rng is not None
                 else None
             ),
+            # Identity check at resume: a snapshot must never be
+            # restored against a different instance (WrongInstanceError).
+            "instance_fp": self._instance_fp,
         }
 
     # ------------------------------------------------------------------

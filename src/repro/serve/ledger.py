@@ -46,13 +46,17 @@ LEDGER_FILENAME = "serve_ledger.jsonl"
 #: events that close a job episode.
 TERMINAL_EVENTS = frozenset({"done", "cancelled", "failed"})
 
-#: every event kind the ledger accepts.
+#: every event kind the ledger accepts.  ``wrong_instance`` is a
+#: waypoint (like ``checkpoint_corrupt``): it marks that recovery found
+#: a job whose recorded instance fingerprint disagrees with the
+#: instance actually available, just before the terminal ``failed``.
 EVENT_KINDS = TERMINAL_EVENTS | {
     "accepted",
     "retry",
     "preempted",
     "recovered",
     "checkpoint_corrupt",
+    "wrong_instance",
 }
 
 

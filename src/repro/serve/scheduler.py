@@ -1,10 +1,14 @@
 """The multi-tenant solve scheduler: one pool, many jobs, fair shares.
 
 :class:`SolveScheduler` multiplexes any number of concurrent solve
-jobs onto **one** shared :class:`~repro.parallel.pool.WorkerPool` for
-a single problem instance (the workers hold the instance and its
-O(N²) travel matrix; shipping a new instance means starting a new
-scheduler).  The design is built around one invariant:
+jobs onto **one** shared :class:`~repro.parallel.pool.WorkerPool`.
+The scheduler's constructor instance is only the *default*: a
+:class:`~repro.serve.job.JobSpec` may carry its own instance, which
+rides the ledger in wire form and the task path as a shared-memory
+ref (one refcounted segment per distinct instance content, unlinked
+when the last referencing job reaches a terminal state — see
+:class:`~repro.parallel.shm.SharedInstanceStore`).  The design is
+built around one invariant:
 
     *only the pump touches the pool.*
 
@@ -53,10 +57,18 @@ from repro.errors import (
     SearchInterrupted,
     ServeError,
     WorkerPoolError,
+    WrongInstanceError,
 )
 from repro.obs import NULL_OBS, Obs
-from repro.obs.stream import DEFAULT_BUFFER, EventBus
+from repro.obs.stream import (
+    DEFAULT_BUFFER,
+    TERMINAL_JOB_STATES,
+    EventBus,
+    is_terminal_job_event,
+)
+from repro.obs.tailserv import TailServer
 from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SharedInstanceStore, instance_fingerprint
 from repro.persistence import CheckpointPlan
 from repro.serve.job import Job, JobSpec, JobState
 from repro.serve.ledger import LEDGER_FILENAME, JobLedger
@@ -66,8 +78,9 @@ __all__ = ["DeficitRoundRobin", "ServeParams", "SolveScheduler"]
 #: histogram buckets for job latency / queue-wait observations (seconds).
 _LATENCY_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
 
-#: job_state values that end a tail stream.
-_TERMINAL_STATES = frozenset({"done", "cancelled", "failed"})
+#: job_state values that end a tail stream (shared with the remote
+#: tail server so both views end on the same event).
+_TERMINAL_STATES = TERMINAL_JOB_STATES
 
 
 @dataclass(frozen=True, slots=True)
@@ -238,6 +251,8 @@ class SolveScheduler:
         fault_plan=None,
         recover: bool = True,
         chaos=None,
+        tail_port: int | None = None,
+        tail_host: str = "127.0.0.1",
     ) -> None:
         if n_workers < 1:
             raise ServeError("need at least one worker process")
@@ -295,6 +310,19 @@ class SolveScheduler:
         self._heap: list[tuple[int, int, Job]] = []
         self._active: dict[str, Job] = {}
         self._seq = 0
+        #: shared-memory segments of per-job instances, refcounted by
+        #: job id; segments die with their last referencing job.
+        self._store = SharedInstanceStore()
+        #: content fingerprint of the constructor (default) instance,
+        #: computed lazily — submitting only default-instance jobs with
+        #: no ledger pays the hash exactly once.
+        self._default_fp: str | None = None
+        #: remote tail server (created in start() when tail_port is set;
+        #: tail_port=0 binds an ephemeral port, see tail_address()).
+        self._tail_port = tail_port
+        self._tail_host = tail_host
+        self._tail_server: TailServer | None = None
+        self._tail_task: asyncio.Task | None = None
         self._pool: WorkerPool | None = None
         self._pump_task: asyncio.Task | None = None
         self._stopping = False
@@ -315,36 +343,69 @@ class SolveScheduler:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Spawn the worker pool and the pump (needs a running loop)."""
+        """Spawn the worker pool and the pump (needs a running loop).
+
+        Any failure on this path — pool spawn, a corrupt ledger raising
+        during recovery — tears down whatever was already built (pool
+        processes, shared-memory segments, bus listener) before
+        re-raising: a constructor-path exception must never leak a
+        ``/dev/shm`` segment that no ``close()`` will ever reach.
+        """
         if self._closed:
             raise ServeError("cannot restart a closed scheduler")
-        if self._pool is None:
-            self._pool = WorkerPool(
-                self.instance,
-                self.n_workers,
-                params=self.pool_params,
-                fault_plan=self.fault_plan,
-                obs=self.obs,
+        try:
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    self.instance,
+                    self.n_workers,
+                    params=self.pool_params,
+                    fault_plan=self.fault_plan,
+                    obs=self.obs,
+                )
+            if not self._bus_attached:
+                # Every tracer event — scheduler-emitted lifecycle events
+                # and worker events folded in by the pool's poll thread —
+                # fans out to tail subscribers.  publish() never blocks,
+                # so the pump is never back-pressured by a slow consumer.
+                self.obs.tracer.add_listener(self.bus.publish)
+                self._bus_attached = True
+            if (
+                self._recover
+                and not self._recovered_from_ledger
+                and self._ledger is not None
+                and self._ledger.exists()
+            ):
+                self._recovered_from_ledger = True
+                self._recover_from_ledger()
+        except BaseException:
+            self._store.close()
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+            self._teardown_stream()
+            self._closed = True
+            raise
+        if self._tail_port is not None and self._tail_server is None:
+            self._tail_server = TailServer(
+                self.bus, host=self._tail_host, port=self._tail_port
             )
-        if not self._bus_attached:
-            # Every tracer event — scheduler-emitted lifecycle events
-            # and worker events folded in by the pool's poll thread —
-            # fans out to tail subscribers.  publish() never blocks,
-            # so the pump is never back-pressured by a slow consumer.
-            self.obs.tracer.add_listener(self.bus.publish)
-            self._bus_attached = True
-        if (
-            self._recover
-            and not self._recovered_from_ledger
-            and self._ledger is not None
-            and self._ledger.exists()
-        ):
-            self._recovered_from_ledger = True
-            self._recover_from_ledger()
+            self._tail_task = asyncio.get_running_loop().create_task(
+                self._tail_server.start(), name="repro-serve-tailserv"
+            )
         if self._pump_task is None:
             self._pump_task = asyncio.get_running_loop().create_task(
                 self._pump(), name="repro-serve-pump"
             )
+
+    async def tail_address(self) -> tuple[str, int]:
+        """The remote tail server's bound ``(host, port)``.
+
+        Useful with ``tail_port=0`` (ephemeral): awaits the listener
+        actually binding before reporting where it landed.
+        """
+        if self._tail_server is None:
+            raise ServeError("scheduler was not started with a tail_port")
+        return await self._tail_server.address()
 
     def _recover_from_ledger(self) -> None:
         """Re-admit every job the ledger says was accepted but never
@@ -364,6 +425,42 @@ class SolveScheduler:
                 continue
             spec = JobSpec.from_wire(entry["spec"], resume=True)
             job = Job(spec, loop.create_future(), now=time.monotonic())
+            # Identity check before re-admission: the `accepted` entry
+            # recorded the fingerprint of the instance this job was
+            # solving.  A job with its own instance payload rebuilds it
+            # from the ledger; a default-instance job gets whatever
+            # instance *this* scheduler was constructed over — which
+            # after a restart may be a different problem entirely.  On
+            # mismatch the job fails loudly (wrong_instance waypoint +
+            # terminal failed), never resumes silently.
+            effective = spec.instance if spec.instance is not None else self.instance
+            actual_fp = instance_fingerprint(effective)
+            recorded_fp = entry.get("instance_fp")
+            if recorded_fp is not None and recorded_fp != actual_fp:
+                job._admit_seq = self._seq
+                self._seq += 1
+                self._jobs[job_id] = job
+                self.submitted += 1
+                exc = WrongInstanceError(
+                    f"job {job_id!r} was accepted for instance fingerprint "
+                    f"{recorded_fp[:12]}…, but the instance available at "
+                    f"recovery has fingerprint {actual_fp[:12]}…; refusing "
+                    "to resume it against the wrong problem"
+                )
+                self._record(job, "wrong_instance", recorded=recorded_fp, actual=actual_fp)
+                self._note_wrong_instance(job, exc)
+                job._fail(exc)
+                self.failed += 1
+                self._record(job, "failed", cause=repr(exc), attempts=job.attempts + 1)
+                if self.obs.enabled:
+                    self.obs.metrics.inc("serve.jobs_failed")
+                    self._emit_state(job_id, JobState.FAILED)
+                continue
+            job._instance_fp = actual_fp
+            if spec.instance is not None:
+                job._instance_ref = self._store.acquire(
+                    spec.instance, job_id, fingerprint=actual_fp
+                )
             job.recovered = True
             job._admit_seq = self._seq
             self._jobs[job_id] = job
@@ -407,6 +504,11 @@ class SolveScheduler:
         for job in self._jobs.values():
             if not job._future.done():
                 job._future.cancel()
+        # A SIGKILL stand-in still cleans up *this* process's segments:
+        # a real kill leans on the resource tracker; in-process abort
+        # must not leak /dev/shm entries into the surviving interpreter.
+        self._store.close()
+        await self._stop_tail_server()
         self._teardown_stream()
         self._closed = True
 
@@ -452,8 +554,20 @@ class SolveScheduler:
                 self._record(job, "failed", cause="scheduler closed", attempts=job.attempts + 1)
         if self._pool is not None:
             self._pool.close()
+        self._store.close()
+        await self._stop_tail_server()
         self._teardown_stream()
         self._closed = True
+
+    async def _stop_tail_server(self) -> None:
+        if self._tail_task is not None:
+            try:
+                await self._tail_task
+            except Exception:  # pragma: no cover - bind failure already surfaced
+                pass
+            self._tail_task = None
+        if self._tail_server is not None:
+            await self._tail_server.stop()
 
     def _teardown_stream(self) -> None:
         if self._bus_attached:
@@ -497,16 +611,35 @@ class SolveScheduler:
             )
         future = asyncio.get_running_loop().create_future()
         job = Job(spec, future, now=time.monotonic())
+        # Content identity first: the fingerprint rides the ledger (so
+        # recovery can verify it), the checkpoint (via Job._build_state)
+        # and the dedup key of the instance store.
+        if spec.instance is not None:
+            fp = instance_fingerprint(spec.instance)
+            job._instance_ref = self._store.acquire(
+                spec.instance, spec.job_id, fingerprint=fp
+            )
+        else:
+            fp = self._default_fingerprint()
+        job._instance_fp = fp
         # Durable accept *before* the job becomes visible: once the
         # ledger line is fsynced, no crash can lose this job.
         if self._ledger is not None:
-            self._ledger.record(
-                "accepted",
-                spec.job_id,
-                spec=spec.to_wire(),
-                tenant=spec.tenant,
-                priority=spec.priority,
-            )
+            try:
+                self._ledger.record(
+                    "accepted",
+                    spec.job_id,
+                    spec=spec.to_wire(),
+                    tenant=spec.tenant,
+                    priority=spec.priority,
+                    instance_fp=fp,
+                )
+            except BaseException:
+                # The job never became visible; its segment ref must
+                # not outlive this failed submit.
+                if job._instance_ref is not None:
+                    self._store.release(fp, spec.job_id)
+                raise
         job._admit_seq = self._seq
         self._jobs[spec.job_id] = job
         heapq.heappush(self._heap, (-spec.priority, self._seq, job))
@@ -515,6 +648,11 @@ class SolveScheduler:
         if self.obs.enabled:
             self._emit_state(spec.job_id, JobState.QUEUED)
         return job
+
+    def _default_fingerprint(self) -> str:
+        if self._default_fp is None:
+            self._default_fp = instance_fingerprint(self.instance)
+        return self._default_fp
 
     def cancel(self, job_id: str) -> bool:
         """Request cancellation; returns False if already terminal.
@@ -562,7 +700,10 @@ class SolveScheduler:
             "job_retries": self.job_retries,
             "preemptions": self.preemptions,
             "recovered_jobs": self.recovered_jobs,
+            "instance_segments": self._store.segment_count(),
         }
+        if self._tail_server is not None:
+            out["tailserv"] = self._tail_server.report()
         if self._pool is not None:
             out["pool"] = self._pool.report()
         return out
@@ -596,10 +737,7 @@ class SolveScheduler:
         try:
             async for event in sub:
                 yield event
-                if (
-                    event.get("type") == "job_state"
-                    and event.get("state") in _TERMINAL_STATES
-                ):
+                if is_terminal_job_event(event):
                     return
         finally:
             sub.close()
@@ -703,8 +841,13 @@ class SolveScheduler:
                 continue
             policy = self._policy_for(job)
             self._drr.ensure(job.tenant, self._weights.get(job.tenant, 1.0))
+            effective = (
+                job.spec.instance
+                if job.spec.instance is not None
+                else self.instance
+            )
             try:
-                job._start(self.instance, policy, self.obs)
+                job._start(effective, policy, self.obs)
             except Exception as exc:
                 self._fail_or_retry(job, exc)
                 continue
@@ -765,6 +908,22 @@ class SolveScheduler:
                     span=f"job-{job.job_id}",
                     job=job.job_id,
                     error=job.checkpoint_corrupt,
+                    trace=job.job_id,
+                )
+
+    def _note_wrong_instance(self, job: Job, exc: BaseException) -> None:
+        """A job was about to run against the wrong instance: loud,
+        journaled, and terminal (unlike a corrupt checkpoint there is
+        no safe fresh-restart — the problem itself is ambiguous)."""
+        if self.obs.enabled:
+            self.obs.metrics.inc("serve.wrong_instance")
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    "job_wrong_instance",
+                    span=f"job-{job.job_id}",
+                    job=job.job_id,
+                    error=str(exc),
                     trace=job.job_id,
                 )
 
@@ -870,10 +1029,12 @@ class SolveScheduler:
         allows, otherwise make the failure terminal.
 
         Cancellation and admission refusals are never retried — they
-        are decisions, not faults.
+        are decisions, not faults.  Wrong-instance resumes are not
+        retried either: every retry would see the same mismatch.
         """
         retryable = not isinstance(
-            exc, (AdmissionError, JobCancelled, SearchInterrupted)
+            exc,
+            (AdmissionError, JobCancelled, SearchInterrupted, WrongInstanceError),
         )
         if retryable and job.attempts < job.spec.max_retries:
             self._retry_job(job, exc)
@@ -905,9 +1066,18 @@ class SolveScheduler:
                 )
             self._emit_state(job.job_id, JobState.QUEUED)
 
+    def _release_instance(self, job: Job) -> None:
+        """Drop the job's refcount on its shared instance segment (the
+        segment unlinks when the last referencing job goes terminal).
+        No-op for default-instance jobs and under double release."""
+        if job._instance_ref is not None and job._instance_fp is not None:
+            self._store.release(job._instance_fp, job.job_id)
+            job._instance_ref = None
+
     def _finish_job(self, job: Job) -> None:
         del self._active[job.job_id]
         job._finalize(self.n_workers)
+        self._release_instance(job)
         self.completed += 1
         self._record(job, "done", evaluations=job.evaluations)
         if self.obs.enabled:
@@ -927,6 +1097,7 @@ class SolveScheduler:
 
     def _finish_cancelled(self, job: Job) -> None:
         job._cancelled()
+        self._release_instance(job)
         self.cancelled += 1
         self._record(job, "cancelled", evaluations=job.evaluations)
         if self.obs.enabled:
@@ -940,7 +1111,15 @@ class SolveScheduler:
                 self._pool.cancel_tag(job.job_id)
             except WorkerPoolError:  # pragma: no cover - defensive
                 pass
+        if isinstance(exc, WrongInstanceError):
+            # Journal the waypoint (checkpoint_corrupt-style) before the
+            # terminal record, so the ledger names *why* this job died.
+            self._record(
+                job, "wrong_instance", error=str(exc), attempts=job.attempts + 1
+            )
+            self._note_wrong_instance(job, exc)
         job._fail(exc)
+        self._release_instance(job)
         self.failed += 1
         self._record(job, "failed", cause=repr(exc), attempts=job.attempts + 1)
         if self.obs.enabled:

@@ -104,8 +104,12 @@ class TrafficReport:
 
 
 def _quantiles(samples: list[float]) -> dict:
+    # No samples means *no measurement*, not a zero-latency service:
+    # aggregates are None (rendered "-"), never a fabricated 0.0 — the
+    # same convention the histogram aggregators follow (NaN/garbage
+    # aggregates are errors, not values).
     if not samples:
-        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0, "mean": 0.0}
+        return {"p50": None, "p95": None, "p99": None, "max": None, "mean": None}
     arr = np.sort(np.asarray(samples, dtype=np.float64))
     return {
         "p50": float(np.quantile(arr, 0.50)),
@@ -116,9 +120,18 @@ def _quantiles(samples: list[float]) -> dict:
     }
 
 
-async def run_traffic(scheduler, config: TrafficConfig) -> TrafficReport:
-    """Play ``config`` against a started scheduler and measure it."""
+async def run_traffic(
+    scheduler, config: TrafficConfig, *, instances: tuple = ()
+) -> TrafficReport:
+    """Play ``config`` against a started scheduler and measure it.
+
+    ``instances`` (optional) is a sequence of
+    :class:`~repro.vrptw.instance.Instance` objects assigned to jobs
+    round-robin as per-job payloads — the mixed-instance mode; empty
+    means every job solves the scheduler's default instance.
+    """
     rng = np.random.default_rng(config.seed)
+    mix = tuple(instances)
     if config.rate > 0:
         gaps = rng.exponential(1.0 / config.rate, size=config.n_jobs)
     else:
@@ -142,6 +155,7 @@ async def run_traffic(scheduler, config: TrafficConfig) -> TrafficReport:
             params=params,
             driver=config.driver,
             n_tasks=config.n_tasks,
+            instance=mix[i % len(mix)] if mix else None,
         )
         try:
             job = scheduler.submit(spec)
@@ -282,14 +296,15 @@ class SoakReport:
 
 
 def _histogram_quantiles(hist: dict | None) -> dict:
+    # An empty (or all-zero-count steady-state window) histogram has no
+    # quantiles: report None, never 0.0 — coercing with ``or 0.0`` used
+    # to turn "nothing finished in the window" into a fake 0ms p99.
     if hist is None or hist.get("count", 0) <= 0:
-        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "count": 0}
-    out = {
-        label: float(
-            quantile_from_histogram(hist["bounds"], hist["counts"], q) or 0.0
-        )
-        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
-    }
+        return {"p50": None, "p95": None, "p99": None, "count": 0}
+    out = {}
+    for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        value = quantile_from_histogram(hist["bounds"], hist["counts"], q)
+        out[label] = float(value) if value is not None else None
     out["count"] = hist["count"]
     return out
 
@@ -302,7 +317,9 @@ def _latency_histograms(scheduler) -> dict:
     }
 
 
-async def run_soak(scheduler, config: SoakConfig) -> SoakReport:
+async def run_soak(
+    scheduler, config: SoakConfig, *, instances: tuple = ()
+) -> SoakReport:
     """Hold ``config.rate`` against a started scheduler for
     ``config.duration_s`` seconds, then drain and report steady state.
 
@@ -311,9 +328,11 @@ async def run_soak(scheduler, config: SoakConfig) -> SoakReport:
     submission window count — they completed under sustained load).
     Live ``metrics_snapshot`` events are consumed off the scheduler's
     own telemetry bus, so a soak also exercises the streaming plane
-    end to end.
+    end to end.  ``instances`` round-robins per-job instance payloads
+    exactly as in :func:`run_traffic` (the mixed-instance soak).
     """
     rng = np.random.default_rng(config.seed)
+    mix = tuple(instances)
     tenants = list(config.tenants)
     params = TSMOParams(
         max_evaluations=config.budget, neighborhood_size=config.neighborhood
@@ -353,6 +372,7 @@ async def run_soak(scheduler, config: SoakConfig) -> SoakReport:
             params=params,
             driver=config.driver,
             n_tasks=config.n_tasks,
+            instance=mix[i % len(mix)] if mix else None,
         )
         submitted += 1
         try:

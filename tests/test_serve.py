@@ -24,6 +24,7 @@ from repro.errors import (
     JobDeadlineExceeded,
     LedgerError,
     ServeError,
+    WrongInstanceError,
 )
 from repro.obs import Obs
 from repro.parallel.pool import PoolParams
@@ -814,3 +815,212 @@ class TestSpecWire:
             JobSpec(job_id="x", retry_backoff_s=-0.1)
         with pytest.raises(ServeError):
             JobSpec(job_id="x", deadline_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# Per-job instances: multi-tenant in data, not just scheduling
+# ----------------------------------------------------------------------
+class TestPerJobInstances:
+    def test_concurrent_jobs_match_their_own_oracles(self, instance):
+        """Two lockstep jobs on *different* instances, one shared pool:
+        each must be bit-identical to the sequential driver on its own
+        instance, and the payload segment must die with its job."""
+        other = generate_instance("C1", 16, seed=7)
+
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=2, pool_params=FAST
+            ) as scheduler:
+                own = scheduler.submit(
+                    JobSpec(job_id="own", seed=21, params=SMALL, instance=other)
+                )
+                dft = scheduler.submit(JobSpec(job_id="dft", seed=22, params=SMALL))
+                r_own, r_dft = await asyncio.gather(own.wait(), dft.wait())
+                # The payload job is terminal: its segment is already gone.
+                segments_at_terminal = scheduler._store.segment_count()
+                report = scheduler.report()
+            return r_own, r_dft, segments_at_terminal, report, scheduler
+
+        r_own, r_dft, seg_term, report, scheduler = run(scenario())
+        o_own = run_sequential_tsmo(other, SMALL, seed=21)
+        o_dft = run_sequential_tsmo(instance, SMALL, seed=22)
+        assert r_own.evaluations == o_own.evaluations
+        assert r_own.iterations == o_own.iterations
+        assert np.array_equal(r_own.front(), o_own.front())
+        assert r_dft.evaluations == o_dft.evaluations
+        assert r_dft.iterations == o_dft.iterations
+        assert np.array_equal(r_dft.front(), o_dft.front())
+        assert seg_term == 0
+        assert report["instance_segments"] == 0
+        # ... and close() left nothing mapped either.
+        assert scheduler._store.segment_count() == 0
+
+    def test_split_driver_solves_its_own_instance(self, instance):
+        other = generate_instance("C1", 16, seed=7)
+
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=2, pool_params=FAST
+            ) as scheduler:
+                job = scheduler.submit(
+                    JobSpec(
+                        job_id="s",
+                        seed=3,
+                        params=SMALL,
+                        driver="split",
+                        n_tasks=3,
+                        instance=other,
+                    )
+                )
+                result = await job.wait()
+                return result, scheduler.report()
+
+        result, report = run(scenario())
+        assert result.evaluations >= SMALL.max_evaluations
+        assert result.algorithm == "serve-split"
+        assert report["instance_segments"] == 0
+
+    def test_same_instance_shares_one_segment(self, instance):
+        """Two jobs carrying equal-content payloads dedupe to a single
+        segment (the store keys by content fingerprint, not job id)."""
+        payload = generate_instance("C1", 16, seed=7)
+        twin = generate_instance("C1", 16, seed=7)
+
+        async def scenario():
+            async with SolveScheduler(
+                instance, n_workers=1, pool_params=FAST
+            ) as scheduler:
+                a = scheduler.submit(
+                    JobSpec(job_id="a", seed=1, params=SMALL, instance=payload)
+                )
+                b = scheduler.submit(
+                    JobSpec(job_id="b", seed=2, params=SMALL, instance=twin)
+                )
+                peak = scheduler._store.segment_count()
+                await asyncio.gather(a.wait(), b.wait())
+                return peak, scheduler._store.segment_count()
+
+        peak, final = run(scenario())
+        assert peak == 1
+        assert final == 0
+
+
+# ----------------------------------------------------------------------
+# The wrong-instance bugfix: identity is checked, never assumed
+# ----------------------------------------------------------------------
+class TestWrongInstanceRecovery:
+    def test_recovery_against_different_instance_fails_loudly(
+        self, instance, tmp_path
+    ):
+        """The regression this PR fixes: before the fingerprint rode the
+        ledger, a scheduler restarted over a *different* instance would
+        silently resume a default-instance job against the wrong
+        problem and produce fronts for it.  Now the `accepted` entry
+        pins the job to its instance's content hash and recovery fails
+        the job loudly on mismatch."""
+        params = TSMOParams(max_evaluations=240, neighborhood_size=16)
+        spec = dict(job_id="pinned", seed=31, params=params, checkpoint_every=32)
+
+        async def phase_one():
+            first = SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            )
+            first.start()
+            job = first.submit(JobSpec(**spec))
+            while job.evaluations < 32:
+                await asyncio.sleep(0.005)
+            await first.abort()  # SIGKILL stand-in
+
+        async def phase_two():
+            wrong = generate_instance("C1", 20, seed=99)  # not the instance
+            async with SolveScheduler(
+                wrong, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            ) as second:
+                job = second.get_job("pinned")
+                assert job.state == JobState.FAILED
+                with pytest.raises(WrongInstanceError, match="fingerprint"):
+                    await job.wait()
+                return second.report()
+
+        run(phase_one())
+        report = run(phase_two())
+        assert report["failed"] == 1 and report["completed"] == 0
+        audit = JobLedger(tmp_path / LEDGER_FILENAME).audit()
+        assert audit["conserved"], audit
+        assert audit["events"]["wrong_instance"] == 1
+        assert audit["events"]["recovered"] == 0
+
+    def test_recovery_with_same_instance_still_resumes(self, instance, tmp_path):
+        """Control for the test above: identical content (a fresh object
+        with the same arrays) recovers and finishes bit-identically."""
+        params = TSMOParams(max_evaluations=240, neighborhood_size=16)
+        spec = dict(job_id="pinned", seed=31, params=params, checkpoint_every=32)
+
+        async def phase_one():
+            first = SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            )
+            first.start()
+            job = first.submit(JobSpec(**spec))
+            while job.evaluations < 32:
+                await asyncio.sleep(0.005)
+            await first.abort()
+
+        async def phase_two():
+            same = generate_instance("R1", 20, seed=55)  # equal content
+            async with SolveScheduler(
+                same, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            ) as second:
+                return await second.get_job("pinned").wait()
+
+        run(phase_one())
+        result = run(phase_two())
+        oracle = run_sequential_tsmo(instance, params, seed=31)
+        assert result.evaluations == oracle.evaluations
+        assert np.array_equal(result.front(), oracle.front())
+
+    def test_recovered_payload_jobs_resume_from_ledger_instances(
+        self, instance, tmp_path
+    ):
+        """Kill-and-recover where the restarted scheduler's constructor
+        instance is *different*: jobs that carried their own instance
+        payloads are rebuilt from the ledger's wire form and still
+        finish bit-identically to their own oracles."""
+        payload = generate_instance("C1", 16, seed=7)
+        params = TSMOParams(max_evaluations=240, neighborhood_size=16)
+
+        async def scenario():
+            first = SolveScheduler(
+                instance, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            )
+            first.start()
+            job = first.submit(
+                JobSpec(
+                    job_id="carry",
+                    seed=41,
+                    params=params,
+                    checkpoint_every=32,
+                    instance=payload,
+                )
+            )
+            while job.evaluations < 32:
+                await asyncio.sleep(0.005)
+            await first.abort()
+
+            # The restart is constructed over an unrelated default
+            # instance; the recovered job must NOT see it.
+            unrelated = generate_instance("RC1", 24, seed=3)
+            async with SolveScheduler(
+                unrelated, n_workers=1, pool_params=FAST, checkpoint_dir=tmp_path
+            ) as second:
+                result = await second.get_job("carry").wait()
+                segments = second._store.segment_count()
+                report = second.report()
+            return result, segments, report
+
+        result, segments, report = run(scenario())
+        assert report["recovered_jobs"] == 1 and report["completed"] == 1
+        oracle = run_sequential_tsmo(payload, params, seed=41)
+        assert result.evaluations == oracle.evaluations
+        assert np.array_equal(result.front(), oracle.front())
+        assert segments == 0

@@ -593,3 +593,198 @@ class TestSoak:
         assert spans_main([str(trace_dir)]) == 0
         out = capsys.readouterr().out
         assert "all complete" in out
+
+
+# ----------------------------------------------------------------------
+# TailServer: the EventBus over TCP (length-prefixed JSON frames)
+# ----------------------------------------------------------------------
+class TestTailServer:
+    def test_tail_all_streams_until_bus_close(self):
+        from repro.obs.tailserv import TailServer, tail_client
+
+        async def scenario():
+            bus = EventBus()
+            server = TailServer(bus, port=0)
+            host, port = await server.start()
+
+            async def consume():
+                return [e async for e in tail_client(host, port)]
+
+            task = asyncio.ensure_future(consume())
+            await asyncio.sleep(0.05)  # let the subscription attach
+            for i in range(5):
+                bus.publish({"type": "t", "i": i})
+            await asyncio.sleep(0.05)
+            bus.close()
+            events = await asyncio.wait_for(task, timeout=5)
+            report = server.report()
+            await server.stop()
+            await server.stop()  # idempotent
+            return events, report
+
+        events, report = run(scenario())
+        assert [e["i"] for e in events] == [0, 1, 2, 3, 4]
+        assert report["connections"] == 1
+        assert report["frames_sent"] == 5
+        assert report["bad_requests"] == 0
+
+    def test_per_job_tail_filters_and_ends_at_terminal(self):
+        from repro.obs.tailserv import TailServer, tail_client
+
+        async def scenario():
+            bus = EventBus()
+            server = TailServer(bus, port=0)
+            host, port = await server.start()
+
+            async def consume():
+                return [e async for e in tail_client(host, port, job_id="a")]
+
+            task = asyncio.ensure_future(consume())
+            await asyncio.sleep(0.05)
+            bus.publish({"type": "job_state", "job": "a", "state": "running"})
+            bus.publish({"type": "job_state", "job": "b", "state": "running"})
+            bus.publish({"type": "worker_task", "trace": "a", "worker": 0})
+            bus.publish({"type": "job_state", "job": "a", "state": "done"})
+            # The stream must end at job a's terminal event, with the
+            # bus still open and job b still running.
+            events = await asyncio.wait_for(task, timeout=5)
+            await server.stop()
+            bus.close()
+            return events
+
+        events = run(scenario())
+        assert [e.get("type") for e in events] == [
+            "job_state",
+            "worker_task",
+            "job_state",
+        ]
+        assert all(e.get("job", "a") == "a" or e.get("trace") == "a" for e in events)
+        assert events[-1]["state"] == "done"
+
+    def test_malformed_request_counted_and_closed(self):
+        from repro.obs.tailserv import TailServer
+
+        async def scenario():
+            bus = EventBus()
+            server = TailServer(bus, port=0)
+            host, port = await server.start()
+            outcomes = []
+            for payload in (b"not json\n", b'{"op": "steer"}\n', b'{"op": "tail"}\n'):
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(payload)
+                await writer.drain()
+                # Server closes without sending a frame.
+                data = await asyncio.wait_for(reader.read(), timeout=5)
+                outcomes.append(data)
+                writer.close()
+            report = server.report()
+            await server.stop()
+            bus.close()
+            return outcomes, report
+
+        outcomes, report = run(scenario())
+        assert outcomes == [b"", b"", b""]
+        assert report["bad_requests"] == 3
+        assert report["frames_sent"] == 0
+
+    def test_scheduler_tail_port_end_to_end(self, instance):
+        """A real scheduler with tail_port=0: a remote client sees the
+        job lifecycle and at least one metrics snapshot, and the
+        scheduler report carries the tailserv counters."""
+        from repro.obs.tailserv import tail_client
+
+        async def scenario():
+            async with SolveScheduler(
+                instance,
+                n_workers=1,
+                params=SNAPPY,
+                pool_params=FAST,
+                tail_port=0,
+            ) as scheduler:
+                host, port = await scheduler.tail_address()
+
+                async def consume():
+                    kinds = []
+                    async for event in tail_client(host, port, job_id="j"):
+                        kinds.append(event.get("type"))
+                    return kinds
+
+                task = asyncio.ensure_future(consume())
+                await asyncio.sleep(0.05)
+                job = scheduler.submit(JobSpec(job_id="j", seed=5, params=SMALL))
+                await job.wait()
+                kinds = await asyncio.wait_for(task, timeout=10)
+                report = scheduler.report()
+            return kinds, report
+
+        kinds, report = run(scenario())
+        assert "job_state" in kinds
+        assert report["tailserv"]["connections"] == 1
+        assert report["tailserv"]["frames_sent"] == len(kinds)
+
+
+# ----------------------------------------------------------------------
+# Empty-aggregate audit: no measurement is None / "-", never 0.0 / NaN
+# ----------------------------------------------------------------------
+class TestEmptyAggregates:
+    def test_quantiles_of_nothing_are_none(self):
+        from repro.serve.traffic import _histogram_quantiles, _quantiles
+
+        empty = _quantiles([])
+        assert empty == {
+            "p50": None,
+            "p95": None,
+            "p99": None,
+            "max": None,
+            "mean": None,
+        }
+        # None histogram, empty histogram, and the regression case: a
+        # histogram whose buckets exist but hold all-zero counts (a
+        # steady-state window in which nothing finished).
+        assert _histogram_quantiles(None)["p99"] is None
+        zeroed = {"bounds": [0.1, 1.0], "counts": [0, 0, 0], "count": 0}
+        got = _histogram_quantiles(zeroed)
+        assert got == {"p50": None, "p95": None, "p99": None, "count": 0}
+
+    def test_quantile_from_histogram_all_zero_counts(self):
+        assert quantile_from_histogram([0.1, 1.0], [0, 0, 0], 0.99) is None
+
+    def test_watch_line_renders_dashes_not_nan(self):
+        from repro.serve.__main__ import _fmt_ms, _watch_line
+
+        assert _fmt_ms(None) == "-"
+        assert _fmt_ms(0.25) == "250ms"
+        snapshot = {
+            "jobs_active": 0,
+            "jobs_queued": 0,
+            "pool_backlog": 0,
+            "counters": {},
+            "stream": {},
+            "deficits": {},
+            "metrics": {
+                "histograms": {
+                    "serve.job_latency_s": {
+                        "bounds": [0.1],
+                        "counts": [0, 0],
+                        "count": 0,
+                    }
+                }
+            },
+        }
+        line = _watch_line(snapshot)
+        assert "p50=- p99=-" in line
+        assert "nan" not in line.lower()
+
+    def test_empty_steady_window_reports_none(self):
+        """The regression path end to end: a steady-state window in
+        which nothing finished is the *delta of identical histogram
+        marks* — all-zero counts — and its quantiles must come out
+        None (JSON-safe), never NaN or a fake 0ms."""
+        from repro.serve.traffic import _histogram_quantiles
+
+        mark = {"bounds": [0.1, 1.0], "counts": [3, 2, 1], "sum": 2.5, "count": 6}
+        window = histogram_delta(mark, mark)  # nothing finished since
+        assert window["count"] == 0
+        steady = _histogram_quantiles(window)
+        assert steady == {"p50": None, "p95": None, "p99": None, "count": 0}
+        json.dumps(steady)  # NaN would not survive strict JSON

@@ -538,3 +538,205 @@ class TestWireCost:
         assert report["batch_ratio"] > 1.0
         assert report["instance_ratio"] > 100.0
         assert report["iteration_bytes_wire"] < report["iteration_bytes_pickle"]
+
+
+# ----------------------------------------------------------------------
+# Instance wire codec + the refcounted multi-segment store
+# ----------------------------------------------------------------------
+class TestInstanceWire:
+    def test_round_trip_is_content_identical(self, instance):
+        from repro.parallel.shm import instance_fingerprint
+        from repro.parallel.wire import instance_from_wire, instance_to_wire
+
+        back = instance_from_wire(instance_to_wire(instance))
+        assert back.name == instance.name
+        assert back.n_sites == instance.n_sites
+        # Travel is *recomputed* from coordinates, and JSON float
+        # round-trips are exact, so the rebuilt matrix is bit-identical.
+        assert np.array_equal(np.asarray(back.travel), np.asarray(instance.travel))
+        assert instance_fingerprint(back) == instance_fingerprint(instance)
+
+    def test_survives_json(self, instance):
+        import json
+
+        from repro.parallel.shm import instance_fingerprint
+        from repro.parallel.wire import instance_from_wire, instance_to_wire
+
+        wire = json.loads(json.dumps(instance_to_wire(instance)))
+        assert instance_fingerprint(instance_from_wire(wire)) == instance_fingerprint(
+            instance
+        )
+
+    def test_fingerprint_covers_travel(self, instance):
+        """A hand-edited travel matrix must not collide with the
+        euclidean one its coordinates imply."""
+        from repro.parallel.shm import instance_fingerprint
+        from repro.vrptw.instance import Instance
+
+        doctored = np.array(instance.travel, dtype=np.float64, copy=True)
+        doctored[1, 2] += 1.0
+        forged = Instance.from_validated_arrays(
+            name=instance.name,
+            capacity=instance.capacity,
+            n_vehicles=instance.n_vehicles,
+            x=np.asarray(instance.x, dtype=np.float64),
+            y=np.asarray(instance.y, dtype=np.float64),
+            demand=np.asarray(instance.demand, dtype=np.float64),
+            ready_time=np.asarray(instance.ready_time, dtype=np.float64),
+            due_date=np.asarray(instance.due_date, dtype=np.float64),
+            service_time=np.asarray(instance.service_time, dtype=np.float64),
+            travel=doctored,
+        )
+        assert instance_fingerprint(forged) != instance_fingerprint(instance)
+
+    def test_fingerprint_normalizes_capacity_type(self, instance):
+        """int-vs-float capacity (the wire codec coerces to float) must
+        not change the fingerprint of otherwise-identical instances."""
+        from repro.parallel.shm import instance_fingerprint
+        from repro.parallel.wire import instance_from_wire, instance_to_wire
+
+        wire = instance_to_wire(instance)
+        assert isinstance(wire["capacity"], float)
+        assert instance_fingerprint(instance_from_wire(wire)) == instance_fingerprint(
+            instance
+        )
+
+
+class TestSharedInstanceStore:
+    def test_dedupes_by_content_and_refcounts(self, instance):
+        from repro.parallel.shm import SharedInstanceStore, instance_fingerprint
+        from repro.parallel.wire import instance_from_wire, instance_to_wire
+
+        fp = instance_fingerprint(instance)
+        twin = instance_from_wire(instance_to_wire(instance))  # equal content
+        other = generate_instance("C1", 16, seed=7)
+        store = SharedInstanceStore()
+        try:
+            ref_a = store.acquire(instance, "job-a")
+            ref_b = store.acquire(twin, "job-b")
+            assert ref_a.segment == ref_b.segment
+            assert store.segment_count() == 1
+            store.acquire(other, "job-b")
+            assert store.segment_count() == 2
+            # Releases: last owner out unlinks, earlier ones do not.
+            assert store.release(fp, "job-a") is False
+            assert store.release(fp, "job-b") is True
+            assert store.segment_count() == 1
+        finally:
+            store.close()
+        assert store.segment_count() == 0
+
+    def test_release_is_idempotent_and_unknown_safe(self, instance):
+        from repro.parallel.shm import SharedInstanceStore, instance_fingerprint
+
+        store = SharedInstanceStore()
+        try:
+            fp = instance_fingerprint(instance)
+            store.acquire(instance, "job-a")
+            assert store.release(fp, "nobody") is False
+            assert store.release(fp, "job-a") is True
+            assert store.release(fp, "job-a") is False  # double release
+            assert store.release("no-such-fp", "job-a") is False
+        finally:
+            store.close()
+
+    def test_acquire_after_close_refuses(self, instance):
+        from repro.parallel.shm import SharedInstanceStore
+
+        store = SharedInstanceStore()
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            store.acquire(instance, "job-a")
+
+    def test_segment_actually_unlinked(self, instance):
+        from multiprocessing import shared_memory
+
+        from repro.parallel.shm import SharedInstanceStore, instance_fingerprint
+
+        store = SharedInstanceStore()
+        ref = store.acquire(instance, "job-a")
+        store.release(instance_fingerprint(instance), "job-a")
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ref.segment)
+        store.close()
+
+    def test_scheduler_startup_failure_unlinks_segments_subprocess(self):
+        """The second bugfix this PR carries: a scheduler whose start()
+        dies *after* the pool shared its instance (here: a corrupt
+        ledger raising during recovery) must unlink every segment on
+        the way out — nobody will ever call close() on a scheduler
+        that never finished starting."""
+        script = textwrap.dedent(
+            """
+            import asyncio, tempfile
+            from multiprocessing import shared_memory
+            from pathlib import Path
+
+            import repro.parallel.pool as pool_mod
+            from repro.errors import LedgerError
+            from repro.parallel.pool import PoolParams
+            from repro.serve.scheduler import SolveScheduler
+            from repro.vrptw.generator import generate_instance
+
+            # Record every segment the pool broadcasts so we can prove
+            # each one is unlinked after the startup failure.
+            created = []
+            orig_share = pool_mod.share_instance
+
+            def recording_share(instance):
+                handle = orig_share(instance)
+                created.append(handle.ref.segment)
+                return handle
+
+            pool_mod.share_instance = recording_share
+
+            instance = generate_instance("R1", 20, seed=55)
+            params = PoolParams(
+                heartbeat_interval=0.05, heartbeat_timeout=10.0,
+                task_deadline=10.0, backoff_base=0.01, poll_interval=0.02,
+            )
+            ckpt = Path(tempfile.mkdtemp())
+            # Corrupt mid-file (not a torn tail): recovery must raise.
+            (ckpt / "serve_ledger.jsonl").write_text(
+                "this is not json\\n{\\"also\\": \\"not a ledger entry\\"}\\n"
+            )
+
+            async def main():
+                scheduler = SolveScheduler(
+                    instance, n_workers=1, pool_params=params,
+                    checkpoint_dir=ckpt,
+                )
+                try:
+                    scheduler.start()
+                except LedgerError:
+                    pass
+                else:
+                    raise SystemExit("corrupt ledger did not raise")
+                assert scheduler._pool is None, "startup must tear down the pool"
+
+            asyncio.run(main())
+            assert created, "the pool never shared its instance"
+            for name in created:
+                try:
+                    shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    pass
+                else:
+                    raise SystemExit(f"segment {name} leaked")
+            print("SEGMENT-GONE")
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=180,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "SEGMENT-GONE" in proc.stdout
+        assert "leaked shared_memory" not in proc.stderr
+        assert "resource_tracker" not in proc.stderr
